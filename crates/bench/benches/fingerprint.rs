@@ -1,0 +1,83 @@
+//! Ablation: thread-per-read vs block-per-read fingerprinting (Section
+//! III-A).
+//!
+//! Both schemes produce identical fingerprints; the paper's observation is
+//! about *device* efficiency (memory throttling), which our virtual device
+//! expresses through the modeled kernel seconds. This bench measures the
+//! CPU wall time of the shared math and prints the modeled device times
+//! where the ablation actually shows (5-6× in favor of block-per-read).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fingerprint::{batch_fingerprints, FingerprintScheme, RabinKarp};
+use std::hint::black_box;
+use vgpu::{Device, GpuProfile};
+
+fn reads(n: usize, len: usize) -> Vec<Vec<u8>> {
+    let mut state = 7u64;
+    (0..n)
+        .map(|_| {
+            (0..len)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (state >> 33) as u8 & 3
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_schemes(c: &mut Criterion) {
+    let batch = reads(512, 100);
+    let rk = RabinKarp::new(100);
+
+    // Print the modeled device-second ratio once: this is the paper's
+    // actual claim.
+    let naive_dev = Device::new(GpuProfile::k40());
+    batch_fingerprints(&naive_dev, &rk, &batch, FingerprintScheme::ThreadPerRead);
+    let block_dev = Device::new(GpuProfile::k40());
+    batch_fingerprints(&block_dev, &rk, &batch, FingerprintScheme::BlockPerRead);
+    println!(
+        "modeled device seconds: thread-per-read {:.3e}, block-per-read {:.3e} ({:.1}x)",
+        naive_dev.stats().kernel_seconds,
+        block_dev.stats().kernel_seconds,
+        naive_dev.stats().kernel_seconds / block_dev.stats().kernel_seconds
+    );
+
+    let mut group = c.benchmark_group("fingerprint_scheme");
+    group.throughput(Throughput::Elements((batch.len() * 100) as u64));
+    for scheme in [FingerprintScheme::ThreadPerRead, FingerprintScheme::BlockPerRead] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{scheme:?}")),
+            &scheme,
+            |b, &scheme| {
+                let dev = Device::new(GpuProfile::k40());
+                b.iter(|| black_box(batch_fingerprints(&dev, &rk, &batch, scheme)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_read_lengths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fingerprint_read_length");
+    for &len in &[100usize, 124, 150] {
+        let batch = reads(256, len);
+        let rk = RabinKarp::new(len);
+        group.throughput(Throughput::Elements((batch.len() * len) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            let dev = Device::new(GpuProfile::k40());
+            b.iter(|| {
+                black_box(batch_fingerprints(
+                    &dev,
+                    &rk,
+                    &batch,
+                    FingerprintScheme::BlockPerRead,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes, bench_read_lengths);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Micro-benchmarks of the device kernels LaSAGNA is built on: radix sort,
+//! sorted merge, vectorized bounds, and prefix scans.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use vgpu::{Device, GpuProfile};
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+fn keys_u128(n: usize) -> (Vec<u128>, Vec<u32>) {
+    let mut s = 42u64;
+    let keys = (0..n)
+        .map(|_| ((splitmix(&mut s) as u128) << 64) | splitmix(&mut s) as u128)
+        .collect();
+    let vals = (0..n as u32).collect();
+    (keys, vals)
+}
+
+fn bench_radix_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("radix_sort_pairs_u128");
+    for &n in &[1_000usize, 10_000, 50_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let dev = Device::new(GpuProfile::k40());
+            let (keys, vals) = keys_u128(n);
+            b.iter(|| {
+                let mut k = dev.h2d(&keys).unwrap();
+                let mut v = dev.h2d(&vals).unwrap();
+                dev.sort_pairs(&mut k, &mut v).unwrap();
+                black_box(dev.d2h(&k));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_pairs_u128");
+    for &n in &[10_000usize, 100_000] {
+        group.throughput(Throughput::Elements(2 * n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let dev = Device::new(GpuProfile::k40());
+            let (mut ka, va) = keys_u128(n);
+            let (mut kb, vb) = keys_u128(n);
+            ka.sort_unstable();
+            kb.sort_unstable();
+            let ka = dev.h2d(&ka).unwrap();
+            let va = dev.h2d(&va).unwrap();
+            let kb = dev.h2d(&kb).unwrap();
+            let vb = dev.h2d(&vb).unwrap();
+            b.iter(|| {
+                let (k, _v) = dev.merge_pairs(&ka, &va, &kb, &vb).unwrap();
+                black_box(k.len());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_bounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vec_bounds_u128");
+    for &n in &[10_000usize, 100_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let dev = Device::new(GpuProfile::k40());
+            let (mut hay, _) = keys_u128(n);
+            hay.sort_unstable();
+            let (needles, _) = keys_u128(n);
+            let hay = dev.h2d(&hay).unwrap();
+            let needles = dev.h2d(&needles).unwrap();
+            b.iter(|| {
+                let lo = dev.vec_lower_bound(&needles, &hay).unwrap();
+                let up = dev.vec_upper_bound(&needles, &hay).unwrap();
+                let c = dev.vec_difference(&up, &lo).unwrap();
+                black_box(c.len());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exclusive_scan_u64");
+    for &n in &[10_000usize, 100_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let dev = Device::new(GpuProfile::k40());
+            let xs: Vec<u64> = (0..n as u64).collect();
+            b.iter(|| {
+                let mut buf = dev.h2d(&xs).unwrap();
+                black_box(dev.exclusive_scan(&mut buf).unwrap());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_radix_sort, bench_merge, bench_bounds, bench_scan);
+criterion_main!(benches);

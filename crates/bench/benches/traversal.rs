@@ -1,0 +1,55 @@
+//! Ablation: sequential path traversal vs BSP pointer jumping (the
+//! paper's future-work "bulk-synchronous processing model").
+//!
+//! On one CPU the sequential walk wins (pointer jumping does O(n log n)
+//! work against O(n)); the point of the BSP formulation is that each of
+//! its ⌈log₂ n⌉ supersteps is embarrassingly parallel — the printed
+//! modeled device time shows what a GPU would pay.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lasagna::bsp::extract_paths_bsp;
+use lasagna::traverse::{extract_paths, TraverseOptions};
+use lasagna::StringGraph;
+use std::hint::black_box;
+use vgpu::{Device, GpuProfile};
+
+/// A graph of long chains: `chains` chains of `len` vertices each.
+fn chain_graph(chains: u32, len: u32) -> StringGraph {
+    let mut g = StringGraph::new(2 * chains * len);
+    for c in 0..chains {
+        let base = c * len * 2;
+        for i in 0..len - 1 {
+            g.try_add_edge(base + i * 2, base + (i + 1) * 2, 60 + (i % 30)).unwrap();
+        }
+    }
+    g
+}
+
+fn bench_traversal(c: &mut Criterion) {
+    let g = chain_graph(64, 512);
+    let opts = TraverseOptions::default();
+
+    // Sanity + report the modeled device cost of the BSP version once.
+    let dev = Device::new(GpuProfile::k40());
+    let bsp = extract_paths_bsp(&g, 100, opts, Some(&dev));
+    let seq = extract_paths(&g, 100, opts);
+    assert_eq!(bsp.len(), seq.len());
+    println!(
+        "BSP supersteps: {} launches, modeled device {:.3e}s",
+        dev.stats().kernel_launches,
+        dev.stats().kernel_seconds
+    );
+
+    let mut group = c.benchmark_group("path_traversal");
+    group.throughput(Throughput::Elements(g.vertex_count() as u64));
+    group.bench_with_input(BenchmarkId::from_parameter("sequential"), &(), |b, _| {
+        b.iter(|| black_box(extract_paths(&g, 100, opts)));
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("bsp_pointer_jump"), &(), |b, _| {
+        b.iter(|| black_box(extract_paths_bsp(&g, 100, opts, None)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_traversal);
+criterion_main!(benches);

@@ -1,0 +1,700 @@
+//! One runner per table/figure.
+//!
+//! Each runner returns a serializable result carrying both the measured
+//! values and the paper's published values, so `repro` can print them side
+//! by side and EXPERIMENTS.md can archive them. Modeled seconds scale
+//! linearly with data volume, so `modeled × scale` is directly comparable
+//! to the paper's wall-clock seconds (same bandwidth models, 1/scale of
+//! the bytes).
+
+use crate::env::{ScaledEnv, Testbed};
+use crate::paper;
+use dnet::{Cluster, ClusterConfig, ReduceStrategy};
+use genome::{DatasetPreset, ReadSet};
+use gstream::{ExternalSorter, HostMem, IoStats, KvPair, RecordWriter, SortConfig, SpillDir};
+use lasagna::{AssemblyConfig, AssemblyReport, Pipeline, StringGraph};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use vgpu::{Device, GpuProfile};
+
+/// Row of Table I.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// Read length.
+    pub length: usize,
+    /// Paper read count.
+    pub paper_reads: u64,
+    /// Paper base count.
+    pub paper_bases: u64,
+    /// Minimum overlap used.
+    pub l_min: u32,
+    /// Scaled read count.
+    pub scaled_reads: usize,
+    /// Scaled base count.
+    pub scaled_bases: u64,
+    /// Scaled genome length.
+    pub scaled_genome: usize,
+}
+
+/// Regenerate Table I at the given scale.
+pub fn table1(scale: u64) -> Vec<Table1Row> {
+    DatasetPreset::ALL
+        .iter()
+        .map(|&p| {
+            let s = p.scaled(scale);
+            Table1Row {
+                dataset: p.name().to_string(),
+                length: p.read_len(),
+                paper_reads: p.paper_reads(),
+                paper_bases: p.paper_bases(),
+                l_min: p.l_min(),
+                scaled_reads: s.read_count(),
+                scaled_bases: s.total_bases(),
+                scaled_genome: s.genome_len,
+            }
+        })
+        .collect()
+}
+
+/// One dataset's assembly measurement on one testbed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetRun {
+    /// Dataset name.
+    pub dataset: String,
+    /// Full per-phase report.
+    pub report: AssemblyReport,
+    /// Contigs validated against the reference: misassembly count.
+    pub misassembled: u64,
+}
+
+/// Tables II+IV (or III+V): assemble every preset on a testbed.
+pub fn run_testbed(
+    testbed: Testbed,
+    scale: u64,
+    workdir: &Path,
+) -> lasagna::Result<Vec<DatasetRun>> {
+    let env = ScaledEnv {
+        testbed,
+        scale,
+    };
+    let mut out = Vec::new();
+    for &preset in &DatasetPreset::ALL {
+        let dir = workdir.join(format!("{:?}", preset));
+        std::fs::create_dir_all(&dir).map_err(gstream::StreamError::from)?;
+        let scaled = preset.scaled(scale);
+        let (genome, reads) = scaled.materialize();
+        let pipeline = env.pipeline(preset, &dir)?;
+        let output = pipeline.assemble(&reads)?;
+        let verify = lasagna::verify::verify_contigs(&genome, &output.contigs);
+        let mut report = output.report;
+        report.dataset = preset.name().to_string();
+        out.push(DatasetRun {
+            dataset: preset.name().to_string(),
+            report,
+            misassembled: verify.misassembled,
+        });
+    }
+    Ok(out)
+}
+
+/// Table VI: SGA vs LaSAGNA at 64 GB and 128 GB.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table6Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// SGA wall seconds at the 64 GB-scaled budget (`None` = OOM).
+    pub sga_64_wall: Option<f64>,
+    /// SGA wall seconds at the 128 GB-scaled budget (`None` = OOM).
+    pub sga_128_wall: Option<f64>,
+    /// LaSAGNA wall seconds (64 GB testbed).
+    pub lasagna_64_wall: f64,
+    /// LaSAGNA wall seconds (128 GB testbed).
+    pub lasagna_128_wall: f64,
+    /// LaSAGNA modeled seconds (64 GB testbed).
+    pub lasagna_64_modeled: f64,
+    /// LaSAGNA modeled seconds (128 GB testbed).
+    pub lasagna_128_modeled: f64,
+    /// Paper's SGA/LaSAGNA speedup at 64 GB, when both ran.
+    pub paper_speedup_64: Option<f64>,
+    /// Measured SGA/LaSAGNA wall speedup at 64 GB, when both ran.
+    pub measured_speedup_64: Option<f64>,
+}
+
+/// Run Table VI.
+pub fn table6(scale: u64, workdir: &Path) -> Result<Vec<Table6Row>, String> {
+    let mut rows = Vec::new();
+    for (i, &preset) in DatasetPreset::ALL.iter().enumerate() {
+        let scaled = preset.scaled(scale);
+        let (_genome, reads) = scaled.materialize();
+
+        let mut sga_wall = [None, None];
+        for (j, testbed) in [Testbed::supermic(), Testbed::queenbee2()].iter().enumerate() {
+            let env = ScaledEnv { testbed: testbed.clone(), scale };
+            let baseline = sga::SgaBaseline {
+                host: HostMem::new(env.host_bytes()),
+                io: IoStats::default(),
+                l_min: scaled.l_min,
+            };
+            match baseline.run(&reads) {
+                Ok((_graph, report)) => sga_wall[j] = Some(report.total_seconds()),
+                Err(sga::SgaError::OutOfMemory { .. }) => sga_wall[j] = None,
+                Err(e) => return Err(format!("{}: SGA failed: {e}", preset.name())),
+            }
+        }
+
+        let mut lasagna_wall = [0.0f64; 2];
+        let mut lasagna_modeled = [0.0f64; 2];
+        for (j, testbed) in [Testbed::supermic(), Testbed::queenbee2()].iter().enumerate() {
+            let env = ScaledEnv { testbed: testbed.clone(), scale };
+            let dir = workdir.join(format!("t6_{i}_{j}"));
+            std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+            let pipeline = env.pipeline(preset, &dir).map_err(|e| e.to_string())?;
+            let out = pipeline.assemble(&reads).map_err(|e| e.to_string())?;
+            lasagna_wall[j] = out.report.total_wall_seconds();
+            lasagna_modeled[j] = out.report.total_modeled_seconds();
+        }
+
+        rows.push(Table6Row {
+            dataset: preset.name().to_string(),
+            sga_64_wall: sga_wall[0],
+            sga_128_wall: sga_wall[1],
+            lasagna_64_wall: lasagna_wall[0],
+            lasagna_128_wall: lasagna_wall[1],
+            lasagna_64_modeled: lasagna_modeled[0],
+            lasagna_128_modeled: lasagna_modeled[1],
+            paper_speedup_64: paper::TABLE6.sga_64[i]
+                .map(|s| s as f64 / paper::TABLE6.lasagna_64[i] as f64),
+            measured_speedup_64: sga_wall[0].map(|s| s / lasagna_wall[0]),
+        });
+    }
+    Ok(rows)
+}
+
+/// A synthetic H.Genome-scale partition for the sort sweeps: the paper
+/// uses "about 2.5 billion pairs of 128-bit keys and 32-bit values per
+/// partition" (Section IV-C4).
+pub fn write_sort_input(scale: u64, spill: &SpillDir) -> gstream::Result<(std::path::PathBuf, u64)> {
+    let pairs = (2_500_000_000 / scale).max(1_000) as usize;
+    let path = spill.scratch_path("fig_sort_input");
+    let mut w = RecordWriter::create(&path, spill.io().clone())?;
+    // Deterministic pseudo-random keys (splitmix64 over both halves).
+    let mut state = 0x9E3779B97F4A7C15u64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    for i in 0..pairs {
+        let key = ((next() as u128) << 64) | next() as u128;
+        w.write(KvPair::new(key, i as u32))?;
+    }
+    w.finish()?;
+    Ok((path, pairs as u64))
+}
+
+/// One point of the Fig. 8 sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SortPoint {
+    /// GPU profile name.
+    pub gpu: String,
+    /// Host block-size in pairs (paper scale: multiply by `scale`).
+    pub host_block_pairs: usize,
+    /// Device block-size in pairs.
+    pub device_block_pairs: usize,
+    /// Disk passes performed.
+    pub disk_passes: u32,
+    /// Modeled sort seconds at laptop scale.
+    pub modeled_seconds: f64,
+    /// `modeled × scale`: comparable to the paper's y-axis.
+    pub paper_scale_seconds: f64,
+}
+
+fn sort_once(
+    gpu: GpuProfile,
+    workdir: &Path,
+    input: &Path,
+    m_h: usize,
+    m_d: usize,
+    scale: u64,
+) -> gstream::Result<SortPoint> {
+    let io = IoStats::default();
+    let spill = SpillDir::create(workdir, io.clone())?;
+    let device = Device::with_capacity(gpu.clone(), (m_d as u64 * 40).max(1 << 10));
+    let host = HostMem::new((m_h as u64 * KvPair::BYTES as u64 * 2).max(1 << 10));
+    let config = SortConfig {
+        host_block_pairs: m_h,
+        device_block_pairs: m_d.min(m_h),
+        kway: false,
+    };
+    let sorter = ExternalSorter::new(device.clone(), host, config)?;
+    let out = spill.scratch_path("sorted");
+    let report = sorter.sort_file(&spill, input, &out)?;
+    let modeled = report.io.total_seconds() + report.device_seconds;
+    std::fs::remove_file(&out).ok();
+    Ok(SortPoint {
+        gpu: gpu.name,
+        host_block_pairs: m_h,
+        device_block_pairs: m_d,
+        disk_passes: report.disk_passes,
+        modeled_seconds: modeled,
+        paper_scale_seconds: modeled * scale as f64,
+    })
+}
+
+/// Fig. 8: host × device block-size sweep on a K40.
+pub fn fig8(scale: u64, workdir: &Path) -> gstream::Result<Vec<SortPoint>> {
+    let io = IoStats::default();
+    let spill = SpillDir::create(workdir, io)?;
+    let (input, _pairs) = write_sort_input(scale, &spill)?;
+    // Paper sweep: host {0.02, 0.08, 0.32, 1.28, 2.56} G pairs,
+    // device {5, 10, 20, 40} M pairs.
+    let hosts: Vec<usize> = [20_000_000u64, 80_000_000, 320_000_000, 1_280_000_000, 2_560_000_000]
+        .iter()
+        .map(|&h| (h / scale).max(4) as usize)
+        .collect();
+    let devices: Vec<usize> = [5_000_000u64, 10_000_000, 20_000_000, 40_000_000]
+        .iter()
+        .map(|&d| (d / scale).max(2) as usize)
+        .collect();
+    let mut out = Vec::new();
+    for &m_h in &hosts {
+        for &m_d in &devices {
+            let dir = workdir.join(format!("f8_{m_h}_{m_d}"));
+            std::fs::create_dir_all(&dir)?;
+            out.push(sort_once(GpuProfile::k40(), &dir, &input, m_h, m_d, scale)?);
+        }
+    }
+    Ok(out)
+}
+
+/// Fig. 9: host block-size sweep across GPU models at device = 20 M pairs.
+pub fn fig9(scale: u64, workdir: &Path) -> gstream::Result<Vec<SortPoint>> {
+    let io = IoStats::default();
+    let spill = SpillDir::create(workdir, io)?;
+    let (input, _pairs) = write_sort_input(scale, &spill)?;
+    let hosts: Vec<usize> = [20_000_000u64, 80_000_000, 320_000_000, 1_280_000_000, 2_560_000_000]
+        .iter()
+        .map(|&h| (h / scale).max(4) as usize)
+        .collect();
+    let m_d = (20_000_000 / scale).max(2) as usize;
+    let mut out = Vec::new();
+    for gpu in GpuProfile::fig9_lineup() {
+        for &m_h in &hosts {
+            let dir = workdir.join(format!("f9_{}_{m_h}", gpu.name));
+            std::fs::create_dir_all(&dir)?;
+            out.push(sort_once(gpu.clone(), &dir, &input, m_h, m_d, scale)?);
+        }
+    }
+    Ok(out)
+}
+
+/// One Fig. 10 configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig10Point {
+    /// Node count.
+    pub nodes: usize,
+    /// Per-phase modeled seconds (map, shuffle, sort, reduce).
+    pub phases: Vec<(String, f64)>,
+    /// Total modeled seconds.
+    pub total_modeled: f64,
+    /// Total at paper scale.
+    pub paper_scale_seconds: f64,
+    /// Network bytes moved.
+    pub network_bytes: u64,
+    /// Edges in the merged graph.
+    pub edges: u64,
+}
+
+/// Fig. 10: H.Genome on 1-8 SuperMic nodes.
+pub fn fig10(scale: u64, nodes_list: &[usize], workdir: &Path) -> Result<Vec<Fig10Point>, String> {
+    let scaled = DatasetPreset::HGenome.scaled(scale);
+    let (_genome, reads) = scaled.materialize();
+    let assembly = AssemblyConfig::for_dataset(scaled.l_min, scaled.read_len as u32);
+    let env = ScaledEnv { testbed: Testbed::supermic(), scale };
+
+    let mut out = Vec::new();
+    for &n in nodes_list {
+        let dir = workdir.join(format!("f10_{n}"));
+        std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+        let cluster = Cluster::supermic(n, env.host_bytes(), env.device_bytes(), assembly)
+            .map_err(|e| e.to_string())?;
+        let result = cluster.assemble(&reads, &dir).map_err(|e| e.to_string())?;
+        let phases: Vec<(String, f64)> = result
+            .report
+            .phases
+            .iter()
+            .map(|p| (p.name.clone(), p.modeled_seconds))
+            .collect();
+        let total = result.report.total_modeled_seconds();
+        out.push(Fig10Point {
+            nodes: n,
+            phases,
+            total_modeled: total,
+            paper_scale_seconds: total * scale as f64,
+            network_bytes: result.report.network_bytes,
+            edges: result.report.edges,
+        });
+    }
+    Ok(out)
+}
+
+/// One fingerprint-kernel-scheme data point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SchemeRow {
+    /// Kernel organization.
+    pub scheme: String,
+    /// Modeled map-phase seconds.
+    pub map_modeled: f64,
+    /// Modeled device kernel seconds within map.
+    pub kernel_seconds: f64,
+}
+
+/// Map-kernel ablation: the paper's block-per-read Hillis-Steele kernel vs
+/// the thread-per-read strawman it rejects for "excessive memory
+/// throttling" (Section III-A). H.Genome scaled, map phase only.
+pub fn mapscheme(scale: u64, workdir: &Path) -> Result<Vec<SchemeRow>, String> {
+    use fingerprint::FingerprintScheme;
+    let scaled = DatasetPreset::HGenome.scaled(scale);
+    let (_genome, reads) = scaled.materialize();
+    let env = ScaledEnv { testbed: Testbed::queenbee2(), scale };
+    let mut out = Vec::new();
+    for (scheme, name) in [
+        (FingerprintScheme::ThreadPerRead, "thread-per-read"),
+        (FingerprintScheme::BlockPerRead, "block-per-read"),
+    ] {
+        let dir = workdir.join(name);
+        std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+        let mut config = AssemblyConfig::for_dataset(scaled.l_min, scaled.read_len as u32);
+        config.fingerprint_scheme = scheme;
+        let device = env.device();
+        let host = env.host();
+        let spill = SpillDir::create(&dir, IoStats::default()).map_err(|e| e.to_string())?;
+        let before = device.stats();
+        let io_before = spill.io().snapshot();
+        lasagna::map::run(&device, &host, &spill, &config, &reads).map_err(|e| e.to_string())?;
+        let dev = device.stats().since(&before);
+        let io = spill.io().snapshot().since(&io_before);
+        out.push(SchemeRow {
+            scheme: name.to_string(),
+            map_modeled: dev.total_seconds() + io.total_seconds(),
+            kernel_seconds: dev.kernel_seconds,
+        });
+    }
+    Ok(out)
+}
+
+/// One storage-media data point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DiskRow {
+    /// Media label.
+    pub media: String,
+    /// Sequential read bandwidth modeled, MB/s.
+    pub read_mb_s: f64,
+    /// Total modeled assembly seconds.
+    pub total_modeled: f64,
+    /// Sort-phase modeled seconds (the I/O-bound phase).
+    pub sort_modeled: f64,
+}
+
+/// Storage-media sweep: the paper argues "LaSAGNA will benefit from the
+/// use of local disks and faster media such as solid-state drives"
+/// (Section III-E). H.Genome on the 64 GB testbed across disk models.
+pub fn disks(scale: u64, workdir: &Path) -> Result<Vec<DiskRow>, String> {
+    use gstream::DiskModel;
+    let scaled = DatasetPreset::HGenome.scaled(scale);
+    let (_genome, reads) = scaled.materialize();
+    let env = ScaledEnv { testbed: Testbed::supermic(), scale };
+    let mut out = Vec::new();
+    for (label, model) in [
+        ("HDD (160 MB/s)", DiskModel::hdd()),
+        ("cluster scratch (400 MB/s)", DiskModel::cluster_scratch()),
+        ("SSD (520 MB/s)", DiskModel::ssd()),
+    ] {
+        let dir = workdir.join(label.split_whitespace().next().unwrap());
+        std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+        let config = AssemblyConfig::for_dataset(scaled.l_min, scaled.read_len as u32);
+        let spill = SpillDir::create(&dir, IoStats::new(model)).map_err(|e| e.to_string())?;
+        let pipeline = Pipeline::new(env.device(), env.host(), spill, config)
+            .map_err(|e| e.to_string())?;
+        let result = pipeline.assemble(&reads).map_err(|e| e.to_string())?;
+        out.push(DiskRow {
+            media: label.to_string(),
+            read_mb_s: model.read_bytes_per_s / 1e6,
+            total_modeled: result.report.total_modeled_seconds(),
+            sort_modeled: result.report.phase("sort").map(|p| p.modeled_seconds).unwrap_or(0.0),
+        });
+    }
+    Ok(out)
+}
+
+/// One de Bruijn feasibility row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DbgCheckRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Testbed label ("64 GB" / "128 GB").
+    pub testbed: String,
+    /// Whether the k-mer table fit the scaled budget.
+    pub fits: bool,
+    /// Billed table bytes (at OOM: bytes reached before failing).
+    pub billed_bytes: u64,
+    /// Scaled host budget.
+    pub budget_bytes: u64,
+    /// Unitig N50 when the assembly fit.
+    pub n50: Option<u64>,
+}
+
+/// Reproduce the paper's Table VI footnote: "We do not include the results
+/// of de Bruijn graph-based assemblers because most of them are not
+/// designed for processing large datasets on a single machine (i.e.,
+/// failed with out-of-memory error)". Reads carry a realistic 1% error
+/// rate — error k-mers are what blow up real k-mer tables.
+pub fn dbgcheck(scale: u64) -> Vec<DbgCheckRow> {
+    use genome::{GenomeSim, ShotgunSim};
+    let mut out = Vec::new();
+    for &preset in &DatasetPreset::ALL {
+        let scaled = preset.scaled(scale);
+        let genome = GenomeSim {
+            len: scaled.genome_len,
+            repeat_fraction: 0.0005,
+            repeat_len: scaled.read_len * 2,
+            seed: 0xD8,
+        }
+        .generate();
+        let reads = ShotgunSim {
+            read_len: scaled.read_len,
+            coverage: scaled.coverage,
+            strand_flip_prob: 0.5,
+            error_rate: 0.01,
+            seed: 0xD9,
+        }
+        .sample(&genome);
+        for testbed in [Testbed::supermic(), Testbed::queenbee2()] {
+            let env = ScaledEnv { testbed: testbed.clone(), scale };
+            let host = HostMem::new(env.host_bytes());
+            let assembler = dbg::DbgAssembler {
+                k: 21,
+                // Coverage-proportional threshold: at 50× even doubly
+                // supported error k-mers are noise.
+                min_count: (scaled.coverage / 8.0).max(2.0) as u32,
+                host: host.clone(),
+            };
+            let label = if testbed.host_bytes == 128 << 30 { "128 GB" } else { "64 GB" };
+            match assembler.assemble(&reads) {
+                Ok((_contigs, report)) => out.push(DbgCheckRow {
+                    dataset: preset.name().to_string(),
+                    testbed: label.to_string(),
+                    fits: true,
+                    billed_bytes: report.billed_bytes,
+                    budget_bytes: env.host_bytes(),
+                    n50: Some(report.n50),
+                }),
+                Err(err @ dbg::DbgError::OutOfMemory(_)) => out.push(DbgCheckRow {
+                    dataset: preset.name().to_string(),
+                    testbed: label.to_string(),
+                    fits: false,
+                    // Bytes in flight when the reservation failed.
+                    billed_bytes: err.in_use() + err.requested(),
+                    budget_bytes: env.host_bytes(),
+                    n50: None,
+                }),
+            }
+        }
+    }
+    out
+}
+
+/// Reduce-strategy comparison point (the paper's future-work ablation).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StrategyPoint {
+    /// Node count.
+    pub nodes: usize,
+    /// Strategy name.
+    pub strategy: String,
+    /// Modeled reduce-phase seconds.
+    pub reduce_modeled: f64,
+    /// Modeled shuffle seconds (range mode reshapes the shuffle).
+    pub shuffle_modeled: f64,
+    /// Total modeled seconds.
+    pub total_modeled: f64,
+    /// Edges in the merged graph (identical across strategies).
+    pub edges: u64,
+}
+
+/// Compare the paper's length-token reduce against its proposed
+/// fingerprint-range partitioning (Section IV-D future work) on the
+/// H.Genome-scaled dataset.
+pub fn reduce_strategies(
+    scale: u64,
+    nodes_list: &[usize],
+    workdir: &Path,
+) -> Result<Vec<StrategyPoint>, String> {
+    let scaled = DatasetPreset::HGenome.scaled(scale);
+    let (_genome, reads) = scaled.materialize();
+    let assembly = AssemblyConfig::for_dataset(scaled.l_min, scaled.read_len as u32);
+    let env = ScaledEnv { testbed: Testbed::supermic(), scale };
+
+    let mut out = Vec::new();
+    for &n in nodes_list {
+        for (strategy, name) in [
+            (ReduceStrategy::LengthToken, "length-token"),
+            (ReduceStrategy::FingerprintRange, "fingerprint-range"),
+        ] {
+            let dir = workdir.join(format!("rs_{n}_{name}"));
+            std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+            let cluster = Cluster::new(ClusterConfig {
+                nodes: n,
+                gpu: vgpu::GpuProfile::k20x(),
+                device_capacity: env.device_bytes(),
+                host_capacity: env.host_bytes(),
+                disk: gstream::DiskModel::cluster_scratch(),
+                net: dnet::NetModel::infiniband_56g(),
+                block_reads: 1024,
+                assembly,
+                reduce_strategy: strategy,
+            })
+            .map_err(|e| e.to_string())?;
+            let result = cluster.assemble(&reads, &dir).map_err(|e| e.to_string())?;
+            let phase = |p: &str| {
+                result
+                    .report
+                    .phase(p)
+                    .map(|x| x.modeled_seconds)
+                    .unwrap_or(0.0)
+            };
+            out.push(StrategyPoint {
+                nodes: n,
+                strategy: name.to_string(),
+                reduce_modeled: phase("reduce"),
+                shuffle_modeled: phase("shuffle"),
+                total_modeled: result.report.total_modeled_seconds(),
+                edges: result.report.edges,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// One fingerprint-width data point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FpCheckRow {
+    /// Fingerprint width in bits.
+    pub bits: u32,
+    /// Edges in the graph.
+    pub edges: u64,
+    /// Edges whose overlap is not real.
+    pub false_edges: u64,
+}
+
+/// The zero-false-positive check (Section IV-B): 128-bit fingerprints must
+/// admit no false edges; truncated widths progressively do.
+pub fn fpcheck(scale: u64, workdir: &Path) -> Result<Vec<FpCheckRow>, String> {
+    let scaled = DatasetPreset::HChr14.scaled(scale);
+    let (_genome, reads) = scaled.materialize();
+    let env = ScaledEnv { testbed: Testbed::queenbee2(), scale };
+    let mut out = Vec::new();
+    for bits in [128u32, 64, 48, 32, 24, 16] {
+        let dir = workdir.join(format!("fp_{bits}"));
+        std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+        let mut config = AssemblyConfig::for_dataset(scaled.l_min, scaled.read_len as u32);
+        config.fingerprint_bits = bits;
+        let spill = SpillDir::create(&dir, IoStats::default()).map_err(|e| e.to_string())?;
+        let pipeline = Pipeline::new(env.device(), env.host(), spill, config)
+            .map_err(|e| e.to_string())?;
+        let result = pipeline.assemble(&reads).map_err(|e| e.to_string())?;
+        out.push(FpCheckRow {
+            bits,
+            edges: result.graph.edge_count(),
+            false_edges: lasagna::verify::count_false_edges(&result.graph, &reads),
+        });
+    }
+    Ok(out)
+}
+
+/// Single-node graph used as a reference in tests/benches.
+pub fn reference_graph(reads: &ReadSet, l_min: u32, workdir: &Path) -> lasagna::Result<StringGraph> {
+    let config = AssemblyConfig::for_dataset(l_min, reads.read_len() as u32);
+    let pipeline = Pipeline::laptop(config, workdir)?;
+    Ok(pipeline.assemble(reads)?.graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_preserves_dataset_ordering_and_lengths() {
+        let rows = table1(crate::DEFAULT_SCALE);
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].dataset, "H.Chr 14");
+        assert_eq!(rows[3].dataset, "H.Genome");
+        assert!(rows.windows(2).all(|w| w[0].scaled_bases < w[1].scaled_bases));
+        assert_eq!(rows[2].length, 150);
+    }
+
+    #[test]
+    fn sort_input_is_deterministic() {
+        let d1 = tempfile::tempdir().unwrap();
+        let s1 = SpillDir::create(d1.path(), IoStats::default()).unwrap();
+        let (p1, n1) = write_sort_input(1_000_000, &s1).unwrap();
+        let d2 = tempfile::tempdir().unwrap();
+        let s2 = SpillDir::create(d2.path(), IoStats::default()).unwrap();
+        let (p2, n2) = write_sort_input(1_000_000, &s2).unwrap();
+        assert_eq!(n1, n2);
+        assert_eq!(std::fs::read(p1).unwrap(), std::fs::read(p2).unwrap());
+    }
+
+    #[test]
+    fn fig8_points_show_fewer_passes_with_bigger_host_blocks() {
+        let dir = tempfile::tempdir().unwrap();
+        let points = fig8(2_000_000, dir.path()).unwrap();
+        assert_eq!(points.len(), 20);
+        // Group by device size; passes must be non-increasing in m_h.
+        for &m_d in &[2usize, 5, 10, 20] {
+            let series: Vec<&SortPoint> = points
+                .iter()
+                .filter(|p| p.device_block_pairs == m_d)
+                .collect();
+            for w in series.windows(2) {
+                assert!(
+                    w[0].disk_passes >= w[1].disk_passes,
+                    "passes must shrink as m_h grows"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig9_orders_gpus_by_bandwidth_at_large_host_blocks() {
+        let dir = tempfile::tempdir().unwrap();
+        let points = fig9(2_000_000, dir.path()).unwrap();
+        // At the largest host block (single disk pass), device time
+        // matters most: V100 must beat K40.
+        let best = |gpu: &str| {
+            points
+                .iter()
+                .filter(|p| p.gpu == gpu)
+                .map(|p| p.modeled_seconds)
+                .fold(f64::INFINITY, f64::min)
+        };
+        assert!(best("V100") < best("K40"));
+        assert!(best("P100") < best("P40"));
+    }
+
+    #[test]
+    fn fpcheck_gives_zero_false_edges_at_128_bits() {
+        let dir = tempfile::tempdir().unwrap();
+        let rows = fpcheck(2_000_000, dir.path()).unwrap();
+        let full = rows.iter().find(|r| r.bits == 128).unwrap();
+        assert_eq!(full.false_edges, 0);
+        let narrow = rows.iter().find(|r| r.bits == 16).unwrap();
+        assert!(
+            narrow.false_edges > 0,
+            "16-bit fingerprints must collide at this scale"
+        );
+    }
+}

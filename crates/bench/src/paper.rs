@@ -1,0 +1,161 @@
+//! The paper's published numbers, embedded for side-by-side comparison.
+//!
+//! All times in seconds, all memory in GB, exactly as printed in the
+//! paper's Tables II-VI. Order of per-dataset arrays everywhere:
+//! `[H.Chr 14, Bumblebee, Parakeet, H.Genome]`.
+
+/// Phase rows of Tables II/III.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperPhaseTimes {
+    /// Map row.
+    pub map: [u64; 4],
+    /// Sort row.
+    pub sort: [u64; 4],
+    /// Reduce row.
+    pub reduce: [u64; 4],
+    /// Compress row.
+    pub compress: [u64; 4],
+    /// Load row.
+    pub load: [u64; 4],
+}
+
+impl PaperPhaseTimes {
+    /// Column totals.
+    pub fn totals(&self) -> [u64; 4] {
+        let mut t = [0u64; 4];
+        for (i, slot) in t.iter_mut().enumerate() {
+            *slot = self.map[i] + self.sort[i] + self.reduce[i] + self.compress[i] + self.load[i];
+        }
+        t
+    }
+}
+
+/// Table II: single node, 128 GB host + K40.
+pub const TABLE2: PaperPhaseTimes = PaperPhaseTimes {
+    map: [332, 2000, 6058, 9795],
+    sort: [576, 4860, 17876, 39945],
+    reduce: [287, 1566, 4651, 8433],
+    compress: [6, 20, 26, 57],
+    load: [25, 189, 357, 639],
+};
+
+/// Table III: single node, 64 GB host + K20X.
+pub const TABLE3: PaperPhaseTimes = PaperPhaseTimes {
+    map: [359, 2168, 6478, 10228],
+    sort: [672, 5725, 20483, 53601],
+    reduce: [266, 1655, 4453, 9103],
+    compress: [5, 19, 26, 56],
+    load: [23, 171, 331, 708],
+};
+
+/// Peak memory rows of Tables IV/V (GB).
+#[derive(Debug, Clone, Copy)]
+pub struct PaperPeaks {
+    /// Host peaks: map, sort, reduce, contig per dataset.
+    pub host: [[f64; 4]; 4],
+    /// Device peaks: map, sort, reduce per dataset.
+    pub device: [[f64; 3]; 4],
+}
+
+/// Table IV: 128 GB host + K40.
+pub const TABLE4: PaperPeaks = PaperPeaks {
+    host: [
+        [14.48, 14.92, 16.87, 16.78],
+        [14.64, 34.40, 19.55, 22.14],
+        [16.82, 59.21, 28.64, 28.39],
+        [16.39, 103.73, 38.11, 44.24],
+    ],
+    device: [
+        [10.74, 6.46, 4.89],
+        [10.74, 9.02, 4.92],
+        [10.73, 9.02, 4.92],
+        [10.73, 9.02, 4.92],
+    ],
+};
+
+/// Table V: 64 GB host + K20X.
+pub const TABLE5: PaperPeaks = PaperPeaks {
+    host: [
+        [7.23, 9.71, 8.99, 9.01],
+        [9.03, 30.04, 13.34, 18.14],
+        [8.84, 54.20, 19.48, 22.79],
+        [9.18, 54.66, 31.31, 38.95],
+    ],
+    device: [
+        [5.41, 4.54, 2.47],
+        [5.41, 4.54, 2.50],
+        [5.40, 4.54, 2.50],
+        [5.40, 4.54, 2.50],
+    ],
+};
+
+/// Table VI: SGA vs LaSAGNA seconds; `None` = OOM.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperTable6 {
+    /// SGA at 64 GB.
+    pub sga_64: [Option<u64>; 4],
+    /// SGA at 128 GB.
+    pub sga_128: [Option<u64>; 4],
+    /// LaSAGNA at 64 GB.
+    pub lasagna_64: [u64; 4],
+    /// LaSAGNA at 128 GB.
+    pub lasagna_128: [u64; 4],
+}
+
+/// Table VI data.
+pub const TABLE6: PaperTable6 = PaperTable6 {
+    sga_64: [Some(3081), Some(26360), Some(93747), None],
+    sga_128: [Some(3039), Some(23958), Some(88229), Some(111024)],
+    lasagna_64: [1325, 9738, 31771, 73696],
+    lasagna_128: [1226, 8635, 28968, 58869],
+};
+
+/// Fig. 10 phase seconds on SuperMic for H.Genome at 1/2/4/8 nodes,
+/// read off the stacked bars (approximate; the paper prints no table).
+pub const FIG10_TOTALS: [(u32, u64); 4] = [
+    (1, 73696),
+    (2, 42000),
+    (4, 27000),
+    (8, 19000),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_and_3_totals_match_table6_lasagna_columns() {
+        assert_eq!(TABLE2.totals(), TABLE6.lasagna_128);
+        assert_eq!(TABLE3.totals(), TABLE6.lasagna_64);
+    }
+
+    #[test]
+    fn sort_is_the_largest_phase_in_every_column() {
+        for i in 0..4 {
+            for other in [TABLE2.map[i], TABLE2.reduce[i], TABLE2.compress[i], TABLE2.load[i]] {
+                assert!(TABLE2.sort[i] > other, "column {i}");
+            }
+        }
+        // And for the large datasets it exceeds half of the total (the
+        // paper's "more than 50% of the total execution time").
+        for i in 2..4 {
+            assert!(TABLE2.sort[i] * 2 >= TABLE2.totals()[i], "column {i}");
+        }
+    }
+
+    #[test]
+    fn speedups_match_the_paper_claims() {
+        // Paper: 1.89×-3.05× over SGA.
+        let s64 = TABLE6.sga_64[0].unwrap() as f64 / TABLE6.lasagna_64[0] as f64;
+        assert!((s64 - 2.33).abs() < 0.01);
+        let s128 = TABLE6.sga_128[3].unwrap() as f64 / TABLE6.lasagna_128[3] as f64;
+        assert!((s128 - 1.89).abs() < 0.01);
+    }
+
+    #[test]
+    fn fig10_shows_monotone_scaling() {
+        for w in FIG10_TOTALS.windows(2) {
+            assert!(w[0].1 > w[1].1);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # dbg — the de Bruijn graph baseline
+//!
+//! The paper's Table VI discussion: "We do not include the results of de
+//! Bruijn graph-based assemblers because most of them are not designed for
+//! processing large datasets on a single machine (i.e., failed with
+//! out-of-memory error)." This crate implements a first-generation-style
+//! de Bruijn assembler (Velvet/SOAPdenovo lineage: a hash table over
+//! canonical k-mers with 4+4 edge bits) so that the claim is reproducible
+//! rather than taken on faith:
+//!
+//! * [`kmer`] — 2-bit packed k-mers (k ≤ 31) with strand-canonical form;
+//! * [`graph`] — the k-mer hash graph, billing host memory per entry at
+//!   the ~40 B/k-mer rate of uncompacted assemblers, so the scaled Table VI
+//!   budgets OOM exactly where the paper says such tools did;
+//! * [`assemble`] — coverage filtering, unitig extraction (maximal
+//!   non-branching paths in the bidirected graph), contig spelling.
+//!
+//! The paper's Section II-A1 criticism also becomes testable: "this method
+//! is prone to collapsing repeated regions of the genome that are larger
+//! than k, causing information loss" — repeats longer than k fragment the
+//! unitigs regardless of read length, while the string graph can bridge
+//! them with long overlaps.
+
+pub mod assemble;
+pub mod graph;
+pub mod kmer;
+
+pub use assemble::{DbgAssembler, DbgError, DbgReport};
+pub use graph::DbgGraph;
+pub use kmer::Kmer;

@@ -1,0 +1,175 @@
+//! The active-message layer.
+//!
+//! GASNet-style request/response: a node sends a typed request to a peer
+//! and blocks on the reply. Every node runs an [`AmServer`] thread that
+//! owns the node's *served* resources — the master's block queue on rank 0,
+//! each node's completed map-output files during the shuffle ("on reaching
+//! the destination, a message reads from the file corresponding to the
+//! partition requested and responds with a chunk of data", Section
+//! III-E2). Network traffic is charged at the [`crate::NetStats`] model by
+//! the requester; rank-local messages are free, as they are under GASNet.
+
+use crate::netmodel::NetStats;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use gstream::spill::PartitionKind;
+use gstream::KvPair;
+
+/// A request an active message can carry.
+#[derive(Debug)]
+pub enum Request {
+    /// Ask the master for the next unprocessed input block.
+    GetBlock,
+    /// Fetch the map output of `block` for one partition (possibly one
+    /// fingerprint range of it, when the future-work range partitioning is
+    /// active).
+    FetchPartition {
+        /// Input block index.
+        block: usize,
+        /// Suffix or prefix side.
+        kind: PartitionKind,
+        /// Overlap length of the partition.
+        len: u32,
+        /// Fingerprint range index.
+        range: u32,
+        /// Total ranges the map split each length into.
+        ranges: u32,
+    },
+    /// Stop the server thread.
+    Shutdown,
+}
+
+/// The reply to a [`Request`].
+#[derive(Debug)]
+pub enum Response {
+    /// Block assignment: `(block index, start read, end read)`, or `None`
+    /// when the input is exhausted.
+    Block(Option<(usize, usize, usize)>),
+    /// Partition records (empty if the block produced none for this
+    /// length).
+    Partition(Vec<KvPair>),
+    /// Acknowledgement of shutdown.
+    Bye,
+}
+
+type Envelope = (Request, Sender<Response>);
+
+/// Client handle for sending active messages to one node.
+#[derive(Clone)]
+pub struct AmClient {
+    /// Rank of the node this handle addresses.
+    pub target: usize,
+    tx: Sender<Envelope>,
+    net: NetStats,
+}
+
+impl AmClient {
+    /// Send `req` from `from_rank` and wait for the reply. Cross-node
+    /// messages are charged to the network model (request header + payload
+    /// on the way back); returns the reply and the modeled network seconds
+    /// this exchange cost the caller (0 for rank-local messages).
+    pub fn call(&self, from_rank: usize, req: Request) -> (Response, f64) {
+        let remote = from_rank != self.target;
+        let mut seconds = 0.0;
+        if remote {
+            seconds += self.net.add_message(64); // request header
+        }
+        let (reply_tx, reply_rx) = unbounded();
+        self.tx
+            .send((req, reply_tx))
+            .expect("AM server hung up before shutdown");
+        let resp = reply_rx.recv().expect("AM server dropped a reply");
+        if remote {
+            let payload = match &resp {
+                Response::Partition(pairs) => (pairs.len() * KvPair::BYTES) as u64,
+                Response::Block(_) => 24,
+                Response::Bye => 0,
+            };
+            seconds += self.net.add_message(payload);
+        }
+        (resp, seconds)
+    }
+}
+
+/// Server side: a handler loop over incoming envelopes.
+pub struct AmServer {
+    rx: Receiver<Envelope>,
+}
+
+impl AmServer {
+    /// Create a server and a factory for client handles to it.
+    pub fn new(target: usize, net: NetStats) -> (AmClient, AmServer) {
+        let (tx, rx) = unbounded();
+        (AmClient { target, tx, net }, AmServer { rx })
+    }
+
+    /// Serve until a [`Request::Shutdown`] arrives. `handler` maps each
+    /// request to its response.
+    pub fn serve(self, mut handler: impl FnMut(Request) -> Response) {
+        while let Ok((req, reply)) = self.rx.recv() {
+            let stop = matches!(req, Request::Shutdown);
+            let resp = if stop { Response::Bye } else { handler(req) };
+            let _ = reply.send(resp);
+            if stop {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netmodel::NetModel;
+
+    #[test]
+    fn request_reply_roundtrip() {
+        let net = NetStats::new(NetModel::infiniband_56g());
+        let (client, server) = AmServer::new(1, net.clone());
+        let handle = std::thread::spawn(move || {
+            server.serve(|req| match req {
+                Request::GetBlock => Response::Block(Some((0, 0, 10))),
+                _ => Response::Bye,
+            });
+        });
+        match client.call(0, Request::GetBlock) {
+            (Response::Block(Some((b, s, e))), secs) => {
+                assert_eq!((b, s, e), (0, 0, 10));
+                assert!(secs > 0.0, "remote call must cost network time");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(client.call(0, Request::Shutdown).0, Response::Bye));
+        handle.join().unwrap();
+        // One remote request/response pair charged.
+        assert!(net.messages() >= 2);
+    }
+
+    #[test]
+    fn local_messages_are_free() {
+        let net = NetStats::new(NetModel::infiniband_56g());
+        let (client, server) = AmServer::new(0, net.clone());
+        let handle = std::thread::spawn(move || {
+            server.serve(|_| Response::Partition(vec![KvPair::new(1, 2)]));
+        });
+        // from_rank == target: no network charge.
+        let (_, secs) = client.call(0, Request::GetBlock);
+        assert_eq!(secs, 0.0);
+        assert_eq!(net.bytes(), 0);
+        client.call(0, Request::Shutdown);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn partition_payloads_are_charged_by_size() {
+        let net = NetStats::new(NetModel::infiniband_56g());
+        let (client, server) = AmServer::new(1, net.clone());
+        let handle = std::thread::spawn(move || {
+            server.serve(|_| Response::Partition(vec![KvPair::new(0, 0); 10]));
+        });
+        client.call(0, Request::GetBlock);
+        client.call(0, Request::Shutdown);
+        handle.join().unwrap();
+        // 64 B header + 200 B payload (+ shutdown header).
+        assert!(net.bytes() >= 264, "bytes {}", net.bytes());
+    }
+}

@@ -1,0 +1,801 @@
+//! The distributed pipeline driver.
+//!
+//! Four phases, mirroring Section III-E:
+//!
+//! 1. **map** — workers request input blocks from the master (rank 0) via
+//!    active messages and fingerprint them into per-block partition files
+//!    on their private disks;
+//! 2. **shuffle** — partition lengths are owned round-robin; each owner
+//!    fetches its lengths' records from every block's mapper and
+//!    concatenates them locally (cross-node fetches are charged to the
+//!    network model). Blocks are concatenated in block order, so the
+//!    shuffled stream is byte-identical to the single-node map output and
+//!    the final graph matches the single-node graph exactly;
+//! 3. **sort** — each node externally sorts its owned partitions with its
+//!    own GPU and disk (the aggregate-I/O win of scaling out);
+//! 4. **reduce** — overlap candidates are found in parallel, but edges are
+//!    applied under the out-degree bit-vector, which travels from the owner
+//!    of partition `l+1` to the owner of `l` — the serialization that
+//!    bounds scalability at `t_o·p/n + t_g·p`.
+
+use crate::am::{AmServer, Request, Response};
+use crate::netmodel::{NetModel, NetStats};
+use crate::{DnetError, Result};
+use genome::ReadSet;
+use gstream::iostats::DiskModel;
+use gstream::spill::{PartitionKind, SpillDir};
+use gstream::{ExternalSorter, HostMem, IoStats, SortConfig};
+use lasagna::config::AssemblyConfig;
+use lasagna::{map, reduce, StringGraph};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+use vgpu::{Device, GpuProfile};
+
+/// How the reduce phase is distributed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReduceStrategy {
+    /// The paper's implementation: partitions owned by length, graph
+    /// construction serialized on the out-degree bit-vector token
+    /// (Section III-E3).
+    LengthToken,
+    /// The paper's *future work*: partitions split by fingerprint range,
+    /// so every node joins every length in parallel; commits proceed in
+    /// range order per length with a bit-vector broadcast. Because ranges
+    /// are contiguous in fingerprint order, the resulting graph is
+    /// bit-identical to the single-node one.
+    FingerprintRange,
+}
+
+/// Cluster shape and per-node budgets.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of nodes (threads).
+    pub nodes: usize,
+    /// GPU model per node (the paper's cluster: one K20X each).
+    pub gpu: GpuProfile,
+    /// Usable device memory per node in bytes.
+    pub device_capacity: u64,
+    /// Host memory budget per node in bytes.
+    pub host_capacity: u64,
+    /// Private-disk model per node.
+    pub disk: DiskModel,
+    /// Interconnect model.
+    pub net: NetModel,
+    /// Reads per master-assigned input block.
+    pub block_reads: usize,
+    /// Assembly parameters.
+    pub assembly: AssemblyConfig,
+    /// Distribution strategy for the reduce phase.
+    pub reduce_strategy: ReduceStrategy,
+}
+
+/// One phase's aggregated timing.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PhaseSummary {
+    /// Phase name.
+    pub name: String,
+    /// Real wall seconds (max over nodes; chain wall for the token stage).
+    pub wall_seconds: f64,
+    /// Modeled seconds (parallel parts: max over nodes; serial parts: sum).
+    pub modeled_seconds: f64,
+}
+
+/// Cluster-level measurements.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DistributedReport {
+    /// Node count.
+    pub nodes: usize,
+    /// map / shuffle / sort / reduce summaries.
+    pub phases: Vec<PhaseSummary>,
+    /// Bytes moved across the interconnect.
+    pub network_bytes: u64,
+    /// Active messages sent.
+    pub network_messages: u64,
+    /// Directed edges in the merged graph.
+    pub edges: u64,
+    /// Overlap candidates examined.
+    pub candidates: u64,
+}
+
+impl DistributedReport {
+    /// Total modeled seconds across phases.
+    pub fn total_modeled_seconds(&self) -> f64 {
+        self.phases.iter().map(|p| p.modeled_seconds).sum()
+    }
+
+    /// Summary for a phase by name.
+    pub fn phase(&self, name: &str) -> Option<&PhaseSummary> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+}
+
+/// The merged result of a distributed assembly.
+#[derive(Debug)]
+pub struct DistributedOutput {
+    /// Merged string graph (identical to the single-node graph).
+    pub graph: StringGraph,
+    /// Cluster measurements.
+    pub report: DistributedReport,
+}
+
+/// Per-length candidate lists produced by one node's reduce stage A.
+type NodeCandidates = Vec<(u32, Vec<(u32, u32)>)>;
+
+struct Node {
+    device: Device,
+    host: HostMem,
+    io: IoStats,
+    dir: PathBuf,
+}
+
+fn node_modeled(node: &Node, dev0: &vgpu::DeviceStats, io0: &gstream::iostats::IoSnapshot) -> f64 {
+    node.device.stats().since(dev0).total_seconds() + node.io.snapshot().since(io0).total_seconds()
+}
+
+/// A configured cluster.
+pub struct Cluster {
+    config: ClusterConfig,
+}
+
+impl Cluster {
+    /// Validate and build.
+    pub fn new(config: ClusterConfig) -> Result<Self> {
+        if config.nodes == 0 {
+            return Err(DnetError::BadConfig("need at least one node".into()));
+        }
+        if config.block_reads == 0 {
+            return Err(DnetError::BadConfig("blocks must hold at least one read".into()));
+        }
+        config
+            .assembly
+            .validate()
+            .map_err(|e| DnetError::BadConfig(e.to_string()))?;
+        Ok(Cluster { config })
+    }
+
+    /// The SuperMic-like cluster of the paper's Fig. 10: `nodes` K20X nodes
+    /// with scaled budgets.
+    pub fn supermic(nodes: usize, host_capacity: u64, device_capacity: u64, assembly: AssemblyConfig) -> Result<Self> {
+        Cluster::new(ClusterConfig {
+            nodes,
+            gpu: GpuProfile::k20x(),
+            device_capacity,
+            host_capacity,
+            disk: DiskModel::cluster_scratch(),
+            net: NetModel::infiniband_56g(),
+            block_reads: 1024,
+            assembly,
+            reduce_strategy: ReduceStrategy::LengthToken,
+        })
+    }
+
+    fn owner(&self, len: u32) -> usize {
+        ((len - self.config.assembly.l_min) as usize) % self.config.nodes
+    }
+
+    /// Run the distributed pipeline.
+    pub fn assemble(&self, reads: &ReadSet, workdir: &Path) -> Result<DistributedOutput> {
+        let cfg = &self.config;
+        let n_nodes = cfg.nodes;
+        let l_min = cfg.assembly.l_min;
+        let l_max = cfg.assembly.l_max;
+        let vertices = reads.vertex_count();
+        let range_mode = cfg.reduce_strategy == ReduceStrategy::FingerprintRange && n_nodes > 1;
+        // In range mode the mappers pre-split every length by fingerprint.
+        let mut assembly = cfg.assembly;
+        if range_mode {
+            assembly.range_split = n_nodes as u32;
+        }
+        let ranges = assembly.range_split;
+        let owned_lengths = |rank: usize| -> Vec<u32> {
+            if range_mode {
+                (l_min..l_max).collect()
+            } else {
+                (l_min..l_max).filter(|&l| self.owner(l) == rank).collect()
+            }
+        };
+
+        // Per-node resources (private disks: separate IoStats per node).
+        let nodes: Vec<Node> = (0..n_nodes)
+            .map(|i| {
+                let dir = workdir.join(format!("node{i}"));
+                std::fs::create_dir_all(&dir).map_err(|e| DnetError::Node {
+                    node: i,
+                    message: e.to_string(),
+                })?;
+                Ok(Node {
+                    device: Device::with_capacity(cfg.gpu.clone(), cfg.device_capacity),
+                    host: HostMem::new(cfg.host_capacity),
+                    io: IoStats::new(cfg.disk),
+                    dir,
+                })
+            })
+            .collect::<Result<_>>()?;
+
+        // Input blocks and the master's queue.
+        let blocks: Vec<(usize, usize)> = (0..reads.len())
+            .step_by(cfg.block_reads.max(1))
+            .map(|s| (s, (s + cfg.block_reads).min(reads.len())))
+            .collect();
+        let n_blocks = blocks.len();
+        let queue: Arc<Mutex<VecDeque<usize>>> =
+            Arc::new(Mutex::new((0..n_blocks).collect()));
+        let assignment: Arc<Mutex<Vec<Option<usize>>>> =
+            Arc::new(Mutex::new(vec![None; n_blocks]));
+
+        // Active-message endpoints.
+        let net = NetStats::new(cfg.net);
+        let mut clients = Vec::with_capacity(n_nodes);
+        let mut servers = Vec::with_capacity(n_nodes);
+        for i in 0..n_nodes {
+            let (c, s) = AmServer::new(i, net.clone());
+            clients.push(c);
+            servers.push(s);
+        }
+
+        let mut phases: Vec<PhaseSummary> = Vec::new();
+        let mut merged_graph = StringGraph::new(vertices);
+        let mut total_candidates = 0u64;
+
+        std::thread::scope(|scope| -> Result<()> {
+            // --- AM service threads -------------------------------------
+            // Servers must receive Shutdown on *every* exit path, or the
+            // scope would block forever joining them; hence the inner
+            // closure + unconditional shutdown below.
+            for (rank, server) in servers.drain(..).enumerate() {
+                let queue = Arc::clone(&queue);
+                let blocks = blocks.clone();
+                let dir = nodes[rank].dir.clone();
+                let io = nodes[rank].io.clone();
+                scope.spawn(move || {
+                    server.serve(move |req| match req {
+                        Request::GetBlock => {
+                            let next = queue.lock().pop_front();
+                            Response::Block(next.map(|b| (b, blocks[b].0, blocks[b].1)))
+                        }
+                        Request::FetchPartition { block, kind, len, range, ranges } => {
+                            let bdir = dir.join(format!("block{block}"));
+                            let pairs = SpillDir::create(&bdir, io.clone())
+                                .and_then(|spill| {
+                                    gstream::RecordReader::open(
+                                        &spill.path_range(kind, len, range, ranges),
+                                        io.clone(),
+                                    )
+                                })
+                                .and_then(|mut r| r.read_all())
+                                .unwrap_or_default();
+                            Response::Partition(pairs)
+                        }
+                        Request::Shutdown => Response::Bye,
+                    });
+                });
+            }
+
+            let mut work = || -> Result<()> {
+            // --- Phase 1: map --------------------------------------------
+            // A single-node "cluster" writes its partitions directly, like
+            // the paper's single-node pipeline: Fig. 10's one-node bar has
+            // no shuffle component ("scaling out from a single node
+            // introduces the additional overhead of an all-to-all data
+            // transfer").
+            let t0 = Instant::now();
+            let mut handles = Vec::new();
+            for (rank, node) in nodes.iter().enumerate() {
+                let master = clients[0].clone();
+                let assignment = Arc::clone(&assignment);
+                let assembly = assembly;
+                handles.push(scope.spawn(move || -> std::result::Result<f64, String> {
+                    let dev0 = node.device.stats();
+                    let io0 = node.io.snapshot();
+                    if n_nodes == 1 {
+                        let spill = SpillDir::create(&node.dir, node.io.clone())
+                            .map_err(|e| e.to_string())?;
+                        map::run(&node.device, &node.host, &spill, &assembly, reads)
+                            .map_err(|e| e.to_string())?;
+                        return Ok(node_modeled(node, &dev0, &io0));
+                    }
+                    loop {
+                        let (resp, _net_s) = master.call(rank, Request::GetBlock);
+                        let Response::Block(Some((b, start, end))) = resp else {
+                            break;
+                        };
+                        let bdir = node.dir.join(format!("block{b}"));
+                        let spill =
+                            SpillDir::create(&bdir, node.io.clone()).map_err(|e| e.to_string())?;
+                        map::run_range(&node.device, &node.host, &spill, &assembly, reads, start, end)
+                            .map_err(|e| e.to_string())?;
+                        assignment.lock()[b] = Some(rank);
+                    }
+                    Ok(node_modeled(node, &dev0, &io0))
+                }));
+            }
+            let map_modeled = join_phase(handles)?;
+            phases.push(PhaseSummary {
+                name: "map".into(),
+                wall_seconds: t0.elapsed().as_secs_f64(),
+                modeled_seconds: max_f(&map_modeled),
+            });
+
+            // --- Phase 2: shuffle (no-op on one node) ---------------------
+            let t0 = Instant::now();
+            let mut handles = Vec::new();
+            for (rank, node) in nodes.iter().enumerate().skip(if n_nodes == 1 { 1 } else { 0 }) {
+                let clients = clients.clone();
+                let assignment = Arc::clone(&assignment);
+                let owned: Vec<u32> = owned_lengths(rank);
+                let my_range = if range_mode { rank as u32 } else { 0 };
+                handles.push(scope.spawn(move || -> std::result::Result<f64, String> {
+                    let io0 = node.io.snapshot();
+                    let mut net_s = 0.0;
+                    let spill =
+                        SpillDir::create(&node.dir, node.io.clone()).map_err(|e| e.to_string())?;
+                    for &len in &owned {
+                        for kind in [PartitionKind::Suffix, PartitionKind::Prefix] {
+                            let mut w = spill.writer(kind, len).map_err(|e| e.to_string())?;
+                            // Deterministic block order keeps the stream
+                            // identical to the single-node map output.
+                            for b in 0..n_blocks {
+                                let src = assignment.lock()[b]
+                                    .ok_or_else(|| format!("block {b} unassigned"))?;
+                                let (resp, secs) = clients[src].call(
+                                    rank,
+                                    Request::FetchPartition {
+                                        block: b,
+                                        kind,
+                                        len,
+                                        range: my_range,
+                                        ranges,
+                                    },
+                                );
+                                net_s += secs;
+                                let Response::Partition(pairs) = resp else {
+                                    return Err("bad shuffle response".into());
+                                };
+                                w.write_all(&pairs).map_err(|e| e.to_string())?;
+                            }
+                            w.finish().map_err(|e| e.to_string())?;
+                        }
+                    }
+                    Ok(node.io.snapshot().since(&io0).total_seconds() + net_s)
+                }));
+            }
+            let shuffle_modeled = join_phase(handles)?;
+            phases.push(PhaseSummary {
+                name: "shuffle".into(),
+                wall_seconds: t0.elapsed().as_secs_f64(),
+                modeled_seconds: max_f(&shuffle_modeled),
+            });
+
+            // --- Phase 3: sort -------------------------------------------
+            let t0 = Instant::now();
+            let mut handles = Vec::new();
+            for (rank, node) in nodes.iter().enumerate() {
+                let owned: Vec<u32> = owned_lengths(rank);
+                handles.push(scope.spawn(move || -> std::result::Result<f64, String> {
+                    let dev0 = node.device.stats();
+                    let io0 = node.io.snapshot();
+                    let spill =
+                        SpillDir::create(&node.dir, node.io.clone()).map_err(|e| e.to_string())?;
+                    let sort_config = SortConfig::from_budgets(&node.host, &node.device);
+                    let sorter =
+                        ExternalSorter::new(node.device.clone(), node.host.clone(), sort_config)
+                            .map_err(|e| e.to_string())?;
+                    for &len in &owned {
+                        for (kind, tag) in
+                            [(PartitionKind::Suffix, "sfx"), (PartitionKind::Prefix, "pfx")]
+                        {
+                            let input = spill.path(kind, len);
+                            let sorted = spill.scratch_path(&format!("{tag}{len}s"));
+                            sorter
+                                .sort_file(&spill, &input, &sorted)
+                                .map_err(|e| e.to_string())?;
+                            std::fs::rename(&sorted, &input).map_err(|e| e.to_string())?;
+                        }
+                    }
+                    Ok(node_modeled(node, &dev0, &io0))
+                }));
+            }
+            let sort_modeled = join_phase(handles)?;
+            phases.push(PhaseSummary {
+                name: "sort".into(),
+                wall_seconds: t0.elapsed().as_secs_f64(),
+                modeled_seconds: max_f(&sort_modeled),
+            });
+
+            // --- Phase 4: reduce -----------------------------------------
+            // Stage A (parallel): find candidates per owned length.
+            let t0 = Instant::now();
+            let mut handles = Vec::new();
+            for (rank, node) in nodes.iter().enumerate() {
+                let owned: Vec<u32> = owned_lengths(rank);
+                handles.push(scope.spawn(
+                    move || -> std::result::Result<(f64, NodeCandidates), String> {
+                        let dev0 = node.device.stats();
+                        let io0 = node.io.snapshot();
+                        let spill = SpillDir::create(&node.dir, node.io.clone())
+                            .map_err(|e| e.to_string())?;
+                        let window = reduce::window_budget(&node.host, &node.device);
+                        let mut per_len = Vec::new();
+                        for &len in &owned {
+                            let mut sfx =
+                                spill.reader(PartitionKind::Suffix, len).map_err(|e| e.to_string())?;
+                            let mut pfx =
+                                spill.reader(PartitionKind::Prefix, len).map_err(|e| e.to_string())?;
+                            let mut cands: Vec<(u32, u32)> = Vec::new();
+                            reduce::join_partition(&node.device, &mut sfx, &mut pfx, window, |u, v| {
+                                cands.push((u, v))
+                            })
+                            .map_err(|e| e.to_string())?;
+                            per_len.push((len, cands));
+                        }
+                        Ok((node_modeled(node, &dev0, &io0), per_len))
+                    },
+                ));
+            }
+            let mut find_modeled = Vec::new();
+            // Candidates indexed by [length][rank]: in token mode only the
+            // length's owner has a non-empty list; in range mode every rank
+            // contributes its fingerprint slice, and ranks concatenate in
+            // global fingerprint order.
+            let mut candidates: Vec<Vec<Vec<(u32, u32)>>> =
+                vec![vec![Vec::new(); n_nodes]; (l_max - l_min) as usize];
+            for (rank, h) in handles.into_iter().enumerate() {
+                let (m, per_len) = h
+                    .join()
+                    .map_err(|_| DnetError::Node { node: rank, message: "panicked".into() })?
+                    .map_err(|message| DnetError::Node { node: rank, message })?;
+                find_modeled.push(m);
+                for (len, cands) in per_len {
+                    candidates[(len - l_min) as usize][rank] = cands;
+                }
+            }
+
+            // Stage B (serialized): the bit-vector token sweeps lengths in
+            // descending order; each owner applies its candidates through
+            // the greedy guard. The per-node graphs hold disjoint edge
+            // sets; merging is a replay in the same global order.
+            let mut apply_wall = 0.0;
+            let mut token_net_s = 0.0;
+            let mut bits = StringGraph::new(vertices).out_bits();
+            let mut per_node_graphs: Vec<StringGraph> =
+                (0..n_nodes).map(|_| StringGraph::new(vertices)).collect();
+            for len in (l_min..l_max).rev() {
+                for rank in 0..n_nodes {
+                    let cands = &candidates[(len - l_min) as usize][rank];
+                    if cands.is_empty() {
+                        continue;
+                    }
+                    let g = &mut per_node_graphs[rank];
+                    let ta = Instant::now();
+                    g.merge_out_bits(&bits);
+                    for &(u, v) in cands {
+                        if g.try_add_edge(u, v, len).is_ok() {
+                            let _ = merged_graph.try_add_edge(u, v, len);
+                        }
+                        total_candidates += 1;
+                    }
+                    bits = g.out_bits();
+                    apply_wall += ta.elapsed().as_secs_f64();
+                }
+                // Bit-vector movement: a single token hop between length
+                // owners (token mode), or an intra-length relay plus final
+                // broadcast across all ranks (range mode).
+                if range_mode {
+                    token_net_s +=
+                        net.add_message(bits.len() as u64 * 8 * n_nodes as u64);
+                } else if len > l_min && self.owner(len - 1) != self.owner(len) {
+                    token_net_s += net.add_message(bits.len() as u64 * 8);
+                }
+            }
+
+            phases.push(PhaseSummary {
+                name: "reduce".into(),
+                wall_seconds: t0.elapsed().as_secs_f64(),
+                modeled_seconds: max_f(&find_modeled) + apply_wall + token_net_s,
+            });
+
+            Ok(())
+            };
+
+            let result = work();
+            // --- Shutdown AM services (unconditionally) ------------------
+            for (rank, c) in clients.iter().enumerate() {
+                let _ = c.call(rank, Request::Shutdown);
+            }
+            result
+        })?;
+
+        merged_graph
+            .check_invariants()
+            .map_err(|m| DnetError::Node { node: 0, message: m })?;
+
+        let report = DistributedReport {
+            nodes: n_nodes,
+            phases,
+            network_bytes: net.bytes(),
+            network_messages: net.messages(),
+            edges: merged_graph.edge_count(),
+            candidates: total_candidates,
+        };
+        Ok(DistributedOutput {
+            graph: merged_graph,
+            report,
+        })
+    }
+}
+
+fn max_f(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(0.0, f64::max)
+}
+
+fn join_phase(
+    handles: Vec<std::thread::ScopedJoinHandle<'_, std::result::Result<f64, String>>>,
+) -> Result<Vec<f64>> {
+    let mut out = Vec::with_capacity(handles.len());
+    for (rank, h) in handles.into_iter().enumerate() {
+        let r = h
+            .join()
+            .map_err(|_| DnetError::Node { node: rank, message: "panicked".into() })?
+            .map_err(|message| DnetError::Node { node: rank, message })?;
+        out.push(r);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genome::{GenomeSim, ShotgunSim};
+
+    fn sample(genome_len: usize, read_len: usize, coverage: f64, seed: u64) -> ReadSet {
+        let genome = GenomeSim::uniform(genome_len, seed).generate();
+        ShotgunSim::error_free(read_len, coverage, seed + 1).sample(&genome)
+    }
+
+    fn cluster(nodes: usize, l_min: u32, read_len: u32, block_reads: usize) -> Cluster {
+        Cluster::new(ClusterConfig {
+            nodes,
+            gpu: GpuProfile::k20x(),
+            device_capacity: 1 << 20,
+            host_capacity: 8 << 20,
+            disk: DiskModel::hdd(),
+            net: NetModel::infiniband_56g(),
+            block_reads,
+            assembly: AssemblyConfig::for_dataset(l_min, read_len),
+            reduce_strategy: ReduceStrategy::LengthToken,
+        })
+        .unwrap()
+    }
+
+    fn single_node_graph(reads: &ReadSet, l_min: u32) -> StringGraph {
+        let dir = tempfile::tempdir().unwrap();
+        let config = AssemblyConfig::for_dataset(l_min, reads.read_len() as u32);
+        let pipeline = lasagna::Pipeline::laptop(config, dir.path()).unwrap();
+        pipeline.assemble(reads).unwrap().graph
+    }
+
+    #[test]
+    fn distributed_graph_matches_single_node_exactly() {
+        let reads = sample(1200, 40, 8.0, 11);
+        let expect = single_node_graph(&reads, 25);
+        for nodes in [1usize, 2, 3] {
+            let dir = tempfile::tempdir().unwrap();
+            let out = cluster(nodes, 25, 40, 37)
+                .assemble(&reads, dir.path())
+                .unwrap();
+            assert_eq!(
+                out.graph.edge_count(),
+                expect.edge_count(),
+                "{nodes} nodes: edge count"
+            );
+            for v in 0..expect.vertex_count() {
+                assert_eq!(out.graph.out(v), expect.out(v), "{nodes} nodes: vertex {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn report_has_four_phases_and_network_traffic_beyond_one_node() {
+        let reads = sample(800, 40, 6.0, 13);
+        let dir = tempfile::tempdir().unwrap();
+        let out = cluster(2, 25, 40, 64).assemble(&reads, dir.path()).unwrap();
+        let names: Vec<&str> = out.report.phases.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["map", "shuffle", "sort", "reduce"]);
+        assert!(out.report.network_bytes > 0, "2 nodes must shuffle remotely");
+        assert!(out.report.network_messages > 0);
+    }
+
+    #[test]
+    fn single_node_cluster_sends_no_partition_payload_over_network() {
+        let reads = sample(600, 40, 5.0, 17);
+        let dir = tempfile::tempdir().unwrap();
+        let out = cluster(1, 25, 40, 64).assemble(&reads, dir.path()).unwrap();
+        // All fetches are rank-local; only charge would be token hops, and
+        // with one node there are none.
+        assert_eq!(out.report.network_bytes, 0);
+    }
+
+    #[test]
+    fn more_nodes_reduce_modeled_map_and_sort_time() {
+        let reads = sample(2000, 40, 10.0, 19);
+        let mut modeled = Vec::new();
+        for nodes in [1usize, 2, 4] {
+            let dir = tempfile::tempdir().unwrap();
+            let out = cluster(nodes, 25, 40, 16).assemble(&reads, dir.path()).unwrap();
+            let m = out.report.phase("map").unwrap().modeled_seconds
+                + out.report.phase("sort").unwrap().modeled_seconds;
+            modeled.push(m);
+        }
+        assert!(
+            modeled[0] > modeled[1] && modeled[1] > modeled[2],
+            "map+sort should scale down: {modeled:?}"
+        );
+    }
+
+    #[test]
+    fn bad_configs_are_rejected() {
+        let ok = AssemblyConfig::for_dataset(25, 40);
+        assert!(Cluster::new(ClusterConfig {
+            nodes: 0,
+            gpu: GpuProfile::k20x(),
+            device_capacity: 1 << 20,
+            host_capacity: 1 << 20,
+            disk: DiskModel::hdd(),
+            net: NetModel::default(),
+            block_reads: 8,
+            assembly: ok,
+            reduce_strategy: ReduceStrategy::LengthToken,
+        })
+        .is_err());
+        let mut bad = ok;
+        bad.l_min = 0;
+        assert!(Cluster::supermic(2, 1 << 20, 1 << 20, bad).is_err());
+    }
+
+    fn range_cluster(nodes: usize, l_min: u32, read_len: u32, block_reads: usize) -> Cluster {
+        Cluster::new(ClusterConfig {
+            nodes,
+            gpu: GpuProfile::k20x(),
+            device_capacity: 1 << 20,
+            host_capacity: 8 << 20,
+            disk: DiskModel::hdd(),
+            net: NetModel::infiniband_56g(),
+            block_reads,
+            assembly: AssemblyConfig::for_dataset(l_min, read_len),
+            reduce_strategy: ReduceStrategy::FingerprintRange,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn fingerprint_range_reduce_matches_single_node_exactly() {
+        let reads = sample(1200, 40, 8.0, 11);
+        let expect = single_node_graph(&reads, 25);
+        for nodes in [2usize, 3] {
+            let dir = tempfile::tempdir().unwrap();
+            let out = range_cluster(nodes, 25, 40, 37)
+                .assemble(&reads, dir.path())
+                .unwrap();
+            assert_eq!(
+                out.graph.edge_count(),
+                expect.edge_count(),
+                "{nodes} nodes (range mode): edge count"
+            );
+            for v in 0..expect.vertex_count() {
+                assert_eq!(
+                    out.graph.out(v),
+                    expect.out(v),
+                    "{nodes} nodes (range mode): vertex {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn range_reduce_finds_the_same_candidates_as_token_reduce() {
+        let reads = sample(900, 40, 7.0, 23);
+        let d1 = tempfile::tempdir().unwrap();
+        let token = cluster(3, 25, 40, 40).assemble(&reads, d1.path()).unwrap();
+        let d2 = tempfile::tempdir().unwrap();
+        let range = range_cluster(3, 25, 40, 40)
+            .assemble(&reads, d2.path())
+            .unwrap();
+        assert_eq!(token.report.candidates, range.report.candidates);
+        assert_eq!(token.report.edges, range.report.edges);
+    }
+
+    #[test]
+    fn empty_input_distributes_cleanly() {
+        let reads = ReadSet::new(40);
+        let dir = tempfile::tempdir().unwrap();
+        let out = cluster(2, 25, 40, 8).assemble(&reads, dir.path()).unwrap();
+        assert_eq!(out.report.edges, 0);
+        assert_eq!(out.report.candidates, 0);
+    }
+}
+
+#[cfg(test)]
+mod balancing_tests {
+    use super::*;
+    use genome::{GenomeSim, ShotgunSim};
+
+    #[test]
+    fn master_spreads_blocks_across_nodes() {
+        let genome = GenomeSim::uniform(2_000, 301).generate();
+        let reads = ShotgunSim::error_free(40, 10.0, 302).sample(&genome);
+        let dir = tempfile::tempdir().unwrap();
+        let cluster = Cluster::new(ClusterConfig {
+            nodes: 3,
+            gpu: GpuProfile::k20x(),
+            device_capacity: 1 << 20,
+            host_capacity: 8 << 20,
+            disk: DiskModel::cluster_scratch(),
+            net: NetModel::infiniband_56g(),
+            block_reads: 25, // 500 reads -> 20 blocks over 3 nodes
+            assembly: AssemblyConfig::for_dataset(25, 40),
+            reduce_strategy: ReduceStrategy::LengthToken,
+        })
+        .unwrap();
+        cluster.assemble(&reads, dir.path()).unwrap();
+        // Every node dir must have received at least one block: dynamic
+        // assignment starves nobody when blocks outnumber nodes.
+        for rank in 0..3 {
+            let blocks = std::fs::read_dir(dir.path().join(format!("node{rank}")))
+                .unwrap()
+                .filter_map(|e| e.ok())
+                .filter(|e| e.file_name().to_string_lossy().starts_with("block"))
+                .count();
+            assert!(blocks > 0, "node {rank} processed no blocks");
+        }
+    }
+
+    #[test]
+    fn single_block_cluster_still_works() {
+        let genome = GenomeSim::uniform(800, 311).generate();
+        let reads = ShotgunSim::error_free(40, 6.0, 312).sample(&genome);
+        let dir = tempfile::tempdir().unwrap();
+        // One giant block: only one node maps, but shuffle/sort/reduce
+        // still involve everyone.
+        let cluster = Cluster::new(ClusterConfig {
+            nodes: 3,
+            gpu: GpuProfile::k20x(),
+            device_capacity: 1 << 20,
+            host_capacity: 8 << 20,
+            disk: DiskModel::cluster_scratch(),
+            net: NetModel::infiniband_56g(),
+            block_reads: usize::MAX >> 1,
+            assembly: AssemblyConfig::for_dataset(25, 40),
+            reduce_strategy: ReduceStrategy::LengthToken,
+        })
+        .unwrap();
+        let out = cluster.assemble(&reads, dir.path()).unwrap();
+        out.graph.check_invariants().unwrap();
+        assert!(out.report.edges > 0);
+    }
+
+    #[test]
+    fn nodes_exceeding_partitions_are_tolerated() {
+        // More nodes than overlap lengths: some nodes own nothing.
+        let genome = GenomeSim::uniform(600, 321).generate();
+        let reads = ShotgunSim::error_free(40, 6.0, 322).sample(&genome);
+        let dir = tempfile::tempdir().unwrap();
+        let cluster = Cluster::new(ClusterConfig {
+            nodes: 6,
+            gpu: GpuProfile::k20x(),
+            device_capacity: 1 << 20,
+            host_capacity: 8 << 20,
+            disk: DiskModel::cluster_scratch(),
+            net: NetModel::infiniband_56g(),
+            block_reads: 16,
+            assembly: AssemblyConfig::for_dataset(37, 40), // 3 partitions, 6 nodes
+            reduce_strategy: ReduceStrategy::LengthToken,
+        })
+        .unwrap();
+        let out = cluster.assemble(&reads, dir.path()).unwrap();
+        out.graph.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,57 @@
+//! # dnet — distributed LaSAGNA (Section III-E)
+//!
+//! The paper's distributed implementation spreads the pipeline over a
+//! cluster: GASNet active messages handle remote spawning and data
+//! movement, a master load-balances input blocks, each node keeps *private*
+//! storage for intermediate data (the aggregate I/O bandwidth is the whole
+//! point), and the reduce phase serializes graph construction by passing
+//! the out-degree bit-vector from the node owning partition `l+1` to the
+//! node owning `l`.
+//!
+//! Here a "node" is a worker thread with its own virtual GPU, host-memory
+//! budget, I/O counters, and spill directory; [`am`] is the active-message
+//! layer (request/response over channels with a network bandwidth model);
+//! [`cluster`] drives the four distributed phases and merges the disjoint
+//! per-node edge sets into one string graph.
+//!
+//! The simulation preserves the paper's *structure* — dynamic block
+//! assignment, an all-to-all shuffle that only appears beyond one node, a
+//! serialized reduce chain with parallel overlap-finding (the
+//! `t_o·p/n + t_g·p` scalability bound) — which is what Fig. 10 measures.
+
+pub mod am;
+pub mod cluster;
+pub mod netmodel;
+
+pub use am::{AmClient, AmServer, Request, Response};
+pub use cluster::{Cluster, ClusterConfig, DistributedOutput, DistributedReport, PhaseSummary, ReduceStrategy};
+pub use netmodel::{NetModel, NetStats};
+
+/// Errors from distributed execution.
+#[derive(Debug)]
+pub enum DnetError {
+    /// A pipeline phase failed on some node.
+    Node {
+        /// Node rank.
+        node: usize,
+        /// Underlying error rendered to text (errors cross thread
+        /// boundaries as strings).
+        message: String,
+    },
+    /// Cluster misconfiguration.
+    BadConfig(String),
+}
+
+impl std::fmt::Display for DnetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DnetError::Node { node, message } => write!(f, "node {node}: {message}"),
+            DnetError::BadConfig(m) => write!(f, "bad cluster config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DnetError {}
+
+/// Convenience alias for fallible distributed operations.
+pub type Result<T> = std::result::Result<T, DnetError>;

@@ -1,0 +1,25 @@
+//! # ecc — k-mer-spectrum error correction
+//!
+//! The SGA pipeline the paper compares against "consists of multiple
+//! phases including error correction", which the comparison excludes for
+//! fairness (Section IV-C3). LaSAGNA itself relies on *exact* suffix-prefix
+//! matches, so on real (noisy) reads some preprocessing of this kind is
+//! what makes the approach practical. This crate supplies that missing
+//! stage: classic spectral correction in the Quake/SGA lineage.
+//!
+//! 1. **Train**: count canonical k-mers over all reads ([`KmerSpectrum`]);
+//!    k-mers with coverage ≥ a threshold are *solid* (genomic), the rest
+//!    are *weak* (almost certainly minted by a sequencing error — a single
+//!    substitution creates up to k novel k-mers).
+//! 2. **Correct**: scan each read left to right with a rolling window;
+//!    when a window goes weak, try the three substitutions of its last
+//!    base and keep one that turns the window solid and survives a
+//!    look-ahead revalidation. Reads that cannot be repaired are left
+//!    untouched (assembly simply won't overlap them) or optionally
+//!    discarded.
+
+pub mod correct;
+pub mod spectrum;
+
+pub use correct::{CorrectionStats, ErrorCorrector};
+pub use spectrum::KmerSpectrum;

@@ -1,0 +1,143 @@
+//! The k-mer coverage spectrum.
+
+use dbg::kmer::Kmer;
+use genome::ReadSet;
+use std::collections::HashMap;
+
+/// Canonical k-mer counts over a read set.
+#[derive(Debug, Clone)]
+pub struct KmerSpectrum {
+    k: usize,
+    counts: HashMap<u64, u32>,
+}
+
+impl KmerSpectrum {
+    /// Count every canonical k-mer of every read (odd `k ≤ 31`).
+    pub fn build(reads: &ReadSet, k: usize) -> Self {
+        assert!(k % 2 == 1 && k <= Kmer::MAX_K, "k must be odd and ≤ 31");
+        let mut counts = HashMap::new();
+        for read in reads.iter() {
+            for km in dbg::kmer::canonical_kmers(&read, k) {
+                *counts.entry(km.bits()).or_insert(0) += 1;
+            }
+        }
+        KmerSpectrum { k, counts }
+    }
+
+    /// k of this spectrum.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of distinct canonical k-mers.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Coverage of a k-mer (0 if absent). Accepts either orientation.
+    pub fn count(&self, kmer: Kmer) -> u32 {
+        self.counts
+            .get(&kmer.canonical().bits())
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// `true` if coverage ≥ `min_count`.
+    pub fn is_solid(&self, kmer: Kmer, min_count: u32) -> bool {
+        self.count(kmer) >= min_count
+    }
+
+    /// The coverage histogram (count → how many distinct k-mers have it),
+    /// useful for picking the solid threshold: real spectra are bimodal —
+    /// an error spike at 1-2× and a genomic mode around the coverage.
+    pub fn histogram(&self) -> std::collections::BTreeMap<u32, u64> {
+        let mut h = std::collections::BTreeMap::new();
+        for &c in self.counts.values() {
+            *h.entry(c).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// A heuristic solid threshold: the first local minimum of the
+    /// histogram after the error spike, clamped to `[2, 255]`. Falls back
+    /// to 2 for flat spectra.
+    pub fn suggest_threshold(&self) -> u32 {
+        let h = self.histogram();
+        let series: Vec<(u32, u64)> = h.into_iter().collect();
+        for w in series.windows(3) {
+            let ((_, a), (mid, b), (_, c)) = (w[0], w[1], w[2]);
+            if b <= a && b < c {
+                return mid.clamp(2, 255);
+            }
+        }
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genome::{GenomeSim, ShotgunSim};
+
+    #[test]
+    fn counts_match_direct_enumeration() {
+        let reads = ReadSet::from_reads(
+            8,
+            ["ACGTACGT", "CGTACGTA"].iter().map(|s| s.parse().unwrap()),
+        )
+        .unwrap();
+        let s = KmerSpectrum::build(&reads, 5);
+        // ACGTA appears in read0 (pos 0) and read1 (pos 1, as CGTAC? no:
+        // windows of read1: CGTAC, GTACG, TACGT, ACGTA). ACGTA canonical
+        // form counts twice.
+        let acgta = Kmer::from_codes(&[0, 1, 2, 3, 0]);
+        assert!(s.count(acgta) >= 2);
+        // Both orientations query identically.
+        assert_eq!(s.count(acgta), s.count(acgta.reverse_complement()));
+    }
+
+    #[test]
+    fn clean_high_coverage_spectrum_is_solid_everywhere() {
+        let genome = GenomeSim::uniform(800, 3).generate();
+        let reads = ShotgunSim::error_free(60, 25.0, 4).sample(&genome);
+        let s = KmerSpectrum::build(&reads, 21);
+        let weak = s
+            .histogram()
+            .into_iter()
+            .filter(|&(c, _)| c < 3)
+            .map(|(_, n)| n)
+            .sum::<u64>();
+        // Ends of the genome are thinly covered; the interior is deep.
+        assert!(weak < s.distinct() as u64 / 10, "weak {weak} of {}", s.distinct());
+    }
+
+    #[test]
+    fn errors_create_a_weak_spike() {
+        let genome = GenomeSim::uniform(800, 13).generate();
+        let noisy = ShotgunSim {
+            read_len: 60,
+            coverage: 25.0,
+            strand_flip_prob: 0.5,
+            error_rate: 0.01,
+            seed: 14,
+        }
+        .sample(&genome);
+        let s = KmerSpectrum::build(&noisy, 21);
+        let h = s.histogram();
+        let singletons = h.get(&1).copied().unwrap_or(0);
+        assert!(
+            singletons as usize > s.distinct() / 4,
+            "error k-mers must dominate the low end: {singletons} of {}",
+            s.distinct()
+        );
+        // And the suggested threshold separates the spike from the mode.
+        let t = s.suggest_threshold();
+        assert!(t >= 2, "threshold {t}");
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be odd")]
+    fn even_k_rejected() {
+        KmerSpectrum::build(&ReadSet::new(30), 20);
+    }
+}

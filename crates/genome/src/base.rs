@@ -1,0 +1,106 @@
+//! The DNA alphabet.
+
+/// A nucleotide with its 2-bit code.
+///
+/// The code assignment (A=0, C=1, G=2, T=3) makes complementation a single
+/// XOR with 3: `A(00) ↔ T(11)` and `C(01) ↔ G(10)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Base {
+    /// Adenine.
+    A = 0,
+    /// Cytosine.
+    C = 1,
+    /// Guanine.
+    G = 2,
+    /// Thymine.
+    T = 3,
+}
+
+impl Base {
+    /// All four bases in code order.
+    pub const ALL: [Base; 4] = [Base::A, Base::C, Base::G, Base::T];
+
+    /// 2-bit code of this base.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Base for a 2-bit code.
+    ///
+    /// # Panics
+    /// Panics if `code > 3`.
+    pub fn from_code(code: u8) -> Base {
+        match code {
+            0 => Base::A,
+            1 => Base::C,
+            2 => Base::G,
+            3 => Base::T,
+            other => panic!("invalid 2-bit base code {other}"),
+        }
+    }
+
+    /// Watson-Crick complement.
+    pub fn complement(self) -> Base {
+        Base::from_code(self.code() ^ 3)
+    }
+
+    /// Parse an ASCII nucleotide (case-insensitive). `None` for anything
+    /// else, including the ambiguity code `N`.
+    pub fn from_ascii(c: u8) -> Option<Base> {
+        match c {
+            b'A' | b'a' => Some(Base::A),
+            b'C' | b'c' => Some(Base::C),
+            b'G' | b'g' => Some(Base::G),
+            b'T' | b't' => Some(Base::T),
+            _ => None,
+        }
+    }
+
+    /// Upper-case ASCII letter for this base.
+    pub fn to_ascii(self) -> u8 {
+        match self {
+            Base::A => b'A',
+            Base::C => b'C',
+            Base::G => b'G',
+            Base::T => b'T',
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip() {
+        for b in Base::ALL {
+            assert_eq!(Base::from_code(b.code()), b);
+        }
+    }
+
+    #[test]
+    fn complement_is_an_involution_pairing_at_and_cg() {
+        assert_eq!(Base::A.complement(), Base::T);
+        assert_eq!(Base::C.complement(), Base::G);
+        for b in Base::ALL {
+            assert_eq!(b.complement().complement(), b);
+        }
+    }
+
+    #[test]
+    fn ascii_roundtrip_and_case_insensitivity() {
+        for b in Base::ALL {
+            assert_eq!(Base::from_ascii(b.to_ascii()), Some(b));
+            assert_eq!(Base::from_ascii(b.to_ascii().to_ascii_lowercase()), Some(b));
+        }
+        assert_eq!(Base::from_ascii(b'N'), None);
+        assert_eq!(Base::from_ascii(b'x'), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid 2-bit base code")]
+    fn from_code_rejects_out_of_range() {
+        Base::from_code(4);
+    }
+}

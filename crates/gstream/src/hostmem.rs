@@ -1,0 +1,189 @@
+//! Host-memory budget accounting.
+//!
+//! The paper's host block-size m_h is bounded by the machine's RAM (128 GB
+//! on QueenBee II, 64 GB on SuperMic), and Tables IV/V report peak host
+//! memory per phase. This tracker plays the role of the host allocator at
+//! the scaled-down sizes: reservations beyond the budget fail, and the peak
+//! watermark feeds the Table IV/V reproduction.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Error returned when a reservation would exceed the host budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostMemError {
+    /// Bytes requested.
+    pub requested: u64,
+    /// Bytes already reserved.
+    pub in_use: u64,
+    /// Budget in bytes.
+    pub capacity: u64,
+}
+
+impl fmt::Display for HostMemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "host memory budget exceeded: requested {} B with {} B in use of {} B",
+            self.requested, self.in_use, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for HostMemError {}
+
+/// A shared host-memory budget. Clones share the same accounting.
+#[derive(Debug, Clone)]
+pub struct HostMem {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    capacity: u64,
+    used: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl HostMem {
+    /// A budget of `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        HostMem {
+            inner: Arc::new(Inner {
+                capacity,
+                used: AtomicU64::new(0),
+                peak: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The configured budget.
+    pub fn capacity(&self) -> u64 {
+        self.inner.capacity
+    }
+
+    /// Bytes currently reserved.
+    pub fn used(&self) -> u64 {
+        self.inner.used.load(Ordering::Relaxed)
+    }
+
+    /// High-watermark of reserved bytes.
+    pub fn peak(&self) -> u64 {
+        self.inner.peak.load(Ordering::Relaxed)
+    }
+
+    /// Rebase the peak to the current usage (between pipeline phases).
+    pub fn reset_peak(&self) {
+        self.inner
+            .peak
+            .store(self.used(), Ordering::Relaxed);
+    }
+
+    /// Reserve `bytes`, returning an RAII guard that releases on drop.
+    pub fn reserve(&self, bytes: u64) -> Result<HostAlloc, HostMemError> {
+        let mut current = self.inner.used.load(Ordering::Relaxed);
+        loop {
+            let next = current + bytes;
+            if next > self.inner.capacity {
+                return Err(HostMemError {
+                    requested: bytes,
+                    in_use: current,
+                    capacity: self.inner.capacity,
+                });
+            }
+            match self.inner.used.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.inner.peak.fetch_max(next, Ordering::Relaxed);
+                    return Ok(HostAlloc {
+                        bytes,
+                        owner: Arc::clone(&self.inner),
+                    });
+                }
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Number of `elem_bytes`-sized records that fit in the *whole* budget.
+    pub fn elements_that_fit(&self, elem_bytes: usize) -> usize {
+        (self.inner.capacity as usize) / elem_bytes.max(1)
+    }
+}
+
+/// RAII reservation against a [`HostMem`] budget.
+#[derive(Debug)]
+pub struct HostAlloc {
+    bytes: u64,
+    owner: Arc<Inner>,
+}
+
+impl HostAlloc {
+    /// Size of this reservation.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Drop for HostAlloc {
+    fn drop(&mut self) {
+        self.owner.used.fetch_sub(self.bytes, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_and_release_track_usage() {
+        let mem = HostMem::new(100);
+        let a = mem.reserve(60).unwrap();
+        assert_eq!(mem.used(), 60);
+        drop(a);
+        assert_eq!(mem.used(), 0);
+        assert_eq!(mem.peak(), 60);
+    }
+
+    #[test]
+    fn over_budget_reservation_fails_with_context() {
+        let mem = HostMem::new(100);
+        let _a = mem.reserve(80).unwrap();
+        let err = mem.reserve(30).unwrap_err();
+        assert_eq!(err.requested, 30);
+        assert_eq!(err.in_use, 80);
+        assert_eq!(err.capacity, 100);
+    }
+
+    #[test]
+    fn peak_tracks_concurrent_high_water() {
+        let mem = HostMem::new(1000);
+        let a = mem.reserve(400).unwrap();
+        let b = mem.reserve(500).unwrap();
+        drop(a);
+        drop(b);
+        assert_eq!(mem.peak(), 900);
+        mem.reset_peak();
+        assert_eq!(mem.peak(), 0);
+    }
+
+    #[test]
+    fn elements_that_fit_divides_capacity() {
+        let mem = HostMem::new(100);
+        assert_eq!(mem.elements_that_fit(20), 5);
+        assert_eq!(mem.elements_that_fit(0), 100); // degenerate guard
+    }
+
+    #[test]
+    fn clones_share_budget() {
+        let mem = HostMem::new(10);
+        let clone = mem.clone();
+        let _a = clone.reserve(10).unwrap();
+        assert!(mem.reserve(1).is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! # gstream — two-level streaming I/O substrate
+//!
+//! LaSAGNA's central memory-management idea (Section III, Fig. 3) is a
+//! conceptual split of the memory hierarchy into a sequentially-scanned
+//! **read-only memory** (input files), a sequentially-appended **write-only
+//! memory** (output files), and a **working memory** of slow random-access
+//! host RAM plus a small fast device RAM. Data moves disk → host in large
+//! blocks and host → device in small chunks; this crate implements that
+//! machinery:
+//!
+//! * [`record`] — fixed-width binary `(fingerprint, id)` records;
+//! * [`reader`]/[`writer`] — buffered sequential record streams whose bytes
+//!   are tallied in shared [`IoStats`] and charged to a disk bandwidth model;
+//! * [`hostmem`] — host-memory budget accounting (the paper's m_h);
+//! * [`spill`] — per-overlap-length partition files (the map phase output);
+//! * [`merge`] — the paper's **Algorithm 1**: external merging of two sorted
+//!   streams with window equalization by upper-bound and device merges;
+//! * [`extsort`] — the **hybrid-memory external sort** (Section III-B):
+//!   host-sized runs built from device-sorted chunks, then log-many external
+//!   merge passes. Disk passes = `1 + ceil(log2(n / m_h))`.
+
+pub mod extsort;
+pub mod hostmem;
+pub mod iostats;
+pub mod merge;
+pub mod reader;
+pub mod record;
+pub mod spill;
+pub mod writer;
+
+pub use extsort::{ExternalSorter, SortConfig, SortReport};
+pub use hostmem::{HostAlloc, HostMem, HostMemError};
+pub use iostats::{DiskModel, IoStats};
+pub use merge::{kway_merge, windowed_merge, PairSink, PairSource, SliceSource, VecSink};
+pub use reader::RecordReader;
+pub use record::KvPair;
+pub use spill::{range_of, PartitionKind, PartitionSet, SpillDir};
+pub use writer::RecordWriter;
+
+/// Errors from streaming operations.
+#[derive(Debug)]
+pub enum StreamError {
+    /// Underlying file-system error.
+    Io(std::io::Error),
+    /// A file ended in the middle of a record, or contained garbage.
+    Corrupt(String),
+    /// Device-side failure (out of device memory, bad launch).
+    Device(vgpu::DeviceError),
+    /// Host-memory budget exceeded.
+    HostMem(hostmem::HostMemError),
+    /// Configuration that cannot work (e.g. zero-sized windows).
+    BadConfig(String),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Io(e) => write!(f, "I/O error: {e}"),
+            StreamError::Corrupt(m) => write!(f, "corrupt stream: {m}"),
+            StreamError::Device(e) => write!(f, "device error: {e}"),
+            StreamError::HostMem(e) => write!(f, "host memory: {e}"),
+            StreamError::BadConfig(m) => write!(f, "bad configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<std::io::Error> for StreamError {
+    fn from(e: std::io::Error) -> Self {
+        StreamError::Io(e)
+    }
+}
+
+impl From<vgpu::DeviceError> for StreamError {
+    fn from(e: vgpu::DeviceError) -> Self {
+        StreamError::Device(e)
+    }
+}
+
+impl From<hostmem::HostMemError> for StreamError {
+    fn from(e: hostmem::HostMemError) -> Self {
+        StreamError::HostMem(e)
+    }
+}
+
+/// Convenience alias for fallible streaming operations.
+pub type Result<T> = std::result::Result<T, StreamError>;

@@ -1,0 +1,134 @@
+//! Sequential record readers (the "read-only memory" of Fig. 3).
+
+use crate::iostats::IoStats;
+use crate::record::KvPair;
+use crate::{Result, StreamError};
+use std::fs::File;
+use std::io::{BufReader, Read};
+use std::path::Path;
+
+/// Buffered sequential reader of [`KvPair`] records.
+///
+/// Only forward chunked reads are offered — the paper's semi-streaming model
+/// forbids random access to the read-only memory, and keeping the API this
+/// narrow makes that structural property hold by construction.
+pub struct RecordReader {
+    inner: BufReader<File>,
+    io: IoStats,
+    remaining: u64,
+}
+
+impl RecordReader {
+    /// Open `path` and prepare to stream all of its records.
+    ///
+    /// Fails with [`StreamError::Corrupt`] if the file size is not a
+    /// multiple of the record size.
+    pub fn open(path: &Path, io: IoStats) -> Result<Self> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        if len % KvPair::BYTES as u64 != 0 {
+            return Err(StreamError::Corrupt(format!(
+                "{} has {len} bytes, not a multiple of the {}-byte record",
+                path.display(),
+                KvPair::BYTES
+            )));
+        }
+        Ok(RecordReader {
+            inner: BufReader::with_capacity(1 << 16, file),
+            io,
+            remaining: len / KvPair::BYTES as u64,
+        })
+    }
+
+    /// Records not yet consumed.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Read up to `max` records; returns fewer only at end of stream.
+    pub fn next_chunk(&mut self, max: usize) -> Result<Vec<KvPair>> {
+        let want = (self.remaining.min(max as u64)) as usize;
+        let mut out = Vec::with_capacity(want);
+        let mut frame = [0u8; KvPair::BYTES];
+        for _ in 0..want {
+            self.inner.read_exact(&mut frame).map_err(|e| {
+                StreamError::Corrupt(format!("short read mid-record: {e}"))
+            })?;
+            out.push(KvPair::decode(&frame));
+        }
+        self.remaining -= want as u64;
+        self.io.add_read((want * KvPair::BYTES) as u64);
+        Ok(out)
+    }
+
+    /// Drain the rest of the stream.
+    pub fn read_all(&mut self) -> Result<Vec<KvPair>> {
+        self.next_chunk(self.remaining as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::RecordWriter;
+    use std::io::Write;
+
+    fn write_pairs(dir: &Path, name: &str, pairs: &[KvPair]) -> std::path::PathBuf {
+        let path = dir.join(name);
+        let mut w = RecordWriter::create(&path, IoStats::default()).unwrap();
+        w.write_all(pairs).unwrap();
+        w.finish().unwrap();
+        path
+    }
+
+    #[test]
+    fn reads_back_written_records_in_chunks() {
+        let dir = tempfile::tempdir().unwrap();
+        let pairs: Vec<KvPair> = (0..10).map(|i| KvPair::new(i as u128, i)).collect();
+        let path = write_pairs(dir.path(), "a.bin", &pairs);
+
+        let io = IoStats::default();
+        let mut r = RecordReader::open(&path, io.clone()).unwrap();
+        assert_eq!(r.remaining(), 10);
+        let first = r.next_chunk(3).unwrap();
+        assert_eq!(first, pairs[..3]);
+        assert_eq!(r.remaining(), 7);
+        let rest = r.read_all().unwrap();
+        assert_eq!(rest, pairs[3..]);
+        assert_eq!(r.remaining(), 0);
+        assert!(r.next_chunk(5).unwrap().is_empty());
+        assert_eq!(io.snapshot().bytes_read, 10 * KvPair::BYTES as u64);
+    }
+
+    #[test]
+    fn rejects_files_with_partial_records() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("bad.bin");
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&[0u8; KvPair::BYTES + 3])
+            .unwrap();
+        assert!(matches!(
+            RecordReader::open(&path, IoStats::default()),
+            Err(StreamError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let dir = tempfile::tempdir().unwrap();
+        assert!(matches!(
+            RecordReader::open(&dir.path().join("nope.bin"), IoStats::default()),
+            Err(StreamError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn empty_file_reads_empty() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = write_pairs(dir.path(), "empty.bin", &[]);
+        let mut r = RecordReader::open(&path, IoStats::default()).unwrap();
+        assert_eq!(r.remaining(), 0);
+        assert!(r.read_all().unwrap().is_empty());
+    }
+}

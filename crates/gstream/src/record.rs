@@ -1,0 +1,113 @@
+//! Fixed-width binary records.
+//!
+//! The sort and reduce phases operate on pairs of a 128-bit fingerprint key
+//! (two 64-bit Rabin-Karp hashes, Section IV-B) and a 32-bit vertex id. The
+//! on-disk layout is 20 bytes little-endian, no framing — sequential streams
+//! of a known record count, which is what lets every phase run with purely
+//! sequential I/O.
+
+/// A `(fingerprint, vertex-id)` pair. The paper's "key-value pair": the key
+/// is the 128-bit fingerprint of an l-length suffix or prefix, the value the
+/// id of the read (vertex) it came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct KvPair {
+    /// 128-bit fingerprint.
+    pub key: u128,
+    /// Vertex id (`2 * read_id + strand`).
+    pub val: u32,
+}
+
+impl KvPair {
+    /// Encoded size in bytes.
+    pub const BYTES: usize = 20;
+
+    /// Construct a pair.
+    pub fn new(key: u128, val: u32) -> Self {
+        KvPair { key, val }
+    }
+
+    /// Serialize into a 20-byte little-endian frame.
+    pub fn encode(&self, out: &mut [u8]) {
+        out[..16].copy_from_slice(&self.key.to_le_bytes());
+        out[16..20].copy_from_slice(&self.val.to_le_bytes());
+    }
+
+    /// Deserialize from a 20-byte little-endian frame.
+    pub fn decode(buf: &[u8]) -> Self {
+        let key = u128::from_le_bytes(buf[..16].try_into().expect("16-byte key"));
+        let val = u32::from_le_bytes(buf[16..20].try_into().expect("4-byte value"));
+        KvPair { key, val }
+    }
+}
+
+/// Split pairs into the structure-of-arrays layout device kernels take.
+pub fn split_pairs(pairs: &[KvPair]) -> (Vec<u128>, Vec<u32>) {
+    let mut keys = Vec::with_capacity(pairs.len());
+    let mut vals = Vec::with_capacity(pairs.len());
+    for p in pairs {
+        keys.push(p.key);
+        vals.push(p.val);
+    }
+    (keys, vals)
+}
+
+/// Zip structure-of-arrays output back into pairs.
+pub fn zip_pairs(keys: Vec<u128>, vals: Vec<u32>) -> Vec<KvPair> {
+    debug_assert_eq!(keys.len(), vals.len());
+    keys.into_iter()
+        .zip(vals)
+        .map(|(key, val)| KvPair { key, val })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn encode_decode_roundtrip_basics() {
+        let p = KvPair::new(0x0123_4567_89AB_CDEF_0011_2233_4455_6677, 42);
+        let mut buf = [0u8; KvPair::BYTES];
+        p.encode(&mut buf);
+        assert_eq!(KvPair::decode(&buf), p);
+    }
+
+    #[test]
+    fn encoding_is_little_endian() {
+        let p = KvPair::new(1, 2);
+        let mut buf = [0u8; KvPair::BYTES];
+        p.encode(&mut buf);
+        assert_eq!(buf[0], 1);
+        assert_eq!(buf[16], 2);
+        assert!(buf[1..16].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn ordering_is_key_major() {
+        let a = KvPair::new(1, 100);
+        let b = KvPair::new(2, 0);
+        assert!(a < b);
+        // Ties broken by value.
+        assert!(KvPair::new(1, 0) < KvPair::new(1, 1));
+    }
+
+    #[test]
+    fn split_and_zip_are_inverses() {
+        let pairs = vec![KvPair::new(9, 1), KvPair::new(3, 2)];
+        let (k, v) = split_pairs(&pairs);
+        assert_eq!(k, vec![9, 3]);
+        assert_eq!(v, vec![1, 2]);
+        assert_eq!(zip_pairs(k, v), pairs);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_any_pair(key in any::<u128>(), val in any::<u32>()) {
+            let p = KvPair::new(key, val);
+            let mut buf = [0u8; KvPair::BYTES];
+            p.encode(&mut buf);
+            prop_assert_eq!(KvPair::decode(&buf), p);
+        }
+    }
+}

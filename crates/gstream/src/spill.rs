@@ -1,0 +1,342 @@
+//! Per-length partition spill files.
+//!
+//! The map phase "converts a list of (j, f, r) tuples to l_max lists of
+//! (f, r) tuples" (Section III-A): one suffix file and one prefix file per
+//! overlap length l ∈ [l_min, l_max). Partitions shorter than l_min are
+//! discarded and the l_max partition is dropped to avoid self-loops — both
+//! rules are enforced here so no caller can accidentally break them.
+
+use crate::iostats::IoStats;
+use crate::reader::RecordReader;
+use crate::record::KvPair;
+use crate::writer::RecordWriter;
+use crate::{Result, StreamError};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Which side of the overlap a partition holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PartitionKind {
+    /// l-length suffix fingerprints.
+    Suffix,
+    /// l-length prefix fingerprints.
+    Prefix,
+}
+
+impl PartitionKind {
+    fn tag(self) -> &'static str {
+        match self {
+            PartitionKind::Suffix => "sfx",
+            PartitionKind::Prefix => "pfx",
+        }
+    }
+}
+
+/// A directory of per-length suffix/prefix partition files.
+#[derive(Debug, Clone)]
+pub struct SpillDir {
+    root: PathBuf,
+    io: IoStats,
+}
+
+impl SpillDir {
+    /// Create (or reuse) `root` as a spill directory.
+    pub fn create(root: &Path, io: IoStats) -> Result<Self> {
+        std::fs::create_dir_all(root)?;
+        Ok(SpillDir {
+            root: root.to_path_buf(),
+            io,
+        })
+    }
+
+    /// The directory root.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Shared I/O statistics.
+    pub fn io(&self) -> &IoStats {
+        &self.io
+    }
+
+    /// Path of the partition file for `kind` at overlap length `len`.
+    pub fn path(&self, kind: PartitionKind, len: u32) -> PathBuf {
+        self.root.join(format!("{}_{:05}.kv", kind.tag(), len))
+    }
+
+    /// Path of the range-split partition file for `kind` at length `len`,
+    /// fingerprint range `range` (the paper's future-work partitioning
+    /// "based on fingerprints rather than on lengths"). Range 0 of a
+    /// 1-range split aliases the plain per-length path.
+    pub fn path_range(&self, kind: PartitionKind, len: u32, range: u32, ranges: u32) -> PathBuf {
+        if ranges <= 1 {
+            self.path(kind, len)
+        } else {
+            self.root
+                .join(format!("{}_{:05}_r{:03}.kv", kind.tag(), len, range))
+        }
+    }
+
+    /// Open a range-split partition for reading.
+    pub fn reader_range(
+        &self,
+        kind: PartitionKind,
+        len: u32,
+        range: u32,
+        ranges: u32,
+    ) -> Result<RecordReader> {
+        RecordReader::open(&self.path_range(kind, len, range, ranges), self.io.clone())
+    }
+
+    /// Path for a scratch file (sort runs, merged outputs).
+    pub fn scratch_path(&self, label: &str) -> PathBuf {
+        self.root.join(format!("scratch_{label}.kv"))
+    }
+
+    /// Open a partition for reading.
+    pub fn reader(&self, kind: PartitionKind, len: u32) -> Result<RecordReader> {
+        RecordReader::open(&self.path(kind, len), self.io.clone())
+    }
+
+    /// Create a partition for writing (truncates).
+    pub fn writer(&self, kind: PartitionKind, len: u32) -> Result<RecordWriter> {
+        RecordWriter::create(&self.path(kind, len), self.io.clone())
+    }
+
+    /// Lengths for which a partition file of `kind` exists, ascending.
+    pub fn lengths(&self, kind: PartitionKind) -> Result<Vec<u32>> {
+        let mut out = Vec::new();
+        let prefix = format!("{}_", kind.tag());
+        for entry in std::fs::read_dir(&self.root)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(rest) = name.strip_prefix(&prefix) {
+                if let Some(num) = rest.strip_suffix(".kv") {
+                    if let Ok(len) = num.parse::<u32>() {
+                        out.push(len);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Delete one partition file, ignoring "already gone".
+    pub fn remove(&self, kind: PartitionKind, len: u32) -> Result<()> {
+        match std::fs::remove_file(self.path(kind, len)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+/// Map a fingerprint to its range index out of `ranges` equal slices of
+/// the key space (by the top 32 bits, so ranges are contiguous in sort
+/// order — concatenating ranges 0..n reproduces the global order).
+pub fn range_of(key: u128, ranges: u32) -> u32 {
+    if ranges <= 1 {
+        return 0;
+    }
+    let top = (key >> 96) as u64; // top 32 bits as u64 for the multiply
+    ((top * ranges as u64) >> 32) as u32
+}
+
+/// Open writers for every partition in `[l_min, l_max)` of both kinds —
+/// the sink of the map phase. Tuples outside the range are rejected per the
+/// paper's discard rules. With `ranges > 1` each length is further split
+/// by fingerprint range (the paper's future-work partitioning).
+pub struct PartitionSet {
+    l_min: u32,
+    l_max: u32,
+    ranges: u32,
+    suffix: Vec<RecordWriter>,
+    prefix: Vec<RecordWriter>,
+}
+
+impl PartitionSet {
+    /// Create all `2 * (l_max - l_min)` partition files.
+    pub fn create(spill: &SpillDir, l_min: u32, l_max: u32) -> Result<Self> {
+        Self::create_split(spill, l_min, l_max, 1)
+    }
+
+    /// Create `2 * (l_max - l_min) * ranges` partition files split by
+    /// fingerprint range.
+    pub fn create_split(spill: &SpillDir, l_min: u32, l_max: u32, ranges: u32) -> Result<Self> {
+        if l_min == 0 || l_min >= l_max {
+            return Err(StreamError::BadConfig(format!(
+                "partition range [{l_min}, {l_max}) is empty or starts at zero"
+            )));
+        }
+        if ranges == 0 {
+            return Err(StreamError::BadConfig("need at least one range".into()));
+        }
+        let slots = ((l_max - l_min) * ranges) as usize;
+        let mut suffix = Vec::with_capacity(slots);
+        let mut prefix = Vec::with_capacity(slots);
+        for len in l_min..l_max {
+            for r in 0..ranges {
+                suffix.push(RecordWriter::create(
+                    &spill.path_range(PartitionKind::Suffix, len, r, ranges),
+                    spill.io().clone(),
+                )?);
+                prefix.push(RecordWriter::create(
+                    &spill.path_range(PartitionKind::Prefix, len, r, ranges),
+                    spill.io().clone(),
+                )?);
+            }
+        }
+        Ok(PartitionSet {
+            l_min,
+            l_max,
+            ranges,
+            suffix,
+            prefix,
+        })
+    }
+
+    /// Append a fingerprint tuple for an overlap of length `len`; the
+    /// fingerprint range is derived from the key. Lengths outside
+    /// `[l_min, l_max)` are silently discarded — the paper drops sub-l_min
+    /// partitions and the full-length (self-loop) partition.
+    pub fn write(&mut self, kind: PartitionKind, len: u32, pair: KvPair) -> Result<()> {
+        if len < self.l_min || len >= self.l_max {
+            return Ok(());
+        }
+        let idx =
+            ((len - self.l_min) * self.ranges + range_of(pair.key, self.ranges)) as usize;
+        match kind {
+            PartitionKind::Suffix => self.suffix[idx].write(pair),
+            PartitionKind::Prefix => self.prefix[idx].write(pair),
+        }
+    }
+
+    /// Flush all partitions; returns per-length record counts
+    /// (suffix count, prefix count) summed over ranges.
+    pub fn finish(self) -> Result<BTreeMap<u32, (u64, u64)>> {
+        let mut counts: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
+        for (i, (s, p)) in self.suffix.into_iter().zip(self.prefix).enumerate() {
+            let len = self.l_min + i as u32 / self.ranges;
+            let entry = counts.entry(len).or_insert((0, 0));
+            entry.0 += s.finish()?;
+            entry.1 += p.finish()?;
+        }
+        Ok(counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spill() -> (tempfile::TempDir, SpillDir) {
+        let dir = tempfile::tempdir().unwrap();
+        let spill = SpillDir::create(dir.path(), IoStats::default()).unwrap();
+        (dir, spill)
+    }
+
+    #[test]
+    fn partition_paths_are_distinct_per_kind_and_len() {
+        let (_g, s) = spill();
+        let a = s.path(PartitionKind::Suffix, 63);
+        let b = s.path(PartitionKind::Prefix, 63);
+        let c = s.path(PartitionKind::Suffix, 64);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn partition_set_routes_by_length_and_kind() {
+        let (_g, s) = spill();
+        let mut set = PartitionSet::create(&s, 3, 6).unwrap();
+        set.write(PartitionKind::Suffix, 3, KvPair::new(30, 0)).unwrap();
+        set.write(PartitionKind::Prefix, 3, KvPair::new(31, 1)).unwrap();
+        set.write(PartitionKind::Suffix, 5, KvPair::new(50, 2)).unwrap();
+        // Out-of-range lengths are dropped, matching the paper's rules.
+        set.write(PartitionKind::Suffix, 2, KvPair::new(2, 3)).unwrap();
+        set.write(PartitionKind::Suffix, 6, KvPair::new(6, 4)).unwrap();
+        let counts = set.finish().unwrap();
+        assert_eq!(counts[&3], (1, 1));
+        assert_eq!(counts[&4], (0, 0));
+        assert_eq!(counts[&5], (1, 0));
+
+        let mut r = s.reader(PartitionKind::Suffix, 5).unwrap();
+        assert_eq!(r.read_all().unwrap(), vec![KvPair::new(50, 2)]);
+    }
+
+    #[test]
+    fn lengths_lists_existing_partitions_sorted() {
+        let (_g, s) = spill();
+        for len in [9u32, 3, 7] {
+            s.writer(PartitionKind::Suffix, len).unwrap().finish().unwrap();
+        }
+        s.writer(PartitionKind::Prefix, 4).unwrap().finish().unwrap();
+        assert_eq!(s.lengths(PartitionKind::Suffix).unwrap(), vec![3, 7, 9]);
+        assert_eq!(s.lengths(PartitionKind::Prefix).unwrap(), vec![4]);
+    }
+
+    #[test]
+    fn remove_is_idempotent() {
+        let (_g, s) = spill();
+        s.writer(PartitionKind::Suffix, 5).unwrap().finish().unwrap();
+        s.remove(PartitionKind::Suffix, 5).unwrap();
+        s.remove(PartitionKind::Suffix, 5).unwrap();
+        assert!(s.lengths(PartitionKind::Suffix).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_partition_ranges_are_rejected() {
+        let (_g, s) = spill();
+        assert!(PartitionSet::create(&s, 5, 5).is_err());
+        assert!(PartitionSet::create(&s, 0, 3).is_err());
+        assert!(PartitionSet::create_split(&s, 3, 5, 0).is_err());
+    }
+
+    #[test]
+    fn range_of_slices_the_key_space_contiguously() {
+        assert_eq!(range_of(0, 4), 0);
+        assert_eq!(range_of(u128::MAX, 4), 3);
+        assert_eq!(range_of(1u128 << 126, 4), 1);
+        assert_eq!(range_of(3u128 << 126, 4), 3);
+        // Single range: everything is range 0.
+        assert_eq!(range_of(u128::MAX, 1), 0);
+        // Monotone in the key.
+        let keys = [0u128, 1 << 100, 1 << 120, u128::MAX / 2, u128::MAX];
+        let rs: Vec<u32> = keys.iter().map(|&k| range_of(k, 7)).collect();
+        assert!(rs.windows(2).all(|w| w[0] <= w[1]), "{rs:?}");
+    }
+
+    #[test]
+    fn split_partitions_route_by_key_range() {
+        let (_g, s) = spill();
+        let mut set = PartitionSet::create_split(&s, 4, 6, 2).unwrap();
+        let low = KvPair::new(1, 10);
+        let high = KvPair::new(u128::MAX - 1, 20);
+        set.write(PartitionKind::Suffix, 4, low).unwrap();
+        set.write(PartitionKind::Suffix, 4, high).unwrap();
+        let counts = set.finish().unwrap();
+        assert_eq!(counts[&4], (2, 0));
+        let r0 = s
+            .reader_range(PartitionKind::Suffix, 4, 0, 2)
+            .unwrap()
+            .read_all()
+            .unwrap();
+        let r1 = s
+            .reader_range(PartitionKind::Suffix, 4, 1, 2)
+            .unwrap()
+            .read_all()
+            .unwrap();
+        assert_eq!(r0, vec![low]);
+        assert_eq!(r1, vec![high]);
+    }
+
+    #[test]
+    fn single_range_split_aliases_plain_paths() {
+        let (_g, s) = spill();
+        assert_eq!(
+            s.path_range(PartitionKind::Prefix, 9, 0, 1),
+            s.path(PartitionKind::Prefix, 9)
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Sequential record writers (the "write-only memory" of Fig. 3).
+
+use crate::iostats::IoStats;
+use crate::record::KvPair;
+use crate::Result;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// Buffered append-only writer of [`KvPair`] records.
+pub struct RecordWriter {
+    inner: BufWriter<File>,
+    io: IoStats,
+    written: u64,
+}
+
+impl RecordWriter {
+    /// Create (truncate) `path` for writing.
+    pub fn create(path: &Path, io: IoStats) -> Result<Self> {
+        Ok(RecordWriter {
+            inner: BufWriter::with_capacity(1 << 16, File::create(path)?),
+            io,
+            written: 0,
+        })
+    }
+
+    /// Append one record.
+    pub fn write(&mut self, pair: KvPair) -> Result<()> {
+        let mut frame = [0u8; KvPair::BYTES];
+        pair.encode(&mut frame);
+        self.inner.write_all(&frame)?;
+        self.written += 1;
+        self.io.add_write(KvPair::BYTES as u64);
+        Ok(())
+    }
+
+    /// Append a batch of records.
+    pub fn write_all(&mut self, pairs: &[KvPair]) -> Result<()> {
+        for p in pairs {
+            let mut frame = [0u8; KvPair::BYTES];
+            p.encode(&mut frame);
+            self.inner.write_all(&frame)?;
+        }
+        self.written += pairs.len() as u64;
+        self.io.add_write((pairs.len() * KvPair::BYTES) as u64);
+        Ok(())
+    }
+
+    /// Records written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flush buffers and surface any deferred error.
+    pub fn finish(mut self) -> Result<u64> {
+        self.inner.flush()?;
+        Ok(self.written)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::RecordReader;
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("w.bin");
+        let io = IoStats::default();
+        let mut w = RecordWriter::create(&path, io.clone()).unwrap();
+        w.write(KvPair::new(7, 1)).unwrap();
+        w.write_all(&[KvPair::new(8, 2), KvPair::new(9, 3)]).unwrap();
+        assert_eq!(w.written(), 3);
+        assert_eq!(w.finish().unwrap(), 3);
+        assert_eq!(io.snapshot().bytes_written, 3 * KvPair::BYTES as u64);
+
+        let mut r = RecordReader::open(&path, io).unwrap();
+        assert_eq!(
+            r.read_all().unwrap(),
+            vec![KvPair::new(7, 1), KvPair::new(8, 2), KvPair::new(9, 3)]
+        );
+    }
+
+    #[test]
+    fn create_truncates_existing_file() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("t.bin");
+        let io = IoStats::default();
+        let mut w = RecordWriter::create(&path, io.clone()).unwrap();
+        w.write_all(&[KvPair::new(1, 1); 5]).unwrap();
+        w.finish().unwrap();
+
+        let w2 = RecordWriter::create(&path, io.clone()).unwrap();
+        w2.finish().unwrap();
+        let r = RecordReader::open(&path, io).unwrap();
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn create_in_missing_directory_fails() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("no/such/dir/w.bin");
+        assert!(RecordWriter::create(&path, IoStats::default()).is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! Per-phase metrics and the final assembly report.
+
+use crate::contig::ContigStats;
+use gstream::iostats::IoSnapshot;
+use serde::{Deserialize, Serialize};
+use vgpu::DeviceStats;
+
+/// Measurements for one pipeline phase — the columns of Tables II-V.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PhaseMetrics {
+    /// Phase name ("map", "sort", "reduce", "compress", "load").
+    pub phase: String,
+    /// Real elapsed seconds on this machine.
+    pub wall_seconds: f64,
+    /// Modeled seconds (device kernels + transfers + disk), the quantity
+    /// comparable across GPU profiles and block sizes.
+    pub modeled_seconds: f64,
+    /// Device activity during the phase.
+    pub device: DeviceStats,
+    /// Disk activity during the phase.
+    pub io: IoSnapshot,
+    /// Peak host bytes reserved during the phase (Tables IV/V).
+    pub host_peak_bytes: u64,
+    /// Peak device bytes allocated during the phase (Tables IV/V).
+    pub device_peak_bytes: u64,
+}
+
+impl PhaseMetrics {
+    /// Modeled seconds = device kernel/transfer time + disk time. Disk and
+    /// device work overlap poorly in the paper's pipeline (it is I/O
+    /// bound), so the sum is the honest model.
+    pub fn compute_modeled(&mut self) {
+        self.modeled_seconds = self.device.total_seconds() + self.io.total_seconds();
+    }
+}
+
+/// Everything measured during one assembly.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AssemblyReport {
+    /// Dataset label (preset name or "custom").
+    pub dataset: String,
+    /// Number of input reads.
+    pub reads: u64,
+    /// Total input bases.
+    pub bases: u64,
+    /// Per-phase metrics in pipeline order.
+    pub phases: Vec<PhaseMetrics>,
+    /// Directed edges in the final string graph.
+    pub graph_edges: u64,
+    /// Host bytes of the final graph.
+    pub graph_bytes: u64,
+    /// Contig statistics.
+    pub contig_stats: ContigStats,
+}
+
+impl AssemblyReport {
+    /// Total wall seconds across phases.
+    pub fn total_wall_seconds(&self) -> f64 {
+        self.phases.iter().map(|p| p.wall_seconds).sum()
+    }
+
+    /// Total modeled seconds across phases.
+    pub fn total_modeled_seconds(&self) -> f64 {
+        self.phases.iter().map(|p| p.modeled_seconds).sum()
+    }
+
+    /// Metrics for a phase by name.
+    pub fn phase(&self, name: &str) -> Option<&PhaseMetrics> {
+        self.phases.iter().find(|p| p.phase == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phase(name: &str, wall: f64, modeled: f64) -> PhaseMetrics {
+        PhaseMetrics {
+            phase: name.into(),
+            wall_seconds: wall,
+            modeled_seconds: modeled,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn totals_sum_over_phases() {
+        let report = AssemblyReport {
+            phases: vec![phase("map", 1.0, 10.0), phase("sort", 2.0, 30.0)],
+            ..Default::default()
+        };
+        assert!((report.total_wall_seconds() - 3.0).abs() < 1e-12);
+        assert!((report.total_modeled_seconds() - 40.0).abs() < 1e-12);
+        assert!(report.phase("sort").is_some());
+        assert!(report.phase("reduce").is_none());
+    }
+
+    #[test]
+    fn compute_modeled_adds_device_and_disk() {
+        let mut m = PhaseMetrics {
+            device: DeviceStats {
+                kernel_seconds: 2.0,
+                transfer_seconds: 1.0,
+                ..Default::default()
+            },
+            io: IoSnapshot {
+                read_seconds: 3.0,
+                write_seconds: 4.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        m.compute_modeled();
+        assert!((m.modeled_seconds - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let report = AssemblyReport {
+            dataset: "H.Chr 14".into(),
+            reads: 42,
+            phases: vec![phase("map", 0.5, 1.5)],
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: AssemblyReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.dataset, "H.Chr 14");
+        assert_eq!(back.phases.len(), 1);
+    }
+}
+
+impl std::fmt::Display for PhaseMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<10} wall {:>9.3}s  modeled {:>10.6}s  host peak {:>10}  device peak {:>10}",
+            self.phase,
+            self.wall_seconds,
+            self.modeled_seconds,
+            self.host_peak_bytes,
+            self.device_peak_bytes
+        )
+    }
+}
+
+impl std::fmt::Display for AssemblyReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{}: {} reads / {} bases",
+            if self.dataset.is_empty() { "assembly" } else { &self.dataset },
+            self.reads,
+            self.bases
+        )?;
+        for p in &self.phases {
+            writeln!(f, "  {p}")?;
+        }
+        writeln!(
+            f,
+            "  graph: {} edges ({} B) | contigs: {} ({} multi-read), {} bases, N50 {}, max {}",
+            self.graph_edges,
+            self.graph_bytes,
+            self.contig_stats.count,
+            self.contig_stats.multi_read,
+            self.contig_stats.total_bases,
+            self.contig_stats.n50,
+            self.contig_stats.max_len
+        )
+    }
+}
+
+#[cfg(test)]
+mod display_tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_every_phase_and_the_summary() {
+        let report = AssemblyReport {
+            dataset: "demo".into(),
+            reads: 10,
+            bases: 1000,
+            phases: vec![PhaseMetrics {
+                phase: "sort".into(),
+                wall_seconds: 1.5,
+                ..Default::default()
+            }],
+            graph_edges: 4,
+            ..Default::default()
+        };
+        let text = report.to_string();
+        assert!(text.contains("demo: 10 reads / 1000 bases"));
+        assert!(text.contains("sort"));
+        assert!(text.contains("graph: 4 edges"));
+    }
+}

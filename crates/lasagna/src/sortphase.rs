@@ -1,0 +1,166 @@
+//! Sort phase: per-partition external sorting (Section III-B).
+//!
+//! Every suffix and prefix partition is sorted by fingerprint with the
+//! hybrid host/device external sorter. Partitions are independent, and the
+//! per-partition [`gstream::SortReport`]s aggregate into the phase totals
+//! (the paper: sorting is "more than 50% of the total execution time").
+
+use crate::config::AssemblyConfig;
+use crate::Result;
+use gstream::spill::{PartitionKind, SpillDir};
+use gstream::{ExternalSorter, HostMem, SortConfig, SortReport};
+use serde::{Deserialize, Serialize};
+use vgpu::Device;
+
+/// Aggregated outcome of the sort phase.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SortPhaseReport {
+    /// Per-partition reports, `(length, kind, report)` with kind
+    /// `"sfx"`/`"pfx"`.
+    pub partitions: Vec<(u32, String, SortReport)>,
+    /// Total pairs sorted across partitions.
+    pub total_pairs: u64,
+    /// Maximum disk passes any partition needed.
+    pub max_disk_passes: u32,
+}
+
+/// Sort every partition in `[l_min, l_max)` in place (each partition file
+/// is replaced by its sorted version).
+pub fn run(
+    device: &Device,
+    host: &HostMem,
+    spill: &SpillDir,
+    config: &AssemblyConfig,
+) -> Result<SortPhaseReport> {
+    let sort_config = config
+        .sort
+        .unwrap_or_else(|| SortConfig::from_budgets(host, device));
+    let sorter = ExternalSorter::new(device.clone(), host.clone(), sort_config)?;
+
+    let mut report = SortPhaseReport::default();
+    for len in config.l_min..config.l_max {
+        for (kind, tag) in [(PartitionKind::Suffix, "sfx"), (PartitionKind::Prefix, "pfx")] {
+            let input = spill.path(kind, len);
+            if !input.exists() {
+                continue;
+            }
+            let sorted = spill.scratch_path(&format!("{tag}_{len}_sorted"));
+            let r = sorter.sort_file(spill, &input, &sorted)?;
+            // Replace the unsorted partition with the sorted file.
+            std::fs::rename(&sorted, &input).map_err(gstream::StreamError::from)?;
+            report.total_pairs += r.pairs;
+            report.max_disk_passes = report.max_disk_passes.max(r.disk_passes);
+            report.partitions.push((len, tag.to_string(), r));
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gstream::{IoStats, KvPair};
+    use vgpu::GpuProfile;
+
+    fn setup(host_bytes: u64) -> (tempfile::TempDir, Device, HostMem, SpillDir) {
+        let dir = tempfile::tempdir().unwrap();
+        let spill = SpillDir::create(dir.path(), IoStats::default()).unwrap();
+        let device = Device::with_capacity(GpuProfile::k40(), 16 << 10);
+        let host = HostMem::new(host_bytes);
+        (dir, device, host, spill)
+    }
+
+    fn write_partition(spill: &SpillDir, kind: PartitionKind, len: u32, keys: &[u128]) {
+        let mut w = spill.writer(kind, len).unwrap();
+        for (i, &k) in keys.iter().enumerate() {
+            w.write(KvPair::new(k, i as u32)).unwrap();
+        }
+        w.finish().unwrap();
+    }
+
+    #[test]
+    fn all_partitions_end_up_sorted_in_place() {
+        let (_g, device, host, spill) = setup(8 << 10);
+        for len in 3..6u32 {
+            write_partition(&spill, PartitionKind::Suffix, len, &[9, 2, 7, 1]);
+            write_partition(&spill, PartitionKind::Prefix, len, &[5, 5, 0]);
+        }
+        let config = AssemblyConfig::for_dataset(3, 6);
+        let report = run(&device, &host, &spill, &config).unwrap();
+        assert_eq!(report.partitions.len(), 6);
+        assert_eq!(report.total_pairs, 3 * 7);
+        for len in 3..6u32 {
+            let got: Vec<u128> = spill
+                .reader(PartitionKind::Suffix, len)
+                .unwrap()
+                .read_all()
+                .unwrap()
+                .iter()
+                .map(|p| p.key)
+                .collect();
+            assert_eq!(got, vec![1, 2, 7, 9]);
+        }
+    }
+
+    #[test]
+    fn missing_partitions_are_skipped() {
+        let (_g, device, host, spill) = setup(8 << 10);
+        write_partition(&spill, PartitionKind::Suffix, 4, &[3, 1]);
+        let config = AssemblyConfig::for_dataset(3, 6);
+        let report = run(&device, &host, &spill, &config).unwrap();
+        assert_eq!(report.partitions.len(), 1);
+    }
+
+    #[test]
+    fn small_host_budget_forces_multiple_disk_passes() {
+        // 600-byte budget → m_h = 15 pairs; 60 pairs → 4 runs → 3 passes.
+        let (_g, device, host, spill) = setup(600);
+        let keys: Vec<u128> = (0..60u32).rev().map(|i| i as u128).collect();
+        write_partition(&spill, PartitionKind::Suffix, 5, &keys);
+        let config = AssemblyConfig::for_dataset(5, 6);
+        let report = run(&device, &host, &spill, &config).unwrap();
+        assert!(report.max_disk_passes >= 3, "passes: {}", report.max_disk_passes);
+        let got: Vec<u128> = spill
+            .reader(PartitionKind::Suffix, 5)
+            .unwrap()
+            .read_all()
+            .unwrap()
+            .iter()
+            .map(|p| p.key)
+            .collect();
+        assert_eq!(got, (0..60).map(|i| i as u128).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn respects_explicit_sort_config() {
+        let (_g, device, host, spill) = setup(64 << 10);
+        write_partition(&spill, PartitionKind::Prefix, 3, &[2, 1]);
+        let mut config = AssemblyConfig::for_dataset(3, 4);
+        config.sort = Some(SortConfig {
+            host_block_pairs: 4,
+            device_block_pairs: 2,
+            kway: false,
+        });
+        let report = run(&device, &host, &spill, &config).unwrap();
+        assert_eq!(report.partitions.len(), 1);
+    }
+
+    #[test]
+    fn empty_spill_dir_is_a_no_op() {
+        let (_g, device, host, spill) = setup(8 << 10);
+        let config = AssemblyConfig::for_dataset(3, 6);
+        let report = run(&device, &host, &spill, &config).unwrap();
+        assert!(report.partitions.is_empty());
+        assert_eq!(report.total_pairs, 0);
+    }
+
+    #[test]
+    fn writer_dropped_mid_write_yields_corrupt_error_on_sort() {
+        let (_g, device, host, spill) = setup(8 << 10);
+        // Hand-craft a truncated partition file.
+        let path = spill.path(PartitionKind::Suffix, 4);
+        std::fs::write(&path, [0u8; KvPair::BYTES + 7]).unwrap();
+        let config = AssemblyConfig::for_dataset(4, 5);
+        assert!(run(&device, &host, &spill, &config).is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! # sga — the baseline string-graph assembler
+//!
+//! The paper's Table VI compares LaSAGNA against **SGA** (Simpson & Durbin
+//! 2012), "the only string graph-based assembler that can handle large
+//! datasets on a single node", restricted to its *preprocess*, *index*, and
+//! *overlap* phases with the ropebwt index. This crate implements those
+//! three phases:
+//!
+//! * **preprocess** — stage reads and their reverse complements;
+//! * **index** — build a BWT/FM-index over the concatenated read set via a
+//!   suffix array (SA-IS, linear time);
+//! * **overlap** — for every read, one incremental backward search extends
+//!   its suffix leftward; at every length ≥ l_min the FM-interval is
+//!   intersected with read-start positions to produce exact suffix-prefix
+//!   overlap candidates, which feed the same greedy graph LaSAGNA builds.
+//!
+//! Memory accounting: real SGA's selling point is its compressed index
+//! (~0.4 B/base with ropebwt); our baseline keeps plain arrays for clarity
+//! and *bills* the host budget at SGA's compressed rate instead, so the
+//! scaled Table VI reproduces the paper's 64 GB OOM for H.Genome while the
+//! 128 GB run fits (see DESIGN.md, substitutions).
+
+pub mod baseline;
+pub mod fm;
+pub mod overlap;
+pub mod suffix;
+
+pub use baseline::{SgaBaseline, SgaError, SgaReport};
+pub use fm::FmIndex;
+pub use suffix::suffix_array;

@@ -1,0 +1,193 @@
+//! SGA's overlap phase: exact suffix-prefix overlaps via backward search.
+//!
+//! For every vertex `u` (read or reverse complement), one incremental
+//! backward search extends `u`'s suffix leftward one base at a time. At
+//! each suffix length `l ∈ [l_min, l_max)` the current FM-interval is
+//! intersected with the read-start marks: every read `v` whose prefix
+//! equals the suffix yields a candidate edge `(u, v, l)`.
+//!
+//! Candidates are offered to the same greedy [`StringGraph`] LaSAGNA uses —
+//! longest overlaps first, so each vertex keeps its best edge and Table VI
+//! compares identical graph semantics.
+
+use crate::fm::FmIndex;
+use genome::ReadSet;
+use lasagna::StringGraph;
+
+/// Build the concatenated text and start markers for `reads` (both
+/// orientations). Returns `(text, start_of)` in FM alphabet encoding.
+pub fn build_text(reads: &ReadSet) -> (Vec<u8>, Vec<Option<u32>>) {
+    let n = reads.read_len();
+    let vertices = reads.vertex_count() as usize;
+    let mut text = Vec::with_capacity(vertices * (n + 1) + 1);
+    let mut start_of = Vec::with_capacity(text.capacity());
+    let mut codes = Vec::new();
+    for i in 0..reads.len() {
+        reads.read_codes_into(i, &mut codes);
+        for strand in 0..2u32 {
+            let vertex = (i as u32) * 2 + strand;
+            start_of.push(Some(vertex));
+            start_of.extend(std::iter::repeat_n(None, n));
+            if strand == 0 {
+                text.extend(codes.iter().map(|&c| c + 2));
+            } else {
+                text.extend(codes.iter().rev().map(|&c| (c ^ 3) + 2));
+            }
+            text.push(1); // separator
+        }
+    }
+    text.push(0); // terminal sentinel
+    start_of.push(None);
+    debug_assert_eq!(text.len(), start_of.len());
+    (text, start_of)
+}
+
+/// Overlap statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OverlapStats {
+    /// Candidate suffix-prefix matches offered to the graph.
+    pub candidates: u64,
+    /// Edges accepted by the greedy rule.
+    pub accepted: u64,
+}
+
+/// Find all exact overlaps of length `[l_min, l_max)` and build the greedy
+/// graph. `l_max` is the read length (full-length matches are skipped, as
+/// in LaSAGNA's dropped l_max partition).
+pub fn find_overlaps(
+    fm: &FmIndex,
+    reads: &ReadSet,
+    l_min: u32,
+    graph: &mut StringGraph,
+) -> OverlapStats {
+    let l_max = reads.read_len() as u32;
+    let mut stats = OverlapStats::default();
+    let mut codes = Vec::new();
+    let mut candidates = Vec::new();
+
+    // Descending-length priority: collect candidates per length for all
+    // vertices, then offer longest-first. SGA proper streams per read with
+    // an irreducible-overlap rule; greedy longest-first gives the same
+    // ≤1-in/out graph LaSAGNA builds, which is what Table VI compares.
+    let mut per_length: Vec<Vec<(u32, u32)>> = vec![Vec::new(); l_max as usize];
+
+    for i in 0..reads.len() {
+        reads.read_codes_into(i, &mut codes);
+        for strand in 0..2u32 {
+            let u = (i as u32) * 2 + strand;
+            let oriented: Vec<u8> = if strand == 0 {
+                codes.iter().map(|&c| c + 2).collect()
+            } else {
+                codes.iter().rev().map(|&c| (c ^ 3) + 2).collect()
+            };
+            // Incrementally extend the suffix leftward.
+            let mut iv = fm.whole();
+            for l in 1..=l_max {
+                let ch = oriented[(l_max - l) as usize];
+                iv = fm.extend_left(iv, ch);
+                if iv.is_empty() {
+                    break;
+                }
+                if l >= l_min && l < l_max && fm.count_read_starts(iv) > 0 {
+                    candidates.clear();
+                    fm.read_starts_into(iv, &mut candidates);
+                    for &v in &candidates {
+                        per_length[l as usize].push((u, v));
+                    }
+                }
+            }
+        }
+    }
+
+    for l in (l_min..l_max).rev() {
+        for &(u, v) in &per_length[l as usize] {
+            stats.candidates += 1;
+            if graph.try_add_edge(u, v, l).is_ok() {
+                stats.accepted += 1;
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reads_of(strs: &[&str]) -> ReadSet {
+        ReadSet::from_reads(strs[0].len(), strs.iter().map(|s| s.parse().unwrap())).unwrap()
+    }
+
+    fn overlaps_for(strs: &[&str], l_min: u32) -> (StringGraph, OverlapStats) {
+        let reads = reads_of(strs);
+        let (text, starts) = build_text(&reads);
+        let fm = FmIndex::build(&text, &starts);
+        let mut graph = StringGraph::new(reads.vertex_count());
+        let stats = find_overlaps(&fm, &reads, l_min, &mut graph);
+        (graph, stats)
+    }
+
+    #[test]
+    fn finds_simple_forward_overlap() {
+        // read0 suffix TACG (4) == read1 prefix.
+        let (graph, stats) = overlaps_for(&["AATTACG", "TACGGCC"], 4);
+        assert!(stats.accepted >= 1);
+        let e = graph.out(0).expect("edge from read0 forward");
+        assert_eq!(e.to, 2);
+        assert_eq!(e.overlap, 4);
+        graph.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn finds_reverse_strand_overlap() {
+        // read1 = revcomp of a fragment following read0:
+        // genome ...AATTACG GCA...  read1 sequenced reverse.
+        let r0 = "AATTACG";
+        // suffix "TACG" extended by GCA → revcomp of "TACGGCA" = TGCCGTA.
+        let (graph, stats) = overlaps_for(&[r0, "TGCCGTA"], 4);
+        assert!(stats.accepted >= 1);
+        // Edge from 0 to vertex 3 (read1 reverse).
+        let e = graph.out(0).expect("edge from read0");
+        assert_eq!(e.to, 3);
+        graph.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn longest_overlap_wins() {
+        // read0 overlaps read1 by 5 and read2 by 3.
+        let (graph, _) = overlaps_for(&["AATCGTA", "TCGTAGG", "GTACCCC"], 3);
+        let e = graph.out(0).unwrap();
+        assert_eq!(e.to, 2);
+        assert_eq!(e.overlap, 5);
+    }
+
+    #[test]
+    fn no_overlaps_below_l_min() {
+        let (graph, stats) = overlaps_for(&["AATTACG", "TACGGCC"], 5);
+        assert_eq!(stats.candidates, 0);
+        assert_eq!(graph.edge_count(), 0);
+    }
+
+    #[test]
+    fn identical_reads_do_not_self_loop() {
+        let (graph, _) = overlaps_for(&["ACGTACG", "ACGTACG"], 3);
+        // Candidate edges between the two copies are fine; self-edges and
+        // fold-backs must be absent.
+        for e in graph.edges() {
+            assert_ne!(e.from, e.to);
+            assert_ne!(e.from ^ 1, e.to);
+        }
+        graph.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn text_layout_marks_every_vertex_start() {
+        let reads = reads_of(&["ACG", "TTT"]);
+        let (text, starts) = build_text(&reads);
+        assert_eq!(text.len(), 4 * 4 + 1);
+        let marked: Vec<u32> = starts.iter().flatten().copied().collect();
+        assert_eq!(marked, vec![0, 1, 2, 3]);
+        assert_eq!(text.last(), Some(&0));
+        assert_eq!(text.iter().filter(|&&c| c == 1).count(), 4);
+    }
+}

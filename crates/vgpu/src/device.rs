@@ -1,0 +1,399 @@
+//! The virtual device: allocation accounting, transfers, and time charging.
+
+use crate::buffer::DeviceBuffer;
+use crate::profile::GpuProfile;
+use crate::stats::{DeviceStats, KernelCost, KernelStat, LAUNCH_OVERHEAD_S};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Errors surfaced by device operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// An allocation would exceed the device capacity.
+    OutOfMemory {
+        /// Bytes requested by the failed allocation.
+        requested: u64,
+        /// Bytes currently in use.
+        in_use: u64,
+        /// Configured capacity.
+        capacity: u64,
+    },
+    /// Kernel arguments were inconsistent (e.g. key/value length mismatch).
+    BadLaunch(String),
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::OutOfMemory {
+                requested,
+                in_use,
+                capacity,
+            } => write!(
+                f,
+                "device out of memory: requested {requested} B with {in_use} B in use of {capacity} B"
+            ),
+            DeviceError::BadLaunch(msg) => write!(f, "bad kernel launch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+#[derive(Debug)]
+pub(crate) struct DeviceInner {
+    pub(crate) capacity: u64,
+    used: AtomicU64,
+    peak: AtomicU64,
+    counters: Mutex<Counters>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    kernel_launches: u64,
+    kernel_seconds: f64,
+    h2d_bytes: u64,
+    d2h_bytes: u64,
+    transfer_seconds: f64,
+    per_kernel: BTreeMap<String, KernelStat>,
+}
+
+impl DeviceInner {
+    fn reserve(&self, bytes: u64) -> Result<(), DeviceError> {
+        let mut current = self.used.load(Ordering::Relaxed);
+        loop {
+            let next = current + bytes;
+            if next > self.capacity {
+                return Err(DeviceError::OutOfMemory {
+                    requested: bytes,
+                    in_use: current,
+                    capacity: self.capacity,
+                });
+            }
+            match self.used.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.peak.fetch_max(next, Ordering::Relaxed);
+                    return Ok(());
+                }
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    pub(crate) fn release(&self, bytes: u64) {
+        self.used.fetch_sub(bytes, Ordering::Relaxed);
+    }
+}
+
+/// A virtual GPU.
+///
+/// Cheap to clone (all clones share allocation accounting and statistics),
+/// which mirrors how multiple host threads share one physical device.
+#[derive(Clone)]
+pub struct Device {
+    profile: GpuProfile,
+    inner: Arc<DeviceInner>,
+}
+
+impl fmt::Debug for Device {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Device")
+            .field("profile", &self.profile.name)
+            .field("capacity", &self.inner.capacity)
+            .finish()
+    }
+}
+
+impl Device {
+    /// A device with the full physical memory of `profile`.
+    pub fn new(profile: GpuProfile) -> Self {
+        let capacity = profile.device_mem_bytes;
+        Self::with_capacity(profile, capacity)
+    }
+
+    /// A device whose usable memory is capped at `capacity` bytes. Used by
+    /// the scaled-down experiments: a "12 GB K40" at scale 20,000 becomes a
+    /// device with ~600 KB of usable memory but K40 bandwidth ratios.
+    pub fn with_capacity(profile: GpuProfile, capacity: u64) -> Self {
+        Device {
+            profile,
+            inner: Arc::new(DeviceInner {
+                capacity,
+                used: AtomicU64::new(0),
+                peak: AtomicU64::new(0),
+                counters: Mutex::new(Counters::default()),
+            }),
+        }
+    }
+
+    /// The product profile this device models.
+    pub fn profile(&self) -> &GpuProfile {
+        &self.profile
+    }
+
+    /// Usable capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.inner.capacity
+    }
+
+    /// Allocate an uninitialized (zeroed) buffer of `len` elements.
+    pub fn alloc<T: Default + Clone>(&self, len: usize) -> crate::Result<DeviceBuffer<T>> {
+        let bytes = (len * std::mem::size_of::<T>()) as u64;
+        self.inner.reserve(bytes)?;
+        Ok(DeviceBuffer {
+            data: vec![T::default(); len],
+            bytes,
+            owner: Arc::clone(&self.inner),
+        })
+    }
+
+    /// Copy a host slice into a fresh device buffer, charging PCIe time.
+    pub fn h2d<T: Clone>(&self, host: &[T]) -> crate::Result<DeviceBuffer<T>> {
+        let bytes = std::mem::size_of_val(host) as u64;
+        self.inner.reserve(bytes)?;
+        let seconds = bytes as f64 / self.profile.pcie_bytes_per_s();
+        {
+            let mut c = self.inner.counters.lock();
+            c.h2d_bytes += bytes;
+            c.transfer_seconds += seconds;
+        }
+        Ok(DeviceBuffer {
+            data: host.to_vec(),
+            bytes,
+            owner: Arc::clone(&self.inner),
+        })
+    }
+
+    /// Copy a device buffer back to the host, charging PCIe time.
+    pub fn d2h<T: Clone>(&self, buf: &DeviceBuffer<T>) -> Vec<T> {
+        let bytes = buf.bytes();
+        let seconds = bytes as f64 / self.profile.pcie_bytes_per_s();
+        let mut c = self.inner.counters.lock();
+        c.d2h_bytes += bytes;
+        c.transfer_seconds += seconds;
+        buf.data.clone()
+    }
+
+    /// Charge one kernel launch of the given cost to the device clock.
+    /// Kernels in [`crate::kernels`] call this; custom kernels built on
+    /// [`crate::exec`] do too.
+    pub fn charge_kernel(&self, name: &str, cost: KernelCost) {
+        let compute_s = cost.flops as f64 / self.profile.compute_ops_per_s();
+        let memory_s = cost.bytes as f64 / self.profile.sustained_mem_bytes_per_s();
+        let seconds = compute_s.max(memory_s) + LAUNCH_OVERHEAD_S;
+        let mut c = self.inner.counters.lock();
+        c.kernel_launches += 1;
+        c.kernel_seconds += seconds;
+        let entry = c.per_kernel.entry(name.to_string()).or_default();
+        entry.launches += 1;
+        entry.flops += cost.flops;
+        entry.bytes += cost.bytes;
+        entry.seconds += seconds;
+    }
+
+    /// Charge PCIe traffic without materializing buffers — used by fused
+    /// pipelines that stage data through the device (e.g. fingerprint
+    /// batches whose outputs stream straight into partition files).
+    pub fn charge_transfer(&self, h2d_bytes: u64, d2h_bytes: u64) {
+        let seconds = (h2d_bytes + d2h_bytes) as f64 / self.profile.pcie_bytes_per_s();
+        let mut c = self.inner.counters.lock();
+        c.h2d_bytes += h2d_bytes;
+        c.d2h_bytes += d2h_bytes;
+        c.transfer_seconds += seconds;
+    }
+
+    /// Snapshot of accumulated statistics.
+    pub fn stats(&self) -> DeviceStats {
+        let c = self.inner.counters.lock();
+        DeviceStats {
+            kernel_launches: c.kernel_launches,
+            kernel_seconds: c.kernel_seconds,
+            h2d_bytes: c.h2d_bytes,
+            d2h_bytes: c.d2h_bytes,
+            transfer_seconds: c.transfer_seconds,
+            mem_used: self.inner.used.load(Ordering::Relaxed),
+            mem_peak: self.inner.peak.load(Ordering::Relaxed),
+            per_kernel: c.per_kernel.clone(),
+        }
+    }
+
+    /// Reset the peak-memory watermark (used between pipeline phases when
+    /// reporting per-phase peaks, Tables IV/V).
+    pub fn reset_peak(&self) {
+        self.inner
+            .peak
+            .store(self.inner.used.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Largest number of `T` elements that fit in the *remaining* device
+    /// memory, after reserving `reserved_fraction` of capacity for scratch
+    /// space (sorting needs double buffers).
+    pub fn elements_that_fit<T>(&self, reserved_fraction: f64) -> usize {
+        let usable = (self.inner.capacity as f64 * (1.0 - reserved_fraction)) as u64;
+        (usable as usize) / std::mem::size_of::<T>().max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oom_is_reported_with_context() {
+        let dev = Device::with_capacity(GpuProfile::k20x(), 64);
+        let _a = dev.alloc::<u64>(4).unwrap(); // 32 bytes
+        let err = dev.alloc::<u64>(8).unwrap_err(); // needs 64 more
+        match err {
+            DeviceError::OutOfMemory {
+                requested,
+                in_use,
+                capacity,
+            } => {
+                assert_eq!(requested, 64);
+                assert_eq!(in_use, 32);
+                assert_eq!(capacity, 64);
+            }
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transfers_accumulate_bytes_and_time() {
+        let dev = Device::new(GpuProfile::k40());
+        let buf = dev.h2d(&[0u8; 1000]).unwrap();
+        let _ = dev.d2h(&buf);
+        let stats = dev.stats();
+        assert_eq!(stats.h2d_bytes, 1000);
+        assert_eq!(stats.d2h_bytes, 1000);
+        assert!(stats.transfer_seconds > 0.0);
+    }
+
+    #[test]
+    fn kernel_time_is_roofline_bound() {
+        let dev = Device::new(GpuProfile::k40());
+        // Pure-compute kernel: time tracks flops.
+        dev.charge_kernel("compute", KernelCost::new(1_000_000_000, 0));
+        let t1 = dev.stats().kernel_seconds;
+        // Pure-memory kernel with traffic that takes much longer than the
+        // flops would.
+        dev.charge_kernel("memory", KernelCost::new(0, 100_000_000_000));
+        let t2 = dev.stats().kernel_seconds - t1;
+        let expected_mem = 100_000_000_000.0 / GpuProfile::k40().sustained_mem_bytes_per_s();
+        assert!((t2 - expected_mem - LAUNCH_OVERHEAD_S).abs() / expected_mem < 1e-9);
+    }
+
+    #[test]
+    fn faster_device_charges_less_time_for_same_kernel() {
+        let cost = KernelCost::new(1_000_000, 1_000_000_000);
+        let k40 = Device::new(GpuProfile::k40());
+        let v100 = Device::new(GpuProfile::v100());
+        k40.charge_kernel("k", cost);
+        v100.charge_kernel("k", cost);
+        assert!(v100.stats().kernel_seconds < k40.stats().kernel_seconds);
+    }
+
+    #[test]
+    fn clones_share_accounting() {
+        let dev = Device::with_capacity(GpuProfile::k40(), 1024);
+        let clone = dev.clone();
+        let _buf = clone.alloc::<u8>(512).unwrap();
+        assert_eq!(dev.stats().mem_used, 512);
+    }
+
+    #[test]
+    fn reset_peak_rebases_to_current_usage() {
+        let dev = Device::with_capacity(GpuProfile::k40(), 1024);
+        {
+            let _big = dev.alloc::<u8>(1000).unwrap();
+        }
+        assert_eq!(dev.stats().mem_peak, 1000);
+        let _small = dev.alloc::<u8>(10).unwrap();
+        dev.reset_peak();
+        assert_eq!(dev.stats().mem_peak, 10);
+    }
+
+    #[test]
+    fn elements_that_fit_respects_reserved_fraction() {
+        let dev = Device::with_capacity(GpuProfile::k40(), 1000);
+        assert_eq!(dev.elements_that_fit::<u64>(0.0), 125);
+        assert_eq!(dev.elements_that_fit::<u64>(0.5), 62);
+    }
+}
+
+#[cfg(test)]
+mod stress_tests {
+    use super::*;
+    use crate::kernels::radix::RadixKey;
+
+    #[test]
+    fn u32_keys_sort_correctly_with_fewer_passes() {
+        let dev = Device::new(GpuProfile::k40());
+        let keys: Vec<u32> = (0..500).map(|i| (i * 2654435761u64 % 97) as u32).collect();
+        let vals: Vec<u32> = (0..500).collect();
+        let mut dk = dev.h2d(&keys).unwrap();
+        let mut dv = dev.h2d(&vals).unwrap();
+        dev.sort_pairs(&mut dk, &mut dv).unwrap();
+        let got = dev.d2h(&dk);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+        // u32 keys take 4 radix passes, u128 take 16: flop accounting
+        // must reflect the narrower key.
+        let stat = &dev.stats().per_kernel["radix_sort_pairs"];
+        assert_eq!(stat.flops, <u32 as RadixKey>::BYTES as u64 * 500 * 2);
+    }
+
+    #[test]
+    fn concurrent_allocations_respect_capacity() {
+        let dev = Device::with_capacity(GpuProfile::k40(), 10_000);
+        let failures = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let dev = dev.clone();
+                let failures = &failures;
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        match dev.alloc::<u8>(400) {
+                            Ok(buf) => {
+                                assert!(dev.stats().mem_used <= 10_000);
+                                drop(buf);
+                            }
+                            Err(_) => {
+                                failures.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        // All buffers dropped: accounting returns to zero regardless of
+        // how the threads interleaved.
+        assert_eq!(dev.stats().mem_used, 0);
+        assert!(dev.stats().mem_peak <= 10_000);
+    }
+
+    #[test]
+    fn kernel_stats_are_thread_safe() {
+        let dev = Device::new(GpuProfile::k40());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let dev = dev.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        dev.charge_kernel("t", KernelCost::new(1, 1));
+                    }
+                });
+            }
+        });
+        assert_eq!(dev.stats().kernel_launches, 400);
+        assert_eq!(dev.stats().per_kernel["t"].launches, 400);
+    }
+}

@@ -1,0 +1,13 @@
+//! Device kernels.
+//!
+//! These are the Thrust-style primitives LaSAGNA is "built primarily with"
+//! (Section IV-B): radix sort of key-value pairs, pairwise sorted merge,
+//! inclusive/exclusive scans, vectorized lower/upper bounds, and gather.
+//! Each kernel is a method on [`crate::Device`] so every launch is charged
+//! to the device's roofline clock and counted in its statistics.
+
+pub mod bounds;
+pub mod gather;
+pub mod merge;
+pub mod radix;
+pub mod scan;

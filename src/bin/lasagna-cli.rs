@@ -1,0 +1,336 @@
+//! `lasagna-cli` — command-line interface to the assembler.
+//!
+//! ```text
+//! lasagna-cli simulate --genome-len 100000 --coverage 20 --read-len 100 \
+//!                  --out reads.fastq [--reference ref.fa] [--seed 7] [--error-rate 0.0]
+//!
+//! lasagna-cli assemble --reads reads.fastq --out contigs.fa \
+//!                  [--l-min 63] [--work /tmp/lasagna-work] \
+//!                  [--host-mem 256M] [--device-mem 64M] [--gpu k40] \
+//!                  [--graph greedy|full] [--traversal seq|bsp] [--correct 21] [--resume yes]
+//!
+//! lasagna-cli stats --contigs contigs.fa [--reference ref.fa]
+//! ```
+
+use lasagna_repro::genome::fastq::{read_fasta, read_fastq, write_fasta, write_fastq};
+use lasagna_repro::genome::sim::is_substring_either_strand;
+use lasagna_repro::prelude::*;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::exit;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        usage();
+    };
+    let opts = parse_opts(args.collect());
+    match command.as_str() {
+        "simulate" => simulate(&opts),
+        "assemble" => assemble(&opts),
+        "stats" => stats(&opts),
+        "--help" | "-h" | "help" => usage(),
+        other => {
+            eprintln!("lasagna: unknown command {other:?}");
+            usage();
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  lasagna simulate --genome-len N --coverage C --read-len L --out reads.fastq \
+         [--reference ref.fa] [--seed S] [--error-rate E] [--repeat-fraction F]\n  \
+         lasagna assemble --reads reads.fastq --out contigs.fa [--l-min N] [--work DIR] \
+         [--host-mem BYTES] [--device-mem BYTES] [--gpu k40|k20x|p40|p100|v100]\n  \
+         lasagna stats --contigs contigs.fa [--reference ref.fa]"
+    );
+    exit(2);
+}
+
+fn parse_opts(argv: Vec<String>) -> HashMap<String, String> {
+    let mut opts = HashMap::new();
+    let mut iter = argv.into_iter();
+    while let Some(key) = iter.next() {
+        let Some(key) = key.strip_prefix("--") else {
+            eprintln!("lasagna: expected --option, got {key:?}");
+            exit(2);
+        };
+        let Some(value) = iter.next() else {
+            eprintln!("lasagna: --{key} needs a value");
+            exit(2);
+        };
+        opts.insert(key.to_string(), value);
+    }
+    opts
+}
+
+fn get<T: std::str::FromStr>(opts: &HashMap<String, String>, key: &str, default: T) -> T {
+    match opts.get(key) {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("lasagna: bad value for --{key}: {v:?}");
+            exit(2)
+        }),
+        None => default,
+    }
+}
+
+fn require(opts: &HashMap<String, String>, key: &str) -> String {
+    opts.get(key).cloned().unwrap_or_else(|| {
+        eprintln!("lasagna: missing required --{key}");
+        exit(2)
+    })
+}
+
+/// Parse "64M"/"2G"/plain-byte memory sizes.
+fn parse_mem(s: &str) -> u64 {
+    let (num, mult) = match s.chars().last() {
+        Some('K') | Some('k') => (&s[..s.len() - 1], 1u64 << 10),
+        Some('M') | Some('m') => (&s[..s.len() - 1], 1 << 20),
+        Some('G') | Some('g') => (&s[..s.len() - 1], 1 << 30),
+        _ => (s, 1),
+    };
+    num.parse::<u64>().unwrap_or_else(|_| {
+        eprintln!("lasagna: bad memory size {s:?}");
+        exit(2)
+    }) * mult
+}
+
+fn simulate(opts: &HashMap<String, String>) {
+    let genome_len: usize = get(opts, "genome-len", 100_000);
+    let coverage: f64 = get(opts, "coverage", 20.0);
+    let read_len: usize = get(opts, "read-len", 100);
+    let seed: u64 = get(opts, "seed", 7);
+    let error_rate: f64 = get(opts, "error-rate", 0.0);
+    let repeat_fraction: f64 = get(opts, "repeat-fraction", 0.01);
+    let out = PathBuf::from(require(opts, "out"));
+
+    let genome = GenomeSim {
+        len: genome_len,
+        repeat_fraction,
+        repeat_len: read_len * 2,
+        seed,
+    }
+    .generate();
+    let reads = ShotgunSim {
+        read_len,
+        coverage,
+        strand_flip_prob: 0.5,
+        error_rate,
+        seed: seed ^ 0xF00D,
+    }
+    .sample(&genome);
+
+    let named: Vec<(String, PackedSeq)> = reads
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (format!("sim_read_{i}"), r))
+        .collect();
+    write_fastq(&out, named.iter().map(|(n, r)| (n.as_str(), r))).unwrap_or_else(die);
+    println!(
+        "wrote {} reads × {} bp to {}",
+        reads.len(),
+        read_len,
+        out.display()
+    );
+
+    if let Some(ref_path) = opts.get("reference") {
+        write_fasta(
+            &PathBuf::from(ref_path),
+            [("simulated_reference", &genome)],
+        )
+        .unwrap_or_else(die);
+        println!("wrote reference to {ref_path}");
+    }
+}
+
+fn assemble(opts: &HashMap<String, String>) {
+    let reads_path = PathBuf::from(require(opts, "reads"));
+    let out = PathBuf::from(require(opts, "out"));
+    let work = PathBuf::from(get(
+        opts,
+        "work",
+        std::env::temp_dir()
+            .join("lasagna-cli-work")
+            .to_string_lossy()
+            .into_owned(),
+    ));
+    let host_mem = parse_mem(&get(opts, "host-mem", "256M".to_string()));
+    let device_mem = parse_mem(&get(opts, "device-mem", "64M".to_string()));
+    let gpu = match get(opts, "gpu", "k40".to_string()).as_str() {
+        "k40" => GpuProfile::k40(),
+        "k20x" => GpuProfile::k20x(),
+        "p40" => GpuProfile::p40(),
+        "p100" => GpuProfile::p100(),
+        "v100" => GpuProfile::v100(),
+        other => {
+            eprintln!("lasagna: unknown GPU {other:?}");
+            exit(2);
+        }
+    };
+
+    // Load reads (FASTQ or FASTA by extension).
+    let records = if reads_path.extension().is_some_and(|e| e == "fa" || e == "fasta") {
+        read_fasta(&reads_path).unwrap_or_else(die)
+    } else {
+        read_fastq(&reads_path).unwrap_or_else(die)
+    };
+    if records.is_empty() {
+        eprintln!("lasagna: no reads in {}", reads_path.display());
+        exit(1);
+    }
+    let read_len = records[0].1.len();
+    #[allow(unused_mut)]
+    let mut reads = ReadSet::new(read_len);
+    let mut skipped = 0usize;
+    for (_, seq) in &records {
+        if reads.push(seq).is_err() {
+            skipped += 1;
+        }
+    }
+    if skipped > 0 {
+        eprintln!("lasagna: skipped {skipped} reads with length != {read_len}");
+    }
+    // Optional spectral error correction (the SGA pipeline's first stage).
+    let correct_k: usize = get(opts, "correct", 0usize);
+    if correct_k > 0 {
+        let corrector0 = ErrorCorrector {
+            k: correct_k,
+            min_count: 2,
+            max_fixes_per_read: 4,
+        };
+        let spectrum = corrector0.train(&reads);
+        let corrector = ErrorCorrector {
+            min_count: spectrum.suggest_threshold(),
+            ..corrector0
+        };
+        let (fixed, stats) = corrector.correct(&spectrum, &reads);
+        println!(
+            "error correction (k={correct_k}, threshold {}): {} clean, {} repaired ({} substitutions), {} uncorrectable",
+            corrector.min_count, stats.already_clean, stats.corrected, stats.substitutions, stats.uncorrectable
+        );
+        reads = fixed;
+    }
+
+    let default_l_min = (read_len as u32 * 5 / 8).max(1); // SGA-style ~0.63·L
+    let l_min: u32 = get(opts, "l-min", default_l_min);
+    println!(
+        "assembling {} reads × {} bp (l_min {}) on a virtual {} ({} device, {} host)",
+        reads.len(),
+        read_len,
+        l_min,
+        gpu.name,
+        device_mem,
+        host_mem
+    );
+
+    std::fs::create_dir_all(&work).unwrap_or_else(|e| {
+        eprintln!("lasagna: cannot create workdir: {e}");
+        exit(1)
+    });
+    let mut config = AssemblyConfig::for_dataset(l_min, read_len as u32);
+    let traversal = get(opts, "traversal", "seq".to_string());
+    config.bsp_traversal = match traversal.as_str() {
+        "seq" => false,
+        "bsp" => true,
+        other => {
+            eprintln!("lasagna: unknown traversal {other:?} (seq|bsp)");
+            exit(2);
+        }
+    };
+    let graph_mode = get(opts, "graph", "greedy".to_string());
+    let device = Device::with_capacity(gpu, device_mem);
+    let host = HostMem::new(host_mem);
+    let spill = SpillDir::create(&work, IoStats::default()).unwrap_or_else(die);
+
+    let (contigs, summary) = match graph_mode.as_str() {
+        "greedy" => {
+            let resume = get(opts, "resume", "no".to_string()) == "yes";
+            let pipeline = Pipeline::new(device, host, spill, config).unwrap_or_else(die);
+            let result = if resume {
+                pipeline.assemble_resumable(&reads).unwrap_or_else(die)
+            } else {
+                pipeline.assemble(&reads).unwrap_or_else(die)
+            };
+            let s = &result.report.contig_stats;
+            println!(
+                "greedy graph: {} edges | contigs: {} ({} multi-read), {} bases, N50 {}, max {}",
+                result.report.graph_edges, s.count, s.multi_read, s.total_bases, s.n50, s.max_len
+            );
+            for p in &result.report.phases {
+                println!("  {:<9} {:>8.3}s wall", p.phase, p.wall_seconds);
+            }
+            (result.contigs, format!("N50 {}", s.n50))
+        }
+        "full" => {
+            // The Myers-style full string graph with transitive reduction:
+            // conservative at repeats (stops at branches).
+            let (graph, paths) = lasagna_repro::lasagna::fullgraph::assemble_full(
+                &device, &host, &spill, &config, &reads,
+            )
+            .unwrap_or_else(die);
+            let (contigs, stats) = lasagna_repro::lasagna::contig::generate_contigs(
+                &device, &host, &reads, &paths,
+            )
+            .unwrap_or_else(die);
+            println!(
+                "full graph: {} edges after reduction | contigs: {}, {} bases, N50 {}, max {}",
+                graph.edge_count(),
+                stats.count,
+                stats.total_bases,
+                stats.n50,
+                stats.max_len
+            );
+            (contigs, format!("N50 {}", stats.n50))
+        }
+        other => {
+            eprintln!("lasagna: unknown graph mode {other:?} (greedy|full)");
+            exit(2);
+        }
+    };
+
+    let named: Vec<(String, &PackedSeq)> = contigs
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (format!("contig_{i} len={}", c.len()), c))
+        .collect();
+    write_fasta(&out, named.iter().map(|(n, c)| (n.as_str(), *c))).unwrap_or_else(die);
+    println!("contigs written to {} ({summary})", out.display());
+}
+
+fn stats(opts: &HashMap<String, String>) {
+    let contigs_path = PathBuf::from(require(opts, "contigs"));
+    let contigs = read_fasta(&contigs_path).unwrap_or_else(die);
+    let lengths: Vec<u64> = contigs.iter().map(|(_, c)| c.len() as u64).collect();
+    let stats = lasagna::ContigStats::from_lengths(&lengths, 0);
+    println!(
+        "{}: {} contigs, {} bases, N50 {}, max {}",
+        contigs_path.display(),
+        stats.count,
+        stats.total_bases,
+        stats.n50,
+        stats.max_len
+    );
+    if let Some(ref_path) = opts.get("reference") {
+        let reference = read_fasta(&PathBuf::from(ref_path)).unwrap_or_else(die);
+        let mut exact = 0usize;
+        for (_, c) in &contigs {
+            if reference
+                .iter()
+                .any(|(_, r)| is_substring_either_strand(c, r))
+            {
+                exact += 1;
+            }
+        }
+        println!(
+            "{exact}/{} contigs align exactly to {}",
+            contigs.len(),
+            ref_path
+        );
+    }
+}
+
+fn die<E: std::fmt::Display, T>(e: E) -> T {
+    eprintln!("lasagna: {e}");
+    exit(1)
+}

@@ -1,0 +1,69 @@
+//! # lasagna-repro — GPU-Accelerated Large-Scale Genome Assembly, in Rust
+//!
+//! A full reproduction of *LaSAGNA* (Goswami, Lee, Shams, Park — IPDPS
+//! 2018): a string-graph genome assembler built for datasets far larger
+//! than GPU device memory, using a two-level semi-streaming model
+//! (disk → host blocks → device chunks).
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`vgpu`] — the virtual GPU substrate (bounded device memory, kernels,
+//!   roofline timing model, K40/K20X/P40/P100/V100 profiles);
+//! * [`gstream`] — streaming I/O: fixed-width records, spill partitions,
+//!   external merging (the paper's Algorithm 1), the hybrid two-level
+//!   external sort;
+//! * [`genome`] — 2-bit packed sequences, FASTA/FASTQ, the shotgun
+//!   simulator, Table-I-scaled dataset presets;
+//! * [`fingerprint`] — Rabin-Karp prefix/suffix fingerprints via the
+//!   Hillis-Steele scan of the paper's Figs. 5-6;
+//! * [`lasagna`] — the assembly pipeline itself: map / sort / reduce /
+//!   traverse, the greedy string graph, contig generation, reports;
+//! * [`dnet`] — the distributed implementation: active messages, master
+//!   load balancing, shuffle, token-passing reduce;
+//! * [`sga`] — the SGA-like baseline (SA-IS suffix array, FM-index,
+//!   backward-search overlaps) of the paper's Table VI;
+//! * [`mod@dbg`] — a de Bruijn baseline that reproduces the paper's claim
+//!   that such assemblers run out of memory on large single-node inputs;
+//! * [`ecc`] — k-mer-spectrum error correction, the SGA pipeline stage the
+//!   paper's comparison excludes, for assembling noisy reads.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lasagna_repro::prelude::*;
+//!
+//! // Simulate a small genome and shotgun reads.
+//! let genome = GenomeSim::uniform(5_000, 7).generate();
+//! let reads = ShotgunSim::error_free(100, 15.0, 8).sample(&genome);
+//!
+//! // Assemble with laptop-sized budgets.
+//! let dir = std::env::temp_dir().join("lasagna-doc-quickstart");
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let config = AssemblyConfig::for_dataset(63, 100);
+//! let pipeline = Pipeline::laptop(config, &dir).unwrap();
+//! let out = pipeline.assemble(&reads).unwrap();
+//!
+//! assert!(out.report.contig_stats.n50 > 100);
+//! ```
+
+pub use dbg;
+pub use dnet;
+pub use ecc;
+pub use fingerprint;
+pub use genome;
+pub use gstream;
+pub use lasagna;
+pub use sga;
+pub use vgpu;
+
+/// The most common types, one `use` away.
+pub mod prelude {
+    pub use dbg::DbgAssembler;
+    pub use dnet::{Cluster, ClusterConfig, NetModel};
+    pub use ecc::{ErrorCorrector, KmerSpectrum};
+    pub use genome::{DatasetPreset, GenomeSim, PackedSeq, ReadSet, ShotgunSim};
+    pub use gstream::{DiskModel, ExternalSorter, HostMem, IoStats, SortConfig, SpillDir};
+    pub use lasagna::{AssemblyConfig, AssemblyReport, Pipeline, StringGraph};
+    pub use sga::SgaBaseline;
+    pub use vgpu::{Device, GpuProfile};
+}

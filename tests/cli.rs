@@ -1,0 +1,131 @@
+//! End-to-end exercise of the `lasagna-cli` binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lasagna-cli"))
+}
+
+fn workdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lasagna-cli-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn simulate_assemble_stats_roundtrip() {
+    let dir = workdir("roundtrip");
+    let reads = dir.join("reads.fastq");
+    let reference = dir.join("ref.fa");
+    let contigs = dir.join("contigs.fa");
+
+    let sim = cli()
+        .args(["simulate", "--genome-len", "8000", "--coverage", "12", "--read-len", "80"])
+        .args(["--seed", "9", "--out"])
+        .arg(&reads)
+        .arg("--reference")
+        .arg(&reference)
+        .output()
+        .expect("run simulate");
+    assert!(sim.status.success(), "{}", String::from_utf8_lossy(&sim.stderr));
+    assert!(reads.exists() && reference.exists());
+
+    let asm = cli()
+        .args(["assemble", "--reads"])
+        .arg(&reads)
+        .args(["--out"])
+        .arg(&contigs)
+        .args(["--work"])
+        .arg(dir.join("work"))
+        .output()
+        .expect("run assemble");
+    assert!(asm.status.success(), "{}", String::from_utf8_lossy(&asm.stderr));
+    let stdout = String::from_utf8_lossy(&asm.stdout);
+    assert!(stdout.contains("contigs written"), "{stdout}");
+
+    let stats = cli()
+        .args(["stats", "--contigs"])
+        .arg(&contigs)
+        .arg("--reference")
+        .arg(&reference)
+        .output()
+        .expect("run stats");
+    assert!(stats.status.success());
+    let out = String::from_utf8_lossy(&stats.stdout);
+    assert!(out.contains("N50"), "{out}");
+    assert!(out.contains("align exactly"), "{out}");
+}
+
+#[test]
+fn full_graph_and_bsp_modes_work() {
+    let dir = workdir("modes");
+    let reads = dir.join("reads.fastq");
+    cli()
+        .args(["simulate", "--genome-len", "5000", "--coverage", "10", "--read-len", "80"])
+        .args(["--seed", "11", "--out"])
+        .arg(&reads)
+        .status()
+        .expect("simulate");
+
+    for (mode, extra) in [("full", vec!["--graph", "full"]), ("bsp", vec!["--traversal", "bsp"])] {
+        let out = dir.join(format!("contigs_{mode}.fa"));
+        let run = cli()
+            .args(["assemble", "--reads"])
+            .arg(&reads)
+            .args(["--out"])
+            .arg(&out)
+            .args(["--work"])
+            .arg(dir.join(format!("work_{mode}")))
+            .args(&extra)
+            .output()
+            .expect("assemble");
+        assert!(
+            run.status.success(),
+            "{mode}: {}",
+            String::from_utf8_lossy(&run.stderr)
+        );
+        assert!(out.exists(), "{mode} wrote no contigs");
+    }
+}
+
+#[test]
+fn bad_arguments_exit_nonzero_with_a_message() {
+    let out = cli().args(["assemble"]).output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--reads"));
+
+    let out = cli().args(["frobnicate"]).output().expect("run");
+    assert!(!out.status.success());
+
+    let out = cli()
+        .args(["assemble", "--reads", "/nonexistent.fastq", "--out", "/tmp/x.fa"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn error_correction_flag_runs() {
+    let dir = workdir("correct");
+    let reads = dir.join("noisy.fastq");
+    cli()
+        .args(["simulate", "--genome-len", "6000", "--coverage", "20", "--read-len", "80"])
+        .args(["--error-rate", "0.01", "--seed", "13", "--out"])
+        .arg(&reads)
+        .status()
+        .expect("simulate");
+    let out = cli()
+        .args(["assemble", "--reads"])
+        .arg(&reads)
+        .args(["--out"])
+        .arg(dir.join("contigs.fa"))
+        .args(["--work"])
+        .arg(dir.join("work"))
+        .args(["--correct", "21"])
+        .output()
+        .expect("assemble");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("error correction"), "{stdout}");
+}

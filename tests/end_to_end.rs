@@ -1,0 +1,252 @@
+//! End-to-end assembly across scales, budgets, and genome shapes.
+
+use lasagna_repro::genome::sim::is_substring_either_strand;
+use lasagna_repro::lasagna::verify::{count_false_edges, verify_contigs};
+use lasagna_repro::prelude::*;
+
+fn assemble(
+    genome_len: usize,
+    read_len: usize,
+    coverage: f64,
+    l_min: u32,
+    seed: u64,
+    host_bytes: u64,
+    device_bytes: u64,
+) -> (PackedSeq, ReadSet, lasagna::AssemblyOutput) {
+    let genome = GenomeSim::uniform(genome_len, seed).generate();
+    let reads = ShotgunSim::error_free(read_len, coverage, seed + 1).sample(&genome);
+    let dir = tempfile::tempdir().unwrap();
+    let config = AssemblyConfig::for_dataset(l_min, read_len as u32);
+    let device = Device::with_capacity(GpuProfile::k40(), device_bytes);
+    let host = HostMem::new(host_bytes);
+    let spill = SpillDir::create(dir.path(), IoStats::default()).unwrap();
+    let pipeline = Pipeline::new(device, host, spill, config).unwrap();
+    let out = pipeline.assemble(&reads).unwrap();
+    (genome, reads, out)
+}
+
+#[test]
+fn repeat_free_genome_assembles_into_exact_contigs() {
+    let (genome, _reads, out) = assemble(8_000, 80, 18.0, 50, 1, 64 << 20, 16 << 20);
+    let report = verify_contigs(&genome, &out.contigs);
+    assert!(report.all_exact(), "misassembled: {}", report.misassembled);
+    assert!(out.report.contig_stats.n50 > 80, "N50 beyond read length");
+    out.graph.check_invariants().unwrap();
+}
+
+#[test]
+fn tight_memory_budgets_change_passes_not_results() {
+    // Same dataset under generous and starved budgets: identical graphs,
+    // more disk traffic when starved.
+    let seed = 9;
+    let (_g1, _r1, big) = assemble(4_000, 60, 12.0, 40, seed, 64 << 20, 16 << 20);
+    let (_g2, _r2, small) = assemble(4_000, 60, 12.0, 40, seed, 40 << 10, 20 << 10);
+    assert_eq!(big.report.graph_edges, small.report.graph_edges);
+    let big_io: u64 = big.report.phases.iter().map(|p| p.io.bytes_read).sum();
+    let small_io: u64 = small.report.phases.iter().map(|p| p.io.bytes_read).sum();
+    assert!(
+        small_io > big_io,
+        "starved budgets must re-read data: {small_io} vs {big_io}"
+    );
+    // Contigs match too.
+    assert_eq!(big.report.contig_stats, small.report.contig_stats);
+}
+
+#[test]
+fn every_edge_in_the_graph_is_a_real_overlap() {
+    let (_genome, reads, out) = assemble(6_000, 70, 15.0, 45, 21, 64 << 20, 16 << 20);
+    assert!(out.report.graph_edges > 0);
+    assert_eq!(count_false_edges(&out.graph, &reads), 0);
+}
+
+#[test]
+fn repeats_produce_contigs_that_may_be_chimeric_but_cover_the_genome() {
+    let genome = GenomeSim {
+        len: 10_000,
+        repeat_fraction: 0.05,
+        repeat_len: 200,
+        seed: 33,
+    }
+    .generate();
+    let reads = ShotgunSim::error_free(100, 20.0, 34).sample(&genome);
+    let dir = tempfile::tempdir().unwrap();
+    let config = AssemblyConfig::for_dataset(63, 100);
+    let out = Pipeline::laptop(config, dir.path())
+        .unwrap()
+        .assemble(&reads)
+        .unwrap();
+    // Even with repeats every *edge* is a true overlap; only contig
+    // spelling across repeat boundaries can be chimeric.
+    assert_eq!(count_false_edges(&out.graph, &reads), 0);
+    assert!(out.report.contig_stats.total_bases as f64 > genome.len() as f64 * 0.5);
+}
+
+#[test]
+fn higher_coverage_improves_contiguity() {
+    let mut n50s = Vec::new();
+    for coverage in [4.0, 10.0, 25.0] {
+        let (_g, _r, out) = assemble(5_000, 80, coverage, 50, 55, 64 << 20, 16 << 20);
+        n50s.push(out.report.contig_stats.n50);
+    }
+    assert!(
+        n50s[0] < n50s[2],
+        "N50 should grow with coverage: {n50s:?}"
+    );
+}
+
+#[test]
+fn larger_l_min_is_more_conservative() {
+    let seed = 77;
+    let (_g, _r, loose) = assemble(5_000, 80, 12.0, 40, seed, 64 << 20, 16 << 20);
+    let (_g, _r, strict) = assemble(5_000, 80, 12.0, 75, seed, 64 << 20, 16 << 20);
+    assert!(
+        strict.report.graph_edges <= loose.report.graph_edges,
+        "more overlap required ⇒ fewer edges"
+    );
+}
+
+#[test]
+fn single_read_genome_survives() {
+    let genome = GenomeSim::uniform(100, 5).generate();
+    let mut reads = ReadSet::new(100);
+    reads.push(&genome).unwrap();
+    let dir = tempfile::tempdir().unwrap();
+    let config = AssemblyConfig::for_dataset(63, 100);
+    let out = Pipeline::laptop(config, dir.path())
+        .unwrap()
+        .assemble(&reads)
+        .unwrap();
+    assert_eq!(out.contigs.len(), 1);
+    assert!(is_substring_either_strand(&out.contigs[0], &genome));
+}
+
+#[test]
+fn reads_with_sequencing_errors_still_assemble_without_false_edges() {
+    let genome = GenomeSim::uniform(6_000, 61).generate();
+    let reads = ShotgunSim {
+        read_len: 100,
+        coverage: 25.0,
+        strand_flip_prob: 0.5,
+        error_rate: 0.005,
+        seed: 62,
+    }
+    .sample(&genome);
+    let dir = tempfile::tempdir().unwrap();
+    let config = AssemblyConfig::for_dataset(63, 100);
+    let out = Pipeline::laptop(config, dir.path())
+        .unwrap()
+        .assemble(&reads)
+        .unwrap();
+    // Errors reduce overlaps (exact matching) but can never fabricate one.
+    assert_eq!(count_false_edges(&out.graph, &reads), 0);
+}
+
+#[test]
+fn bsp_traversal_produces_identical_assembly() {
+    let genome = GenomeSim::uniform(4_000, 121).generate();
+    let reads = ShotgunSim::error_free(70, 12.0, 122).sample(&genome);
+
+    let d1 = tempfile::tempdir().unwrap();
+    let seq_cfg = AssemblyConfig::for_dataset(45, 70);
+    let seq = Pipeline::laptop(seq_cfg, d1.path()).unwrap().assemble(&reads).unwrap();
+
+    let d2 = tempfile::tempdir().unwrap();
+    let mut bsp_cfg = AssemblyConfig::for_dataset(45, 70);
+    bsp_cfg.bsp_traversal = true;
+    let bsp = Pipeline::laptop(bsp_cfg, d2.path()).unwrap().assemble(&reads).unwrap();
+
+    assert_eq!(seq.report.graph_edges, bsp.report.graph_edges);
+    assert_eq!(seq.report.contig_stats, bsp.report.contig_stats);
+    // The BSP run charges pointer-jump supersteps to the device.
+    let compress = bsp.report.phase("compress").unwrap();
+    assert!(compress.device.per_kernel.contains_key("bsp_pointer_jump"));
+    // Contigs must be the same set.
+    let mut a: Vec<String> = seq.contigs.iter().map(|c| c.to_string()).collect();
+    let mut b: Vec<String> = bsp.contigs.iter().map(|c| c.to_string()).collect();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn resume_skips_completed_phases_and_reproduces_the_result() {
+    let genome = GenomeSim::uniform(3_000, 131).generate();
+    let reads = ShotgunSim::error_free(70, 10.0, 132).sample(&genome);
+    let dir = tempfile::tempdir().unwrap();
+    let config = AssemblyConfig::for_dataset(45, 70);
+
+    // First run: everything executes, manifest + graph checkpoint land in
+    // the spill directory.
+    let first = Pipeline::laptop(config, dir.path())
+        .unwrap()
+        .assemble_resumable(&reads)
+        .unwrap();
+    assert!(dir.path().join("manifest.json").exists());
+    assert!(dir.path().join("graph.bin").exists());
+
+    // Second run in the same directory: map/sort/reduce are skipped.
+    let resumed_pipeline = Pipeline::laptop(config, dir.path()).unwrap();
+    let second = resumed_pipeline.assemble_resumable(&reads).unwrap();
+    let names: Vec<&str> = second.report.phases.iter().map(|p| p.phase.as_str()).collect();
+    assert!(names.contains(&"map (resumed)"), "{names:?}");
+    assert!(names.contains(&"sort (resumed)"), "{names:?}");
+    assert!(names.contains(&"reduce (resumed)"), "{names:?}");
+    // Skipped phases cost nothing.
+    for p in &second.report.phases {
+        if p.phase.ends_with("(resumed)") {
+            assert_eq!(p.modeled_seconds, 0.0, "{}", p.phase);
+        }
+    }
+
+    // Identical output.
+    assert_eq!(first.report.graph_edges, second.report.graph_edges);
+    assert_eq!(first.report.contig_stats, second.report.contig_stats);
+    for v in 0..first.graph.vertex_count() {
+        assert_eq!(first.graph.out(v), second.graph.out(v));
+    }
+}
+
+#[test]
+fn resume_restarts_when_the_dataset_changes() {
+    let genome = GenomeSim::uniform(2_000, 141).generate();
+    let reads_a = ShotgunSim::error_free(70, 8.0, 142).sample(&genome);
+    let reads_b = ShotgunSim::error_free(70, 8.0, 143).sample(&genome);
+    let dir = tempfile::tempdir().unwrap();
+    let config = AssemblyConfig::for_dataset(45, 70);
+
+    Pipeline::laptop(config, dir.path())
+        .unwrap()
+        .assemble_resumable(&reads_a)
+        .unwrap();
+    // Different reads in the same directory: nothing may be reused.
+    let out = Pipeline::laptop(config, dir.path())
+        .unwrap()
+        .assemble_resumable(&reads_b)
+        .unwrap();
+    for p in &out.report.phases {
+        assert!(
+            !p.phase.ends_with("(resumed)"),
+            "phase {} wrongly resumed across datasets",
+            p.phase
+        );
+    }
+}
+
+#[test]
+fn plain_assemble_ignores_stale_manifests() {
+    let genome = GenomeSim::uniform(2_000, 151).generate();
+    let reads = ShotgunSim::error_free(70, 8.0, 152).sample(&genome);
+    let dir = tempfile::tempdir().unwrap();
+    let config = AssemblyConfig::for_dataset(45, 70);
+    Pipeline::laptop(config, dir.path())
+        .unwrap()
+        .assemble_resumable(&reads)
+        .unwrap();
+    let out = Pipeline::laptop(config, dir.path())
+        .unwrap()
+        .assemble(&reads)
+        .unwrap();
+    for p in &out.report.phases {
+        assert!(!p.phase.ends_with("(resumed)"));
+    }
+}

@@ -1,0 +1,99 @@
+//! Failure injection: corrupt spill data, impossible budgets, degenerate
+//! inputs — the pipeline must fail loudly, never silently mis-assemble.
+
+use lasagna_repro::gstream::spill::PartitionKind;
+use lasagna_repro::lasagna::LasagnaError;
+use lasagna_repro::prelude::*;
+
+fn reads(seed: u64) -> ReadSet {
+    let genome = GenomeSim::uniform(2_000, seed).generate();
+    ShotgunSim::error_free(60, 8.0, seed + 1).sample(&genome)
+}
+
+#[test]
+fn truncated_partition_file_fails_the_sort_phase() {
+    let dir = tempfile::tempdir().unwrap();
+    let config = AssemblyConfig::for_dataset(40, 60);
+    let spill = SpillDir::create(dir.path(), IoStats::default()).unwrap();
+    let device = Device::with_capacity(GpuProfile::k40(), 8 << 20);
+    let host = HostMem::new(32 << 20);
+
+    // Run map manually, then vandalize one partition.
+    let r = reads(1);
+    lasagna_repro::lasagna::map::run(&device, &host, &spill, &config, &r).unwrap();
+    let victim = spill.path(PartitionKind::Suffix, 45);
+    let mut bytes = std::fs::read(&victim).unwrap();
+    bytes.truncate(bytes.len() - 7); // mid-record
+    std::fs::write(&victim, bytes).unwrap();
+
+    let err = lasagna_repro::lasagna::sortphase::run(&device, &host, &spill, &config).unwrap_err();
+    assert!(matches!(err, LasagnaError::Stream(gstream::StreamError::Corrupt(_))));
+}
+
+#[test]
+fn device_too_small_for_a_single_batch_reports_oom() {
+    let dir = tempfile::tempdir().unwrap();
+    let config = AssemblyConfig::for_dataset(40, 60);
+    // 1 KB device: not even one read's fingerprints fit.
+    let device = Device::with_capacity(GpuProfile::k40(), 1 << 10);
+    let host = HostMem::new(32 << 20);
+    let spill = SpillDir::create(dir.path(), IoStats::default()).unwrap();
+    let pipeline = Pipeline::new(device, host, spill, config).unwrap();
+    let err = pipeline.assemble(&reads(2)).unwrap_err();
+    assert!(
+        matches!(err, LasagnaError::Device(vgpu::DeviceError::OutOfMemory { .. })),
+        "got {err}"
+    );
+}
+
+#[test]
+fn host_budget_smaller_than_one_read_fails_cleanly() {
+    let dir = tempfile::tempdir().unwrap();
+    let config = AssemblyConfig::for_dataset(40, 60);
+    let device = Device::with_capacity(GpuProfile::k40(), 8 << 20);
+    let host = HostMem::new(64); // bytes!
+    let spill = SpillDir::create(dir.path(), IoStats::default()).unwrap();
+    let pipeline = Pipeline::new(device, host, spill, config).unwrap();
+    assert!(pipeline.assemble(&reads(3)).is_err());
+}
+
+#[test]
+fn invalid_configs_are_rejected_before_any_work() {
+    let dir = tempfile::tempdir().unwrap();
+    for (l_min, l_max) in [(0u32, 60u32), (60, 60), (61, 60)] {
+        let config = AssemblyConfig::for_dataset(l_min, l_max);
+        assert!(Pipeline::laptop(config, dir.path()).is_err(), "{l_min}/{l_max}");
+    }
+}
+
+#[test]
+fn read_length_mismatch_is_detected() {
+    let dir = tempfile::tempdir().unwrap();
+    let config = AssemblyConfig::for_dataset(40, 80); // expects 80 bp
+    let pipeline = Pipeline::laptop(config, dir.path()).unwrap();
+    let err = pipeline.assemble(&reads(4)).unwrap_err(); // 60 bp reads
+    assert!(matches!(err, LasagnaError::BadConfig(_)));
+}
+
+#[test]
+fn missing_spill_directory_parent_fails_at_construction() {
+    let config = AssemblyConfig::for_dataset(40, 60);
+    // A path whose parent is a *file* cannot become a directory.
+    let dir = tempfile::tempdir().unwrap();
+    let blocker = dir.path().join("blocker");
+    std::fs::write(&blocker, b"file").unwrap();
+    let result = Pipeline::laptop(config, blocker.join("sub"));
+    assert!(result.is_err());
+}
+
+#[test]
+fn empty_input_produces_empty_but_valid_output_everywhere() {
+    let dir = tempfile::tempdir().unwrap();
+    let config = AssemblyConfig::for_dataset(40, 60);
+    let pipeline = Pipeline::laptop(config, dir.path()).unwrap();
+    let out = pipeline.assemble(&ReadSet::new(60)).unwrap();
+    assert_eq!(out.contigs.len(), 0);
+    assert_eq!(out.report.graph_edges, 0);
+    assert_eq!(out.report.phases.len(), 5);
+    out.graph.check_invariants().unwrap();
+}
