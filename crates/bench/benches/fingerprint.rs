@@ -45,7 +45,10 @@ fn bench_schemes(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("fingerprint_scheme");
     group.throughput(Throughput::Elements((batch.len() * 100) as u64));
-    for scheme in [FingerprintScheme::ThreadPerRead, FingerprintScheme::BlockPerRead] {
+    for scheme in [
+        FingerprintScheme::ThreadPerRead,
+        FingerprintScheme::BlockPerRead,
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{scheme:?}")),
             &scheme,

@@ -42,7 +42,9 @@ fn serial_insert(cands: &[(u32, u32, u32)]) -> u64 {
 /// words); each insertion takes the two stripes of u and v′ in address
 /// order, then re-checks and commits.
 fn locked_parallel_insert(cands: &[(u32, u32, u32)]) -> u64 {
-    let stripes: Vec<Mutex<()>> = (0..(VERTICES as usize / 64 + 1)).map(|_| Mutex::new(())).collect();
+    let stripes: Vec<Mutex<()>> = (0..(VERTICES as usize / 64 + 1))
+        .map(|_| Mutex::new(()))
+        .collect();
     let graph = Mutex::new(StringGraph::new(VERTICES));
     cands.par_iter().for_each(|&(u, v, l)| {
         let a = (u / 64) as usize;
@@ -69,12 +71,20 @@ fn bench_insertion(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("graph_insert");
     group.throughput(Throughput::Elements(cands.len() as u64));
-    group.bench_with_input(BenchmarkId::from_parameter("serial_bitvector"), &(), |b, _| {
-        b.iter(|| black_box(serial_insert(&cands)));
-    });
-    group.bench_with_input(BenchmarkId::from_parameter("locked_parallel"), &(), |b, _| {
-        b.iter(|| black_box(locked_parallel_insert(&cands)));
-    });
+    group.bench_with_input(
+        BenchmarkId::from_parameter("serial_bitvector"),
+        &(),
+        |b, _| {
+            b.iter(|| black_box(serial_insert(&cands)));
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("locked_parallel"),
+        &(),
+        |b, _| {
+            b.iter(|| black_box(locked_parallel_insert(&cands)));
+        },
+    );
     group.finish();
 }
 

@@ -101,5 +101,11 @@ fn bench_scan(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_radix_sort, bench_merge, bench_bounds, bench_scan);
+criterion_group!(
+    benches,
+    bench_radix_sort,
+    bench_merge,
+    bench_bounds,
+    bench_scan
+);
 criterion_main!(benches);

@@ -77,7 +77,10 @@ fn bench_levels(c: &mut Criterion) {
     // Extension ablation: pairwise doubling vs single k-way merge pass.
     let kway = run_sort_with(&input, &dir.path().join("w3"), M_H / 8, M_D, true);
     let pairwise = run_sort_with(&input, &dir.path().join("w4"), M_H / 8, M_D, false);
-    println!("merge passes at m_h = {}: pairwise sort {pairwise} disk passes, k-way {kway}", M_H / 8);
+    println!(
+        "merge passes at m_h = {}: pairwise sort {pairwise} disk passes, k-way {kway}",
+        M_H / 8
+    );
 
     let mut group = c.benchmark_group("sort_levels");
     group.sample_size(10);

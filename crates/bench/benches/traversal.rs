@@ -19,7 +19,8 @@ fn chain_graph(chains: u32, len: u32) -> StringGraph {
     for c in 0..chains {
         let base = c * len * 2;
         for i in 0..len - 1 {
-            g.try_add_edge(base + i * 2, base + (i + 1) * 2, 60 + (i % 30)).unwrap();
+            g.try_add_edge(base + i * 2, base + (i + 1) * 2, 60 + (i % 30))
+                .unwrap();
         }
     }
     g
@@ -45,9 +46,13 @@ fn bench_traversal(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::from_parameter("sequential"), &(), |b, _| {
         b.iter(|| black_box(extract_paths(&g, 100, opts)));
     });
-    group.bench_with_input(BenchmarkId::from_parameter("bsp_pointer_jump"), &(), |b, _| {
-        b.iter(|| black_box(extract_paths_bsp(&g, 100, opts, None)));
-    });
+    group.bench_with_input(
+        BenchmarkId::from_parameter("bsp_pointer_jump"),
+        &(),
+        |b, _| {
+            b.iter(|| black_box(extract_paths_bsp(&g, 100, opts, None)));
+        },
+    );
     group.finish();
 }
 

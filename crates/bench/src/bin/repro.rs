@@ -18,7 +18,10 @@
 //! ```
 //!
 //! Results print as aligned tables with the paper's published numbers
-//! alongside, and are archived as JSON under `--out`.
+//! alongside, and are archived as `BENCH_<experiment>.json` under `--out`.
+//! Every `AssemblyReport` in those archives is a pure roll-up of the
+//! pipeline's recorded `obs` events (see OBSERVABILITY.md), so the bench
+//! trajectory and `--trace-out` traces share one source of truth.
 
 use bench::env::Testbed;
 use bench::experiments::{self, DatasetRun};
@@ -80,7 +83,7 @@ fn die(msg: &str) -> ! {
 
 fn save_json<T: serde::Serialize>(out: &Path, name: &str, value: &T) {
     std::fs::create_dir_all(out).expect("create out dir");
-    let path = out.join(format!("{name}.json"));
+    let path = out.join(format!("BENCH_{name}.json"));
     std::fs::write(&path, serde_json::to_string_pretty(value).unwrap()).expect("write json");
     println!("  [saved {}]", path.display());
 }
@@ -99,7 +102,11 @@ fn hms(seconds: f64) -> String {
 /// Run (or load the archived) per-testbed assembly runs: Tables II+IV share
 /// one run per dataset, Tables III+V another.
 fn testbed_runs(testbed: Testbed, scale: u64, out: &Path) -> Vec<DatasetRun> {
-    let tag = if testbed.host_bytes == 128 << 30 { "k40" } else { "k20x" };
+    let tag = if testbed.host_bytes == 128 << 30 {
+        "k40"
+    } else {
+        "k20x"
+    };
     let cache = out.join(format!("runs_{tag}_{scale}.json"));
     if let Ok(bytes) = std::fs::read(&cache) {
         if let Ok(runs) = serde_json::from_slice::<Vec<DatasetRun>>(&bytes) {
@@ -198,7 +205,13 @@ fn run_table1(scale: u64, out: &Path) {
     for r in &rows {
         println!(
             "{:<10} {:>6} {:>14} {:>16} {:>6} {:>10} {:>12}",
-            r.dataset, r.length, r.paper_reads, r.paper_bases, r.l_min, r.scaled_reads, r.scaled_bases
+            r.dataset,
+            r.length,
+            r.paper_reads,
+            r.paper_bases,
+            r.l_min,
+            r.scaled_reads,
+            r.scaled_bases
         );
     }
     save_json(out, "table1", &rows);
@@ -206,25 +219,45 @@ fn run_table1(scale: u64, out: &Path) {
 
 fn run_table2(scale: u64, out: &Path) {
     let runs = testbed_runs(Testbed::queenbee2(), scale, out);
-    print_times(&runs, &paper::TABLE2, scale, "Table II: single node, 128 GB + K40");
+    print_times(
+        &runs,
+        &paper::TABLE2,
+        scale,
+        "Table II: single node, 128 GB + K40",
+    );
     save_json(out, "table2", &runs);
 }
 
 fn run_table3(scale: u64, out: &Path) {
     let runs = testbed_runs(Testbed::supermic(), scale, out);
-    print_times(&runs, &paper::TABLE3, scale, "Table III: single node, 64 GB + K20X");
+    print_times(
+        &runs,
+        &paper::TABLE3,
+        scale,
+        "Table III: single node, 64 GB + K20X",
+    );
     save_json(out, "table3", &runs);
 }
 
 fn run_table4(scale: u64, out: &Path) {
     let runs = testbed_runs(Testbed::queenbee2(), scale, out);
-    print_peaks(&runs, &paper::TABLE4, scale, "Table IV: peak memory, 128 GB + K40");
+    print_peaks(
+        &runs,
+        &paper::TABLE4,
+        scale,
+        "Table IV: peak memory, 128 GB + K40",
+    );
     save_json(out, "table4", &runs);
 }
 
 fn run_table5(scale: u64, out: &Path) {
     let runs = testbed_runs(Testbed::supermic(), scale, out);
-    print_peaks(&runs, &paper::TABLE5, scale, "Table V: peak memory, 64 GB + K20X");
+    print_peaks(
+        &runs,
+        &paper::TABLE5,
+        scale,
+        "Table V: peak memory, 64 GB + K20X",
+    );
     save_json(out, "table5", &runs);
 }
 
@@ -265,7 +298,10 @@ fn run_fig8(scale: u64, out: &Path) {
     for p in &points {
         println!(
             "{:>16} {:>12} {:>8} {:>15.4}s {:>18}",
-            p.host_block_pairs, p.device_block_pairs, p.disk_passes, p.modeled_seconds,
+            p.host_block_pairs,
+            p.device_block_pairs,
+            p.disk_passes,
+            p.modeled_seconds,
             hms(p.paper_scale_seconds)
         );
     }
@@ -283,7 +319,10 @@ fn run_fig9(scale: u64, out: &Path) {
     for p in &points {
         println!(
             "{:<6} {:>14} {:>8} {:>15.4}s {:>18}",
-            p.gpu, p.host_block_pairs, p.disk_passes, p.modeled_seconds,
+            p.gpu,
+            p.host_block_pairs,
+            p.disk_passes,
+            p.modeled_seconds,
             hms(p.paper_scale_seconds)
         );
     }
@@ -302,7 +341,12 @@ fn run_fig10(scale: u64, nodes: &[usize], out: &Path) {
         "nodes", "map", "shuffle", "sort", "reduce", "total", "×scale"
     );
     for p in &points {
-        let get = |n: &str| p.phases.iter().find(|(k, _)| k == n).map_or(0.0, |(_, v)| *v);
+        let get = |n: &str| {
+            p.phases
+                .iter()
+                .find(|(k, _)| k == n)
+                .map_or(0.0, |(_, v)| *v)
+        };
         println!(
             "{:>6} {:>9.3}s {:>9.3}s {:>9.3}s {:>9.3}s {:>11.3}s {:>16}",
             p.nodes,
@@ -314,17 +358,18 @@ fn run_fig10(scale: u64, nodes: &[usize], out: &Path) {
             hms(p.paper_scale_seconds)
         );
     }
-    println!("paper totals (approx, read off the stacked bars): {:?}", paper::FIG10_TOTALS);
+    println!(
+        "paper totals (approx, read off the stacked bars): {:?}",
+        paper::FIG10_TOTALS
+    );
     save_json(out, "fig10", &points);
 }
 
 fn run_reduce_ablation(scale: u64, nodes: &[usize], out: &Path) {
     let work = tempfile::tempdir().expect("workdir");
-    let points = experiments::reduce_strategies(scale, nodes, work.path())
-        .expect("reduce ablation failed");
-    println!(
-        "\n=== Reduce-strategy ablation: token vs fingerprint-range (scale 1/{scale}) ==="
-    );
+    let points =
+        experiments::reduce_strategies(scale, nodes, work.path()).expect("reduce ablation failed");
+    println!("\n=== Reduce-strategy ablation: token vs fingerprint-range (scale 1/{scale}) ===");
     println!(
         "{:>6} {:<18} {:>12} {:>12} {:>12} {:>10}",
         "nodes", "strategy", "shuffle", "reduce", "total", "edges"
@@ -342,9 +387,15 @@ fn run_mapscheme(scale: u64, out: &Path) {
     let work = tempfile::tempdir().expect("workdir");
     let rows = experiments::mapscheme(scale, work.path()).expect("mapscheme failed");
     println!("\n=== Map-kernel ablation: H.Genome, K40 (scale 1/{scale}) ===");
-    println!("{:<18} {:>14} {:>16}", "scheme", "kernel (dev)", "map total");
+    println!(
+        "{:<18} {:>14} {:>16}",
+        "scheme", "kernel (dev)", "map total"
+    );
     for r in &rows {
-        println!("{:<18} {:>13.5}s {:>15.4}s", r.scheme, r.kernel_seconds, r.map_modeled);
+        println!(
+            "{:<18} {:>13.5}s {:>15.4}s",
+            r.scheme, r.kernel_seconds, r.map_modeled
+        );
     }
     let ratio = rows[0].kernel_seconds / rows[1].kernel_seconds.max(1e-12);
     println!("(paper: thread-per-read \"fails to perform as expected due to excessive memory throttling\" — device-kernel ratio {ratio:.1}x)");
@@ -355,11 +406,16 @@ fn run_disks(scale: u64, out: &Path) {
     let work = tempfile::tempdir().expect("workdir");
     let rows = experiments::disks(scale, work.path()).expect("disks failed");
     println!("\n=== Storage media sweep: H.Genome, 64 GB testbed (scale 1/{scale}) ===");
-    println!("{:<28} {:>12} {:>12} {:>16}", "media", "sort", "total", "total ×scale");
+    println!(
+        "{:<28} {:>12} {:>12} {:>16}",
+        "media", "sort", "total", "total ×scale"
+    );
     for r in &rows {
         println!(
             "{:<28} {:>11.3}s {:>11.3}s {:>16}",
-            r.media, r.sort_modeled, r.total_modeled,
+            r.media,
+            r.sort_modeled,
+            r.total_modeled,
             hms(r.total_modeled * scale as f64)
         );
     }
@@ -443,8 +499,20 @@ fn main() {
     };
     if args.experiment == "all" {
         for name in [
-            "table1", "table2", "table3", "table4", "table5", "table6", "fig8", "fig9", "fig10",
-            "reduce_ablation", "dbgcheck", "disks", "mapscheme", "fpcheck",
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "table6",
+            "fig8",
+            "fig9",
+            "fig10",
+            "reduce_ablation",
+            "dbgcheck",
+            "disks",
+            "mapscheme",
+            "fpcheck",
         ] {
             run(name);
         }

@@ -68,11 +68,7 @@ impl ScaledEnv {
     }
 
     /// A pipeline for `preset` working under `workdir`.
-    pub fn pipeline(
-        &self,
-        preset: DatasetPreset,
-        workdir: &Path,
-    ) -> lasagna::Result<Pipeline> {
+    pub fn pipeline(&self, preset: DatasetPreset, workdir: &Path) -> lasagna::Result<Pipeline> {
         let scaled = preset.scaled(self.scale);
         let config = AssemblyConfig::for_dataset(scaled.l_min, scaled.read_len as u32);
         let spill = SpillDir::create(workdir, IoStats::default())?;
@@ -98,8 +94,14 @@ mod tests {
     #[test]
     fn supermic_has_half_the_memory_of_queenbee() {
         // Power-of-two scale, so the divisions are exact.
-        let q = ScaledEnv { testbed: Testbed::queenbee2(), scale: 1024 };
-        let s = ScaledEnv { testbed: Testbed::supermic(), scale: 1024 };
+        let q = ScaledEnv {
+            testbed: Testbed::queenbee2(),
+            scale: 1024,
+        };
+        let s = ScaledEnv {
+            testbed: Testbed::supermic(),
+            scale: 1024,
+        };
         assert_eq!(q.host_bytes(), 2 * s.host_bytes());
         assert_eq!(q.device_bytes(), 2 * s.device_bytes());
     }

@@ -75,10 +75,7 @@ pub fn run_testbed(
     scale: u64,
     workdir: &Path,
 ) -> lasagna::Result<Vec<DatasetRun>> {
-    let env = ScaledEnv {
-        testbed,
-        scale,
-    };
+    let env = ScaledEnv { testbed, scale };
     let mut out = Vec::new();
     for &preset in &DatasetPreset::ALL {
         let dir = workdir.join(format!("{:?}", preset));
@@ -130,8 +127,14 @@ pub fn table6(scale: u64, workdir: &Path) -> Result<Vec<Table6Row>, String> {
         let (_genome, reads) = scaled.materialize();
 
         let mut sga_wall = [None, None];
-        for (j, testbed) in [Testbed::supermic(), Testbed::queenbee2()].iter().enumerate() {
-            let env = ScaledEnv { testbed: testbed.clone(), scale };
+        for (j, testbed) in [Testbed::supermic(), Testbed::queenbee2()]
+            .iter()
+            .enumerate()
+        {
+            let env = ScaledEnv {
+                testbed: testbed.clone(),
+                scale,
+            };
             let baseline = sga::SgaBaseline {
                 host: HostMem::new(env.host_bytes()),
                 io: IoStats::default(),
@@ -146,8 +149,14 @@ pub fn table6(scale: u64, workdir: &Path) -> Result<Vec<Table6Row>, String> {
 
         let mut lasagna_wall = [0.0f64; 2];
         let mut lasagna_modeled = [0.0f64; 2];
-        for (j, testbed) in [Testbed::supermic(), Testbed::queenbee2()].iter().enumerate() {
-            let env = ScaledEnv { testbed: testbed.clone(), scale };
+        for (j, testbed) in [Testbed::supermic(), Testbed::queenbee2()]
+            .iter()
+            .enumerate()
+        {
+            let env = ScaledEnv {
+                testbed: testbed.clone(),
+                scale,
+            };
             let dir = workdir.join(format!("t6_{i}_{j}"));
             std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
             let pipeline = env.pipeline(preset, &dir).map_err(|e| e.to_string())?;
@@ -175,7 +184,10 @@ pub fn table6(scale: u64, workdir: &Path) -> Result<Vec<Table6Row>, String> {
 /// A synthetic H.Genome-scale partition for the sort sweeps: the paper
 /// uses "about 2.5 billion pairs of 128-bit keys and 32-bit values per
 /// partition" (Section IV-C4).
-pub fn write_sort_input(scale: u64, spill: &SpillDir) -> gstream::Result<(std::path::PathBuf, u64)> {
+pub fn write_sort_input(
+    scale: u64,
+    spill: &SpillDir,
+) -> gstream::Result<(std::path::PathBuf, u64)> {
     let pairs = (2_500_000_000 / scale).max(1_000) as usize;
     let path = spill.scratch_path("fig_sort_input");
     let mut w = RecordWriter::create(&path, spill.io().clone())?;
@@ -252,10 +264,16 @@ pub fn fig8(scale: u64, workdir: &Path) -> gstream::Result<Vec<SortPoint>> {
     let (input, _pairs) = write_sort_input(scale, &spill)?;
     // Paper sweep: host {0.02, 0.08, 0.32, 1.28, 2.56} G pairs,
     // device {5, 10, 20, 40} M pairs.
-    let hosts: Vec<usize> = [20_000_000u64, 80_000_000, 320_000_000, 1_280_000_000, 2_560_000_000]
-        .iter()
-        .map(|&h| (h / scale).max(4) as usize)
-        .collect();
+    let hosts: Vec<usize> = [
+        20_000_000u64,
+        80_000_000,
+        320_000_000,
+        1_280_000_000,
+        2_560_000_000,
+    ]
+    .iter()
+    .map(|&h| (h / scale).max(4) as usize)
+    .collect();
     let devices: Vec<usize> = [5_000_000u64, 10_000_000, 20_000_000, 40_000_000]
         .iter()
         .map(|&d| (d / scale).max(2) as usize)
@@ -276,10 +294,16 @@ pub fn fig9(scale: u64, workdir: &Path) -> gstream::Result<Vec<SortPoint>> {
     let io = IoStats::default();
     let spill = SpillDir::create(workdir, io)?;
     let (input, _pairs) = write_sort_input(scale, &spill)?;
-    let hosts: Vec<usize> = [20_000_000u64, 80_000_000, 320_000_000, 1_280_000_000, 2_560_000_000]
-        .iter()
-        .map(|&h| (h / scale).max(4) as usize)
-        .collect();
+    let hosts: Vec<usize> = [
+        20_000_000u64,
+        80_000_000,
+        320_000_000,
+        1_280_000_000,
+        2_560_000_000,
+    ]
+    .iter()
+    .map(|&h| (h / scale).max(4) as usize)
+    .collect();
     let m_d = (20_000_000 / scale).max(2) as usize;
     let mut out = Vec::new();
     for gpu in GpuProfile::fig9_lineup() {
@@ -314,7 +338,10 @@ pub fn fig10(scale: u64, nodes_list: &[usize], workdir: &Path) -> Result<Vec<Fig
     let scaled = DatasetPreset::HGenome.scaled(scale);
     let (_genome, reads) = scaled.materialize();
     let assembly = AssemblyConfig::for_dataset(scaled.l_min, scaled.read_len as u32);
-    let env = ScaledEnv { testbed: Testbed::supermic(), scale };
+    let env = ScaledEnv {
+        testbed: Testbed::supermic(),
+        scale,
+    };
 
     let mut out = Vec::new();
     for &n in nodes_list {
@@ -360,7 +387,10 @@ pub fn mapscheme(scale: u64, workdir: &Path) -> Result<Vec<SchemeRow>, String> {
     use fingerprint::FingerprintScheme;
     let scaled = DatasetPreset::HGenome.scaled(scale);
     let (_genome, reads) = scaled.materialize();
-    let env = ScaledEnv { testbed: Testbed::queenbee2(), scale };
+    let env = ScaledEnv {
+        testbed: Testbed::queenbee2(),
+        scale,
+    };
     let mut out = Vec::new();
     for (scheme, name) in [
         (FingerprintScheme::ThreadPerRead, "thread-per-read"),
@@ -407,7 +437,10 @@ pub fn disks(scale: u64, workdir: &Path) -> Result<Vec<DiskRow>, String> {
     use gstream::DiskModel;
     let scaled = DatasetPreset::HGenome.scaled(scale);
     let (_genome, reads) = scaled.materialize();
-    let env = ScaledEnv { testbed: Testbed::supermic(), scale };
+    let env = ScaledEnv {
+        testbed: Testbed::supermic(),
+        scale,
+    };
     let mut out = Vec::new();
     for (label, model) in [
         ("HDD (160 MB/s)", DiskModel::hdd()),
@@ -418,14 +451,18 @@ pub fn disks(scale: u64, workdir: &Path) -> Result<Vec<DiskRow>, String> {
         std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
         let config = AssemblyConfig::for_dataset(scaled.l_min, scaled.read_len as u32);
         let spill = SpillDir::create(&dir, IoStats::new(model)).map_err(|e| e.to_string())?;
-        let pipeline = Pipeline::new(env.device(), env.host(), spill, config)
-            .map_err(|e| e.to_string())?;
+        let pipeline =
+            Pipeline::new(env.device(), env.host(), spill, config).map_err(|e| e.to_string())?;
         let result = pipeline.assemble(&reads).map_err(|e| e.to_string())?;
         out.push(DiskRow {
             media: label.to_string(),
             read_mb_s: model.read_bytes_per_s / 1e6,
             total_modeled: result.report.total_modeled_seconds(),
-            sort_modeled: result.report.phase("sort").map(|p| p.modeled_seconds).unwrap_or(0.0),
+            sort_modeled: result
+                .report
+                .phase("sort")
+                .map(|p| p.modeled_seconds)
+                .unwrap_or(0.0),
         });
     }
     Ok(out)
@@ -474,7 +511,10 @@ pub fn dbgcheck(scale: u64) -> Vec<DbgCheckRow> {
         }
         .sample(&genome);
         for testbed in [Testbed::supermic(), Testbed::queenbee2()] {
-            let env = ScaledEnv { testbed: testbed.clone(), scale };
+            let env = ScaledEnv {
+                testbed: testbed.clone(),
+                scale,
+            };
             let host = HostMem::new(env.host_bytes());
             let assembler = dbg::DbgAssembler {
                 k: 21,
@@ -483,7 +523,11 @@ pub fn dbgcheck(scale: u64) -> Vec<DbgCheckRow> {
                 min_count: (scaled.coverage / 8.0).max(2.0) as u32,
                 host: host.clone(),
             };
-            let label = if testbed.host_bytes == 128 << 30 { "128 GB" } else { "64 GB" };
+            let label = if testbed.host_bytes == 128 << 30 {
+                "128 GB"
+            } else {
+                "64 GB"
+            };
             match assembler.assemble(&reads) {
                 Ok((_contigs, report)) => out.push(DbgCheckRow {
                     dataset: preset.name().to_string(),
@@ -536,7 +580,10 @@ pub fn reduce_strategies(
     let scaled = DatasetPreset::HGenome.scaled(scale);
     let (_genome, reads) = scaled.materialize();
     let assembly = AssemblyConfig::for_dataset(scaled.l_min, scaled.read_len as u32);
-    let env = ScaledEnv { testbed: Testbed::supermic(), scale };
+    let env = ScaledEnv {
+        testbed: Testbed::supermic(),
+        scale,
+    };
 
     let mut out = Vec::new();
     for &n in nodes_list {
@@ -595,7 +642,10 @@ pub struct FpCheckRow {
 pub fn fpcheck(scale: u64, workdir: &Path) -> Result<Vec<FpCheckRow>, String> {
     let scaled = DatasetPreset::HChr14.scaled(scale);
     let (_genome, reads) = scaled.materialize();
-    let env = ScaledEnv { testbed: Testbed::queenbee2(), scale };
+    let env = ScaledEnv {
+        testbed: Testbed::queenbee2(),
+        scale,
+    };
     let mut out = Vec::new();
     for bits in [128u32, 64, 48, 32, 24, 16] {
         let dir = workdir.join(format!("fp_{bits}"));
@@ -603,8 +653,8 @@ pub fn fpcheck(scale: u64, workdir: &Path) -> Result<Vec<FpCheckRow>, String> {
         let mut config = AssemblyConfig::for_dataset(scaled.l_min, scaled.read_len as u32);
         config.fingerprint_bits = bits;
         let spill = SpillDir::create(&dir, IoStats::default()).map_err(|e| e.to_string())?;
-        let pipeline = Pipeline::new(env.device(), env.host(), spill, config)
-            .map_err(|e| e.to_string())?;
+        let pipeline =
+            Pipeline::new(env.device(), env.host(), spill, config).map_err(|e| e.to_string())?;
         let result = pipeline.assemble(&reads).map_err(|e| e.to_string())?;
         out.push(FpCheckRow {
             bits,
@@ -616,7 +666,11 @@ pub fn fpcheck(scale: u64, workdir: &Path) -> Result<Vec<FpCheckRow>, String> {
 }
 
 /// Single-node graph used as a reference in tests/benches.
-pub fn reference_graph(reads: &ReadSet, l_min: u32, workdir: &Path) -> lasagna::Result<StringGraph> {
+pub fn reference_graph(
+    reads: &ReadSet,
+    l_min: u32,
+    workdir: &Path,
+) -> lasagna::Result<StringGraph> {
     let config = AssemblyConfig::for_dataset(l_min, reads.read_len() as u32);
     let pipeline = Pipeline::laptop(config, workdir)?;
     Ok(pipeline.assemble(reads)?.graph)
@@ -632,7 +686,9 @@ mod tests {
         assert_eq!(rows.len(), 4);
         assert_eq!(rows[0].dataset, "H.Chr 14");
         assert_eq!(rows[3].dataset, "H.Genome");
-        assert!(rows.windows(2).all(|w| w[0].scaled_bases < w[1].scaled_bases));
+        assert!(rows
+            .windows(2)
+            .all(|w| w[0].scaled_bases < w[1].scaled_bases));
         assert_eq!(rows[2].length, 150);
     }
 

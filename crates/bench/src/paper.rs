@@ -112,12 +112,7 @@ pub const TABLE6: PaperTable6 = PaperTable6 {
 
 /// Fig. 10 phase seconds on SuperMic for H.Genome at 1/2/4/8 nodes,
 /// read off the stacked bars (approximate; the paper prints no table).
-pub const FIG10_TOTALS: [(u32, u64); 4] = [
-    (1, 73696),
-    (2, 42000),
-    (4, 27000),
-    (8, 19000),
-];
+pub const FIG10_TOTALS: [(u32, u64); 4] = [(1, 73696), (2, 42000), (4, 27000), (8, 19000)];
 
 #[cfg(test)]
 mod tests {
@@ -132,7 +127,12 @@ mod tests {
     #[test]
     fn sort_is_the_largest_phase_in_every_column() {
         for i in 0..4 {
-            for other in [TABLE2.map[i], TABLE2.reduce[i], TABLE2.compress[i], TABLE2.load[i]] {
+            for other in [
+                TABLE2.map[i],
+                TABLE2.reduce[i],
+                TABLE2.compress[i],
+                TABLE2.load[i],
+            ] {
                 assert!(TABLE2.sort[i] > other, "column {i}");
             }
         }

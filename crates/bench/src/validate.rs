@@ -65,7 +65,10 @@ pub fn validate(scale: u64, workdir: &Path) -> Result<Vec<ClaimResult>, String> 
                 .join("; "),
         ));
 
-        let totals: Vec<f64> = runs.iter().map(|r| r.report.total_modeled_seconds()).collect();
+        let totals: Vec<f64> = runs
+            .iter()
+            .map(|r| r.report.total_modeled_seconds())
+            .collect();
         out.push(claim(
             "assembly time grows with dataset size",
             "Tables II-III",
@@ -89,7 +92,9 @@ pub fn validate(scale: u64, workdir: &Path) -> Result<Vec<ClaimResult>, String> 
             "sort-phase device peaks across datasets within 2x".into(),
         ));
 
-        let misassembly_free_edges = runs.iter().all(|r| r.misassembled < r.report.contig_stats.count);
+        let misassembly_free_edges = runs
+            .iter()
+            .all(|r| r.misassembled < r.report.contig_stats.count);
         out.push(claim(
             "assemblies produce mostly clean contigs",
             "(sanity)",
@@ -129,9 +134,14 @@ pub fn validate(scale: u64, workdir: &Path) -> Result<Vec<ClaimResult>, String> 
             "Table VI",
             oom_pattern,
             rows.iter()
-                .map(|r| format!("{}: 64={} 128={}", r.dataset,
-                    r.sga_64_wall.map_or("OOM".into(), |s| format!("{s:.2}s")),
-                    r.sga_128_wall.map_or("OOM".into(), |s| format!("{s:.2}s"))))
+                .map(|r| {
+                    format!(
+                        "{}: 64={} 128={}",
+                        r.dataset,
+                        r.sga_64_wall.map_or("OOM".into(), |s| format!("{s:.2}s")),
+                        r.sga_128_wall.map_or("OOM".into(), |s| format!("{s:.2}s"))
+                    )
+                })
                 .collect::<Vec<_>>()
                 .join("; "),
         ));
@@ -176,8 +186,10 @@ pub fn validate(scale: u64, workdir: &Path) -> Result<Vec<ClaimResult>, String> 
         ));
 
         let passes_monotone = {
-            let mut by_host: Vec<(usize, u32)> =
-                points.iter().map(|p| (p.host_block_pairs, p.disk_passes)).collect();
+            let mut by_host: Vec<(usize, u32)> = points
+                .iter()
+                .map(|p| (p.host_block_pairs, p.disk_passes))
+                .collect();
             by_host.sort_unstable();
             by_host.windows(2).all(|w| w[0].1 >= w[1].1)
         };
@@ -198,9 +210,7 @@ pub fn validate(scale: u64, workdir: &Path) -> Result<Vec<ClaimResult>, String> 
         out.push(claim(
             "GPU ordering V100 < P100 < P40 < K40 in sorting",
             "Fig. 9",
-            best("V100") < best("P100")
-                && best("P100") < best("P40")
-                && best("P40") < best("K40"),
+            best("V100") < best("P100") && best("P100") < best("P40") && best("P40") < best("K40"),
             format!(
                 "best seconds: V100 {:.4}, P100 {:.4}, P40 {:.4}, K40 {:.4}",
                 best("V100"),
@@ -213,9 +223,10 @@ pub fn validate(scale: u64, workdir: &Path) -> Result<Vec<ClaimResult>, String> 
 
     // --- Distributed scaling (Fig. 10) ----------------------------------
     {
-        let points =
-            experiments::fig10(scale, &[1, 2, 4], &workdir.join("v_f10"))?;
-        let monotone = points.windows(2).all(|w| w[0].total_modeled > w[1].total_modeled);
+        let points = experiments::fig10(scale, &[1, 2, 4], &workdir.join("v_f10"))?;
+        let monotone = points
+            .windows(2)
+            .all(|w| w[0].total_modeled > w[1].total_modeled);
         let shuffle_only_multi = points[0]
             .phases
             .iter()
@@ -237,7 +248,10 @@ pub fn validate(scale: u64, workdir: &Path) -> Result<Vec<ClaimResult>, String> 
             monotone && shuffle_only_multi && same_edges,
             format!(
                 "totals {:?}, edges equal: {same_edges}",
-                points.iter().map(|p| (p.nodes, p.total_modeled)).collect::<Vec<_>>()
+                points
+                    .iter()
+                    .map(|p| (p.nodes, p.total_modeled))
+                    .collect::<Vec<_>>()
             ),
         ));
     }
@@ -246,12 +260,19 @@ pub fn validate(scale: u64, workdir: &Path) -> Result<Vec<ClaimResult>, String> 
     {
         let rows = experiments::fpcheck(scale, &workdir.join("v_fp"))?;
         let full = rows.iter().find(|r| r.bits == 128).unwrap();
-        let narrow = rows.iter().filter(|r| r.bits <= 24).map(|r| r.false_edges).sum::<u64>();
+        let narrow = rows
+            .iter()
+            .filter(|r| r.bits <= 24)
+            .map(|r| r.false_edges)
+            .sum::<u64>();
         out.push(claim(
             "128-bit fingerprints admit zero false edges; narrow ones collide",
             "Section IV-B",
             full.false_edges == 0 && narrow > 0,
-            format!("128-bit: {} false; <=24-bit: {narrow} false", full.false_edges),
+            format!(
+                "128-bit: {} false; <=24-bit: {narrow} false",
+                full.false_edges
+            ),
         ));
     }
 
@@ -269,11 +290,7 @@ mod tests {
         let dir = tempfile::tempdir().unwrap();
         let results = validate(60_000, dir.path()).unwrap();
         let failures: Vec<&ClaimResult> = results.iter().filter(|r| !r.pass).collect();
-        assert!(
-            failures.is_empty(),
-            "failed claims: {:#?}",
-            failures
-        );
+        assert!(failures.is_empty(), "failed claims: {:#?}", failures);
         assert!(results.len() >= 9, "expected at least 9 claims");
     }
 }

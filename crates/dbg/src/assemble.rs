@@ -138,33 +138,40 @@ impl DbgAssembler {
             }
         };
 
-        let walk = |start: State, graph: &DbgGraph, visited: &mut std::collections::HashSet<u64>| {
-            let mut codes = start.oriented().to_codes();
-            visited.insert(start.node.bits());
-            let mut cur = start;
-            loop {
-                match unambiguous_next(graph, cur) {
-                    Some((c, next)) if !visited.contains(&next.node.bits()) => {
-                        codes.push(c);
-                        visited.insert(next.node.bits());
-                        cur = next;
+        let walk =
+            |start: State, graph: &DbgGraph, visited: &mut std::collections::HashSet<u64>| {
+                let mut codes = start.oriented().to_codes();
+                visited.insert(start.node.bits());
+                let mut cur = start;
+                loop {
+                    match unambiguous_next(graph, cur) {
+                        Some((c, next)) if !visited.contains(&next.node.bits()) => {
+                            codes.push(c);
+                            visited.insert(next.node.bits());
+                            cur = next;
+                        }
+                        _ => break,
                     }
-                    _ => break,
                 }
-            }
-            PackedSeq::from_codes(&codes)
-        };
+                PackedSeq::from_codes(&codes)
+            };
 
         // Seeds: states whose backward side is not an unambiguous
         // continuation (tips and junction exits), in deterministic order.
         let nodes = graph.nodes_sorted();
         for &(kmer, _) in &nodes {
             for forward in [true, false] {
-                let s = State { node: kmer, forward };
+                let s = State {
+                    node: kmer,
+                    forward,
+                };
                 if visited.contains(&kmer.bits()) {
                     break;
                 }
-                let back = State { node: kmer, forward: !forward };
+                let back = State {
+                    node: kmer,
+                    forward: !forward,
+                };
                 let back_continues = unambiguous_next(&graph, back)
                     .is_some_and(|(_, prev)| !visited.contains(&prev.node.bits()));
                 if !back_continues {
@@ -177,7 +184,10 @@ impl DbgAssembler {
         for &(kmer, _) in &nodes {
             if !visited.contains(&kmer.bits()) {
                 contigs.push(walk(
-                    State { node: kmer, forward: true },
+                    State {
+                        node: kmer,
+                        forward: true,
+                    },
                     &graph,
                     &mut visited,
                 ));
@@ -237,7 +247,10 @@ mod tests {
         );
         assert!(report.n50 as usize >= longest * 9 / 10);
         for c in &contigs {
-            assert!(is_substring_either_strand(c, &genome), "unitig must be exact");
+            assert!(
+                is_substring_either_strand(c, &genome),
+                "unitig must be exact"
+            );
         }
     }
 
@@ -299,8 +312,12 @@ mod tests {
         let (_, strict_report) = strict.assemble(&noisy).unwrap();
         // Error k-mers are unique; the filter strips them and contiguity
         // recovers dramatically.
-        assert!(strict_report.n50 > lenient_report.n50 * 2,
-            "strict N50 {} vs lenient {}", strict_report.n50, lenient_report.n50);
+        assert!(
+            strict_report.n50 > lenient_report.n50 * 2,
+            "strict N50 {} vs lenient {}",
+            strict_report.n50,
+            lenient_report.n50
+        );
     }
 
     #[test]

@@ -73,7 +73,10 @@ impl DbgGraph {
             self.billed_nodes += 1;
             self.nodes.insert(canonical.bits(), NodeData::default());
         }
-        Ok(self.nodes.get_mut(&canonical.bits()).expect("just inserted"))
+        Ok(self
+            .nodes
+            .get_mut(&canonical.bits())
+            .expect("just inserted"))
     }
 
     /// Insert every k-mer of every read (both strands folded by
@@ -127,7 +130,11 @@ impl DbgGraph {
                 let mut mask = data.ext[o];
                 for c in 0..4u8 {
                     if mask & (1 << c) != 0 {
-                        let oriented = if o == 1 { node } else { node.reverse_complement() };
+                        let oriented = if o == 1 {
+                            node
+                        } else {
+                            node.reverse_complement()
+                        };
                         let next = oriented.extend_right(c).canonical();
                         if !self.nodes.contains_key(&next.bits()) {
                             mask &= !(1 << c);
@@ -142,8 +149,7 @@ impl DbgGraph {
 
     /// Iterate nodes in deterministic (ascending canonical bits) order.
     pub fn nodes_sorted(&self) -> Vec<(Kmer, NodeData)> {
-        let mut out: Vec<(u64, NodeData)> =
-            self.nodes.iter().map(|(&b, &d)| (b, d)).collect();
+        let mut out: Vec<(u64, NodeData)> = self.nodes.iter().map(|(&b, &d)| (b, d)).collect();
         out.sort_unstable_by_key(|(b, _)| *b);
         out.into_iter()
             .map(|(b, d)| (Kmer::from_codes(&decode(b, self.k)), d))
@@ -172,7 +178,7 @@ mod tests {
         let mut g = DbgGraph::new(5, HostMem::new(1 << 20));
         g.add_reads(&reads).unwrap();
         assert_eq!(g.node_count(), 3); // ACGTA, CGTAC, GTACC
-        // Middle node must have exactly one extension each way.
+                                       // Middle node must have exactly one extension each way.
         let mid = Kmer::from_codes(&[1, 2, 3, 0, 1]).canonical(); // CGTAC
         let d = g.node(mid).unwrap();
         assert_eq!(
@@ -237,7 +243,11 @@ mod tests {
             for o in 0..2 {
                 for c in 0..4u8 {
                     if d.ext[o] & (1 << c) != 0 {
-                        let oriented = if o == 1 { kmer } else { kmer.reverse_complement() };
+                        let oriented = if o == 1 {
+                            kmer
+                        } else {
+                            kmer.reverse_complement()
+                        };
                         let next = oriented.extend_right(c).canonical();
                         assert!(g.node(next).is_some(), "dangling edge");
                     }

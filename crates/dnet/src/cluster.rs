@@ -139,6 +139,7 @@ fn node_modeled(node: &Node, dev0: &vgpu::DeviceStats, io0: &gstream::iostats::I
 /// A configured cluster.
 pub struct Cluster {
     config: ClusterConfig,
+    recorder: obs::Recorder,
 }
 
 impl Cluster {
@@ -148,18 +149,36 @@ impl Cluster {
             return Err(DnetError::BadConfig("need at least one node".into()));
         }
         if config.block_reads == 0 {
-            return Err(DnetError::BadConfig("blocks must hold at least one read".into()));
+            return Err(DnetError::BadConfig(
+                "blocks must hold at least one read".into(),
+            ));
         }
         config
             .assembly
             .validate()
             .map_err(|e| DnetError::BadConfig(e.to_string()))?;
-        Ok(Cluster { config })
+        Ok(Cluster {
+            config,
+            recorder: obs::Recorder::disabled(),
+        })
+    }
+
+    /// Attach an event recorder: each assembly opens a `distributed` root
+    /// span with per-phase children (`map`/`shuffle`/`sort`/`reduce`) and
+    /// per-rank spans (`rank0`, `rank1`, …) under each phase.
+    pub fn with_recorder(mut self, recorder: obs::Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// The SuperMic-like cluster of the paper's Fig. 10: `nodes` K20X nodes
     /// with scaled budgets.
-    pub fn supermic(nodes: usize, host_capacity: u64, device_capacity: u64, assembly: AssemblyConfig) -> Result<Self> {
+    pub fn supermic(
+        nodes: usize,
+        host_capacity: u64,
+        device_capacity: u64,
+        assembly: AssemblyConfig,
+    ) -> Result<Self> {
         Cluster::new(ClusterConfig {
             nodes,
             gpu: GpuProfile::k20x(),
@@ -222,10 +241,8 @@ impl Cluster {
             .map(|s| (s, (s + cfg.block_reads).min(reads.len())))
             .collect();
         let n_blocks = blocks.len();
-        let queue: Arc<Mutex<VecDeque<usize>>> =
-            Arc::new(Mutex::new((0..n_blocks).collect()));
-        let assignment: Arc<Mutex<Vec<Option<usize>>>> =
-            Arc::new(Mutex::new(vec![None; n_blocks]));
+        let queue: Arc<Mutex<VecDeque<usize>>> = Arc::new(Mutex::new((0..n_blocks).collect()));
+        let assignment: Arc<Mutex<Vec<Option<usize>>>> = Arc::new(Mutex::new(vec![None; n_blocks]));
 
         // Active-message endpoints.
         let net = NetStats::new(cfg.net);
@@ -240,6 +257,7 @@ impl Cluster {
         let mut phases: Vec<PhaseSummary> = Vec::new();
         let mut merged_graph = StringGraph::new(vertices);
         let mut total_candidates = 0u64;
+        let obs_root = self.recorder.span("distributed");
 
         std::thread::scope(|scope| -> Result<()> {
             // --- AM service threads -------------------------------------
@@ -257,7 +275,13 @@ impl Cluster {
                             let next = queue.lock().pop_front();
                             Response::Block(next.map(|b| (b, blocks[b].0, blocks[b].1)))
                         }
-                        Request::FetchPartition { block, kind, len, range, ranges } => {
+                        Request::FetchPartition {
+                            block,
+                            kind,
+                            len,
+                            range,
+                            ranges,
+                        } => {
                             let bdir = dir.join(format!("block{block}"));
                             let pairs = SpillDir::create(&bdir, io.clone())
                                 .and_then(|spill| {
@@ -276,229 +300,303 @@ impl Cluster {
             }
 
             let mut work = || -> Result<()> {
-            // --- Phase 1: map --------------------------------------------
-            // A single-node "cluster" writes its partitions directly, like
-            // the paper's single-node pipeline: Fig. 10's one-node bar has
-            // no shuffle component ("scaling out from a single node
-            // introduces the additional overhead of an all-to-all data
-            // transfer").
-            let t0 = Instant::now();
-            let mut handles = Vec::new();
-            for (rank, node) in nodes.iter().enumerate() {
-                let master = clients[0].clone();
-                let assignment = Arc::clone(&assignment);
-                let assembly = assembly;
-                handles.push(scope.spawn(move || -> std::result::Result<f64, String> {
-                    let dev0 = node.device.stats();
-                    let io0 = node.io.snapshot();
-                    if n_nodes == 1 {
+                // --- Phase 1: map --------------------------------------------
+                // A single-node "cluster" writes its partitions directly, like
+                // the paper's single-node pipeline: Fig. 10's one-node bar has
+                // no shuffle component ("scaling out from a single node
+                // introduces the additional overhead of an all-to-all data
+                // transfer").
+                let t0 = Instant::now();
+                let obs_map = self.recorder.span("map");
+                let obs_map_id = obs_map.id();
+                let mut handles = Vec::new();
+                for (rank, node) in nodes.iter().enumerate() {
+                    let master = clients[0].clone();
+                    let assignment = Arc::clone(&assignment);
+                    let assembly = assembly;
+                    let rec = self.recorder.clone();
+                    handles.push(scope.spawn(move || -> std::result::Result<f64, String> {
+                        let rspan = rec.child_span(Some(obs_map_id), &format!("rank{rank}"));
+                        let dev0 = node.device.stats();
+                        let io0 = node.io.snapshot();
+                        if n_nodes == 1 {
+                            let spill = SpillDir::create(&node.dir, node.io.clone())
+                                .map_err(|e| e.to_string())?;
+                            map::run(&node.device, &node.host, &spill, &assembly, reads)
+                                .map_err(|e| e.to_string())?;
+                        } else {
+                            loop {
+                                let (resp, _net_s) = master.call(rank, Request::GetBlock);
+                                let Response::Block(Some((b, start, end))) = resp else {
+                                    break;
+                                };
+                                let bdir = node.dir.join(format!("block{b}"));
+                                let spill = SpillDir::create(&bdir, node.io.clone())
+                                    .map_err(|e| e.to_string())?;
+                                map::run_range(
+                                    &node.device,
+                                    &node.host,
+                                    &spill,
+                                    &assembly,
+                                    reads,
+                                    start,
+                                    end,
+                                )
+                                .map_err(|e| e.to_string())?;
+                                assignment.lock()[b] = Some(rank);
+                            }
+                        }
+                        let m = node_modeled(node, &dev0, &io0);
+                        rec.metric_on(rspan.id(), "rank.modeled_seconds", m);
+                        Ok(m)
+                    }));
+                }
+                let map_modeled = join_phase(handles)?;
+                self.recorder
+                    .metric_on(obs_map_id, "phase.modeled_seconds", max_f(&map_modeled));
+                drop(obs_map);
+                phases.push(PhaseSummary {
+                    name: "map".into(),
+                    wall_seconds: t0.elapsed().as_secs_f64(),
+                    modeled_seconds: max_f(&map_modeled),
+                });
+
+                // --- Phase 2: shuffle (no-op on one node) ---------------------
+                let t0 = Instant::now();
+                let obs_shuffle = self.recorder.span("shuffle");
+                let obs_shuffle_id = obs_shuffle.id();
+                let mut handles = Vec::new();
+                for (rank, node) in nodes
+                    .iter()
+                    .enumerate()
+                    .skip(if n_nodes == 1 { 1 } else { 0 })
+                {
+                    let clients = clients.clone();
+                    let assignment = Arc::clone(&assignment);
+                    let owned: Vec<u32> = owned_lengths(rank);
+                    let my_range = if range_mode { rank as u32 } else { 0 };
+                    let rec = self.recorder.clone();
+                    handles.push(scope.spawn(move || -> std::result::Result<f64, String> {
+                        let rspan = rec.child_span(Some(obs_shuffle_id), &format!("rank{rank}"));
+                        let io0 = node.io.snapshot();
+                        let mut net_s = 0.0;
                         let spill = SpillDir::create(&node.dir, node.io.clone())
                             .map_err(|e| e.to_string())?;
-                        map::run(&node.device, &node.host, &spill, &assembly, reads)
-                            .map_err(|e| e.to_string())?;
-                        return Ok(node_modeled(node, &dev0, &io0));
-                    }
-                    loop {
-                        let (resp, _net_s) = master.call(rank, Request::GetBlock);
-                        let Response::Block(Some((b, start, end))) = resp else {
-                            break;
-                        };
-                        let bdir = node.dir.join(format!("block{b}"));
-                        let spill =
-                            SpillDir::create(&bdir, node.io.clone()).map_err(|e| e.to_string())?;
-                        map::run_range(&node.device, &node.host, &spill, &assembly, reads, start, end)
-                            .map_err(|e| e.to_string())?;
-                        assignment.lock()[b] = Some(rank);
-                    }
-                    Ok(node_modeled(node, &dev0, &io0))
-                }));
-            }
-            let map_modeled = join_phase(handles)?;
-            phases.push(PhaseSummary {
-                name: "map".into(),
-                wall_seconds: t0.elapsed().as_secs_f64(),
-                modeled_seconds: max_f(&map_modeled),
-            });
-
-            // --- Phase 2: shuffle (no-op on one node) ---------------------
-            let t0 = Instant::now();
-            let mut handles = Vec::new();
-            for (rank, node) in nodes.iter().enumerate().skip(if n_nodes == 1 { 1 } else { 0 }) {
-                let clients = clients.clone();
-                let assignment = Arc::clone(&assignment);
-                let owned: Vec<u32> = owned_lengths(rank);
-                let my_range = if range_mode { rank as u32 } else { 0 };
-                handles.push(scope.spawn(move || -> std::result::Result<f64, String> {
-                    let io0 = node.io.snapshot();
-                    let mut net_s = 0.0;
-                    let spill =
-                        SpillDir::create(&node.dir, node.io.clone()).map_err(|e| e.to_string())?;
-                    for &len in &owned {
-                        for kind in [PartitionKind::Suffix, PartitionKind::Prefix] {
-                            let mut w = spill.writer(kind, len).map_err(|e| e.to_string())?;
-                            // Deterministic block order keeps the stream
-                            // identical to the single-node map output.
-                            for b in 0..n_blocks {
-                                let src = assignment.lock()[b]
-                                    .ok_or_else(|| format!("block {b} unassigned"))?;
-                                let (resp, secs) = clients[src].call(
-                                    rank,
-                                    Request::FetchPartition {
-                                        block: b,
-                                        kind,
-                                        len,
-                                        range: my_range,
-                                        ranges,
-                                    },
-                                );
-                                net_s += secs;
-                                let Response::Partition(pairs) = resp else {
-                                    return Err("bad shuffle response".into());
-                                };
-                                w.write_all(&pairs).map_err(|e| e.to_string())?;
+                        for &len in &owned {
+                            for kind in [PartitionKind::Suffix, PartitionKind::Prefix] {
+                                let mut w = spill.writer(kind, len).map_err(|e| e.to_string())?;
+                                // Deterministic block order keeps the stream
+                                // identical to the single-node map output.
+                                for b in 0..n_blocks {
+                                    let src = assignment.lock()[b]
+                                        .ok_or_else(|| format!("block {b} unassigned"))?;
+                                    let (resp, secs) = clients[src].call(
+                                        rank,
+                                        Request::FetchPartition {
+                                            block: b,
+                                            kind,
+                                            len,
+                                            range: my_range,
+                                            ranges,
+                                        },
+                                    );
+                                    net_s += secs;
+                                    let Response::Partition(pairs) = resp else {
+                                        return Err("bad shuffle response".into());
+                                    };
+                                    w.write_all(&pairs).map_err(|e| e.to_string())?;
+                                }
+                                w.finish().map_err(|e| e.to_string())?;
                             }
-                            w.finish().map_err(|e| e.to_string())?;
                         }
-                    }
-                    Ok(node.io.snapshot().since(&io0).total_seconds() + net_s)
-                }));
-            }
-            let shuffle_modeled = join_phase(handles)?;
-            phases.push(PhaseSummary {
-                name: "shuffle".into(),
-                wall_seconds: t0.elapsed().as_secs_f64(),
-                modeled_seconds: max_f(&shuffle_modeled),
-            });
+                        let m = node.io.snapshot().since(&io0).total_seconds() + net_s;
+                        rec.metric_on(rspan.id(), "rank.modeled_seconds", m);
+                        rec.metric_on(rspan.id(), "rank.net_seconds", net_s);
+                        Ok(m)
+                    }));
+                }
+                let shuffle_modeled = join_phase(handles)?;
+                self.recorder.metric_on(
+                    obs_shuffle_id,
+                    "phase.modeled_seconds",
+                    max_f(&shuffle_modeled),
+                );
+                drop(obs_shuffle);
+                phases.push(PhaseSummary {
+                    name: "shuffle".into(),
+                    wall_seconds: t0.elapsed().as_secs_f64(),
+                    modeled_seconds: max_f(&shuffle_modeled),
+                });
 
-            // --- Phase 3: sort -------------------------------------------
-            let t0 = Instant::now();
-            let mut handles = Vec::new();
-            for (rank, node) in nodes.iter().enumerate() {
-                let owned: Vec<u32> = owned_lengths(rank);
-                handles.push(scope.spawn(move || -> std::result::Result<f64, String> {
-                    let dev0 = node.device.stats();
-                    let io0 = node.io.snapshot();
-                    let spill =
-                        SpillDir::create(&node.dir, node.io.clone()).map_err(|e| e.to_string())?;
-                    let sort_config = SortConfig::from_budgets(&node.host, &node.device);
-                    let sorter =
-                        ExternalSorter::new(node.device.clone(), node.host.clone(), sort_config)
-                            .map_err(|e| e.to_string())?;
-                    for &len in &owned {
-                        for (kind, tag) in
-                            [(PartitionKind::Suffix, "sfx"), (PartitionKind::Prefix, "pfx")]
-                        {
-                            let input = spill.path(kind, len);
-                            let sorted = spill.scratch_path(&format!("{tag}{len}s"));
-                            sorter
-                                .sort_file(&spill, &input, &sorted)
-                                .map_err(|e| e.to_string())?;
-                            std::fs::rename(&sorted, &input).map_err(|e| e.to_string())?;
-                        }
-                    }
-                    Ok(node_modeled(node, &dev0, &io0))
-                }));
-            }
-            let sort_modeled = join_phase(handles)?;
-            phases.push(PhaseSummary {
-                name: "sort".into(),
-                wall_seconds: t0.elapsed().as_secs_f64(),
-                modeled_seconds: max_f(&sort_modeled),
-            });
-
-            // --- Phase 4: reduce -----------------------------------------
-            // Stage A (parallel): find candidates per owned length.
-            let t0 = Instant::now();
-            let mut handles = Vec::new();
-            for (rank, node) in nodes.iter().enumerate() {
-                let owned: Vec<u32> = owned_lengths(rank);
-                handles.push(scope.spawn(
-                    move || -> std::result::Result<(f64, NodeCandidates), String> {
+                // --- Phase 3: sort -------------------------------------------
+                let t0 = Instant::now();
+                let obs_sort = self.recorder.span("sort");
+                let obs_sort_id = obs_sort.id();
+                let mut handles = Vec::new();
+                for (rank, node) in nodes.iter().enumerate() {
+                    let owned: Vec<u32> = owned_lengths(rank);
+                    let rec = self.recorder.clone();
+                    handles.push(scope.spawn(move || -> std::result::Result<f64, String> {
+                        let rspan = rec.child_span(Some(obs_sort_id), &format!("rank{rank}"));
                         let dev0 = node.device.stats();
                         let io0 = node.io.snapshot();
                         let spill = SpillDir::create(&node.dir, node.io.clone())
                             .map_err(|e| e.to_string())?;
-                        let window = reduce::window_budget(&node.host, &node.device);
-                        let mut per_len = Vec::new();
+                        let sort_config = SortConfig::from_budgets(&node.host, &node.device);
+                        let sorter = ExternalSorter::new(
+                            node.device.clone(),
+                            node.host.clone(),
+                            sort_config,
+                        )
+                        .map_err(|e| e.to_string())?;
                         for &len in &owned {
-                            let mut sfx =
-                                spill.reader(PartitionKind::Suffix, len).map_err(|e| e.to_string())?;
-                            let mut pfx =
-                                spill.reader(PartitionKind::Prefix, len).map_err(|e| e.to_string())?;
-                            let mut cands: Vec<(u32, u32)> = Vec::new();
-                            reduce::join_partition(&node.device, &mut sfx, &mut pfx, window, |u, v| {
-                                cands.push((u, v))
-                            })
-                            .map_err(|e| e.to_string())?;
-                            per_len.push((len, cands));
+                            for (kind, tag) in [
+                                (PartitionKind::Suffix, "sfx"),
+                                (PartitionKind::Prefix, "pfx"),
+                            ] {
+                                let input = spill.path(kind, len);
+                                let sorted = spill.scratch_path(&format!("{tag}{len}s"));
+                                sorter
+                                    .sort_file(&spill, &input, &sorted)
+                                    .map_err(|e| e.to_string())?;
+                                std::fs::rename(&sorted, &input).map_err(|e| e.to_string())?;
+                            }
                         }
-                        Ok((node_modeled(node, &dev0, &io0), per_len))
-                    },
-                ));
-            }
-            let mut find_modeled = Vec::new();
-            // Candidates indexed by [length][rank]: in token mode only the
-            // length's owner has a non-empty list; in range mode every rank
-            // contributes its fingerprint slice, and ranks concatenate in
-            // global fingerprint order.
-            let mut candidates: Vec<Vec<Vec<(u32, u32)>>> =
-                vec![vec![Vec::new(); n_nodes]; (l_max - l_min) as usize];
-            for (rank, h) in handles.into_iter().enumerate() {
-                let (m, per_len) = h
-                    .join()
-                    .map_err(|_| DnetError::Node { node: rank, message: "panicked".into() })?
-                    .map_err(|message| DnetError::Node { node: rank, message })?;
-                find_modeled.push(m);
-                for (len, cands) in per_len {
-                    candidates[(len - l_min) as usize][rank] = cands;
+                        let m = node_modeled(node, &dev0, &io0);
+                        rec.metric_on(rspan.id(), "rank.modeled_seconds", m);
+                        Ok(m)
+                    }));
                 }
-            }
+                let sort_modeled = join_phase(handles)?;
+                self.recorder
+                    .metric_on(obs_sort_id, "phase.modeled_seconds", max_f(&sort_modeled));
+                drop(obs_sort);
+                phases.push(PhaseSummary {
+                    name: "sort".into(),
+                    wall_seconds: t0.elapsed().as_secs_f64(),
+                    modeled_seconds: max_f(&sort_modeled),
+                });
 
-            // Stage B (serialized): the bit-vector token sweeps lengths in
-            // descending order; each owner applies its candidates through
-            // the greedy guard. The per-node graphs hold disjoint edge
-            // sets; merging is a replay in the same global order.
-            let mut apply_wall = 0.0;
-            let mut token_net_s = 0.0;
-            let mut bits = StringGraph::new(vertices).out_bits();
-            let mut per_node_graphs: Vec<StringGraph> =
-                (0..n_nodes).map(|_| StringGraph::new(vertices)).collect();
-            for len in (l_min..l_max).rev() {
-                for rank in 0..n_nodes {
-                    let cands = &candidates[(len - l_min) as usize][rank];
-                    if cands.is_empty() {
-                        continue;
+                // --- Phase 4: reduce -----------------------------------------
+                // Stage A (parallel): find candidates per owned length.
+                let t0 = Instant::now();
+                let obs_reduce = self.recorder.span("reduce");
+                let obs_reduce_id = obs_reduce.id();
+                let mut handles = Vec::new();
+                for (rank, node) in nodes.iter().enumerate() {
+                    let owned: Vec<u32> = owned_lengths(rank);
+                    let rec = self.recorder.clone();
+                    handles.push(scope.spawn(
+                        move || -> std::result::Result<(f64, NodeCandidates), String> {
+                            let rspan = rec.child_span(Some(obs_reduce_id), &format!("rank{rank}"));
+                            let dev0 = node.device.stats();
+                            let io0 = node.io.snapshot();
+                            let spill = SpillDir::create(&node.dir, node.io.clone())
+                                .map_err(|e| e.to_string())?;
+                            let window = reduce::window_budget(&node.host, &node.device);
+                            let mut per_len = Vec::new();
+                            for &len in &owned {
+                                let mut sfx = spill
+                                    .reader(PartitionKind::Suffix, len)
+                                    .map_err(|e| e.to_string())?;
+                                let mut pfx = spill
+                                    .reader(PartitionKind::Prefix, len)
+                                    .map_err(|e| e.to_string())?;
+                                let mut cands: Vec<(u32, u32)> = Vec::new();
+                                reduce::join_partition(
+                                    &node.device,
+                                    &mut sfx,
+                                    &mut pfx,
+                                    window,
+                                    |u, v| cands.push((u, v)),
+                                )
+                                .map_err(|e| e.to_string())?;
+                                per_len.push((len, cands));
+                            }
+                            let m = node_modeled(node, &dev0, &io0);
+                            rec.metric_on(rspan.id(), "rank.modeled_seconds", m);
+                            Ok((m, per_len))
+                        },
+                    ));
+                }
+                let mut find_modeled = Vec::new();
+                // Candidates indexed by [length][rank]: in token mode only the
+                // length's owner has a non-empty list; in range mode every rank
+                // contributes its fingerprint slice, and ranks concatenate in
+                // global fingerprint order.
+                let mut candidates: Vec<Vec<Vec<(u32, u32)>>> =
+                    vec![vec![Vec::new(); n_nodes]; (l_max - l_min) as usize];
+                for (rank, h) in handles.into_iter().enumerate() {
+                    let (m, per_len) = h
+                        .join()
+                        .map_err(|_| DnetError::Node {
+                            node: rank,
+                            message: "panicked".into(),
+                        })?
+                        .map_err(|message| DnetError::Node {
+                            node: rank,
+                            message,
+                        })?;
+                    find_modeled.push(m);
+                    for (len, cands) in per_len {
+                        candidates[(len - l_min) as usize][rank] = cands;
                     }
-                    let g = &mut per_node_graphs[rank];
-                    let ta = Instant::now();
-                    g.merge_out_bits(&bits);
-                    for &(u, v) in cands {
-                        if g.try_add_edge(u, v, len).is_ok() {
-                            let _ = merged_graph.try_add_edge(u, v, len);
+                }
+
+                // Stage B (serialized): the bit-vector token sweeps lengths in
+                // descending order; each owner applies its candidates through
+                // the greedy guard. The per-node graphs hold disjoint edge
+                // sets; merging is a replay in the same global order.
+                let mut apply_wall = 0.0;
+                let mut token_net_s = 0.0;
+                let mut bits = StringGraph::new(vertices).out_bits();
+                let mut per_node_graphs: Vec<StringGraph> =
+                    (0..n_nodes).map(|_| StringGraph::new(vertices)).collect();
+                for len in (l_min..l_max).rev() {
+                    for rank in 0..n_nodes {
+                        let cands = &candidates[(len - l_min) as usize][rank];
+                        if cands.is_empty() {
+                            continue;
                         }
-                        total_candidates += 1;
+                        let g = &mut per_node_graphs[rank];
+                        let ta = Instant::now();
+                        g.merge_out_bits(&bits);
+                        for &(u, v) in cands {
+                            if g.try_add_edge(u, v, len).is_ok() {
+                                let _ = merged_graph.try_add_edge(u, v, len);
+                            }
+                            total_candidates += 1;
+                        }
+                        bits = g.out_bits();
+                        apply_wall += ta.elapsed().as_secs_f64();
                     }
-                    bits = g.out_bits();
-                    apply_wall += ta.elapsed().as_secs_f64();
+                    // Bit-vector movement: a single token hop between length
+                    // owners (token mode), or an intra-length relay plus final
+                    // broadcast across all ranks (range mode).
+                    if range_mode {
+                        token_net_s += net.add_message(bits.len() as u64 * 8 * n_nodes as u64);
+                    } else if len > l_min && self.owner(len - 1) != self.owner(len) {
+                        token_net_s += net.add_message(bits.len() as u64 * 8);
+                    }
                 }
-                // Bit-vector movement: a single token hop between length
-                // owners (token mode), or an intra-length relay plus final
-                // broadcast across all ranks (range mode).
-                if range_mode {
-                    token_net_s +=
-                        net.add_message(bits.len() as u64 * 8 * n_nodes as u64);
-                } else if len > l_min && self.owner(len - 1) != self.owner(len) {
-                    token_net_s += net.add_message(bits.len() as u64 * 8);
-                }
-            }
 
-            phases.push(PhaseSummary {
-                name: "reduce".into(),
-                wall_seconds: t0.elapsed().as_secs_f64(),
-                modeled_seconds: max_f(&find_modeled) + apply_wall + token_net_s,
-            });
+                self.recorder
+                    .counter_on(obs_reduce_id, "reduce.candidates", total_candidates);
+                self.recorder
+                    .metric_on(obs_reduce_id, "reduce.token_net_seconds", token_net_s);
+                self.recorder.metric_on(
+                    obs_reduce_id,
+                    "phase.modeled_seconds",
+                    max_f(&find_modeled) + apply_wall + token_net_s,
+                );
+                drop(obs_reduce);
+                phases.push(PhaseSummary {
+                    name: "reduce".into(),
+                    wall_seconds: t0.elapsed().as_secs_f64(),
+                    modeled_seconds: max_f(&find_modeled) + apply_wall + token_net_s,
+                });
 
-            Ok(())
+                Ok(())
             };
 
             let result = work();
@@ -509,9 +607,18 @@ impl Cluster {
             result
         })?;
 
+        self.recorder
+            .counter_on(obs_root.id(), "net.bytes", net.bytes());
+        self.recorder
+            .counter_on(obs_root.id(), "net.messages", net.messages());
+        drop(obs_root);
+
         merged_graph
             .check_invariants()
-            .map_err(|m| DnetError::Node { node: 0, message: m })?;
+            .map_err(|m| DnetError::Node {
+                node: 0,
+                message: m,
+            })?;
 
         let report = DistributedReport {
             nodes: n_nodes,
@@ -539,8 +646,14 @@ fn join_phase(
     for (rank, h) in handles.into_iter().enumerate() {
         let r = h
             .join()
-            .map_err(|_| DnetError::Node { node: rank, message: "panicked".into() })?
-            .map_err(|message| DnetError::Node { node: rank, message })?;
+            .map_err(|_| DnetError::Node {
+                node: rank,
+                message: "panicked".into(),
+            })?
+            .map_err(|message| DnetError::Node {
+                node: rank,
+                message,
+            })?;
         out.push(r);
     }
     Ok(out)
@@ -605,7 +718,10 @@ mod tests {
         let out = cluster(2, 25, 40, 64).assemble(&reads, dir.path()).unwrap();
         let names: Vec<&str> = out.report.phases.iter().map(|p| p.name.as_str()).collect();
         assert_eq!(names, vec!["map", "shuffle", "sort", "reduce"]);
-        assert!(out.report.network_bytes > 0, "2 nodes must shuffle remotely");
+        assert!(
+            out.report.network_bytes > 0,
+            "2 nodes must shuffle remotely"
+        );
         assert!(out.report.network_messages > 0);
     }
 
@@ -625,7 +741,9 @@ mod tests {
         let mut modeled = Vec::new();
         for nodes in [1usize, 2, 4] {
             let dir = tempfile::tempdir().unwrap();
-            let out = cluster(nodes, 25, 40, 16).assemble(&reads, dir.path()).unwrap();
+            let out = cluster(nodes, 25, 40, 16)
+                .assemble(&reads, dir.path())
+                .unwrap();
             let m = out.report.phase("map").unwrap().modeled_seconds
                 + out.report.phase("sort").unwrap().modeled_seconds;
             modeled.push(m);
@@ -706,6 +824,35 @@ mod tests {
             .unwrap();
         assert_eq!(token.report.candidates, range.report.candidates);
         assert_eq!(token.report.edges, range.report.edges);
+    }
+
+    #[test]
+    fn recorder_captures_per_rank_superstep_spans() {
+        let reads = sample(800, 40, 6.0, 29);
+        let dir = tempfile::tempdir().unwrap();
+        let rec = obs::Recorder::new();
+        let out = cluster(2, 25, 40, 64)
+            .with_recorder(rec.clone())
+            .assemble(&reads, dir.path())
+            .unwrap();
+        let rollup = obs::Rollup::from_events(&rec.events());
+        let root = rollup.root_named("distributed").unwrap();
+        let names: Vec<&str> = rollup
+            .children(root.id)
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["map", "shuffle", "sort", "reduce"]);
+        for phase in rollup.children(root.id) {
+            let ranks = rollup.children(phase.id);
+            assert_eq!(ranks.len(), 2, "phase {} rank spans", phase.name);
+            assert!(ranks.iter().all(|r| r.name.starts_with("rank")));
+        }
+        let reduce = rollup.child_named(root.id, "reduce").unwrap();
+        let agg = rollup.subtree(reduce.id);
+        assert_eq!(agg.counter("reduce.candidates"), out.report.candidates);
+        let root_agg = rollup.subtree(root.id);
+        assert_eq!(root_agg.counter("net.bytes"), out.report.network_bytes);
     }
 
     #[test]

@@ -24,7 +24,9 @@ pub mod cluster;
 pub mod netmodel;
 
 pub use am::{AmClient, AmServer, Request, Response};
-pub use cluster::{Cluster, ClusterConfig, DistributedOutput, DistributedReport, PhaseSummary, ReduceStrategy};
+pub use cluster::{
+    Cluster, ClusterConfig, DistributedOutput, DistributedReport, PhaseSummary, ReduceStrategy,
+};
 pub use netmodel::{NetModel, NetStats};
 
 /// Errors from distributed execution.

@@ -123,16 +123,19 @@ impl ErrorCorrector {
             match self.correct_codes(spectrum, &mut work) {
                 Some(0) => {
                     stats.already_clean += 1;
-                    out.push(&PackedSeq::from_codes(&codes)).expect("same length");
+                    out.push(&PackedSeq::from_codes(&codes))
+                        .expect("same length");
                 }
                 Some(n) => {
                     stats.corrected += 1;
                     stats.substitutions += n as u64;
-                    out.push(&PackedSeq::from_codes(&work)).expect("same length");
+                    out.push(&PackedSeq::from_codes(&work))
+                        .expect("same length");
                 }
                 None => {
                     stats.uncorrectable += 1;
-                    out.push(&PackedSeq::from_codes(&codes)).expect("same length");
+                    out.push(&PackedSeq::from_codes(&codes))
+                        .expect("same length");
                 }
             }
         }

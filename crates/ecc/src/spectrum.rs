@@ -108,7 +108,11 @@ mod tests {
             .map(|(_, n)| n)
             .sum::<u64>();
         // Ends of the genome are thinly covered; the interior is deep.
-        assert!(weak < s.distinct() as u64 / 10, "weak {weak} of {}", s.distinct());
+        assert!(
+            weak < s.distinct() as u64 / 10,
+            "weak {weak} of {}",
+            s.distinct()
+        );
     }
 
     #[test]

@@ -128,7 +128,10 @@ mod tests {
         let (a, b) = (HashParams::set0(), HashParams::set1());
         assert_ne!(a.sigma, b.sigma);
         assert_ne!(a.q, b.q);
-        assert!(a.sigma > 4 && b.sigma > 4, "radix must exceed alphabet size");
+        assert!(
+            a.sigma > 4 && b.sigma > 4,
+            "radix must exceed alphabet size"
+        );
     }
 
     #[test]

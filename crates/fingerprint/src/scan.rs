@@ -89,7 +89,10 @@ impl RabinKarp {
     /// All prefix fingerprints of a read: `result[i]` is the fingerprint of
     /// the `(i+1)`-length prefix.
     pub fn prefix_fingerprints(&self, codes: &[u8]) -> Vec<Fingerprint128> {
-        assert!(codes.len() <= self.max_len(), "read longer than place table");
+        assert!(
+            codes.len() <= self.max_len(),
+            "read longer than place table"
+        );
         let mut h0 = Vec::new();
         let mut h1 = Vec::new();
         self.prefix_scan_one(0, codes, &mut h0);
@@ -100,7 +103,10 @@ impl RabinKarp {
     /// All suffix fingerprints of a read: `result[i]` is the fingerprint of
     /// the suffix *starting* at position `i` (length `n − i`).
     pub fn suffix_fingerprints(&self, codes: &[u8]) -> Vec<Fingerprint128> {
-        assert!(codes.len() <= self.max_len(), "read longer than place table");
+        assert!(
+            codes.len() <= self.max_len(),
+            "read longer than place table"
+        );
         let mut p0 = Vec::new();
         let mut p1 = Vec::new();
         self.prefix_scan_one(0, codes, &mut p0);
@@ -115,7 +121,10 @@ impl RabinKarp {
     /// Both prefix and suffix fingerprints in one pass (the paper fuses
     /// them into "a single kernel using shared memory").
     pub fn all_fingerprints(&self, codes: &[u8]) -> (Vec<Fingerprint128>, Vec<Fingerprint128>) {
-        assert!(codes.len() <= self.max_len(), "read longer than place table");
+        assert!(
+            codes.len() <= self.max_len(),
+            "read longer than place table"
+        );
         let mut p0 = Vec::new();
         let mut p1 = Vec::new();
         self.prefix_scan_one(0, codes, &mut p0);

@@ -79,7 +79,9 @@ pub fn read_fastq(path: &Path) -> Result<Vec<(String, PackedSeq)>> {
         lineno += 1;
         let name_line = line.trim_end().to_string();
         let name = name_line.strip_prefix('@').ok_or_else(|| {
-            GenomeError::Parse(format!("line {lineno}: expected '@name', got {name_line:?}"))
+            GenomeError::Parse(format!(
+                "line {lineno}: expected '@name', got {name_line:?}"
+            ))
         })?;
         let name = name.to_string();
 
@@ -194,7 +196,10 @@ mod tests {
         let r2: PackedSeq = "CCCGGG".parse().unwrap();
         write_fastq(&path, [("read/1", &r1), ("read/2", &r2)]).unwrap();
         let got = read_fastq(&path).unwrap();
-        assert_eq!(got, vec![("read/1".to_string(), r1), ("read/2".to_string(), r2)]);
+        assert_eq!(
+            got,
+            vec![("read/1".to_string(), r1), ("read/2".to_string(), r2)]
+        );
     }
 
     #[test]

@@ -85,10 +85,10 @@ impl DatasetPreset {
     /// Reference genome size in bases (used to derive coverage).
     pub fn genome_len(self) -> u64 {
         match self {
-            DatasetPreset::HChr14 => 88_000_000,       // human chr14
-            DatasetPreset::Bumblebee => 250_000_000,   // B. impatiens
-            DatasetPreset::Parakeet => 1_200_000_000,  // M. undulatus
-            DatasetPreset::HGenome => 3_100_000_000,   // H. sapiens
+            DatasetPreset::HChr14 => 88_000_000,      // human chr14
+            DatasetPreset::Bumblebee => 250_000_000,  // B. impatiens
+            DatasetPreset::Parakeet => 1_200_000_000, // M. undulatus
+            DatasetPreset::HGenome => 3_100_000_000,  // H. sapiens
         }
     }
 
@@ -110,10 +110,10 @@ impl DatasetPreset {
     /// Dataset on-disk size in bytes as reported in Table I.
     pub fn paper_size_bytes(self) -> u64 {
         match self {
-            DatasetPreset::HChr14 => 9_200_000_000,      // 9.2 GB
-            DatasetPreset::Bumblebee => 85_000_000_000,  // 85 GB
-            DatasetPreset::Parakeet => 203_000_000_000,  // 203 GB
-            DatasetPreset::HGenome => 398_000_000_000,   // 398 GB
+            DatasetPreset::HChr14 => 9_200_000_000,     // 9.2 GB
+            DatasetPreset::Bumblebee => 85_000_000_000, // 85 GB
+            DatasetPreset::Parakeet => 203_000_000_000, // 203 GB
+            DatasetPreset::HGenome => 398_000_000_000,  // 398 GB
         }
     }
 
@@ -175,7 +175,8 @@ impl ScaledDataset {
             seed,
         }
         .generate();
-        let reads = ShotgunSim::error_free(self.read_len, self.coverage, seed ^ 0xF00D).sample(&genome);
+        let reads =
+            ShotgunSim::error_free(self.read_len, self.coverage, seed ^ 0xF00D).sample(&genome);
         (genome, reads)
     }
 }

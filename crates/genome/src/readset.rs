@@ -83,7 +83,11 @@ impl ReadSet {
 
     /// The `i`-th read (forward orientation).
     pub fn read(&self, i: usize) -> PackedSeq {
-        assert!(i < self.len(), "read {i} out of range ({} reads)", self.len());
+        assert!(
+            i < self.len(),
+            "read {i} out of range ({} reads)",
+            self.len()
+        );
         self.bases.slice(i * self.read_len, self.read_len)
     }
 

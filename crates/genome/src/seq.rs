@@ -62,7 +62,11 @@ impl PackedSeq {
     /// # Panics
     /// Panics if `i >= len()`.
     pub fn get(&self, i: usize) -> Base {
-        assert!(i < self.len, "index {i} out of range for length {}", self.len);
+        assert!(
+            i < self.len,
+            "index {i} out of range for length {}",
+            self.len
+        );
         let (word, shift) = (i / BASES_PER_WORD, 2 * (i % BASES_PER_WORD));
         Base::from_code(((self.words[word] >> shift) & 3) as u8)
     }

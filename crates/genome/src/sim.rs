@@ -120,7 +120,8 @@ impl ShotgunSim {
             if self.error_rate > 0.0 {
                 read = inject_errors(&read, self.error_rate, &mut rng);
             }
-            set.push(&read).expect("sampled read has the configured length");
+            set.push(&read)
+                .expect("sampled read has the configured length");
         }
         set
     }
@@ -258,7 +259,10 @@ mod tests {
                 mismatched_reads += 1;
             }
         }
-        assert!(mismatched_reads > 0, "20% error rate must perturb something");
+        assert!(
+            mismatched_reads > 0,
+            "20% error rate must perturb something"
+        );
     }
 
     #[test]

@@ -117,6 +117,7 @@ pub struct ExternalSorter {
     device: Device,
     host: HostMem,
     config: SortConfig,
+    recorder: obs::Recorder,
 }
 
 impl ExternalSorter {
@@ -127,12 +128,35 @@ impl ExternalSorter {
             device,
             host,
             config,
+            recorder: obs::Recorder::disabled(),
         })
+    }
+
+    /// Attach a recorder: each [`ExternalSorter::sort_file`] emits `sort.*`
+    /// counters (pairs, runs, merge/disk passes, spilled bytes) on the
+    /// recorder's current span.
+    pub fn with_recorder(mut self, recorder: obs::Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// The active configuration.
     pub fn config(&self) -> SortConfig {
         self.config
+    }
+
+    fn emit_report(&self, report: &SortReport) {
+        let rec = &self.recorder;
+        if !rec.is_enabled() {
+            return;
+        }
+        rec.counter("sort.pairs", report.pairs);
+        rec.counter("sort.initial_runs", u64::from(report.initial_runs));
+        rec.counter("sort.merge_passes", u64::from(report.merge_passes));
+        rec.counter("sort.disk_passes", u64::from(report.disk_passes));
+        rec.counter("sort.spill_bytes", report.io.bytes_written);
+        rec.metric("sort.io_seconds", report.io.total_seconds());
+        rec.metric("sort.device_seconds", report.device_seconds);
     }
 
     /// Sort one host block in memory by streaming `m_d`-sized chunks
@@ -211,14 +235,16 @@ impl ExternalSorter {
         // Handle the empty input: still produce an (empty) output file.
         if run_paths.is_empty() {
             RecordWriter::create(output, spill.io().clone())?.finish()?;
-            return Ok(SortReport {
+            let report = SortReport {
                 pairs: 0,
                 initial_runs: 0,
                 merge_passes: 0,
                 disk_passes: 1,
                 io: spill.io().snapshot().since(&io_before),
                 device_seconds: self.device.stats().since(&dev_before).total_seconds(),
-            });
+            };
+            self.emit_report(&report);
+            return Ok(report);
         }
 
         // Pass 2..k: external merging until a single run remains. Each
@@ -292,14 +318,16 @@ impl ExternalSorter {
             std::fs::remove_file(&last)?;
         }
 
-        Ok(SortReport {
+        let report = SortReport {
             pairs: total_pairs,
             initial_runs,
             merge_passes,
             disk_passes: 1 + merge_passes,
             io: spill.io().snapshot().since(&io_before),
             device_seconds: self.device.stats().since(&dev_before).total_seconds(),
-        })
+        };
+        self.emit_report(&report);
+        Ok(report)
     }
 
     /// In-memory convenience: sort a vec of pairs under the same budgets
@@ -378,7 +406,10 @@ mod tests {
     #[test]
     fn single_pass_when_everything_fits() {
         let (_g, spill, sorter) = setup(100_000, 100_000);
-        let pairs: Vec<KvPair> = (0..100u32).rev().map(|i| KvPair::new(i as u128, i)).collect();
+        let pairs: Vec<KvPair> = (0..100u32)
+            .rev()
+            .map(|i| KvPair::new(i as u128, i))
+            .collect();
         let input = write_input(&spill, &pairs);
         let output = spill.scratch_path("out");
         let report = sorter.sort_file(&spill, &input, &output).unwrap();
@@ -396,7 +427,10 @@ mod tests {
         // => 2 merge passes => 3 disk passes.
         let (_g, spill, sorter) = setup(1000, 400);
         assert_eq!(sorter.config().host_block_pairs, 25);
-        let pairs: Vec<KvPair> = (0..100u32).rev().map(|i| KvPair::new(i as u128, i)).collect();
+        let pairs: Vec<KvPair> = (0..100u32)
+            .rev()
+            .map(|i| KvPair::new(i as u128, i))
+            .collect();
         let input = write_input(&spill, &pairs);
         let output = spill.scratch_path("out");
         let report = sorter.sort_file(&spill, &input, &output).unwrap();
@@ -410,7 +444,10 @@ mod tests {
 
     #[test]
     fn smaller_host_blocks_mean_more_disk_bytes() {
-        let pairs: Vec<KvPair> = (0..256u32).rev().map(|i| KvPair::new(i as u128, i)).collect();
+        let pairs: Vec<KvPair> = (0..256u32)
+            .rev()
+            .map(|i| KvPair::new(i as u128, i))
+            .collect();
 
         let (_g1, spill_big, big) = setup(20_480, 2_000);
         let in1 = write_input(&spill_big, &pairs);
@@ -424,7 +461,10 @@ mod tests {
 
         assert!(r_small.disk_passes > r_big.disk_passes);
         assert!(r_small.io.bytes_read > r_big.io.bytes_read);
-        assert_eq!(read_output(&spill_big, &out1), read_output(&spill_small, &out2));
+        assert_eq!(
+            read_output(&spill_big, &out1),
+            read_output(&spill_small, &out2)
+        );
     }
 
     #[test]
@@ -435,6 +475,40 @@ mod tests {
         let report = sorter.sort_file(&spill, &input, &output).unwrap();
         assert_eq!(report.pairs, 0);
         assert!(read_output(&spill, &output).is_empty());
+    }
+
+    #[test]
+    fn sort_file_emits_counters_matching_its_report() {
+        let (_g, spill, sorter) = setup(1000, 400);
+        let rec = obs::Recorder::new();
+        let sorter = sorter.with_recorder(rec.clone());
+        let pairs: Vec<KvPair> = (0..100u32)
+            .rev()
+            .map(|i| KvPair::new(i as u128, i))
+            .collect();
+        let input = write_input(&spill, &pairs);
+        let output = spill.scratch_path("out");
+        let span = rec.span("sfx_00005");
+        let report = sorter.sort_file(&spill, &input, &output).unwrap();
+        drop(span);
+        let rollup = obs::Rollup::from_events(&rec.events());
+        let node = rollup.root_named("sfx_00005").unwrap();
+        let agg = rollup.subtree(node.id);
+        assert_eq!(agg.counter("sort.pairs"), report.pairs);
+        assert_eq!(
+            agg.counter("sort.initial_runs"),
+            u64::from(report.initial_runs)
+        );
+        assert_eq!(
+            agg.counter("sort.merge_passes"),
+            u64::from(report.merge_passes)
+        );
+        assert_eq!(
+            agg.counter("sort.disk_passes"),
+            u64::from(report.disk_passes)
+        );
+        assert_eq!(agg.counter("sort.spill_bytes"), report.io.bytes_written);
+        assert_eq!(agg.metric("sort.io_seconds"), report.io.total_seconds());
     }
 
     #[test]
@@ -474,7 +548,10 @@ mod tests {
     #[test]
     fn sort_in_memory_handles_oversized_input() {
         let (_g, _spill, sorter) = setup(1000, 400); // m_h = 25
-        let pairs: Vec<KvPair> = (0..90u32).rev().map(|i| KvPair::new(i as u128, i)).collect();
+        let pairs: Vec<KvPair> = (0..90u32)
+            .rev()
+            .map(|i| KvPair::new(i as u128, i))
+            .collect();
         let got = sorter.sort_in_memory(pairs).unwrap();
         let keys: Vec<u128> = got.iter().map(|p| p.key).collect();
         assert_eq!(keys, (0..90).collect::<Vec<u128>>());

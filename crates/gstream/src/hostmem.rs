@@ -75,9 +75,7 @@ impl HostMem {
 
     /// Rebase the peak to the current usage (between pipeline phases).
     pub fn reset_peak(&self) {
-        self.inner
-            .peak
-            .store(self.used(), Ordering::Relaxed);
+        self.inner.peak.store(self.used(), Ordering::Relaxed);
     }
 
     /// Reserve `bytes`, returning an RAII guard that releases on drop.

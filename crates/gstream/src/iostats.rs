@@ -86,6 +86,27 @@ impl IoSnapshot {
             write_seconds: self.write_seconds - earlier.write_seconds,
         }
     }
+
+    /// Emit this snapshot (usually a [`IoSnapshot::since`] delta) as the
+    /// canonical `io.*` events on `span`. [`IoSnapshot::from_agg`] inverts
+    /// this exactly.
+    pub fn emit(&self, rec: &obs::Recorder, span: u64) {
+        rec.counter_on(span, "io.bytes_read", self.bytes_read);
+        rec.counter_on(span, "io.bytes_written", self.bytes_written);
+        rec.metric_on(span, "io.read_seconds", self.read_seconds);
+        rec.metric_on(span, "io.write_seconds", self.write_seconds);
+    }
+
+    /// Rebuild a snapshot from rolled-up `io.*` events (the inverse of
+    /// [`IoSnapshot::emit`]).
+    pub fn from_agg(agg: &obs::SpanAgg) -> IoSnapshot {
+        IoSnapshot {
+            bytes_read: agg.counter("io.bytes_read"),
+            bytes_written: agg.counter("io.bytes_written"),
+            read_seconds: agg.metric("io.read_seconds"),
+            write_seconds: agg.metric("io.write_seconds"),
+        }
+    }
 }
 
 /// Shared, thread-safe I/O accounting. Clone-cheap: clones share counters.
@@ -188,6 +209,22 @@ mod tests {
         let delta = io.snapshot().since(&early);
         assert_eq!(delta.bytes_read, 5);
         assert_eq!(delta.bytes_written, 7);
+    }
+
+    #[test]
+    fn emit_then_from_agg_round_trips_exactly() {
+        let io = IoStats::default();
+        io.add_read(12_345);
+        io.add_write(678);
+        let snap = io.snapshot();
+        let rec = obs::Recorder::new();
+        let span = rec.span("phase");
+        snap.emit(&rec, span.id());
+        drop(span);
+        let rollup = obs::Rollup::from_events(&rec.events());
+        let root = rollup.root_named("phase").unwrap();
+        let back = IoSnapshot::from_agg(&rollup.subtree(root.id));
+        assert_eq!(back, snap);
     }
 
     #[test]

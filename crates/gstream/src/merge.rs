@@ -127,6 +127,11 @@ pub fn device_merge(
 /// Merge sorted sources `a` and `b` into `out`, holding at most
 /// `window_pairs` pairs in working memory and at most `device_pairs` pairs
 /// on the device. Returns the number of pairs emitted.
+///
+/// When the device carries an [`obs::Recorder`] (see
+/// [`Device::set_recorder`]), the total number of window advances (rounds
+/// that emitted output) is recorded as the `merge.window_advances` counter
+/// on the recorder's current span.
 pub fn windowed_merge<SA, SB, K>(
     dev: &Device,
     a: &mut SA,
@@ -134,6 +139,31 @@ pub fn windowed_merge<SA, SB, K>(
     out: &mut K,
     window_pairs: usize,
     device_pairs: usize,
+) -> Result<u64>
+where
+    SA: PairSource,
+    SB: PairSource,
+    K: PairSink,
+{
+    let mut advances = 0u64;
+    let result = windowed_merge_inner(dev, a, b, out, window_pairs, device_pairs, &mut advances);
+    if advances > 0 {
+        let rec = dev.recorder();
+        if rec.is_enabled() {
+            rec.counter("merge.window_advances", advances);
+        }
+    }
+    result
+}
+
+fn windowed_merge_inner<SA, SB, K>(
+    dev: &Device,
+    a: &mut SA,
+    b: &mut SB,
+    out: &mut K,
+    window_pairs: usize,
+    device_pairs: usize,
+    advances: &mut u64,
 ) -> Result<u64>
 where
     SA: PairSource,
@@ -159,6 +189,7 @@ where
             while !bf.is_empty() {
                 out.emit(&bf)?;
                 emitted += bf.len() as u64;
+                *advances += 1;
                 bf.clear();
                 refill(&mut bf, b, half)?;
             }
@@ -168,6 +199,7 @@ where
             while !af.is_empty() {
                 out.emit(&af)?;
                 emitted += af.len() as u64;
+                *advances += 1;
                 af.clear();
                 refill(&mut af, a, half)?;
             }
@@ -181,12 +213,14 @@ where
         if a_last <= bf[0].key {
             out.emit(&af)?;
             emitted += af.len() as u64;
+            *advances += 1;
             af.clear();
             continue;
         }
         if b_last < af[0].key {
             out.emit(&bf)?;
             emitted += bf.len() as u64;
+            *advances += 1;
             bf.clear();
             continue;
         }
@@ -203,6 +237,7 @@ where
         let merged = device_merge(dev, &af[..take_a], &bf[..take_b], device_pairs)?;
         out.emit(&merged)?;
         emitted += merged.len() as u64;
+        *advances += 1;
         af.drain(..take_a);
         bf.drain(..take_b);
     }
@@ -244,6 +279,7 @@ where
         })
         .collect();
     let mut emitted = 0u64;
+    let mut rounds = 0u64;
 
     loop {
         // Refill.
@@ -261,6 +297,12 @@ where
             }
         }
         if wins.iter().all(|w| w.buf.is_empty()) {
+            if rounds > 0 {
+                let rec = dev.recorder();
+                if rec.is_enabled() {
+                    rec.counter("merge.window_advances", rounds);
+                }
+            }
             return Ok(emitted);
         }
 
@@ -325,6 +367,7 @@ where
         if let Some(merged) = runs.pop() {
             out.emit(&merged)?;
             emitted += merged.len() as u64;
+            rounds += 1;
         }
     }
 }
@@ -428,8 +471,10 @@ mod tests {
         let d = dev();
         let runs: Vec<Vec<KvPair>> = groups.iter().map(|g| kv(g)).collect();
         let mut sources: Vec<SliceSource> = runs.iter().map(|r| SliceSource::new(r)).collect();
-        let mut dyns: Vec<&mut dyn PairSource> =
-            sources.iter_mut().map(|s| s as &mut dyn PairSource).collect();
+        let mut dyns: Vec<&mut dyn PairSource> = sources
+            .iter_mut()
+            .map(|s| s as &mut dyn PairSource)
+            .collect();
         let mut sink = VecSink::default();
         let n = kway_merge(&d, &mut dyns, &mut sink, window, device).unwrap();
         assert_eq!(n as usize, sink.out.len());
@@ -438,11 +483,7 @@ mod tests {
 
     #[test]
     fn kway_merges_three_runs() {
-        let got = kway(
-            vec![vec![1, 4, 7], vec![2, 5, 8], vec![3, 6, 9]],
-            12,
-            12,
-        );
+        let got = kway(vec![vec![1, 4, 7], vec![2, 5, 8], vec![3, 6, 9]], 12, 12);
         assert_eq!(got, (1..=9).collect::<Vec<u128>>());
     }
 

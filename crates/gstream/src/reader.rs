@@ -51,9 +51,9 @@ impl RecordReader {
         let mut out = Vec::with_capacity(want);
         let mut frame = [0u8; KvPair::BYTES];
         for _ in 0..want {
-            self.inner.read_exact(&mut frame).map_err(|e| {
-                StreamError::Corrupt(format!("short read mid-record: {e}"))
-            })?;
+            self.inner
+                .read_exact(&mut frame)
+                .map_err(|e| StreamError::Corrupt(format!("short read mid-record: {e}")))?;
             out.push(KvPair::decode(&frame));
         }
         self.remaining -= want as u64;

@@ -204,12 +204,28 @@ impl PartitionSet {
         if len < self.l_min || len >= self.l_max {
             return Ok(());
         }
-        let idx =
-            ((len - self.l_min) * self.ranges + range_of(pair.key, self.ranges)) as usize;
+        let idx = ((len - self.l_min) * self.ranges + range_of(pair.key, self.ranges)) as usize;
         match kind {
             PartitionKind::Suffix => self.suffix[idx].write(pair),
             PartitionKind::Prefix => self.prefix[idx].write(pair),
         }
+    }
+
+    /// Like [`PartitionSet::finish`], but also emits per-length spill
+    /// counters (`spill.tuples.sfx_<len>` / `spill.tuples.pfx_<len>`) plus
+    /// the total `spill.bytes` on the recorder's current span.
+    pub fn finish_traced(self, rec: &obs::Recorder) -> Result<BTreeMap<u32, (u64, u64)>> {
+        let counts = self.finish()?;
+        if rec.is_enabled() {
+            let mut tuples = 0u64;
+            for (len, (sfx, pfx)) in &counts {
+                rec.counter(&format!("spill.tuples.sfx_{len:05}"), *sfx);
+                rec.counter(&format!("spill.tuples.pfx_{len:05}"), *pfx);
+                tuples += sfx + pfx;
+            }
+            rec.counter("spill.bytes", tuples * KvPair::BYTES as u64);
+        }
+        Ok(counts)
     }
 
     /// Flush all partitions; returns per-length record counts
@@ -250,12 +266,17 @@ mod tests {
     fn partition_set_routes_by_length_and_kind() {
         let (_g, s) = spill();
         let mut set = PartitionSet::create(&s, 3, 6).unwrap();
-        set.write(PartitionKind::Suffix, 3, KvPair::new(30, 0)).unwrap();
-        set.write(PartitionKind::Prefix, 3, KvPair::new(31, 1)).unwrap();
-        set.write(PartitionKind::Suffix, 5, KvPair::new(50, 2)).unwrap();
+        set.write(PartitionKind::Suffix, 3, KvPair::new(30, 0))
+            .unwrap();
+        set.write(PartitionKind::Prefix, 3, KvPair::new(31, 1))
+            .unwrap();
+        set.write(PartitionKind::Suffix, 5, KvPair::new(50, 2))
+            .unwrap();
         // Out-of-range lengths are dropped, matching the paper's rules.
-        set.write(PartitionKind::Suffix, 2, KvPair::new(2, 3)).unwrap();
-        set.write(PartitionKind::Suffix, 6, KvPair::new(6, 4)).unwrap();
+        set.write(PartitionKind::Suffix, 2, KvPair::new(2, 3))
+            .unwrap();
+        set.write(PartitionKind::Suffix, 6, KvPair::new(6, 4))
+            .unwrap();
         let counts = set.finish().unwrap();
         assert_eq!(counts[&3], (1, 1));
         assert_eq!(counts[&4], (0, 0));
@@ -266,12 +287,41 @@ mod tests {
     }
 
     #[test]
+    fn finish_traced_emits_per_length_spill_counters() {
+        let (_g, s) = spill();
+        let rec = obs::Recorder::new();
+        let span = rec.span("map");
+        let mut set = PartitionSet::create(&s, 3, 5).unwrap();
+        set.write(PartitionKind::Suffix, 3, KvPair::new(30, 0))
+            .unwrap();
+        set.write(PartitionKind::Suffix, 3, KvPair::new(33, 1))
+            .unwrap();
+        set.write(PartitionKind::Prefix, 4, KvPair::new(40, 2))
+            .unwrap();
+        let counts = set.finish_traced(&rec).unwrap();
+        drop(span);
+        assert_eq!(counts[&3], (2, 0));
+        let rollup = obs::Rollup::from_events(&rec.events());
+        let node = rollup.root_named("map").unwrap();
+        let agg = rollup.subtree(node.id);
+        assert_eq!(agg.counter("spill.tuples.sfx_00003"), 2);
+        assert_eq!(agg.counter("spill.tuples.pfx_00004"), 1);
+        assert_eq!(agg.counter("spill.bytes"), 3 * KvPair::BYTES as u64);
+    }
+
+    #[test]
     fn lengths_lists_existing_partitions_sorted() {
         let (_g, s) = spill();
         for len in [9u32, 3, 7] {
-            s.writer(PartitionKind::Suffix, len).unwrap().finish().unwrap();
+            s.writer(PartitionKind::Suffix, len)
+                .unwrap()
+                .finish()
+                .unwrap();
         }
-        s.writer(PartitionKind::Prefix, 4).unwrap().finish().unwrap();
+        s.writer(PartitionKind::Prefix, 4)
+            .unwrap()
+            .finish()
+            .unwrap();
         assert_eq!(s.lengths(PartitionKind::Suffix).unwrap(), vec![3, 7, 9]);
         assert_eq!(s.lengths(PartitionKind::Prefix).unwrap(), vec![4]);
     }
@@ -279,7 +329,10 @@ mod tests {
     #[test]
     fn remove_is_idempotent() {
         let (_g, s) = spill();
-        s.writer(PartitionKind::Suffix, 5).unwrap().finish().unwrap();
+        s.writer(PartitionKind::Suffix, 5)
+            .unwrap()
+            .finish()
+            .unwrap();
         s.remove(PartitionKind::Suffix, 5).unwrap();
         s.remove(PartitionKind::Suffix, 5).unwrap();
         assert!(s.lengths(PartitionKind::Suffix).unwrap().is_empty());

@@ -70,7 +70,8 @@ mod tests {
         let io = IoStats::default();
         let mut w = RecordWriter::create(&path, io.clone()).unwrap();
         w.write(KvPair::new(7, 1)).unwrap();
-        w.write_all(&[KvPair::new(8, 2), KvPair::new(9, 3)]).unwrap();
+        w.write_all(&[KvPair::new(8, 2), KvPair::new(9, 3)])
+            .unwrap();
         assert_eq!(w.written(), 3);
         assert_eq!(w.finish().unwrap(), 3);
         assert_eq!(io.snapshot().bytes_written, 3 * KvPair::BYTES as u64);

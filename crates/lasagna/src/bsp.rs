@@ -44,7 +44,10 @@ fn successors_with_cycles_broken(graph: &StringGraph) -> (Vec<u32>, Vec<u32>) {
             if color[v] == 1 {
                 // The trail suffix from v is a cycle; cut before its
                 // smallest vertex, which becomes the emission start.
-                let pos = trail.iter().position(|&t| t as usize == v).expect("on trail");
+                let pos = trail
+                    .iter()
+                    .position(|&t| t as usize == v)
+                    .expect("on trail");
                 let cycle = &trail[pos..];
                 let min = *cycle.iter().min().expect("nonempty");
                 let pred = cycle
@@ -199,7 +202,14 @@ pub fn extract_paths_bsp(
                 Some(e) if idx + 1 < len => read_len - e.overlap,
                 _ => read_len,
             };
-            Some((path_idx, idx, PathStep { vertex: v, overhang }))
+            Some((
+                path_idx,
+                idx,
+                PathStep {
+                    vertex: v,
+                    overhang,
+                },
+            ))
         })
         .collect();
     slots.sort_unstable_by_key(|(p, i, _)| (*p, *i));

@@ -190,8 +190,14 @@ mod tests {
         let reads = reads_of(&["ACGTAC", "TACGGA"]);
         let paths = vec![Path {
             steps: vec![
-                PathStep { vertex: 0, overhang: 3 },
-                PathStep { vertex: 2, overhang: 6 },
+                PathStep {
+                    vertex: 0,
+                    overhang: 3,
+                },
+                PathStep {
+                    vertex: 2,
+                    overhang: 6,
+                },
             ],
         }];
         let (contigs, stats) = generate_contigs(&device(), &host(), &reads, &paths).unwrap();
@@ -206,7 +212,10 @@ mod tests {
         // Vertex 1 = revcomp of read 0.
         let reads = reads_of(&["ACGTAA"]);
         let paths = vec![Path {
-            steps: vec![PathStep { vertex: 1, overhang: 6 }],
+            steps: vec![PathStep {
+                vertex: 1,
+                overhang: 6,
+            }],
         }];
         let (contigs, _) = generate_contigs(&device(), &host(), &reads, &paths).unwrap();
         assert_eq!(contigs[0].to_string(), "TTACGT");
@@ -218,12 +227,21 @@ mod tests {
         let paths = vec![
             Path {
                 steps: vec![
-                    PathStep { vertex: 0, overhang: 4 },
-                    PathStep { vertex: 2, overhang: 6 },
+                    PathStep {
+                        vertex: 0,
+                        overhang: 4,
+                    },
+                    PathStep {
+                        vertex: 2,
+                        overhang: 6,
+                    },
                 ],
             },
             Path {
-                steps: vec![PathStep { vertex: 4, overhang: 6 }],
+                steps: vec![PathStep {
+                    vertex: 4,
+                    overhang: 6,
+                }],
             },
         ];
         let (contigs, stats) = generate_contigs(&device(), &host(), &reads, &paths).unwrap();
@@ -260,7 +278,10 @@ mod tests {
         let dev = device();
         let reads = reads_of(&["ACGTAA"]);
         let paths = vec![Path {
-            steps: vec![PathStep { vertex: 0, overhang: 6 }],
+            steps: vec![PathStep {
+                vertex: 0,
+                overhang: 6,
+            }],
         }];
         generate_contigs(&dev, &host(), &reads, &paths).unwrap();
         let stats = dev.stats();

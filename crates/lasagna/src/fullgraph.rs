@@ -403,7 +403,14 @@ mod tests {
         // Perfectly tiled reads: 0→2 (9), 2→4 (9), 4→6 (9), plus all
         // transitive: 0→4 (8), 2→6 (8), 0→6 (7).
         let mut g = graph_with(
-            &[(0, 2, 9), (2, 4, 9), (4, 6, 9), (0, 4, 8), (2, 6, 8), (0, 6, 7)],
+            &[
+                (0, 2, 9),
+                (2, 4, 9),
+                (4, 6, 9),
+                (0, 4, 8),
+                (2, 6, 8),
+                (0, 6, 7),
+            ],
             8,
             10,
         );
@@ -471,11 +478,8 @@ mod tests {
     fn duplicate_detection_is_strand_independent() {
         use genome::ReadSet;
         // Read 1 is the reverse complement of read 0.
-        let reads = ReadSet::from_reads(
-            6,
-            ["ACGTAA", "TTACGT"].iter().map(|s| s.parse().unwrap()),
-        )
-        .unwrap();
+        let reads = ReadSet::from_reads(6, ["ACGTAA", "TTACGT"].iter().map(|s| s.parse().unwrap()))
+            .unwrap();
         let mut g = MultiGraph::new(reads.vertex_count(), 6);
         assert_eq!(g.remove_duplicates(&reads), 1);
     }

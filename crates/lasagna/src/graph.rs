@@ -59,7 +59,10 @@ const NONE: u32 = u32::MAX;
 impl StringGraph {
     /// An edgeless graph over `vertex_count` vertices (2 × reads).
     pub fn new(vertex_count: u32) -> Self {
-        assert!(vertex_count.is_multiple_of(2), "vertices come in complement pairs");
+        assert!(
+            vertex_count.is_multiple_of(2),
+            "vertices come in complement pairs"
+        );
         StringGraph {
             out_target: vec![NONE; vertex_count as usize],
             out_overlap: vec![0; vertex_count as usize],
@@ -152,7 +155,11 @@ impl StringGraph {
     /// reduce): vertices marked there are treated as already having an
     /// outgoing edge even though the edge itself lives on another node.
     pub fn merge_out_bits(&mut self, bits: &[u64]) {
-        assert_eq!(bits.len(), self.out_bits.len(), "bit-vector length mismatch");
+        assert_eq!(
+            bits.len(),
+            self.out_bits.len(),
+            "bit-vector length mismatch"
+        );
         for (mine, theirs) in self.out_bits.iter_mut().zip(bits) {
             *mine |= theirs;
         }
@@ -192,8 +199,22 @@ mod tests {
         let mut g = StringGraph::new(8);
         g.try_add_edge(0, 2, 5).unwrap();
         assert_eq!(g.edge_count(), 2);
-        assert_eq!(g.out(0), Some(Edge { from: 0, to: 2, overlap: 5 }));
-        assert_eq!(g.out(3), Some(Edge { from: 3, to: 1, overlap: 5 }));
+        assert_eq!(
+            g.out(0),
+            Some(Edge {
+                from: 0,
+                to: 2,
+                overlap: 5
+            })
+        );
+        assert_eq!(
+            g.out(3),
+            Some(Edge {
+                from: 3,
+                to: 1,
+                overlap: 5
+            })
+        );
         assert!(g.has_in(2));
         assert!(g.has_in(1));
         g.check_invariants().unwrap();

@@ -32,6 +32,19 @@ pub fn run(
     run_range(device, host, spill, config, reads, 0, reads.len())
 }
 
+/// [`run`] with structured events: `map.batches` plus the per-length
+/// `spill.tuples.*` / `spill.bytes` counters on the current span.
+pub fn run_traced(
+    device: &Device,
+    host: &HostMem,
+    spill: &SpillDir,
+    config: &AssemblyConfig,
+    reads: &ReadSet,
+    rec: &obs::Recorder,
+) -> Result<PartitionCounts> {
+    run_range_traced(device, host, spill, config, reads, 0, reads.len(), rec)
+}
+
 /// Map a contiguous block of reads `[start, end)`. Vertex ids stay global
 /// (`2 · read-index + strand`), which is what lets the distributed map
 /// assign blocks to arbitrary nodes (Section III-E1).
@@ -43,6 +56,30 @@ pub fn run_range(
     reads: &ReadSet,
     start: usize,
     end: usize,
+) -> Result<PartitionCounts> {
+    run_range_traced(
+        device,
+        host,
+        spill,
+        config,
+        reads,
+        start,
+        end,
+        &obs::Recorder::disabled(),
+    )
+}
+
+/// [`run_range`] with structured events.
+#[allow(clippy::too_many_arguments)]
+pub fn run_range_traced(
+    device: &Device,
+    host: &HostMem,
+    spill: &SpillDir,
+    config: &AssemblyConfig,
+    reads: &ReadSet,
+    start: usize,
+    end: usize,
+    rec: &obs::Recorder,
 ) -> Result<PartitionCounts> {
     config.validate()?;
     let n = reads.read_len();
@@ -76,14 +113,15 @@ pub fn run_range(
     let mut codes_buf: Vec<u8> = Vec::new();
     let mut batch: Vec<Vec<u8>> = Vec::with_capacity(batch_reads * 2);
 
+    let mut batches = 0u64;
     let mut read_idx = start;
     while read_idx < end {
+        batches += 1;
         let batch_end = (read_idx + batch_reads).min(end);
         // Host staging buffer for the batch: forward + reverse codes; the
         // device holds the batch plus its fingerprint outputs.
         let _host_guard = host.reserve(((batch_end - read_idx) * n * 2) as u64)?;
-        let _device_staging =
-            device.alloc::<u8>((batch_end - read_idx) * per_read_device_bytes)?;
+        let _device_staging = device.alloc::<u8>((batch_end - read_idx) * per_read_device_bytes)?;
 
         batch.clear();
         for i in read_idx..batch_end {
@@ -117,7 +155,10 @@ pub fn run_range(
         read_idx = batch_end;
     }
 
-    Ok(partitions.finish()?)
+    if rec.is_enabled() && batches > 0 {
+        rec.counter("map.batches", batches);
+    }
+    Ok(partitions.finish_traced(rec)?)
 }
 
 #[cfg(test)]
@@ -197,8 +238,16 @@ mod tests {
         reads.push(&"CGTACTTA".parse().unwrap()).unwrap();
         let config = AssemblyConfig::for_dataset(5, 8);
         run(&device, &host, &spill, &config, &reads).unwrap();
-        let sfx = spill.reader(PartitionKind::Suffix, 5).unwrap().read_all().unwrap();
-        let pfx = spill.reader(PartitionKind::Prefix, 5).unwrap().read_all().unwrap();
+        let sfx = spill
+            .reader(PartitionKind::Suffix, 5)
+            .unwrap()
+            .read_all()
+            .unwrap();
+        let pfx = spill
+            .reader(PartitionKind::Prefix, 5)
+            .unwrap()
+            .read_all()
+            .unwrap();
         let s0 = sfx.iter().find(|p| p.val == 0).unwrap();
         let p2 = pfx.iter().find(|p| p.val == 2).unwrap();
         assert_eq!(s0.key, p2.key, "matching overlap must share a fingerprint");
@@ -228,7 +277,11 @@ mod tests {
         let mut config = AssemblyConfig::for_dataset(12, 20);
         config.fingerprint_bits = 16;
         run(&device, &host, &spill, &config, &reads).unwrap();
-        let sfx = spill.reader(PartitionKind::Suffix, 12).unwrap().read_all().unwrap();
+        let sfx = spill
+            .reader(PartitionKind::Suffix, 12)
+            .unwrap()
+            .read_all()
+            .unwrap();
         assert!(sfx.iter().all(|p| p.key < (1 << 16)));
     }
 

@@ -3,21 +3,12 @@
 use crate::config::AssemblyConfig;
 use crate::contig::generate_contigs;
 use crate::graph::StringGraph;
-use crate::report::{AssemblyReport, PhaseMetrics};
-use crate::traverse::{extract_paths, Path, TraverseOptions};
+use crate::report::AssemblyReport;
+use crate::traverse::{extract_paths_traced, Path, TraverseOptions};
 use crate::{map, reduce, sortphase, Result};
 use genome::{PackedSeq, ReadSet};
 use gstream::{HostMem, IoStats, SpillDir};
-use std::time::Instant;
 use vgpu::{Device, GpuProfile};
-
-/// A zero-cost marker row for phases skipped by resume.
-fn skipped_phase(name: &str) -> PhaseMetrics {
-    PhaseMetrics {
-        phase: format!("{name} (resumed)"),
-        ..Default::default()
-    }
-}
 
 /// Everything an assembly produces.
 #[derive(Debug)]
@@ -39,6 +30,7 @@ pub struct Pipeline {
     host: HostMem,
     spill: SpillDir,
     config: AssemblyConfig,
+    recorder: obs::Recorder,
 }
 
 impl Pipeline {
@@ -50,11 +42,14 @@ impl Pipeline {
         config: AssemblyConfig,
     ) -> Result<Self> {
         config.validate()?;
+        let recorder = obs::Recorder::new();
+        device.set_recorder(recorder.clone());
         Ok(Pipeline {
             device,
             host,
             spill,
             config,
+            recorder,
         })
     }
 
@@ -87,24 +82,42 @@ impl Pipeline {
         &self.config
     }
 
-    fn measure<T>(&self, name: &str, f: impl FnOnce() -> Result<T>) -> Result<(T, PhaseMetrics)> {
+    /// Swap in a different event recorder (e.g. one carrying a
+    /// `--trace-out` JSONL sink). A disabled recorder is upgraded to a
+    /// live one, because the [`AssemblyReport`] is rebuilt purely from
+    /// recorded events — recording cannot be turned off.
+    pub fn with_recorder(mut self, recorder: obs::Recorder) -> Self {
+        self.recorder = if recorder.is_enabled() {
+            recorder
+        } else {
+            obs::Recorder::new()
+        };
+        self.device.set_recorder(self.recorder.clone());
+        self
+    }
+
+    /// The recorder capturing this pipeline's structured events.
+    pub fn recorder(&self) -> &obs::Recorder {
+        &self.recorder
+    }
+
+    /// Run `f` under a phase span, emitting the canonical per-phase
+    /// `device.*`/`io.*` deltas plus peak gauges on the span. The report
+    /// is later rolled up from exactly these events.
+    fn phase<T>(&self, name: &str, f: impl FnOnce() -> Result<T>) -> Result<T> {
+        let rec = &self.recorder;
+        let span = rec.span(name);
         let dev0 = self.device.stats();
         let io0 = self.spill.io().snapshot();
         self.device.reset_peak();
         self.host.reset_peak();
-        let t0 = Instant::now();
         let out = f()?;
-        let mut m = PhaseMetrics {
-            phase: name.to_string(),
-            wall_seconds: t0.elapsed().as_secs_f64(),
-            device: self.device.stats().since(&dev0),
-            io: self.spill.io().snapshot().since(&io0),
-            host_peak_bytes: self.host.peak(),
-            device_peak_bytes: self.device.stats().mem_peak,
-            modeled_seconds: 0.0,
-        };
-        m.compute_modeled();
-        Ok((out, m))
+        let dev = self.device.stats();
+        dev.since(&dev0).emit(rec, span.id());
+        self.spill.io().snapshot().since(&io0).emit(rec, span.id());
+        rec.gauge_on(span.id(), "host.peak_bytes", self.host.peak());
+        rec.gauge_on(span.id(), "device.peak_bytes", dev.mem_peak);
+        Ok(out)
     }
 
     /// Run the full pipeline on `reads`.
@@ -171,6 +184,7 @@ impl Pipeline {
 
     fn assemble_inner(&self, reads: &ReadSet, resume: bool) -> Result<AssemblyOutput> {
         self.config.validate()?;
+        let rec = &self.recorder;
         let fingerprint = self.dataset_fingerprint(reads);
         let mut completed = if resume {
             self.read_manifest(fingerprint)
@@ -179,7 +193,8 @@ impl Pipeline {
         };
         let done = |completed: &[String], p: &str| completed.iter().any(|c| c == p);
         let graph_path = self.spill.root().join("graph.bin");
-        let mut phases = Vec::new();
+
+        let root = rec.span("assembly");
 
         // Load: stage the packed reads on disk (the dataset's resting
         // place) and stream them back in, charging the read I/O — the
@@ -187,7 +202,7 @@ impl Pipeline {
         let staged_path = self.spill.root().join("reads.packed");
         let packed = reads.to_packed_bytes();
         std::fs::write(&staged_path, &packed).map_err(gstream::StreamError::from)?;
-        let (reads, load_m) = self.measure("load", || {
+        let reads = self.phase("load", || {
             let bytes = std::fs::read(&staged_path).map_err(gstream::StreamError::from)?;
             self.spill.io().add_read(bytes.len() as u64);
             // The paper's datasets rest on disk as FASTQ (~3.2 B/base per
@@ -201,27 +216,31 @@ impl Pipeline {
                 &bytes,
             )?)
         })?;
-        phases.push(load_m);
 
         // Map: fingerprint generation + length partitioning.
         if done(&completed, "map") {
-            phases.push(skipped_phase("map"));
+            drop(rec.span("map (resumed)"));
         } else {
-            let (_counts, map_m) = self.measure("map", || {
-                map::run(&self.device, &self.host, &self.spill, &self.config, &reads)
+            self.phase("map", || {
+                map::run_traced(
+                    &self.device,
+                    &self.host,
+                    &self.spill,
+                    &self.config,
+                    &reads,
+                    rec,
+                )
             })?;
-            phases.push(map_m);
             self.record_phase(fingerprint, &mut completed, "map");
         }
 
         // Sort: hybrid external sort of every partition.
         if done(&completed, "sort") {
-            phases.push(skipped_phase("sort"));
+            drop(rec.span("sort (resumed)"));
         } else {
-            let (_sort_report, sort_m) = self.measure("sort", || {
-                sortphase::run(&self.device, &self.host, &self.spill, &self.config)
+            self.phase("sort", || {
+                sortphase::run_traced(&self.device, &self.host, &self.spill, &self.config, rec)
             })?;
-            phases.push(sort_m);
             self.record_phase(fingerprint, &mut completed, "sort");
         }
 
@@ -233,27 +252,25 @@ impl Pipeline {
         let _graph_guard = self.host.reserve(graph.memory_bytes())?;
         if done(&completed, "reduce") && graph_path.exists() {
             let bytes = std::fs::read(&graph_path).map_err(gstream::StreamError::from)?;
-            graph = StringGraph::from_bytes(&bytes)
-                .map_err(crate::LasagnaError::BadConfig)?;
-            phases.push(skipped_phase("reduce"));
+            graph = StringGraph::from_bytes(&bytes).map_err(crate::LasagnaError::BadConfig)?;
+            drop(rec.span("reduce (resumed)"));
         } else {
-            let (_reduce_report, reduce_m) = self.measure("reduce", || {
-                reduce::run(
+            self.phase("reduce", || {
+                reduce::run_traced(
                     &self.device,
                     &self.host,
                     &self.spill,
                     &self.config,
                     &mut graph,
+                    rec,
                 )
             })?;
-            phases.push(reduce_m);
-            std::fs::write(&graph_path, graph.to_bytes())
-                .map_err(gstream::StreamError::from)?;
+            std::fs::write(&graph_path, graph.to_bytes()).map_err(gstream::StreamError::from)?;
             self.record_phase(fingerprint, &mut completed, "reduce");
         }
 
         // Compress: traverse paths and spell contigs.
-        let ((paths, contigs, contig_stats), compress_m) = self.measure("compress", || {
+        let (paths, contigs, contig_stats) = self.phase("compress", || {
             let paths = if self.config.bsp_traversal {
                 crate::bsp::extract_paths_bsp(
                     &graph,
@@ -262,22 +279,24 @@ impl Pipeline {
                     Some(&self.device),
                 )
             } else {
-                extract_paths(&graph, self.config.l_max, TraverseOptions::default())
+                extract_paths_traced(&graph, self.config.l_max, TraverseOptions::default(), rec)
             };
             let (contigs, stats) = generate_contigs(&self.device, &self.host, &reads, &paths)?;
             Ok((paths, contigs, stats))
         })?;
-        phases.push(compress_m);
 
-        let report = AssemblyReport {
-            dataset: "custom".into(),
-            reads: reads.len() as u64,
-            bases: reads.total_bases(),
-            phases,
-            graph_edges: graph.edge_count(),
-            graph_bytes: graph.memory_bytes(),
-            contig_stats,
-        };
+        drop(root);
+
+        // The report is a pure roll-up over the recorded events: totals
+        // printed by the report and totals in the trace cannot disagree.
+        let rollup = obs::Rollup::from_events(&rec.events());
+        let mut report = AssemblyReport::from_trace(&rollup, "assembly");
+        report.dataset = "custom".into();
+        report.reads = reads.len() as u64;
+        report.bases = reads.total_bases();
+        report.graph_edges = graph.edge_count();
+        report.graph_bytes = graph.memory_bytes();
+        report.contig_stats = contig_stats;
 
         Ok(AssemblyOutput {
             contigs,

@@ -91,6 +91,21 @@ pub fn join_partition(
     sfx: &mut RecordReader,
     pfx: &mut RecordReader,
     window_pairs: usize,
+    on_candidate: impl FnMut(VertexId, VertexId),
+) -> Result<u64> {
+    let mut advances = 0u64;
+    join_partition_counting(device, sfx, pfx, window_pairs, &mut advances, on_candidate)
+}
+
+/// [`join_partition`] that also counts co-advancing window rounds into
+/// `advances` (one per `LOWER_BOUND` cut), for the reduce phase's
+/// `reduce.window_advances` counter.
+fn join_partition_counting(
+    device: &Device,
+    sfx: &mut RecordReader,
+    pfx: &mut RecordReader,
+    window_pairs: usize,
+    advances: &mut u64,
     mut on_candidate: impl FnMut(VertexId, VertexId),
 ) -> Result<u64> {
     let half = (window_pairs / 2).max(2);
@@ -106,6 +121,7 @@ pub fn join_partition(
             // (or vice versa) produce no edges.
             break;
         }
+        *advances += 1;
 
         // f ← MIN_KEY(S_{M/2}, P_{M/2}); cut both windows at LOWER_BOUND(f).
         let f = ws.last_key().min(wp.last_key());
@@ -129,7 +145,12 @@ pub fn join_partition(
         }
 
         if cut_s > 0 && cut_p > 0 {
-            candidates += join_windows(device, &ws.buf[..cut_s], &wp.buf[..cut_p], &mut on_candidate)?;
+            candidates += join_windows(
+                device,
+                &ws.buf[..cut_s],
+                &wp.buf[..cut_p],
+                &mut on_candidate,
+            )?;
         }
         ws.buf.drain(..cut_s);
         wp.buf.drain(..cut_p);
@@ -154,9 +175,7 @@ fn join_windows(
 ) -> Result<u64> {
     // Per resident pair: 16 B suffix key + 16 B prefix key + 3×4 B bounds
     // outputs; budget 80% of the free device memory, split evenly.
-    let free = device
-        .capacity()
-        .saturating_sub(device.stats().mem_used) as usize;
+    let free = device.capacity().saturating_sub(device.stats().mem_used) as usize;
     let tile = (free * 8 / 10 / 2 / 28).max(16);
 
     let mut candidates = 0u64;
@@ -208,6 +227,28 @@ pub fn run(
     config: &AssemblyConfig,
     graph: &mut StringGraph,
 ) -> Result<ReducePhaseReport> {
+    run_traced(
+        device,
+        host,
+        spill,
+        config,
+        graph,
+        &obs::Recorder::disabled(),
+    )
+}
+
+/// [`run`] with structured events: each overlap length joins under its
+/// own span (`len_00045`, …) carrying `reduce.candidates`,
+/// `reduce.accepted`, `reduce.rejected` (guard-refused edges), and
+/// `reduce.window_advances`.
+pub fn run_traced(
+    device: &Device,
+    host: &HostMem,
+    spill: &SpillDir,
+    config: &AssemblyConfig,
+    graph: &mut StringGraph,
+    rec: &obs::Recorder,
+) -> Result<ReducePhaseReport> {
     let window_pairs = window_budget(host, device);
     let mut report = ReducePhaseReport::default();
 
@@ -217,15 +258,29 @@ pub fn run(
         if !s_path.exists() || !p_path.exists() {
             continue;
         }
+        let span = rec.span(&format!("len_{len:05}"));
         let _guard = host.reserve((window_pairs * KvPair::BYTES) as u64)?;
         let mut sfx = spill.reader(PartitionKind::Suffix, len)?;
         let mut pfx = spill.reader(PartitionKind::Prefix, len)?;
         let mut accepted = 0u64;
-        let c = join_partition(device, &mut sfx, &mut pfx, window_pairs, |u, v| {
-            if graph.try_add_edge(u, v, len).is_ok() {
-                accepted += 1;
-            }
-        })?;
+        let mut advances = 0u64;
+        let c = join_partition_counting(
+            device,
+            &mut sfx,
+            &mut pfx,
+            window_pairs,
+            &mut advances,
+            |u, v| {
+                if graph.try_add_edge(u, v, len).is_ok() {
+                    accepted += 1;
+                }
+            },
+        )?;
+        rec.counter_on(span.id(), "reduce.candidates", c);
+        rec.counter_on(span.id(), "reduce.accepted", accepted);
+        rec.counter_on(span.id(), "reduce.rejected", c - accepted);
+        rec.counter_on(span.id(), "reduce.window_advances", advances);
+        drop(span);
         report.candidates += c;
         report.accepted += accepted;
         report.per_length.push((len, c, accepted));
@@ -292,12 +347,7 @@ mod tests {
     fn duplicate_fingerprints_fan_out_candidates_but_greedy_keeps_one() {
         let (_g, device, host, spill) = setup();
         write_sorted(&spill, PartitionKind::Suffix, 5, &[(9, 0)]);
-        write_sorted(
-            &spill,
-            PartitionKind::Prefix,
-            5,
-            &[(9, 2), (9, 4), (9, 6)],
-        );
+        write_sorted(&spill, PartitionKind::Prefix, 5, &[(9, 2), (9, 4), (9, 6)]);
         let config = AssemblyConfig::for_dataset(5, 6);
         let mut graph = StringGraph::new(8);
         let report = run(&device, &host, &spill, &config, &mut graph).unwrap();

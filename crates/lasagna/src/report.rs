@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 use vgpu::DeviceStats;
 
 /// Measurements for one pipeline phase — the columns of Tables II-V.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PhaseMetrics {
     /// Phase name ("map", "sort", "reduce", "compress", "load").
     pub phase: String,
@@ -31,6 +31,34 @@ impl PhaseMetrics {
     /// bound), so the sum is the honest model.
     pub fn compute_modeled(&mut self) {
         self.modeled_seconds = self.device.total_seconds() + self.io.total_seconds();
+    }
+
+    /// Fold another run of the same phase in (e.g. a resumed sort): times
+    /// and traffic add, peaks keep the maximum, and the modeled total is
+    /// recomputed.
+    pub fn merge(&mut self, other: PhaseMetrics) {
+        self.wall_seconds += other.wall_seconds;
+        self.host_peak_bytes = self.host_peak_bytes.max(other.host_peak_bytes);
+        self.device_peak_bytes = self.device_peak_bytes.max(other.device_peak_bytes);
+        self.io.bytes_read += other.io.bytes_read;
+        self.io.bytes_written += other.io.bytes_written;
+        self.io.read_seconds += other.io.read_seconds;
+        self.io.write_seconds += other.io.write_seconds;
+        self.device.kernel_launches += other.device.kernel_launches;
+        self.device.kernel_seconds += other.device.kernel_seconds;
+        self.device.h2d_bytes += other.device.h2d_bytes;
+        self.device.d2h_bytes += other.device.d2h_bytes;
+        self.device.transfer_seconds += other.device.transfer_seconds;
+        self.device.mem_used = self.device.mem_used.max(other.device.mem_used);
+        self.device.mem_peak = self.device.mem_peak.max(other.device.mem_peak);
+        for (name, stat) in other.device.per_kernel {
+            let entry = self.device.per_kernel.entry(name).or_default();
+            entry.launches += stat.launches;
+            entry.flops += stat.flops;
+            entry.bytes += stat.bytes;
+            entry.seconds += stat.seconds;
+        }
+        self.compute_modeled();
     }
 }
 
@@ -64,9 +92,69 @@ impl AssemblyReport {
         self.phases.iter().map(|p| p.modeled_seconds).sum()
     }
 
-    /// Metrics for a phase by name.
+    /// Metrics for a phase by name (case-insensitive).
     pub fn phase(&self, name: &str) -> Option<&PhaseMetrics> {
-        self.phases.iter().find(|p| p.phase == name)
+        self.phases
+            .iter()
+            .find(|p| p.phase.eq_ignore_ascii_case(name))
+    }
+
+    /// Append phase metrics; a phase already present under the same name
+    /// (case-insensitive) is [`PhaseMetrics::merge`]d instead of
+    /// duplicated, so a resumed phase can never appear twice.
+    pub fn push_phase(&mut self, metrics: PhaseMetrics) {
+        match self
+            .phases
+            .iter_mut()
+            .find(|p| p.phase.eq_ignore_ascii_case(&metrics.phase))
+        {
+            Some(existing) => existing.merge(metrics),
+            None => self.phases.push(metrics),
+        }
+    }
+
+    /// Phase names in pipeline order, checking the uniqueness invariant:
+    /// panics if two phases share a name (case-insensitive), which means
+    /// something bypassed [`AssemblyReport::push_phase`].
+    pub fn phases_in_order(&self) -> Vec<&str> {
+        let mut seen = std::collections::HashSet::new();
+        for p in &self.phases {
+            assert!(
+                seen.insert(p.phase.to_ascii_lowercase()),
+                "duplicate phase {:?} in report — phases must be added via push_phase",
+                p.phase
+            );
+        }
+        self.phases.iter().map(|p| p.phase.as_str()).collect()
+    }
+
+    /// Rebuild per-phase metrics purely from a recorded trace: each child
+    /// span of the most recent root span named `root_name` becomes one
+    /// phase, with device/io totals taken from the subtree's canonical
+    /// `device.*`/`io.*` events and peaks from the `host.peak_bytes` /
+    /// `device.peak_bytes` gauges. Because this reads the same events a
+    /// `--trace-out` sink writes, report totals and trace totals cannot
+    /// disagree. Dataset/graph/contig fields are left for the caller.
+    pub fn from_trace(rollup: &obs::Rollup, root_name: &str) -> AssemblyReport {
+        let mut report = AssemblyReport::default();
+        let Some(root) = rollup.root_named(root_name) else {
+            return report;
+        };
+        for child in rollup.children(root.id) {
+            let agg = rollup.subtree(child.id);
+            let mut metrics = PhaseMetrics {
+                phase: child.name.clone(),
+                wall_seconds: child.wall_seconds,
+                modeled_seconds: 0.0,
+                device: DeviceStats::from_agg(&agg),
+                io: IoSnapshot::from_agg(&agg),
+                host_peak_bytes: agg.gauge("host.peak_bytes"),
+                device_peak_bytes: agg.gauge("device.peak_bytes"),
+            };
+            metrics.compute_modeled();
+            report.push_phase(metrics);
+        }
+        report
     }
 }
 
@@ -115,6 +203,84 @@ mod tests {
     }
 
     #[test]
+    fn phase_lookup_is_case_insensitive() {
+        let report = AssemblyReport {
+            phases: vec![phase("Sort", 1.0, 2.0)],
+            ..Default::default()
+        };
+        assert!(report.phase("sort").is_some());
+        assert!(report.phase("SORT").is_some());
+        assert!(report.phase("reduce").is_none());
+    }
+
+    #[test]
+    fn push_phase_merges_duplicates_instead_of_duplicating() {
+        let mut report = AssemblyReport::default();
+        let mut first = phase("sort", 1.0, 0.0);
+        first.io.bytes_read = 100;
+        first.host_peak_bytes = 50;
+        report.push_phase(first);
+        let mut resumed = phase("Sort", 2.0, 0.0);
+        resumed.io.bytes_read = 40;
+        resumed.host_peak_bytes = 30;
+        report.push_phase(resumed);
+
+        assert_eq!(report.phases.len(), 1);
+        let merged = report.phase("sort").unwrap();
+        assert!((merged.wall_seconds - 3.0).abs() < 1e-12);
+        assert_eq!(merged.io.bytes_read, 140);
+        assert_eq!(merged.host_peak_bytes, 50);
+        assert_eq!(report.phases_in_order(), vec!["sort"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate phase")]
+    fn phases_in_order_panics_on_duplicates() {
+        let report = AssemblyReport {
+            phases: vec![phase("sort", 1.0, 1.0), phase("SORT", 1.0, 1.0)],
+            ..Default::default()
+        };
+        let _ = report.phases_in_order();
+    }
+
+    #[test]
+    fn from_trace_rebuilds_phases_from_events() {
+        let rec = obs::Recorder::new();
+        {
+            let _root = rec.span("assembly");
+            {
+                let map = rec.span("map");
+                let io = IoSnapshot {
+                    bytes_read: 100,
+                    bytes_written: 200,
+                    read_seconds: 0.5,
+                    write_seconds: 0.25,
+                };
+                io.emit(&rec, map.id());
+                let dev = DeviceStats {
+                    kernel_launches: 3,
+                    kernel_seconds: 1.5,
+                    ..Default::default()
+                };
+                dev.emit(&rec, map.id());
+                rec.gauge_on(map.id(), "host.peak_bytes", 4096);
+                rec.gauge_on(map.id(), "device.peak_bytes", 512);
+            }
+        }
+        let rollup = obs::Rollup::from_events(&rec.events());
+        let report = AssemblyReport::from_trace(&rollup, "assembly");
+        assert_eq!(report.phases_in_order(), vec!["map"]);
+        let map = report.phase("map").unwrap();
+        assert_eq!(map.io.bytes_read, 100);
+        assert_eq!(map.io.bytes_written, 200);
+        assert_eq!(map.device.kernel_launches, 3);
+        assert_eq!(map.host_peak_bytes, 4096);
+        assert_eq!(map.device_peak_bytes, 512);
+        assert_eq!(map.modeled_seconds, 1.5 + 0.75);
+        assert!(map.wall_seconds > 0.0);
+    }
+
+    #[test]
     fn report_serializes_to_json() {
         let report = AssemblyReport {
             dataset: "H.Chr 14".into(),
@@ -137,8 +303,8 @@ impl std::fmt::Display for PhaseMetrics {
             self.phase,
             self.wall_seconds,
             self.modeled_seconds,
-            self.host_peak_bytes,
-            self.device_peak_bytes
+            obs::human_bytes(self.host_peak_bytes),
+            obs::human_bytes(self.device_peak_bytes)
         )
     }
 }
@@ -148,7 +314,11 @@ impl std::fmt::Display for AssemblyReport {
         writeln!(
             f,
             "{}: {} reads / {} bases",
-            if self.dataset.is_empty() { "assembly" } else { &self.dataset },
+            if self.dataset.is_empty() {
+                "assembly"
+            } else {
+                &self.dataset
+            },
             self.reads,
             self.bases
         )?;
@@ -157,9 +327,9 @@ impl std::fmt::Display for AssemblyReport {
         }
         writeln!(
             f,
-            "  graph: {} edges ({} B) | contigs: {} ({} multi-read), {} bases, N50 {}, max {}",
+            "  graph: {} edges ({}) | contigs: {} ({} multi-read), {} bases, N50 {}, max {}",
             self.graph_edges,
-            self.graph_bytes,
+            obs::human_bytes(self.graph_bytes),
             self.contig_stats.count,
             self.contig_stats.multi_read,
             self.contig_stats.total_bases,
@@ -182,6 +352,7 @@ mod display_tests {
             phases: vec![PhaseMetrics {
                 phase: "sort".into(),
                 wall_seconds: 1.5,
+                host_peak_bytes: 10_737_418_240,
                 ..Default::default()
             }],
             graph_edges: 4,
@@ -191,5 +362,8 @@ mod display_tests {
         assert!(text.contains("demo: 10 reads / 1000 bases"));
         assert!(text.contains("sort"));
         assert!(text.contains("graph: 4 edges"));
+        // Peaks render human-readable, not as raw byte counts.
+        assert!(text.contains("10.0 GiB"), "{text}");
+        assert!(!text.contains("10737418240"), "{text}");
     }
 }

@@ -32,22 +32,42 @@ pub fn run(
     spill: &SpillDir,
     config: &AssemblyConfig,
 ) -> Result<SortPhaseReport> {
+    run_traced(device, host, spill, config, &obs::Recorder::disabled())
+}
+
+/// [`run`] with structured events: each partition sorts under its own
+/// span (`sfx_00045`, `pfx_00045`, …) carrying the sorter's `sort.*`
+/// counters, so a trace shows exactly which partition paid for which
+/// merge passes.
+pub fn run_traced(
+    device: &Device,
+    host: &HostMem,
+    spill: &SpillDir,
+    config: &AssemblyConfig,
+    rec: &obs::Recorder,
+) -> Result<SortPhaseReport> {
     let sort_config = config
         .sort
         .unwrap_or_else(|| SortConfig::from_budgets(host, device));
-    let sorter = ExternalSorter::new(device.clone(), host.clone(), sort_config)?;
+    let sorter =
+        ExternalSorter::new(device.clone(), host.clone(), sort_config)?.with_recorder(rec.clone());
 
     let mut report = SortPhaseReport::default();
     for len in config.l_min..config.l_max {
-        for (kind, tag) in [(PartitionKind::Suffix, "sfx"), (PartitionKind::Prefix, "pfx")] {
+        for (kind, tag) in [
+            (PartitionKind::Suffix, "sfx"),
+            (PartitionKind::Prefix, "pfx"),
+        ] {
             let input = spill.path(kind, len);
             if !input.exists() {
                 continue;
             }
+            let span = rec.span(&format!("{tag}_{len:05}"));
             let sorted = spill.scratch_path(&format!("{tag}_{len}_sorted"));
             let r = sorter.sort_file(spill, &input, &sorted)?;
             // Replace the unsorted partition with the sorted file.
             std::fs::rename(&sorted, &input).map_err(gstream::StreamError::from)?;
+            drop(span);
             report.total_pairs += r.pairs;
             report.max_disk_passes = report.max_disk_passes.max(r.disk_passes);
             report.partitions.push((len, tag.to_string(), r));
@@ -119,7 +139,11 @@ mod tests {
         write_partition(&spill, PartitionKind::Suffix, 5, &keys);
         let config = AssemblyConfig::for_dataset(5, 6);
         let report = run(&device, &host, &spill, &config).unwrap();
-        assert!(report.max_disk_passes >= 3, "passes: {}", report.max_disk_passes);
+        assert!(
+            report.max_disk_passes >= 3,
+            "passes: {}",
+            report.max_disk_passes
+        );
         let got: Vec<u128> = spill
             .reader(PartitionKind::Suffix, 5)
             .unwrap()

@@ -150,6 +150,26 @@ pub fn extract_paths(graph: &StringGraph, read_len: u32, opts: TraverseOptions) 
     paths
 }
 
+/// [`extract_paths`] with structured events: `traverse.paths`,
+/// `traverse.steps` and `traverse.singletons` counters on the current
+/// span.
+pub fn extract_paths_traced(
+    graph: &StringGraph,
+    read_len: u32,
+    opts: TraverseOptions,
+    rec: &obs::Recorder,
+) -> Vec<Path> {
+    let paths = extract_paths(graph, read_len, opts);
+    if rec.is_enabled() {
+        let steps: u64 = paths.iter().map(|p| p.steps.len() as u64).sum();
+        let singletons = paths.iter().filter(|p| p.steps.len() == 1).count() as u64;
+        rec.counter("traverse.paths", paths.len() as u64);
+        rec.counter("traverse.steps", steps);
+        rec.counter("traverse.singletons", singletons);
+    }
+    paths
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,15 +186,30 @@ mod tests {
     fn simple_chain_spells_one_path_with_overhangs() {
         // 0 -> 2 (overlap 7), 2 -> 4 (overlap 5); read length 10.
         let g = chain_graph(&[(0, 2, 7), (2, 4, 5)], 8);
-        let paths = extract_paths(&g, 10, TraverseOptions { include_singletons: false });
+        let paths = extract_paths(
+            &g,
+            10,
+            TraverseOptions {
+                include_singletons: false,
+            },
+        );
         assert_eq!(paths.len(), 1);
         let p = &paths[0];
         assert_eq!(
             p.steps,
             vec![
-                PathStep { vertex: 0, overhang: 3 },
-                PathStep { vertex: 2, overhang: 5 },
-                PathStep { vertex: 4, overhang: 10 },
+                PathStep {
+                    vertex: 0,
+                    overhang: 3
+                },
+                PathStep {
+                    vertex: 2,
+                    overhang: 5
+                },
+                PathStep {
+                    vertex: 4,
+                    overhang: 10
+                },
             ]
         );
         assert_eq!(p.contig_len(), 18);
@@ -184,7 +219,13 @@ mod tests {
     fn mirror_path_is_not_duplicated() {
         let g = chain_graph(&[(0, 2, 7)], 4);
         // Edges present: 0->2 and 3->1; both describe the same contig.
-        let paths = extract_paths(&g, 10, TraverseOptions { include_singletons: false });
+        let paths = extract_paths(
+            &g,
+            10,
+            TraverseOptions {
+                include_singletons: false,
+            },
+        );
         assert_eq!(paths.len(), 1);
     }
 
@@ -203,7 +244,13 @@ mod tests {
     #[test]
     fn singletons_can_be_excluded() {
         let g = StringGraph::new(6);
-        let paths = extract_paths(&g, 10, TraverseOptions { include_singletons: false });
+        let paths = extract_paths(
+            &g,
+            10,
+            TraverseOptions {
+                include_singletons: false,
+            },
+        );
         assert!(paths.is_empty());
     }
 
@@ -214,7 +261,13 @@ mod tests {
         g.try_add_edge(0, 2, 6).unwrap();
         g.try_add_edge(2, 4, 6).unwrap();
         g.try_add_edge(4, 0, 6).unwrap();
-        let paths = extract_paths(&g, 10, TraverseOptions { include_singletons: false });
+        let paths = extract_paths(
+            &g,
+            10,
+            TraverseOptions {
+                include_singletons: false,
+            },
+        );
         assert_eq!(paths.len(), 1);
         let verts: Vec<u32> = paths[0].steps.iter().map(|s| s.vertex).collect();
         assert_eq!(verts.len(), 3);
@@ -242,7 +295,13 @@ mod tests {
     fn mid_chain_vertices_are_not_seeds() {
         let g = chain_graph(&[(0, 2, 7), (2, 4, 5)], 6);
         // Vertex 2 has in and out; only 0 (or the mirror 5) seeds.
-        let paths = extract_paths(&g, 10, TraverseOptions { include_singletons: false });
+        let paths = extract_paths(
+            &g,
+            10,
+            TraverseOptions {
+                include_singletons: false,
+            },
+        );
         assert_eq!(paths.len(), 1);
         assert_eq!(paths[0].steps.first().unwrap().vertex, 0);
     }

@@ -1,0 +1,91 @@
+use serde::{Deserialize, Serialize};
+
+/// One structured observability event.
+///
+/// Events serialize to single-line JSON objects tagged by `type`
+/// (`span_start`, `span_end`, `counter`, `metric`, `gauge`), one per
+/// line in a `.jsonl` trace. Span ids are unique within one recorder;
+/// id `0` means "no span" (an unattached measurement).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum Event {
+    /// A span opened. `start_s` is seconds since the recorder was created.
+    SpanStart {
+        id: u64,
+        parent: Option<u64>,
+        name: String,
+        start_s: f64,
+    },
+    /// A span closed after `wall_seconds` of wall-clock time.
+    SpanEnd { id: u64, wall_seconds: f64 },
+    /// A monotonic increment. Counters with the same name **sum**.
+    Counter { span: u64, name: String, value: u64 },
+    /// An additive floating-point quantity (e.g. modeled seconds). Sums.
+    Metric { span: u64, name: String, value: f64 },
+    /// A high-water mark (e.g. peak bytes). Gauges with the same name **max**.
+    Gauge { span: u64, name: String, value: u64 },
+}
+
+impl Event {
+    /// The span this event belongs to (the span's own id for
+    /// `SpanStart`/`SpanEnd`).
+    pub fn span_id(&self) -> u64 {
+        match self {
+            Event::SpanStart { id, .. } | Event::SpanEnd { id, .. } => *id,
+            Event::Counter { span, .. }
+            | Event::Metric { span, .. }
+            | Event::Gauge { span, .. } => *span,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let events = vec![
+            Event::SpanStart {
+                id: 1,
+                parent: None,
+                name: "assembly".into(),
+                start_s: 0.0,
+            },
+            Event::Counter {
+                span: 1,
+                name: "io.bytes_read".into(),
+                value: 4096,
+            },
+            Event::Metric {
+                span: 1,
+                name: "io.read_seconds".into(),
+                value: 0.25,
+            },
+            Event::Gauge {
+                span: 1,
+                name: "host.peak_bytes".into(),
+                value: 1 << 30,
+            },
+            Event::SpanEnd {
+                id: 1,
+                wall_seconds: 1.5,
+            },
+        ];
+        for event in &events {
+            let line = serde_json::to_string(event).unwrap();
+            let back: Event = serde_json::from_str(&line).unwrap();
+            assert_eq!(&back, event);
+        }
+    }
+
+    #[test]
+    fn tag_names_are_snake_case() {
+        let line = serde_json::to_string(&Event::SpanEnd {
+            id: 7,
+            wall_seconds: 0.5,
+        })
+        .unwrap();
+        assert_eq!(line, r#"{"type":"span_end","id":7,"wall_seconds":0.5}"#);
+    }
+}

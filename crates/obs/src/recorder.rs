@@ -1,0 +1,359 @@
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+use crate::event::Event;
+use crate::sink::{MemoryHandle, MemorySink, Sink};
+
+/// Records structured events: spans, counters, metrics, gauges.
+///
+/// A `Recorder` is cheap to clone (all clones share one event buffer and
+/// sink list) and safe to use from multiple threads. [`Recorder::disabled`]
+/// returns a recorder for which every operation is a no-op, so
+/// instrumented code paths need no conditional plumbing.
+///
+/// Spans form a tree. [`Recorder::span`] parents the new span on the most
+/// recently opened still-open span (a shared stack), which matches
+/// single-threaded nesting. Worker threads that must attach to a specific
+/// parent use [`Recorder::child_span`] with an explicit parent id, which
+/// does not touch the shared stack.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+struct Inner {
+    start: Instant,
+    next_id: AtomicU64,
+    state: Mutex<State>,
+}
+
+#[derive(Default)]
+struct State {
+    events: Vec<Event>,
+    stack: Vec<u64>,
+    sinks: Vec<Box<dyn Sink>>,
+}
+
+impl Inner {
+    fn lock_state(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            Some(inner) => f
+                .debug_struct("Recorder")
+                .field("events", &inner.lock_state().events.len())
+                .finish(),
+            None => f.write_str("Recorder(disabled)"),
+        }
+    }
+}
+
+impl Recorder {
+    /// A live recorder with an empty event buffer and no sinks.
+    pub fn new() -> Self {
+        Recorder {
+            inner: Some(Arc::new(Inner {
+                start: Instant::now(),
+                next_id: AtomicU64::new(1),
+                state: Mutex::new(State::default()),
+            })),
+        }
+    }
+
+    /// A recorder that drops everything. Every call is a no-op.
+    pub fn disabled() -> Self {
+        Recorder { inner: None }
+    }
+
+    /// `false` for [`Recorder::disabled`] recorders.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Attach a sink; it observes every subsequent event in emit order.
+    pub fn add_sink(&self, sink: Box<dyn Sink>) {
+        if let Some(inner) = &self.inner {
+            inner.lock_state().sinks.push(sink);
+        }
+    }
+
+    /// Attach a [`MemorySink`] and return the handle that reads it back.
+    pub fn add_memory_sink(&self) -> MemoryHandle {
+        let (sink, handle) = MemorySink::new();
+        self.add_sink(Box::new(sink));
+        handle
+    }
+
+    /// Flush all attached sinks (e.g. buffered JSONL writers).
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            for sink in inner.lock_state().sinks.iter_mut() {
+                sink.flush();
+            }
+        }
+    }
+
+    /// Open a span parented on the current innermost open span.
+    /// The span closes (emitting `SpanEnd`) when the guard drops.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        self.span_inner(name, None, true)
+    }
+
+    /// Open a span with an explicit parent, bypassing the shared span
+    /// stack. Use from worker threads so concurrent spans neither race
+    /// on the stack nor mis-parent each other. `None` makes a root span.
+    pub fn child_span(&self, parent: Option<u64>, name: &str) -> SpanGuard {
+        self.span_inner(name, parent, false)
+    }
+
+    fn span_inner(&self, name: &str, explicit_parent: Option<u64>, push: bool) -> SpanGuard {
+        let Some(inner) = &self.inner else {
+            return SpanGuard {
+                rec: Recorder::disabled(),
+                id: 0,
+                start: Instant::now(),
+                pushed: false,
+            };
+        };
+        let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let start_s = inner.start.elapsed().as_secs_f64();
+        let mut st = inner.lock_state();
+        let parent = if push {
+            explicit_parent.or_else(|| st.stack.last().copied())
+        } else {
+            explicit_parent
+        };
+        let event = Event::SpanStart {
+            id,
+            parent,
+            name: name.to_string(),
+            start_s,
+        };
+        for sink in st.sinks.iter_mut() {
+            sink.record(&event);
+        }
+        st.events.push(event);
+        if push {
+            st.stack.push(id);
+        }
+        drop(st);
+        SpanGuard {
+            rec: self.clone(),
+            id,
+            start: Instant::now(),
+            pushed: push,
+        }
+    }
+
+    /// The id of the innermost open span, or `0` if none.
+    pub fn current(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.lock_state().stack.last().copied().unwrap_or(0),
+            None => 0,
+        }
+    }
+
+    /// Add `value` to counter `name` on the current span.
+    pub fn counter(&self, name: &str, value: u64) {
+        if self.is_enabled() {
+            self.counter_on(self.current(), name, value);
+        }
+    }
+
+    /// Add `value` to counter `name` on span `span`.
+    pub fn counter_on(&self, span: u64, name: &str, value: u64) {
+        self.emit(Event::Counter {
+            span,
+            name: name.to_string(),
+            value,
+        });
+    }
+
+    /// Add `value` to metric `name` on the current span.
+    pub fn metric(&self, name: &str, value: f64) {
+        if self.is_enabled() {
+            self.metric_on(self.current(), name, value);
+        }
+    }
+
+    /// Add `value` to metric `name` on span `span`.
+    pub fn metric_on(&self, span: u64, name: &str, value: f64) {
+        self.emit(Event::Metric {
+            span,
+            name: name.to_string(),
+            value,
+        });
+    }
+
+    /// Record gauge `name` at `value` on the current span (aggregates by max).
+    pub fn gauge(&self, name: &str, value: u64) {
+        if self.is_enabled() {
+            self.gauge_on(self.current(), name, value);
+        }
+    }
+
+    /// Record gauge `name` at `value` on span `span`.
+    pub fn gauge_on(&self, span: u64, name: &str, value: u64) {
+        self.emit(Event::Gauge {
+            span,
+            name: name.to_string(),
+            value,
+        });
+    }
+
+    /// A snapshot of every event recorded so far, in emit order.
+    pub fn events(&self) -> Vec<Event> {
+        match &self.inner {
+            Some(inner) => inner.lock_state().events.clone(),
+            None => Vec::new(),
+        }
+    }
+
+    fn emit(&self, event: Event) {
+        if let Some(inner) = &self.inner {
+            let mut st = inner.lock_state();
+            for sink in st.sinks.iter_mut() {
+                sink.record(&event);
+            }
+            st.events.push(event);
+        }
+    }
+}
+
+/// Closes its span on drop, emitting `SpanEnd` with the wall time.
+pub struct SpanGuard {
+    rec: Recorder,
+    id: u64,
+    start: Instant,
+    pushed: bool,
+}
+
+impl SpanGuard {
+    /// The span's id, for `*_on` attachment and explicit child parenting.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(inner) = &self.rec.inner else {
+            return;
+        };
+        let wall_seconds = self.start.elapsed().as_secs_f64();
+        let mut st = inner.lock_state();
+        if self.pushed {
+            // Remove this span specifically: guards may drop out of order
+            // when spans are created from concurrent workers.
+            if let Some(pos) = st.stack.iter().rposition(|&open| open == self.id) {
+                st.stack.remove(pos);
+            }
+        }
+        let event = Event::SpanEnd {
+            id: self.id,
+            wall_seconds,
+        };
+        for sink in st.sinks.iter_mut() {
+            sink.record(&event);
+        }
+        st.events.push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rollup::Rollup;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let rec = Recorder::disabled();
+        let span = rec.span("phase");
+        rec.counter("x", 1);
+        rec.metric_on(span.id(), "y", 1.0);
+        drop(span);
+        assert!(!rec.is_enabled());
+        assert!(rec.events().is_empty());
+    }
+
+    #[test]
+    fn spans_nest_via_shared_stack() {
+        let rec = Recorder::new();
+        let outer = rec.span("outer");
+        let inner = rec.span("inner");
+        assert_eq!(rec.current(), inner.id());
+        drop(inner);
+        assert_eq!(rec.current(), outer.id());
+        drop(outer);
+        assert_eq!(rec.current(), 0);
+
+        let rollup = Rollup::from_events(&rec.events());
+        let roots = rollup.roots();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].name, "outer");
+        assert_eq!(rollup.children(roots[0].id)[0].name, "inner");
+    }
+
+    #[test]
+    fn child_span_uses_explicit_parent_without_stack() {
+        let rec = Recorder::new();
+        let phase = rec.span("phase");
+        let child = rec.child_span(Some(phase.id()), "rank0");
+        // child_span must not occupy the shared stack.
+        assert_eq!(rec.current(), phase.id());
+        drop(child);
+        drop(phase);
+
+        let rollup = Rollup::from_events(&rec.events());
+        let root = rollup.roots()[0];
+        assert_eq!(rollup.children(root.id)[0].name, "rank0");
+    }
+
+    #[test]
+    fn out_of_order_guard_drop_keeps_stack_consistent() {
+        let rec = Recorder::new();
+        let a = rec.span("a");
+        let b = rec.span("b");
+        drop(a); // dropped before b
+        assert_eq!(rec.current(), b.id());
+        drop(b);
+        assert_eq!(rec.current(), 0);
+    }
+
+    #[test]
+    fn counters_from_parallel_workers_sum_deterministically() {
+        const THREADS: u64 = 8;
+        const ADDS: u64 = 1000;
+        let rec = Recorder::new();
+        let root = rec.span("root");
+        let root_id = root.id();
+        std::thread::scope(|scope| {
+            for worker in 0..THREADS {
+                let rec = rec.clone();
+                scope.spawn(move || {
+                    let span = rec.child_span(Some(root_id), &format!("worker{worker}"));
+                    for _ in 0..ADDS {
+                        rec.counter_on(span.id(), "work.items", 3);
+                    }
+                });
+            }
+        });
+        drop(root);
+
+        let rollup = Rollup::from_events(&rec.events());
+        assert_eq!(
+            rollup.subtree(root_id).counter("work.items"),
+            THREADS * ADDS * 3
+        );
+        // Every worker span individually carries its exact share.
+        for child in rollup.children(root_id) {
+            assert_eq!(rollup.subtree(child.id).counter("work.items"), ADDS * 3);
+        }
+    }
+}

@@ -64,7 +64,11 @@ impl FmIndex {
 
         let mut bwt = vec![0u8; n];
         for (i, &p) in sa.iter().enumerate() {
-            bwt[i] = if p == 0 { text[n - 1] } else { text[p as usize - 1] };
+            bwt[i] = if p == 0 {
+                text[n - 1]
+            } else {
+                text[p as usize - 1]
+            };
         }
 
         let mut counts = [0u32; SIGMA];

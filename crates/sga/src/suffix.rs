@@ -13,10 +13,7 @@
 /// # Panics
 /// Panics if the sentinel convention is violated.
 pub fn suffix_array(text: &[u8]) -> Vec<u32> {
-    assert!(
-        text.last() == Some(&0),
-        "text must end with the 0 sentinel"
-    );
+    assert!(text.last() == Some(&0), "text must end with the 0 sentinel");
     assert!(
         !text[..text.len() - 1].contains(&0),
         "0 may only appear as the final sentinel"
@@ -157,10 +154,7 @@ fn sais(text: &[u32], sa: &mut [u32], sigma: usize) {
     // Order the LMS suffixes.
     let lms_sorted_final: Vec<u32> = if (name_count as usize) < lms_positions.len() {
         // Names are not unique: recurse on the reduced string.
-        let reduced: Vec<u32> = lms_positions
-            .iter()
-            .map(|&p| names[p as usize])
-            .collect();
+        let reduced: Vec<u32> = lms_positions.iter().map(|&p| names[p as usize]).collect();
         let mut reduced_sa = vec![0u32; reduced.len()];
         sais(&reduced, &mut reduced_sa, name_count as usize);
         reduced_sa
@@ -189,7 +183,11 @@ mod tests {
     use proptest::prelude::*;
 
     fn check(text: &[u8]) {
-        assert_eq!(suffix_array(text), naive_suffix_array(text), "text {text:?}");
+        assert_eq!(
+            suffix_array(text),
+            naive_suffix_array(text),
+            "text {text:?}"
+        );
     }
 
     #[test]

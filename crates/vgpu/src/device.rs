@@ -49,6 +49,7 @@ pub(crate) struct DeviceInner {
     used: AtomicU64,
     peak: AtomicU64,
     counters: Mutex<Counters>,
+    recorder: Mutex<obs::Recorder>,
 }
 
 #[derive(Debug, Default)]
@@ -130,6 +131,7 @@ impl Device {
                 used: AtomicU64::new(0),
                 peak: AtomicU64::new(0),
                 counters: Mutex::new(Counters::default()),
+                recorder: Mutex::new(obs::Recorder::disabled()),
             }),
         }
     }
@@ -137,6 +139,20 @@ impl Device {
     /// The product profile this device models.
     pub fn profile(&self) -> &GpuProfile {
         &self.profile
+    }
+
+    /// Attach an [`obs::Recorder`]: subsequent kernel launches emit
+    /// `kernel.launches` / `kernel.seconds` events on the recorder's
+    /// current span, and [`crate::exec::launch`] opens a `kernel:<name>`
+    /// span per launch. Shared by all clones of this device.
+    pub fn set_recorder(&self, recorder: obs::Recorder) {
+        *self.inner.recorder.lock() = recorder;
+    }
+
+    /// The recorder attached via [`Device::set_recorder`]
+    /// ([`obs::Recorder::disabled`] by default).
+    pub fn recorder(&self) -> obs::Recorder {
+        self.inner.recorder.lock().clone()
     }
 
     /// Usable capacity in bytes.
@@ -189,14 +205,21 @@ impl Device {
         let compute_s = cost.flops as f64 / self.profile.compute_ops_per_s();
         let memory_s = cost.bytes as f64 / self.profile.sustained_mem_bytes_per_s();
         let seconds = compute_s.max(memory_s) + LAUNCH_OVERHEAD_S;
-        let mut c = self.inner.counters.lock();
-        c.kernel_launches += 1;
-        c.kernel_seconds += seconds;
-        let entry = c.per_kernel.entry(name.to_string()).or_default();
-        entry.launches += 1;
-        entry.flops += cost.flops;
-        entry.bytes += cost.bytes;
-        entry.seconds += seconds;
+        {
+            let mut c = self.inner.counters.lock();
+            c.kernel_launches += 1;
+            c.kernel_seconds += seconds;
+            let entry = c.per_kernel.entry(name.to_string()).or_default();
+            entry.launches += 1;
+            entry.flops += cost.flops;
+            entry.bytes += cost.bytes;
+            entry.seconds += seconds;
+        }
+        let rec = self.recorder();
+        if rec.is_enabled() {
+            rec.counter("kernel.launches", 1);
+            rec.metric("kernel.seconds", seconds);
+        }
     }
 
     /// Charge PCIe traffic without materializing buffers — used by fused

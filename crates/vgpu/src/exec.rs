@@ -37,6 +37,14 @@ pub fn launch<F>(
 ) where
     F: Fn(BlockCtx) + Sync,
 {
+    let rec = device.recorder();
+    let _span = if rec.is_enabled() {
+        let span = rec.span(&format!("kernel:{name}"));
+        rec.counter_on(span.id(), "kernel.blocks", blocks as u64);
+        Some(span)
+    } else {
+        None
+    };
     device.charge_kernel(name, cost);
     (0..blocks).into_par_iter().for_each(|block_idx| {
         kernel(BlockCtx {
@@ -66,6 +74,21 @@ mod tests {
     }
 
     #[test]
+    fn launch_opens_a_kernel_span_when_recorder_attached() {
+        let dev = Device::new(GpuProfile::k40());
+        let rec = obs::Recorder::new();
+        dev.set_recorder(rec.clone());
+        launch(&dev, "scan", 4, 8, KernelCost::new(32, 64), |_| {});
+        let rollup = obs::Rollup::from_events(&rec.events());
+        let span = rollup.root_named("kernel:scan").unwrap();
+        assert!(span.wall_seconds >= 0.0);
+        let agg = rollup.subtree(span.id);
+        assert_eq!(agg.counter("kernel.blocks"), 4);
+        assert_eq!(agg.counter("kernel.launches"), 1);
+        assert!(agg.metric("kernel.seconds") > 0.0);
+    }
+
+    #[test]
     fn zero_blocks_still_charges_one_launch() {
         let dev = Device::new(GpuProfile::k40());
         launch(&dev, "empty", 0, 32, KernelCost::default(), |_| {
@@ -79,12 +102,22 @@ mod tests {
         let dev = Device::new(GpuProfile::k40());
         let n_blocks = 16;
         let threads = 4;
-        let out: Vec<AtomicUsize> = (0..n_blocks * threads).map(|_| AtomicUsize::new(0)).collect();
-        launch(&dev, "fill", n_blocks, threads, KernelCost::default(), |ctx| {
-            for t in 0..ctx.threads {
-                out[ctx.block_idx * ctx.threads + t].store(ctx.block_idx * 100 + t, Ordering::Relaxed);
-            }
-        });
+        let out: Vec<AtomicUsize> = (0..n_blocks * threads)
+            .map(|_| AtomicUsize::new(0))
+            .collect();
+        launch(
+            &dev,
+            "fill",
+            n_blocks,
+            threads,
+            KernelCost::default(),
+            |ctx| {
+                for t in 0..ctx.threads {
+                    out[ctx.block_idx * ctx.threads + t]
+                        .store(ctx.block_idx * 100 + t, Ordering::Relaxed);
+                }
+            },
+        );
         assert_eq!(out[0].load(Ordering::Relaxed), 0);
         assert_eq!(out[5].load(Ordering::Relaxed), 101);
         assert_eq!(out[63].load(Ordering::Relaxed), 1503);

@@ -121,7 +121,9 @@ mod tests {
         let d = dev();
         let hay = d.h2d(&[1u64, 2]).unwrap();
         let needles = d.h2d::<u64>(&[]).unwrap();
-        assert!(d.d2h(&d.vec_lower_bound(&needles, &hay).unwrap()).is_empty());
+        assert!(d
+            .d2h(&d.vec_lower_bound(&needles, &hay).unwrap())
+            .is_empty());
     }
 
     #[test]

@@ -17,7 +17,11 @@ impl Device {
         indices: &DeviceBuffer<u32>,
     ) -> crate::Result<DeviceBuffer<T>> {
         let elem = std::mem::size_of::<T>() as u64;
-        if let Some(&bad) = indices.as_slice().iter().find(|&&i| i as usize >= src.len()) {
+        if let Some(&bad) = indices
+            .as_slice()
+            .iter()
+            .find(|&&i| i as usize >= src.len())
+        {
             return Err(DeviceError::BadLaunch(format!(
                 "gather index {bad} out of range for source of length {}",
                 src.len()
@@ -26,10 +30,7 @@ impl Device {
         let mut out = self.alloc::<T>(indices.len())?;
         self.charge_kernel(
             "gather",
-            KernelCost::new(
-                indices.len() as u64,
-                indices.len() as u64 * (elem * 2 + 4),
-            ),
+            KernelCost::new(indices.len() as u64, indices.len() as u64 * (elem * 2 + 4)),
         );
         let s = src.as_slice();
         out.as_mut_slice()

@@ -12,10 +12,7 @@ use crate::stats::KernelCost;
 
 fn scan_cost(n: usize, elem: usize) -> KernelCost {
     let steps = (n.max(2) as f64).log2().ceil() as u64;
-    KernelCost::new(
-        steps * n as u64,
-        steps * n as u64 * 2 * elem as u64,
-    )
+    KernelCost::new(steps * n as u64, steps * n as u64 * 2 * elem as u64)
 }
 
 impl Device {
@@ -52,7 +49,10 @@ impl Device {
             return Ok(0);
         }
         self.inclusive_scan(buf)?;
-        self.charge_kernel("exclusive_scan_shift", KernelCost::new(n as u64, n as u64 * 16));
+        self.charge_kernel(
+            "exclusive_scan_shift",
+            KernelCost::new(n as u64, n as u64 * 16),
+        );
         let data = buf.as_mut_slice();
         let total = data[n - 1];
         for i in (1..n).rev() {

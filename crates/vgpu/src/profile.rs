@@ -140,10 +140,7 @@ mod tests {
     #[test]
     fn compute_throughput_scales_with_cores_and_clock() {
         let k40 = GpuProfile::k40();
-        assert_eq!(
-            k40.compute_ops_per_s(),
-            2880.0 * 875.0 * 1e6
-        );
+        assert_eq!(k40.compute_ops_per_s(), 2880.0 * 875.0 * 1e6);
         // V100 has both more cores and a higher clock than K40.
         assert!(GpuProfile::v100().compute_ops_per_s() > k40.compute_ops_per_s());
     }

@@ -104,6 +104,73 @@ impl DeviceStats {
             per_kernel,
         }
     }
+
+    /// Emit this snapshot (usually a [`DeviceStats::since`] delta) as the
+    /// canonical `device.*` events on `span`. [`DeviceStats::from_agg`]
+    /// inverts this exactly, so a report built from the trace carries the
+    /// same numbers as the snapshot.
+    pub fn emit(&self, rec: &obs::Recorder, span: u64) {
+        rec.counter_on(span, "device.kernel_launches", self.kernel_launches);
+        rec.metric_on(span, "device.kernel_seconds", self.kernel_seconds);
+        rec.counter_on(span, "device.h2d_bytes", self.h2d_bytes);
+        rec.counter_on(span, "device.d2h_bytes", self.d2h_bytes);
+        rec.metric_on(span, "device.transfer_seconds", self.transfer_seconds);
+        for (kernel, stat) in &self.per_kernel {
+            rec.counter_on(
+                span,
+                &format!("device.kernel.{kernel}.launches"),
+                stat.launches,
+            );
+            rec.counter_on(span, &format!("device.kernel.{kernel}.flops"), stat.flops);
+            rec.counter_on(span, &format!("device.kernel.{kernel}.bytes"), stat.bytes);
+            rec.metric_on(
+                span,
+                &format!("device.kernel.{kernel}.seconds"),
+                stat.seconds,
+            );
+        }
+    }
+
+    /// Rebuild a snapshot from rolled-up `device.*` events (the inverse of
+    /// [`DeviceStats::emit`]). `mem_used` is transient and not part of the
+    /// event schema; `mem_peak` travels as the `device.peak_bytes` gauge.
+    pub fn from_agg(agg: &obs::SpanAgg) -> DeviceStats {
+        let mut stats = DeviceStats {
+            kernel_launches: agg.counter("device.kernel_launches"),
+            kernel_seconds: agg.metric("device.kernel_seconds"),
+            h2d_bytes: agg.counter("device.h2d_bytes"),
+            d2h_bytes: agg.counter("device.d2h_bytes"),
+            transfer_seconds: agg.metric("device.transfer_seconds"),
+            mem_used: 0,
+            mem_peak: agg.gauge("device.peak_bytes"),
+            per_kernel: BTreeMap::new(),
+        };
+        for (name, value) in &agg.counters {
+            if let Some(rest) = name.strip_prefix("device.kernel.") {
+                if let Some((kernel, field)) = rest.rsplit_once('.') {
+                    let entry = stats.per_kernel.entry(kernel.to_string()).or_default();
+                    match field {
+                        "launches" => entry.launches = *value,
+                        "flops" => entry.flops = *value,
+                        "bytes" => entry.bytes = *value,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        for (name, value) in &agg.metrics {
+            if let Some(rest) = name.strip_prefix("device.kernel.") {
+                if let Some((kernel, "seconds")) = rest.rsplit_once('.') {
+                    stats
+                        .per_kernel
+                        .entry(kernel.to_string())
+                        .or_default()
+                        .seconds = *value;
+                }
+            }
+        }
+        stats
+    }
 }
 
 #[cfg(test)]
@@ -145,6 +212,40 @@ mod tests {
         assert!((delta.kernel_seconds - 2.5).abs() < 1e-12);
         assert_eq!(delta.h2d_bytes, 15);
         assert_eq!(delta.per_kernel["sort"].launches, 4);
+    }
+
+    #[test]
+    fn emit_then_from_agg_round_trips_exactly() {
+        let mut stats = DeviceStats {
+            kernel_launches: 7,
+            kernel_seconds: 0.875,
+            h2d_bytes: 4096,
+            d2h_bytes: 1024,
+            transfer_seconds: 0.125,
+            ..Default::default()
+        };
+        stats.per_kernel.insert(
+            "radix_sort_pairs".into(),
+            KernelStat {
+                launches: 5,
+                flops: 1000,
+                bytes: 2000,
+                seconds: 0.5,
+            },
+        );
+        let rec = obs::Recorder::new();
+        let span = rec.span("phase");
+        stats.emit(&rec, span.id());
+        drop(span);
+        let rollup = obs::Rollup::from_events(&rec.events());
+        let root = rollup.root_named("phase").unwrap();
+        let back = DeviceStats::from_agg(&rollup.subtree(root.id));
+        assert_eq!(back.kernel_launches, stats.kernel_launches);
+        assert_eq!(back.kernel_seconds, stats.kernel_seconds);
+        assert_eq!(back.h2d_bytes, stats.h2d_bytes);
+        assert_eq!(back.d2h_bytes, stats.d2h_bytes);
+        assert_eq!(back.transfer_seconds, stats.transfer_seconds);
+        assert_eq!(back.per_kernel, stats.per_kernel);
     }
 
     #[test]

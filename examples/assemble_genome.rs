@@ -72,10 +72,6 @@ fn main() {
         .enumerate()
         .map(|(i, c)| (format!("contig_{i} len={}", c.len()), c))
         .collect();
-    write_fasta(
-        &fasta,
-        named.iter().map(|(n, c)| (n.as_str(), *c)),
-    )
-    .expect("write fasta");
+    write_fasta(&fasta, named.iter().map(|(n, c)| (n.as_str(), *c))).expect("write fasta");
     println!("contigs written to {}", fasta.display());
 }

@@ -41,7 +41,9 @@ fn main() {
         let work = std::env::temp_dir().join(format!("lasagna-cluster-{nodes}"));
         std::fs::create_dir_all(&work).expect("workdir");
         let cluster = Cluster::supermic(nodes, 32 << 20, 4 << 20, config).expect("cluster");
-        let out = cluster.assemble(&reads, &work).expect("distributed assemble");
+        let out = cluster
+            .assemble(&reads, &work)
+            .expect("distributed assemble");
 
         let phase = |n: &str| {
             out.report

@@ -73,9 +73,7 @@ fn main() {
     println!(
         "\nthe trade: greedy buys contiguity (N50 {} vs {}) by guessing at repeats \
          ({} chimeras); the full graph stops at every branch and stays exact.",
-        greedy.report.contig_stats.n50,
-        stats.n50,
-        greedy_verify.misassembled
+        greedy.report.contig_stats.n50, stats.n50, greedy_verify.misassembled
     );
     assert!(full_verify.misassembled <= greedy_verify.misassembled);
 }

@@ -22,14 +22,21 @@ fn main() {
     let mut w = RecordWriter::create(&input, io.clone()).expect("writer");
     let mut state = 0xDEADBEEFu64;
     for i in 0..400_000u32 {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let hi = state;
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         w.write(KvPair::new(((hi as u128) << 64) | state as u128, i))
             .expect("write");
     }
     w.finish().expect("finish");
-    println!("wrote 400,000 random pairs ({} MB)", 400_000 * KvPair::BYTES / 1_000_000);
+    println!(
+        "wrote 400,000 random pairs ({} MB)",
+        400_000 * KvPair::BYTES / 1_000_000
+    );
 
     // A virtual K40 with 2 MiB of usable memory and an 8 MiB host budget:
     // the data cannot fit either level, so the two-level scheme kicks in.

@@ -7,13 +7,17 @@
 //! lasagna-cli assemble --reads reads.fastq --out contigs.fa \
 //!                  [--l-min 63] [--work /tmp/lasagna-work] \
 //!                  [--host-mem 256M] [--device-mem 64M] [--gpu k40] \
-//!                  [--graph greedy|full] [--traversal seq|bsp] [--correct 21] [--resume yes]
+//!                  [--graph greedy|full] [--traversal seq|bsp] [--correct 21] [--resume yes] \
+//!                  [--trace-out trace.jsonl] [--metrics-json report.json] [--progress yes]
+//!
+//! lasagna-cli inspect-trace --trace trace.jsonl [--root assembly]
 //!
 //! lasagna-cli stats --contigs contigs.fa [--reference ref.fa]
 //! ```
 
 use lasagna_repro::genome::fastq::{read_fasta, read_fastq, write_fasta, write_fastq};
 use lasagna_repro::genome::sim::is_substring_either_strand;
+use lasagna_repro::obs;
 use lasagna_repro::prelude::*;
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -28,6 +32,7 @@ fn main() {
     match command.as_str() {
         "simulate" => simulate(&opts),
         "assemble" => assemble(&opts),
+        "inspect-trace" => inspect_trace(&opts),
         "stats" => stats(&opts),
         "--help" | "-h" | "help" => usage(),
         other => {
@@ -42,7 +47,9 @@ fn usage() -> ! {
         "usage:\n  lasagna simulate --genome-len N --coverage C --read-len L --out reads.fastq \
          [--reference ref.fa] [--seed S] [--error-rate E] [--repeat-fraction F]\n  \
          lasagna assemble --reads reads.fastq --out contigs.fa [--l-min N] [--work DIR] \
-         [--host-mem BYTES] [--device-mem BYTES] [--gpu k40|k20x|p40|p100|v100]\n  \
+         [--host-mem BYTES] [--device-mem BYTES] [--gpu k40|k20x|p40|p100|v100] \
+         [--trace-out trace.jsonl] [--metrics-json report.json] [--progress yes]\n  \
+         lasagna inspect-trace --trace trace.jsonl [--root assembly]\n  \
          lasagna stats --contigs contigs.fa [--reference ref.fa]"
     );
     exit(2);
@@ -135,11 +142,8 @@ fn simulate(opts: &HashMap<String, String>) {
     );
 
     if let Some(ref_path) = opts.get("reference") {
-        write_fasta(
-            &PathBuf::from(ref_path),
-            [("simulated_reference", &genome)],
-        )
-        .unwrap_or_else(die);
+        write_fasta(&PathBuf::from(ref_path), [("simulated_reference", &genome)])
+            .unwrap_or_else(die);
         println!("wrote reference to {ref_path}");
     }
 }
@@ -170,7 +174,10 @@ fn assemble(opts: &HashMap<String, String>) {
     };
 
     // Load reads (FASTQ or FASTA by extension).
-    let records = if reads_path.extension().is_some_and(|e| e == "fa" || e == "fasta") {
+    let records = if reads_path
+        .extension()
+        .is_some_and(|e| e == "fa" || e == "fasta")
+    {
         read_fasta(&reads_path).unwrap_or_else(die)
     } else {
         read_fastq(&reads_path).unwrap_or_else(die)
@@ -243,15 +250,38 @@ fn assemble(opts: &HashMap<String, String>) {
     let host = HostMem::new(host_mem);
     let spill = SpillDir::create(&work, IoStats::default()).unwrap_or_else(die);
 
+    let trace_out = opts.get("trace-out").map(PathBuf::from);
+    let metrics_json = opts.get("metrics-json").map(PathBuf::from);
+    let progress = get(opts, "progress", "no".to_string()) == "yes";
+
     let (contigs, summary) = match graph_mode.as_str() {
         "greedy" => {
             let resume = get(opts, "resume", "no".to_string()) == "yes";
-            let pipeline = Pipeline::new(device, host, spill, config).unwrap_or_else(die);
+            let rec = obs::Recorder::new();
+            if let Some(path) = &trace_out {
+                let sink = obs::JsonlSink::create(path).unwrap_or_else(die);
+                rec.add_sink(Box::new(sink));
+            }
+            if progress {
+                rec.add_sink(Box::new(obs::ProgressSink::new(2)));
+            }
+            let pipeline = Pipeline::new(device, host, spill, config)
+                .unwrap_or_else(die)
+                .with_recorder(rec.clone());
             let result = if resume {
                 pipeline.assemble_resumable(&reads).unwrap_or_else(die)
             } else {
                 pipeline.assemble(&reads).unwrap_or_else(die)
             };
+            rec.flush();
+            if let Some(path) = &trace_out {
+                println!("trace written to {}", path.display());
+            }
+            if let Some(path) = &metrics_json {
+                let json = serde_json::to_vec_pretty(&result.report).unwrap_or_else(die);
+                std::fs::write(path, json).unwrap_or_else(die);
+                println!("metrics written to {}", path.display());
+            }
             let s = &result.report.contig_stats;
             println!(
                 "greedy graph: {} edges | contigs: {} ({} multi-read), {} bases, N50 {}, max {}",
@@ -263,16 +293,18 @@ fn assemble(opts: &HashMap<String, String>) {
             (result.contigs, format!("N50 {}", s.n50))
         }
         "full" => {
+            if trace_out.is_some() || metrics_json.is_some() {
+                eprintln!("lasagna: --trace-out/--metrics-json require --graph greedy");
+            }
             // The Myers-style full string graph with transitive reduction:
             // conservative at repeats (stops at branches).
             let (graph, paths) = lasagna_repro::lasagna::fullgraph::assemble_full(
                 &device, &host, &spill, &config, &reads,
             )
             .unwrap_or_else(die);
-            let (contigs, stats) = lasagna_repro::lasagna::contig::generate_contigs(
-                &device, &host, &reads, &paths,
-            )
-            .unwrap_or_else(die);
+            let (contigs, stats) =
+                lasagna_repro::lasagna::contig::generate_contigs(&device, &host, &reads, &paths)
+                    .unwrap_or_else(die);
             println!(
                 "full graph: {} edges after reduction | contigs: {}, {} bases, N50 {}, max {}",
                 graph.edge_count(),
@@ -296,6 +328,74 @@ fn assemble(opts: &HashMap<String, String>) {
         .collect();
     write_fasta(&out, named.iter().map(|(n, c)| (n.as_str(), *c))).unwrap_or_else(die);
     println!("contigs written to {} ({summary})", out.display());
+}
+
+/// Pretty-print a recorded JSONL trace: per-phase totals rolled up from
+/// the events, plus per-partition rows under the sort and reduce phases.
+fn inspect_trace(opts: &HashMap<String, String>) {
+    let path = PathBuf::from(require(opts, "trace"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(die);
+    let rollup = obs::Rollup::from_jsonl(&text).unwrap_or_else(die);
+    let root_name = get(opts, "root", "assembly".to_string());
+    let Some(root) = rollup.root_named(&root_name) else {
+        eprintln!(
+            "lasagna: no {root_name:?} span in {} ({} spans recorded)",
+            path.display(),
+            rollup.span_count()
+        );
+        exit(1);
+    };
+    println!(
+        "{}: {:.3}s wall, {} spans",
+        root.name,
+        root.wall_seconds,
+        rollup.span_count()
+    );
+    println!(
+        "  {:<18} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "phase", "wall", "device", "io", "host peak", "device peak"
+    );
+    for phase in rollup.children(root.id) {
+        let agg = rollup.subtree(phase.id);
+        let dev = agg.metric("device.kernel_seconds") + agg.metric("device.transfer_seconds");
+        let io = agg.metric("io.read_seconds") + agg.metric("io.write_seconds");
+        println!(
+            "  {:<18} {:>9.3}s {:>9.3}s {:>9.3}s {:>12} {:>12}",
+            phase.name,
+            phase.wall_seconds,
+            dev,
+            io,
+            obs::human_bytes(agg.gauge("host.peak_bytes")),
+            obs::human_bytes(agg.gauge("device.peak_bytes")),
+        );
+        for part in rollup.children(phase.id) {
+            if part.name.starts_with("kernel:") {
+                continue;
+            }
+            let p = rollup.subtree(part.id);
+            let detail = match phase.name.as_str() {
+                "sort" => format!(
+                    "{} pairs, {} runs, {} merge passes, spilled {}",
+                    p.counter("sort.pairs"),
+                    p.counter("sort.initial_runs"),
+                    p.counter("sort.merge_passes"),
+                    obs::human_bytes(p.counter("sort.spill_bytes")),
+                ),
+                "reduce" => format!(
+                    "{} candidates, {} accepted, {} rejected, {} window advances",
+                    p.counter("reduce.candidates"),
+                    p.counter("reduce.accepted"),
+                    p.counter("reduce.rejected"),
+                    p.counter("reduce.window_advances"),
+                ),
+                _ => String::new(),
+            };
+            println!(
+                "    {:<16} {:>9.3}s  {detail}",
+                part.name, part.wall_seconds
+            );
+        }
+    }
 }
 
 fn stats(opts: &HashMap<String, String>) {

@@ -53,6 +53,7 @@ pub use fingerprint;
 pub use genome;
 pub use gstream;
 pub use lasagna;
+pub use obs;
 pub use sga;
 pub use vgpu;
 

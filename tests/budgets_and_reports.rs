@@ -87,7 +87,10 @@ fn modeled_time_is_consistent_with_components() {
 fn device_stats_attribute_kernels_to_the_right_phases() {
     let out = assemble_with_budgets(8 << 20, 1 << 20);
     let map = out.report.phase("map").unwrap();
-    assert!(map.device.per_kernel.contains_key("fingerprint_block_per_read"));
+    assert!(map
+        .device
+        .per_kernel
+        .contains_key("fingerprint_block_per_read"));
     let sort = out.report.phase("sort").unwrap();
     assert!(sort.device.per_kernel.contains_key("radix_sort_pairs"));
     let reduce = out.report.phase("reduce").unwrap();
@@ -95,8 +98,10 @@ fn device_stats_attribute_kernels_to_the_right_phases() {
     let compress = out.report.phase("compress").unwrap();
     assert!(compress.device.per_kernel.contains_key("inclusive_scan"));
     // And not the other way round.
-    assert!(!map.device.per_kernel.contains_key("radix_sort_pairs")
-        || map.device.per_kernel["radix_sort_pairs"].launches == 0);
+    assert!(
+        !map.device.per_kernel.contains_key("radix_sort_pairs")
+            || map.device.per_kernel["radix_sort_pairs"].launches == 0
+    );
 }
 
 #[test]
@@ -104,9 +109,18 @@ fn smaller_device_means_more_transfer_rounds_same_answer() {
     let big = assemble_with_budgets(8 << 20, 4 << 20);
     let small = assemble_with_budgets(8 << 20, 128 << 10);
     assert_eq!(big.report.graph_edges, small.report.graph_edges);
-    let big_launches: u64 = big.report.phases.iter().map(|p| p.device.kernel_launches).sum();
-    let small_launches: u64 =
-        small.report.phases.iter().map(|p| p.device.kernel_launches).sum();
+    let big_launches: u64 = big
+        .report
+        .phases
+        .iter()
+        .map(|p| p.device.kernel_launches)
+        .sum();
+    let small_launches: u64 = small
+        .report
+        .phases
+        .iter()
+        .map(|p| p.device.kernel_launches)
+        .sum();
     assert!(
         small_launches > big_launches,
         "smaller device ⇒ more chunked launches ({small_launches} vs {big_launches})"

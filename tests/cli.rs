@@ -21,14 +21,26 @@ fn simulate_assemble_stats_roundtrip() {
     let contigs = dir.join("contigs.fa");
 
     let sim = cli()
-        .args(["simulate", "--genome-len", "8000", "--coverage", "12", "--read-len", "80"])
+        .args([
+            "simulate",
+            "--genome-len",
+            "8000",
+            "--coverage",
+            "12",
+            "--read-len",
+            "80",
+        ])
         .args(["--seed", "9", "--out"])
         .arg(&reads)
         .arg("--reference")
         .arg(&reference)
         .output()
         .expect("run simulate");
-    assert!(sim.status.success(), "{}", String::from_utf8_lossy(&sim.stderr));
+    assert!(
+        sim.status.success(),
+        "{}",
+        String::from_utf8_lossy(&sim.stderr)
+    );
     assert!(reads.exists() && reference.exists());
 
     let asm = cli()
@@ -40,7 +52,11 @@ fn simulate_assemble_stats_roundtrip() {
         .arg(dir.join("work"))
         .output()
         .expect("run assemble");
-    assert!(asm.status.success(), "{}", String::from_utf8_lossy(&asm.stderr));
+    assert!(
+        asm.status.success(),
+        "{}",
+        String::from_utf8_lossy(&asm.stderr)
+    );
     let stdout = String::from_utf8_lossy(&asm.stdout);
     assert!(stdout.contains("contigs written"), "{stdout}");
 
@@ -62,13 +78,24 @@ fn full_graph_and_bsp_modes_work() {
     let dir = workdir("modes");
     let reads = dir.join("reads.fastq");
     cli()
-        .args(["simulate", "--genome-len", "5000", "--coverage", "10", "--read-len", "80"])
+        .args([
+            "simulate",
+            "--genome-len",
+            "5000",
+            "--coverage",
+            "10",
+            "--read-len",
+            "80",
+        ])
         .args(["--seed", "11", "--out"])
         .arg(&reads)
         .status()
         .expect("simulate");
 
-    for (mode, extra) in [("full", vec!["--graph", "full"]), ("bsp", vec!["--traversal", "bsp"])] {
+    for (mode, extra) in [
+        ("full", vec!["--graph", "full"]),
+        ("bsp", vec!["--traversal", "bsp"]),
+    ] {
         let out = dir.join(format!("contigs_{mode}.fa"));
         let run = cli()
             .args(["assemble", "--reads"])
@@ -99,10 +126,85 @@ fn bad_arguments_exit_nonzero_with_a_message() {
     assert!(!out.status.success());
 
     let out = cli()
-        .args(["assemble", "--reads", "/nonexistent.fastq", "--out", "/tmp/x.fa"])
+        .args([
+            "assemble",
+            "--reads",
+            "/nonexistent.fastq",
+            "--out",
+            "/tmp/x.fa",
+        ])
         .output()
         .expect("run");
     assert!(!out.status.success());
+}
+
+#[test]
+fn trace_out_and_inspect_trace_render_partition_breakdown() {
+    let dir = workdir("trace");
+    let reads = dir.join("reads.fastq");
+    cli()
+        .args([
+            "simulate",
+            "--genome-len",
+            "4000",
+            "--coverage",
+            "10",
+            "--read-len",
+            "64",
+        ])
+        .args(["--seed", "17", "--out"])
+        .arg(&reads)
+        .status()
+        .expect("simulate");
+
+    let trace = dir.join("trace.jsonl");
+    let metrics = dir.join("report.json");
+    let asm = cli()
+        .args(["assemble", "--reads"])
+        .arg(&reads)
+        .args(["--out"])
+        .arg(dir.join("contigs.fa"))
+        .args(["--work"])
+        .arg(dir.join("work"))
+        .args(["--trace-out"])
+        .arg(&trace)
+        .args(["--metrics-json"])
+        .arg(&metrics)
+        .output()
+        .expect("assemble");
+    assert!(
+        asm.status.success(),
+        "{}",
+        String::from_utf8_lossy(&asm.stderr)
+    );
+    assert!(trace.exists() && metrics.exists());
+
+    let report: lasagna_repro::lasagna::AssemblyReport =
+        serde_json::from_slice(&std::fs::read(&metrics).unwrap()).unwrap();
+    assert_eq!(
+        report
+            .phases
+            .iter()
+            .map(|p| p.phase.as_str())
+            .collect::<Vec<_>>(),
+        vec!["load", "map", "sort", "reduce", "compress"]
+    );
+
+    let inspect = cli()
+        .args(["inspect-trace", "--trace"])
+        .arg(&trace)
+        .output()
+        .expect("inspect-trace");
+    assert!(
+        inspect.status.success(),
+        "{}",
+        String::from_utf8_lossy(&inspect.stderr)
+    );
+    let out = String::from_utf8_lossy(&inspect.stdout);
+    assert!(out.contains("assembly"), "{out}");
+    for needle in ["sfx_", "pfx_", "len_", "merge passes", "window advances"] {
+        assert!(out.contains(needle), "missing {needle:?} in:\n{out}");
+    }
 }
 
 #[test]
@@ -110,7 +212,15 @@ fn error_correction_flag_runs() {
     let dir = workdir("correct");
     let reads = dir.join("noisy.fastq");
     cli()
-        .args(["simulate", "--genome-len", "6000", "--coverage", "20", "--read-len", "80"])
+        .args([
+            "simulate",
+            "--genome-len",
+            "6000",
+            "--coverage",
+            "20",
+            "--read-len",
+            "80",
+        ])
         .args(["--error-rate", "0.01", "--seed", "13", "--out"])
         .arg(&reads)
         .status()
@@ -125,7 +235,11 @@ fn error_correction_flag_runs() {
         .args(["--correct", "21"])
         .output()
         .expect("assemble");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("error correction"), "{stdout}");
 }

@@ -76,7 +76,8 @@ fn sga_oom_boundary_is_sharp() {
     let (reads, l_min) = dataset(41);
     // Billed bytes: 0.3 × text length (reads + complements + separators).
     let chars = reads.len() as u64 * 2 * (reads.read_len() as u64 + 1) + 1;
-    let billed = (chars as f64 * lasagna_repro::sga::baseline::COMPRESSED_BYTES_PER_CHAR).ceil() as u64;
+    let billed =
+        (chars as f64 * lasagna_repro::sga::baseline::COMPRESSED_BYTES_PER_CHAR).ceil() as u64;
     // One byte under: OOM. At the bill: succeeds.
     let starving = SgaBaseline {
         host: HostMem::new(billed - 1),

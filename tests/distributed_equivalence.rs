@@ -69,7 +69,9 @@ fn more_nodes_never_change_candidate_count() {
     let mut counts = Vec::new();
     for nodes in [1usize, 2, 4] {
         let dir = tempfile::tempdir().unwrap();
-        let out = cluster(nodes, 50, 40, 60).assemble(&reads, dir.path()).unwrap();
+        let out = cluster(nodes, 50, 40, 60)
+            .assemble(&reads, dir.path())
+            .unwrap();
         counts.push(out.report.candidates);
     }
     assert!(
@@ -84,12 +86,17 @@ fn network_traffic_grows_with_node_count() {
     let mut bytes = Vec::new();
     for nodes in [1usize, 2, 4] {
         let dir = tempfile::tempdir().unwrap();
-        let out = cluster(nodes, 50, 40, 60).assemble(&reads, dir.path()).unwrap();
+        let out = cluster(nodes, 50, 40, 60)
+            .assemble(&reads, dir.path())
+            .unwrap();
         bytes.push(out.report.network_bytes);
     }
     assert_eq!(bytes[0], 0, "single node sends nothing");
     assert!(bytes[1] > 0);
-    assert!(bytes[2] > bytes[1], "more peers ⇒ more remote fetches: {bytes:?}");
+    assert!(
+        bytes[2] > bytes[1],
+        "more peers ⇒ more remote fetches: {bytes:?}"
+    );
 }
 
 #[test]

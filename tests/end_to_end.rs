@@ -88,10 +88,7 @@ fn higher_coverage_improves_contiguity() {
         let (_g, _r, out) = assemble(5_000, 80, coverage, 50, 55, 64 << 20, 16 << 20);
         n50s.push(out.report.contig_stats.n50);
     }
-    assert!(
-        n50s[0] < n50s[2],
-        "N50 should grow with coverage: {n50s:?}"
-    );
+    assert!(n50s[0] < n50s[2], "N50 should grow with coverage: {n50s:?}");
 }
 
 #[test]
@@ -148,12 +145,18 @@ fn bsp_traversal_produces_identical_assembly() {
 
     let d1 = tempfile::tempdir().unwrap();
     let seq_cfg = AssemblyConfig::for_dataset(45, 70);
-    let seq = Pipeline::laptop(seq_cfg, d1.path()).unwrap().assemble(&reads).unwrap();
+    let seq = Pipeline::laptop(seq_cfg, d1.path())
+        .unwrap()
+        .assemble(&reads)
+        .unwrap();
 
     let d2 = tempfile::tempdir().unwrap();
     let mut bsp_cfg = AssemblyConfig::for_dataset(45, 70);
     bsp_cfg.bsp_traversal = true;
-    let bsp = Pipeline::laptop(bsp_cfg, d2.path()).unwrap().assemble(&reads).unwrap();
+    let bsp = Pipeline::laptop(bsp_cfg, d2.path())
+        .unwrap()
+        .assemble(&reads)
+        .unwrap();
 
     assert_eq!(seq.report.graph_edges, bsp.report.graph_edges);
     assert_eq!(seq.report.contig_stats, bsp.report.contig_stats);
@@ -187,7 +190,12 @@ fn resume_skips_completed_phases_and_reproduces_the_result() {
     // Second run in the same directory: map/sort/reduce are skipped.
     let resumed_pipeline = Pipeline::laptop(config, dir.path()).unwrap();
     let second = resumed_pipeline.assemble_resumable(&reads).unwrap();
-    let names: Vec<&str> = second.report.phases.iter().map(|p| p.phase.as_str()).collect();
+    let names: Vec<&str> = second
+        .report
+        .phases
+        .iter()
+        .map(|p| p.phase.as_str())
+        .collect();
     assert!(names.contains(&"map (resumed)"), "{names:?}");
     assert!(names.contains(&"sort (resumed)"), "{names:?}");
     assert!(names.contains(&"reduce (resumed)"), "{names:?}");

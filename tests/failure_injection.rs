@@ -27,7 +27,10 @@ fn truncated_partition_file_fails_the_sort_phase() {
     std::fs::write(&victim, bytes).unwrap();
 
     let err = lasagna_repro::lasagna::sortphase::run(&device, &host, &spill, &config).unwrap_err();
-    assert!(matches!(err, LasagnaError::Stream(gstream::StreamError::Corrupt(_))));
+    assert!(matches!(
+        err,
+        LasagnaError::Stream(gstream::StreamError::Corrupt(_))
+    ));
 }
 
 #[test]
@@ -41,7 +44,10 @@ fn device_too_small_for_a_single_batch_reports_oom() {
     let pipeline = Pipeline::new(device, host, spill, config).unwrap();
     let err = pipeline.assemble(&reads(2)).unwrap_err();
     assert!(
-        matches!(err, LasagnaError::Device(vgpu::DeviceError::OutOfMemory { .. })),
+        matches!(
+            err,
+            LasagnaError::Device(vgpu::DeviceError::OutOfMemory { .. })
+        ),
         "got {err}"
     );
 }
@@ -62,7 +68,10 @@ fn invalid_configs_are_rejected_before_any_work() {
     let dir = tempfile::tempdir().unwrap();
     for (l_min, l_max) in [(0u32, 60u32), (60, 60), (61, 60)] {
         let config = AssemblyConfig::for_dataset(l_min, l_max);
-        assert!(Pipeline::laptop(config, dir.path()).is_err(), "{l_min}/{l_max}");
+        assert!(
+            Pipeline::laptop(config, dir.path()).is_err(),
+            "{l_min}/{l_max}"
+        );
     }
 }
 

@@ -10,9 +10,7 @@ use lasagna_repro::lasagna::fullgraph::assemble_full;
 use lasagna_repro::lasagna::verify::verify_contigs;
 use lasagna_repro::prelude::*;
 
-fn setup(
-    host_bytes: u64,
-) -> (Device, HostMem, tempfile::TempDir) {
+fn setup(host_bytes: u64) -> (Device, HostMem, tempfile::TempDir) {
     (
         Device::with_capacity(GpuProfile::k40(), 16 << 20),
         HostMem::new(host_bytes),

@@ -1,0 +1,128 @@
+//! The trace is the single source of truth: an [`AssemblyReport`] rebuilt
+//! from the on-disk JSONL event log must equal the report the pipeline
+//! returned — exactly, float for float. (serde_json prints f64 with ryu's
+//! shortest round-trippable form, so the disk round trip is lossless.)
+
+use lasagna_repro::lasagna::AssemblyReport;
+use lasagna_repro::obs;
+use lasagna_repro::prelude::*;
+
+fn sample(genome_len: usize, read_len: usize, coverage: f64, seed: u64) -> ReadSet {
+    let genome = GenomeSim::uniform(genome_len, seed).generate();
+    ShotgunSim::error_free(read_len, coverage, seed + 1).sample(&genome)
+}
+
+#[test]
+fn report_rolled_up_from_jsonl_trace_matches_exactly() {
+    let reads = sample(2500, 50, 12.0, 41);
+    let dir = tempfile::tempdir().unwrap();
+    let trace_path = dir.path().join("trace.jsonl");
+    let work = dir.path().join("work");
+    std::fs::create_dir_all(&work).unwrap();
+
+    let rec = obs::Recorder::new();
+    rec.add_sink(Box::new(obs::JsonlSink::create(&trace_path).unwrap()));
+    let config = AssemblyConfig::for_dataset(30, 50);
+    let pipeline = Pipeline::laptop(config, &work)
+        .unwrap()
+        .with_recorder(rec.clone());
+    let out = pipeline.assemble(&reads).unwrap();
+    rec.flush();
+
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    let rollup = obs::Rollup::from_jsonl(&text).unwrap();
+    let rebuilt = AssemblyReport::from_trace(&rollup, "assembly");
+
+    assert_eq!(
+        rebuilt
+            .phases
+            .iter()
+            .map(|p| p.phase.as_str())
+            .collect::<Vec<_>>(),
+        vec!["load", "map", "sort", "reduce", "compress"]
+    );
+    assert_eq!(rebuilt.phases.len(), out.report.phases.len());
+    for (disk, live) in rebuilt.phases.iter().zip(out.report.phases.iter()) {
+        assert_eq!(
+            disk, live,
+            "phase {} diverged across the disk round trip",
+            live.phase
+        );
+    }
+}
+
+#[test]
+fn sort_and_reduce_phases_carry_per_partition_child_spans() {
+    let reads = sample(1800, 40, 10.0, 43);
+    let dir = tempfile::tempdir().unwrap();
+    let work = dir.path().join("work");
+    std::fs::create_dir_all(&work).unwrap();
+
+    let config = AssemblyConfig::for_dataset(25, 40);
+    let pipeline = Pipeline::laptop(config, &work).unwrap();
+    let out = pipeline.assemble(&reads).unwrap();
+
+    let rollup = obs::Rollup::from_events(&pipeline.recorder().events());
+    let root = rollup.root_named("assembly").unwrap();
+
+    // Sort: one span per sorted partition file, counters matching the
+    // phase totals (15 lengths × sfx/pfx = 30 partitions).
+    let sort = rollup.child_named(root.id, "sort").unwrap();
+    let partitions: Vec<_> = rollup
+        .children(sort.id)
+        .into_iter()
+        .filter(|c| c.name.starts_with("sfx_") || c.name.starts_with("pfx_"))
+        .collect();
+    assert_eq!(partitions.len(), 30, "one sort span per partition");
+    let pairs: u64 = partitions
+        .iter()
+        .map(|p| rollup.subtree(p.id).counter("sort.pairs"))
+        .sum();
+    // Every vertex contributes one tuple per kept length on each side.
+    assert_eq!(pairs, rollup.subtree(sort.id).counter("sort.pairs"));
+    assert!(pairs > 0);
+
+    // Reduce: one span per overlap length, and guard decisions add up.
+    let reduce = rollup.child_named(root.id, "reduce").unwrap();
+    let lengths: Vec<_> = rollup
+        .children(reduce.id)
+        .into_iter()
+        .filter(|c| c.name.starts_with("len_"))
+        .collect();
+    assert_eq!(lengths.len(), 15, "one reduce span per length");
+    let agg = rollup.subtree(reduce.id);
+    assert_eq!(
+        agg.counter("reduce.candidates"),
+        agg.counter("reduce.accepted") + agg.counter("reduce.rejected")
+    );
+    assert!(agg.counter("reduce.accepted") > 0);
+    assert_eq!(agg.counter("reduce.accepted") * 2, out.report.graph_edges);
+}
+
+#[test]
+fn resumed_phases_appear_as_zero_cost_spans() {
+    let reads = sample(1200, 40, 8.0, 47);
+    let dir = tempfile::tempdir().unwrap();
+    let work = dir.path().join("work");
+    std::fs::create_dir_all(&work).unwrap();
+
+    let config = AssemblyConfig::for_dataset(25, 40);
+    let first = Pipeline::laptop(config, &work).unwrap();
+    first.assemble_resumable(&reads).unwrap();
+
+    let second = Pipeline::laptop(config, &work).unwrap();
+    let out = second.assemble_resumable(&reads).unwrap();
+
+    let rollup = obs::Rollup::from_events(&second.recorder().events());
+    let root = rollup.root_named("assembly").unwrap();
+    for name in ["map (resumed)", "sort (resumed)", "reduce (resumed)"] {
+        let span = rollup.child_named(root.id, name).unwrap_or_else(|| {
+            panic!("missing span {name:?}");
+        });
+        let agg = rollup.subtree(span.id);
+        assert_eq!(agg.counter("device.kernel_launches"), 0, "{name}");
+        assert_eq!(agg.metric("io.read_seconds"), 0.0, "{name}");
+    }
+    let report_phase = out.report.phase("sort (resumed)").unwrap();
+    assert_eq!(report_phase.modeled_seconds, 0.0);
+}
