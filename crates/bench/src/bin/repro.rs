@@ -14,6 +14,7 @@
 //!   fig9     sort across GPU models           (paper Fig. 9)
 //!   fig10    distributed scaling              (paper Fig. 10)
 //!   fpcheck  fingerprint-width false-positive check (Section IV-B claim)
+//!   faults   crash/recover matrix                   (ROBUSTNESS.md)
 //!   all      everything above
 //! ```
 //!
@@ -63,7 +64,7 @@ fn parse_args() -> Args {
                     .collect();
             }
             "--help" | "-h" => {
-                println!("repro <table1..table6|fig8|fig9|fig10|fpcheck|all> [--scale N] [--out DIR] [--nodes 1,2,4,8]");
+                println!("repro <table1..table6|fig8|fig9|fig10|fpcheck|faults|all> [--scale N] [--out DIR] [--nodes 1,2,4,8]");
                 std::process::exit(0);
             }
             other if args.experiment.is_empty() => args.experiment = other.to_string(),
@@ -477,6 +478,32 @@ fn run_fpcheck(scale: u64, out: &Path) {
     save_json(out, "fpcheck", &rows);
 }
 
+fn run_faults(out: &Path) {
+    let work = tempfile::tempdir().expect("workdir");
+    let rows = experiments::faults(work.path()).expect("fault harness failed");
+    println!("\n=== Fault-injection matrix (see ROBUSTNESS.md) ===");
+    println!("{:<48} {:>9} {:>10}", "scenario", "injected", "recovered");
+    for r in &rows {
+        println!(
+            "{:<48} {:>9} {:>10}   {}",
+            r.scenario,
+            if r.injected { "yes" } else { "NO" },
+            if r.recovered { "yes" } else { "FAIL" },
+            r.detail
+        );
+    }
+    let failed = rows.iter().filter(|r| !(r.injected && r.recovered)).count();
+    println!(
+        "{} of {} scenarios injected a fault and recovered exactly",
+        rows.len() - failed,
+        rows.len()
+    );
+    save_json(out, "faults", &rows);
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args = parse_args();
     let run = |name: &str| match name {
@@ -495,6 +522,7 @@ fn main() {
         "mapscheme" => run_mapscheme(args.scale, &args.out),
         "validate" => run_validate(args.scale, &args.out),
         "fpcheck" => run_fpcheck(args.scale, &args.out),
+        "faults" => run_faults(&args.out),
         other => die(&format!("unknown experiment {other}")),
     };
     if args.experiment == "all" {

@@ -665,6 +665,145 @@ pub fn fpcheck(scale: u64, workdir: &Path) -> Result<Vec<FpCheckRow>, String> {
     Ok(out)
 }
 
+/// One crash-and-recover scenario in the fault-injection harness.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultRow {
+    /// Scenario label, e.g. `"crash gstream.write #4, resume"`.
+    pub scenario: String,
+    /// Whether the armed fault actually fired.
+    pub injected: bool,
+    /// Whether recovery reproduced the clean run exactly.
+    pub recovered: bool,
+    /// Counts or the error backing the verdict.
+    pub detail: String,
+}
+
+/// The fault matrix (ROBUSTNESS.md): crash the single-node pipeline at
+/// every failpoint and resume from the checkpoint manifest; kill
+/// distributed nodes mid-superstep and fail over; lose the reduce token
+/// and regenerate it. Every scenario must reproduce the clean run exactly.
+pub fn faults(workdir: &Path) -> Result<Vec<FaultRow>, String> {
+    let genome = genome::GenomeSim::uniform(2_000, 77).generate();
+    let reads = genome::ShotgunSim::error_free(60, 8.0, 78).sample(&genome);
+    let config = AssemblyConfig::for_dataset(40, 60);
+    let base_dir = workdir.join("baseline");
+    std::fs::create_dir_all(&base_dir).map_err(|e| e.to_string())?;
+    let baseline = Pipeline::laptop(config, &base_dir)
+        .map_err(|e| e.to_string())?
+        .assemble(&reads)
+        .map_err(|e| e.to_string())?;
+
+    let mut rows = Vec::new();
+
+    // Single-node: crash at each failpoint (an early and a later
+    // occurrence), then resume in a fresh pipeline over the same spill dir.
+    for point in [
+        faultsim::SPILL_WRITE,
+        faultsim::READER_OPEN,
+        faultsim::KERNEL_LAUNCH,
+        faultsim::MANIFEST_WRITE,
+    ] {
+        for nth in [1u64, 4] {
+            let dir = workdir.join(format!("{}_{nth}", point.replace('.', "_")));
+            std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+            let plan = faultsim::FaultPlan::new().fail_at(point, nth);
+            let crash = Pipeline::laptop(config, &dir)
+                .map_err(|e| e.to_string())?
+                .with_faults(faultsim::Faults::from_plan(&plan))
+                .assemble_resumable(&reads);
+            let injected = matches!(&crash, Err(e) if faultsim::is_injected(&e.to_string()));
+            let (recovered, detail) = match Pipeline::laptop(config, &dir)
+                .map_err(|e| e.to_string())?
+                .resume(&reads)
+            {
+                Ok(out) if out.contigs == baseline.contigs => (
+                    true,
+                    format!(
+                        "{} contigs, {} edges, identical to clean run",
+                        out.contigs.len(),
+                        out.graph.edge_count()
+                    ),
+                ),
+                Ok(out) => (
+                    false,
+                    format!(
+                        "diverged: {} vs {} contigs",
+                        out.contigs.len(),
+                        baseline.contigs.len()
+                    ),
+                ),
+                Err(e) => (false, format!("resume failed: {e}")),
+            };
+            rows.push(FaultRow {
+                scenario: format!("crash {point} #{nth}, resume"),
+                injected,
+                recovered,
+                detail,
+            });
+        }
+    }
+
+    // Distributed: kill a node mid-superstep (AM failure, then mid-kernel)
+    // and lose the reduce token; the recovered graph must match the
+    // single-node graph vertex for vertex.
+    for (label, point, nth) in [
+        ("node killed by AM failure", faultsim::DNET_AM, 3u64),
+        ("node killed mid-kernel", faultsim::KERNEL_LAUNCH, 20),
+        ("reduce token lost", faultsim::DNET_TOKEN, 1),
+    ] {
+        let dir = workdir.join(format!("dnet_{}_{nth}", point.replace('.', "_")));
+        std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+        let faults = faultsim::Faults::from_plan(&faultsim::FaultPlan::new().fail_at(point, nth));
+        let outcome = Cluster::new(ClusterConfig {
+            nodes: 3,
+            gpu: GpuProfile::k20x(),
+            device_capacity: 1 << 20,
+            host_capacity: 8 << 20,
+            disk: gstream::DiskModel::hdd(),
+            net: dnet::NetModel::infiniband_56g(),
+            block_reads: 40,
+            assembly: config,
+            reduce_strategy: ReduceStrategy::LengthToken,
+        })
+        .map(|c| c.with_faults(faults.clone()))
+        .and_then(|c| c.assemble(&reads, &dir));
+        let injected = !faults.injected().is_empty();
+        let (recovered, detail) = match outcome {
+            Ok(out) => {
+                let same = out.graph.edge_count() == baseline.graph.edge_count()
+                    && (0..baseline.graph.vertex_count())
+                        .all(|v| out.graph.out(v) == baseline.graph.out(v));
+                if same {
+                    (
+                        true,
+                        format!(
+                            "{} edges, identical to the single-node graph",
+                            out.graph.edge_count()
+                        ),
+                    )
+                } else {
+                    (
+                        false,
+                        format!(
+                            "diverged: {} vs {} edges",
+                            out.graph.edge_count(),
+                            baseline.graph.edge_count()
+                        ),
+                    )
+                }
+            }
+            Err(e) => (false, format!("cluster run failed: {e}")),
+        };
+        rows.push(FaultRow {
+            scenario: format!("3 nodes, {label} ({point} #{nth})"),
+            injected,
+            recovered,
+            detail,
+        });
+    }
+    Ok(rows)
+}
+
 /// Single-node graph used as a reference in tests/benches.
 pub fn reference_graph(
     reads: &ReadSet,

@@ -49,6 +49,11 @@ pub enum Response {
     Partition(Vec<KvPair>),
     /// Acknowledgement of shutdown.
     Bye,
+    /// The serving node failed to read the requested resource (e.g. a
+    /// corrupt partition file). Carried back to the requester so storage
+    /// corruption fails the phase loudly instead of silently shrinking
+    /// the assembly.
+    Error(String),
 }
 
 type Envelope = (Request, Sender<Response>);
@@ -60,9 +65,29 @@ pub struct AmClient {
     pub target: usize,
     tx: Sender<Envelope>,
     net: NetStats,
+    faults: faultsim::Faults,
 }
 
 impl AmClient {
+    /// Thread the `dnet.am` failpoint registry through this handle:
+    /// [`AmClient::try_call`] consults it before every send.
+    pub fn with_faults(mut self, faults: faultsim::Faults) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// [`AmClient::call`] behind the `dnet.am` failpoint: an armed fault
+    /// fires *before* the message leaves, modeling a sender that dies
+    /// mid-superstep (the message is never delivered, the server side
+    /// survives). The cluster driver treats the error as a node failure.
+    pub fn try_call(
+        &self,
+        from_rank: usize,
+        req: Request,
+    ) -> std::result::Result<(Response, f64), faultsim::FaultError> {
+        self.faults.hit(faultsim::DNET_AM)?;
+        Ok(self.call(from_rank, req))
+    }
     /// Send `req` from `from_rank` and wait for the reply. Cross-node
     /// messages are charged to the network model (request header + payload
     /// on the way back); returns the reply and the modeled network seconds
@@ -83,6 +108,7 @@ impl AmClient {
                 Response::Partition(pairs) => (pairs.len() * KvPair::BYTES) as u64,
                 Response::Block(_) => 24,
                 Response::Bye => 0,
+                Response::Error(m) => m.len() as u64,
             };
             seconds += self.net.add_message(payload);
         }
@@ -99,7 +125,15 @@ impl AmServer {
     /// Create a server and a factory for client handles to it.
     pub fn new(target: usize, net: NetStats) -> (AmClient, AmServer) {
         let (tx, rx) = unbounded();
-        (AmClient { target, tx, net }, AmServer { rx })
+        (
+            AmClient {
+                target,
+                tx,
+                net,
+                faults: faultsim::Faults::disabled(),
+            },
+            AmServer { rx },
+        )
     }
 
     /// Serve until a [`Request::Shutdown`] arrives. `handler` maps each
@@ -157,6 +191,27 @@ mod tests {
         assert_eq!(net.bytes(), 0);
         client.call(0, Request::Shutdown);
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn armed_am_failpoint_fails_the_nth_send_without_delivering() {
+        let net = NetStats::new(NetModel::infiniband_56g());
+        let (client, server) = AmServer::new(1, net.clone());
+        let client = client.with_faults(faultsim::Faults::from_plan(
+            &faultsim::FaultPlan::new().fail_at(faultsim::DNET_AM, 2),
+        ));
+        let handle = std::thread::spawn(move || {
+            server.serve(|_| Response::Block(None));
+        });
+        assert!(client.try_call(0, Request::GetBlock).is_ok());
+        let err = client.try_call(0, Request::GetBlock).unwrap_err();
+        assert!(faultsim::is_injected(&err.to_string()));
+        // One-shot: the retry goes through, and the failed send was never
+        // charged to the network model.
+        assert!(client.try_call(0, Request::GetBlock).is_ok());
+        client.call(0, Request::Shutdown);
+        handle.join().unwrap();
+        assert_eq!(net.messages(), 6, "2 ok calls + shutdown, 2 legs each");
     }
 
     #[test]

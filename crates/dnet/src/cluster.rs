@@ -18,7 +18,7 @@
 //!    of partition `l+1` to the owner of `l` — the serialization that
 //!    bounds scalability at `t_o·p/n + t_g·p`.
 
-use crate::am::{AmServer, Request, Response};
+use crate::am::{AmClient, AmServer, Request, Response};
 use crate::netmodel::{NetModel, NetStats};
 use crate::{DnetError, Result};
 use genome::ReadSet;
@@ -136,10 +136,32 @@ fn node_modeled(node: &Node, dev0: &vgpu::DeviceStats, io0: &gstream::iostats::I
     node.device.stats().since(dev0).total_seconds() + node.io.snapshot().since(io0).total_seconds()
 }
 
+/// Recovery bookkeeping for one distributed assembly (see ROBUSTNESS.md).
+#[derive(Debug, Clone, Copy, Default)]
+struct RecoveryStats {
+    node_failures: u64,
+    block_retries: u64,
+    length_reassignments: u64,
+    token_regenerations: u64,
+    backoff_seconds: f64,
+}
+
+/// Retry bound per phase: the initial round plus up to three recovery
+/// rounds. An injected fault surviving past this propagates as an error.
+const MAX_RECOVERY_ROUNDS: u32 = 4;
+
+/// Modeled exponential backoff before recovery round `round` (the first
+/// retry waits 0.1 s, then doubling). Charged to the phase's modeled time,
+/// never slept for real.
+fn backoff_for(round: u32) -> f64 {
+    0.1 * (1u64 << (round.min(6).saturating_sub(1))) as f64
+}
+
 /// A configured cluster.
 pub struct Cluster {
     config: ClusterConfig,
     recorder: obs::Recorder,
+    faults: faultsim::Faults,
 }
 
 impl Cluster {
@@ -160,6 +182,7 @@ impl Cluster {
         Ok(Cluster {
             config,
             recorder: obs::Recorder::disabled(),
+            faults: faultsim::Faults::disabled(),
         })
     }
 
@@ -168,6 +191,20 @@ impl Cluster {
     /// per-rank spans (`rank0`, `rank1`, …) under each phase.
     pub fn with_recorder(mut self, recorder: obs::Recorder) -> Self {
         self.recorder = recorder;
+        self.faults.set_recorder(self.recorder.clone());
+        self
+    }
+
+    /// Arm deterministic fault injection. The registry is threaded into
+    /// every node's device, disk I/O, and active-message client, so an
+    /// armed failpoint kills exactly one worker thread mid-superstep
+    /// (crash model: the node's *compute* dies; its disk and its AM
+    /// server survive, as with a crashed process on a live machine). The
+    /// master detects the failure at phase join and re-runs the lost work
+    /// on surviving nodes with bounded exponential backoff.
+    pub fn with_faults(mut self, faults: faultsim::Faults) -> Self {
+        faults.set_recorder(self.recorder.clone());
+        self.faults = faults;
         self
     }
 
@@ -204,19 +241,25 @@ impl Cluster {
         let l_max = cfg.assembly.l_max;
         let vertices = reads.vertex_count();
         let range_mode = cfg.reduce_strategy == ReduceStrategy::FingerprintRange && n_nodes > 1;
+        if range_mode && self.faults.is_enabled() {
+            // Range-mode commits interleave every rank inside every length;
+            // reassigning a fingerprint slice mid-superstep would need the
+            // paper's future-work recovery story. Refuse rather than guess.
+            return Err(DnetError::BadConfig(
+                "fault injection is not supported with FingerprintRange reduce".into(),
+            ));
+        }
         // In range mode the mappers pre-split every length by fingerprint.
         let mut assembly = cfg.assembly;
         if range_mode {
             assembly.range_split = n_nodes as u32;
         }
         let ranges = assembly.range_split;
-        let owned_lengths = |rank: usize| -> Vec<u32> {
-            if range_mode {
-                (l_min..l_max).collect()
-            } else {
-                (l_min..l_max).filter(|&l| self.owner(l) == rank).collect()
-            }
-        };
+        // Length ownership, round-robin to start; fail-over rewrites
+        // entries when an owner dies (token mode only).
+        let mut owners: Vec<usize> = (l_min..l_max).map(|l| self.owner(l)).collect();
+        let mut alive: Vec<bool> = vec![true; n_nodes];
+        let mut recovery = RecoveryStats::default();
 
         // Per-node resources (private disks: separate IoStats per node).
         let nodes: Vec<Node> = (0..n_nodes)
@@ -226,10 +269,14 @@ impl Cluster {
                     node: i,
                     message: e.to_string(),
                 })?;
+                let device = Device::with_capacity(cfg.gpu.clone(), cfg.device_capacity);
+                device.set_faults(self.faults.clone());
+                let io = IoStats::new(cfg.disk);
+                io.set_faults(self.faults.clone());
                 Ok(Node {
-                    device: Device::with_capacity(cfg.gpu.clone(), cfg.device_capacity),
+                    device,
                     host: HostMem::new(cfg.host_capacity),
-                    io: IoStats::new(cfg.disk),
+                    io,
                     dir,
                 })
             })
@@ -250,7 +297,7 @@ impl Cluster {
         let mut servers = Vec::with_capacity(n_nodes);
         for i in 0..n_nodes {
             let (c, s) = AmServer::new(i, net.clone());
-            clients.push(c);
+            clients.push(c.with_faults(self.faults.clone()));
             servers.push(s);
         }
 
@@ -283,16 +330,28 @@ impl Cluster {
                             ranges,
                         } => {
                             let bdir = dir.join(format!("block{block}"));
-                            let pairs = SpillDir::create(&bdir, io.clone())
-                                .and_then(|spill| {
-                                    gstream::RecordReader::open(
-                                        &spill.path_range(kind, len, range, ranges),
-                                        io.clone(),
-                                    )
-                                })
-                                .and_then(|mut r| r.read_all())
-                                .unwrap_or_default();
-                            Response::Partition(pairs)
+                            match SpillDir::open(&bdir, io.clone())
+                                .map(|spill| spill.path_range(kind, len, range, ranges))
+                            {
+                                // A block that produced nothing for this
+                                // length legitimately has no file.
+                                Ok(p) if !p.exists() => Response::Partition(Vec::new()),
+                                Ok(p) => {
+                                    match gstream::RecordReader::open(&p, io.clone())
+                                        .and_then(|mut r| r.read_all())
+                                    {
+                                        Ok(pairs) => Response::Partition(pairs),
+                                        // Never swallow a torn or bit-flipped
+                                        // partition: report it so the fetch
+                                        // fails the phase loudly instead of
+                                        // silently dropping overlaps.
+                                        Err(e) => Response::Error(format!(
+                                            "block {block} partition fetch failed: {e}"
+                                        )),
+                                    }
+                                }
+                                Err(e) => Response::Error(e.to_string()),
+                            }
                         }
                         Request::Shutdown => Response::Bye,
                     });
@@ -309,49 +368,81 @@ impl Cluster {
                 let t0 = Instant::now();
                 let obs_map = self.recorder.span("map");
                 let obs_map_id = obs_map.id();
-                let mut handles = Vec::new();
-                for (rank, node) in nodes.iter().enumerate() {
-                    let master = clients[0].clone();
-                    let assignment = Arc::clone(&assignment);
-                    let assembly = assembly;
-                    let rec = self.recorder.clone();
-                    handles.push(scope.spawn(move || -> std::result::Result<f64, String> {
-                        let rspan = rec.child_span(Some(obs_map_id), &format!("rank{rank}"));
-                        let dev0 = node.device.stats();
-                        let io0 = node.io.snapshot();
-                        if n_nodes == 1 {
-                            let spill = SpillDir::create(&node.dir, node.io.clone())
-                                .map_err(|e| e.to_string())?;
-                            map::run(&node.device, &node.host, &spill, &assembly, reads)
-                                .map_err(|e| e.to_string())?;
-                        } else {
-                            loop {
-                                let (resp, _net_s) = master.call(rank, Request::GetBlock);
-                                let Response::Block(Some((b, start, end))) = resp else {
-                                    break;
-                                };
-                                let bdir = node.dir.join(format!("block{b}"));
-                                let spill = SpillDir::create(&bdir, node.io.clone())
-                                    .map_err(|e| e.to_string())?;
-                                map::run_range(
-                                    &node.device,
-                                    &node.host,
-                                    &spill,
-                                    &assembly,
-                                    reads,
-                                    start,
-                                    end,
-                                )
-                                .map_err(|e| e.to_string())?;
-                                assignment.lock()[b] = Some(rank);
-                            }
+                let mut map_modeled: Vec<f64> = Vec::new();
+                let mut round = 0u32;
+                loop {
+                    round += 1;
+                    let mut handles = Vec::new();
+                    for (rank, node) in nodes.iter().enumerate() {
+                        if !alive[rank] {
+                            continue;
                         }
-                        let m = node_modeled(node, &dev0, &io0);
-                        rec.metric_on(rspan.id(), "rank.modeled_seconds", m);
-                        Ok(m)
-                    }));
+                        let master = clients[0].clone();
+                        let assignment = Arc::clone(&assignment);
+                        let assembly = assembly;
+                        let rec = self.recorder.clone();
+                        handles.push((
+                            rank,
+                            scope.spawn(move || -> std::result::Result<f64, String> {
+                                let rspan =
+                                    rec.child_span(Some(obs_map_id), &format!("rank{rank}"));
+                                let dev0 = node.device.stats();
+                                let io0 = node.io.snapshot();
+                                if n_nodes == 1 {
+                                    let spill = SpillDir::open(&node.dir, node.io.clone())
+                                        .map_err(|e| e.to_string())?;
+                                    map::run(&node.device, &node.host, &spill, &assembly, reads)
+                                        .map_err(|e| e.to_string())?;
+                                } else {
+                                    loop {
+                                        let (resp, _net_s) = master
+                                            .try_call(rank, Request::GetBlock)
+                                            .map_err(|e| e.to_string())?;
+                                        let Response::Block(Some((b, start, end))) = resp else {
+                                            break;
+                                        };
+                                        let bdir = node.dir.join(format!("block{b}"));
+                                        let spill = SpillDir::open(&bdir, node.io.clone())
+                                            .map_err(|e| e.to_string())?;
+                                        map::run_range(
+                                            &node.device,
+                                            &node.host,
+                                            &spill,
+                                            &assembly,
+                                            reads,
+                                            start,
+                                            end,
+                                        )
+                                        .map_err(|e| e.to_string())?;
+                                        assignment.lock()[b] = Some(rank);
+                                    }
+                                }
+                                let m = node_modeled(node, &dev0, &io0);
+                                rec.metric_on(rspan.id(), "rank.modeled_seconds", m);
+                                Ok(m)
+                            }),
+                        ));
+                    }
+                    let (ok, failed) =
+                        join_round(handles, round < MAX_RECOVERY_ROUNDS, &self.faults)?;
+                    map_modeled.extend(ok.into_iter().map(|(_, m)| m));
+                    if failed.is_empty() {
+                        break;
+                    }
+                    // A dead mapper's *completed* blocks stay assigned to
+                    // it: its disk and AM server survive (crash model), so
+                    // the shuffle can still fetch them. Only the blocks it
+                    // had in flight go back to the master's queue — and the
+                    // lengths it would have owned later move to survivors.
+                    fail_over(&failed, &mut alive, &mut owners, &mut recovery, l_min)?;
+                    let requeue: Vec<usize> = {
+                        let a = assignment.lock();
+                        (0..n_blocks).filter(|&b| a[b].is_none()).collect()
+                    };
+                    recovery.block_retries += requeue.len() as u64;
+                    recovery.backoff_seconds += backoff_for(round);
+                    *queue.lock() = requeue.into_iter().collect();
                 }
-                let map_modeled = join_phase(handles)?;
                 self.recorder
                     .metric_on(obs_map_id, "phase.modeled_seconds", max_f(&map_modeled));
                 drop(obs_map);
@@ -365,57 +456,68 @@ impl Cluster {
                 let t0 = Instant::now();
                 let obs_shuffle = self.recorder.span("shuffle");
                 let obs_shuffle_id = obs_shuffle.id();
-                let mut handles = Vec::new();
-                for (rank, node) in nodes
-                    .iter()
-                    .enumerate()
-                    .skip(if n_nodes == 1 { 1 } else { 0 })
-                {
-                    let clients = clients.clone();
-                    let assignment = Arc::clone(&assignment);
-                    let owned: Vec<u32> = owned_lengths(rank);
-                    let my_range = if range_mode { rank as u32 } else { 0 };
-                    let rec = self.recorder.clone();
-                    handles.push(scope.spawn(move || -> std::result::Result<f64, String> {
-                        let rspan = rec.child_span(Some(obs_shuffle_id), &format!("rank{rank}"));
-                        let io0 = node.io.snapshot();
-                        let mut net_s = 0.0;
-                        let spill = SpillDir::create(&node.dir, node.io.clone())
-                            .map_err(|e| e.to_string())?;
-                        for &len in &owned {
-                            for kind in [PartitionKind::Suffix, PartitionKind::Prefix] {
-                                let mut w = spill.writer(kind, len).map_err(|e| e.to_string())?;
-                                // Deterministic block order keeps the stream
-                                // identical to the single-node map output.
-                                for b in 0..n_blocks {
-                                    let src = assignment.lock()[b]
-                                        .ok_or_else(|| format!("block {b} unassigned"))?;
-                                    let (resp, secs) = clients[src].call(
-                                        rank,
-                                        Request::FetchPartition {
-                                            block: b,
-                                            kind,
-                                            len,
-                                            range: my_range,
-                                            ranges,
-                                        },
-                                    );
-                                    net_s += secs;
-                                    let Response::Partition(pairs) = resp else {
-                                        return Err("bad shuffle response".into());
-                                    };
-                                    w.write_all(&pairs).map_err(|e| e.to_string())?;
-                                }
-                                w.finish().map_err(|e| e.to_string())?;
-                            }
+                let mut shuffle_modeled: Vec<f64> = Vec::new();
+                // Lengths still needing a (re-)shuffle this round.
+                let mut todo: Vec<u32> = if n_nodes == 1 {
+                    Vec::new()
+                } else {
+                    (l_min..l_max).collect()
+                };
+                let mut round = 0u32;
+                while !todo.is_empty() {
+                    round += 1;
+                    let mut handles = Vec::new();
+                    for (rank, node) in nodes.iter().enumerate() {
+                        if !alive[rank] {
+                            continue;
                         }
-                        let m = node.io.snapshot().since(&io0).total_seconds() + net_s;
-                        rec.metric_on(rspan.id(), "rank.modeled_seconds", m);
-                        rec.metric_on(rspan.id(), "rank.net_seconds", net_s);
-                        Ok(m)
-                    }));
+                        let lens: Vec<u32> = if range_mode {
+                            todo.clone()
+                        } else {
+                            todo.iter()
+                                .copied()
+                                .filter(|&l| owners[(l - l_min) as usize] == rank)
+                                .collect()
+                        };
+                        if lens.is_empty() && round > 1 {
+                            continue;
+                        }
+                        let clients = clients.clone();
+                        let assignment = Arc::clone(&assignment);
+                        let my_range = if range_mode { rank as u32 } else { 0 };
+                        let rec = self.recorder.clone();
+                        handles.push((
+                            rank,
+                            scope.spawn(move || -> std::result::Result<f64, String> {
+                                let rspan =
+                                    rec.child_span(Some(obs_shuffle_id), &format!("rank{rank}"));
+                                let io0 = node.io.snapshot();
+                                let net_s = shuffle_lengths(
+                                    node,
+                                    &clients,
+                                    rank,
+                                    &assignment,
+                                    n_blocks,
+                                    &lens,
+                                    my_range,
+                                    ranges,
+                                )?;
+                                let m = node.io.snapshot().since(&io0).total_seconds() + net_s;
+                                rec.metric_on(rspan.id(), "rank.modeled_seconds", m);
+                                rec.metric_on(rspan.id(), "rank.net_seconds", net_s);
+                                Ok(m)
+                            }),
+                        ));
+                    }
+                    let (ok, failed) =
+                        join_round(handles, round < MAX_RECOVERY_ROUNDS, &self.faults)?;
+                    shuffle_modeled.extend(ok.into_iter().map(|(_, m)| m));
+                    if failed.is_empty() {
+                        break;
+                    }
+                    todo = fail_over(&failed, &mut alive, &mut owners, &mut recovery, l_min)?;
+                    recovery.backoff_seconds += backoff_for(round);
                 }
-                let shuffle_modeled = join_phase(handles)?;
                 self.recorder.metric_on(
                     obs_shuffle_id,
                     "phase.modeled_seconds",
@@ -432,42 +534,76 @@ impl Cluster {
                 let t0 = Instant::now();
                 let obs_sort = self.recorder.span("sort");
                 let obs_sort_id = obs_sort.id();
-                let mut handles = Vec::new();
-                for (rank, node) in nodes.iter().enumerate() {
-                    let owned: Vec<u32> = owned_lengths(rank);
-                    let rec = self.recorder.clone();
-                    handles.push(scope.spawn(move || -> std::result::Result<f64, String> {
-                        let rspan = rec.child_span(Some(obs_sort_id), &format!("rank{rank}"));
-                        let dev0 = node.device.stats();
-                        let io0 = node.io.snapshot();
-                        let spill = SpillDir::create(&node.dir, node.io.clone())
-                            .map_err(|e| e.to_string())?;
-                        let sort_config = SortConfig::from_budgets(&node.host, &node.device);
-                        let sorter = ExternalSorter::new(
-                            node.device.clone(),
-                            node.host.clone(),
-                            sort_config,
-                        )
-                        .map_err(|e| e.to_string())?;
-                        for &len in &owned {
-                            for (kind, tag) in [
-                                (PartitionKind::Suffix, "sfx"),
-                                (PartitionKind::Prefix, "pfx"),
-                            ] {
-                                let input = spill.path(kind, len);
-                                let sorted = spill.scratch_path(&format!("{tag}{len}s"));
-                                sorter
-                                    .sort_file(&spill, &input, &sorted)
-                                    .map_err(|e| e.to_string())?;
-                                std::fs::rename(&sorted, &input).map_err(|e| e.to_string())?;
-                            }
+                let mut sort_modeled: Vec<f64> = Vec::new();
+                // `(length, rebuild)`: rebuild means the length just moved off
+                // a dead owner, so the new owner must re-shuffle it from the
+                // durable map output before sorting.
+                let mut todo: Vec<(u32, bool)> = (l_min..l_max).map(|l| (l, false)).collect();
+                let mut round = 0u32;
+                while !todo.is_empty() {
+                    round += 1;
+                    let mut handles = Vec::new();
+                    for (rank, node) in nodes.iter().enumerate() {
+                        if !alive[rank] {
+                            continue;
                         }
-                        let m = node_modeled(node, &dev0, &io0);
-                        rec.metric_on(rspan.id(), "rank.modeled_seconds", m);
-                        Ok(m)
-                    }));
+                        let lens: Vec<(u32, bool)> = if range_mode {
+                            todo.clone()
+                        } else {
+                            todo.iter()
+                                .copied()
+                                .filter(|&(l, _)| owners[(l - l_min) as usize] == rank)
+                                .collect()
+                        };
+                        if lens.is_empty() && round > 1 {
+                            continue;
+                        }
+                        let clients = clients.clone();
+                        let assignment = Arc::clone(&assignment);
+                        let my_range = if range_mode { rank as u32 } else { 0 };
+                        let rec = self.recorder.clone();
+                        handles.push((
+                            rank,
+                            scope.spawn(move || -> std::result::Result<f64, String> {
+                                let rspan =
+                                    rec.child_span(Some(obs_sort_id), &format!("rank{rank}"));
+                                let dev0 = node.device.stats();
+                                let io0 = node.io.snapshot();
+                                let rebuild: Vec<u32> =
+                                    lens.iter().filter(|&&(_, r)| r).map(|&(l, _)| l).collect();
+                                let mut net_s = 0.0;
+                                if !rebuild.is_empty() {
+                                    net_s = shuffle_lengths(
+                                        node,
+                                        &clients,
+                                        rank,
+                                        &assignment,
+                                        n_blocks,
+                                        &rebuild,
+                                        my_range,
+                                        ranges,
+                                    )?;
+                                }
+                                let all: Vec<u32> = lens.iter().map(|&(l, _)| l).collect();
+                                sort_lengths(node, &all)?;
+                                let m = node_modeled(node, &dev0, &io0) + net_s;
+                                rec.metric_on(rspan.id(), "rank.modeled_seconds", m);
+                                Ok(m)
+                            }),
+                        ));
+                    }
+                    let (ok, failed) =
+                        join_round(handles, round < MAX_RECOVERY_ROUNDS, &self.faults)?;
+                    sort_modeled.extend(ok.into_iter().map(|(_, m)| m));
+                    if failed.is_empty() {
+                        break;
+                    }
+                    todo = fail_over(&failed, &mut alive, &mut owners, &mut recovery, l_min)?
+                        .into_iter()
+                        .map(|l| (l, true))
+                        .collect();
+                    recovery.backoff_seconds += backoff_for(round);
                 }
-                let sort_modeled = join_phase(handles)?;
                 self.recorder
                     .metric_on(obs_sort_id, "phase.modeled_seconds", max_f(&sort_modeled));
                 drop(obs_sort);
@@ -482,65 +618,89 @@ impl Cluster {
                 let t0 = Instant::now();
                 let obs_reduce = self.recorder.span("reduce");
                 let obs_reduce_id = obs_reduce.id();
-                let mut handles = Vec::new();
-                for (rank, node) in nodes.iter().enumerate() {
-                    let owned: Vec<u32> = owned_lengths(rank);
-                    let rec = self.recorder.clone();
-                    handles.push(scope.spawn(
-                        move || -> std::result::Result<(f64, NodeCandidates), String> {
-                            let rspan = rec.child_span(Some(obs_reduce_id), &format!("rank{rank}"));
-                            let dev0 = node.device.stats();
-                            let io0 = node.io.snapshot();
-                            let spill = SpillDir::create(&node.dir, node.io.clone())
-                                .map_err(|e| e.to_string())?;
-                            let window = reduce::window_budget(&node.host, &node.device);
-                            let mut per_len = Vec::new();
-                            for &len in &owned {
-                                let mut sfx = spill
-                                    .reader(PartitionKind::Suffix, len)
-                                    .map_err(|e| e.to_string())?;
-                                let mut pfx = spill
-                                    .reader(PartitionKind::Prefix, len)
-                                    .map_err(|e| e.to_string())?;
-                                let mut cands: Vec<(u32, u32)> = Vec::new();
-                                reduce::join_partition(
-                                    &node.device,
-                                    &mut sfx,
-                                    &mut pfx,
-                                    window,
-                                    |u, v| cands.push((u, v)),
-                                )
-                                .map_err(|e| e.to_string())?;
-                                per_len.push((len, cands));
-                            }
-                            let m = node_modeled(node, &dev0, &io0);
-                            rec.metric_on(rspan.id(), "rank.modeled_seconds", m);
-                            Ok((m, per_len))
-                        },
-                    ));
-                }
-                let mut find_modeled = Vec::new();
+                let mut find_modeled: Vec<f64> = Vec::new();
                 // Candidates indexed by [length][rank]: in token mode only the
                 // length's owner has a non-empty list; in range mode every rank
                 // contributes its fingerprint slice, and ranks concatenate in
                 // global fingerprint order.
                 let mut candidates: Vec<Vec<Vec<(u32, u32)>>> =
                     vec![vec![Vec::new(); n_nodes]; (l_max - l_min) as usize];
-                for (rank, h) in handles.into_iter().enumerate() {
-                    let (m, per_len) = h
-                        .join()
-                        .map_err(|_| DnetError::Node {
-                            node: rank,
-                            message: "panicked".into(),
-                        })?
-                        .map_err(|message| DnetError::Node {
-                            node: rank,
-                            message,
-                        })?;
-                    find_modeled.push(m);
-                    for (len, cands) in per_len {
-                        candidates[(len - l_min) as usize][rank] = cands;
+                // `(length, rebuild)` as in the sort phase: a length inherited
+                // from a dead owner is re-shuffled and re-sorted from the
+                // durable map output before it is re-joined.
+                let mut todo: Vec<(u32, bool)> = (l_min..l_max).map(|l| (l, false)).collect();
+                let mut round = 0u32;
+                while !todo.is_empty() {
+                    round += 1;
+                    let mut handles = Vec::new();
+                    for (rank, node) in nodes.iter().enumerate() {
+                        if !alive[rank] {
+                            continue;
+                        }
+                        let lens: Vec<(u32, bool)> = if range_mode {
+                            todo.clone()
+                        } else {
+                            todo.iter()
+                                .copied()
+                                .filter(|&(l, _)| owners[(l - l_min) as usize] == rank)
+                                .collect()
+                        };
+                        if lens.is_empty() && round > 1 {
+                            continue;
+                        }
+                        let clients = clients.clone();
+                        let assignment = Arc::clone(&assignment);
+                        let my_range = if range_mode { rank as u32 } else { 0 };
+                        let rec = self.recorder.clone();
+                        handles.push((
+                            rank,
+                            scope.spawn(
+                                move || -> std::result::Result<(f64, NodeCandidates), String> {
+                                    let rspan =
+                                        rec.child_span(Some(obs_reduce_id), &format!("rank{rank}"));
+                                    let dev0 = node.device.stats();
+                                    let io0 = node.io.snapshot();
+                                    let rebuild: Vec<u32> =
+                                        lens.iter().filter(|&&(_, r)| r).map(|&(l, _)| l).collect();
+                                    let mut net_s = 0.0;
+                                    if !rebuild.is_empty() {
+                                        net_s = shuffle_lengths(
+                                            node,
+                                            &clients,
+                                            rank,
+                                            &assignment,
+                                            n_blocks,
+                                            &rebuild,
+                                            my_range,
+                                            ranges,
+                                        )?;
+                                        sort_lengths(node, &rebuild)?;
+                                    }
+                                    let all: Vec<u32> = lens.iter().map(|&(l, _)| l).collect();
+                                    let per_len = join_lengths(node, &all)?;
+                                    let m = node_modeled(node, &dev0, &io0) + net_s;
+                                    rec.metric_on(rspan.id(), "rank.modeled_seconds", m);
+                                    Ok((m, per_len))
+                                },
+                            ),
+                        ));
                     }
+                    let (ok, failed) =
+                        join_round(handles, round < MAX_RECOVERY_ROUNDS, &self.faults)?;
+                    for (rank, (m, per_len)) in ok {
+                        find_modeled.push(m);
+                        for (len, cands) in per_len {
+                            candidates[(len - l_min) as usize][rank] = cands;
+                        }
+                    }
+                    if failed.is_empty() {
+                        break;
+                    }
+                    todo = fail_over(&failed, &mut alive, &mut owners, &mut recovery, l_min)?
+                        .into_iter()
+                        .map(|l| (l, true))
+                        .collect();
+                    recovery.backoff_seconds += backoff_for(round);
                 }
 
                 // Stage B (serialized): the bit-vector token sweeps lengths in
@@ -572,11 +732,36 @@ impl Cluster {
                     }
                     // Bit-vector movement: a single token hop between length
                     // owners (token mode), or an intra-length relay plus final
-                    // broadcast across all ranks (range mode).
+                    // broadcast across all ranks (range mode). Ownership is the
+                    // post-fail-over `owners` table, not the static round-robin.
+                    let owner_of = |l: u32| owners[(l - l_min) as usize];
                     if range_mode {
                         token_net_s += net.add_message(bits.len() as u64 * 8 * n_nodes as u64);
-                    } else if len > l_min && self.owner(len - 1) != self.owner(len) {
-                        token_net_s += net.add_message(bits.len() as u64 * 8);
+                    } else if len > l_min && owner_of(len - 1) != owner_of(len) {
+                        match self.faults.hit(faultsim::DNET_TOKEN) {
+                            Ok(()) => {
+                                token_net_s += net.add_message(bits.len() as u64 * 8);
+                            }
+                            Err(_) => {
+                                // The token was lost in transit (its holder
+                                // died). Regenerate it by OR-ing every node's
+                                // out-bits — each per-node graph carries the
+                                // bits it merged before applying, so the union
+                                // is exactly the lost token — and charge a
+                                // broadcast instead of one hop.
+                                let mut fresh = StringGraph::new(vertices).out_bits();
+                                for g in &per_node_graphs {
+                                    for (d, s) in fresh.iter_mut().zip(g.out_bits()) {
+                                        *d |= s;
+                                    }
+                                }
+                                bits = fresh;
+                                recovery.token_regenerations += 1;
+                                self.faults.record_retry(faultsim::DNET_TOKEN);
+                                token_net_s +=
+                                    net.add_message(bits.len() as u64 * 8 * n_nodes as u64);
+                            }
+                        }
                     }
                 }
 
@@ -611,6 +796,33 @@ impl Cluster {
             .counter_on(obs_root.id(), "net.bytes", net.bytes());
         self.recorder
             .counter_on(obs_root.id(), "net.messages", net.messages());
+        if recovery.node_failures > 0 || recovery.token_regenerations > 0 {
+            self.recorder.counter_on(
+                obs_root.id(),
+                "recovery.node_failures",
+                recovery.node_failures,
+            );
+            self.recorder.counter_on(
+                obs_root.id(),
+                "recovery.block_retries",
+                recovery.block_retries,
+            );
+            self.recorder.counter_on(
+                obs_root.id(),
+                "recovery.length_reassignments",
+                recovery.length_reassignments,
+            );
+            self.recorder.counter_on(
+                obs_root.id(),
+                "recovery.token_regenerations",
+                recovery.token_regenerations,
+            );
+            self.recorder.metric_on(
+                obs_root.id(),
+                "recovery.backoff_seconds",
+                recovery.backoff_seconds,
+            );
+        }
         drop(obs_root);
 
         merged_graph
@@ -639,24 +851,180 @@ fn max_f(xs: &[f64]) -> f64 {
     xs.iter().copied().fold(0.0, f64::max)
 }
 
-fn join_phase(
-    handles: Vec<std::thread::ScopedJoinHandle<'_, std::result::Result<f64, String>>>,
-) -> Result<Vec<f64>> {
-    let mut out = Vec::with_capacity(handles.len());
-    for (rank, h) in handles.into_iter().enumerate() {
-        let r = h
-            .join()
-            .map_err(|_| DnetError::Node {
-                node: rank,
-                message: "panicked".into(),
-            })?
-            .map_err(|message| DnetError::Node {
-                node: rank,
-                message,
-            })?;
-        out.push(r);
+/// Join one phase round. Workers that finished contribute their results;
+/// a worker that died on an *injected* fault is reported for fail-over
+/// (when retries remain), while any real error — and any injected fault
+/// once the retry budget is spent — propagates immediately.
+type RoundHandle<'s, T> = (
+    usize,
+    std::thread::ScopedJoinHandle<'s, std::result::Result<T, String>>,
+);
+
+fn join_round<T>(
+    handles: Vec<RoundHandle<'_, T>>,
+    allow_retry: bool,
+    faults: &faultsim::Faults,
+) -> Result<(Vec<(usize, T)>, Vec<usize>)> {
+    let mut ok = Vec::new();
+    let mut failed = Vec::new();
+    for (rank, h) in handles {
+        match h.join() {
+            Ok(Ok(v)) => ok.push((rank, v)),
+            Ok(Err(message)) => {
+                if allow_retry && faultsim::is_injected(&message) {
+                    if let Some(point) = faultsim::injected_point(&message) {
+                        faults.record_retry(point);
+                    }
+                    failed.push(rank);
+                } else {
+                    return Err(DnetError::Node {
+                        node: rank,
+                        message,
+                    });
+                }
+            }
+            Err(_) => {
+                return Err(DnetError::Node {
+                    node: rank,
+                    message: "panicked".into(),
+                })
+            }
+        }
     }
-    Ok(out)
+    Ok((ok, failed))
+}
+
+/// Mark `failed` ranks dead and hand every length they owned to surviving
+/// ranks round-robin. Returns the moved lengths: their partitions live on
+/// the dead nodes' disks, so the new owners must rebuild them from the
+/// durable map output (re-shuffle, and re-sort/re-join as the phase
+/// requires).
+fn fail_over(
+    failed: &[usize],
+    alive: &mut [bool],
+    owners: &mut [usize],
+    recovery: &mut RecoveryStats,
+    l_min: u32,
+) -> Result<Vec<u32>> {
+    for &r in failed {
+        alive[r] = false;
+        recovery.node_failures += 1;
+    }
+    let survivors: Vec<usize> = (0..alive.len()).filter(|&i| alive[i]).collect();
+    if survivors.is_empty() {
+        return Err(DnetError::Node {
+            node: failed[0],
+            message: "no surviving nodes to fail over to".into(),
+        });
+    }
+    let mut moved = Vec::new();
+    let mut next = 0usize;
+    for (i, owner) in owners.iter_mut().enumerate() {
+        if !alive[*owner] {
+            *owner = survivors[next % survivors.len()];
+            next += 1;
+            moved.push(l_min + i as u32);
+            recovery.length_reassignments += 1;
+        }
+    }
+    Ok(moved)
+}
+
+/// Shuffle step for one owner: fetch every block's records for `lens`
+/// from their mappers (via `try_call`, so the `dnet.am` failpoint can
+/// kill the requester mid-stream) and concatenate them in block order —
+/// the order that keeps the stream byte-identical to the single-node map
+/// output.
+#[allow(clippy::too_many_arguments)]
+fn shuffle_lengths(
+    node: &Node,
+    clients: &[AmClient],
+    rank: usize,
+    assignment: &Mutex<Vec<Option<usize>>>,
+    n_blocks: usize,
+    lens: &[u32],
+    my_range: u32,
+    ranges: u32,
+) -> std::result::Result<f64, String> {
+    let mut net_s = 0.0;
+    let spill = SpillDir::open(&node.dir, node.io.clone()).map_err(|e| e.to_string())?;
+    for &len in lens {
+        for kind in [PartitionKind::Suffix, PartitionKind::Prefix] {
+            let mut w = spill.writer(kind, len).map_err(|e| e.to_string())?;
+            for b in 0..n_blocks {
+                let src = assignment.lock()[b].ok_or_else(|| format!("block {b} unassigned"))?;
+                let (resp, secs) = clients[src]
+                    .try_call(
+                        rank,
+                        Request::FetchPartition {
+                            block: b,
+                            kind,
+                            len,
+                            range: my_range,
+                            ranges,
+                        },
+                    )
+                    .map_err(|e| e.to_string())?;
+                net_s += secs;
+                match resp {
+                    Response::Partition(pairs) => w.write_all(&pairs).map_err(|e| e.to_string())?,
+                    Response::Error(m) => return Err(m),
+                    _ => return Err("bad shuffle response".into()),
+                }
+            }
+            w.finish().map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(net_s)
+}
+
+/// Sort step for one owner: externally sort each of `lens`' partition
+/// pairs in place with the node's own GPU and disk.
+fn sort_lengths(node: &Node, lens: &[u32]) -> std::result::Result<(), String> {
+    let spill = SpillDir::open(&node.dir, node.io.clone()).map_err(|e| e.to_string())?;
+    let sort_config = SortConfig::from_budgets(&node.host, &node.device);
+    let sorter = ExternalSorter::new(node.device.clone(), node.host.clone(), sort_config)
+        .map_err(|e| e.to_string())?;
+    for &len in lens {
+        for (kind, tag) in [
+            (PartitionKind::Suffix, "sfx"),
+            (PartitionKind::Prefix, "pfx"),
+        ] {
+            let input = spill.path(kind, len);
+            let sorted = spill.scratch_path(&format!("{tag}{len}s"));
+            sorter
+                .sort_file(&spill, &input, &sorted)
+                .map_err(|e| e.to_string())?;
+            std::fs::rename(&sorted, &input).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reduce stage A for one owner: join each of `lens`' sorted partition
+/// pairs, collecting candidates. Both streams are drained afterwards so a
+/// corrupt tail fails here, loudly, rather than shrinking the assembly.
+fn join_lengths(node: &Node, lens: &[u32]) -> std::result::Result<NodeCandidates, String> {
+    let spill = SpillDir::open(&node.dir, node.io.clone()).map_err(|e| e.to_string())?;
+    let window = reduce::window_budget(&node.host, &node.device);
+    let mut per_len = Vec::new();
+    for &len in lens {
+        let mut sfx = spill
+            .reader(PartitionKind::Suffix, len)
+            .map_err(|e| e.to_string())?;
+        let mut pfx = spill
+            .reader(PartitionKind::Prefix, len)
+            .map_err(|e| e.to_string())?;
+        let mut cands: Vec<(u32, u32)> = Vec::new();
+        reduce::join_partition(&node.device, &mut sfx, &mut pfx, window, |u, v| {
+            cands.push((u, v))
+        })
+        .map_err(|e| e.to_string())?;
+        sfx.verify_to_end().map_err(|e| e.to_string())?;
+        pfx.verify_to_end().map_err(|e| e.to_string())?;
+        per_len.push((len, cands));
+    }
+    Ok(per_len)
 }
 
 #[cfg(test)]
@@ -862,6 +1230,129 @@ mod tests {
         let out = cluster(2, 25, 40, 8).assemble(&reads, dir.path()).unwrap();
         assert_eq!(out.report.edges, 0);
         assert_eq!(out.report.candidates, 0);
+    }
+
+    fn assert_same_graph(out: &StringGraph, expect: &StringGraph, what: &str) {
+        assert_eq!(out.edge_count(), expect.edge_count(), "{what}: edge count");
+        for v in 0..expect.vertex_count() {
+            assert_eq!(out.out(v), expect.out(v), "{what}: vertex {v}");
+        }
+    }
+
+    #[test]
+    fn am_killed_node_is_failed_over_and_output_is_identical() {
+        let reads = sample(1200, 40, 8.0, 11);
+        let expect = single_node_graph(&reads, 25);
+        let dir = tempfile::tempdir().unwrap();
+        let rec = obs::Recorder::new();
+        let faults =
+            faultsim::Faults::from_plan(&faultsim::FaultPlan::new().fail_at(faultsim::DNET_AM, 3));
+        let out = cluster(3, 25, 40, 37)
+            .with_recorder(rec.clone())
+            .with_faults(faults.clone())
+            .assemble(&reads, dir.path())
+            .unwrap();
+        assert_same_graph(&out.graph, &expect, "am kill");
+        assert_eq!(faults.injected().len(), 1, "exactly one fault fired");
+        let rollup = obs::Rollup::from_events(&rec.events());
+        let root = rollup.root_named("distributed").unwrap();
+        let agg = rollup.subtree(root.id);
+        assert_eq!(agg.counter("recovery.node_failures"), 1);
+        assert!(agg.counter("recovery.length_reassignments") >= 1);
+        assert!(agg.metric("recovery.backoff_seconds") > 0.0);
+    }
+
+    #[test]
+    fn kernel_killed_node_is_failed_over_and_output_is_identical() {
+        let reads = sample(1200, 40, 8.0, 11);
+        let expect = single_node_graph(&reads, 25);
+        // Fire late enough that the victim has mapped blocks already: its
+        // surviving disk keeps serving them while its lengths move on.
+        let dir = tempfile::tempdir().unwrap();
+        let faults = faultsim::Faults::from_plan(
+            &faultsim::FaultPlan::new().fail_at(faultsim::KERNEL_LAUNCH, 20),
+        );
+        let out = cluster(3, 25, 40, 37)
+            .with_faults(faults.clone())
+            .assemble(&reads, dir.path())
+            .unwrap();
+        assert_same_graph(&out.graph, &expect, "kernel kill");
+        assert_eq!(faults.injected().len(), 1);
+    }
+
+    #[test]
+    fn lost_reduce_token_is_regenerated_and_output_is_identical() {
+        let reads = sample(1200, 40, 8.0, 11);
+        let expect = single_node_graph(&reads, 25);
+        let dir = tempfile::tempdir().unwrap();
+        let rec = obs::Recorder::new();
+        let out = cluster(3, 25, 40, 37)
+            .with_recorder(rec.clone())
+            .with_faults(faultsim::Faults::from_plan(
+                &faultsim::FaultPlan::new().fail_at(faultsim::DNET_TOKEN, 1),
+            ))
+            .assemble(&reads, dir.path())
+            .unwrap();
+        assert_same_graph(&out.graph, &expect, "token loss");
+        let rollup = obs::Rollup::from_events(&rec.events());
+        let root = rollup.root_named("distributed").unwrap();
+        let agg = rollup.subtree(root.id);
+        assert_eq!(agg.counter("recovery.token_regenerations"), 1);
+        // A regenerated token is broadcast, not hopped: strictly more bytes
+        // than the fault-free run.
+        let clean_dir = tempfile::tempdir().unwrap();
+        let clean = cluster(3, 25, 40, 37)
+            .assemble(&reads, clean_dir.path())
+            .unwrap();
+        assert!(out.report.network_bytes > clean.report.network_bytes);
+    }
+
+    #[test]
+    fn single_node_cluster_never_sends_am_so_am_faults_are_inert() {
+        let reads = sample(600, 40, 5.0, 17);
+        let expect = single_node_graph(&reads, 25);
+        let dir = tempfile::tempdir().unwrap();
+        let faults =
+            faultsim::Faults::from_plan(&faultsim::FaultPlan::new().fail_at(faultsim::DNET_AM, 1));
+        let out = cluster(1, 25, 40, 64)
+            .with_faults(faults.clone())
+            .assemble(&reads, dir.path())
+            .unwrap();
+        assert_same_graph(&out.graph, &expect, "single node");
+        assert!(faults.injected().is_empty(), "no AM sends on one node");
+    }
+
+    #[test]
+    fn faults_surviving_the_retry_budget_propagate() {
+        let reads = sample(600, 40, 5.0, 17);
+        let dir = tempfile::tempdir().unwrap();
+        // Kill every node: the last fail-over finds no survivors.
+        let plan = faultsim::FaultPlan::new()
+            .fail_at(faultsim::DNET_AM, 1)
+            .fail_at(faultsim::DNET_AM, 2)
+            .fail_at(faultsim::DNET_AM, 3);
+        let err = cluster(3, 25, 40, 37)
+            .with_faults(faultsim::Faults::from_plan(&plan))
+            .assemble(&reads, dir.path())
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("no surviving nodes")
+                || faultsim::is_injected(&err.to_string()),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn range_mode_refuses_fault_injection() {
+        let reads = sample(600, 40, 5.0, 17);
+        let dir = tempfile::tempdir().unwrap();
+        let err = range_cluster(2, 25, 40, 64)
+            .with_faults(faultsim::Faults::from_plan(
+                &faultsim::FaultPlan::new().fail_at(faultsim::DNET_AM, 1),
+            ))
+            .assemble(&reads, dir.path())
+            .unwrap_err();
+        assert!(matches!(err, DnetError::BadConfig(_)), "got {err}");
     }
 }
 

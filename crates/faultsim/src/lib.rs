@@ -1,0 +1,353 @@
+//! # faultsim — deterministic fault injection
+//!
+//! A registry of named *failpoints* threaded through the I/O, device, and
+//! network layers. A [`FaultPlan`] arms a failpoint to fire on its Nth hit;
+//! the shared [`Faults`] handle counts hits and returns [`FaultError`] at
+//! exactly that occurrence, once. Because every layer in this codebase is
+//! deterministic, "fail the 3rd spill write" reproduces the same crash on
+//! every run — which is what makes the crash-and-resume matrix in
+//! `tests/failure_injection.rs` and `repro faults` a proof rather than a
+//! dice roll.
+//!
+//! Failpoints are identified by the string constants below; see
+//! ROBUSTNESS.md for the catalogue and where each one is checked. Injected
+//! faults are recorded on the attached [`obs::Recorder`] as
+//! `fault.injected.<point>` counters, and recovery layers report retries as
+//! `fault.retries.<point>` via [`Faults::record_retry`].
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Failpoint: committing (finishing) a spill file in `RecordWriter::finish`.
+pub const SPILL_WRITE: &str = "gstream.write";
+/// Failpoint: opening a spill file in `RecordReader::open`.
+pub const READER_OPEN: &str = "gstream.open";
+/// Failpoint: launching a vgpu kernel (any public `Device` kernel method).
+pub const KERNEL_LAUNCH: &str = "vgpu.launch";
+/// Failpoint: sending a dnet active message (`AmClient` with faults attached).
+pub const DNET_AM: &str = "dnet.am";
+/// Failpoint: handing the reduce-phase out-degree bit-vector token to the
+/// next owner in `dnet::cluster`.
+pub const DNET_TOKEN: &str = "dnet.token";
+/// Failpoint: committing `manifest.json` in `lasagna::manifest`.
+pub const MANIFEST_WRITE: &str = "manifest.write";
+
+/// Every failpoint the codebase registers, in checking order.
+pub const ALL_FAILPOINTS: &[&str] = &[
+    SPILL_WRITE,
+    READER_OPEN,
+    KERNEL_LAUNCH,
+    DNET_AM,
+    DNET_TOKEN,
+    MANIFEST_WRITE,
+];
+
+/// An injected failure, returned by [`Faults::hit`] at the armed occurrence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultError {
+    /// Which failpoint fired.
+    pub point: String,
+    /// 1-based hit count at which it fired.
+    pub occurrence: u64,
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "injected fault at {} (occurrence {})",
+            self.point, self.occurrence
+        )
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// One armed failure: fire when `point` is hit for the `nth` time (1-based).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct Arm {
+    point: String,
+    nth: u64,
+}
+
+/// A declarative set of armed failpoints. Build with [`FaultPlan::fail_at`]
+/// or parse a `point:nth,point:nth` spec (the `repro faults` harness and
+/// tests use both). The plan is inert data; [`Faults::from_plan`] turns it
+/// into a live, counting registry.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    arms: Vec<Arm>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no armed faults).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Arm `point` to fail on its `nth` hit (1-based, fires once).
+    pub fn fail_at(mut self, point: &str, nth: u64) -> Self {
+        assert!(nth >= 1, "failpoint occurrences are 1-based");
+        self.arms.push(Arm {
+            point: point.to_string(),
+            nth,
+        });
+        self
+    }
+
+    /// Parse `"gstream.write:3,vgpu.launch:1"`.
+    pub fn parse(spec: &str) -> std::result::Result<FaultPlan, String> {
+        let mut plan = FaultPlan::new();
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (point, nth) = part
+                .trim()
+                .split_once(':')
+                .ok_or_else(|| format!("bad fault spec {part:?}, want point:nth"))?;
+            let nth: u64 = nth
+                .parse()
+                .map_err(|_| format!("bad occurrence in {part:?}"))?;
+            if nth == 0 {
+                return Err(format!("occurrence in {part:?} is 1-based"));
+            }
+            plan = plan.fail_at(point, nth);
+        }
+        Ok(plan)
+    }
+
+    /// True if nothing is armed.
+    pub fn is_empty(&self) -> bool {
+        self.arms.is_empty()
+    }
+}
+
+#[derive(Debug, Default)]
+struct State {
+    /// Hits seen per failpoint.
+    hits: BTreeMap<String, u64>,
+    /// Armed, not-yet-fired faults.
+    arms: Vec<Arm>,
+    /// Faults that have fired.
+    injected: Vec<FaultError>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: Mutex<State>,
+    recorder: Mutex<obs::Recorder>,
+}
+
+/// Shared handle to the failpoint registry. Clone-cheap; clones share hit
+/// counters, so "the Nth spill write" counts across every thread and node
+/// that holds a clone. [`Faults::disabled`] (the default everywhere) makes
+/// every check a no-op.
+#[derive(Debug, Clone, Default)]
+pub struct Faults {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Faults {
+    /// A handle that never fires and counts nothing.
+    pub fn disabled() -> Self {
+        Faults { inner: None }
+    }
+
+    /// A live registry armed from `plan`. An empty plan still counts hits
+    /// (useful for discovering occurrence numbers to arm).
+    pub fn from_plan(plan: &FaultPlan) -> Self {
+        Faults {
+            inner: Some(Arc::new(Inner {
+                state: Mutex::new(State {
+                    hits: BTreeMap::new(),
+                    arms: plan.arms.clone(),
+                    injected: Vec::new(),
+                }),
+                recorder: Mutex::new(obs::Recorder::disabled()),
+            })),
+        }
+    }
+
+    /// True unless this is the [`Faults::disabled`] no-op handle.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Attach a recorder; injected faults and retries emit
+    /// `fault.injected.<point>` / `fault.retries.<point>` counters on it.
+    pub fn set_recorder(&self, recorder: obs::Recorder) {
+        if let Some(inner) = &self.inner {
+            *inner.recorder.lock() = recorder;
+        }
+    }
+
+    /// Check in at `point`: increments its hit count and fails iff an arm
+    /// matches this occurrence. Each arm fires at most once.
+    pub fn hit(&self, point: &str) -> std::result::Result<(), FaultError> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        let fired = {
+            let mut state = inner.state.lock();
+            let count = state.hits.entry(point.to_string()).or_insert(0);
+            *count += 1;
+            let occurrence = *count;
+            let armed = state
+                .arms
+                .iter()
+                .position(|a| a.point == point && a.nth == occurrence);
+            armed.map(|idx| {
+                state.arms.remove(idx);
+                let err = FaultError {
+                    point: point.to_string(),
+                    occurrence,
+                };
+                state.injected.push(err.clone());
+                err
+            })
+        };
+        match fired {
+            Some(err) => {
+                inner
+                    .recorder
+                    .lock()
+                    .counter(&format!("fault.injected.{point}"), 1);
+                Err(err)
+            }
+            None => Ok(()),
+        }
+    }
+
+    /// Record a recovery retry after an injected fault (obs counter
+    /// `fault.retries.<point>`).
+    pub fn record_retry(&self, point: &str) {
+        if let Some(inner) = &self.inner {
+            inner
+                .recorder
+                .lock()
+                .counter(&format!("fault.retries.{point}"), 1);
+        }
+    }
+
+    /// Hits seen at `point` so far.
+    pub fn hits(&self, point: &str) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|i| i.state.lock().hits.get(point).copied().unwrap_or(0))
+            .unwrap_or(0)
+    }
+
+    /// All faults injected so far, in firing order.
+    pub fn injected(&self) -> Vec<FaultError> {
+        self.inner
+            .as_ref()
+            .map(|i| i.state.lock().injected.clone())
+            .unwrap_or_default()
+    }
+}
+
+/// True if a stringified error chain came from an injected fault rather
+/// than a real failure. Errors cross thread boundaries as strings in
+/// `dnet`, so recovery keys off the [`FaultError`] display prefix.
+pub fn is_injected(message: &str) -> bool {
+    message.contains("injected fault at ")
+}
+
+/// The failpoint named in an injected-fault message, if any — used by
+/// recovery code to attribute its retry to the right `fault.retries.*`
+/// counter after the original [`FaultError`] was stringified.
+pub fn injected_point(message: &str) -> Option<&str> {
+    let rest = message.split("injected fault at ").nth(1)?;
+    let end = rest.find(" (occurrence")?;
+    Some(&rest[..end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_never_fires() {
+        let f = Faults::disabled();
+        for _ in 0..100 {
+            assert!(f.hit(SPILL_WRITE).is_ok());
+        }
+        assert_eq!(f.hits(SPILL_WRITE), 0);
+        assert!(f.injected().is_empty());
+    }
+
+    #[test]
+    fn fires_exactly_once_at_the_armed_occurrence() {
+        let f = Faults::from_plan(&FaultPlan::new().fail_at(READER_OPEN, 3));
+        assert!(f.hit(READER_OPEN).is_ok());
+        assert!(f.hit(READER_OPEN).is_ok());
+        let err = f.hit(READER_OPEN).unwrap_err();
+        assert_eq!(err.point, READER_OPEN);
+        assert_eq!(err.occurrence, 3);
+        // One-shot: later hits pass.
+        assert!(f.hit(READER_OPEN).is_ok());
+        assert_eq!(f.hits(READER_OPEN), 4);
+        assert_eq!(f.injected(), vec![err]);
+    }
+
+    #[test]
+    fn clones_share_hit_counts() {
+        let f = Faults::from_plan(&FaultPlan::new().fail_at(DNET_AM, 2));
+        let g = f.clone();
+        assert!(f.hit(DNET_AM).is_ok());
+        assert!(g.hit(DNET_AM).is_err());
+        assert_eq!(f.hits(DNET_AM), 2);
+    }
+
+    #[test]
+    fn independent_points_count_separately() {
+        let f = Faults::from_plan(&FaultPlan::new().fail_at(SPILL_WRITE, 1));
+        assert!(f.hit(READER_OPEN).is_ok());
+        assert!(f.hit(SPILL_WRITE).is_err());
+    }
+
+    #[test]
+    fn plan_parses_and_serializes() {
+        let plan = FaultPlan::parse("gstream.write:3, vgpu.launch:1").unwrap();
+        assert_eq!(
+            plan,
+            FaultPlan::new()
+                .fail_at(SPILL_WRITE, 3)
+                .fail_at(KERNEL_LAUNCH, 1)
+        );
+        let json = serde_json::to_string(&plan).unwrap();
+        assert_eq!(serde_json::from_str::<FaultPlan>(&json).unwrap(), plan);
+        assert!(FaultPlan::parse("nope").is_err());
+        assert!(FaultPlan::parse("x:0").is_err());
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn injected_faults_are_recognizable_in_error_chains() {
+        let f = Faults::from_plan(&FaultPlan::new().fail_at(KERNEL_LAUNCH, 1));
+        let err = f.hit(KERNEL_LAUNCH).unwrap_err();
+        assert!(is_injected(&format!("node 2: device: {err}")));
+        assert!(!is_injected("disk on fire"));
+        assert_eq!(
+            injected_point(&format!("node 2: device: {err}")),
+            Some(KERNEL_LAUNCH)
+        );
+        assert_eq!(injected_point("disk on fire"), None);
+    }
+
+    #[test]
+    fn recorder_sees_injections_and_retries() {
+        let rec = obs::Recorder::new();
+        let f = Faults::from_plan(&FaultPlan::new().fail_at(DNET_TOKEN, 1));
+        f.set_recorder(rec.clone());
+        let span = rec.span("reduce");
+        assert!(f.hit(DNET_TOKEN).is_err());
+        f.record_retry(DNET_TOKEN);
+        drop(span);
+        let rollup = obs::Rollup::from_events(&rec.events());
+        let root = rollup.root_named("reduce").unwrap();
+        let agg = rollup.subtree(root.id);
+        assert_eq!(agg.counter("fault.injected.dnet.token"), 1);
+        assert_eq!(agg.counter("fault.retries.dnet.token"), 1);
+    }
+}

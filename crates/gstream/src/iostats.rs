@@ -121,6 +121,7 @@ struct Inner {
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
     seconds: Mutex<(f64, f64)>,
+    faults: Mutex<faultsim::Faults>,
 }
 
 impl IoStats {
@@ -132,6 +133,7 @@ impl IoStats {
                 bytes_read: AtomicU64::new(0),
                 bytes_written: AtomicU64::new(0),
                 seconds: Mutex::new((0.0, 0.0)),
+                faults: Mutex::new(faultsim::Faults::disabled()),
             }),
         }
     }
@@ -139,6 +141,17 @@ impl IoStats {
     /// The bandwidth model in effect.
     pub fn model(&self) -> DiskModel {
         self.inner.model
+    }
+
+    /// Arm fault injection for every reader/writer sharing these counters
+    /// (the `gstream.write` / `gstream.open` failpoints).
+    pub fn set_faults(&self, faults: faultsim::Faults) {
+        *self.inner.faults.lock() = faults;
+    }
+
+    /// The fault registry in effect (disabled by default).
+    pub fn faults(&self) -> faultsim::Faults {
+        self.inner.faults.lock().clone()
     }
 
     /// Record `n` bytes read.

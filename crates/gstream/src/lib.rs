@@ -32,8 +32,8 @@ pub use extsort::{ExternalSorter, SortConfig, SortReport};
 pub use hostmem::{HostAlloc, HostMem, HostMemError};
 pub use iostats::{DiskModel, IoStats};
 pub use merge::{kway_merge, windowed_merge, PairSink, PairSource, SliceSource, VecSink};
-pub use reader::RecordReader;
-pub use record::KvPair;
+pub use reader::{read_footer, RecordReader};
+pub use record::{fnv1a, Fnv64, Footer, KvPair};
 pub use spill::{range_of, PartitionKind, PartitionSet, SpillDir};
 pub use writer::RecordWriter;
 
@@ -50,6 +50,8 @@ pub enum StreamError {
     HostMem(hostmem::HostMemError),
     /// Configuration that cannot work (e.g. zero-sized windows).
     BadConfig(String),
+    /// A deterministic injected fault (see `faultsim` and ROBUSTNESS.md).
+    Fault(faultsim::FaultError),
 }
 
 impl std::fmt::Display for StreamError {
@@ -60,6 +62,7 @@ impl std::fmt::Display for StreamError {
             StreamError::Device(e) => write!(f, "device error: {e}"),
             StreamError::HostMem(e) => write!(f, "host memory: {e}"),
             StreamError::BadConfig(m) => write!(f, "bad configuration: {m}"),
+            StreamError::Fault(e) => write!(f, "{e}"),
         }
     }
 }
@@ -81,6 +84,12 @@ impl From<vgpu::DeviceError> for StreamError {
 impl From<hostmem::HostMemError> for StreamError {
     fn from(e: hostmem::HostMemError) -> Self {
         StreamError::HostMem(e)
+    }
+}
+
+impl From<faultsim::FaultError> for StreamError {
+    fn from(e: faultsim::FaultError) -> Self {
+        StreamError::Fault(e)
     }
 }
 

@@ -1,10 +1,15 @@
-//! Fixed-width binary records.
+//! Fixed-width binary records and the durable spill-file footer.
 //!
 //! The sort and reduce phases operate on pairs of a 128-bit fingerprint key
 //! (two 64-bit Rabin-Karp hashes, Section IV-B) and a 32-bit vertex id. The
 //! on-disk layout is 20 bytes little-endian, no framing — sequential streams
 //! of a known record count, which is what lets every phase run with purely
 //! sequential I/O.
+//!
+//! Every spill file ends in a fixed [`Footer`] (magic, record count, FNV-1a
+//! checksum of the record bytes) so that truncation, stale files, and
+//! bit-flips all fail loudly as `StreamError::Corrupt` instead of silently
+//! mis-assembling. See ROBUSTNESS.md for the format.
 
 /// A `(fingerprint, vertex-id)` pair. The paper's "key-value pair": the key
 /// is the 128-bit fingerprint of an l-length suffix or prefix, the value the
@@ -37,6 +42,88 @@ impl KvPair {
         let key = u128::from_le_bytes(buf[..16].try_into().expect("16-byte key"));
         let val = u32::from_le_bytes(buf[16..20].try_into().expect("4-byte value"));
         KvPair { key, val }
+    }
+}
+
+/// Incremental 64-bit FNV-1a hash — the spill-file checksum. Small, fast,
+/// dependency-free; with 64 bits an undetected random corruption needs
+/// ~2^64 flips, far past anything a 398 GB spill set will see.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv64(Self::OFFSET)
+    }
+
+    /// Absorb `bytes`.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h = (h ^ b as u64).wrapping_mul(Self::PRIME);
+        }
+        self.0 = h;
+    }
+
+    /// The digest over everything absorbed so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+/// One-shot FNV-1a 64 of `bytes`.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// Fixed trailer of every spill/run file: written by `RecordWriter::finish`
+/// at the commit point, verified by `RecordReader` on open (size/magic) and
+/// on drain (checksum).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Footer {
+    /// Number of [`KvPair`] records preceding the footer.
+    pub records: u64,
+    /// FNV-1a 64 over the encoded record bytes.
+    pub checksum: u64,
+}
+
+impl Footer {
+    /// `b"KVSPILL1"` little-endian — rejects footer-less and foreign files.
+    pub const MAGIC: u64 = u64::from_le_bytes(*b"KVSPILL1");
+    /// Encoded size in bytes.
+    pub const BYTES: usize = 24;
+
+    /// Serialize as `magic ‖ records ‖ checksum`, all little-endian u64.
+    pub fn encode(&self) -> [u8; Self::BYTES] {
+        let mut out = [0u8; Self::BYTES];
+        out[..8].copy_from_slice(&Self::MAGIC.to_le_bytes());
+        out[8..16].copy_from_slice(&self.records.to_le_bytes());
+        out[16..24].copy_from_slice(&self.checksum.to_le_bytes());
+        out
+    }
+
+    /// Deserialize; `None` if the magic does not match.
+    pub fn decode(buf: &[u8; Self::BYTES]) -> Option<Footer> {
+        let magic = u64::from_le_bytes(buf[..8].try_into().expect("8-byte magic"));
+        if magic != Self::MAGIC {
+            return None;
+        }
+        Some(Footer {
+            records: u64::from_le_bytes(buf[8..16].try_into().expect("8-byte count")),
+            checksum: u64::from_le_bytes(buf[16..24].try_into().expect("8-byte checksum")),
+        })
     }
 }
 
@@ -101,6 +188,34 @@ mod tests {
         assert_eq!(zip_pairs(k, v), pairs);
     }
 
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn fnv_is_incremental() {
+        let mut h = Fnv64::new();
+        h.update(b"foo");
+        h.update(b"bar");
+        assert_eq!(h.finish(), fnv1a(b"foobar"));
+    }
+
+    #[test]
+    fn footer_roundtrips_and_rejects_bad_magic() {
+        let f = Footer {
+            records: 1234,
+            checksum: 0xdead_beef,
+        };
+        let mut buf = f.encode();
+        assert_eq!(Footer::decode(&buf), Some(f));
+        buf[3] ^= 1;
+        assert_eq!(Footer::decode(&buf), None);
+    }
+
     proptest! {
         #[test]
         fn roundtrip_any_pair(key in any::<u128>(), val in any::<u32>()) {
@@ -108,6 +223,18 @@ mod tests {
             let mut buf = [0u8; KvPair::BYTES];
             p.encode(&mut buf);
             prop_assert_eq!(KvPair::decode(&buf), p);
+        }
+
+        #[test]
+        fn any_single_bit_flip_changes_the_checksum(
+            data in proptest::collection::vec(any::<u8>(), 1..200),
+            bit in 0usize..8,
+            idx in any::<proptest::sample::Index>(),
+        ) {
+            let mut flipped = data.clone();
+            let i = idx.index(flipped.len());
+            flipped[i] ^= 1 << bit;
+            prop_assert_ne!(fnv1a(&data), fnv1a(&flipped));
         }
     }
 }

@@ -39,14 +39,61 @@ pub struct SpillDir {
     io: IoStats,
 }
 
+/// Name of the checkpoint manifest a pipeline keeps inside its spill
+/// directory; its presence marks the directory as a resumable workdir.
+pub const MANIFEST_NAME: &str = "manifest.json";
+
 impl SpillDir {
-    /// Create (or reuse) `root` as a spill directory.
+    /// Create `root` as a fresh spill directory.
+    ///
+    /// Refuses a non-empty directory that carries no [`MANIFEST_NAME`]:
+    /// stale `sfx_*`/`pfx_*` files from an unrelated run must not leak into
+    /// a new assembly. Directories with a manifest are accepted — whether
+    /// their contents may be reused is decided by the manifest's config
+    /// hash at the pipeline level. Use [`SpillDir::open`] to attach to a
+    /// directory another component is already managing.
     pub fn create(root: &Path, io: IoStats) -> Result<Self> {
+        std::fs::create_dir_all(root)?;
+        if !root.join(MANIFEST_NAME).exists() {
+            let mut entries = std::fs::read_dir(root)?;
+            if entries.next().is_some() {
+                return Err(StreamError::BadConfig(format!(
+                    "spill directory {} is not empty and has no {MANIFEST_NAME}; \
+                     refusing to mix spill files from different runs \
+                     (point --work at a fresh directory, or resume the original run)",
+                    root.display()
+                )));
+            }
+        }
+        Ok(SpillDir {
+            root: root.to_path_buf(),
+            io,
+        })
+    }
+
+    /// Attach to `root` without the fresh-run emptiness check (used when
+    /// resuming and by cluster nodes re-attaching between phases).
+    pub fn open(root: &Path, io: IoStats) -> Result<Self> {
         std::fs::create_dir_all(root)?;
         Ok(SpillDir {
             root: root.to_path_buf(),
             io,
         })
+    }
+
+    /// Delete every spill artifact (`*.kv`, in-progress `*.tmp`) so a fresh
+    /// run cannot see a predecessor's partitions. Other files (manifest,
+    /// staged inputs) are left to their owners.
+    pub fn clear(&self) -> Result<()> {
+        for entry in std::fs::read_dir(&self.root)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.ends_with(".kv") || name.ends_with(".tmp") {
+                std::fs::remove_file(entry.path())?;
+            }
+        }
+        Ok(())
     }
 
     /// The directory root.
@@ -382,6 +429,39 @@ mod tests {
             .unwrap();
         assert_eq!(r0, vec![low]);
         assert_eq!(r1, vec![high]);
+    }
+
+    #[test]
+    fn create_refuses_nonempty_dirs_without_a_manifest() {
+        let dir = tempfile::tempdir().unwrap();
+        std::fs::write(dir.path().join("sfx_00041.kv"), b"stale").unwrap();
+        let err = SpillDir::create(dir.path(), IoStats::default()).unwrap_err();
+        assert!(matches!(err, StreamError::BadConfig(_)), "got {err}");
+        // A manifest marks it as a resumable workdir: accepted.
+        std::fs::write(dir.path().join(MANIFEST_NAME), b"{}").unwrap();
+        assert!(SpillDir::create(dir.path(), IoStats::default()).is_ok());
+    }
+
+    #[test]
+    fn open_attaches_to_any_directory() {
+        let dir = tempfile::tempdir().unwrap();
+        std::fs::write(dir.path().join("sfx_00041.kv"), b"whatever").unwrap();
+        assert!(SpillDir::open(dir.path(), IoStats::default()).is_ok());
+    }
+
+    #[test]
+    fn clear_removes_spill_artifacts_but_not_other_files() {
+        let (_g, s) = spill();
+        s.writer(PartitionKind::Suffix, 5)
+            .unwrap()
+            .finish()
+            .unwrap();
+        std::fs::write(s.root().join("scratch_run0.kv.tmp"), b"torn").unwrap();
+        std::fs::write(s.root().join(MANIFEST_NAME), b"{}").unwrap();
+        s.clear().unwrap();
+        assert!(s.lengths(PartitionKind::Suffix).unwrap().is_empty());
+        assert!(!s.root().join("scratch_run0.kv.tmp").exists());
+        assert!(s.root().join(MANIFEST_NAME).exists());
     }
 
     #[test]

@@ -1,34 +1,62 @@
 //! Sequential record writers (the "write-only memory" of Fig. 3).
+//!
+//! Writers are durable: records stream into a `<path>.tmp` side file and
+//! only [`RecordWriter::finish`] — append footer, flush, `sync_all`, atomic
+//! rename — makes them visible under the final name. A crash (or a dropped
+//! writer) therefore never leaves a torn partition behind, only a `.tmp`
+//! that the next run ignores.
 
 use crate::iostats::IoStats;
-use crate::record::KvPair;
-use crate::Result;
+use crate::record::{Fnv64, Footer, KvPair};
+use crate::{Result, StreamError};
 use std::fs::File;
 use std::io::{BufWriter, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
+
+/// `<path>.tmp`, the in-progress side file of a writer targeting `path`.
+pub(crate) fn tmp_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
 
 /// Buffered append-only writer of [`KvPair`] records.
 pub struct RecordWriter {
-    inner: BufWriter<File>,
+    /// `None` once committed; a `Some` at drop time means an abandoned
+    /// writer whose temp file must be deleted.
+    inner: Option<BufWriter<File>>,
     io: IoStats,
     written: u64,
+    hasher: Fnv64,
+    tmp: PathBuf,
+    dest: PathBuf,
 }
 
 impl RecordWriter {
-    /// Create (truncate) `path` for writing.
+    /// Start writing `path` (its temp side file, really; the final name
+    /// appears atomically on [`RecordWriter::finish`]).
     pub fn create(path: &Path, io: IoStats) -> Result<Self> {
+        let tmp = tmp_path(path);
         Ok(RecordWriter {
-            inner: BufWriter::with_capacity(1 << 16, File::create(path)?),
+            inner: Some(BufWriter::with_capacity(1 << 16, File::create(&tmp)?)),
             io,
             written: 0,
+            hasher: Fnv64::new(),
+            tmp,
+            dest: path.to_path_buf(),
         })
+    }
+
+    fn sink(&mut self) -> &mut BufWriter<File> {
+        self.inner.as_mut().expect("writer already finished")
     }
 
     /// Append one record.
     pub fn write(&mut self, pair: KvPair) -> Result<()> {
         let mut frame = [0u8; KvPair::BYTES];
         pair.encode(&mut frame);
-        self.inner.write_all(&frame)?;
+        self.hasher.update(&frame);
+        self.sink().write_all(&frame)?;
         self.written += 1;
         self.io.add_write(KvPair::BYTES as u64);
         Ok(())
@@ -39,7 +67,8 @@ impl RecordWriter {
         for p in pairs {
             let mut frame = [0u8; KvPair::BYTES];
             p.encode(&mut frame);
-            self.inner.write_all(&frame)?;
+            self.hasher.update(&frame);
+            self.sink().write_all(&frame)?;
         }
         self.written += pairs.len() as u64;
         self.io.add_write((pairs.len() * KvPair::BYTES) as u64);
@@ -51,10 +80,51 @@ impl RecordWriter {
         self.written
     }
 
-    /// Flush buffers and surface any deferred error.
-    pub fn finish(mut self) -> Result<u64> {
-        self.inner.flush()?;
-        Ok(self.written)
+    /// Commit: append the [`Footer`], flush, `sync_all`, and atomically
+    /// rename the temp file over the final path. Returns the record count.
+    pub fn finish(self) -> Result<u64> {
+        self.finish_summary().map(|f| f.records)
+    }
+
+    /// [`RecordWriter::finish`], returning the full footer (record count +
+    /// checksum) for manifest bookkeeping.
+    pub fn finish_summary(mut self) -> Result<Footer> {
+        let result = self.commit();
+        if result.is_err() {
+            // Failed commits must not leave a torn temp file either.
+            self.inner = None;
+            let _ = std::fs::remove_file(&self.tmp);
+        }
+        result
+    }
+
+    fn commit(&mut self) -> Result<Footer> {
+        // The `gstream.write` failpoint models a crash at the commit point:
+        // data written, file not yet durable under its final name.
+        self.io
+            .faults()
+            .hit(faultsim::SPILL_WRITE)
+            .map_err(StreamError::Fault)?;
+        let footer = Footer {
+            records: self.written,
+            checksum: self.hasher.finish(),
+        };
+        let mut inner = self.inner.take().expect("writer already finished");
+        inner.write_all(&footer.encode())?;
+        inner.flush()?;
+        inner.get_ref().sync_all()?;
+        drop(inner);
+        std::fs::rename(&self.tmp, &self.dest)?;
+        Ok(footer)
+    }
+}
+
+impl Drop for RecordWriter {
+    fn drop(&mut self) {
+        // An unfinished writer must not leave a torn temp file behind.
+        if self.inner.take().is_some() {
+            let _ = std::fs::remove_file(&self.tmp);
+        }
     }
 }
 
@@ -74,6 +144,7 @@ mod tests {
             .unwrap();
         assert_eq!(w.written(), 3);
         assert_eq!(w.finish().unwrap(), 3);
+        // Footer bytes are metadata, not modeled spill traffic.
         assert_eq!(io.snapshot().bytes_written, 3 * KvPair::BYTES as u64);
 
         let mut r = RecordReader::open(&path, io).unwrap();
@@ -103,5 +174,57 @@ mod tests {
         let dir = tempfile::tempdir().unwrap();
         let path = dir.path().join("no/such/dir/w.bin");
         assert!(RecordWriter::create(&path, IoStats::default()).is_err());
+    }
+
+    #[test]
+    fn file_appears_only_on_finish_and_carries_a_footer() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("atomic.bin");
+        let io = IoStats::default();
+        let mut w = RecordWriter::create(&path, io.clone()).unwrap();
+        w.write(KvPair::new(1, 2)).unwrap();
+        assert!(!path.exists(), "final name must not exist before finish");
+        assert!(tmp_path(&path).exists());
+        let footer = w.finish_summary().unwrap();
+        assert!(path.exists());
+        assert!(!tmp_path(&path).exists());
+        assert_eq!(footer.records, 1);
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes.len(), KvPair::BYTES + Footer::BYTES);
+        let tail: [u8; Footer::BYTES] = bytes[KvPair::BYTES..].try_into().unwrap();
+        assert_eq!(Footer::decode(&tail), Some(footer));
+    }
+
+    #[test]
+    fn dropping_an_unfinished_writer_deletes_its_temp_file() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("torn.bin");
+        let mut w = RecordWriter::create(&path, IoStats::default()).unwrap();
+        w.write(KvPair::new(1, 2)).unwrap();
+        drop(w);
+        assert!(!path.exists());
+        assert!(!tmp_path(&path).exists());
+    }
+
+    #[test]
+    fn injected_commit_fault_leaves_no_file_behind() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("faulted.bin");
+        let io = IoStats::default();
+        io.set_faults(faultsim::Faults::from_plan(
+            &faultsim::FaultPlan::new().fail_at(faultsim::SPILL_WRITE, 1),
+        ));
+        let mut w = RecordWriter::create(&path, io.clone()).unwrap();
+        w.write(KvPair::new(3, 4)).unwrap();
+        let err = w.finish().unwrap_err();
+        assert!(matches!(err, StreamError::Fault(_)), "got {err}");
+        assert!(!path.exists());
+        assert!(!tmp_path(&path).exists());
+
+        // The failpoint is one-shot: the retry commits normally.
+        let mut w = RecordWriter::create(&path, io).unwrap();
+        w.write(KvPair::new(3, 4)).unwrap();
+        assert_eq!(w.finish().unwrap(), 1);
+        assert!(path.exists());
     }
 }

@@ -37,6 +37,7 @@ pub mod config;
 pub mod contig;
 pub mod fullgraph;
 pub mod graph;
+pub mod manifest;
 pub mod map;
 pub mod pipeline;
 pub mod reduce;
@@ -49,6 +50,7 @@ pub use config::AssemblyConfig;
 pub use contig::ContigStats;
 pub use fullgraph::MultiGraph;
 pub use graph::{Edge, StringGraph};
+pub use manifest::Manifest;
 pub use pipeline::{AssemblyOutput, Pipeline};
 pub use report::{AssemblyReport, PhaseMetrics};
 pub use traverse::{Path, PathStep};

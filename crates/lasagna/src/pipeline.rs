@@ -3,11 +3,13 @@
 use crate::config::AssemblyConfig;
 use crate::contig::generate_contigs;
 use crate::graph::StringGraph;
+use crate::manifest::Manifest;
 use crate::report::AssemblyReport;
 use crate::traverse::{extract_paths_traced, Path, TraverseOptions};
 use crate::{map, reduce, sortphase, Result};
 use genome::{PackedSeq, ReadSet};
-use gstream::{HostMem, IoStats, SpillDir};
+use gstream::spill::PartitionKind;
+use gstream::{HostMem, IoStats, SpillDir, StreamError};
 use vgpu::{Device, GpuProfile};
 
 /// Everything an assembly produces.
@@ -31,6 +33,7 @@ pub struct Pipeline {
     spill: SpillDir,
     config: AssemblyConfig,
     recorder: obs::Recorder,
+    faults: faultsim::Faults,
 }
 
 impl Pipeline {
@@ -50,6 +53,7 @@ impl Pipeline {
             spill,
             config,
             recorder,
+            faults: faultsim::Faults::disabled(),
         })
     }
 
@@ -93,7 +97,26 @@ impl Pipeline {
             obs::Recorder::new()
         };
         self.device.set_recorder(self.recorder.clone());
+        self.faults.set_recorder(self.recorder.clone());
         self
+    }
+
+    /// Arm deterministic fault injection (see `faultsim` and
+    /// ROBUSTNESS.md): the plan's failpoints are threaded into the spill
+    /// writers/readers, the device kernel launches, and the manifest
+    /// store, and every injected fault is recorded as a
+    /// `fault.injected.*` event on this pipeline's recorder.
+    pub fn with_faults(mut self, faults: faultsim::Faults) -> Self {
+        faults.set_recorder(self.recorder.clone());
+        self.spill.io().set_faults(faults.clone());
+        self.device.set_faults(faults.clone());
+        self.faults = faults;
+        self
+    }
+
+    /// The fault-injection registry in use (disabled by default).
+    pub fn faults(&self) -> &faultsim::Faults {
+        &self.faults
     }
 
     /// The recorder capturing this pipeline's structured events.
@@ -135,6 +158,15 @@ impl Pipeline {
         self.assemble_inner(reads, true)
     }
 
+    /// Resume an interrupted assembly from this spill directory's
+    /// checkpoint manifest: validates every artifact the manifest claims
+    /// is durable (fails loudly with `Corrupt` on any mismatch), skips
+    /// completed phases and already-sorted partitions, and recomputes the
+    /// rest. Alias of [`Pipeline::assemble_resumable`].
+    pub fn resume(&self, reads: &ReadSet) -> Result<AssemblyOutput> {
+        self.assemble_inner(reads, true)
+    }
+
     fn dataset_fingerprint(&self, reads: &ReadSet) -> u64 {
         // FNV-1a over the knobs that change on-disk artifacts.
         let mut h = 0xcbf29ce484222325u64;
@@ -158,40 +190,106 @@ impl Pipeline {
         h
     }
 
-    fn manifest_path(&self) -> std::path::PathBuf {
-        self.spill.root().join("manifest.json")
+    /// The suffix/prefix partition pairs the single-node pipeline touches,
+    /// in sort order — the iteration shared by sorting, checkpoint
+    /// recording, and resume validation.
+    fn partitions(&self) -> impl Iterator<Item = (PartitionKind, String, u32)> + '_ {
+        (self.config.l_min..self.config.l_max).flat_map(|len| {
+            [
+                (PartitionKind::Suffix, "sfx"),
+                (PartitionKind::Prefix, "pfx"),
+            ]
+            .into_iter()
+            .map(move |(kind, tag_kind)| (kind, format!("{tag_kind}_{len:05}"), len))
+        })
     }
 
-    fn read_manifest(&self, fingerprint: u64) -> Vec<String> {
-        let Ok(bytes) = std::fs::read(self.manifest_path()) else {
-            return Vec::new();
-        };
-        let Ok((stored, phases)) = serde_json::from_slice::<(u64, Vec<String>)>(&bytes) else {
-            return Vec::new();
-        };
-        if stored == fingerprint {
-            phases
-        } else {
-            Vec::new()
+    /// Record the footer of every existing partition file in the manifest.
+    fn record_partitions(&self, manifest: &mut Manifest) -> Result<()> {
+        for (kind, _tag, len) in self.partitions() {
+            let path = self.spill.path(kind, len);
+            if path.exists() {
+                manifest.record_file(&path)?;
+            }
         }
+        Ok(())
     }
 
-    fn record_phase(&self, fingerprint: u64, completed: &mut Vec<String>, phase: &str) {
-        completed.push(phase.to_string());
-        let bytes = serde_json::to_vec(&(fingerprint, &completed)).expect("serialize manifest");
-        let _ = std::fs::write(self.manifest_path(), bytes);
+    /// Validate every artifact a resumed manifest claims is durable.
+    ///
+    /// Partitions already marked sorted must match their recorded footer
+    /// *exactly* and drain-verify, so any bit flip since the checkpoint
+    /// surfaces here as [`StreamError::Corrupt`] — not halfway through
+    /// reduce. Partitions not yet marked sorted only self-verify
+    /// (footer + payload checksum): the sort phase renames the sorted
+    /// scratch over the original *before* the manifest updates, so a
+    /// crash in that window legitimately leaves a valid file whose
+    /// footer differs from the manifest entry; it simply gets re-sorted.
+    fn validate_resume(&self, manifest: &Manifest) -> Result<()> {
+        for (kind, tag, len) in self.partitions() {
+            let path = self.spill.path(kind, len);
+            if !path.exists() {
+                if manifest.is_sorted(&tag) {
+                    return Err(StreamError::Corrupt(format!(
+                        "manifest lists sorted partition {tag} but {} is missing",
+                        path.display()
+                    ))
+                    .into());
+                }
+                continue;
+            }
+            let mut r = gstream::RecordReader::open(&path, self.spill.io().clone())?;
+            if manifest.is_sorted(&tag) && !manifest.file_matches(&path) {
+                return Err(StreamError::Corrupt(format!(
+                    "sorted partition {tag} does not match its manifest checkpoint",
+                ))
+                .into());
+            }
+            r.verify_to_end()?;
+        }
+        if manifest.is_done("reduce") {
+            let graph_path = self.spill.root().join("graph.bin");
+            let bytes = std::fs::read(&graph_path).map_err(StreamError::Io)?;
+            if !manifest.raw_matches("graph.bin", &bytes) {
+                return Err(StreamError::Corrupt(
+                    "graph.bin does not match its manifest checkpoint".into(),
+                )
+                .into());
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolve the manifest to run under: a validated resume manifest, or
+    /// a fresh one (stale artifacts purged, run identity durably recorded
+    /// before any phase writes).
+    fn prepare_manifest(&self, fingerprint: u64, resume: bool) -> Result<Manifest> {
+        if resume {
+            match Manifest::load(self.spill.root())? {
+                // A different dataset/config is not an error — it is a
+                // new run; restart silently (the old behavior).
+                Some(m) if m.config_hash != fingerprint => {}
+                // Nothing durable before map completes; restart.
+                Some(m) if !m.is_done("map") => {}
+                Some(m) => {
+                    self.validate_resume(&m)?;
+                    return Ok(m);
+                }
+                None => {}
+            }
+        }
+        self.spill.clear()?;
+        let _ = std::fs::remove_file(self.spill.root().join("graph.bin"));
+        let manifest = Manifest::new(fingerprint);
+        manifest.store(self.spill.root(), &self.faults)?;
+        Ok(manifest)
     }
 
     fn assemble_inner(&self, reads: &ReadSet, resume: bool) -> Result<AssemblyOutput> {
         self.config.validate()?;
         let rec = &self.recorder;
         let fingerprint = self.dataset_fingerprint(reads);
-        let mut completed = if resume {
-            self.read_manifest(fingerprint)
-        } else {
-            Vec::new()
-        };
-        let done = |completed: &[String], p: &str| completed.iter().any(|c| c == p);
+        let mut manifest = self.prepare_manifest(fingerprint, resume)?;
         let graph_path = self.spill.root().join("graph.bin");
 
         let root = rec.span("assembly");
@@ -218,7 +316,7 @@ impl Pipeline {
         })?;
 
         // Map: fingerprint generation + length partitioning.
-        if done(&completed, "map") {
+        if manifest.is_done("map") {
             drop(rec.span("map (resumed)"));
         } else {
             self.phase("map", || {
@@ -231,17 +329,37 @@ impl Pipeline {
                     rec,
                 )
             })?;
-            self.record_phase(fingerprint, &mut completed, "map");
+            manifest.mark_phase("map");
+            self.record_partitions(&mut manifest)?;
+            manifest.store(self.spill.root(), &self.faults)?;
         }
 
-        // Sort: hybrid external sort of every partition.
-        if done(&completed, "sort") {
+        // Sort: hybrid external sort of every partition. Each partition is
+        // checkpointed as it lands, so a crash mid-sort loses at most one
+        // partition's work (the paper's regime: sorting is >50% of a
+        // multi-hour run).
+        if manifest.is_done("sort") {
             drop(rec.span("sort (resumed)"));
         } else {
+            let already: std::collections::HashSet<String> =
+                manifest.sorted.iter().cloned().collect();
             self.phase("sort", || {
-                sortphase::run_traced(&self.device, &self.host, &self.spill, &self.config, rec)
+                sortphase::run_checkpointed(
+                    &self.device,
+                    &self.host,
+                    &self.spill,
+                    &self.config,
+                    rec,
+                    |tag| already.contains(tag),
+                    &mut |tag, path| {
+                        manifest.record_file(path)?;
+                        manifest.mark_sorted(tag);
+                        manifest.store(self.spill.root(), &self.faults)
+                    },
+                )
             })?;
-            self.record_phase(fingerprint, &mut completed, "sort");
+            manifest.mark_phase("sort");
+            manifest.store(self.spill.root(), &self.faults)?;
         }
 
         // Reduce: overlap detection into the greedy string graph. The
@@ -250,7 +368,7 @@ impl Pipeline {
         // budget for the rest of the pipeline.
         let mut graph = StringGraph::new(reads.vertex_count());
         let _graph_guard = self.host.reserve(graph.memory_bytes())?;
-        if done(&completed, "reduce") && graph_path.exists() {
+        if manifest.is_done("reduce") && graph_path.exists() {
             let bytes = std::fs::read(&graph_path).map_err(gstream::StreamError::from)?;
             graph = StringGraph::from_bytes(&bytes).map_err(crate::LasagnaError::BadConfig)?;
             drop(rec.span("reduce (resumed)"));
@@ -265,8 +383,11 @@ impl Pipeline {
                     rec,
                 )
             })?;
-            std::fs::write(&graph_path, graph.to_bytes()).map_err(gstream::StreamError::from)?;
-            self.record_phase(fingerprint, &mut completed, "reduce");
+            let bytes = graph.to_bytes();
+            std::fs::write(&graph_path, &bytes).map_err(gstream::StreamError::from)?;
+            manifest.mark_phase("reduce");
+            manifest.record_raw("graph.bin", &bytes);
+            manifest.store(self.spill.root(), &self.faults)?;
         }
 
         // Compress: traverse paths and spell contigs.

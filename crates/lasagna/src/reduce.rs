@@ -276,6 +276,12 @@ pub fn run_traced(
                 }
             },
         )?;
+        // The join stops as soon as one stream runs dry, which can leave a
+        // tail of the other stream unread; drain both so corruption
+        // anywhere in a partition fails loudly here rather than flowing
+        // silently into the assembly.
+        sfx.verify_to_end()?;
+        pfx.verify_to_end()?;
         rec.counter_on(span.id(), "reduce.candidates", c);
         rec.counter_on(span.id(), "reduce.accepted", accepted);
         rec.counter_on(span.id(), "reduce.rejected", c - accepted);

@@ -10,6 +10,7 @@ use crate::Result;
 use gstream::spill::{PartitionKind, SpillDir};
 use gstream::{ExternalSorter, HostMem, SortConfig, SortReport};
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 use vgpu::Device;
 
 /// Aggregated outcome of the sort phase.
@@ -46,6 +47,29 @@ pub fn run_traced(
     config: &AssemblyConfig,
     rec: &obs::Recorder,
 ) -> Result<SortPhaseReport> {
+    run_checkpointed(device, host, spill, config, rec, |_| false, &mut |_, _| {
+        Ok(())
+    })
+}
+
+/// [`run_traced`] with per-partition resume support.
+///
+/// Partitions whose tag (`sfx_00045`, …) satisfies `skip` are already
+/// durably sorted from a previous run: their footer record count still feeds
+/// the report totals, but they are not re-sorted and emit **no** span (so a
+/// trace of a resumed run shows exactly which partitions were redone). After
+/// each freshly sorted partition lands under its final name, `on_sorted(tag,
+/// path)` runs before the next partition starts — the pipeline uses it to
+/// checkpoint the manifest, bounding lost work to one partition.
+pub fn run_checkpointed(
+    device: &Device,
+    host: &HostMem,
+    spill: &SpillDir,
+    config: &AssemblyConfig,
+    rec: &obs::Recorder,
+    skip: impl Fn(&str) -> bool,
+    on_sorted: &mut dyn FnMut(&str, &Path) -> Result<()>,
+) -> Result<SortPhaseReport> {
     let sort_config = config
         .sort
         .unwrap_or_else(|| SortConfig::from_budgets(host, device));
@@ -54,7 +78,7 @@ pub fn run_traced(
 
     let mut report = SortPhaseReport::default();
     for len in config.l_min..config.l_max {
-        for (kind, tag) in [
+        for (kind, tag_kind) in [
             (PartitionKind::Suffix, "sfx"),
             (PartitionKind::Prefix, "pfx"),
         ] {
@@ -62,15 +86,30 @@ pub fn run_traced(
             if !input.exists() {
                 continue;
             }
-            let span = rec.span(&format!("{tag}_{len:05}"));
-            let sorted = spill.scratch_path(&format!("{tag}_{len}_sorted"));
+            let tag = format!("{tag_kind}_{len:05}");
+            if skip(&tag) {
+                let footer = gstream::read_footer(&input)?;
+                report.total_pairs += footer.records;
+                report.partitions.push((
+                    len,
+                    tag_kind.to_string(),
+                    SortReport {
+                        pairs: footer.records,
+                        ..SortReport::default()
+                    },
+                ));
+                continue;
+            }
+            let span = rec.span(&tag);
+            let sorted = spill.scratch_path(&format!("{tag_kind}_{len}_sorted"));
             let r = sorter.sort_file(spill, &input, &sorted)?;
             // Replace the unsorted partition with the sorted file.
             std::fs::rename(&sorted, &input).map_err(gstream::StreamError::from)?;
             drop(span);
+            on_sorted(&tag, &input)?;
             report.total_pairs += r.pairs;
             report.max_disk_passes = report.max_disk_passes.max(r.disk_passes);
-            report.partitions.push((len, tag.to_string(), r));
+            report.partitions.push((len, tag_kind.to_string(), r));
         }
     }
     Ok(report)
@@ -176,6 +215,46 @@ mod tests {
         let report = run(&device, &host, &spill, &config).unwrap();
         assert!(report.partitions.is_empty());
         assert_eq!(report.total_pairs, 0);
+    }
+
+    #[test]
+    fn checkpointed_run_skips_sorted_partitions_and_reports_each_fresh_one() {
+        let (_g, device, host, spill) = setup(8 << 10);
+        for len in 3..6u32 {
+            write_partition(&spill, PartitionKind::Suffix, len, &[9, 2, 7, 1]);
+        }
+        let config = AssemblyConfig::for_dataset(3, 6);
+        let rec = obs::Recorder::new();
+        let mut sorted_tags = Vec::new();
+        let report = run_checkpointed(
+            &device,
+            &host,
+            &spill,
+            &config,
+            &rec,
+            |tag| tag == "sfx_00004",
+            &mut |tag, path| {
+                assert!(path.exists());
+                sorted_tags.push(tag.to_string());
+                Ok(())
+            },
+        )
+        .unwrap();
+        // Skipped partition still counts toward totals but is not re-sorted.
+        assert_eq!(report.partitions.len(), 3);
+        assert_eq!(report.total_pairs, 3 * 4);
+        assert_eq!(sorted_tags, vec!["sfx_00003", "sfx_00005"]);
+        // And it emits no span: only the two fresh partitions appear.
+        let names: Vec<String> = rec
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                obs::Event::SpanStart { name, .. } => Some(name.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(names.contains(&"sfx_00003".to_string()));
+        assert!(!names.contains(&"sfx_00004".to_string()));
     }
 
     #[test]

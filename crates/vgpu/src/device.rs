@@ -23,6 +23,8 @@ pub enum DeviceError {
     },
     /// Kernel arguments were inconsistent (e.g. key/value length mismatch).
     BadLaunch(String),
+    /// A deterministic injected fault (see `faultsim` and ROBUSTNESS.md).
+    Fault(faultsim::FaultError),
 }
 
 impl fmt::Display for DeviceError {
@@ -37,11 +39,18 @@ impl fmt::Display for DeviceError {
                 "device out of memory: requested {requested} B with {in_use} B in use of {capacity} B"
             ),
             DeviceError::BadLaunch(msg) => write!(f, "bad kernel launch: {msg}"),
+            DeviceError::Fault(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for DeviceError {}
+
+impl From<faultsim::FaultError> for DeviceError {
+    fn from(e: faultsim::FaultError) -> Self {
+        DeviceError::Fault(e)
+    }
+}
 
 #[derive(Debug)]
 pub(crate) struct DeviceInner {
@@ -50,6 +59,7 @@ pub(crate) struct DeviceInner {
     peak: AtomicU64,
     counters: Mutex<Counters>,
     recorder: Mutex<obs::Recorder>,
+    faults: Mutex<faultsim::Faults>,
 }
 
 #[derive(Debug, Default)]
@@ -132,6 +142,7 @@ impl Device {
                 peak: AtomicU64::new(0),
                 counters: Mutex::new(Counters::default()),
                 recorder: Mutex::new(obs::Recorder::disabled()),
+                faults: Mutex::new(faultsim::Faults::disabled()),
             }),
         }
     }
@@ -153,6 +164,28 @@ impl Device {
     /// ([`obs::Recorder::disabled`] by default).
     pub fn recorder(&self) -> obs::Recorder {
         self.inner.recorder.lock().clone()
+    }
+
+    /// Arm fault injection: every public kernel method checks the
+    /// `vgpu.launch` failpoint before running. Shared by all clones.
+    pub fn set_faults(&self, faults: faultsim::Faults) {
+        *self.inner.faults.lock() = faults;
+    }
+
+    /// The fault registry in effect (disabled by default).
+    pub fn faults(&self) -> faultsim::Faults {
+        self.inner.faults.lock().clone()
+    }
+
+    /// Check the `vgpu.launch` failpoint; kernel methods call this first so
+    /// "fail the Nth kernel launch" aborts before any work or charging.
+    pub(crate) fn launch_gate(&self) -> crate::Result<()> {
+        self.inner
+            .faults
+            .lock()
+            .hit(faultsim::KERNEL_LAUNCH)
+            .map_err(DeviceError::from)?;
+        Ok(())
     }
 
     /// Usable capacity in bytes.
@@ -341,6 +374,21 @@ mod tests {
         let _small = dev.alloc::<u8>(10).unwrap();
         dev.reset_peak();
         assert_eq!(dev.stats().mem_peak, 10);
+    }
+
+    #[test]
+    fn armed_launch_failpoint_fails_the_nth_kernel_method() {
+        let dev = Device::new(GpuProfile::k40());
+        dev.set_faults(faultsim::Faults::from_plan(
+            &faultsim::FaultPlan::new().fail_at(faultsim::KERNEL_LAUNCH, 2),
+        ));
+        let a = dev.h2d(&[5u32, 1, 3]).unwrap();
+        let b = dev.h2d(&[2u32, 4]).unwrap();
+        // First launch passes, second fails, third (retry) passes again.
+        assert!(dev.gather(&a, &dev.h2d(&[0u32]).unwrap()).is_ok());
+        let err = dev.gather(&a, &b).unwrap_err();
+        assert!(matches!(err, DeviceError::Fault(_)), "got {err}");
+        assert!(dev.gather(&a, &dev.h2d(&[1u32]).unwrap()).is_ok());
     }
 
     #[test]

@@ -28,6 +28,7 @@ impl Device {
         needles: &DeviceBuffer<K>,
         haystack: &DeviceBuffer<K>,
     ) -> crate::Result<DeviceBuffer<u32>> {
+        self.launch_gate()?;
         let mut out = self.alloc::<u32>(needles.len())?;
         self.charge_kernel(
             "vec_lower_bound",
@@ -49,6 +50,7 @@ impl Device {
         needles: &DeviceBuffer<K>,
         haystack: &DeviceBuffer<K>,
     ) -> crate::Result<DeviceBuffer<u32>> {
+        self.launch_gate()?;
         let mut out = self.alloc::<u32>(needles.len())?;
         self.charge_kernel(
             "vec_upper_bound",
@@ -70,6 +72,7 @@ impl Device {
         upper: &DeviceBuffer<u32>,
         lower: &DeviceBuffer<u32>,
     ) -> crate::Result<DeviceBuffer<u32>> {
+        self.launch_gate()?;
         debug_assert_eq!(upper.len(), lower.len());
         let mut out = self.alloc::<u32>(upper.len())?;
         self.charge_kernel(

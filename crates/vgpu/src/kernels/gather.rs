@@ -16,6 +16,7 @@ impl Device {
         src: &DeviceBuffer<T>,
         indices: &DeviceBuffer<u32>,
     ) -> crate::Result<DeviceBuffer<T>> {
+        self.launch_gate()?;
         let elem = std::mem::size_of::<T>() as u64;
         if let Some(&bad) = indices
             .as_slice()
@@ -49,6 +50,7 @@ impl Device {
         indices: &DeviceBuffer<u32>,
         out_len: usize,
     ) -> crate::Result<DeviceBuffer<T>> {
+        self.launch_gate()?;
         let elem = std::mem::size_of::<T>() as u64;
         if src.len() != indices.len() {
             return Err(DeviceError::BadLaunch(

@@ -16,6 +16,7 @@ impl Device {
         b_keys: &DeviceBuffer<K>,
         b_vals: &DeviceBuffer<u32>,
     ) -> crate::Result<(DeviceBuffer<K>, DeviceBuffer<u32>)> {
+        self.launch_gate()?;
         if a_keys.len() != a_vals.len() || b_keys.len() != b_vals.len() {
             return Err(DeviceError::BadLaunch(
                 "merge_pairs: key/value length mismatch".into(),

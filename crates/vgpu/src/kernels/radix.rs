@@ -49,6 +49,7 @@ impl Device {
         keys: &mut DeviceBuffer<K>,
         vals: &mut DeviceBuffer<u32>,
     ) -> crate::Result<()> {
+        self.launch_gate()?;
         if keys.len() != vals.len() {
             return Err(DeviceError::BadLaunch(format!(
                 "sort_pairs: {} keys vs {} values",

@@ -18,6 +18,7 @@ fn scan_cost(n: usize, elem: usize) -> KernelCost {
 impl Device {
     /// In-place inclusive prefix sum using Hillis-Steele doubling offsets.
     pub fn inclusive_scan(&self, buf: &mut DeviceBuffer<u64>) -> crate::Result<()> {
+        self.launch_gate()?;
         let n = buf.len();
         self.charge_kernel("inclusive_scan", scan_cost(n, 8));
         let mut scratch = self.alloc::<u64>(n)?;
@@ -43,6 +44,7 @@ impl Device {
     /// Exclusive prefix sum (`out[0] = 0`); returns the total as well, which
     /// callers use as the allocation size for the scanned layout.
     pub fn exclusive_scan(&self, buf: &mut DeviceBuffer<u64>) -> crate::Result<u64> {
+        self.launch_gate()?;
         let n = buf.len();
         if n == 0 {
             self.charge_kernel("exclusive_scan", KernelCost::default());

@@ -48,9 +48,13 @@ fn usage() -> ! {
          [--reference ref.fa] [--seed S] [--error-rate E] [--repeat-fraction F]\n  \
          lasagna assemble --reads reads.fastq --out contigs.fa [--l-min N] [--work DIR] \
          [--host-mem BYTES] [--device-mem BYTES] [--gpu k40|k20x|p40|p100|v100] \
+         [--resume yes] \
          [--trace-out trace.jsonl] [--metrics-json report.json] [--progress yes]\n  \
          lasagna inspect-trace --trace trace.jsonl [--root assembly]\n  \
-         lasagna stats --contigs contigs.fa [--reference ref.fa]"
+         lasagna stats --contigs contigs.fa [--reference ref.fa]\n\
+         \nassemble resumes from --work's manifest.json when --resume yes \
+         (see ROBUSTNESS.md).\nexit codes: 0 ok, 1 error, 2 usage, \
+         3 corrupt on-disk state, 4 out of memory, 5 I/O failure"
     );
     exit(2);
 }
@@ -233,7 +237,7 @@ fn assemble(opts: &HashMap<String, String>) {
 
     std::fs::create_dir_all(&work).unwrap_or_else(|e| {
         eprintln!("lasagna: cannot create workdir: {e}");
-        exit(1)
+        exit(EXIT_IO)
     });
     let mut config = AssemblyConfig::for_dataset(l_min, read_len as u32);
     let traversal = get(opts, "traversal", "seq".to_string());
@@ -248,7 +252,7 @@ fn assemble(opts: &HashMap<String, String>) {
     let graph_mode = get(opts, "graph", "greedy".to_string());
     let device = Device::with_capacity(gpu, device_mem);
     let host = HostMem::new(host_mem);
-    let spill = SpillDir::create(&work, IoStats::default()).unwrap_or_else(die);
+    let spill = SpillDir::create(&work, IoStats::default()).unwrap_or_else(die_stream);
 
     let trace_out = opts.get("trace-out").map(PathBuf::from);
     let metrics_json = opts.get("metrics-json").map(PathBuf::from);
@@ -266,12 +270,12 @@ fn assemble(opts: &HashMap<String, String>) {
                 rec.add_sink(Box::new(obs::ProgressSink::new(2)));
             }
             let pipeline = Pipeline::new(device, host, spill, config)
-                .unwrap_or_else(die)
+                .unwrap_or_else(die_run)
                 .with_recorder(rec.clone());
             let result = if resume {
-                pipeline.assemble_resumable(&reads).unwrap_or_else(die)
+                pipeline.assemble_resumable(&reads).unwrap_or_else(die_run)
             } else {
-                pipeline.assemble(&reads).unwrap_or_else(die)
+                pipeline.assemble(&reads).unwrap_or_else(die_run)
             };
             rec.flush();
             if let Some(path) = &trace_out {
@@ -301,10 +305,10 @@ fn assemble(opts: &HashMap<String, String>) {
             let (graph, paths) = lasagna_repro::lasagna::fullgraph::assemble_full(
                 &device, &host, &spill, &config, &reads,
             )
-            .unwrap_or_else(die);
+            .unwrap_or_else(die_run);
             let (contigs, stats) =
                 lasagna_repro::lasagna::contig::generate_contigs(&device, &host, &reads, &paths)
-                    .unwrap_or_else(die);
+                    .unwrap_or_else(die_run);
             println!(
                 "full graph: {} edges after reduction | contigs: {}, {} bases, N50 {}, max {}",
                 graph.edge_count(),
@@ -433,4 +437,49 @@ fn stats(opts: &HashMap<String, String>) {
 fn die<E: std::fmt::Display, T>(e: E) -> T {
     eprintln!("lasagna: {e}");
     exit(1)
+}
+
+/// Exit codes for assembly failures, so scripts can react to *why* a run
+/// died (see ROBUSTNESS.md): 3 = corrupt on-disk state (bit flips, torn
+/// spill files, manifest mismatch), 4 = out of memory (device or host
+/// budget), 5 = I/O failure, 1 = anything else, 2 = usage.
+const EXIT_CORRUPT: i32 = 3;
+const EXIT_OOM: i32 = 4;
+const EXIT_IO: i32 = 5;
+
+fn stream_exit_code(e: &lasagna_repro::gstream::StreamError) -> i32 {
+    use lasagna_repro::gstream::StreamError;
+    match e {
+        StreamError::Corrupt(_) => EXIT_CORRUPT,
+        StreamError::HostMem(_) => EXIT_OOM,
+        StreamError::Device(d) => device_exit_code(d),
+        StreamError::Io(_) => EXIT_IO,
+        _ => 1,
+    }
+}
+
+fn device_exit_code(e: &lasagna_repro::vgpu::DeviceError) -> i32 {
+    match e {
+        lasagna_repro::vgpu::DeviceError::OutOfMemory { .. } => EXIT_OOM,
+        _ => 1,
+    }
+}
+
+fn run_exit_code(e: &lasagna_repro::lasagna::LasagnaError) -> i32 {
+    use lasagna_repro::lasagna::LasagnaError;
+    match e {
+        LasagnaError::Stream(s) => stream_exit_code(s),
+        LasagnaError::Device(d) => device_exit_code(d),
+        _ => 1,
+    }
+}
+
+fn die_run<T>(e: lasagna_repro::lasagna::LasagnaError) -> T {
+    eprintln!("lasagna: {e}");
+    exit(run_exit_code(&e))
+}
+
+fn die_stream<T>(e: lasagna_repro::gstream::StreamError) -> T {
+    eprintln!("lasagna: {e}");
+    exit(stream_exit_code(&e))
 }

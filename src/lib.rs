@@ -49,6 +49,7 @@
 pub use dbg;
 pub use dnet;
 pub use ecc;
+pub use faultsim;
 pub use fingerprint;
 pub use genome;
 pub use gstream;

@@ -208,6 +208,107 @@ fn trace_out_and_inspect_trace_render_partition_breakdown() {
 }
 
 #[test]
+fn exit_codes_distinguish_corrupt_oom_and_io() {
+    let dir = workdir("exitcodes");
+    let reads = dir.join("reads.fastq");
+    cli()
+        .args([
+            "simulate",
+            "--genome-len",
+            "3000",
+            "--coverage",
+            "8",
+            "--read-len",
+            "60",
+        ])
+        .args(["--seed", "19", "--out"])
+        .arg(&reads)
+        .status()
+        .expect("simulate");
+
+    // Out of memory: a 1 KB device cannot hold a single batch.
+    let oom = cli()
+        .args(["assemble", "--reads"])
+        .arg(&reads)
+        .args(["--out"])
+        .arg(dir.join("oom.fa"))
+        .args(["--work"])
+        .arg(dir.join("work_oom"))
+        .args(["--device-mem", "1K"])
+        .output()
+        .expect("assemble");
+    assert_eq!(
+        oom.status.code(),
+        Some(4),
+        "{}",
+        String::from_utf8_lossy(&oom.stderr)
+    );
+
+    // I/O failure: the work dir cannot be created under a regular file.
+    let blocker = dir.join("blocker");
+    std::fs::write(&blocker, b"in the way").unwrap();
+    let io = cli()
+        .args(["assemble", "--reads"])
+        .arg(&reads)
+        .args(["--out"])
+        .arg(dir.join("io.fa"))
+        .args(["--work"])
+        .arg(blocker.join("sub"))
+        .output()
+        .expect("assemble");
+    assert_eq!(
+        io.status.code(),
+        Some(5),
+        "{}",
+        String::from_utf8_lossy(&io.stderr)
+    );
+
+    // Corruption: finish a checkpointed run, flip one bit in a sorted
+    // partition, and resume — the validator must refuse it.
+    let work = dir.join("work_corrupt");
+    let assemble_resume = || {
+        cli()
+            .args(["assemble", "--reads"])
+            .arg(&reads)
+            .args(["--out"])
+            .arg(dir.join("corrupt.fa"))
+            .args(["--work"])
+            .arg(&work)
+            .args(["--resume", "yes"])
+            .output()
+            .expect("assemble")
+    };
+    let clean = assemble_resume();
+    assert!(
+        clean.status.success(),
+        "{}",
+        String::from_utf8_lossy(&clean.stderr)
+    );
+    let victim = std::fs::read_dir(&work)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| {
+            p.file_name()
+                .is_some_and(|n| n.to_string_lossy().starts_with("sfx_"))
+        })
+        .expect("no sorted partition in the work dir");
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&victim, bytes).unwrap();
+    let corrupt = assemble_resume();
+    assert_eq!(
+        corrupt.status.code(),
+        Some(3),
+        "{}",
+        String::from_utf8_lossy(&corrupt.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&corrupt.stderr);
+    assert!(stderr.contains("corrupt"), "{stderr}");
+}
+
+#[test]
 fn error_correction_flag_runs() {
     let dir = workdir("correct");
     let reads = dir.join("noisy.fastq");

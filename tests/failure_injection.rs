@@ -106,3 +106,209 @@ fn empty_input_produces_empty_but_valid_output_everywhere() {
     assert_eq!(out.report.phases.len(), 5);
     out.graph.check_invariants().unwrap();
 }
+
+// --- Deterministic crash/resume (see ROBUSTNESS.md) ---------------------
+
+use lasagna_repro::faultsim::{self, FaultPlan, Faults};
+use lasagna_repro::lasagna::Manifest;
+use std::path::Path;
+
+fn laptop_on(dir: &Path) -> Pipeline {
+    Pipeline::laptop(AssemblyConfig::for_dataset(40, 60), dir).unwrap()
+}
+
+fn flip_bit_mid_file(path: &Path) {
+    let mut bytes = std::fs::read(path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(path, bytes).unwrap();
+}
+
+fn is_corrupt(err: &LasagnaError) -> bool {
+    matches!(err, LasagnaError::Stream(gstream::StreamError::Corrupt(_)))
+}
+
+#[test]
+fn crash_at_every_failpoint_then_resume_reproduces_identical_contigs() {
+    let r = reads(20);
+    let baseline_dir = tempfile::tempdir().unwrap();
+    let baseline = laptop_on(baseline_dir.path()).assemble(&r).unwrap();
+    for point in [
+        faultsim::SPILL_WRITE,
+        faultsim::READER_OPEN,
+        faultsim::KERNEL_LAUNCH,
+        faultsim::MANIFEST_WRITE,
+    ] {
+        for nth in [1u64, 4] {
+            let dir = tempfile::tempdir().unwrap();
+            let err = laptop_on(dir.path())
+                .with_faults(Faults::from_plan(&FaultPlan::new().fail_at(point, nth)))
+                .assemble_resumable(&r)
+                .unwrap_err();
+            assert!(
+                faultsim::is_injected(&err.to_string()),
+                "{point}:{nth} died on a real error: {err}"
+            );
+            // A fresh process resumes from the manifest and must produce
+            // bit-identical output, no matter where the crash landed.
+            let resumed = laptop_on(dir.path()).resume(&r).unwrap();
+            assert_eq!(resumed.contigs, baseline.contigs, "{point}:{nth}");
+            assert_eq!(
+                resumed.graph.edge_count(),
+                baseline.graph.edge_count(),
+                "{point}:{nth}"
+            );
+        }
+    }
+}
+
+#[test]
+fn resume_after_mid_sort_crash_redoes_only_unsorted_partitions() {
+    let r = reads(21);
+    let dir = tempfile::tempdir().unwrap();
+    // Partition readers are first opened by the sort phase, so this crash
+    // lands after some partitions were sorted and checkpointed.
+    let err = laptop_on(dir.path())
+        .with_faults(Faults::from_plan(
+            &FaultPlan::new().fail_at(faultsim::READER_OPEN, 9),
+        ))
+        .assemble_resumable(&r)
+        .unwrap_err();
+    assert!(faultsim::is_injected(&err.to_string()), "{err}");
+    let manifest = Manifest::load(dir.path()).unwrap().unwrap();
+    let sorted_before = manifest.sorted.len();
+    assert!(sorted_before > 0, "crash landed before any checkpoint");
+    assert!(manifest.is_done("map") && !manifest.is_done("sort"));
+
+    let rec = lasagna_repro::obs::Recorder::new();
+    let out = laptop_on(dir.path())
+        .with_recorder(rec.clone())
+        .resume(&r)
+        .unwrap();
+    assert!(!out.contigs.is_empty());
+    // Only the partitions not yet checkpointed get a sort span on resume.
+    let resorted = rec
+        .events()
+        .iter()
+        .filter(|e| match e {
+            lasagna_repro::obs::Event::SpanStart { name, .. } => {
+                name.starts_with("sfx_") || name.starts_with("pfx_")
+            }
+            _ => false,
+        })
+        .count();
+    let total = Manifest::load(dir.path()).unwrap().unwrap().sorted.len();
+    assert_eq!(resorted, total - sorted_before, "total {total}");
+}
+
+#[test]
+fn bit_flip_in_a_checkpointed_partition_fails_resume_loudly() {
+    let r = reads(22);
+    let dir = tempfile::tempdir().unwrap();
+    laptop_on(dir.path()).assemble_resumable(&r).unwrap();
+    let victim = std::fs::read_dir(dir.path())
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| {
+            p.file_name()
+                .is_some_and(|n| n.to_string_lossy().starts_with("sfx_"))
+        })
+        .expect("no sorted partition on disk");
+    flip_bit_mid_file(&victim);
+    let err = laptop_on(dir.path()).resume(&r).unwrap_err();
+    assert!(is_corrupt(&err), "got {err}");
+}
+
+#[test]
+fn bit_flip_in_the_checkpointed_graph_fails_resume_loudly() {
+    let r = reads(23);
+    let dir = tempfile::tempdir().unwrap();
+    laptop_on(dir.path()).assemble_resumable(&r).unwrap();
+    flip_bit_mid_file(&dir.path().join("graph.bin"));
+    let err = laptop_on(dir.path()).resume(&r).unwrap_err();
+    assert!(is_corrupt(&err), "got {err}");
+}
+
+#[test]
+fn garbage_manifest_fails_resume_loudly() {
+    let r = reads(24);
+    let dir = tempfile::tempdir().unwrap();
+    laptop_on(dir.path()).assemble_resumable(&r).unwrap();
+    std::fs::write(dir.path().join("manifest.json"), b"not a manifest").unwrap();
+    let err = laptop_on(dir.path()).resume(&r).unwrap_err();
+    assert!(is_corrupt(&err), "got {err}");
+}
+
+#[test]
+fn completed_run_resumes_to_identical_output_without_rework() {
+    let r = reads(25);
+    let dir = tempfile::tempdir().unwrap();
+    let first = laptop_on(dir.path()).assemble_resumable(&r).unwrap();
+    let rec = lasagna_repro::obs::Recorder::new();
+    let second = laptop_on(dir.path())
+        .with_recorder(rec.clone())
+        .resume(&r)
+        .unwrap();
+    assert_eq!(first.contigs, second.contigs);
+    let names: Vec<String> = rec
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            lasagna_repro::obs::Event::SpanStart { name, .. } => Some(name.clone()),
+            _ => None,
+        })
+        .collect();
+    for resumed in ["map (resumed)", "sort (resumed)", "reduce (resumed)"] {
+        assert!(names.contains(&resumed.to_string()), "missing {resumed:?}");
+    }
+}
+
+#[test]
+fn resume_restarts_from_scratch_when_the_dataset_changes() {
+    let dir = tempfile::tempdir().unwrap();
+    laptop_on(dir.path())
+        .assemble_resumable(&reads(26))
+        .unwrap();
+    // Different reads, same shape: the config hash differs, so resuming is
+    // silently a fresh run — never a mix of two datasets' partitions.
+    let other = reads(27);
+    let out = laptop_on(dir.path()).resume(&other).unwrap();
+    let baseline_dir = tempfile::tempdir().unwrap();
+    let baseline = laptop_on(baseline_dir.path()).assemble(&other).unwrap();
+    assert_eq!(out.contigs, baseline.contigs);
+}
+
+#[test]
+fn distributed_node_kill_recovers_to_the_single_node_graph() {
+    use lasagna_repro::dnet::{Cluster, ClusterConfig, NetModel};
+    let genome = GenomeSim::uniform(1_500, 31).generate();
+    let r = ShotgunSim::error_free(60, 8.0, 32).sample(&genome);
+    let single_dir = tempfile::tempdir().unwrap();
+    let expect = Pipeline::laptop(AssemblyConfig::for_dataset(40, 60), single_dir.path())
+        .unwrap()
+        .assemble(&r)
+        .unwrap()
+        .graph;
+    let dir = tempfile::tempdir().unwrap();
+    let cluster = Cluster::new(ClusterConfig {
+        nodes: 3,
+        gpu: GpuProfile::k20x(),
+        device_capacity: 1 << 20,
+        host_capacity: 8 << 20,
+        disk: DiskModel::hdd(),
+        net: NetModel::infiniband_56g(),
+        block_reads: 40,
+        assembly: AssemblyConfig::for_dataset(40, 60),
+        reduce_strategy: lasagna_repro::dnet::cluster::ReduceStrategy::LengthToken,
+    })
+    .unwrap()
+    .with_faults(Faults::from_plan(
+        &FaultPlan::new().fail_at(faultsim::DNET_AM, 4),
+    ));
+    let out = cluster.assemble(&r, dir.path()).unwrap();
+    assert_eq!(out.graph.edge_count(), expect.edge_count());
+    for v in 0..expect.vertex_count() {
+        assert_eq!(out.graph.out(v), expect.out(v), "vertex {v}");
+    }
+}
