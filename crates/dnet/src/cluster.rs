@@ -17,19 +17,38 @@
 //!    applied under the out-degree bit-vector, which travels from the owner
 //!    of partition `l+1` to the owner of `l` — the serialization that
 //!    bounds scalability at `t_o·p/n + t_g·p`.
+//!
+//! ## Checkpoint / resume
+//!
+//! The run is durable at two levels (ROBUSTNESS.md §"Distributed
+//! checkpoint/resume"). Each rank keeps a [`Manifest`] in its node
+//! directory recording the blocks it durably mapped, the partition tags it
+//! shuffled/sorted, and the candidate lists (graph deltas) it joined —
+//! every claim backed by the artifact's footer `(records, checksum)`. The
+//! master appends one fsynced [`SuperstepRecord`] to `superstep.log` per
+//! completed superstep, carrying the item ids that finished, the ownership
+//! table in force, and — for graph commits — the checksum of the
+//! out-degree bit-vector token. [`Cluster::resume`] replays the log to
+//! rebuild coordinator state after a master crash, validates every rank's
+//! artifacts against its manifest before trusting them, skips completed
+//! supersteps, and re-runs only torn ones; the resumed graph is
+//! bit-identical to a clean single-node run.
 
 use crate::am::{AmClient, AmServer, Request, Response};
 use crate::netmodel::{NetModel, NetStats};
+use crate::superstep::{SuperstepLog, SuperstepRecord, HEADER_PHASE};
 use crate::{DnetError, Result};
 use genome::ReadSet;
 use gstream::iostats::DiskModel;
 use gstream::spill::{PartitionKind, SpillDir};
-use gstream::{ExternalSorter, HostMem, IoStats, SortConfig};
+use gstream::{
+    ExternalSorter, HostMem, IoStats, KvPair, RecordReader, RecordWriter, SortConfig, StreamError,
+};
 use lasagna::config::AssemblyConfig;
-use lasagna::{map, reduce, StringGraph};
+use lasagna::{map, reduce, Manifest, StringGraph};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
@@ -99,6 +118,9 @@ pub struct DistributedReport {
     pub edges: u64,
     /// Overlap candidates examined.
     pub candidates: u64,
+    /// Whether this run resumed from a predecessor's superstep log.
+    #[serde(default)]
+    pub resumed: bool,
 }
 
 impl DistributedReport {
@@ -122,8 +144,9 @@ pub struct DistributedOutput {
     pub report: DistributedReport,
 }
 
-/// Per-length candidate lists produced by one node's reduce stage A.
-type NodeCandidates = Vec<(u32, Vec<(u32, u32)>)>;
+/// Per-item candidate lists produced by one node's reduce stage A:
+/// `(length, fingerprint range, candidate pairs)`.
+type NodeItemCandidates = Vec<(u32, u32, Vec<(u32, u32)>)>;
 
 struct Node {
     device: Device,
@@ -144,6 +167,8 @@ struct RecoveryStats {
     length_reassignments: u64,
     token_regenerations: u64,
     backoff_seconds: f64,
+    superstep_replays: u64,
+    master_rebuilds: u64,
 }
 
 /// Retry bound per phase: the initial round plus up to three recovery
@@ -151,10 +176,339 @@ struct RecoveryStats {
 const MAX_RECOVERY_ROUNDS: u32 = 4;
 
 /// Modeled exponential backoff before recovery round `round` (the first
-/// retry waits 0.1 s, then doubling). Charged to the phase's modeled time,
-/// never slept for real.
+/// retry waits 0.1 s, then doubling, capped at `2^MAX_RECOVERY_ROUNDS`
+/// steps so a long fail-over chain cannot inflate modeled time without
+/// bound). Round 0 — the initial attempt, never a retry — charges
+/// nothing. Charged to the phase's modeled time, never slept for real.
 fn backoff_for(round: u32) -> f64 {
-    0.1 * (1u64 << (round.min(6).saturating_sub(1))) as f64
+    if round == 0 {
+        return 0.0;
+    }
+    0.1 * (1u64 << (round - 1).min(MAX_RECOVERY_ROUNDS)) as f64
+}
+
+/// One unit of shuffle/sort/join work: a `(length, fingerprint range)`
+/// partition pair. `rebuild` marks an item inherited from a dead owner,
+/// whose artifacts must be rebuilt from the durable map output.
+#[derive(Debug, Clone, Copy)]
+struct WorkItem {
+    len: u32,
+    range: u32,
+    rebuild: bool,
+}
+
+/// Stable id of a work item in the superstep log (`ranges` ≪ 2^16).
+fn item_id(len: u32, range: u32) -> u64 {
+    ((len as u64) << 16) | range as u64
+}
+
+/// File-name stem of a partition, matching `SpillDir::path_range` naming
+/// (`sfx_00045`, or `sfx_00045_r001` when length partitions are split by
+/// fingerprint range). Also the tag recorded in per-node manifests.
+fn part_tag(kind: PartitionKind, len: u32, range: u32, ranges: u32) -> String {
+    if ranges <= 1 {
+        format!("{}_{:05}", kind.tag(), len)
+    } else {
+        format!("{}_{:05}_r{:03}", kind.tag(), len, range)
+    }
+}
+
+/// Manifest tag of a durable candidate list (reduce-join graph delta).
+fn cand_tag(len: u32, range: u32) -> String {
+    format!("cnd_{len:05}_r{range:03}")
+}
+
+/// FNV-1a-64 of the out-degree bit-vector — the token checksum recorded
+/// with every commit record, so a resumed reduce can detect divergence
+/// from the logged run instead of silently mis-assembling.
+fn bits_checksum(bits: &[u64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &w in bits {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn owners_u32(table: &[usize]) -> Vec<u32> {
+    table.iter().map(|&r| r as u32).collect()
+}
+
+/// Items not yet durable, in `(length, range)` order.
+fn pending_items(l_min: u32, l_max: u32, item_ranges: u32, done: &BTreeSet<u64>) -> Vec<WorkItem> {
+    let mut out = Vec::new();
+    for len in l_min..l_max {
+        for range in 0..item_ranges {
+            if !done.contains(&item_id(len, range)) {
+                out.push(WorkItem {
+                    len,
+                    range,
+                    rebuild: false,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Work items whose ownership-table entries just moved off a dead rank:
+/// every length of a moved range (range mode) or the moved length itself
+/// (token mode).
+fn moved_items(moved: &[usize], range_mode: bool, l_min: u32, l_max: u32) -> Vec<WorkItem> {
+    let mut out = Vec::new();
+    if range_mode {
+        for &r in moved {
+            for len in l_min..l_max {
+                out.push(WorkItem {
+                    len,
+                    range: r as u32,
+                    rebuild: true,
+                });
+            }
+        }
+    } else {
+        for &i in moved {
+            out.push(WorkItem {
+                len: l_min + i as u32,
+                range: 0,
+                rebuild: true,
+            });
+        }
+    }
+    out
+}
+
+/// The rank owning a work item under the current ownership tables.
+fn item_rank(
+    it: &WorkItem,
+    range_mode: bool,
+    owners: &[usize],
+    range_owners: &[usize],
+    l_min: u32,
+) -> usize {
+    if range_mode {
+        range_owners[it.range as usize]
+    } else {
+        owners[(it.len - l_min) as usize]
+    }
+}
+
+/// Master-side stream errors (log recovery/appends) surface as rank-0
+/// node errors so callers see one error shape.
+fn master_err(e: StreamError) -> DnetError {
+    DnetError::Node {
+        node: 0,
+        message: e.to_string(),
+    }
+}
+
+/// Empty every node directory for a fresh (non-resumed) run, so stale
+/// artifacts from a predecessor cannot leak into this assembly.
+fn wipe_node_dirs(nodes: &[Node]) -> Result<()> {
+    for (r, n) in nodes.iter().enumerate() {
+        let wipe = || -> std::io::Result<()> {
+            if n.dir.exists() {
+                std::fs::remove_dir_all(&n.dir)?;
+            }
+            std::fs::create_dir_all(&n.dir)
+        };
+        wipe().map_err(|e| DnetError::Node {
+            node: r,
+            message: e.to_string(),
+        })?;
+    }
+    Ok(())
+}
+
+/// Everything a resumed run reconstructs from the superstep log plus the
+/// per-rank manifests before spawning any worker.
+#[derive(Default)]
+struct ResumePlan {
+    /// Durably mapped input blocks (block ids; `{0}` on one node).
+    map_done: BTreeSet<u64>,
+    /// Items whose shuffled pair is durable and validated on its owner.
+    shuffle_done: BTreeSet<u64>,
+    /// Items whose sorted pair is durable and validated on its owner.
+    sort_done: BTreeSet<u64>,
+    /// Items whose candidate list was reloaded from disk.
+    join_done: BTreeSet<u64>,
+    /// `commit` records by overlap length: the logged token checksum a
+    /// replayed commit must reproduce.
+    commit_checksums: BTreeMap<u64, u64>,
+    /// Block → mapper rank, rebuilt from manifests + surviving block dirs.
+    assignment_init: Vec<Option<usize>>,
+    /// Ownership table in force when the log ended (post fail-over).
+    owners_init: Option<Vec<usize>>,
+    /// Reloaded candidate lists for `join_done` items.
+    preloaded: NodeItemCandidates,
+}
+
+impl ResumePlan {
+    fn fresh(n_blocks: usize) -> Self {
+        ResumePlan {
+            assignment_init: vec![None; n_blocks],
+            ..Default::default()
+        }
+    }
+}
+
+/// Replay the superstep log against the per-rank manifests and the disks.
+/// Log claims are never trusted alone: a phase superstep counts as done
+/// only when the owning rank's manifest claims it *and* the artifact's
+/// footer still matches. A sorted claim whose file mismatches is loud
+/// corruption (the sorted file is the artifact of record); a shuffled
+/// claim whose file mismatches is silently redone (the in-place sort
+/// rename legitimately rewrites shuffled files).
+#[allow(clippy::too_many_arguments)]
+fn build_resume_plan(
+    records: &[SuperstepRecord],
+    manifests: &[Manifest],
+    nodes: &[Node],
+    n_blocks: usize,
+    l_min: u32,
+    l_max: u32,
+    range_mode: bool,
+    ranges: u32,
+    n_nodes: usize,
+) -> Result<ResumePlan> {
+    let mut plan = ResumePlan::fresh(n_blocks);
+    let item_ranges = if range_mode { ranges } else { 1 };
+    let expected = if range_mode {
+        ranges as usize
+    } else {
+        (l_max - l_min) as usize
+    };
+
+    let mut log_map = BTreeSet::new();
+    let mut log_shuffle = BTreeSet::new();
+    let mut log_sort = BTreeSet::new();
+    let mut log_join = BTreeSet::new();
+    let mut last_owners: Option<Vec<usize>> = None;
+    for rec in records {
+        if !rec.owners.is_empty() {
+            if rec.owners.len() != expected || rec.owners.iter().any(|&r| r as usize >= n_nodes) {
+                return Err(DnetError::Node {
+                    node: 0,
+                    message: StreamError::Corrupt(format!(
+                        "superstep log ownership table ({} entries) does not fit \
+                         this cluster shape ({} expected, {} nodes)",
+                        rec.owners.len(),
+                        expected,
+                        n_nodes
+                    ))
+                    .to_string(),
+                });
+            }
+            last_owners = Some(rec.owners.iter().map(|&r| r as usize).collect());
+        }
+        match rec.phase.as_str() {
+            "map" => log_map.extend(rec.done.iter().copied()),
+            "shuffle" => log_shuffle.extend(rec.done.iter().copied()),
+            "sort" => log_sort.extend(rec.done.iter().copied()),
+            "join" => log_join.extend(rec.done.iter().copied()),
+            "commit" => {
+                plan.commit_checksums
+                    .insert(rec.superstep, rec.token_checksum);
+            }
+            // The header, and any record a future schema adds.
+            _ => {}
+        }
+    }
+
+    // Map: a logged block counts only if some rank's manifest claims it
+    // and that rank's block directory is still on disk.
+    if n_nodes == 1 {
+        if log_map.contains(&0) && manifests[0].is_done("map") {
+            plan.map_done.insert(0);
+        }
+    } else {
+        for &b in &log_map {
+            if b as usize >= n_blocks {
+                continue;
+            }
+            for (r, m) in manifests.iter().enumerate() {
+                if m.has_block(b) && nodes[r].dir.join(format!("block{b}")).exists() {
+                    plan.map_done.insert(b);
+                    plan.assignment_init[b as usize] = Some(r);
+                    break;
+                }
+            }
+        }
+    }
+
+    let table: Vec<usize> = last_owners.unwrap_or_else(|| {
+        if range_mode {
+            (0..ranges as usize).collect()
+        } else {
+            (l_min..l_max)
+                .map(|l| ((l - l_min) as usize) % n_nodes)
+                .collect()
+        }
+    });
+
+    for len in l_min..l_max {
+        for range in 0..item_ranges {
+            let id = item_id(len, range);
+            let owner = if range_mode {
+                table[range as usize]
+            } else {
+                table[(len - l_min) as usize]
+            };
+            let m = &manifests[owner];
+            let dir = &nodes[owner].dir;
+            let sfx_tag = part_tag(PartitionKind::Suffix, len, range, ranges);
+            let pfx_tag = part_tag(PartitionKind::Prefix, len, range, ranges);
+            let sfx_path = dir.join(format!("{sfx_tag}.kv"));
+            let pfx_path = dir.join(format!("{pfx_tag}.kv"));
+            if log_sort.contains(&id) && m.is_sorted(&sfx_tag) && m.is_sorted(&pfx_tag) {
+                if m.file_matches(&sfx_path) && m.file_matches(&pfx_path) {
+                    plan.sort_done.insert(id);
+                    plan.shuffle_done.insert(id);
+                } else {
+                    // A sorted claim is the artifact of record for the
+                    // join: a footer mismatch here is damage, not a crash
+                    // window. Fail loudly rather than mis-assemble.
+                    return Err(DnetError::Node {
+                        node: owner,
+                        message: StreamError::Corrupt(format!(
+                            "resumed sorted partition {sfx_tag}/{pfx_tag} on rank \
+                             {owner} does not match its manifest footer"
+                        ))
+                        .to_string(),
+                    });
+                }
+            } else if n_nodes > 1
+                && log_shuffle.contains(&id)
+                && m.is_shuffled(&sfx_tag)
+                && m.is_shuffled(&pfx_tag)
+                && m.file_matches(&sfx_path)
+                && m.file_matches(&pfx_path)
+            {
+                plan.shuffle_done.insert(id);
+            }
+            let ctag = cand_tag(len, range);
+            let cpath = dir.join(format!("{ctag}.kv"));
+            if plan.sort_done.contains(&id)
+                && log_join.contains(&id)
+                && m.is_joined(&ctag)
+                && m.file_matches(&cpath)
+            {
+                if let Ok(pairs) = RecordReader::open(&cpath, nodes[owner].io.clone())
+                    .and_then(|mut r| r.read_all())
+                {
+                    plan.join_done.insert(id);
+                    plan.preloaded.push((
+                        len,
+                        range,
+                        pairs.into_iter().map(|p| (p.key as u32, p.val)).collect(),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(plan)
 }
 
 /// A configured cluster.
@@ -233,33 +587,75 @@ impl Cluster {
         ((len - self.config.assembly.l_min) as usize) % self.config.nodes
     }
 
-    /// Run the distributed pipeline.
+    /// FNV-1a over the knobs and dataset shape that change on-disk
+    /// artifacts — the same idiom as the single-node pipeline's dataset
+    /// fingerprint, extended with the cluster shape. Stored in every
+    /// rank's manifest and in the superstep-log header, so a resume
+    /// against a different run restarts fresh instead of guessing.
+    fn run_fingerprint(&self, reads: &ReadSet, assembly: &AssemblyConfig) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        eat(assembly.l_min as u64);
+        eat(assembly.l_max as u64);
+        eat(assembly.fingerprint_bits as u64);
+        eat(assembly.range_split as u64);
+        eat(self.config.nodes as u64);
+        eat(self.config.block_reads as u64);
+        eat(match self.config.reduce_strategy {
+            ReduceStrategy::LengthToken => 0,
+            ReduceStrategy::FingerprintRange => 1,
+        });
+        eat(reads.len() as u64);
+        eat(reads.total_bases());
+        for i in (0..reads.len()).step_by((reads.len() / 16).max(1)) {
+            eat(reads.first_base(i).code() as u64);
+        }
+        h
+    }
+
+    /// Run the distributed pipeline from scratch, wiping any durable
+    /// state a previous run left in `workdir`.
     pub fn assemble(&self, reads: &ReadSet, workdir: &Path) -> Result<DistributedOutput> {
+        self.assemble_inner(reads, workdir, false)
+    }
+
+    /// Run the distributed pipeline, resuming from `workdir`'s superstep
+    /// log and per-node manifests when they belong to this exact run
+    /// (same dataset, config, and cluster shape); otherwise starts fresh.
+    pub fn assemble_resumable(&self, reads: &ReadSet, workdir: &Path) -> Result<DistributedOutput> {
+        self.assemble_inner(reads, workdir, true)
+    }
+
+    /// Alias of [`Cluster::assemble_resumable`], mirroring the
+    /// single-node `Pipeline::resume`.
+    pub fn resume(&self, reads: &ReadSet, workdir: &Path) -> Result<DistributedOutput> {
+        self.assemble_inner(reads, workdir, true)
+    }
+
+    fn assemble_inner(
+        &self,
+        reads: &ReadSet,
+        workdir: &Path,
+        resume: bool,
+    ) -> Result<DistributedOutput> {
         let cfg = &self.config;
         let n_nodes = cfg.nodes;
         let l_min = cfg.assembly.l_min;
         let l_max = cfg.assembly.l_max;
         let vertices = reads.vertex_count();
         let range_mode = cfg.reduce_strategy == ReduceStrategy::FingerprintRange && n_nodes > 1;
-        if range_mode && self.faults.is_enabled() {
-            // Range-mode commits interleave every rank inside every length;
-            // reassigning a fingerprint slice mid-superstep would need the
-            // paper's future-work recovery story. Refuse rather than guess.
-            return Err(DnetError::BadConfig(
-                "fault injection is not supported with FingerprintRange reduce".into(),
-            ));
-        }
         // In range mode the mappers pre-split every length by fingerprint.
         let mut assembly = cfg.assembly;
         if range_mode {
             assembly.range_split = n_nodes as u32;
         }
         let ranges = assembly.range_split;
-        // Length ownership, round-robin to start; fail-over rewrites
-        // entries when an owner dies (token mode only).
-        let mut owners: Vec<usize> = (l_min..l_max).map(|l| self.owner(l)).collect();
-        let mut alive: Vec<bool> = vec![true; n_nodes];
-        let mut recovery = RecoveryStats::default();
+        let item_ranges = if range_mode { ranges } else { 1 };
 
         // Per-node resources (private disks: separate IoStats per node).
         let nodes: Vec<Node> = (0..n_nodes)
@@ -282,14 +678,141 @@ impl Cluster {
             })
             .collect::<Result<_>>()?;
 
-        // Input blocks and the master's queue.
+        // Input blocks.
         let blocks: Vec<(usize, usize)> = (0..reads.len())
             .step_by(cfg.block_reads.max(1))
             .map(|s| (s, (s + cfg.block_reads).min(reads.len())))
             .collect();
         let n_blocks = blocks.len();
-        let queue: Arc<Mutex<VecDeque<usize>>> = Arc::new(Mutex::new((0..n_blocks).collect()));
-        let assignment: Arc<Mutex<Vec<Option<usize>>>> = Arc::new(Mutex::new(vec![None; n_blocks]));
+
+        let fingerprint = self.run_fingerprint(reads, &assembly);
+
+        // Master log: recover this run's log, or start fresh (wiping node
+        // dirs so stale artifacts cannot leak into the new run).
+        let mut replayed: Vec<SuperstepRecord> = Vec::new();
+        let mut slog_opt: Option<SuperstepLog> = None;
+        if resume {
+            match SuperstepLog::recover(workdir, self.faults.clone()).map_err(master_err)? {
+                Some(rec)
+                    if rec.records.first().is_some_and(|h| {
+                        h.phase == HEADER_PHASE && h.token_checksum == fingerprint
+                    }) =>
+                {
+                    replayed = rec.records;
+                    slog_opt = Some(rec.log);
+                }
+                // Missing log, or one from a different run: fresh start.
+                _ => {}
+            }
+        }
+        let resumed = slog_opt.is_some();
+        let mut slog = match slog_opt {
+            Some(l) => l,
+            None => {
+                wipe_node_dirs(&nodes)?;
+                SuperstepLog::create(workdir, self.faults.clone()).map_err(master_err)?
+            }
+        };
+
+        // Per-rank manifests. On resume, a stale or absent manifest just
+        // voids that rank's claims; a present-but-unreadable one is
+        // corruption and fails loudly.
+        let mut manifests: Vec<Manifest> = Vec::with_capacity(n_nodes);
+        for (r, node) in nodes.iter().enumerate() {
+            let m = if resumed {
+                match Manifest::load(&node.dir) {
+                    Ok(Some(m)) if m.config_hash == fingerprint => m,
+                    Ok(_) => Manifest::new(fingerprint),
+                    Err(e) => {
+                        return Err(DnetError::Node {
+                            node: r,
+                            message: e.to_string(),
+                        })
+                    }
+                }
+            } else {
+                Manifest::new(fingerprint)
+            };
+            manifests.push(m);
+        }
+
+        // Ownership tables: lengths round-robin (token mode), fingerprint
+        // ranges identity (range mode). Fail-over rewrites entries when an
+        // owner dies; a resume restores the logged post-fail-over table.
+        let mut owners: Vec<usize> = (l_min..l_max).map(|l| self.owner(l)).collect();
+        let mut range_owners: Vec<usize> = (0..ranges as usize).collect();
+        let mut alive: Vec<bool> = vec![true; n_nodes];
+        let mut recovery = RecoveryStats::default();
+
+        let plan = if resumed {
+            build_resume_plan(
+                &replayed, &manifests, &nodes, n_blocks, l_min, l_max, range_mode, ranges, n_nodes,
+            )?
+        } else {
+            ResumePlan::fresh(n_blocks)
+        };
+        if let Some(t) = &plan.owners_init {
+            if range_mode {
+                range_owners = t.clone();
+            } else {
+                owners = t.clone();
+            }
+        }
+        if !resumed {
+            for (r, m) in manifests.iter().enumerate() {
+                m.store(&nodes[r].dir, &self.faults)
+                    .map_err(|e| DnetError::Node {
+                        node: r,
+                        message: e.to_string(),
+                    })?;
+            }
+            let table = if range_mode { &range_owners } else { &owners };
+            slog.append(&SuperstepRecord::header(fingerprint, owners_u32(table)))
+                .map_err(master_err)?;
+        }
+
+        let ResumePlan {
+            map_done,
+            shuffle_done,
+            sort_done,
+            join_done,
+            commit_checksums,
+            assignment_init,
+            mut preloaded,
+            owners_init: _,
+        } = plan;
+
+        let map_total = if n_nodes == 1 { 1 } else { n_blocks };
+        let item_count = ((l_max - l_min) * item_ranges) as usize;
+        let shuffle_total = if n_nodes == 1 { 0 } else { item_count };
+        if resumed {
+            recovery.master_rebuilds = 1;
+            recovery.superstep_replays = map_total.saturating_sub(map_done.len()) as u64
+                + shuffle_total.saturating_sub(shuffle_done.len()) as u64
+                + item_count.saturating_sub(sort_done.len()) as u64
+                + item_count.saturating_sub(join_done.len()) as u64;
+        }
+        let single_map_done = n_nodes == 1 && map_done.contains(&0);
+
+        // The master's queue: only blocks not already durably mapped.
+        let queue: Arc<Mutex<VecDeque<usize>>> = Arc::new(Mutex::new(
+            (0..n_blocks)
+                .filter(|&b| !map_done.contains(&(b as u64)))
+                .collect(),
+        ));
+        let assignment: Arc<Mutex<Vec<Option<usize>>>> = Arc::new(Mutex::new(assignment_init));
+
+        let mut shuffle_todo0: Vec<WorkItem> = if n_nodes == 1 {
+            Vec::new()
+        } else {
+            pending_items(l_min, l_max, item_ranges, &shuffle_done)
+        };
+        let mut sort_todo0 = pending_items(l_min, l_max, item_ranges, &sort_done);
+        let mut join_todo0 = pending_items(l_min, l_max, item_ranges, &join_done);
+
+        // Workers claim manifests by rank; claims are durable before the
+        // master learns of them.
+        let manifests: Vec<Mutex<Manifest>> = manifests.into_iter().map(Mutex::new).collect();
 
         // Active-message endpoints.
         let net = NetStats::new(cfg.net);
@@ -368,6 +891,13 @@ impl Cluster {
                 let t0 = Instant::now();
                 let obs_map = self.recorder.span("map");
                 let obs_map_id = obs_map.id();
+                if resumed {
+                    self.recorder.counter_on(
+                        obs_map_id,
+                        "phase.skipped_items",
+                        map_done.len() as u64,
+                    );
+                }
                 let mut map_modeled: Vec<f64> = Vec::new();
                 let mut round = 0u32;
                 loop {
@@ -381,6 +911,8 @@ impl Cluster {
                         let assignment = Arc::clone(&assignment);
                         let assembly = assembly;
                         let rec = self.recorder.clone();
+                        let mf = &manifests[rank];
+                        let wf = self.faults.clone();
                         handles.push((
                             rank,
                             scope.spawn(move || -> std::result::Result<f64, String> {
@@ -389,10 +921,21 @@ impl Cluster {
                                 let dev0 = node.device.stats();
                                 let io0 = node.io.snapshot();
                                 if n_nodes == 1 {
-                                    let spill = SpillDir::open(&node.dir, node.io.clone())
+                                    if !single_map_done {
+                                        let spill = SpillDir::open(&node.dir, node.io.clone())
+                                            .map_err(|e| e.to_string())?;
+                                        map::run(
+                                            &node.device,
+                                            &node.host,
+                                            &spill,
+                                            &assembly,
+                                            reads,
+                                        )
                                         .map_err(|e| e.to_string())?;
-                                    map::run(&node.device, &node.host, &spill, &assembly, reads)
-                                        .map_err(|e| e.to_string())?;
+                                        let mut m = mf.lock();
+                                        m.mark_phase("map");
+                                        m.store(&node.dir, &wf).map_err(|e| e.to_string())?;
+                                    }
                                 } else {
                                     loop {
                                         let (resp, _net_s) = master
@@ -414,6 +957,14 @@ impl Cluster {
                                             end,
                                         )
                                         .map_err(|e| e.to_string())?;
+                                        // The claim is durable before the
+                                        // master can hand the block's
+                                        // partitions to any shuffler.
+                                        {
+                                            let mut m = mf.lock();
+                                            m.mark_block(b as u64);
+                                            m.store(&node.dir, &wf).map_err(|e| e.to_string())?;
+                                        }
                                         assignment.lock()[b] = Some(rank);
                                     }
                                 }
@@ -425,7 +976,29 @@ impl Cluster {
                     }
                     let (ok, failed) =
                         join_round(handles, round < MAX_RECOVERY_ROUNDS, &self.faults)?;
+                    let any_ok = !ok.is_empty();
                     map_modeled.extend(ok.into_iter().map(|(_, m)| m));
+                    let done_now: Vec<u64> = if n_nodes == 1 {
+                        if any_ok {
+                            vec![0]
+                        } else {
+                            Vec::new()
+                        }
+                    } else {
+                        let a = assignment.lock();
+                        (0..n_blocks)
+                            .filter(|&b| a[b].is_some())
+                            .map(|b| b as u64)
+                            .collect()
+                    };
+                    slog.append(&SuperstepRecord {
+                        phase: "map".into(),
+                        superstep: round as u64,
+                        done: done_now,
+                        owners: owners_u32(if range_mode { &range_owners } else { &owners }),
+                        token_checksum: 0,
+                    })
+                    .map_err(master_err)?;
                     if failed.is_empty() {
                         break;
                     }
@@ -433,8 +1006,13 @@ impl Cluster {
                     // it: its disk and AM server survive (crash model), so
                     // the shuffle can still fetch them. Only the blocks it
                     // had in flight go back to the master's queue — and the
-                    // lengths it would have owned later move to survivors.
-                    fail_over(&failed, &mut alive, &mut owners, &mut recovery, l_min)?;
+                    // items it would have owned later move to survivors.
+                    let table: &mut [usize] = if range_mode {
+                        &mut range_owners
+                    } else {
+                        &mut owners
+                    };
+                    fail_over(&failed, &mut alive, table, &mut recovery)?;
                     let requeue: Vec<usize> = {
                         let a = assignment.lock();
                         (0..n_blocks).filter(|&b| a[b].is_none()).collect()
@@ -456,51 +1034,60 @@ impl Cluster {
                 let t0 = Instant::now();
                 let obs_shuffle = self.recorder.span("shuffle");
                 let obs_shuffle_id = obs_shuffle.id();
+                if resumed {
+                    self.recorder.counter_on(
+                        obs_shuffle_id,
+                        "phase.skipped_items",
+                        shuffle_done.len() as u64,
+                    );
+                }
                 let mut shuffle_modeled: Vec<f64> = Vec::new();
-                // Lengths still needing a (re-)shuffle this round.
-                let mut todo: Vec<u32> = if n_nodes == 1 {
-                    Vec::new()
-                } else {
-                    (l_min..l_max).collect()
-                };
+                // Items still needing a (re-)shuffle this round.
+                let mut todo: Vec<WorkItem> = std::mem::take(&mut shuffle_todo0);
                 let mut round = 0u32;
                 while !todo.is_empty() {
                     round += 1;
                     let mut handles = Vec::new();
+                    let mut planned: Vec<(usize, Vec<u64>)> = Vec::new();
                     for (rank, node) in nodes.iter().enumerate() {
                         if !alive[rank] {
                             continue;
                         }
-                        let lens: Vec<u32> = if range_mode {
-                            todo.clone()
-                        } else {
-                            todo.iter()
-                                .copied()
-                                .filter(|&l| owners[(l - l_min) as usize] == rank)
-                                .collect()
-                        };
-                        if lens.is_empty() && round > 1 {
+                        let items: Vec<WorkItem> = todo
+                            .iter()
+                            .copied()
+                            .filter(|it| {
+                                item_rank(it, range_mode, &owners, &range_owners, l_min) == rank
+                            })
+                            .collect();
+                        if items.is_empty() && round > 1 {
                             continue;
                         }
+                        planned.push((
+                            rank,
+                            items.iter().map(|it| item_id(it.len, it.range)).collect(),
+                        ));
                         let clients = clients.clone();
                         let assignment = Arc::clone(&assignment);
-                        let my_range = if range_mode { rank as u32 } else { 0 };
                         let rec = self.recorder.clone();
+                        let mf = &manifests[rank];
+                        let wf = self.faults.clone();
                         handles.push((
                             rank,
                             scope.spawn(move || -> std::result::Result<f64, String> {
                                 let rspan =
                                     rec.child_span(Some(obs_shuffle_id), &format!("rank{rank}"));
                                 let io0 = node.io.snapshot();
-                                let net_s = shuffle_lengths(
+                                let net_s = shuffle_items(
                                     node,
                                     &clients,
                                     rank,
                                     &assignment,
                                     n_blocks,
-                                    &lens,
-                                    my_range,
+                                    &items,
                                     ranges,
+                                    mf,
+                                    &wf,
                                 )?;
                                 let m = node.io.snapshot().since(&io0).total_seconds() + net_s;
                                 rec.metric_on(rspan.id(), "rank.modeled_seconds", m);
@@ -511,11 +1098,31 @@ impl Cluster {
                     }
                     let (ok, failed) =
                         join_round(handles, round < MAX_RECOVERY_ROUNDS, &self.faults)?;
+                    let ok_ranks: BTreeSet<usize> = ok.iter().map(|&(r, _)| r).collect();
                     shuffle_modeled.extend(ok.into_iter().map(|(_, m)| m));
+                    let done_now: Vec<u64> = planned
+                        .iter()
+                        .filter(|(r, _)| ok_ranks.contains(r))
+                        .flat_map(|(_, ids)| ids.iter().copied())
+                        .collect();
+                    slog.append(&SuperstepRecord {
+                        phase: "shuffle".into(),
+                        superstep: round as u64,
+                        done: done_now,
+                        owners: owners_u32(if range_mode { &range_owners } else { &owners }),
+                        token_checksum: 0,
+                    })
+                    .map_err(master_err)?;
                     if failed.is_empty() {
                         break;
                     }
-                    todo = fail_over(&failed, &mut alive, &mut owners, &mut recovery, l_min)?;
+                    let table: &mut [usize] = if range_mode {
+                        &mut range_owners
+                    } else {
+                        &mut owners
+                    };
+                    let moved = fail_over(&failed, &mut alive, table, &mut recovery)?;
+                    todo = moved_items(&moved, range_mode, l_min, l_max);
                     recovery.backoff_seconds += backoff_for(round);
                 }
                 self.recorder.metric_on(
@@ -534,34 +1141,46 @@ impl Cluster {
                 let t0 = Instant::now();
                 let obs_sort = self.recorder.span("sort");
                 let obs_sort_id = obs_sort.id();
+                if resumed {
+                    self.recorder.counter_on(
+                        obs_sort_id,
+                        "phase.skipped_items",
+                        sort_done.len() as u64,
+                    );
+                }
                 let mut sort_modeled: Vec<f64> = Vec::new();
-                // `(length, rebuild)`: rebuild means the length just moved off
-                // a dead owner, so the new owner must re-shuffle it from the
-                // durable map output before sorting.
-                let mut todo: Vec<(u32, bool)> = (l_min..l_max).map(|l| (l, false)).collect();
+                // `rebuild` items just moved off a dead owner, so the new
+                // owner must re-shuffle them from the durable map output
+                // before sorting.
+                let mut todo: Vec<WorkItem> = std::mem::take(&mut sort_todo0);
                 let mut round = 0u32;
                 while !todo.is_empty() {
                     round += 1;
                     let mut handles = Vec::new();
+                    let mut planned: Vec<(usize, Vec<u64>)> = Vec::new();
                     for (rank, node) in nodes.iter().enumerate() {
                         if !alive[rank] {
                             continue;
                         }
-                        let lens: Vec<(u32, bool)> = if range_mode {
-                            todo.clone()
-                        } else {
-                            todo.iter()
-                                .copied()
-                                .filter(|&(l, _)| owners[(l - l_min) as usize] == rank)
-                                .collect()
-                        };
-                        if lens.is_empty() && round > 1 {
+                        let items: Vec<WorkItem> = todo
+                            .iter()
+                            .copied()
+                            .filter(|it| {
+                                item_rank(it, range_mode, &owners, &range_owners, l_min) == rank
+                            })
+                            .collect();
+                        if items.is_empty() && round > 1 {
                             continue;
                         }
+                        planned.push((
+                            rank,
+                            items.iter().map(|it| item_id(it.len, it.range)).collect(),
+                        ));
                         let clients = clients.clone();
                         let assignment = Arc::clone(&assignment);
-                        let my_range = if range_mode { rank as u32 } else { 0 };
                         let rec = self.recorder.clone();
+                        let mf = &manifests[rank];
+                        let wf = self.faults.clone();
                         handles.push((
                             rank,
                             scope.spawn(move || -> std::result::Result<f64, String> {
@@ -569,23 +1188,23 @@ impl Cluster {
                                     rec.child_span(Some(obs_sort_id), &format!("rank{rank}"));
                                 let dev0 = node.device.stats();
                                 let io0 = node.io.snapshot();
-                                let rebuild: Vec<u32> =
-                                    lens.iter().filter(|&&(_, r)| r).map(|&(l, _)| l).collect();
+                                let rebuild: Vec<WorkItem> =
+                                    items.iter().copied().filter(|it| it.rebuild).collect();
                                 let mut net_s = 0.0;
                                 if !rebuild.is_empty() {
-                                    net_s = shuffle_lengths(
+                                    net_s = shuffle_items(
                                         node,
                                         &clients,
                                         rank,
                                         &assignment,
                                         n_blocks,
                                         &rebuild,
-                                        my_range,
                                         ranges,
+                                        mf,
+                                        &wf,
                                     )?;
                                 }
-                                let all: Vec<u32> = lens.iter().map(|&(l, _)| l).collect();
-                                sort_lengths(node, &all)?;
+                                sort_items(node, &items, ranges, mf, &wf)?;
                                 let m = node_modeled(node, &dev0, &io0) + net_s;
                                 rec.metric_on(rspan.id(), "rank.modeled_seconds", m);
                                 Ok(m)
@@ -594,14 +1213,31 @@ impl Cluster {
                     }
                     let (ok, failed) =
                         join_round(handles, round < MAX_RECOVERY_ROUNDS, &self.faults)?;
+                    let ok_ranks: BTreeSet<usize> = ok.iter().map(|&(r, _)| r).collect();
                     sort_modeled.extend(ok.into_iter().map(|(_, m)| m));
+                    let done_now: Vec<u64> = planned
+                        .iter()
+                        .filter(|(r, _)| ok_ranks.contains(r))
+                        .flat_map(|(_, ids)| ids.iter().copied())
+                        .collect();
+                    slog.append(&SuperstepRecord {
+                        phase: "sort".into(),
+                        superstep: round as u64,
+                        done: done_now,
+                        owners: owners_u32(if range_mode { &range_owners } else { &owners }),
+                        token_checksum: 0,
+                    })
+                    .map_err(master_err)?;
                     if failed.is_empty() {
                         break;
                     }
-                    todo = fail_over(&failed, &mut alive, &mut owners, &mut recovery, l_min)?
-                        .into_iter()
-                        .map(|l| (l, true))
-                        .collect();
+                    let table: &mut [usize] = if range_mode {
+                        &mut range_owners
+                    } else {
+                        &mut owners
+                    };
+                    let moved = fail_over(&failed, &mut alive, table, &mut recovery)?;
+                    todo = moved_items(&moved, range_mode, l_min, l_max);
                     recovery.backoff_seconds += backoff_for(round);
                 }
                 self.recorder
@@ -614,111 +1250,155 @@ impl Cluster {
                 });
 
                 // --- Phase 4: reduce -----------------------------------------
-                // Stage A (parallel): find candidates per owned length.
+                // Stage A (parallel): find candidates per owned item.
                 let t0 = Instant::now();
                 let obs_reduce = self.recorder.span("reduce");
                 let obs_reduce_id = obs_reduce.id();
+                if resumed {
+                    self.recorder.counter_on(
+                        obs_reduce_id,
+                        "phase.skipped_items",
+                        join_done.len() as u64,
+                    );
+                }
                 let mut find_modeled: Vec<f64> = Vec::new();
-                // Candidates indexed by [length][rank]: in token mode only the
-                // length's owner has a non-empty list; in range mode every rank
-                // contributes its fingerprint slice, and ranks concatenate in
-                // global fingerprint order.
+                // Candidates indexed by [length][slot]: in token mode the
+                // slot is the producing rank (only the length's owner has a
+                // non-empty list); in range mode the slot is the fingerprint
+                // range, so concatenating slots reproduces the global
+                // fingerprint order no matter which rank produced them.
+                let n_slots = if range_mode { ranges as usize } else { n_nodes };
                 let mut candidates: Vec<Vec<Vec<(u32, u32)>>> =
-                    vec![vec![Vec::new(); n_nodes]; (l_max - l_min) as usize];
-                // `(length, rebuild)` as in the sort phase: a length inherited
-                // from a dead owner is re-shuffled and re-sorted from the
-                // durable map output before it is re-joined.
-                let mut todo: Vec<(u32, bool)> = (l_min..l_max).map(|l| (l, false)).collect();
+                    vec![vec![Vec::new(); n_slots]; (l_max - l_min) as usize];
+                // Candidate lists reloaded from durable join output.
+                for (len, range, cands) in std::mem::take(&mut preloaded) {
+                    let slot = if range_mode {
+                        range as usize
+                    } else {
+                        owners[(len - l_min) as usize]
+                    };
+                    candidates[(len - l_min) as usize][slot] = cands;
+                }
+                // `rebuild` as in the sort phase: an item inherited from a
+                // dead owner is re-shuffled and re-sorted from the durable
+                // map output before it is re-joined.
+                let mut todo: Vec<WorkItem> = std::mem::take(&mut join_todo0);
                 let mut round = 0u32;
                 while !todo.is_empty() {
                     round += 1;
                     let mut handles = Vec::new();
+                    let mut planned: Vec<(usize, Vec<u64>)> = Vec::new();
                     for (rank, node) in nodes.iter().enumerate() {
                         if !alive[rank] {
                             continue;
                         }
-                        let lens: Vec<(u32, bool)> = if range_mode {
-                            todo.clone()
-                        } else {
-                            todo.iter()
-                                .copied()
-                                .filter(|&(l, _)| owners[(l - l_min) as usize] == rank)
-                                .collect()
-                        };
-                        if lens.is_empty() && round > 1 {
+                        let items: Vec<WorkItem> = todo
+                            .iter()
+                            .copied()
+                            .filter(|it| {
+                                item_rank(it, range_mode, &owners, &range_owners, l_min) == rank
+                            })
+                            .collect();
+                        if items.is_empty() && round > 1 {
                             continue;
                         }
+                        planned.push((
+                            rank,
+                            items.iter().map(|it| item_id(it.len, it.range)).collect(),
+                        ));
                         let clients = clients.clone();
                         let assignment = Arc::clone(&assignment);
-                        let my_range = if range_mode { rank as u32 } else { 0 };
                         let rec = self.recorder.clone();
+                        let mf = &manifests[rank];
+                        let wf = self.faults.clone();
                         handles.push((
                             rank,
                             scope.spawn(
-                                move || -> std::result::Result<(f64, NodeCandidates), String> {
+                                move || -> std::result::Result<(f64, NodeItemCandidates), String> {
                                     let rspan =
                                         rec.child_span(Some(obs_reduce_id), &format!("rank{rank}"));
                                     let dev0 = node.device.stats();
                                     let io0 = node.io.snapshot();
-                                    let rebuild: Vec<u32> =
-                                        lens.iter().filter(|&&(_, r)| r).map(|&(l, _)| l).collect();
+                                    let rebuild: Vec<WorkItem> =
+                                        items.iter().copied().filter(|it| it.rebuild).collect();
                                     let mut net_s = 0.0;
                                     if !rebuild.is_empty() {
-                                        net_s = shuffle_lengths(
+                                        net_s = shuffle_items(
                                             node,
                                             &clients,
                                             rank,
                                             &assignment,
                                             n_blocks,
                                             &rebuild,
-                                            my_range,
                                             ranges,
+                                            mf,
+                                            &wf,
                                         )?;
-                                        sort_lengths(node, &rebuild)?;
+                                        sort_items(node, &rebuild, ranges, mf, &wf)?;
                                     }
-                                    let all: Vec<u32> = lens.iter().map(|&(l, _)| l).collect();
-                                    let per_len = join_lengths(node, &all)?;
+                                    let per_item = join_items(node, &items, ranges, mf, &wf)?;
                                     let m = node_modeled(node, &dev0, &io0) + net_s;
                                     rec.metric_on(rspan.id(), "rank.modeled_seconds", m);
-                                    Ok((m, per_len))
+                                    Ok((m, per_item))
                                 },
                             ),
                         ));
                     }
                     let (ok, failed) =
                         join_round(handles, round < MAX_RECOVERY_ROUNDS, &self.faults)?;
-                    for (rank, (m, per_len)) in ok {
+                    let ok_ranks: BTreeSet<usize> = ok.iter().map(|(r, _)| *r).collect();
+                    for (rank, (m, per_item)) in ok {
                         find_modeled.push(m);
-                        for (len, cands) in per_len {
-                            candidates[(len - l_min) as usize][rank] = cands;
+                        for (len, range, cands) in per_item {
+                            let slot = if range_mode { range as usize } else { rank };
+                            candidates[(len - l_min) as usize][slot] = cands;
                         }
                     }
+                    let done_now: Vec<u64> = planned
+                        .iter()
+                        .filter(|(r, _)| ok_ranks.contains(r))
+                        .flat_map(|(_, ids)| ids.iter().copied())
+                        .collect();
+                    slog.append(&SuperstepRecord {
+                        phase: "join".into(),
+                        superstep: round as u64,
+                        done: done_now,
+                        owners: owners_u32(if range_mode { &range_owners } else { &owners }),
+                        token_checksum: 0,
+                    })
+                    .map_err(master_err)?;
                     if failed.is_empty() {
                         break;
                     }
-                    todo = fail_over(&failed, &mut alive, &mut owners, &mut recovery, l_min)?
-                        .into_iter()
-                        .map(|l| (l, true))
-                        .collect();
+                    let table: &mut [usize] = if range_mode {
+                        &mut range_owners
+                    } else {
+                        &mut owners
+                    };
+                    let moved = fail_over(&failed, &mut alive, table, &mut recovery)?;
+                    todo = moved_items(&moved, range_mode, l_min, l_max);
                     recovery.backoff_seconds += backoff_for(round);
                 }
 
                 // Stage B (serialized): the bit-vector token sweeps lengths in
-                // descending order; each owner applies its candidates through
-                // the greedy guard. The per-node graphs hold disjoint edge
-                // sets; merging is a replay in the same global order.
+                // descending order; each slot applies its candidates through
+                // the greedy guard. The per-slot graphs hold disjoint edge
+                // sets; merging is a replay in the same global order. Every
+                // completed length appends a `commit` record carrying the
+                // token checksum; a resumed sweep validates its recomputed
+                // bits against the logged checksum before proceeding.
                 let mut apply_wall = 0.0;
                 let mut token_net_s = 0.0;
                 let mut bits = StringGraph::new(vertices).out_bits();
-                let mut per_node_graphs: Vec<StringGraph> =
-                    (0..n_nodes).map(|_| StringGraph::new(vertices)).collect();
+                let mut per_slot_graphs: Vec<StringGraph> =
+                    (0..n_slots).map(|_| StringGraph::new(vertices)).collect();
                 for len in (l_min..l_max).rev() {
-                    for rank in 0..n_nodes {
-                        let cands = &candidates[(len - l_min) as usize][rank];
+                    for slot in 0..n_slots {
+                        let cands = &candidates[(len - l_min) as usize][slot];
                         if cands.is_empty() {
                             continue;
                         }
-                        let g = &mut per_node_graphs[rank];
+                        let g = &mut per_slot_graphs[slot];
                         let ta = Instant::now();
                         g.merge_out_bits(&bits);
                         for &(u, v) in cands {
@@ -733,9 +1413,26 @@ impl Cluster {
                     // Bit-vector movement: a single token hop between length
                     // owners (token mode), or an intra-length relay plus final
                     // broadcast across all ranks (range mode). Ownership is the
-                    // post-fail-over `owners` table, not the static round-robin.
+                    // post-fail-over table, not the static round-robin.
                     let owner_of = |l: u32| owners[(l - l_min) as usize];
                     if range_mode {
+                        if self.faults.hit(faultsim::DNET_TOKEN).is_err() {
+                            // The broadcast's relay died mid-length. Every
+                            // slot graph carries the bits it merged before
+                            // applying, so OR-ing them regenerates exactly
+                            // the lost vector; charge one extra broadcast
+                            // for the regeneration round.
+                            let mut fresh = StringGraph::new(vertices).out_bits();
+                            for g in &per_slot_graphs {
+                                for (d, s) in fresh.iter_mut().zip(g.out_bits()) {
+                                    *d |= s;
+                                }
+                            }
+                            bits = fresh;
+                            recovery.token_regenerations += 1;
+                            self.faults.record_retry(faultsim::DNET_TOKEN);
+                            token_net_s += net.add_message(bits.len() as u64 * 8 * n_nodes as u64);
+                        }
                         token_net_s += net.add_message(bits.len() as u64 * 8 * n_nodes as u64);
                     } else if len > l_min && owner_of(len - 1) != owner_of(len) {
                         match self.faults.hit(faultsim::DNET_TOKEN) {
@@ -750,7 +1447,7 @@ impl Cluster {
                                 // is exactly the lost token — and charge a
                                 // broadcast instead of one hop.
                                 let mut fresh = StringGraph::new(vertices).out_bits();
-                                for g in &per_node_graphs {
+                                for g in &per_slot_graphs {
                                     for (d, s) in fresh.iter_mut().zip(g.out_bits()) {
                                         *d |= s;
                                     }
@@ -761,6 +1458,36 @@ impl Cluster {
                                 token_net_s +=
                                     net.add_message(bits.len() as u64 * 8 * n_nodes as u64);
                             }
+                        }
+                    }
+                    // Commit barrier: checksum the token, validate against a
+                    // logged commit (resume) or append a fresh one.
+                    let checksum = bits_checksum(&bits);
+                    match commit_checksums.get(&(len as u64)) {
+                        Some(&logged) if logged == checksum => {}
+                        Some(_) => {
+                            return Err(DnetError::Node {
+                                node: 0,
+                                message: StreamError::Corrupt(format!(
+                                    "resumed commit at length {len} diverged from the \
+                                     superstep log (token checksum mismatch)"
+                                ))
+                                .to_string(),
+                            });
+                        }
+                        None => {
+                            slog.append(&SuperstepRecord {
+                                phase: "commit".into(),
+                                superstep: len as u64,
+                                done: Vec::new(),
+                                owners: owners_u32(if range_mode {
+                                    &range_owners
+                                } else {
+                                    &owners
+                                }),
+                                token_checksum: checksum,
+                            })
+                            .map_err(master_err)?;
                         }
                     }
                 }
@@ -823,6 +1550,18 @@ impl Cluster {
                 recovery.backoff_seconds,
             );
         }
+        if recovery.master_rebuilds > 0 {
+            self.recorder.counter_on(
+                obs_root.id(),
+                "recovery.master_rebuilds",
+                recovery.master_rebuilds,
+            );
+            self.recorder.counter_on(
+                obs_root.id(),
+                "recovery.superstep_replays",
+                recovery.superstep_replays,
+            );
+        }
         drop(obs_root);
 
         merged_graph
@@ -839,6 +1578,7 @@ impl Cluster {
             network_messages: net.messages(),
             edges: merged_graph.edge_count(),
             candidates: total_candidates,
+            resumed,
         };
         Ok(DistributedOutput {
             graph: merged_graph,
@@ -894,18 +1634,19 @@ fn join_round<T>(
     Ok((ok, failed))
 }
 
-/// Mark `failed` ranks dead and hand every length they owned to surviving
-/// ranks round-robin. Returns the moved lengths: their partitions live on
-/// the dead nodes' disks, so the new owners must rebuild them from the
-/// durable map output (re-shuffle, and re-sort/re-join as the phase
-/// requires).
+/// Mark `failed` ranks dead and hand every ownership-table entry they
+/// held to surviving ranks round-robin. The table is per-length in token
+/// mode and per-fingerprint-range in range mode; either way the moved
+/// entries' artifacts live on the dead nodes' disks, so the new owners
+/// must rebuild them from the durable map output (re-shuffle, and
+/// re-sort/re-join as the phase requires). Returns the moved table
+/// indices.
 fn fail_over(
     failed: &[usize],
     alive: &mut [bool],
-    owners: &mut [usize],
+    table: &mut [usize],
     recovery: &mut RecoveryStats,
-    l_min: u32,
-) -> Result<Vec<u32>> {
+) -> Result<Vec<usize>> {
     for &r in failed {
         alive[r] = false;
         recovery.node_failures += 1;
@@ -919,38 +1660,42 @@ fn fail_over(
     }
     let mut moved = Vec::new();
     let mut next = 0usize;
-    for (i, owner) in owners.iter_mut().enumerate() {
+    for (i, owner) in table.iter_mut().enumerate() {
         if !alive[*owner] {
             *owner = survivors[next % survivors.len()];
             next += 1;
-            moved.push(l_min + i as u32);
+            moved.push(i);
             recovery.length_reassignments += 1;
         }
     }
     Ok(moved)
 }
 
-/// Shuffle step for one owner: fetch every block's records for `lens`
+/// Shuffle step for one owner: fetch every block's records for `items`
 /// from their mappers (via `try_call`, so the `dnet.am` failpoint can
 /// kill the requester mid-stream) and concatenate them in block order —
 /// the order that keeps the stream byte-identical to the single-node map
-/// output.
+/// output. Each completed item is claimed in the rank's manifest (tags +
+/// footers) before the next begins, so a resume trusts exactly the items
+/// that were durable.
 #[allow(clippy::too_many_arguments)]
-fn shuffle_lengths(
+fn shuffle_items(
     node: &Node,
     clients: &[AmClient],
     rank: usize,
     assignment: &Mutex<Vec<Option<usize>>>,
     n_blocks: usize,
-    lens: &[u32],
-    my_range: u32,
+    items: &[WorkItem],
     ranges: u32,
+    manifest: &Mutex<Manifest>,
+    faults: &faultsim::Faults,
 ) -> std::result::Result<f64, String> {
     let mut net_s = 0.0;
     let spill = SpillDir::open(&node.dir, node.io.clone()).map_err(|e| e.to_string())?;
-    for &len in lens {
+    for it in items {
         for kind in [PartitionKind::Suffix, PartitionKind::Prefix] {
-            let mut w = spill.writer(kind, len).map_err(|e| e.to_string())?;
+            let dest = spill.path_range(kind, it.len, it.range, ranges);
+            let mut w = RecordWriter::create(&dest, node.io.clone()).map_err(|e| e.to_string())?;
             for b in 0..n_blocks {
                 let src = assignment.lock()[b].ok_or_else(|| format!("block {b} unassigned"))?;
                 let (resp, secs) = clients[src]
@@ -959,8 +1704,8 @@ fn shuffle_lengths(
                         Request::FetchPartition {
                             block: b,
                             kind,
-                            len,
-                            range: my_range,
+                            len: it.len,
+                            range: it.range,
                             ranges,
                         },
                     )
@@ -974,46 +1719,76 @@ fn shuffle_lengths(
             }
             w.finish().map_err(|e| e.to_string())?;
         }
+        let mut m = manifest.lock();
+        for kind in [PartitionKind::Suffix, PartitionKind::Prefix] {
+            m.mark_shuffled(&part_tag(kind, it.len, it.range, ranges));
+            m.record_file(&spill.path_range(kind, it.len, it.range, ranges))
+                .map_err(|e| e.to_string())?;
+        }
+        m.store(&node.dir, faults).map_err(|e| e.to_string())?;
     }
     Ok(net_s)
 }
 
-/// Sort step for one owner: externally sort each of `lens`' partition
-/// pairs in place with the node's own GPU and disk.
-fn sort_lengths(node: &Node, lens: &[u32]) -> std::result::Result<(), String> {
+/// Sort step for one owner: externally sort each of `items`' partition
+/// pairs in place with the node's own GPU and disk, then claim the sorted
+/// footers in the rank's manifest.
+fn sort_items(
+    node: &Node,
+    items: &[WorkItem],
+    ranges: u32,
+    manifest: &Mutex<Manifest>,
+    faults: &faultsim::Faults,
+) -> std::result::Result<(), String> {
     let spill = SpillDir::open(&node.dir, node.io.clone()).map_err(|e| e.to_string())?;
     let sort_config = SortConfig::from_budgets(&node.host, &node.device);
     let sorter = ExternalSorter::new(node.device.clone(), node.host.clone(), sort_config)
         .map_err(|e| e.to_string())?;
-    for &len in lens {
-        for (kind, tag) in [
-            (PartitionKind::Suffix, "sfx"),
-            (PartitionKind::Prefix, "pfx"),
-        ] {
-            let input = spill.path(kind, len);
-            let sorted = spill.scratch_path(&format!("{tag}{len}s"));
+    for it in items {
+        for kind in [PartitionKind::Suffix, PartitionKind::Prefix] {
+            let input = spill.path_range(kind, it.len, it.range, ranges);
+            let sorted = spill.scratch_path(&format!("{}{}r{}s", kind.tag(), it.len, it.range));
             sorter
                 .sort_file(&spill, &input, &sorted)
                 .map_err(|e| e.to_string())?;
             std::fs::rename(&sorted, &input).map_err(|e| e.to_string())?;
+            // The rename is only crash-durable once the directory entry
+            // is; a resume must never see the manifest claim without it.
+            gstream::fsync_parent_dir(&input).map_err(|e| e.to_string())?;
         }
+        let mut m = manifest.lock();
+        for kind in [PartitionKind::Suffix, PartitionKind::Prefix] {
+            m.mark_sorted(&part_tag(kind, it.len, it.range, ranges));
+            m.record_file(&spill.path_range(kind, it.len, it.range, ranges))
+                .map_err(|e| e.to_string())?;
+        }
+        m.store(&node.dir, faults).map_err(|e| e.to_string())?;
     }
     Ok(())
 }
 
-/// Reduce stage A for one owner: join each of `lens`' sorted partition
+/// Reduce stage A for one owner: join each of `items`' sorted partition
 /// pairs, collecting candidates. Both streams are drained afterwards so a
 /// corrupt tail fails here, loudly, rather than shrinking the assembly.
-fn join_lengths(node: &Node, lens: &[u32]) -> std::result::Result<NodeCandidates, String> {
+/// Each item's candidate list — the superstep's graph delta — is written
+/// durably (`cnd_<len>_r<range>.kv`) and claimed in the manifest, so a
+/// resumed reduce reloads it instead of re-joining.
+fn join_items(
+    node: &Node,
+    items: &[WorkItem],
+    ranges: u32,
+    manifest: &Mutex<Manifest>,
+    faults: &faultsim::Faults,
+) -> std::result::Result<NodeItemCandidates, String> {
     let spill = SpillDir::open(&node.dir, node.io.clone()).map_err(|e| e.to_string())?;
     let window = reduce::window_budget(&node.host, &node.device);
-    let mut per_len = Vec::new();
-    for &len in lens {
+    let mut out = Vec::new();
+    for it in items {
         let mut sfx = spill
-            .reader(PartitionKind::Suffix, len)
+            .reader_range(PartitionKind::Suffix, it.len, it.range, ranges)
             .map_err(|e| e.to_string())?;
         let mut pfx = spill
-            .reader(PartitionKind::Prefix, len)
+            .reader_range(PartitionKind::Prefix, it.len, it.range, ranges)
             .map_err(|e| e.to_string())?;
         let mut cands: Vec<(u32, u32)> = Vec::new();
         reduce::join_partition(&node.device, &mut sfx, &mut pfx, window, |u, v| {
@@ -1022,9 +1797,21 @@ fn join_lengths(node: &Node, lens: &[u32]) -> std::result::Result<NodeCandidates
         .map_err(|e| e.to_string())?;
         sfx.verify_to_end().map_err(|e| e.to_string())?;
         pfx.verify_to_end().map_err(|e| e.to_string())?;
-        per_len.push((len, cands));
+        let ctag = cand_tag(it.len, it.range);
+        let cpath = node.dir.join(format!("{ctag}.kv"));
+        let mut w = RecordWriter::create(&cpath, node.io.clone()).map_err(|e| e.to_string())?;
+        for &(u, v) in &cands {
+            w.write(KvPair::new(u as u128, v))
+                .map_err(|e| e.to_string())?;
+        }
+        w.finish().map_err(|e| e.to_string())?;
+        let mut m = manifest.lock();
+        m.mark_joined(&ctag);
+        m.record_file(&cpath).map_err(|e| e.to_string())?;
+        m.store(&node.dir, faults).map_err(|e| e.to_string())?;
+        out.push((it.len, it.range, cands));
     }
-    Ok(per_len)
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -1091,6 +1878,7 @@ mod tests {
             "2 nodes must shuffle remotely"
         );
         assert!(out.report.network_messages > 0);
+        assert!(!out.report.resumed, "a fresh run is not a resume");
     }
 
     #[test]
@@ -1343,16 +2131,215 @@ mod tests {
     }
 
     #[test]
-    fn range_mode_refuses_fault_injection() {
-        let reads = sample(600, 40, 5.0, 17);
+    fn range_mode_node_kill_fails_over_to_the_identical_graph() {
+        // Fault injection in range mode used to be refused outright; with
+        // per-range ownership the fail-over story is the same as token
+        // mode's, so a killed node must no longer change the output.
+        let reads = sample(1200, 40, 8.0, 11);
+        let expect = single_node_graph(&reads, 25);
         let dir = tempfile::tempdir().unwrap();
-        let err = range_cluster(2, 25, 40, 64)
+        let rec = obs::Recorder::new();
+        let faults =
+            faultsim::Faults::from_plan(&faultsim::FaultPlan::new().fail_at(faultsim::DNET_AM, 3));
+        let out = range_cluster(3, 25, 40, 37)
+            .with_recorder(rec.clone())
+            .with_faults(faults.clone())
+            .assemble(&reads, dir.path())
+            .unwrap();
+        assert_same_graph(&out.graph, &expect, "range-mode am kill");
+        assert_eq!(faults.injected().len(), 1);
+        let rollup = obs::Rollup::from_events(&rec.events());
+        let root = rollup.root_named("distributed").unwrap();
+        let agg = rollup.subtree(root.id);
+        assert_eq!(agg.counter("recovery.node_failures"), 1);
+        assert!(agg.counter("recovery.length_reassignments") >= 1);
+    }
+
+    #[test]
+    fn range_mode_lost_token_is_regenerated_with_identical_output() {
+        let reads = sample(1200, 40, 8.0, 11);
+        let expect = single_node_graph(&reads, 25);
+        let dir = tempfile::tempdir().unwrap();
+        let rec = obs::Recorder::new();
+        let out = range_cluster(3, 25, 40, 37)
+            .with_recorder(rec.clone())
             .with_faults(faultsim::Faults::from_plan(
-                &faultsim::FaultPlan::new().fail_at(faultsim::DNET_AM, 1),
+                &faultsim::FaultPlan::new().fail_at(faultsim::DNET_TOKEN, 1),
             ))
             .assemble(&reads, dir.path())
+            .unwrap();
+        assert_same_graph(&out.graph, &expect, "range-mode token loss");
+        let rollup = obs::Rollup::from_events(&rec.events());
+        let root = rollup.root_named("distributed").unwrap();
+        let agg = rollup.subtree(root.id);
+        assert_eq!(agg.counter("recovery.token_regenerations"), 1);
+        // The regeneration round costs one extra broadcast.
+        let clean_dir = tempfile::tempdir().unwrap();
+        let clean = range_cluster(3, 25, 40, 37)
+            .assemble(&reads, clean_dir.path())
+            .unwrap();
+        assert!(out.report.network_bytes > clean.report.network_bytes);
+    }
+
+    #[test]
+    fn master_crash_at_superstep_write_resumes_without_redoing_finished_work() {
+        let reads = sample(1200, 40, 8.0, 11);
+        let expect = single_node_graph(&reads, 25);
+        let dir = tempfile::tempdir().unwrap();
+        // Clean-run append order: header, map, shuffle, sort, join —
+        // occurrence 5 kills the master exactly when it would acknowledge
+        // the completed join superstep.
+        let err = cluster(2, 25, 40, 37)
+            .with_faults(faultsim::Faults::from_plan(
+                &faultsim::FaultPlan::new().fail_at(faultsim::SUPERSTEP_WRITE, 5),
+            ))
+            .assemble_resumable(&reads, dir.path())
             .unwrap_err();
-        assert!(matches!(err, DnetError::BadConfig(_)), "got {err}");
+        assert!(faultsim::is_injected(&err.to_string()), "got {err}");
+
+        let rec = obs::Recorder::new();
+        let out = cluster(2, 25, 40, 37)
+            .with_recorder(rec.clone())
+            .resume(&reads, dir.path())
+            .unwrap();
+        assert!(out.report.resumed, "second run must resume, not restart");
+        assert_same_graph(&out.graph, &expect, "master crash resume");
+        let rollup = obs::Rollup::from_events(&rec.events());
+        let root = rollup.root_named("distributed").unwrap();
+        let agg = rollup.subtree(root.id);
+        assert_eq!(agg.counter("recovery.master_rebuilds"), 1);
+        // map, shuffle and sort were logged before the crash; only the
+        // join supersteps (one per overlap length) replay.
+        assert_eq!(agg.counter("recovery.superstep_replays"), (40 - 25) as u64);
+        let map_phase = rollup.child_named(root.id, "map").unwrap();
+        let map_agg = rollup.subtree(map_phase.id);
+        assert_eq!(
+            map_agg.counter("phase.skipped_items"),
+            reads.len().div_ceil(37) as u64,
+            "every durably mapped block is skipped on resume"
+        );
+    }
+
+    #[test]
+    fn run_killed_on_every_node_resumes_to_the_identical_graph() {
+        let reads = sample(1200, 40, 8.0, 11);
+        let expect = single_node_graph(&reads, 25);
+        let dir = tempfile::tempdir().unwrap();
+        // Kill all three nodes: the run dies with no survivors, leaving
+        // partial durable state behind.
+        let plan = faultsim::FaultPlan::new()
+            .fail_at(faultsim::DNET_AM, 1)
+            .fail_at(faultsim::DNET_AM, 2)
+            .fail_at(faultsim::DNET_AM, 3);
+        cluster(3, 25, 40, 37)
+            .with_faults(faultsim::Faults::from_plan(&plan))
+            .assemble_resumable(&reads, dir.path())
+            .unwrap_err();
+        let out = cluster(3, 25, 40, 37).resume(&reads, dir.path()).unwrap();
+        assert!(out.report.resumed);
+        assert_same_graph(&out.graph, &expect, "kill-all resume");
+    }
+
+    #[test]
+    fn range_mode_killed_run_resumes_to_the_identical_graph() {
+        let reads = sample(1200, 40, 8.0, 11);
+        let expect = single_node_graph(&reads, 25);
+        let dir = tempfile::tempdir().unwrap();
+        let plan = faultsim::FaultPlan::new()
+            .fail_at(faultsim::DNET_AM, 1)
+            .fail_at(faultsim::DNET_AM, 2);
+        range_cluster(2, 25, 40, 37)
+            .with_faults(faultsim::Faults::from_plan(&plan))
+            .assemble_resumable(&reads, dir.path())
+            .unwrap_err();
+        let out = range_cluster(2, 25, 40, 37)
+            .resume(&reads, dir.path())
+            .unwrap();
+        assert!(out.report.resumed);
+        assert_same_graph(&out.graph, &expect, "range-mode resume");
+    }
+
+    #[test]
+    fn resume_of_a_completed_run_redoes_nothing() {
+        let reads = sample(1200, 40, 8.0, 11);
+        let expect = single_node_graph(&reads, 25);
+        let dir = tempfile::tempdir().unwrap();
+        cluster(2, 25, 40, 37).assemble(&reads, dir.path()).unwrap();
+        let rec = obs::Recorder::new();
+        let out = cluster(2, 25, 40, 37)
+            .with_recorder(rec.clone())
+            .resume(&reads, dir.path())
+            .unwrap();
+        assert!(out.report.resumed);
+        assert_same_graph(&out.graph, &expect, "no-op resume");
+        let rollup = obs::Rollup::from_events(&rec.events());
+        let root = rollup.root_named("distributed").unwrap();
+        let agg = rollup.subtree(root.id);
+        assert_eq!(agg.counter("recovery.master_rebuilds"), 1);
+        assert_eq!(
+            agg.counter("recovery.superstep_replays"),
+            0,
+            "a completed run has nothing to replay"
+        );
+    }
+
+    #[test]
+    fn resume_with_a_different_config_restarts_fresh() {
+        let reads = sample(1200, 40, 8.0, 11);
+        let expect = single_node_graph(&reads, 25);
+        let dir = tempfile::tempdir().unwrap();
+        cluster(2, 25, 40, 37).assemble(&reads, dir.path()).unwrap();
+        // Different block size: a different run. Resuming must silently
+        // restart fresh, never mix the two runs' artifacts.
+        let out = cluster(2, 25, 40, 64).resume(&reads, dir.path()).unwrap();
+        assert!(!out.report.resumed, "foreign state must not be resumed");
+        assert_same_graph(&out.graph, &expect, "fresh restart");
+    }
+
+    #[test]
+    fn torn_superstep_log_tail_is_replayed_on_resume() {
+        let reads = sample(1200, 40, 8.0, 11);
+        let expect = single_node_graph(&reads, 25);
+        let dir = tempfile::tempdir().unwrap();
+        cluster(2, 25, 40, 37).assemble(&reads, dir.path()).unwrap();
+        // Tear the final commit record mid-append, as a master crash
+        // would: chop the trailing newline and part of the record.
+        let log_path = dir.path().join(crate::superstep::LOG_NAME);
+        let bytes = std::fs::read(&log_path).unwrap();
+        std::fs::write(&log_path, &bytes[..bytes.len() - 10]).unwrap();
+
+        let rec = obs::Recorder::new();
+        let out = cluster(2, 25, 40, 37)
+            .with_recorder(rec.clone())
+            .resume(&reads, dir.path())
+            .unwrap();
+        assert!(out.report.resumed);
+        assert_same_graph(&out.graph, &expect, "torn-tail resume");
+        let rollup = obs::Rollup::from_events(&rec.events());
+        let root = rollup.root_named("distributed").unwrap();
+        let agg = rollup.subtree(root.id);
+        assert_eq!(agg.counter("recovery.master_rebuilds"), 1);
+        assert_eq!(agg.counter("recovery.superstep_replays"), 0);
+        // The resume truncated the torn tail and re-appended the lost
+        // commit: a third recovery sees a clean, complete log.
+        let back = SuperstepLog::recover(dir.path(), faultsim::Faults::disabled())
+            .unwrap()
+            .unwrap();
+        assert!(!back.torn, "resume must repair the torn tail");
+        assert_eq!(back.records.last().unwrap().phase, "commit");
+    }
+
+    #[test]
+    fn backoff_charges_nothing_for_round_zero_and_is_capped() {
+        assert_eq!(backoff_for(0), 0.0, "the initial attempt is not a retry");
+        assert_eq!(backoff_for(1), 0.1);
+        assert_eq!(backoff_for(2), 0.2);
+        assert_eq!(backoff_for(3), 0.4);
+        // Doubling stops after MAX_RECOVERY_ROUNDS steps: a long fail-over
+        // chain cannot inflate modeled time without bound.
+        assert_eq!(backoff_for(MAX_RECOVERY_ROUNDS + 1), backoff_for(100));
+        let total: f64 = (0..1000).map(backoff_for).sum();
+        assert!(total <= 1000.0 * backoff_for(MAX_RECOVERY_ROUNDS + 1));
     }
 }
 

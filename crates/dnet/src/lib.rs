@@ -22,12 +22,14 @@
 pub mod am;
 pub mod cluster;
 pub mod netmodel;
+pub mod superstep;
 
 pub use am::{AmClient, AmServer, Request, Response};
 pub use cluster::{
     Cluster, ClusterConfig, DistributedOutput, DistributedReport, PhaseSummary, ReduceStrategy,
 };
 pub use netmodel::{NetModel, NetStats};
+pub use superstep::{LogRecovery, SuperstepLog, SuperstepRecord};
 
 /// Errors from distributed execution.
 #[derive(Debug)]

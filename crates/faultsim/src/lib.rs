@@ -33,6 +33,16 @@ pub const DNET_AM: &str = "dnet.am";
 pub const DNET_TOKEN: &str = "dnet.token";
 /// Failpoint: committing `manifest.json` in `lasagna::manifest`.
 pub const MANIFEST_WRITE: &str = "manifest.write";
+/// Failpoint: appending a record to the master's `superstep.log` in
+/// `dnet::superstep` (fires before any byte reaches the log, so the
+/// superstep it describes is replayed on resume).
+pub const SUPERSTEP_WRITE: &str = "superstep.write";
+/// Failpoint: the disk filling up mid-write. Unlike the crash-model
+/// failpoints it surfaces as `StreamError::Io` with
+/// `ErrorKind::StorageFull` from `RecordWriter`, the same shape a real
+/// ENOSPC takes, so recovery paths (scratch shedding, CLI exit code 5)
+/// are exercised against the genuine error type.
+pub const DISK_FULL: &str = "disk.full";
 
 /// Every failpoint the codebase registers, in checking order.
 pub const ALL_FAILPOINTS: &[&str] = &[
@@ -42,6 +52,8 @@ pub const ALL_FAILPOINTS: &[&str] = &[
     DNET_AM,
     DNET_TOKEN,
     MANIFEST_WRITE,
+    SUPERSTEP_WRITE,
+    DISK_FULL,
 ];
 
 /// An injected failure, returned by [`Faults::hit`] at the armed occurrence.

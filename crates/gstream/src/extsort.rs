@@ -197,6 +197,32 @@ impl ExternalSorter {
         Ok(runs.pop().unwrap_or_default())
     }
 
+    /// Durably write one sorted run, retrying once after ENOSPC.
+    ///
+    /// A full disk mid-sort is recoverable exactly once: the failed commit
+    /// already shed its partial scratch (`RecordWriter` deletes its temp
+    /// file on any failed finish), so the retry starts from a clean slate
+    /// with the shed bytes reclaimed. A second ENOSPC means the disk is
+    /// genuinely full and the error propagates (`Io` / `StorageFull`,
+    /// CLI exit code 5).
+    fn write_run(&self, spill: &SpillDir, path: &std::path::Path, pairs: &[KvPair]) -> Result<()> {
+        let mut retried = false;
+        loop {
+            let mut w = RecordWriter::create(path, spill.io().clone())?;
+            w.write_all(pairs)?;
+            match w.finish() {
+                Ok(_) => return Ok(()),
+                Err(StreamError::Io(e))
+                    if e.kind() == std::io::ErrorKind::StorageFull && !retried =>
+                {
+                    spill.io().faults().record_retry(faultsim::DISK_FULL);
+                    retried = true;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     /// Externally sort `input` into `output`, spilling runs into `spill`.
     pub fn sort_file(
         &self,
@@ -224,9 +250,7 @@ impl ExternalSorter {
             }
             let sorted = self.sort_block(block)?;
             let path = spill.scratch_path(&format!("run{run_idx}"));
-            let mut w = RecordWriter::create(&path, spill.io().clone())?;
-            w.write_all(&sorted)?;
-            w.finish()?;
+            self.write_run(spill, &path, &sorted)?;
             run_paths.push(path);
             run_idx += 1;
         }
@@ -509,6 +533,69 @@ mod tests {
         );
         assert_eq!(agg.counter("sort.spill_bytes"), report.io.bytes_written);
         assert_eq!(agg.metric("sort.io_seconds"), report.io.total_seconds());
+    }
+
+    #[test]
+    fn disk_full_mid_sort_sheds_scratch_and_retries_once() {
+        let (_g, spill, sorter) = setup(1000, 400); // m_h = 25 → several runs
+        let rec = obs::Recorder::new();
+        let faults = faultsim::Faults::from_plan(
+            &faultsim::FaultPlan::new().fail_at(faultsim::DISK_FULL, 2),
+        );
+        faults.set_recorder(rec.clone());
+        spill.io().set_faults(faults.clone());
+        let span = rec.span("sort");
+        let pairs: Vec<KvPair> = (0..100u32)
+            .rev()
+            .map(|i| KvPair::new(i as u128, i))
+            .collect();
+        let input = write_input(&spill, &pairs);
+        let output = spill.scratch_path("out");
+        let report = sorter.sort_file(&spill, &input, &output).unwrap();
+        drop(span);
+        assert_eq!(report.pairs, 100);
+        let got = read_output(&spill, &output);
+        assert!(got.windows(2).all(|w| w[0].key <= w[1].key));
+        assert_eq!(got.len(), 100);
+        // The ENOSPC fired, the shed scratch was retried, and both are
+        // visible in the trace.
+        assert_eq!(faults.injected().len(), 1);
+        let rollup = obs::Rollup::from_events(&rec.events());
+        let root = rollup.root_named("sort").unwrap();
+        let agg = rollup.subtree(root.id);
+        assert_eq!(agg.counter("fault.injected.disk.full"), 1);
+        assert_eq!(agg.counter("fault.retries.disk.full"), 1);
+    }
+
+    #[test]
+    fn disk_full_twice_on_the_same_run_propagates_storage_full() {
+        let (_g, spill, sorter) = setup(1000, 400);
+        // Arm consecutive commits: the shed-and-retry hits ENOSPC again.
+        spill.io().set_faults(faultsim::Faults::from_plan(
+            &faultsim::FaultPlan::new()
+                .fail_at(faultsim::DISK_FULL, 2)
+                .fail_at(faultsim::DISK_FULL, 3),
+        ));
+        let pairs: Vec<KvPair> = (0..100u32)
+            .rev()
+            .map(|i| KvPair::new(i as u128, i))
+            .collect();
+        let input = write_input(&spill, &pairs);
+        let output = spill.scratch_path("out");
+        let err = sorter.sort_file(&spill, &input, &output).unwrap_err();
+        match err {
+            StreamError::Io(e) => assert_eq!(e.kind(), std::io::ErrorKind::StorageFull),
+            other => panic!("expected Io(StorageFull), got {other}"),
+        }
+        // Nothing torn is left behind: no temp files, no final output.
+        assert!(!output.exists());
+        let leftovers: Vec<String> = std::fs::read_dir(spill.root())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "torn temp files: {leftovers:?}");
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub use merge::{kway_merge, windowed_merge, PairSink, PairSource, SliceSource, V
 pub use reader::{read_footer, RecordReader};
 pub use record::{fnv1a, Fnv64, Footer, KvPair};
 pub use spill::{range_of, PartitionKind, PartitionSet, SpillDir};
-pub use writer::RecordWriter;
+pub use writer::{fsync_dir, fsync_parent_dir, RecordWriter};
 
 /// Errors from streaming operations.
 #[derive(Debug)]

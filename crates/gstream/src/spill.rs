@@ -24,7 +24,9 @@ pub enum PartitionKind {
 }
 
 impl PartitionKind {
-    fn tag(self) -> &'static str {
+    /// File-name tag of this kind (`sfx`/`pfx`) — also the prefix of the
+    /// partition tags recorded in checkpoint manifests.
+    pub fn tag(self) -> &'static str {
         match self {
             PartitionKind::Suffix => "sfx",
             PartitionKind::Prefix => "pfx",

@@ -20,6 +20,24 @@ pub(crate) fn tmp_path(path: &Path) -> PathBuf {
     PathBuf::from(os)
 }
 
+/// Fsync a directory, making previously renamed entries inside it durable.
+///
+/// On Linux, `rename` + `sync_all` on the *file* is not enough: the new
+/// directory entry lives in the parent's metadata, which has its own
+/// journal. Every commit-by-rename in this codebase (spill files,
+/// manifests, the superstep log) follows the rename with a call here.
+pub fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+/// Fsync the parent directory of `path` (no-op when `path` has no parent).
+pub fn fsync_parent_dir(path: &Path) -> std::io::Result<()> {
+    match path.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() => fsync_dir(parent),
+        _ => Ok(()),
+    }
+}
+
 /// Buffered append-only writer of [`KvPair`] records.
 pub struct RecordWriter {
     /// `None` once committed; a `Some` at drop time means an abandoned
@@ -105,6 +123,15 @@ impl RecordWriter {
             .faults()
             .hit(faultsim::SPILL_WRITE)
             .map_err(StreamError::Fault)?;
+        // The `disk.full` failpoint models ENOSPC at the same point, but
+        // surfaces as the real error shape (`Io` / `StorageFull`) so the
+        // shed-and-retry recovery paths see what a production run would.
+        if self.io.faults().hit(faultsim::DISK_FULL).is_err() {
+            return Err(StreamError::Io(std::io::Error::new(
+                std::io::ErrorKind::StorageFull,
+                format!("no space left writing {}", self.dest.display()),
+            )));
+        }
         let footer = Footer {
             records: self.written,
             checksum: self.hasher.finish(),
@@ -115,6 +142,7 @@ impl RecordWriter {
         inner.get_ref().sync_all()?;
         drop(inner);
         std::fs::rename(&self.tmp, &self.dest)?;
+        fsync_parent_dir(&self.dest)?;
         Ok(footer)
     }
 }
@@ -204,6 +232,31 @@ mod tests {
         drop(w);
         assert!(!path.exists());
         assert!(!tmp_path(&path).exists());
+    }
+
+    #[test]
+    fn injected_disk_full_surfaces_as_storage_full_io_error() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("enospc.bin");
+        let io = IoStats::default();
+        io.set_faults(faultsim::Faults::from_plan(
+            &faultsim::FaultPlan::new().fail_at(faultsim::DISK_FULL, 1),
+        ));
+        let mut w = RecordWriter::create(&path, io.clone()).unwrap();
+        w.write(KvPair::new(3, 4)).unwrap();
+        let err = w.finish().unwrap_err();
+        match err {
+            StreamError::Io(e) => assert_eq!(e.kind(), std::io::ErrorKind::StorageFull),
+            other => panic!("expected Io(StorageFull), got {other}"),
+        }
+        // The failed commit sheds its temp file like any other failure.
+        assert!(!path.exists());
+        assert!(!tmp_path(&path).exists());
+
+        // One-shot: the retry after cleanup commits normally.
+        let mut w = RecordWriter::create(&path, io).unwrap();
+        w.write(KvPair::new(3, 4)).unwrap();
+        assert_eq!(w.finish().unwrap(), 1);
     }
 
     #[test]

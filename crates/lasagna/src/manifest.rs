@@ -35,6 +35,13 @@ pub struct FileEntry {
 }
 
 /// Durable progress record for one assembly run.
+///
+/// The same schema serves two callers: the single-node pipeline keeps one
+/// manifest per spill directory, and every rank of a distributed cluster
+/// keeps one in its node directory (`node<i>/manifest.json`). The
+/// distributed fields (`blocks`, `shuffled`, `joined`) default to empty so
+/// single-node manifests — and manifests written before they existed —
+/// parse unchanged.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Manifest {
     /// Schema version ([`MANIFEST_VERSION`]).
@@ -48,6 +55,17 @@ pub struct Manifest {
     pub sorted: Vec<String>,
     /// Footer summaries keyed by file name relative to the spill dir.
     pub files: BTreeMap<String, FileEntry>,
+    /// Distributed only: input blocks this rank has durably mapped.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub blocks: Vec<u64>,
+    /// Distributed only: partition tags this rank has durably shuffled
+    /// (concatenated from every mapper's durable output, pre-sort).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub shuffled: Vec<String>,
+    /// Distributed only: partition tags whose reduce-join candidate list
+    /// (the superstep's graph delta) is durable on this rank's disk.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub joined: Vec<String>,
 }
 
 impl Manifest {
@@ -59,6 +77,9 @@ impl Manifest {
             phases: Vec::new(),
             sorted: Vec::new(),
             files: BTreeMap::new(),
+            blocks: Vec::new(),
+            shuffled: Vec::new(),
+            joined: Vec::new(),
         }
     }
 
@@ -104,6 +125,8 @@ impl Manifest {
         file.sync_all().map_err(StreamError::Io)?;
         drop(file);
         std::fs::rename(&tmp, &path).map_err(StreamError::Io)?;
+        // The rename is only crash-durable once the directory entry is too.
+        gstream::fsync_dir(dir).map_err(StreamError::Io)?;
         Ok(())
     }
 
@@ -128,6 +151,42 @@ impl Manifest {
     pub fn mark_sorted(&mut self, tag: &str) {
         if !self.is_sorted(tag) {
             self.sorted.push(tag.to_string());
+        }
+    }
+
+    /// Whether this rank durably mapped input `block`.
+    pub fn has_block(&self, block: u64) -> bool {
+        self.blocks.contains(&block)
+    }
+
+    /// Mark input `block` durably mapped by this rank (idempotent).
+    pub fn mark_block(&mut self, block: u64) {
+        if !self.has_block(block) {
+            self.blocks.push(block);
+        }
+    }
+
+    /// Whether the partition `tag` is durably shuffled on this rank.
+    pub fn is_shuffled(&self, tag: &str) -> bool {
+        self.shuffled.iter().any(|t| t == tag)
+    }
+
+    /// Mark the partition `tag` durably shuffled (idempotent).
+    pub fn mark_shuffled(&mut self, tag: &str) {
+        if !self.is_shuffled(tag) {
+            self.shuffled.push(tag.to_string());
+        }
+    }
+
+    /// Whether the partition `tag`'s candidate list is durable here.
+    pub fn is_joined(&self, tag: &str) -> bool {
+        self.joined.iter().any(|t| t == tag)
+    }
+
+    /// Mark the partition `tag`'s candidate list durable (idempotent).
+    pub fn mark_joined(&mut self, tag: &str) {
+        if !self.is_joined(tag) {
+            self.joined.push(tag.to_string());
         }
     }
 
@@ -204,6 +263,34 @@ mod tests {
         assert!(back.is_sorted("sfx_00004"));
         assert!(back.raw_matches("graph.bin", b"hello"));
         assert!(!back.raw_matches("graph.bin", b"hellp"));
+    }
+
+    #[test]
+    fn per_node_fields_roundtrip_and_default_empty() {
+        let dir = tempfile::tempdir().unwrap();
+        let mut m = Manifest::new(0xbeef);
+        m.mark_block(3);
+        m.mark_block(3); // idempotent
+        m.mark_shuffled("sfx_00045");
+        m.mark_joined("pfx_00045_r001");
+        m.store(dir.path(), &faultsim::Faults::disabled()).unwrap();
+        let back = Manifest::load(dir.path()).unwrap().unwrap();
+        assert_eq!(back.blocks, vec![3]);
+        assert!(back.is_shuffled("sfx_00045"));
+        assert!(!back.is_shuffled("sfx_00046"));
+        assert!(back.is_joined("pfx_00045_r001"));
+
+        // A pre-distributed manifest (no per-node fields) still parses.
+        let legacy = format!(
+            "{{\"version\":{MANIFEST_VERSION},\"config_hash\":9,\
+             \"phases\":[\"map\"],\"sorted\":[],\"files\":{{}}}}"
+        );
+        std::fs::write(dir.path().join(MANIFEST_NAME), legacy).unwrap();
+        let back = Manifest::load(dir.path()).unwrap().unwrap();
+        assert!(back.blocks.is_empty());
+        assert!(back.shuffled.is_empty());
+        assert!(back.joined.is_empty());
+        assert!(back.is_done("map"));
     }
 
     #[test]

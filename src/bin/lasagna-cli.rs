@@ -10,6 +10,12 @@
 //!                  [--graph greedy|full] [--traversal seq|bsp] [--correct 21] [--resume yes] \
 //!                  [--trace-out trace.jsonl] [--metrics-json report.json] [--progress yes]
 //!
+//! lasagna-cli assemble-distributed --reads reads.fastq --out contigs.fa \
+//!                  [--nodes 2] [--reduce token|range] [--block-reads 1024] \
+//!                  [--l-min 63] [--work /tmp/lasagna-dwork] \
+//!                  [--host-mem 256M] [--device-mem 64M] [--gpu k20x] [--resume yes] \
+//!                  [--trace-out trace.jsonl] [--metrics-json report.json]
+//!
 //! lasagna-cli inspect-trace --trace trace.jsonl [--root assembly]
 //!
 //! lasagna-cli stats --contigs contigs.fa [--reference ref.fa]
@@ -32,6 +38,7 @@ fn main() {
     match command.as_str() {
         "simulate" => simulate(&opts),
         "assemble" => assemble(&opts),
+        "assemble-distributed" => assemble_distributed(&opts),
         "inspect-trace" => inspect_trace(&opts),
         "stats" => stats(&opts),
         "--help" | "-h" | "help" => usage(),
@@ -50,10 +57,15 @@ fn usage() -> ! {
          [--host-mem BYTES] [--device-mem BYTES] [--gpu k40|k20x|p40|p100|v100] \
          [--resume yes] \
          [--trace-out trace.jsonl] [--metrics-json report.json] [--progress yes]\n  \
+         lasagna assemble-distributed --reads reads.fastq --out contigs.fa [--nodes N] \
+         [--reduce token|range] [--block-reads N] [--l-min N] [--work DIR] \
+         [--host-mem BYTES] [--device-mem BYTES] [--gpu k40|k20x|p40|p100|v100] \
+         [--resume yes] [--trace-out trace.jsonl] [--metrics-json report.json]\n  \
          lasagna inspect-trace --trace trace.jsonl [--root assembly]\n  \
          lasagna stats --contigs contigs.fa [--reference ref.fa]\n\
-         \nassemble resumes from --work's manifest.json when --resume yes \
-         (see ROBUSTNESS.md).\nexit codes: 0 ok, 1 error, 2 usage, \
+         \nassemble resumes from --work's manifest.json when --resume yes; \
+         assemble-distributed resumes from --work's superstep.log plus the \
+         per-node manifests (see ROBUSTNESS.md).\nexit codes: 0 ok, 1 error, 2 usage, \
          3 corrupt on-disk state, 4 out of memory, 5 I/O failure"
     );
     exit(2);
@@ -152,6 +164,35 @@ fn simulate(opts: &HashMap<String, String>) {
     }
 }
 
+/// Load reads (FASTQ or FASTA by extension) into a uniform-length set,
+/// warning about (and skipping) reads of a different length.
+fn load_reads(reads_path: &PathBuf) -> ReadSet {
+    let records = if reads_path
+        .extension()
+        .is_some_and(|e| e == "fa" || e == "fasta")
+    {
+        read_fasta(reads_path).unwrap_or_else(die)
+    } else {
+        read_fastq(reads_path).unwrap_or_else(die)
+    };
+    if records.is_empty() {
+        eprintln!("lasagna: no reads in {}", reads_path.display());
+        exit(1);
+    }
+    let read_len = records[0].1.len();
+    let mut reads = ReadSet::new(read_len);
+    let mut skipped = 0usize;
+    for (_, seq) in &records {
+        if reads.push(seq).is_err() {
+            skipped += 1;
+        }
+    }
+    if skipped > 0 {
+        eprintln!("lasagna: skipped {skipped} reads with length != {read_len}");
+    }
+    reads
+}
+
 fn assemble(opts: &HashMap<String, String>) {
     let reads_path = PathBuf::from(require(opts, "reads"));
     let out = PathBuf::from(require(opts, "out"));
@@ -177,31 +218,8 @@ fn assemble(opts: &HashMap<String, String>) {
         }
     };
 
-    // Load reads (FASTQ or FASTA by extension).
-    let records = if reads_path
-        .extension()
-        .is_some_and(|e| e == "fa" || e == "fasta")
-    {
-        read_fasta(&reads_path).unwrap_or_else(die)
-    } else {
-        read_fastq(&reads_path).unwrap_or_else(die)
-    };
-    if records.is_empty() {
-        eprintln!("lasagna: no reads in {}", reads_path.display());
-        exit(1);
-    }
-    let read_len = records[0].1.len();
-    #[allow(unused_mut)]
-    let mut reads = ReadSet::new(read_len);
-    let mut skipped = 0usize;
-    for (_, seq) in &records {
-        if reads.push(seq).is_err() {
-            skipped += 1;
-        }
-    }
-    if skipped > 0 {
-        eprintln!("lasagna: skipped {skipped} reads with length != {read_len}");
-    }
+    let mut reads = load_reads(&reads_path);
+    let read_len = reads.read_len();
     // Optional spectral error correction (the SGA pipeline's first stage).
     let correct_k: usize = get(opts, "correct", 0usize);
     if correct_k > 0 {
@@ -332,6 +350,150 @@ fn assemble(opts: &HashMap<String, String>) {
         .collect();
     write_fasta(&out, named.iter().map(|(n, c)| (n.as_str(), *c))).unwrap_or_else(die);
     println!("contigs written to {} ({summary})", out.display());
+}
+
+/// Distributed assembly on the simulated cluster (Section III-E): master
+/// load balancing, all-to-all shuffle, per-node sorting, and the
+/// token-passing (or fingerprint-range) reduce. `--resume yes` picks up
+/// from `--work`'s superstep log and per-node manifests, skipping
+/// supersteps whose artifacts are durable and validated.
+fn assemble_distributed(opts: &HashMap<String, String>) {
+    use lasagna_repro::dnet::ReduceStrategy;
+    use lasagna_repro::lasagna::contig::generate_contigs;
+    use lasagna_repro::lasagna::traverse::{extract_paths, TraverseOptions};
+
+    let reads_path = PathBuf::from(require(opts, "reads"));
+    let out = PathBuf::from(require(opts, "out"));
+    let work = PathBuf::from(get(
+        opts,
+        "work",
+        std::env::temp_dir()
+            .join("lasagna-cli-dwork")
+            .to_string_lossy()
+            .into_owned(),
+    ));
+    let nodes: usize = get(opts, "nodes", 2);
+    let block_reads: usize = get(opts, "block-reads", 1024);
+    let host_mem = parse_mem(&get(opts, "host-mem", "256M".to_string()));
+    let device_mem = parse_mem(&get(opts, "device-mem", "64M".to_string()));
+    let gpu = match get(opts, "gpu", "k20x".to_string()).as_str() {
+        "k40" => GpuProfile::k40(),
+        "k20x" => GpuProfile::k20x(),
+        "p40" => GpuProfile::p40(),
+        "p100" => GpuProfile::p100(),
+        "v100" => GpuProfile::v100(),
+        other => {
+            eprintln!("lasagna: unknown GPU {other:?}");
+            exit(2);
+        }
+    };
+    let reduce_strategy = match get(opts, "reduce", "token".to_string()).as_str() {
+        "token" => ReduceStrategy::LengthToken,
+        "range" => ReduceStrategy::FingerprintRange,
+        other => {
+            eprintln!("lasagna: unknown reduce strategy {other:?} (token|range)");
+            exit(2);
+        }
+    };
+
+    let reads = load_reads(&reads_path);
+    let read_len = reads.read_len();
+    let default_l_min = (read_len as u32 * 5 / 8).max(1);
+    let l_min: u32 = get(opts, "l-min", default_l_min);
+    println!(
+        "assembling {} reads × {} bp (l_min {}) on {} virtual {} nodes ({} reduce)",
+        reads.len(),
+        read_len,
+        l_min,
+        nodes,
+        gpu.name,
+        match reduce_strategy {
+            ReduceStrategy::LengthToken => "token",
+            ReduceStrategy::FingerprintRange => "range",
+        }
+    );
+
+    std::fs::create_dir_all(&work).unwrap_or_else(|e| {
+        eprintln!("lasagna: cannot create workdir: {e}");
+        exit(EXIT_IO)
+    });
+    let config = AssemblyConfig::for_dataset(l_min, read_len as u32);
+
+    let rec = obs::Recorder::new();
+    let trace_out = opts.get("trace-out").map(PathBuf::from);
+    if let Some(path) = &trace_out {
+        let sink = obs::JsonlSink::create(path).unwrap_or_else(die);
+        rec.add_sink(Box::new(sink));
+    }
+    let cluster = Cluster::new(ClusterConfig {
+        nodes,
+        gpu: gpu.clone(),
+        device_capacity: device_mem,
+        host_capacity: host_mem,
+        disk: DiskModel::cluster_scratch(),
+        net: NetModel::infiniband_56g(),
+        block_reads,
+        assembly: config,
+        reduce_strategy,
+    })
+    .unwrap_or_else(die_dnet)
+    .with_recorder(rec.clone());
+
+    let resume = get(opts, "resume", "no".to_string()) == "yes";
+    let result = if resume {
+        cluster.resume(&reads, &work)
+    } else {
+        cluster.assemble(&reads, &work)
+    }
+    .unwrap_or_else(die_dnet);
+    rec.flush();
+    if let Some(path) = &trace_out {
+        println!("trace written to {}", path.display());
+    }
+
+    if result.report.resumed {
+        println!(
+            "resumed from {}'s superstep log (completed supersteps skipped)",
+            work.display()
+        );
+    }
+    println!(
+        "distributed graph: {} edges from {} candidates | {} network bytes in {} messages",
+        result.report.edges,
+        result.report.candidates,
+        result.report.network_bytes,
+        result.report.network_messages
+    );
+    for p in &result.report.phases {
+        println!(
+            "  {:<9} {:>8.3}s wall {:>10.4}s modeled",
+            p.name, p.wall_seconds, p.modeled_seconds
+        );
+    }
+    if let Some(path) = opts.get("metrics-json").map(PathBuf::from) {
+        let json = serde_json::to_vec_pretty(&result.report).unwrap_or_else(die);
+        std::fs::write(&path, json).unwrap_or_else(die);
+        println!("metrics written to {}", path.display());
+    }
+
+    // Contigs from the merged graph, on one local device (traversal is a
+    // single-node stage either way; the distributed win is upstream).
+    let device = Device::with_capacity(gpu, device_mem);
+    let host = HostMem::new(host_mem);
+    let paths = extract_paths(&result.graph, read_len as u32, TraverseOptions::default());
+    let (contigs, stats) = generate_contigs(&device, &host, &reads, &paths).unwrap_or_else(die_run);
+    let named: Vec<(String, &PackedSeq)> = contigs
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (format!("contig_{i} len={}", c.len()), c))
+        .collect();
+    write_fasta(&out, named.iter().map(|(n, c)| (n.as_str(), *c))).unwrap_or_else(die);
+    println!(
+        "contigs written to {} ({} contigs, N50 {})",
+        out.display(),
+        stats.count,
+        stats.n50
+    );
 }
 
 /// Pretty-print a recorded JSONL trace: per-phase totals rolled up from
@@ -482,4 +644,30 @@ fn die_run<T>(e: lasagna_repro::lasagna::LasagnaError) -> T {
 fn die_stream<T>(e: lasagna_repro::gstream::StreamError) -> T {
     eprintln!("lasagna: {e}");
     exit(stream_exit_code(&e))
+}
+
+/// Distributed errors cross thread boundaries as strings (see
+/// `dnet::DnetError`), so the exit-code mapping matches on the rendered
+/// `StreamError` prefixes instead of variants.
+fn dnet_exit_code(e: &lasagna_repro::dnet::DnetError) -> i32 {
+    use lasagna_repro::dnet::DnetError;
+    match e {
+        DnetError::BadConfig(_) => 2,
+        DnetError::Node { message, .. } => {
+            if message.contains("corrupt stream") {
+                EXIT_CORRUPT
+            } else if message.contains("out of memory") || message.contains("host memory") {
+                EXIT_OOM
+            } else if message.contains("I/O error") {
+                EXIT_IO
+            } else {
+                1
+            }
+        }
+    }
+}
+
+fn die_dnet<T>(e: lasagna_repro::dnet::DnetError) -> T {
+    eprintln!("lasagna: {e}");
+    exit(dnet_exit_code(&e))
 }

@@ -309,6 +309,96 @@ fn exit_codes_distinguish_corrupt_oom_and_io() {
 }
 
 #[test]
+fn assemble_distributed_roundtrip_resume_and_corrupt_log() {
+    let dir = workdir("distributed");
+    let reads = dir.join("reads.fastq");
+    cli()
+        .args([
+            "simulate",
+            "--genome-len",
+            "3000",
+            "--coverage",
+            "8",
+            "--read-len",
+            "60",
+        ])
+        .args(["--seed", "23", "--out"])
+        .arg(&reads)
+        .status()
+        .expect("simulate");
+
+    let work = dir.join("dwork");
+    let contigs = dir.join("contigs.fa");
+    let metrics = dir.join("dreport.json");
+    let run = |resume: bool| {
+        let mut c = cli();
+        c.args(["assemble-distributed", "--reads"])
+            .arg(&reads)
+            .args(["--out"])
+            .arg(&contigs)
+            .args(["--work"])
+            .arg(&work)
+            .args(["--nodes", "2", "--block-reads", "64"])
+            .args(["--metrics-json"])
+            .arg(&metrics);
+        if resume {
+            c.args(["--resume", "yes"]);
+        }
+        c.output().expect("assemble-distributed")
+    };
+
+    let clean = run(false);
+    assert!(
+        clean.status.success(),
+        "{}",
+        String::from_utf8_lossy(&clean.stderr)
+    );
+    let report: lasagna_repro::dnet::DistributedReport =
+        serde_json::from_slice(&std::fs::read(&metrics).unwrap()).unwrap();
+    assert_eq!(
+        report
+            .phases
+            .iter()
+            .map(|p| p.name.as_str())
+            .collect::<Vec<_>>(),
+        vec!["map", "shuffle", "sort", "reduce"]
+    );
+    assert!(!report.resumed);
+    let first_fa = std::fs::read(&contigs).expect("no contigs written");
+    assert!(!first_fa.is_empty());
+
+    // Resume of the completed run: skip everything, identical contigs.
+    let resumed = run(true);
+    assert!(
+        resumed.status.success(),
+        "{}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&resumed.stdout);
+    assert!(stdout.contains("resumed"), "{stdout}");
+    let report: lasagna_repro::dnet::DistributedReport =
+        serde_json::from_slice(&std::fs::read(&metrics).unwrap()).unwrap();
+    assert!(report.resumed);
+    assert_eq!(std::fs::read(&contigs).unwrap(), first_fa);
+
+    // Flip one byte mid superstep log: the resume must refuse with the
+    // corruption exit code rather than guess at the damaged record.
+    let log = work.join("superstep.log");
+    let mut bytes = std::fs::read(&log).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&log, bytes).unwrap();
+    let corrupt = run(true);
+    assert_eq!(
+        corrupt.status.code(),
+        Some(3),
+        "{}",
+        String::from_utf8_lossy(&corrupt.stderr)
+    );
+    assert!(String::from_utf8_lossy(&corrupt.stderr).contains("corrupt"));
+}
+
+#[test]
 fn error_correction_flag_runs() {
     let dir = workdir("correct");
     let reads = dir.join("noisy.fastq");

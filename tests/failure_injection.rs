@@ -312,3 +312,120 @@ fn distributed_node_kill_recovers_to_the_single_node_graph() {
         assert_eq!(out.graph.out(v), expect.out(v), "vertex {v}");
     }
 }
+
+// --- Distributed checkpoint/resume (see ROBUSTNESS.md) ------------------
+
+fn dnet_reads(seed: u64) -> ReadSet {
+    let genome = GenomeSim::uniform(1_500, seed).generate();
+    ShotgunSim::error_free(60, 8.0, seed + 1).sample(&genome)
+}
+
+fn dnet_cluster(nodes: usize) -> lasagna_repro::dnet::Cluster {
+    use lasagna_repro::dnet::{Cluster, ClusterConfig, NetModel, ReduceStrategy};
+    Cluster::new(ClusterConfig {
+        nodes,
+        gpu: GpuProfile::k20x(),
+        device_capacity: 1 << 20,
+        host_capacity: 8 << 20,
+        disk: DiskModel::hdd(),
+        net: NetModel::infiniband_56g(),
+        block_reads: 40,
+        assembly: AssemblyConfig::for_dataset(40, 60),
+        reduce_strategy: ReduceStrategy::LengthToken,
+    })
+    .unwrap()
+}
+
+fn dnet_single_node_graph(r: &ReadSet) -> StringGraph {
+    let dir = tempfile::tempdir().unwrap();
+    Pipeline::laptop(AssemblyConfig::for_dataset(40, 60), dir.path())
+        .unwrap()
+        .assemble(r)
+        .unwrap()
+        .graph
+}
+
+fn assert_graphs_match(got: &StringGraph, expect: &StringGraph, what: &str) {
+    assert_eq!(got.edge_count(), expect.edge_count(), "{what}");
+    for v in 0..expect.vertex_count() {
+        assert_eq!(got.out(v), expect.out(v), "{what}: vertex {v}");
+    }
+}
+
+#[test]
+fn sorted_partition_truncated_mid_footer_fails_resume_loudly() {
+    let r = reads(28);
+    let dir = tempfile::tempdir().unwrap();
+    laptop_on(dir.path()).assemble_resumable(&r).unwrap();
+    let victim = std::fs::read_dir(dir.path())
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| {
+            p.file_name()
+                .is_some_and(|n| n.to_string_lossy().starts_with("sfx_"))
+        })
+        .expect("no sorted partition on disk");
+    // Chop into the 24-byte footer itself, as a crash mid-append would:
+    // the magic is destroyed, so the manifest checkpoint no longer matches.
+    let mut bytes = std::fs::read(&victim).unwrap();
+    bytes.truncate(bytes.len() - 5);
+    std::fs::write(&victim, bytes).unwrap();
+    let err = laptop_on(dir.path()).resume(&r).unwrap_err();
+    assert!(is_corrupt(&err), "got {err}");
+}
+
+#[test]
+fn torn_superstep_log_tail_never_mis_assembles_on_resume() {
+    let r = dnet_reads(33);
+    let expect = dnet_single_node_graph(&r);
+    let dir = tempfile::tempdir().unwrap();
+    dnet_cluster(2).assemble_resumable(&r, dir.path()).unwrap();
+    // Tear the master log mid-record, as a crash during append would
+    // leave it. The torn record is dropped and its superstep replayed —
+    // the resumed graph must still be bit-identical, never mis-assembled.
+    let log = dir.path().join(lasagna_repro::dnet::superstep::LOG_NAME);
+    let mut bytes = std::fs::read(&log).unwrap();
+    assert!(bytes.len() > 10, "log too small to tear");
+    bytes.truncate(bytes.len() - 10);
+    std::fs::write(&log, bytes).unwrap();
+    let out = dnet_cluster(2).resume(&r, dir.path()).unwrap();
+    assert!(out.report.resumed);
+    assert_graphs_match(&out.graph, &expect, "torn log resume");
+}
+
+#[test]
+fn distributed_kill_of_every_node_resumes_without_redoing_mapped_blocks() {
+    let r = dnet_reads(35);
+    let expect = dnet_single_node_graph(&r);
+    let dir = tempfile::tempdir().unwrap();
+    // Kill both nodes a few active messages in: at least one input block
+    // was durably mapped and checkpointed before the run lost its last
+    // survivor.
+    let plan = FaultPlan::new()
+        .fail_at(faultsim::DNET_AM, 4)
+        .fail_at(faultsim::DNET_AM, 5);
+    dnet_cluster(2)
+        .with_faults(Faults::from_plan(&plan))
+        .assemble_resumable(&r, dir.path())
+        .unwrap_err();
+
+    let rec = lasagna_repro::obs::Recorder::new();
+    let out = dnet_cluster(2)
+        .with_recorder(rec.clone())
+        .resume(&r, dir.path())
+        .unwrap();
+    assert!(out.report.resumed, "second run must resume, not restart");
+    assert_graphs_match(&out.graph, &expect, "kill-all resume");
+    let rollup = lasagna_repro::obs::Rollup::from_events(&rec.events());
+    let root = rollup.root_named("distributed").unwrap();
+    assert_eq!(
+        rollup.subtree(root.id).counter("recovery.master_rebuilds"),
+        1
+    );
+    let map_phase = rollup.child_named(root.id, "map").unwrap();
+    assert!(
+        rollup.subtree(map_phase.id).counter("phase.skipped_items") >= 1,
+        "durably mapped blocks must be skipped on resume"
+    );
+}
