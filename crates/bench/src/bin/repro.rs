@@ -15,6 +15,7 @@
 //!   fig10    distributed scaling              (paper Fig. 10)
 //!   fpcheck  fingerprint-width false-positive check (Section IV-B claim)
 //!   faults   crash/recover matrix                   (ROBUSTNESS.md)
+//!   serve    query-service throughput/latency sweep (SERVING.md)
 //!   all      everything above
 //! ```
 //!
@@ -64,7 +65,7 @@ fn parse_args() -> Args {
                     .collect();
             }
             "--help" | "-h" => {
-                println!("repro <table1..table6|fig8|fig9|fig10|fpcheck|faults|all> [--scale N] [--out DIR] [--nodes 1,2,4,8]");
+                println!("repro <table1..table6|fig8|fig9|fig10|fpcheck|faults|serve|all> [--scale N] [--out DIR] [--nodes 1,2,4,8]");
                 std::process::exit(0);
             }
             other if args.experiment.is_empty() => args.experiment = other.to_string(),
@@ -504,6 +505,31 @@ fn run_faults(out: &Path) {
     }
 }
 
+fn run_serve(out: &Path) {
+    let work = tempfile::tempdir().expect("workdir");
+    let rows = experiments::serve(work.path()).expect("serve bench failed");
+    println!("\n=== Query service: throughput / latency sweep (SERVING.md) ===");
+    println!(
+        "{:>8} {:>9} {:>8} {:>8} {:>12} {:>9} {:>9} {:>10}",
+        "workers", "cache", "reads", "mapped", "reads/s", "p50", "p99", "hit rate"
+    );
+    for r in &rows {
+        println!(
+            "{:>8} {:>8}M {:>8} {:>8} {:>12.0} {:>7.2}ms {:>7.2}ms {:>9.1}%",
+            r.workers,
+            r.cache_mb,
+            r.reads,
+            r.mapped,
+            r.reads_per_sec,
+            r.p50_ms,
+            r.p99_ms,
+            r.cache_hit_rate * 100.0
+        );
+    }
+    println!("(answers verified bit-identical across all configurations)");
+    save_json(out, "serve", &rows);
+}
+
 fn main() {
     let args = parse_args();
     let run = |name: &str| match name {
@@ -523,6 +549,7 @@ fn main() {
         "validate" => run_validate(args.scale, &args.out),
         "fpcheck" => run_fpcheck(args.scale, &args.out),
         "faults" => run_faults(&args.out),
+        "serve" => run_serve(&args.out),
         other => die(&format!("unknown experiment {other}")),
     };
     if args.experiment == "all" {
@@ -541,6 +568,7 @@ fn main() {
             "disks",
             "mapscheme",
             "fpcheck",
+            "serve",
         ] {
             run(name);
         }

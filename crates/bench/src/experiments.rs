@@ -968,6 +968,143 @@ pub fn faults(workdir: &Path) -> Result<Vec<FaultRow>, String> {
     Ok(rows)
 }
 
+/// One query-service configuration's measured throughput and latency
+/// (`BENCH_serve.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeRow {
+    /// Worker threads in the service pool.
+    pub workers: usize,
+    /// Postings-cache budget in MiB (0 = cache disabled).
+    pub cache_mb: u64,
+    /// Reads queried.
+    pub reads: usize,
+    /// Reads that resolved to a contig position.
+    pub mapped: usize,
+    /// Throughput over the whole run, reads per second.
+    pub reads_per_sec: f64,
+    /// Median per-batch latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile per-batch latency, milliseconds.
+    pub p99_ms: f64,
+    /// Postings-cache hit rate over the run (hits / lookups).
+    pub cache_hit_rate: f64,
+}
+
+/// Query-service benchmark: assemble a small genome, index the contig
+/// store the pipeline exported, then sweep worker counts and cache
+/// budgets over the same 10 000-read query load. Every configuration must
+/// produce identical answers — the sweep only moves throughput and
+/// latency.
+pub fn serve(workdir: &Path) -> Result<Vec<ServeRow>, String> {
+    let genome = genome::GenomeSim::uniform(20_000, 11).generate();
+    let reads = genome::ShotgunSim::error_free(80, 12.0, 12).sample(&genome);
+    let config = AssemblyConfig::for_dataset(50, 80);
+    let dir = workdir.join("serve");
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    let out = Pipeline::laptop(config, &dir)
+        .map_err(|e| e.to_string())?
+        .assemble(&reads)
+        .map_err(|e| e.to_string())?;
+
+    let io = IoStats::default();
+    let store_path = dir.join(qserve::STORE_FILE);
+    let index_path = dir.join(qserve::INDEX_FILE);
+    let store = qserve::ContigStore::open(&store_path, &io).map_err(|e| e.to_string())?;
+    let index = qserve::MinimizerIndex::build(&store, &qserve::IndexConfig::default());
+    index.write(&index_path, &io).map_err(|e| e.to_string())?;
+
+    // A deterministic 10k-read query load sliced from the contigs
+    // themselves (alternating strands, striding offsets), so the expected
+    // answer set is identical across configurations.
+    let queries = slice_queries(out.contigs.as_slice(), 10_000, 60);
+    if queries.is_empty() {
+        return Err("assembly produced no contigs long enough to query".into());
+    }
+
+    let mut rows = Vec::new();
+    let mut reference: Option<Vec<Option<qserve::Hit>>> = None;
+    for (workers, cache_mb) in [(1usize, 16u64), (4, 16), (8, 16), (4, 0)] {
+        let engine = qserve::QueryEngine::open(
+            &store_path,
+            &index_path,
+            &io,
+            qserve::QueryConfig {
+                cache_bytes: cache_mb << 20,
+                ..qserve::QueryConfig::default()
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        let svc = qserve::QueryService::start(
+            engine,
+            qserve::ServiceConfig {
+                workers,
+                ..qserve::ServiceConfig::default()
+            },
+            &obs::Recorder::disabled(),
+        );
+        let mut answers = Vec::with_capacity(queries.len());
+        let mut latencies_ms = Vec::new();
+        let run_start = std::time::Instant::now();
+        for batch in queries.chunks(256) {
+            let t = std::time::Instant::now();
+            let hits = svc.query_batch(batch.to_vec()).map_err(|e| e.to_string())?;
+            latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
+            answers.extend(hits);
+        }
+        let elapsed = run_start.elapsed().as_secs_f64();
+        match &reference {
+            None => reference = Some(answers.clone()),
+            Some(expected) => {
+                if *expected != answers {
+                    return Err(format!(
+                        "answers diverged at workers={workers} cache={cache_mb}MiB"
+                    ));
+                }
+            }
+        }
+        latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+        let pct = |p: f64| latencies_ms[((latencies_ms.len() - 1) as f64 * p) as usize];
+        let stats = svc.engine().cache_stats();
+        let lookups = stats.hits + stats.misses;
+        rows.push(ServeRow {
+            workers,
+            cache_mb,
+            reads: answers.len(),
+            mapped: answers.iter().flatten().count(),
+            reads_per_sec: answers.len() as f64 / elapsed.max(1e-9),
+            p50_ms: pct(0.50),
+            p99_ms: pct(0.99),
+            cache_hit_rate: stats.hits as f64 / (lookups.max(1)) as f64,
+        });
+    }
+    Ok(rows)
+}
+
+/// Slice `count` windows of `len` bases from `contigs`, alternating
+/// forward and reverse-complement orientation.
+fn slice_queries(
+    contigs: &[genome::PackedSeq],
+    count: usize,
+    len: usize,
+) -> Vec<genome::PackedSeq> {
+    let long: Vec<&genome::PackedSeq> = contigs.iter().filter(|c| c.len() >= len).collect();
+    if long.is_empty() {
+        return Vec::new();
+    }
+    (0..count)
+        .map(|i| {
+            let c = long[i % long.len()];
+            let start = (i * 37) % (c.len() - len + 1);
+            let s = c.slice(start, len);
+            if i % 2 == 0 {
+                s
+            } else {
+                s.reverse_complement()
+            }
+        })
+        .collect()
+}
+
 /// Single-node graph used as a reference in tests/benches.
 pub fn reference_graph(
     reads: &ReadSet,

@@ -474,7 +474,9 @@ fn build_resume_plan(
                         node: owner,
                         message: StreamError::Corrupt(format!(
                             "resumed sorted partition {sfx_tag}/{pfx_tag} on rank \
-                             {owner} does not match its manifest footer"
+                             {owner} ({} / {}) does not match its manifest footer",
+                            sfx_path.display(),
+                            pfx_path.display()
                         ))
                         .to_string(),
                     });

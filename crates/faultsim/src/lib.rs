@@ -43,6 +43,12 @@ pub const SUPERSTEP_WRITE: &str = "superstep.write";
 /// ENOSPC takes, so recovery paths (scratch shedding, CLI exit code 5)
 /// are exercised against the genuine error type.
 pub const DISK_FULL: &str = "disk.full";
+/// Failpoint: opening/validating the contig store in
+/// `qserve::ContigStore::open`.
+pub const QSERVE_STORE_READ: &str = "qserve.store.read";
+/// Failpoint: opening/validating the minimizer index in
+/// `qserve::MinimizerIndex::open`.
+pub const QSERVE_INDEX_READ: &str = "qserve.index.read";
 
 /// Every failpoint the codebase registers, in checking order.
 pub const ALL_FAILPOINTS: &[&str] = &[
@@ -54,6 +60,8 @@ pub const ALL_FAILPOINTS: &[&str] = &[
     MANIFEST_WRITE,
     SUPERSTEP_WRITE,
     DISK_FULL,
+    QSERVE_STORE_READ,
+    QSERVE_INDEX_READ,
 ];
 
 /// An injected failure, returned by [`Faults::hit`] at the armed occurrence.

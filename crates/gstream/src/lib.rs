@@ -32,10 +32,10 @@ pub use extsort::{ExternalSorter, SortConfig, SortReport};
 pub use hostmem::{HostAlloc, HostMem, HostMemError};
 pub use iostats::{DiskModel, IoStats};
 pub use merge::{kway_merge, windowed_merge, PairSink, PairSource, SliceSource, VecSink};
-pub use reader::{read_footer, RecordReader};
-pub use record::{fnv1a, Fnv64, Footer, KvPair};
+pub use reader::{read_blob, read_footer, RecordReader};
+pub use record::{fnv1a, BlobFooter, Fnv64, Footer, KvPair};
 pub use spill::{range_of, PartitionKind, PartitionSet, SpillDir};
-pub use writer::{fsync_dir, fsync_parent_dir, RecordWriter};
+pub use writer::{fsync_dir, fsync_parent_dir, write_blob, RecordWriter};
 
 /// Errors from streaming operations.
 #[derive(Debug)]

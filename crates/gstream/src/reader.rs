@@ -1,11 +1,55 @@
 //! Sequential record readers (the "read-only memory" of Fig. 3).
 
 use crate::iostats::IoStats;
-use crate::record::{Fnv64, Footer, KvPair};
+use crate::record::{BlobFooter, Fnv64, Footer, KvPair};
 use crate::{Result, StreamError};
 use std::fs::File;
 use std::io::{BufReader, Read, Seek, SeekFrom};
 use std::path::Path;
+
+/// Read a byte blob written by [`crate::writer::write_blob`], validating
+/// its [`BlobFooter`] (magic, length, checksum). Every failure names the
+/// offending file and surfaces as [`StreamError::Corrupt`], so a torn or
+/// bit-flipped store fails loudly before any consumer trusts its bytes.
+pub fn read_blob(path: &Path, io: &IoStats) -> Result<Vec<u8>> {
+    let mut bytes = std::fs::read(path)?;
+    if bytes.len() < BlobFooter::BYTES {
+        return Err(StreamError::Corrupt(format!(
+            "{} has {} bytes, too short for the {}-byte blob footer",
+            path.display(),
+            bytes.len(),
+            BlobFooter::BYTES
+        )));
+    }
+    let tail: [u8; BlobFooter::BYTES] = bytes[bytes.len() - BlobFooter::BYTES..]
+        .try_into()
+        .expect("footer-sized tail");
+    let footer = BlobFooter::decode(&tail).ok_or_else(|| {
+        StreamError::Corrupt(format!(
+            "{} has no blob footer magic (truncated, torn, or foreign file)",
+            path.display()
+        ))
+    })?;
+    bytes.truncate(bytes.len() - BlobFooter::BYTES);
+    if footer.len != bytes.len() as u64 {
+        return Err(StreamError::Corrupt(format!(
+            "{} footer promises {} payload bytes but carries {}",
+            path.display(),
+            footer.len,
+            bytes.len()
+        )));
+    }
+    if footer.checksum != crate::record::fnv1a(&bytes) {
+        return Err(StreamError::Corrupt(format!(
+            "{} checksum mismatch: footer {:#018x}, payload {:#018x}",
+            path.display(),
+            footer.checksum,
+            crate::record::fnv1a(&bytes)
+        )));
+    }
+    io.add_read(bytes.len() as u64);
+    Ok(bytes)
+}
 
 /// Read and validate the [`Footer`] of the spill file at `path` without
 /// streaming its records (size and magic checks only — drain the file to
@@ -112,9 +156,12 @@ impl RecordReader {
         let mut out = Vec::with_capacity(want);
         let mut frame = [0u8; KvPair::BYTES];
         for _ in 0..want {
-            self.inner
-                .read_exact(&mut frame)
-                .map_err(|e| StreamError::Corrupt(format!("short read mid-record: {e}")))?;
+            self.inner.read_exact(&mut frame).map_err(|e| {
+                StreamError::Corrupt(format!(
+                    "{} short read mid-record: {e}",
+                    self.path.display()
+                ))
+            })?;
             self.hasher.update(&frame);
             out.push(KvPair::decode(&frame));
         }

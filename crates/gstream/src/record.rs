@@ -127,6 +127,47 @@ impl Footer {
     }
 }
 
+/// Fixed trailer of every durable byte blob (contig stores, minimizer
+/// indexes): written by [`crate::writer::write_blob`] at the commit point,
+/// verified by [`crate::reader::read_blob`] on open. Identical durability
+/// contract to [`Footer`], but framing arbitrary bytes instead of
+/// fixed-width records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlobFooter {
+    /// Payload length in bytes.
+    pub len: u64,
+    /// FNV-1a 64 over the payload bytes.
+    pub checksum: u64,
+}
+
+impl BlobFooter {
+    /// `b"LASBLOB1"` little-endian — rejects footer-less and foreign files.
+    pub const MAGIC: u64 = u64::from_le_bytes(*b"LASBLOB1");
+    /// Encoded size in bytes.
+    pub const BYTES: usize = 24;
+
+    /// Serialize as `magic ‖ len ‖ checksum`, all little-endian u64.
+    pub fn encode(&self) -> [u8; Self::BYTES] {
+        let mut out = [0u8; Self::BYTES];
+        out[..8].copy_from_slice(&Self::MAGIC.to_le_bytes());
+        out[8..16].copy_from_slice(&self.len.to_le_bytes());
+        out[16..24].copy_from_slice(&self.checksum.to_le_bytes());
+        out
+    }
+
+    /// Deserialize; `None` if the magic does not match.
+    pub fn decode(buf: &[u8; Self::BYTES]) -> Option<BlobFooter> {
+        let magic = u64::from_le_bytes(buf[..8].try_into().expect("8-byte magic"));
+        if magic != Self::MAGIC {
+            return None;
+        }
+        Some(BlobFooter {
+            len: u64::from_le_bytes(buf[8..16].try_into().expect("8-byte len")),
+            checksum: u64::from_le_bytes(buf[16..24].try_into().expect("8-byte checksum")),
+        })
+    }
+}
+
 /// Split pairs into the structure-of-arrays layout device kernels take.
 pub fn split_pairs(pairs: &[KvPair]) -> (Vec<u128>, Vec<u32>) {
     let mut keys = Vec::with_capacity(pairs.len());

@@ -7,11 +7,42 @@
 //! that the next run ignores.
 
 use crate::iostats::IoStats;
-use crate::record::{Fnv64, Footer, KvPair};
+use crate::record::{BlobFooter, Fnv64, Footer, KvPair};
 use crate::{Result, StreamError};
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
+
+/// Durably write an arbitrary byte blob: payload + [`BlobFooter`] into
+/// `<path>.tmp`, flush, `sync_all`, atomic rename, parent-directory fsync.
+/// The same commit discipline as [`RecordWriter::finish`], for artifacts
+/// that are not fixed-width record streams (contig stores, minimizer
+/// indexes). A crash never leaves a torn file under the final name.
+pub fn write_blob(path: &Path, payload: &[u8], io: &IoStats) -> Result<()> {
+    let tmp = tmp_path(path);
+    let write = || -> Result<()> {
+        let footer = BlobFooter {
+            len: payload.len() as u64,
+            checksum: crate::record::fnv1a(payload),
+        };
+        let mut file = BufWriter::with_capacity(1 << 16, File::create(&tmp)?);
+        file.write_all(payload)?;
+        file.write_all(&footer.encode())?;
+        file.flush()?;
+        file.get_ref().sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)?;
+        fsync_parent_dir(path)?;
+        io.add_write(payload.len() as u64);
+        Ok(())
+    };
+    let result = write();
+    if result.is_err() {
+        // Failed commits must not leave a torn temp file either.
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
 
 /// `<path>.tmp`, the in-progress side file of a writer targeting `path`.
 pub(crate) fn tmp_path(path: &Path) -> PathBuf {
@@ -232,6 +263,40 @@ mod tests {
         drop(w);
         assert!(!path.exists());
         assert!(!tmp_path(&path).exists());
+    }
+
+    #[test]
+    fn blob_roundtrips_and_rejects_corruption() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("blob.bin");
+        let io = IoStats::default();
+        let payload = b"minimizer index bytes".to_vec();
+        write_blob(&path, &payload, &io).unwrap();
+        assert!(!tmp_path(&path).exists());
+        assert_eq!(crate::reader::read_blob(&path, &io).unwrap(), payload);
+
+        // Any single bit flip in the payload is detected, with the path
+        // named in the error.
+        let clean = std::fs::read(&path).unwrap();
+        let mut torn = clean.clone();
+        torn[3] ^= 0x40;
+        std::fs::write(&path, &torn).unwrap();
+        let err = crate::reader::read_blob(&path, &io).unwrap_err();
+        match err {
+            StreamError::Corrupt(m) => assert!(m.contains("blob.bin"), "{m}"),
+            other => panic!("expected Corrupt, got {other}"),
+        }
+
+        // Truncation (torn tail) is detected too.
+        std::fs::write(&path, &clean[..clean.len() - 5]).unwrap();
+        assert!(matches!(
+            crate::reader::read_blob(&path, &io),
+            Err(StreamError::Corrupt(_))
+        ));
+
+        // Empty payloads are valid blobs.
+        write_blob(&path, &[], &io).unwrap();
+        assert!(crate::reader::read_blob(&path, &io).unwrap().is_empty());
     }
 
     #[test]

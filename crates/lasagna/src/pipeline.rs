@@ -241,7 +241,8 @@ impl Pipeline {
             let mut r = gstream::RecordReader::open(&path, self.spill.io().clone())?;
             if manifest.is_sorted(&tag) && !manifest.file_matches(&path) {
                 return Err(StreamError::Corrupt(format!(
-                    "sorted partition {tag} does not match its manifest checkpoint",
+                    "sorted partition {tag} at {} does not match its manifest checkpoint",
+                    path.display()
                 ))
                 .into());
             }
@@ -251,9 +252,10 @@ impl Pipeline {
             let graph_path = self.spill.root().join("graph.bin");
             let bytes = std::fs::read(&graph_path).map_err(StreamError::Io)?;
             if !manifest.raw_matches("graph.bin", &bytes) {
-                return Err(StreamError::Corrupt(
-                    "graph.bin does not match its manifest checkpoint".into(),
-                )
+                return Err(StreamError::Corrupt(format!(
+                    "{} does not match its manifest checkpoint",
+                    graph_path.display()
+                ))
                 .into());
             }
         }
@@ -403,6 +405,15 @@ impl Pipeline {
                 extract_paths_traced(&graph, self.config.l_max, TraverseOptions::default(), rec)
             };
             let (contigs, stats) = generate_contigs(&self.device, &self.host, &reads, &paths)?;
+            // Export the assembly to the serving layer's on-disk store.
+            // `lasagna-cli index` / `query` and the qserve crate read it
+            // back; write_blob gives it the same atomic-rename durability
+            // as every spill artifact.
+            qserve::ContigStore::write(
+                &self.spill.root().join(qserve::STORE_FILE),
+                &contigs,
+                self.spill.io(),
+            )?;
             Ok((paths, contigs, stats))
         })?;
 

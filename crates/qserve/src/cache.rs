@@ -1,0 +1,294 @@
+//! Sharded LRU cache of hot postings lists.
+//!
+//! Query traffic over a genome is heavily skewed — repeats and
+//! high-coverage regions hash to the same minimizers over and over — so a
+//! small cache in front of the index's binary search absorbs most lookups.
+//! The cache is sharded by hash to keep lock hold times tiny under the
+//! worker pool, and each shard runs an exact LRU (intrusive doubly-linked
+//! list over a slab) against a byte budget, evicting from the cold end.
+//!
+//! Correctness note: the cache memoizes *immutable* postings lists, so hit
+//! or miss can never change a query's answer — only its cost. The
+//! determinism test in `tests/qserve_golden.rs` runs the same batch with
+//! the cache on and off and asserts bit-identical results.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+const NIL: usize = usize::MAX;
+
+/// Fixed shard count (power of two; shard = low hash bits).
+const SHARDS: usize = 8;
+
+/// Bookkeeping overhead charged per entry, on top of the postings bytes.
+const ENTRY_OVERHEAD: u64 = 48;
+
+/// Hit/miss totals since construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the index.
+    pub misses: u64,
+}
+
+struct Entry {
+    key: u64,
+    value: Arc<Vec<(u32, u32)>>,
+    bytes: u64,
+    prev: usize,
+    next: usize,
+}
+
+/// One shard: slab-backed entries chained hot (head) to cold (tail).
+struct Shard {
+    map: HashMap<u64, usize>,
+    slab: Vec<Entry>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    bytes: u64,
+    budget: u64,
+}
+
+impl Shard {
+    fn new(budget: u64) -> Self {
+        Shard {
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            bytes: 0,
+            budget,
+        }
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slab[i].prev, self.slab[i].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slab[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slab[n].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slab[i].prev = NIL;
+        self.slab[i].next = self.head;
+        match self.head {
+            NIL => self.tail = i,
+            h => self.slab[h].prev = i,
+        }
+        self.head = i;
+    }
+
+    fn get(&mut self, key: u64) -> Option<Arc<Vec<(u32, u32)>>> {
+        let &i = self.map.get(&key)?;
+        self.unlink(i);
+        self.push_front(i);
+        Some(Arc::clone(&self.slab[i].value))
+    }
+
+    fn insert(&mut self, key: u64, value: Arc<Vec<(u32, u32)>>) {
+        let bytes = ENTRY_OVERHEAD + value.len() as u64 * 8;
+        if bytes > self.budget {
+            return; // would evict everything and still not fit
+        }
+        if let Some(&i) = self.map.get(&key) {
+            // Racing workers may fill the same key; keep the resident one.
+            self.unlink(i);
+            self.push_front(i);
+            return;
+        }
+        while self.bytes + bytes > self.budget {
+            let cold = self.tail;
+            debug_assert_ne!(cold, NIL, "budget underflow");
+            self.unlink(cold);
+            self.map.remove(&self.slab[cold].key);
+            self.bytes -= self.slab[cold].bytes;
+            self.slab[cold].value = Arc::new(Vec::new());
+            self.free.push(cold);
+        }
+        let entry = Entry {
+            key,
+            value,
+            bytes,
+            prev: NIL,
+            next: NIL,
+        };
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slab[i] = entry;
+                i
+            }
+            None => {
+                self.slab.push(entry);
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+        self.bytes += bytes;
+    }
+}
+
+/// Sharded, byte-budgeted LRU keyed by minimizer hash.
+///
+/// A zero-byte budget disables caching entirely (every lookup is a miss
+/// that stores nothing) — the CLI's `--cache-mb 0`.
+pub struct PostingsCache {
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PostingsCache {
+    /// A cache spreading `budget_bytes` evenly over its shards.
+    pub fn new(budget_bytes: u64) -> PostingsCache {
+        PostingsCache {
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(Shard::new(budget_bytes / SHARDS as u64)))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u64) -> MutexGuard<'_, Shard> {
+        self.shards[key as usize & (SHARDS - 1)]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Look up `key`, filling from `fetch` on a miss. Returns the postings
+    /// and whether this was a hit. `fetch` runs outside the shard lock.
+    pub fn get_or_fetch(
+        &self,
+        key: u64,
+        fetch: impl FnOnce() -> Vec<(u32, u32)>,
+    ) -> (Arc<Vec<(u32, u32)>>, bool) {
+        if let Some(hit) = self.shard(key).get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (hit, true);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = Arc::new(fetch());
+        self.shard(key).insert(key, Arc::clone(&value));
+        (value, false)
+    }
+
+    /// Hit/miss totals since construction.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Bytes currently resident across all shards.
+    pub fn resident_bytes(&self) -> u64 {
+        (0..SHARDS)
+            .map(|s| {
+                self.shards[s]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .bytes
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn postings(n: usize, tag: u32) -> Vec<(u32, u32)> {
+        (0..n as u32).map(|i| (tag, i)).collect()
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let cache = PostingsCache::new(1 << 20);
+        let (v, hit) = cache.get_or_fetch(42, || postings(3, 7));
+        assert!(!hit);
+        assert_eq!(v.len(), 3);
+        let (v2, hit2) = cache.get_or_fetch(42, || panic!("must not refetch"));
+        assert!(hit2);
+        assert_eq!(v2, v);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn lru_evicts_coldest_first_within_budget() {
+        // Budget for ~2 small entries per shard; keys chosen in one shard
+        // (multiples of SHARDS share shard 0).
+        let per_entry = ENTRY_OVERHEAD + 8;
+        let cache = PostingsCache::new(per_entry * 2 * SHARDS as u64);
+        let k = |i: u64| i * SHARDS as u64; // all land in shard 0
+        cache.get_or_fetch(k(1), || postings(1, 1));
+        cache.get_or_fetch(k(2), || postings(1, 2));
+        // Touch k1 so k2 is coldest, then insert k3 → k2 evicted.
+        cache.get_or_fetch(k(1), || panic!("k1 resident"));
+        cache.get_or_fetch(k(3), || postings(1, 3));
+        let (_, hit1) = cache.get_or_fetch(k(1), || postings(1, 1));
+        assert!(hit1, "recently touched survives");
+        let (_, hit2) = cache.get_or_fetch(k(2), || postings(1, 2));
+        assert!(!hit2, "coldest was evicted");
+    }
+
+    #[test]
+    fn resident_bytes_respect_the_budget() {
+        let budget = 4096;
+        let cache = PostingsCache::new(budget);
+        for key in 0..1000u64 {
+            cache.get_or_fetch(key, || postings(8, key as u32));
+        }
+        assert!(cache.resident_bytes() <= budget);
+        assert!(cache.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn zero_budget_disables_caching_without_breaking_lookups() {
+        let cache = PostingsCache::new(0);
+        for _ in 0..3 {
+            let (v, hit) = cache.get_or_fetch(5, || postings(2, 9));
+            assert!(!hit);
+            assert_eq!(v.len(), 2);
+        }
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 3 });
+        assert_eq!(cache.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn oversized_values_are_served_but_not_cached() {
+        let cache = PostingsCache::new(64 * SHARDS as u64);
+        let (v, _) = cache.get_or_fetch(1, || postings(1000, 1));
+        assert_eq!(v.len(), 1000);
+        let (_, hit) = cache.get_or_fetch(1, || postings(1000, 1));
+        assert!(!hit, "an entry bigger than a shard budget is not resident");
+    }
+
+    #[test]
+    fn concurrent_fills_converge() {
+        let cache = Arc::new(PostingsCache::new(1 << 16));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let cache = Arc::clone(&cache);
+                s.spawn(move || {
+                    for round in 0..200u64 {
+                        let key = round % 16;
+                        let (v, _) = cache.get_or_fetch(key, || postings(4, key as u32));
+                        assert_eq!(v[0].0, key as u32);
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 8 * 200);
+    }
+}

@@ -1,0 +1,330 @@
+//! Read → contig position lookup.
+//!
+//! A query maps a read (or its Watson-Crick complement) back onto the
+//! assembly in two stages, mirroring classic seed-and-extend:
+//!
+//! 1. **Seed.** The read's (w,k) minimizers are looked up in the
+//!    [`MinimizerIndex`]; every posting `(contig, contig_off)` paired with
+//!    the minimizer's read offset votes for one *placement*
+//!    `(contig, contig_off - read_off)`. Genuine origins accumulate one
+//!    vote per shared minimizer; chance hits rarely agree on a placement.
+//! 2. **Verify.** Candidate placements are checked base-by-base against
+//!    the stored contig (a banded verification with band width 0 — the
+//!    pipeline introduces no indels, so placements are exact diagonals),
+//!    bailing out as soon as the mismatch budget is exceeded.
+//!
+//! Postings lists fetched from the index pass through the
+//! [`PostingsCache`], so hot minimizers skip the index's binary search.
+//! The cache is invisible to results by construction and the tie-break
+//! order below is total, which makes query answers independent of worker
+//! count, batch order, and cache state — the property the golden tests
+//! pin down.
+
+use crate::cache::PostingsCache;
+use crate::minimizer::{minimizers, MinimizerIndex};
+use crate::store::ContigStore;
+use gstream::IoStats;
+use obs::Recorder;
+use std::collections::HashMap;
+use std::path::Path;
+
+/// Tuning knobs for query resolution.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryConfig {
+    /// Reject placements with more than this many mismatching bases.
+    pub max_mismatches: u32,
+    /// Verify at most this many of the best-voted placements per read.
+    pub max_candidates: usize,
+    /// Placements need at least this many minimizer votes to be verified.
+    pub min_votes: u32,
+    /// Byte budget for the postings cache (0 disables caching).
+    pub cache_bytes: u64,
+}
+
+impl Default for QueryConfig {
+    fn default() -> Self {
+        QueryConfig {
+            max_mismatches: 2,
+            max_candidates: 32,
+            min_votes: 1,
+            cache_bytes: 32 << 20,
+        }
+    }
+}
+
+/// A verified placement of a read on the assembly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hit {
+    /// Index of the contig (pipeline order, as stored).
+    pub contig: u32,
+    /// 0-based offset of the read's first base within the contig.
+    pub offset: u32,
+    /// `true` if the read matched as its reverse complement.
+    pub reverse: bool,
+    /// Mismatching bases between read and contig over the placement.
+    pub mismatches: u32,
+    /// Minimizer votes the placement received during seeding.
+    pub votes: u32,
+}
+
+/// The resolution engine: store + index + cache + config.
+///
+/// Shared read-only across the [`QueryService`] worker pool; all interior
+/// mutability lives in the cache, which is lock-sharded.
+///
+/// [`QueryService`]: crate::QueryService
+pub struct QueryEngine {
+    store: ContigStore,
+    index: MinimizerIndex,
+    cache: PostingsCache,
+    cfg: QueryConfig,
+}
+
+impl QueryEngine {
+    /// Bind a store and an index, refusing mismatched pairs.
+    pub fn new(
+        store: ContigStore,
+        index: MinimizerIndex,
+        cfg: QueryConfig,
+    ) -> crate::Result<QueryEngine> {
+        index.verify_store(&store)?;
+        Ok(QueryEngine {
+            store,
+            index,
+            cache: PostingsCache::new(cfg.cache_bytes),
+            cfg,
+        })
+    }
+
+    /// Open store and index files and bind them.
+    pub fn open(
+        store_path: &Path,
+        index_path: &Path,
+        io: &IoStats,
+        cfg: QueryConfig,
+    ) -> crate::Result<QueryEngine> {
+        let store = ContigStore::open(store_path, io)?;
+        let index = MinimizerIndex::open(index_path, io)?;
+        Self::new(store, index, cfg)
+    }
+
+    /// The bound store.
+    pub fn store(&self) -> &ContigStore {
+        &self.store
+    }
+
+    /// The bound index.
+    pub fn index(&self) -> &MinimizerIndex {
+        &self.index
+    }
+
+    /// Cache hit/miss totals since the engine was built.
+    pub fn cache_stats(&self) -> crate::CacheStats {
+        self.cache.stats()
+    }
+
+    /// Resolve one read. Returns the best placement within the mismatch
+    /// budget, or `None` if nothing verifies.
+    pub fn query(&self, read: &genome::PackedSeq) -> Option<Hit> {
+        self.query_inner(read).0
+    }
+
+    /// [`Self::query`], additionally emitting `qserve.cache.hit` /
+    /// `qserve.cache.miss` counters on `span`.
+    pub fn query_traced(&self, read: &genome::PackedSeq, rec: &Recorder, span: u64) -> Option<Hit> {
+        let (hit, cache_hits, cache_misses) = self.query_inner(read);
+        if cache_hits > 0 {
+            rec.counter_on(span, "qserve.cache.hit", cache_hits);
+        }
+        if cache_misses > 0 {
+            rec.counter_on(span, "qserve.cache.miss", cache_misses);
+        }
+        hit
+    }
+
+    fn query_inner(&self, read: &genome::PackedSeq) -> (Option<Hit>, u64, u64) {
+        let (k, w) = (self.index.k() as usize, self.index.w() as usize);
+        let mut cache_hits = 0u64;
+        let mut cache_misses = 0u64;
+        if read.len() < k {
+            return (None, 0, 0);
+        }
+        let rev = read.reverse_complement();
+        let mut best: Option<Hit> = None;
+        for (reverse, oriented) in [(false, read), (true, &rev)] {
+            // Seed: vote for placements (contig, start-of-read-in-contig).
+            let mut votes: HashMap<(u32, u32), u32> = HashMap::new();
+            for (hash, read_off) in minimizers(oriented, k, w) {
+                let (postings, was_hit) = self
+                    .cache
+                    .get_or_fetch(hash, || self.index.postings(hash).to_vec());
+                if was_hit {
+                    cache_hits += 1;
+                } else {
+                    cache_misses += 1;
+                }
+                for &(contig, contig_off) in postings.iter() {
+                    let Some(start) = contig_off.checked_sub(read_off) else {
+                        continue; // read would hang off the contig's left edge
+                    };
+                    let clen = self.store.contig(contig as usize).len();
+                    if start as usize + oriented.len() > clen {
+                        continue; // hangs off the right edge
+                    }
+                    *votes.entry((contig, start)).or_insert(0) += 1;
+                }
+            }
+            // Rank: most votes first, then (contig, offset) for a total,
+            // deterministic order before truncation.
+            let mut candidates: Vec<((u32, u32), u32)> = votes
+                .into_iter()
+                .filter(|&(_, v)| v >= self.cfg.min_votes)
+                .collect();
+            candidates.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            candidates.truncate(self.cfg.max_candidates);
+            // Verify: exact-diagonal comparison with early bail-out.
+            for ((contig, start), v) in candidates {
+                let Some(mm) = self.verify(oriented, contig, start) else {
+                    continue;
+                };
+                let hit = Hit {
+                    contig,
+                    offset: start,
+                    reverse,
+                    mismatches: mm,
+                    votes: v,
+                };
+                if best.is_none_or(|b| hit_rank(&hit) < hit_rank(&b)) {
+                    best = Some(hit);
+                }
+            }
+        }
+        (best, cache_hits, cache_misses)
+    }
+
+    /// Count mismatches of `read` against `contig` at `start`, or `None`
+    /// once the budget is blown.
+    fn verify(&self, read: &genome::PackedSeq, contig: u32, start: u32) -> Option<u32> {
+        let contig = self.store.contig(contig as usize);
+        let mut mm = 0u32;
+        for (i, base) in read.iter().enumerate() {
+            if contig.get(start as usize + i) != base {
+                mm += 1;
+                if mm > self.cfg.max_mismatches {
+                    return None;
+                }
+            }
+        }
+        Some(mm)
+    }
+}
+
+/// Total order over hits: fewer mismatches win, forward beats reverse,
+/// then lowest (contig, offset). Votes are reported but never break ties —
+/// they depend on seeding luck, not on where the read truly sits.
+fn hit_rank(h: &Hit) -> (u32, bool, u32, u32) {
+    (h.mismatches, h.reverse, h.contig, h.offset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minimizer::IndexConfig;
+    use genome::PackedSeq;
+
+    fn engine_over(contigs: &[&str], cfg: QueryConfig) -> QueryEngine {
+        let contigs: Vec<PackedSeq> = contigs.iter().map(|s| s.parse().unwrap()).collect();
+        let store = ContigStore::from_contigs(contigs);
+        let index = MinimizerIndex::build(
+            &store,
+            &IndexConfig {
+                k: 7,
+                w: 4,
+                threads: 1,
+            },
+        );
+        QueryEngine::new(store, index, cfg).unwrap()
+    }
+
+    fn seq(s: &str) -> PackedSeq {
+        s.parse().unwrap()
+    }
+
+    const REF0: &str = "ACGTACGGTTCAGATTACAGGCATCGGATGCATTCAGGACCTTAGGACCA";
+    const REF1: &str = "TTGACCATGGACCAGTTACACGGTTAACCGGTTAACCATGCAGGACTTCA";
+
+    #[test]
+    fn exact_forward_read_maps_to_its_origin() {
+        let eng = engine_over(&[REF0, REF1], QueryConfig::default());
+        let read = seq(&REF1[12..36]);
+        let hit = eng.query(&read).expect("exact read must map");
+        assert_eq!((hit.contig, hit.offset, hit.reverse), (1, 12, false));
+        assert_eq!(hit.mismatches, 0);
+        assert!(hit.votes >= 1);
+    }
+
+    #[test]
+    fn reverse_complement_read_maps_with_reverse_flag() {
+        let eng = engine_over(&[REF0, REF1], QueryConfig::default());
+        let read = seq(&REF0[8..32]).reverse_complement();
+        let hit = eng.query(&read).expect("revcomp read must map");
+        assert_eq!((hit.contig, hit.offset, hit.reverse), (0, 8, true));
+        assert_eq!(hit.mismatches, 0);
+    }
+
+    #[test]
+    fn mismatches_within_budget_still_map() {
+        let eng = engine_over(&[REF0, REF1], QueryConfig::default());
+        let mut codes = seq(&REF0[5..35]).to_codes();
+        codes[2] = (codes[2] + 1) & 3; // one substitution near the start
+        let read = PackedSeq::from_codes(&codes);
+        let hit = eng.query(&read).expect("1 mismatch is within budget");
+        assert_eq!((hit.contig, hit.offset, hit.mismatches), (0, 5, 1));
+    }
+
+    #[test]
+    fn mismatches_beyond_budget_are_rejected() {
+        let cfg = QueryConfig {
+            max_mismatches: 0,
+            ..QueryConfig::default()
+        };
+        let eng = engine_over(&[REF0, REF1], cfg);
+        let mut codes = seq(&REF0[5..35]).to_codes();
+        codes[15] = (codes[15] + 1) & 3;
+        assert_eq!(eng.query(&PackedSeq::from_codes(&codes)), None);
+    }
+
+    #[test]
+    fn foreign_and_short_reads_return_none() {
+        let eng = engine_over(&[REF0], QueryConfig::default());
+        assert_eq!(eng.query(&seq("GTGTGTGTGTGTGTGTGTGTGTGT")), None);
+        assert_eq!(eng.query(&seq("ACG")), None, "shorter than k");
+    }
+
+    #[test]
+    fn cache_speeds_repeats_without_changing_answers() {
+        let eng = engine_over(&[REF0, REF1], QueryConfig::default());
+        let read = seq(&REF1[20..44]);
+        let first = eng.query(&read);
+        let second = eng.query(&read);
+        assert_eq!(first, second);
+        let stats = eng.cache_stats();
+        assert!(stats.hits > 0, "second pass must hit the cache: {stats:?}");
+    }
+
+    #[test]
+    fn mismatched_store_and_index_refuse_to_bind() {
+        let store_a = ContigStore::from_contigs(vec![seq(REF0)]);
+        let store_b = ContigStore::from_contigs(vec![seq(REF1)]);
+        let cfg = IndexConfig {
+            k: 7,
+            w: 4,
+            threads: 1,
+        };
+        let index_b = MinimizerIndex::build(&store_b, &cfg);
+        let err = QueryEngine::new(store_a, index_b, QueryConfig::default())
+            .err()
+            .expect("binding must fail");
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+}

@@ -1,0 +1,88 @@
+//! # qserve — the contig query service
+//!
+//! Everything upstream of this crate produces an assembly; this crate
+//! serves it. The paper's pipeline ends when contigs hit disk, but the
+//! north-star deployment keeps answering "where does this read come from?"
+//! long after the assembly finished — alignment front-ends, contamination
+//! screens, coverage dashboards. `qserve` is that serving layer:
+//!
+//! * [`store`] — [`ContigStore`], a compact on-disk contig store (2-bit
+//!   packed sequences + per-contig metadata) committed with the same
+//!   atomic-rename durability as every other artifact (`gstream`'s blob
+//!   writer) and validated end-to-end by a checksummed footer;
+//! * [`minimizer`] — [`MinimizerIndex`], a (w,k)-window minimizer index
+//!   mapping minimizer hashes to `(contig, offset)` postings, built in
+//!   parallel over contigs and serialized beside the store;
+//! * [`cache`] — [`PostingsCache`], a sharded LRU over hot postings lists
+//!   with a byte budget, so repeated minimizers skip the index walk;
+//! * [`engine`] — [`QueryEngine`], which maps a read (or its Watson-Crick
+//!   complement) to its contig position: minimizer hits vote for candidate
+//!   diagonals, banded verification confirms or rejects them;
+//! * [`service`] — [`QueryService`], a worker pool consuming batched
+//!   requests from a bounded queue; over-depth submissions are shed with
+//!   a typed [`QserveError::Overloaded`] instead of queuing unboundedly.
+//!
+//! Formats, query semantics, tuning knobs, and failure modes are
+//! documented in `SERVING.md`. Observability: workers run under
+//! `qserve.worker{i}` spans and emit `qserve.queries`,
+//! `qserve.cache.hit`/`qserve.cache.miss`, `qserve.batch.size`, and
+//! `qserve.shed` counters (see OBSERVABILITY.md). Corrupt stores and
+//! indexes fail loudly as [`gstream::StreamError::Corrupt`] with the
+//! offending path named; the `qserve.store.read` / `qserve.index.read`
+//! failpoints inject those failures deterministically (ROBUSTNESS.md).
+
+pub mod cache;
+pub mod engine;
+pub mod minimizer;
+pub mod service;
+pub mod store;
+mod wire;
+
+pub use cache::{CacheStats, PostingsCache};
+pub use engine::{Hit, QueryConfig, QueryEngine};
+pub use minimizer::{minimizers, IndexConfig, MinimizerIndex};
+pub use service::{BatchHandle, QueryService, ServiceConfig};
+pub use store::ContigStore;
+
+/// File name of the contig store inside an assembly work directory.
+pub const STORE_FILE: &str = "contigs.store";
+/// File name of the minimizer index inside an assembly work directory.
+pub const INDEX_FILE: &str = "contigs.mdx";
+
+/// Errors from the query service.
+#[derive(Debug)]
+pub enum QserveError {
+    /// Store/index I/O or corruption (see [`gstream::StreamError`]).
+    Stream(gstream::StreamError),
+    /// The service queue is at depth; the batch was shed, not enqueued.
+    /// Back off and resubmit — nothing was partially processed.
+    Overloaded {
+        /// Chunks already queued when the batch arrived.
+        queued: usize,
+        /// The configured queue-depth limit it would have exceeded.
+        max_queue: usize,
+    },
+}
+
+impl std::fmt::Display for QserveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QserveError::Stream(e) => write!(f, "{e}"),
+            QserveError::Overloaded { queued, max_queue } => write!(
+                f,
+                "overloaded: {queued} chunks queued, admission limit {max_queue}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QserveError {}
+
+impl From<gstream::StreamError> for QserveError {
+    fn from(e: gstream::StreamError) -> Self {
+        QserveError::Stream(e)
+    }
+}
+
+/// Convenience alias for fallible service operations.
+pub type Result<T> = std::result::Result<T, QserveError>;

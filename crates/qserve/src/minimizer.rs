@@ -1,0 +1,433 @@
+//! (w,k)-window minimizers and the postings index built from them.
+//!
+//! A *minimizer* is the k-mer with the smallest hash in each window of `w`
+//! consecutive k-mers; any two sequences sharing a stretch of at least
+//! `w + k - 1` identical bases are guaranteed to share a minimizer, so a
+//! read drawn from a stored contig always lands at least one index hit.
+//! Hashing (a splitmix64 finalizer over the 2-bit k-mer code) decorrelates
+//! the sampled positions from sequence content; picking the **leftmost**
+//! minimum on ties keeps extraction fully deterministic.
+//!
+//! The index is a flat postings table — `(hash, contig, offset)` sorted
+//! lexicographically — binary-searched per lookup. Building walks contigs
+//! in parallel (contiguous chunks across threads) and sorts once at the
+//! end, so the result is byte-identical regardless of thread count.
+
+use crate::store::ContigStore;
+use crate::wire::{put_u32, put_u64, Cursor};
+use genome::PackedSeq;
+use gstream::{IoStats, StreamError};
+use std::collections::VecDeque;
+use std::path::Path;
+
+/// Leading payload magic: `LASMIDX1`.
+pub const INDEX_MAGIC: u64 = u64::from_le_bytes(*b"LASMIDX1");
+
+/// Largest k-mer length the 2-bit rolling code supports.
+pub const MAX_K: usize = 31;
+
+/// Index construction knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexConfig {
+    /// Minimizer k-mer length (1..=31).
+    pub k: usize,
+    /// Window size in k-mers; a window spans `w + k - 1` bases.
+    pub w: usize,
+    /// Builder threads; `0` means one per available core.
+    pub threads: usize,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        IndexConfig {
+            k: 15,
+            w: 8,
+            threads: 0,
+        }
+    }
+}
+
+/// splitmix64 finalizer: a cheap invertible mix, uniform enough that the
+/// windowed minimum samples positions independent of base composition.
+#[inline]
+pub(crate) fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// The (hash, start offset) of every window minimizer of `seq`, in offset
+/// order, consecutive duplicates collapsed. Empty when `seq` is shorter
+/// than `k`; a sequence shorter than a full window yields its single
+/// global minimum.
+pub fn minimizers(seq: &PackedSeq, k: usize, w: usize) -> Vec<(u64, u32)> {
+    assert!((1..=MAX_K).contains(&k), "k must be in 1..={MAX_K}");
+    assert!(w >= 1, "window must hold at least one k-mer");
+    let len = seq.len();
+    if len < k {
+        return Vec::new();
+    }
+    let n = len - k + 1; // k-mer count
+    let mask = (1u64 << (2 * k)) - 1; // k <= 31, so the shift is < 64
+    let mut hashes = Vec::with_capacity(n);
+    let mut kmer = 0u64;
+    for i in 0..len {
+        kmer = ((kmer << 2) | seq.get(i).code() as u64) & mask;
+        if i + 1 >= k {
+            hashes.push(mix64(kmer));
+        }
+    }
+
+    // Monotone deque of k-mer positions: front is always the leftmost
+    // minimum of the current window.
+    let mut out: Vec<(u64, u32)> = Vec::new();
+    let mut deque: VecDeque<usize> = VecDeque::new();
+    let first_full = w.min(n); // windows exist from k-mer index first_full-1
+    for i in 0..n {
+        while deque.back().is_some_and(|&b| hashes[b] > hashes[i]) {
+            deque.pop_back();
+        }
+        deque.push_back(i);
+        while deque.front().is_some_and(|&f| f + w <= i) {
+            deque.pop_front();
+        }
+        if i + 1 >= first_full {
+            let m = *deque.front().expect("window holds at least one k-mer");
+            if out.last().is_none_or(|&(_, o)| o != m as u32) {
+                out.push((hashes[m], m as u32));
+            }
+        }
+    }
+    out
+}
+
+/// Minimizer hash → `(contig, offset)` postings for one [`ContigStore`].
+pub struct MinimizerIndex {
+    k: u32,
+    w: u32,
+    store_checksum: u64,
+    /// Sorted; parallel to `postings`.
+    hashes: Vec<u64>,
+    /// `(contig, contig offset)` per entry, sorted within equal hashes.
+    postings: Vec<(u32, u32)>,
+}
+
+impl MinimizerIndex {
+    /// Index every contig of `store`, splitting contigs across threads and
+    /// sorting the merged postings once — deterministic for any `threads`.
+    pub fn build(store: &ContigStore, cfg: &IndexConfig) -> MinimizerIndex {
+        let threads = if cfg.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            cfg.threads
+        };
+        let (k, w) = (cfg.k, cfg.w);
+        let n = store.len();
+        let per = n.div_ceil(threads.max(1)).max(1);
+        let mut entries: Vec<(u64, u32, u32)> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut parts = Vec::new();
+            for start in (0..n).step_by(per) {
+                let end = (start + per).min(n);
+                parts.push(scope.spawn(move || {
+                    let mut out = Vec::new();
+                    for ci in start..end {
+                        for (hash, off) in minimizers(store.contig(ci), k, w) {
+                            out.push((hash, ci as u32, off));
+                        }
+                    }
+                    out
+                }));
+            }
+            for part in parts {
+                entries.extend(part.join().expect("index build worker panicked"));
+            }
+        });
+        entries.sort_unstable();
+        MinimizerIndex {
+            k: k as u32,
+            w: w as u32,
+            store_checksum: store.checksum(),
+            hashes: entries.iter().map(|&(h, _, _)| h).collect(),
+            postings: entries.iter().map(|&(_, c, o)| (c, o)).collect(),
+        }
+    }
+
+    /// Serialize to a payload (no footer — [`gstream::write_blob`]'s job).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(40 + self.hashes.len() * 16);
+        put_u64(&mut buf, INDEX_MAGIC);
+        put_u32(&mut buf, self.k);
+        put_u32(&mut buf, self.w);
+        put_u64(&mut buf, self.store_checksum);
+        put_u64(&mut buf, self.hashes.len() as u64);
+        for (&hash, &(contig, offset)) in self.hashes.iter().zip(&self.postings) {
+            put_u64(&mut buf, hash);
+            put_u32(&mut buf, contig);
+            put_u32(&mut buf, offset);
+        }
+        buf
+    }
+
+    /// Durably write the index beside its store.
+    pub fn write(&self, path: &Path, io: &IoStats) -> gstream::Result<()> {
+        gstream::write_blob(path, &self.encode(), io)
+    }
+
+    /// Open and fully validate the index at `path`.
+    ///
+    /// The `qserve.index.read` failpoint fires here; any corruption
+    /// surfaces as [`StreamError::Corrupt`] naming `path`, including
+    /// postings out of order (which would silently break the binary
+    /// search if admitted).
+    pub fn open(path: &Path, io: &IoStats) -> gstream::Result<MinimizerIndex> {
+        io.faults()
+            .hit(faultsim::QSERVE_INDEX_READ)
+            .map_err(StreamError::Fault)?;
+        let payload = gstream::read_blob(path, io)?;
+        Self::decode(&payload, path)
+    }
+
+    /// Decode a validated payload. `path` is only used to name errors.
+    pub fn decode(payload: &[u8], path: &Path) -> gstream::Result<MinimizerIndex> {
+        let mut cur = Cursor::new(payload, path);
+        let magic = cur.u64("index magic")?;
+        if magic != INDEX_MAGIC {
+            return Err(cur.corrupt(&format!(
+                "bad index magic {magic:#018x} (expected {INDEX_MAGIC:#018x})"
+            )));
+        }
+        let k = cur.u32("k")?;
+        let w = cur.u32("w")?;
+        if !(1..=MAX_K as u32).contains(&k) || w == 0 {
+            return Err(cur.corrupt(&format!("implausible parameters k={k} w={w}")));
+        }
+        let store_checksum = cur.u64("store checksum")?;
+        let count = cur.u64("postings count")?;
+        if count.saturating_mul(16) > payload.len() as u64 {
+            return Err(cur.corrupt(&format!(
+                "implausible postings count {count} in a {}-byte payload",
+                payload.len()
+            )));
+        }
+        let mut hashes = Vec::with_capacity(count as usize);
+        let mut postings = Vec::with_capacity(count as usize);
+        for i in 0..count {
+            let hash = cur.u64(&format!("hash of posting {i}"))?;
+            let contig = cur.u32(&format!("contig of posting {i}"))?;
+            let offset = cur.u32(&format!("offset of posting {i}"))?;
+            if let (Some(&ph), Some(&pp)) = (hashes.last(), postings.last()) {
+                if (ph, pp) > (hash, (contig, offset)) {
+                    return Err(cur.corrupt(&format!("postings out of order at entry {i}")));
+                }
+            }
+            hashes.push(hash);
+            postings.push((contig, offset));
+        }
+        cur.finish()?;
+        Ok(MinimizerIndex {
+            k,
+            w,
+            store_checksum,
+            hashes,
+            postings,
+        })
+    }
+
+    /// Minimizer k-mer length.
+    pub fn k(&self) -> usize {
+        self.k as usize
+    }
+
+    /// Window size in k-mers.
+    pub fn w(&self) -> usize {
+        self.w as usize
+    }
+
+    /// Total postings.
+    pub fn postings_len(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Checksum of the store payload this index was built from.
+    pub fn store_checksum(&self) -> u64 {
+        self.store_checksum
+    }
+
+    /// All `(contig, offset)` postings for `hash` (possibly empty), in
+    /// (contig, offset) order.
+    pub fn postings(&self, hash: u64) -> &[(u32, u32)] {
+        let start = self.hashes.partition_point(|&h| h < hash);
+        let end = start + self.hashes[start..].partition_point(|&h| h == hash);
+        &self.postings[start..end]
+    }
+
+    /// Fail with `Corrupt` unless this index was built from exactly the
+    /// payload bytes of `store` (checked via the store's FNV-1a checksum).
+    pub fn verify_store(&self, store: &ContigStore) -> gstream::Result<()> {
+        if self.store_checksum != store.checksum() {
+            return Err(StreamError::Corrupt(format!(
+                "index/store mismatch: index was built from store checksum \
+                 {:#018x}, but the store on disk has {:#018x} — rebuild the index",
+                self.store_checksum,
+                store.checksum()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultsim::{FaultPlan, Faults};
+
+    fn seq(s: &str) -> PackedSeq {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn minimizers_are_deterministic_and_cover_every_window() {
+        let s = seq("ACGTACGTAGGCCATTACGGATCAGGCATTAC");
+        let (k, w) = (5, 4);
+        let m = minimizers(&s, k, w);
+        assert!(!m.is_empty());
+        // Same input, same output.
+        assert_eq!(m, minimizers(&s, k, w));
+        // Offsets strictly increase (consecutive duplicates collapsed).
+        assert!(m.windows(2).all(|p| p[0].1 < p[1].1));
+        // Brute force: every window's leftmost-min k-mer is in the set.
+        let n = s.len() - k + 1;
+        let hashes: Vec<u64> = (0..n)
+            .map(|i| {
+                let mut km = 0u64;
+                for j in 0..k {
+                    km = (km << 2) | s.get(i + j).code() as u64;
+                }
+                mix64(km)
+            })
+            .collect();
+        let offsets: Vec<u32> = m.iter().map(|&(_, o)| o).collect();
+        for win in 0..=(n - w) {
+            let best = (win..win + w)
+                .min_by_key(|&i| (hashes[i], i))
+                .expect("window non-empty");
+            assert!(offsets.contains(&(best as u32)), "window {win}");
+        }
+    }
+
+    #[test]
+    fn short_sequences_degrade_gracefully() {
+        assert!(minimizers(&seq("ACG"), 5, 4).is_empty());
+        // Shorter than a full window: a single global minimum.
+        assert_eq!(minimizers(&seq("ACGTAC"), 5, 8).len(), 1);
+        assert_eq!(minimizers(&seq("ACGTA"), 5, 8).len(), 1);
+    }
+
+    fn toy_store() -> ContigStore {
+        ContigStore::from_contigs(vec![
+            seq("ACGTACGTAGGCCATTACGGATCAGGCATTACCGGATAA"),
+            seq("TTGACCAGTACCAGTAGGACCATTGGACCAGGTT"),
+        ])
+    }
+
+    #[test]
+    fn build_is_identical_across_thread_counts() {
+        let store = toy_store();
+        let base = IndexConfig {
+            k: 7,
+            w: 4,
+            threads: 1,
+        };
+        let one = MinimizerIndex::build(&store, &base);
+        for threads in [2, 4, 7] {
+            let multi = MinimizerIndex::build(&store, &IndexConfig { threads, ..base });
+            assert_eq!(one.encode(), multi.encode(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn postings_locate_every_indexed_position() {
+        let store = toy_store();
+        let idx = MinimizerIndex::build(
+            &store,
+            &IndexConfig {
+                k: 7,
+                w: 4,
+                threads: 1,
+            },
+        );
+        for ci in 0..store.len() {
+            for (hash, off) in minimizers(store.contig(ci), 7, 4) {
+                assert!(
+                    idx.postings(hash).contains(&(ci as u32, off)),
+                    "contig {ci} offset {off} missing"
+                );
+            }
+        }
+        // A hash that is absent returns the empty slice, not a panic.
+        assert!(idx.postings(0xDEAD_BEEF_DEAD_BEEF).is_empty());
+    }
+
+    #[test]
+    fn index_roundtrips_and_rejects_corruption() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("contigs.mdx");
+        let io = IoStats::default();
+        let store = toy_store();
+        let idx = MinimizerIndex::build(
+            &store,
+            &IndexConfig {
+                k: 7,
+                w: 4,
+                threads: 2,
+            },
+        );
+        idx.write(&path, &io).unwrap();
+        let back = MinimizerIndex::open(&path, &io).unwrap();
+        assert_eq!(back.encode(), idx.encode());
+        assert_eq!(back.k(), 7);
+        assert_eq!(back.w(), 4);
+        back.verify_store(&store).unwrap();
+
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+        match MinimizerIndex::open(&path, &io) {
+            Err(StreamError::Corrupt(m)) => assert!(m.contains("contigs.mdx"), "{m}"),
+            Err(other) => panic!("expected Corrupt, got {other}"),
+            Ok(_) => panic!("open must fail on a flipped bit"),
+        }
+    }
+
+    #[test]
+    fn mismatched_store_is_refused() {
+        let idx = MinimizerIndex::build(&toy_store(), &IndexConfig::default());
+        let other = ContigStore::from_contigs(vec![seq("AAAACCCCGGGGTTTT")]);
+        assert!(matches!(
+            idx.verify_store(&other),
+            Err(StreamError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn index_read_failpoint_fires() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("x.mdx");
+        let io = IoStats::default();
+        MinimizerIndex::build(&toy_store(), &IndexConfig::default())
+            .write(&path, &io)
+            .unwrap();
+        io.set_faults(Faults::from_plan(
+            &FaultPlan::new().fail_at(faultsim::QSERVE_INDEX_READ, 1),
+        ));
+        assert!(matches!(
+            MinimizerIndex::open(&path, &io),
+            Err(StreamError::Fault(_))
+        ));
+        // One-shot: the retry opens cleanly.
+        assert!(MinimizerIndex::open(&path, &io).is_ok());
+    }
+}

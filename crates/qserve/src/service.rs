@@ -1,0 +1,396 @@
+//! The concurrent query front-end: batching, worker pool, backpressure.
+//!
+//! A [`QueryService`] owns a fixed pool of worker threads draining a
+//! bounded chunk queue. Callers [`submit`] whole batches of reads; the
+//! batch is split into fixed-size chunks so large batches parallelize
+//! across workers while small ones stay a single unit of work. Admission
+//! control is strict and up-front: if enqueuing a batch's chunks would
+//! push the queue past `max_queue`, the whole batch is rejected with
+//! [`QserveError::Overloaded`] and an `qserve.shed` counter — nothing is
+//! partially processed, so a shed batch can simply be resubmitted.
+//!
+//! Results land in per-batch slots indexed by the read's position in the
+//! submitted batch, so the answer vector is identical no matter how many
+//! workers raced over the chunks — the determinism property the golden
+//! test pins with `--workers 1` vs `--workers 8`.
+//!
+//! [`submit`]: QueryService::submit
+
+use crate::engine::{Hit, QueryEngine};
+use crate::QserveError;
+use genome::PackedSeq;
+use obs::Recorder;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Worker-pool and queueing knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Worker threads resolving queries.
+    pub workers: usize,
+    /// Reads per work chunk; batches are split into chunks this size.
+    pub batch_chunk: usize,
+    /// Admission limit: a batch is shed if the queue would exceed this
+    /// many chunks after enqueuing it.
+    pub max_queue: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            batch_chunk: 64,
+            max_queue: 64,
+        }
+    }
+}
+
+/// One batch's shared completion state.
+struct BatchState {
+    inner: Mutex<BatchInner>,
+    done: Condvar,
+}
+
+struct BatchInner {
+    /// One slot per submitted read, in submission order.
+    results: Vec<Option<Hit>>,
+    /// Chunks not yet fully processed.
+    pending: usize,
+}
+
+/// A ticket for a submitted batch; [`wait`](BatchHandle::wait) blocks
+/// until every read is resolved and yields the results in submission
+/// order.
+pub struct BatchHandle {
+    state: Arc<BatchState>,
+}
+
+impl BatchHandle {
+    /// Block until the batch completes; results align with the submitted
+    /// reads (`results[i]` answers `reads[i]`).
+    pub fn wait(self) -> Vec<Option<Hit>> {
+        let mut inner = self.state.inner.lock().unwrap_or_else(|e| e.into_inner());
+        while inner.pending > 0 {
+            inner = self
+                .state
+                .done
+                .wait(inner)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        std::mem::take(&mut inner.results)
+    }
+}
+
+/// A unit of work: a contiguous slice of one batch.
+struct Chunk {
+    state: Arc<BatchState>,
+    /// Offset of `reads[0]` within the batch's result vector.
+    start: usize,
+    reads: Vec<PackedSeq>,
+}
+
+struct Queue {
+    chunks: VecDeque<Chunk>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    available: Condvar,
+    engine: Arc<QueryEngine>,
+    rec: Recorder,
+    /// Span the workers parent themselves under (0 = no parent).
+    parent_span: u64,
+}
+
+impl Shared {
+    fn lock_queue(&self) -> std::sync::MutexGuard<'_, Queue> {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A running query service. Dropping it closes the queue; workers drain
+/// the chunks already admitted (so outstanding [`BatchHandle`]s still
+/// complete) and exit.
+pub struct QueryService {
+    shared: Arc<Shared>,
+    cfg: ServiceConfig,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl QueryService {
+    /// Spawn the worker pool. Workers trace under `qserve.worker{i}`
+    /// child spans of the recorder's current span at start time.
+    pub fn start(engine: QueryEngine, cfg: ServiceConfig, rec: &Recorder) -> QueryService {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                chunks: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            engine: Arc::new(engine),
+            rec: rec.clone(),
+            parent_span: rec.current(),
+        });
+        let workers = (0..cfg.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("qserve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, i))
+                    .expect("spawn query worker")
+            })
+            .collect();
+        QueryService {
+            shared,
+            cfg,
+            workers,
+        }
+    }
+
+    /// The engine the workers resolve against.
+    pub fn engine(&self) -> &QueryEngine {
+        &self.shared.engine
+    }
+
+    /// Submit a batch. Returns a [`BatchHandle`] on admission, or
+    /// [`QserveError::Overloaded`] if the queue cannot absorb it.
+    pub fn submit(&self, reads: Vec<PackedSeq>) -> crate::Result<BatchHandle> {
+        let state = Arc::new(BatchState {
+            inner: Mutex::new(BatchInner {
+                results: vec![None; reads.len()],
+                pending: 0,
+            }),
+            done: Condvar::new(),
+        });
+        if reads.is_empty() {
+            return Ok(BatchHandle { state });
+        }
+        let chunk_size = self.cfg.batch_chunk.max(1);
+        let n_chunks = reads.len().div_ceil(chunk_size);
+        {
+            let mut q = self.shared.lock_queue();
+            if q.chunks.len() + n_chunks > self.cfg.max_queue {
+                self.shared.rec.counter("qserve.shed", reads.len() as u64);
+                return Err(QserveError::Overloaded {
+                    queued: q.chunks.len(),
+                    max_queue: self.cfg.max_queue,
+                });
+            }
+            self.shared
+                .rec
+                .counter("qserve.batch.size", reads.len() as u64);
+            state
+                .inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pending = n_chunks;
+            let mut reads = reads;
+            let mut start = 0usize;
+            while !reads.is_empty() {
+                let rest = reads.split_off(reads.len().min(chunk_size));
+                let len = reads.len();
+                q.chunks.push_back(Chunk {
+                    state: Arc::clone(&state),
+                    start,
+                    reads,
+                });
+                start += len;
+                reads = rest;
+            }
+        }
+        self.shared.available.notify_all();
+        Ok(BatchHandle { state })
+    }
+
+    /// Submit and wait — the synchronous convenience path.
+    pub fn query_batch(&self, reads: Vec<PackedSeq>) -> crate::Result<Vec<Option<Hit>>> {
+        Ok(self.submit(reads)?.wait())
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.shared.lock_queue().shutdown = true;
+        self.shared.available.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, idx: usize) {
+    let parent = match shared.parent_span {
+        0 => None,
+        p => Some(p),
+    };
+    let span = shared
+        .rec
+        .child_span(parent, &format!("qserve.worker{idx}"));
+    loop {
+        let chunk = {
+            let mut q = shared.lock_queue();
+            loop {
+                if let Some(chunk) = q.chunks.pop_front() {
+                    break chunk;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.available.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        shared
+            .rec
+            .counter_on(span.id(), "qserve.queries", chunk.reads.len() as u64);
+        let answers: Vec<Option<Hit>> = chunk
+            .reads
+            .iter()
+            .map(|read| shared.engine.query_traced(read, &shared.rec, span.id()))
+            .collect();
+        let mut inner = chunk.state.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.results[chunk.start..chunk.start + answers.len()].clone_from_slice(&answers);
+        inner.pending -= 1;
+        if inner.pending == 0 {
+            chunk.state.done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minimizer::{IndexConfig, MinimizerIndex};
+    use crate::store::ContigStore;
+    use crate::QueryConfig;
+
+    const REF: &str = "ACGTACGGTTCAGATTACAGGCATCGGATGCATTCAGGACCTTAGGACCATTGACCATGG\
+                       ACCAGTTACACGGTTAACCGGTTAACCATGCAGGACTTCAGATCCATTGGCATCAGGATC";
+
+    fn engine() -> QueryEngine {
+        let store = ContigStore::from_contigs(vec![REF.parse().unwrap()]);
+        let index = MinimizerIndex::build(
+            &store,
+            &IndexConfig {
+                k: 9,
+                w: 5,
+                threads: 1,
+            },
+        );
+        QueryEngine::new(store, index, QueryConfig::default()).unwrap()
+    }
+
+    fn reads(n: usize) -> Vec<PackedSeq> {
+        (0..n)
+            .map(|i| {
+                let start = (i * 7) % (REF.len() - 30);
+                let s: PackedSeq = REF[start..start + 30].parse().unwrap();
+                if i % 3 == 0 {
+                    s.reverse_complement()
+                } else {
+                    s
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_results_align_with_submission_order() {
+        let rec = Recorder::disabled();
+        let svc = QueryService::start(engine(), ServiceConfig::default(), &rec);
+        let batch = reads(200);
+        let answers = svc.query_batch(batch.clone()).unwrap();
+        assert_eq!(answers.len(), batch.len());
+        for (i, (read, ans)) in batch.iter().zip(&answers).enumerate() {
+            let hit = ans.unwrap_or_else(|| panic!("read {i} unresolved"));
+            let expect_start = (i * 7) % (REF.len() - 30);
+            assert_eq!(hit.offset as usize, expect_start, "read {i}");
+            assert_eq!(hit.reverse, i % 3 == 0, "read {i}");
+            assert_eq!(hit.mismatches, 0, "read {i}");
+            let _ = read;
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_answers() {
+        let batch = reads(500);
+        let rec = Recorder::disabled();
+        let mut per_workers = Vec::new();
+        for workers in [1, 8] {
+            let cfg = ServiceConfig {
+                workers,
+                batch_chunk: 16,
+                ..ServiceConfig::default()
+            };
+            let svc = QueryService::start(engine(), cfg, &rec);
+            per_workers.push(svc.query_batch(batch.clone()).unwrap());
+        }
+        assert_eq!(per_workers[0], per_workers[1]);
+    }
+
+    #[test]
+    fn oversized_batch_is_shed_atomically() {
+        let rec = Recorder::new();
+        let handle = rec.add_memory_sink();
+        let svc = QueryService::start(
+            engine(),
+            ServiceConfig {
+                workers: 2,
+                batch_chunk: 1,
+                max_queue: 4,
+            },
+            &rec,
+        );
+        // 100 reads at chunk size 1 is 100 chunks — far over the 4-chunk
+        // admission limit, so this sheds no matter how fast workers drain.
+        let err = svc.submit(reads(100)).err().expect("must shed");
+        match err {
+            QserveError::Overloaded { max_queue, .. } => assert_eq!(max_queue, 4),
+            other => panic!("expected Overloaded, got {other}"),
+        }
+        // A small batch still goes through afterwards.
+        let ok = svc.query_batch(reads(3)).unwrap();
+        assert_eq!(ok.len(), 3);
+        drop(svc);
+        rec.flush();
+        let rollup = obs::Rollup::from_events(&handle.events());
+        assert_eq!(counter_total(&rollup, "qserve.shed"), 100);
+        assert_eq!(counter_total(&rollup, "qserve.batch.size"), 3);
+        assert_eq!(counter_total(&rollup, "qserve.queries"), 3);
+    }
+
+    /// Sum a counter across every span and the unattached bucket.
+    fn counter_total(rollup: &obs::Rollup, name: &str) -> u64 {
+        rollup.unattached().counter(name)
+            + rollup
+                .roots()
+                .iter()
+                .map(|root| rollup.subtree(root.id).counter(name))
+                .sum::<u64>()
+    }
+
+    #[test]
+    fn empty_batch_completes_immediately() {
+        let rec = Recorder::disabled();
+        let svc = QueryService::start(engine(), ServiceConfig::default(), &rec);
+        assert!(svc.query_batch(Vec::new()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn drop_joins_workers_cleanly_with_work_outstanding() {
+        let rec = Recorder::disabled();
+        let svc = QueryService::start(
+            engine(),
+            ServiceConfig {
+                workers: 1,
+                batch_chunk: 1,
+                max_queue: 1000,
+            },
+            &rec,
+        );
+        // Enqueue plenty, then drop without waiting; Drop must not hang.
+        let _handle = svc.submit(reads(64)).unwrap();
+        drop(svc);
+    }
+}

@@ -1,0 +1,247 @@
+//! The on-disk contig store.
+//!
+//! Written by the pipeline's traverse/compress phase, read by the query
+//! service. The payload is deliberately dumb — a count, per-contig lengths,
+//! then every contig 2-bit packed, 4 bases per byte — because the
+//! durability and integrity story lives one layer down: the whole payload
+//! travels through [`gstream::write_blob`] / [`gstream::read_blob`], which
+//! give it the same tmp-file + fsync + atomic-rename commit and
+//! checksummed [`gstream::BlobFooter`] as every spill file. A torn or
+//! bit-flipped store therefore fails [`ContigStore::open`] loudly as
+//! [`StreamError::Corrupt`] with the file path named — it can never serve
+//! garbage sequence.
+
+use crate::wire::{put_u64, Cursor};
+use genome::PackedSeq;
+use gstream::{IoStats, StreamError};
+use std::path::Path;
+
+/// Leading payload magic: `LASTIG01` (distinct from the blob footer's).
+pub const STORE_MAGIC: u64 = u64::from_le_bytes(*b"LASTIG01");
+
+/// An assembly's contigs, loaded from (or destined for) one store file.
+///
+/// Contigs keep their pipeline order and exact sequence — the golden-path
+/// test in `tests/qserve_golden.rs` asserts a round-trip through the store
+/// is bit-identical to [`Pipeline::run`]'s output. The store remembers the
+/// FNV-1a checksum of its serialized payload so a [`MinimizerIndex`] built
+/// from it can refuse to serve a mismatched store/index pair.
+///
+/// [`Pipeline::run`]: https://docs.rs (see `lasagna::Pipeline::assemble`)
+/// [`MinimizerIndex`]: crate::MinimizerIndex
+pub struct ContigStore {
+    contigs: Vec<PackedSeq>,
+    checksum: u64,
+}
+
+impl ContigStore {
+    /// Serialize `contigs` into a store payload (no footer — that is
+    /// [`gstream::write_blob`]'s job).
+    pub fn encode(contigs: &[PackedSeq]) -> Vec<u8> {
+        let packed: usize = contigs.iter().map(|c| c.len().div_ceil(4)).sum();
+        let mut buf = Vec::with_capacity(24 + contigs.len() * 8 + packed);
+        put_u64(&mut buf, STORE_MAGIC);
+        put_u64(&mut buf, contigs.len() as u64);
+        put_u64(&mut buf, contigs.iter().map(|c| c.len() as u64).sum());
+        for c in contigs {
+            put_u64(&mut buf, c.len() as u64);
+        }
+        for c in contigs {
+            let mut byte = 0u8;
+            for (i, b) in c.iter().enumerate() {
+                byte |= b.code() << (2 * (i % 4));
+                if i % 4 == 3 {
+                    buf.push(byte);
+                    byte = 0;
+                }
+            }
+            if c.len() % 4 != 0 {
+                buf.push(byte);
+            }
+        }
+        buf
+    }
+
+    /// Durably write `contigs` to `path` (tmp + fsync + atomic rename).
+    pub fn write(path: &Path, contigs: &[PackedSeq], io: &IoStats) -> gstream::Result<()> {
+        gstream::write_blob(path, &Self::encode(contigs), io)
+    }
+
+    /// Open and fully validate the store at `path`.
+    ///
+    /// The `qserve.store.read` failpoint fires here (before any byte is
+    /// read); any footer/checksum mismatch or malformed payload surfaces
+    /// as [`StreamError::Corrupt`] naming `path`.
+    pub fn open(path: &Path, io: &IoStats) -> gstream::Result<ContigStore> {
+        io.faults()
+            .hit(faultsim::QSERVE_STORE_READ)
+            .map_err(StreamError::Fault)?;
+        let payload = gstream::read_blob(path, io)?;
+        Self::decode(&payload, path)
+    }
+
+    /// Decode a validated payload. `path` is only used to name errors.
+    pub fn decode(payload: &[u8], path: &Path) -> gstream::Result<ContigStore> {
+        let mut cur = Cursor::new(payload, path);
+        let magic = cur.u64("store magic")?;
+        if magic != STORE_MAGIC {
+            return Err(cur.corrupt(&format!(
+                "bad store magic {magic:#018x} (expected {STORE_MAGIC:#018x})"
+            )));
+        }
+        let count = cur.u64("contig count")?;
+        let total = cur.u64("total bases")?;
+        // A count or total that cannot fit the payload is a corruption,
+        // not an allocation request.
+        if count.saturating_mul(8) > payload.len() as u64 || total / 4 > payload.len() as u64 {
+            return Err(cur.corrupt(&format!(
+                "implausible header: {count} contigs / {total} bases in a {}-byte payload",
+                payload.len()
+            )));
+        }
+        let mut lens = Vec::with_capacity(count as usize);
+        for i in 0..count {
+            lens.push(cur.u64(&format!("length of contig {i}"))? as usize);
+        }
+        if lens.iter().map(|&l| l as u64).sum::<u64>() != total {
+            return Err(cur.corrupt("contig lengths disagree with the header total"));
+        }
+        let mut contigs = Vec::with_capacity(count as usize);
+        let mut codes = Vec::new();
+        for (i, &len) in lens.iter().enumerate() {
+            let bytes = cur.bytes(len.div_ceil(4), &format!("bases of contig {i}"))?;
+            codes.clear();
+            codes.reserve(len);
+            for j in 0..len {
+                codes.push((bytes[j / 4] >> (2 * (j % 4))) & 3);
+            }
+            contigs.push(PackedSeq::from_codes(&codes));
+        }
+        cur.finish()?;
+        Ok(ContigStore {
+            contigs,
+            checksum: gstream::fnv1a(payload),
+        })
+    }
+
+    /// Build an in-memory store (e.g. for tests or FASTA-imported contigs).
+    pub fn from_contigs(contigs: Vec<PackedSeq>) -> ContigStore {
+        let checksum = gstream::fnv1a(&Self::encode(&contigs));
+        ContigStore { contigs, checksum }
+    }
+
+    /// Number of contigs.
+    pub fn len(&self) -> usize {
+        self.contigs.len()
+    }
+
+    /// `true` when the store holds no contigs.
+    pub fn is_empty(&self) -> bool {
+        self.contigs.is_empty()
+    }
+
+    /// Contig `i` (pipeline order).
+    pub fn contig(&self, i: usize) -> &PackedSeq {
+        &self.contigs[i]
+    }
+
+    /// All contigs, in pipeline order.
+    pub fn contigs(&self) -> &[PackedSeq] {
+        &self.contigs
+    }
+
+    /// Total bases across contigs.
+    pub fn total_bases(&self) -> u64 {
+        self.contigs.iter().map(|c| c.len() as u64).sum()
+    }
+
+    /// FNV-1a checksum of the serialized payload — the identity an index
+    /// records to bind itself to this exact store.
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultsim::{FaultPlan, Faults};
+
+    fn seqs(strs: &[&str]) -> Vec<PackedSeq> {
+        strs.iter().map(|s| s.parse().unwrap()).collect()
+    }
+
+    #[test]
+    fn store_roundtrips_contigs_bit_identically() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("contigs.store");
+        let io = IoStats::default();
+        let contigs = seqs(&["ACGTACGTA", "T", "", "GGGGCCCCAAAATTTTG"]);
+        ContigStore::write(&path, &contigs, &io).unwrap();
+        let store = ContigStore::open(&path, &io).unwrap();
+        assert_eq!(store.contigs(), &contigs[..]);
+        assert_eq!(store.total_bases(), 9 + 1 + 17);
+        assert_eq!(
+            store.checksum(),
+            ContigStore::from_contigs(contigs).checksum()
+        );
+    }
+
+    #[test]
+    fn empty_store_is_valid() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("empty.store");
+        let io = IoStats::default();
+        ContigStore::write(&path, &[], &io).unwrap();
+        let store = ContigStore::open(&path, &io).unwrap();
+        assert!(store.is_empty());
+        assert_eq!(store.total_bases(), 0);
+    }
+
+    #[test]
+    fn corruption_names_the_store_path() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("victim.store");
+        let io = IoStats::default();
+        ContigStore::write(&path, &seqs(&["ACGTACGTACGT"]), &io).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x04;
+        std::fs::write(&path, &bytes).unwrap();
+        match ContigStore::open(&path, &io) {
+            Err(StreamError::Corrupt(m)) => assert!(m.contains("victim.store"), "{m}"),
+            Err(other) => panic!("expected Corrupt, got {other}"),
+            Ok(_) => panic!("open must fail on a flipped bit"),
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_corrupt_not_garbage() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("magic.store");
+        let io = IoStats::default();
+        let mut payload = ContigStore::encode(&seqs(&["ACGT"]));
+        payload[0] ^= 0xFF;
+        gstream::write_blob(&path, &payload, &io).unwrap();
+        assert!(matches!(
+            ContigStore::open(&path, &io),
+            Err(StreamError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn store_read_failpoint_fires_before_any_io() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("absent.store");
+        let io = IoStats::default();
+        io.set_faults(Faults::from_plan(
+            &FaultPlan::new().fail_at(faultsim::QSERVE_STORE_READ, 1),
+        ));
+        // The failpoint fires even though the file does not exist: the
+        // injected crash lands before the open.
+        assert!(matches!(
+            ContigStore::open(&path, &io),
+            Err(StreamError::Fault(_))
+        ));
+    }
+}

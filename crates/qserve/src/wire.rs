@@ -1,0 +1,76 @@
+//! Little-endian wire helpers for the store and index formats.
+//!
+//! Both files travel inside a [`gstream::BlobFooter`]-checksummed blob, so
+//! by the time these decoders run the payload bytes are known to be exactly
+//! what the writer committed. The bounds checks here still matter: they
+//! turn a logically inconsistent payload (wrong magic, impossible counts)
+//! into a [`StreamError::Corrupt`] naming the offending file instead of a
+//! panic deep in a deserializer.
+
+use gstream::StreamError;
+use std::path::Path;
+
+pub(crate) fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Forward-only reader over a decoded blob payload; every overrun is a
+/// `Corrupt` naming `path`.
+pub(crate) struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    path: &'a Path,
+}
+
+impl<'a> Cursor<'a> {
+    pub fn new(buf: &'a [u8], path: &'a Path) -> Self {
+        Cursor { buf, pos: 0, path }
+    }
+
+    pub fn corrupt(&self, what: &str) -> StreamError {
+        StreamError::Corrupt(format!("{}: {what}", self.path.display()))
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], StreamError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        let Some(end) = end else {
+            return Err(self.corrupt(&format!(
+                "truncated payload reading {what} ({} of {} bytes used)",
+                self.pos,
+                self.buf.len()
+            )));
+        };
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    pub fn u32(&mut self, what: &str) -> Result<u32, StreamError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+    }
+
+    pub fn u64(&mut self, what: &str) -> Result<u64, StreamError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    pub fn bytes(&mut self, n: usize, what: &str) -> Result<&'a [u8], StreamError> {
+        self.take(n, what)
+    }
+
+    /// Fail if any payload bytes remain unconsumed (a length lie upstream).
+    pub fn finish(&self) -> Result<(), StreamError> {
+        if self.pos != self.buf.len() {
+            return Err(self.corrupt(&format!(
+                "{} trailing bytes after the last record",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}

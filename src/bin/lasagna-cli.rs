@@ -19,7 +19,19 @@
 //! lasagna-cli inspect-trace --trace trace.jsonl [--root assembly]
 //!
 //! lasagna-cli stats --contigs contigs.fa [--reference ref.fa]
+//!
+//! lasagna-cli index --work /tmp/lasagna-work [--contigs contigs.fa] \
+//!                  [--k 15] [--w 8] [--threads 0]
+//!
+//! lasagna-cli query --work /tmp/lasagna-work --reads queries.fastq \
+//!                  [--out hits.tsv] [--batch 1024] [--workers 4] \
+//!                  [--cache-mb 32] [--max-mismatches 2] [--max-queue 64]
 //! ```
+//!
+//! `index` builds the minimizer index over the contig store the assembly
+//! left in `--work` (or over `--contigs`, importing them into a fresh
+//! store first); `query` serves batched read lookups against it. See
+//! SERVING.md for formats, semantics, and tuning.
 
 use lasagna_repro::genome::fastq::{read_fasta, read_fastq, write_fasta, write_fastq};
 use lasagna_repro::genome::sim::is_substring_either_strand;
@@ -41,6 +53,8 @@ fn main() {
         "assemble-distributed" => assemble_distributed(&opts),
         "inspect-trace" => inspect_trace(&opts),
         "stats" => stats(&opts),
+        "index" => index(&opts),
+        "query" => query(&opts),
         "--help" | "-h" | "help" => usage(),
         other => {
             eprintln!("lasagna: unknown command {other:?}");
@@ -62,11 +76,15 @@ fn usage() -> ! {
          [--host-mem BYTES] [--device-mem BYTES] [--gpu k40|k20x|p40|p100|v100] \
          [--resume yes] [--trace-out trace.jsonl] [--metrics-json report.json]\n  \
          lasagna inspect-trace --trace trace.jsonl [--root assembly]\n  \
-         lasagna stats --contigs contigs.fa [--reference ref.fa]\n\
+         lasagna stats --contigs contigs.fa [--reference ref.fa]\n  \
+         lasagna index --work DIR [--contigs contigs.fa] [--k 15] [--w 8] [--threads 0]\n  \
+         lasagna query --work DIR --reads queries.fastq [--out hits.tsv] [--batch 1024] \
+         [--workers 4] [--cache-mb 32] [--max-mismatches 2] [--max-queue 64]\n\
          \nassemble resumes from --work's manifest.json when --resume yes; \
          assemble-distributed resumes from --work's superstep.log plus the \
-         per-node manifests (see ROBUSTNESS.md).\nexit codes: 0 ok, 1 error, 2 usage, \
-         3 corrupt on-disk state, 4 out of memory, 5 I/O failure"
+         per-node manifests (see ROBUSTNESS.md).\nindex/query serve the assembled \
+         contigs back (see SERVING.md).\nexit codes: 0 ok, 1 error, 2 usage, \
+         3 corrupt on-disk state, 4 out of memory, 5 I/O failure, 6 overloaded"
     );
     exit(2);
 }
@@ -596,6 +614,136 @@ fn stats(opts: &HashMap<String, String>) {
     }
 }
 
+/// Build the minimizer index for an assembly's contig store.
+///
+/// The store is normally `--work/contigs.store`, written by `assemble`;
+/// with `--contigs FILE` the FASTA is imported into a fresh store at that
+/// path first (so any external assembly can be served).
+fn index(opts: &HashMap<String, String>) {
+    use lasagna_repro::qserve::{ContigStore, IndexConfig, MinimizerIndex, INDEX_FILE, STORE_FILE};
+
+    let work = PathBuf::from(require(opts, "work"));
+    let store_path = work.join(STORE_FILE);
+    let index_path = work.join(INDEX_FILE);
+    let io = IoStats::default();
+
+    if let Some(contigs_path) = opts.get("contigs") {
+        let contigs = read_fasta(&PathBuf::from(contigs_path)).unwrap_or_else(die);
+        let seqs: Vec<PackedSeq> = contigs.into_iter().map(|(_, c)| c).collect();
+        std::fs::create_dir_all(&work).unwrap_or_else(|e| {
+            eprintln!("lasagna: cannot create workdir: {e}");
+            exit(EXIT_IO)
+        });
+        ContigStore::write(&store_path, &seqs, &io).unwrap_or_else(die_stream);
+        println!(
+            "imported {} contigs from {contigs_path} into {}",
+            seqs.len(),
+            store_path.display()
+        );
+    }
+
+    let store = ContigStore::open(&store_path, &io).unwrap_or_else(die_stream);
+    let cfg = IndexConfig {
+        k: get(opts, "k", 15usize),
+        w: get(opts, "w", 8usize),
+        threads: get(opts, "threads", 0usize),
+    };
+    let start = std::time::Instant::now();
+    let idx = MinimizerIndex::build(&store, &cfg);
+    idx.write(&index_path, &io).unwrap_or_else(die_stream);
+    println!(
+        "indexed {} contigs ({} bases): {} postings (k={}, w={}) in {:.3}s -> {}",
+        store.len(),
+        store.total_bases(),
+        idx.postings_len(),
+        idx.k(),
+        idx.w(),
+        start.elapsed().as_secs_f64(),
+        index_path.display()
+    );
+}
+
+/// Serve a batch of reads against an indexed assembly, writing one TSV
+/// row per read: `name  contig  offset  strand  mismatches` (`*` columns
+/// for unmapped reads).
+fn query(opts: &HashMap<String, String>) {
+    use lasagna_repro::qserve::{
+        QueryConfig, QueryEngine, QueryService, ServiceConfig, INDEX_FILE, STORE_FILE,
+    };
+
+    let work = PathBuf::from(require(opts, "work"));
+    let reads_path = PathBuf::from(require(opts, "reads"));
+    let out = opts.get("out").map(PathBuf::from);
+    let batch: usize = get(opts, "batch", 1024usize);
+    let workers: usize = get(opts, "workers", 4usize);
+    let cache_mb: u64 = get(opts, "cache-mb", 32u64);
+    let io = IoStats::default();
+
+    let reads = if reads_path
+        .extension()
+        .is_some_and(|e| e == "fa" || e == "fasta")
+    {
+        read_fasta(&reads_path).unwrap_or_else(die)
+    } else {
+        read_fastq(&reads_path).unwrap_or_else(die)
+    };
+
+    let qcfg = QueryConfig {
+        max_mismatches: get(opts, "max-mismatches", 2u32),
+        cache_bytes: cache_mb << 20,
+        ..QueryConfig::default()
+    };
+    let engine = QueryEngine::open(&work.join(STORE_FILE), &work.join(INDEX_FILE), &io, qcfg)
+        .unwrap_or_else(die_qserve);
+    let rec = obs::Recorder::new();
+    let svc = QueryService::start(
+        engine,
+        ServiceConfig {
+            workers,
+            max_queue: get(opts, "max-queue", 64usize),
+            ..ServiceConfig::default()
+        },
+        &rec,
+    );
+
+    let start = std::time::Instant::now();
+    let mut rows = Vec::with_capacity(reads.len());
+    for window in reads.chunks(batch.max(1)) {
+        let seqs: Vec<PackedSeq> = window.iter().map(|(_, s)| s.clone()).collect();
+        let hits = svc.query_batch(seqs).unwrap_or_else(die_qserve);
+        for ((name, _), hit) in window.iter().zip(hits) {
+            rows.push(match hit {
+                Some(h) => format!(
+                    "{name}\t{}\t{}\t{}\t{}",
+                    h.contig,
+                    h.offset,
+                    if h.reverse { '-' } else { '+' },
+                    h.mismatches
+                ),
+                None => format!("{name}\t*\t*\t*\t*"),
+            });
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let mapped = rows.iter().filter(|r| !r.ends_with("\t*")).count();
+    let stats = svc.engine().cache_stats();
+    println!(
+        "queried {} reads in {elapsed:.3}s ({:.0} reads/s): {mapped} mapped, {} unmapped; \
+         postings cache {} hits / {} misses",
+        rows.len(),
+        rows.len() as f64 / elapsed.max(1e-9),
+        rows.len() - mapped,
+        stats.hits,
+        stats.misses
+    );
+    if let Some(out) = out {
+        let mut tsv = rows.join("\n");
+        tsv.push('\n');
+        std::fs::write(&out, tsv).unwrap_or_else(die);
+        println!("hits written to {}", out.display());
+    }
+}
+
 fn die<E: std::fmt::Display, T>(e: E) -> T {
     eprintln!("lasagna: {e}");
     exit(1)
@@ -608,6 +756,8 @@ fn die<E: std::fmt::Display, T>(e: E) -> T {
 const EXIT_CORRUPT: i32 = 3;
 const EXIT_OOM: i32 = 4;
 const EXIT_IO: i32 = 5;
+/// The query service shed the batch (queue at depth); resubmit later.
+const EXIT_OVERLOADED: i32 = 6;
 
 fn stream_exit_code(e: &lasagna_repro::gstream::StreamError) -> i32 {
     use lasagna_repro::gstream::StreamError;
@@ -644,6 +794,15 @@ fn die_run<T>(e: lasagna_repro::lasagna::LasagnaError) -> T {
 fn die_stream<T>(e: lasagna_repro::gstream::StreamError) -> T {
     eprintln!("lasagna: {e}");
     exit(stream_exit_code(&e))
+}
+
+fn die_qserve<T>(e: lasagna_repro::qserve::QserveError) -> T {
+    use lasagna_repro::qserve::QserveError;
+    eprintln!("lasagna: {e}");
+    exit(match &e {
+        QserveError::Stream(s) => stream_exit_code(s),
+        QserveError::Overloaded { .. } => EXIT_OVERLOADED,
+    })
 }
 
 /// Distributed errors cross thread boundaries as strings (see

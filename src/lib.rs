@@ -25,7 +25,9 @@
 //! * [`mod@dbg`] — a de Bruijn baseline that reproduces the paper's claim
 //!   that such assemblers run out of memory on large single-node inputs;
 //! * [`ecc`] — k-mer-spectrum error correction, the SGA pipeline stage the
-//!   paper's comparison excludes, for assembling noisy reads.
+//!   paper's comparison excludes, for assembling noisy reads;
+//! * [`qserve`] — the contig query service: an indexed on-disk assembly
+//!   store with batched, cached, concurrent read lookups (see SERVING.md).
 //!
 //! ## Quickstart
 //!
@@ -55,6 +57,7 @@ pub use genome;
 pub use gstream;
 pub use lasagna;
 pub use obs;
+pub use qserve;
 pub use sga;
 pub use vgpu;
 
@@ -66,6 +69,7 @@ pub mod prelude {
     pub use genome::{DatasetPreset, GenomeSim, PackedSeq, ReadSet, ShotgunSim};
     pub use gstream::{DiskModel, ExternalSorter, HostMem, IoStats, SortConfig, SpillDir};
     pub use lasagna::{AssemblyConfig, AssemblyReport, Pipeline, StringGraph};
+    pub use qserve::{QueryEngine, QueryService};
     pub use sga::SgaBaseline;
     pub use vgpu::{Device, GpuProfile};
 }

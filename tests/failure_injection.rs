@@ -375,6 +375,71 @@ fn sorted_partition_truncated_mid_footer_fails_resume_loudly() {
     assert!(is_corrupt(&err), "got {err}");
 }
 
+/// Simulate a torn write: the final disk sector never made it out, so
+/// everything from the last 512-byte boundary to EOF reads back as
+/// zeros. (If that tail already was all zeros, the last byte is flipped
+/// instead so the tear is visible — the point is a damaged tail, not a
+/// no-op.)
+fn tear_tail_512(path: &Path) {
+    let mut bytes = std::fs::read(path).unwrap();
+    assert!(!bytes.is_empty(), "nothing to tear in {}", path.display());
+    let boundary = (bytes.len() - 1) / 512 * 512;
+    let tail_was_zero = bytes[boundary..].iter().all(|&b| b == 0);
+    for b in &mut bytes[boundary..] {
+        *b = 0;
+    }
+    if tail_was_zero {
+        *bytes.last_mut().unwrap() = 0xFF;
+    }
+    std::fs::write(path, bytes).unwrap();
+}
+
+#[test]
+fn torn_tail_in_a_sorted_partition_fails_resume_loudly() {
+    let r = reads(40);
+    let dir = tempfile::tempdir().unwrap();
+    laptop_on(dir.path()).assemble_resumable(&r).unwrap();
+    let victim = std::fs::read_dir(dir.path())
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| {
+            p.file_name()
+                .is_some_and(|n| n.to_string_lossy().starts_with("sfx_"))
+        })
+        .expect("no sorted partition on disk");
+    tear_tail_512(&victim);
+    let err = laptop_on(dir.path()).resume(&r).unwrap_err();
+    assert!(is_corrupt(&err), "got {err}");
+    // The error must name the damaged file, not just say "corrupt".
+    let name = victim.file_name().unwrap().to_string_lossy().into_owned();
+    assert!(err.to_string().contains(&name), "got {err}");
+}
+
+#[test]
+fn torn_tail_in_the_checkpointed_graph_fails_resume_loudly() {
+    let r = reads(41);
+    let dir = tempfile::tempdir().unwrap();
+    laptop_on(dir.path()).assemble_resumable(&r).unwrap();
+    tear_tail_512(&dir.path().join("graph.bin"));
+    let err = laptop_on(dir.path()).resume(&r).unwrap_err();
+    assert!(is_corrupt(&err), "got {err}");
+    assert!(err.to_string().contains("graph.bin"), "got {err}");
+}
+
+#[test]
+fn torn_tail_in_the_contig_store_fails_open_loudly() {
+    use lasagna_repro::qserve::{self, ContigStore};
+    let r = reads(42);
+    let dir = tempfile::tempdir().unwrap();
+    laptop_on(dir.path()).assemble(&r).unwrap();
+    let store_path = dir.path().join(qserve::STORE_FILE);
+    tear_tail_512(&store_path);
+    let err = ContigStore::open(&store_path, &IoStats::default()).unwrap_err();
+    assert!(matches!(err, gstream::StreamError::Corrupt(_)), "got {err}");
+    assert!(err.to_string().contains(qserve::STORE_FILE), "got {err}");
+}
+
 #[test]
 fn torn_superstep_log_tail_never_mis_assembles_on_resume() {
     let r = dnet_reads(33);
