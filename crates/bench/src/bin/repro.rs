@@ -16,6 +16,7 @@
 //!   fpcheck  fingerprint-width false-positive check (Section IV-B claim)
 //!   faults   crash/recover matrix                   (ROBUSTNESS.md)
 //!   serve    query-service throughput/latency sweep (SERVING.md)
+//!   serve-net network serving over loopback TCP, clean + chaos (SERVING.md)
 //!   all      everything above
 //! ```
 //!
@@ -65,7 +66,7 @@ fn parse_args() -> Args {
                     .collect();
             }
             "--help" | "-h" => {
-                println!("repro <table1..table6|fig8|fig9|fig10|fpcheck|faults|serve|all> [--scale N] [--out DIR] [--nodes 1,2,4,8]");
+                println!("repro <table1..table6|fig8|fig9|fig10|fpcheck|faults|serve|serve-net|all> [--scale N] [--out DIR] [--nodes 1,2,4,8]");
                 std::process::exit(0);
             }
             other if args.experiment.is_empty() => args.experiment = other.to_string(),
@@ -530,6 +531,43 @@ fn run_serve(out: &Path) {
     save_json(out, "serve", &rows);
 }
 
+fn run_serve_net(out: &Path) {
+    let work = tempfile::tempdir().expect("workdir");
+    let rows = experiments::serve_net(work.path()).expect("serve-net bench failed");
+    println!("\n=== Network serving: loopback TCP, clean + chaos (SERVING.md) ===");
+    println!(
+        "{:<38} {:>8} {:>8} {:>12} {:>9} {:>9} {:>8} {:>10} {:>8}",
+        "scenario", "reads", "mapped", "reads/s", "p50", "p99", "retries", "identical", "drained"
+    );
+    for r in &rows {
+        println!(
+            "{:<38} {:>8} {:>8} {:>12.0} {:>7.2}ms {:>7.2}ms {:>8} {:>10} {:>8}",
+            r.scenario,
+            r.reads,
+            r.mapped,
+            r.reads_per_sec,
+            r.p50_ms,
+            r.p99_ms,
+            r.retries,
+            if r.identical_to_in_process {
+                "yes"
+            } else {
+                "NO"
+            },
+            if r.drained_clean { "clean" } else { "FORCED" },
+        );
+    }
+    save_json(out, "serve_net", &rows);
+    let broken = rows
+        .iter()
+        .filter(|r| !r.identical_to_in_process || !r.drained_clean)
+        .count();
+    if broken > 0 {
+        eprintln!("repro: {broken} serve-net scenario(s) diverged or failed to drain");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args = parse_args();
     let run = |name: &str| match name {
@@ -550,6 +588,7 @@ fn main() {
         "fpcheck" => run_fpcheck(args.scale, &args.out),
         "faults" => run_faults(&args.out),
         "serve" => run_serve(&args.out),
+        "serve-net" => run_serve_net(&args.out),
         other => die(&format!("unknown experiment {other}")),
     };
     if args.experiment == "all" {
@@ -569,6 +608,7 @@ fn main() {
             "mapscheme",
             "fpcheck",
             "serve",
+            "serve-net",
         ] {
             run(name);
         }

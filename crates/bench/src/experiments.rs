@@ -996,31 +996,8 @@ pub struct ServeRow {
 /// produce identical answers — the sweep only moves throughput and
 /// latency.
 pub fn serve(workdir: &Path) -> Result<Vec<ServeRow>, String> {
-    let genome = genome::GenomeSim::uniform(20_000, 11).generate();
-    let reads = genome::ShotgunSim::error_free(80, 12.0, 12).sample(&genome);
-    let config = AssemblyConfig::for_dataset(50, 80);
-    let dir = workdir.join("serve");
-    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
-    let out = Pipeline::laptop(config, &dir)
-        .map_err(|e| e.to_string())?
-        .assemble(&reads)
-        .map_err(|e| e.to_string())?;
-
+    let (store_path, index_path, queries) = serve_fixture(workdir)?;
     let io = IoStats::default();
-    let store_path = dir.join(qserve::STORE_FILE);
-    let index_path = dir.join(qserve::INDEX_FILE);
-    let store = qserve::ContigStore::open(&store_path, &io).map_err(|e| e.to_string())?;
-    let index = qserve::MinimizerIndex::build(&store, &qserve::IndexConfig::default());
-    index.write(&index_path, &io).map_err(|e| e.to_string())?;
-
-    // A deterministic 10k-read query load sliced from the contigs
-    // themselves (alternating strands, striding offsets), so the expected
-    // answer set is identical across configurations.
-    let queries = slice_queries(out.contigs.as_slice(), 10_000, 60);
-    if queries.is_empty() {
-        return Err("assembly produced no contigs long enough to query".into());
-    }
-
     let mut rows = Vec::new();
     let mut reference: Option<Vec<Option<qserve::Hit>>> = None;
     for (workers, cache_mb) in [(1usize, 16u64), (4, 16), (8, 16), (4, 0)] {
@@ -1075,6 +1052,195 @@ pub fn serve(workdir: &Path) -> Result<Vec<ServeRow>, String> {
             p50_ms: pct(0.50),
             p99_ms: pct(0.99),
             cache_hit_rate: stats.hits as f64 / (lookups.max(1)) as f64,
+        });
+    }
+    Ok(rows)
+}
+
+/// Assemble a small genome, export and index its contig store, and build
+/// the deterministic 10k-read query load shared by the serving benches:
+/// windows sliced from the contigs themselves (alternating strands,
+/// striding offsets), so the expected answer set is identical across
+/// configurations and transports.
+fn serve_fixture(
+    workdir: &Path,
+) -> Result<
+    (
+        std::path::PathBuf,
+        std::path::PathBuf,
+        Vec<genome::PackedSeq>,
+    ),
+    String,
+> {
+    let genome = genome::GenomeSim::uniform(20_000, 11).generate();
+    let reads = genome::ShotgunSim::error_free(80, 12.0, 12).sample(&genome);
+    let config = AssemblyConfig::for_dataset(50, 80);
+    let dir = workdir.join("serve");
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    let out = Pipeline::laptop(config, &dir)
+        .map_err(|e| e.to_string())?
+        .assemble(&reads)
+        .map_err(|e| e.to_string())?;
+
+    let io = IoStats::default();
+    let store_path = dir.join(qserve::STORE_FILE);
+    let index_path = dir.join(qserve::INDEX_FILE);
+    let store = qserve::ContigStore::open(&store_path, &io).map_err(|e| e.to_string())?;
+    let index = qserve::MinimizerIndex::build(&store, &qserve::IndexConfig::default());
+    index.write(&index_path, &io).map_err(|e| e.to_string())?;
+
+    let queries = slice_queries(out.contigs.as_slice(), 10_000, 60);
+    if queries.is_empty() {
+        return Err("assembly produced no contigs long enough to query".into());
+    }
+    Ok((store_path, index_path, queries))
+}
+
+/// One network-serving scenario's measured behaviour
+/// (`BENCH_serve_net.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeNetRow {
+    /// What ran: `clean`, or a chaos failpoint description.
+    pub scenario: String,
+    /// Reads queried over the wire.
+    pub reads: usize,
+    /// Reads that resolved to a contig position.
+    pub mapped: usize,
+    /// End-to-end throughput, reads per second (includes retries).
+    pub reads_per_sec: f64,
+    /// Median per-batch round-trip latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile per-batch round-trip latency, milliseconds.
+    pub p99_ms: f64,
+    /// Client retries over the whole run.
+    pub retries: u64,
+    /// True when the network answers matched the in-process answers
+    /// bit for bit.
+    pub identical_to_in_process: bool,
+    /// True when the graceful drain finished every in-flight request
+    /// inside its deadline.
+    pub drained_clean: bool,
+}
+
+/// Network-serving benchmark: the same 10k-read load as [`serve`], but
+/// over a loopback TCP connection through the qnet front-end — once
+/// clean, then under chaos failpoints (dropped accepts, torn frames,
+/// probabilistic connection drops). Every scenario must return answers
+/// bit-identical to the in-process service; chaos only moves latency
+/// and the retry count.
+pub fn serve_net(workdir: &Path) -> Result<Vec<ServeNetRow>, String> {
+    use std::time::Duration;
+
+    let (store_path, index_path, queries) = serve_fixture(workdir)?;
+    let io = IoStats::default();
+    let open_engine = || {
+        qserve::QueryEngine::open(
+            &store_path,
+            &index_path,
+            &io,
+            qserve::QueryConfig::default(),
+        )
+        .map_err(|e| e.to_string())
+    };
+
+    // In-process reference answers: the ground truth every network
+    // scenario must reproduce exactly.
+    let reference_svc = qserve::QueryService::start(
+        open_engine()?,
+        qserve::ServiceConfig::default(),
+        &obs::Recorder::disabled(),
+    );
+    let mut reference = Vec::with_capacity(queries.len());
+    for batch in queries.chunks(256) {
+        reference.extend(
+            reference_svc
+                .query_batch(batch.to_vec())
+                .map_err(|e| e.to_string())?,
+        );
+    }
+    drop(reference_svc);
+
+    let scenarios: Vec<(String, faultsim::Faults)> = vec![
+        ("clean".into(), faultsim::Faults::disabled()),
+        (
+            "accept dropped (1st connection)".into(),
+            faultsim::Faults::from_plan(
+                &faultsim::FaultPlan::new().fail_at(faultsim::QNET_ACCEPT, 1),
+            ),
+        ),
+        (
+            "frame torn mid-payload (3rd response)".into(),
+            faultsim::Faults::from_plan(
+                &faultsim::FaultPlan::new().fail_at(faultsim::QNET_FRAME_WRITE, 3),
+            ),
+        ),
+        (
+            "connections dropped, 5% of responses".into(),
+            faultsim::Faults::from_plan(&faultsim::FaultPlan::new().fail_prob(
+                faultsim::QNET_CONN_DROP,
+                5,
+                11,
+            )),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (scenario, faults) in scenarios {
+        let svc = qserve::QueryService::start(
+            open_engine()?,
+            qserve::ServiceConfig::default(),
+            &obs::Recorder::disabled(),
+        );
+        let mut server = qnet::Server::start(
+            svc,
+            qnet::ServerConfig {
+                read_timeout: Duration::from_secs(5),
+                write_timeout: Duration::from_secs(5),
+                drain_deadline: Duration::from_secs(5),
+                ..qnet::ServerConfig::default()
+            },
+            &obs::Recorder::disabled(),
+            faults,
+        )
+        .map_err(|e| e.to_string())?;
+        let mut client = qnet::QueryClient::new(
+            qnet::ClientConfig {
+                addr: server.local_addr().to_string(),
+                client_id: "bench".into(),
+                max_retries: 8,
+                backoff_base_ms: 5,
+                read_timeout: Duration::from_secs(5),
+                write_timeout: Duration::from_secs(5),
+                ..qnet::ClientConfig::default()
+            },
+            &obs::Recorder::disabled(),
+        );
+
+        let mut answers = Vec::with_capacity(queries.len());
+        let mut latencies_ms = Vec::new();
+        let run_start = std::time::Instant::now();
+        for batch in queries.chunks(256) {
+            let t = std::time::Instant::now();
+            let hits = client
+                .query_batch(batch)
+                .map_err(|e| format!("{scenario}: {e}"))?;
+            latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
+            answers.extend(hits);
+        }
+        let elapsed = run_start.elapsed().as_secs_f64();
+        let report = server.shutdown();
+        latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+        let pct = |p: f64| latencies_ms[((latencies_ms.len() - 1) as f64 * p) as usize];
+        rows.push(ServeNetRow {
+            scenario,
+            reads: answers.len(),
+            mapped: answers.iter().flatten().count(),
+            reads_per_sec: answers.len() as f64 / elapsed.max(1e-9),
+            p50_ms: pct(0.50),
+            p99_ms: pct(0.99),
+            retries: client.retries_total(),
+            identical_to_in_process: answers == reference,
+            drained_clean: report.completed,
         });
     }
     Ok(rows)

@@ -1,13 +1,17 @@
 //! # faultsim — deterministic fault injection
 //!
 //! A registry of named *failpoints* threaded through the I/O, device, and
-//! network layers. A [`FaultPlan`] arms a failpoint to fire on its Nth hit;
-//! the shared [`Faults`] handle counts hits and returns [`FaultError`] at
-//! exactly that occurrence, once. Because every layer in this codebase is
-//! deterministic, "fail the 3rd spill write" reproduces the same crash on
-//! every run — which is what makes the crash-and-resume matrix in
-//! `tests/failure_injection.rs` and `repro faults` a proof rather than a
-//! dice roll.
+//! network layers. A [`FaultPlan`] arms a failpoint to fire on its Nth hit
+//! ([`FaultPlan::fail_at`], one-shot) or on a deterministic pseudo-random
+//! fraction of hits ([`FaultPlan::fail_prob`], persistent — models a flaky
+//! component such as a lossy network); the shared [`Faults`] handle counts
+//! hits and returns [`FaultError`] at exactly the armed occurrences.
+//! Because every layer in this codebase is deterministic — probabilistic
+//! arms draw from a seeded hash of the occurrence number, not a clock —
+//! "fail the 3rd spill write" and "drop 5 % of connections under seed 7"
+//! reproduce the same crashes on every run, which is what makes the
+//! crash-and-resume matrix in `tests/failure_injection.rs` and
+//! `repro faults` a proof rather than a dice roll.
 //!
 //! Failpoints are identified by the string constants below; see
 //! ROBUSTNESS.md for the catalogue and where each one is checked. Injected
@@ -49,6 +53,26 @@ pub const QSERVE_STORE_READ: &str = "qserve.store.read";
 /// Failpoint: opening/validating the minimizer index in
 /// `qserve::MinimizerIndex::open`.
 pub const QSERVE_INDEX_READ: &str = "qserve.index.read";
+/// Failpoint: exporting the contig store (`qserve::ContigStore::write`,
+/// which the pipeline's compress phase calls). Like [`DISK_FULL`] it
+/// surfaces as `StreamError::Io` with `ErrorKind::StorageFull` — the real
+/// ENOSPC shape — so the export's shed-and-retry path (and CLI exit 5)
+/// is exercised against the genuine error type.
+pub const QSERVE_STORE_WRITE: &str = "qserve.store.write";
+/// Failpoint: the `qnet` server accepting a connection — the just-accepted
+/// socket is dropped before any byte is exchanged.
+pub const QNET_ACCEPT: &str = "qnet.accept";
+/// Failpoint: the `qnet` server committing a response frame — only a
+/// prefix of the frame reaches the wire before the connection closes
+/// (a torn/partial write the client must detect as corrupt).
+pub const QNET_FRAME_WRITE: &str = "qnet.frame.write";
+/// Failpoint: the `qnet` server stalling instead of responding — it holds
+/// the response past the client's read timeout, then drops the connection.
+pub const QNET_FRAME_STALL: &str = "qnet.frame.stall";
+/// Failpoint: the `qnet` server dropping a connection mid-request, before
+/// any response bytes are written. Meaningful armed probabilistically
+/// ([`FaultPlan::fail_prob`]) as well as at a fixed occurrence.
+pub const QNET_CONN_DROP: &str = "qnet.conn.drop";
 
 /// Every failpoint the codebase registers, in checking order.
 pub const ALL_FAILPOINTS: &[&str] = &[
@@ -62,6 +86,11 @@ pub const ALL_FAILPOINTS: &[&str] = &[
     DISK_FULL,
     QSERVE_STORE_READ,
     QSERVE_INDEX_READ,
+    QSERVE_STORE_WRITE,
+    QNET_ACCEPT,
+    QNET_FRAME_WRITE,
+    QNET_FRAME_STALL,
+    QNET_CONN_DROP,
 ];
 
 /// An injected failure, returned by [`Faults::hit`] at the armed occurrence.
@@ -85,11 +114,37 @@ impl std::fmt::Display for FaultError {
 
 impl std::error::Error for FaultError {}
 
-/// One armed failure: fire when `point` is hit for the `nth` time (1-based).
+/// When an armed failpoint fires.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+enum Trigger {
+    /// Fire exactly once, on the `nth` hit (1-based).
+    Nth(u64),
+    /// Fire on every hit whose deterministic per-occurrence draw lands
+    /// below `percent`. Never removed: a 5 % arm keeps firing on ~5 % of
+    /// hits for the life of the registry. The draw hashes
+    /// `seed ^ occurrence`, so a given (seed, occurrence) either always
+    /// fires or never does — probabilistic in distribution, fully
+    /// reproducible per run.
+    Prob { percent: u8, seed: u64 },
+}
+
+/// One armed failure at `point`.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 struct Arm {
     point: String,
-    nth: u64,
+    trigger: Trigger,
+}
+
+/// splitmix64 — the per-occurrence draw behind [`Trigger::Prob`].
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn prob_fires(seed: u64, occurrence: u64, percent: u8) -> bool {
+    splitmix64(seed ^ occurrence.wrapping_mul(0xA24B_AED4_963E_E407)) % 100 < percent as u64
 }
 
 /// A declarative set of armed failpoints. Build with [`FaultPlan::fail_at`]
@@ -112,26 +167,64 @@ impl FaultPlan {
         assert!(nth >= 1, "failpoint occurrences are 1-based");
         self.arms.push(Arm {
             point: point.to_string(),
-            nth,
+            trigger: Trigger::Nth(nth),
         });
         self
     }
 
-    /// Parse `"gstream.write:3,vgpu.launch:1"`.
+    /// Arm `point` probabilistically: each hit fires with probability
+    /// `percent`/100, drawn deterministically from `seed` and the hit's
+    /// occurrence number (see [`Trigger::Prob`]). Unlike [`fail_at`]
+    /// arms, a probabilistic arm never disarms — it models a flaky
+    /// component, not a single crash.
+    ///
+    /// [`fail_at`]: FaultPlan::fail_at
+    pub fn fail_prob(mut self, point: &str, percent: u8, seed: u64) -> Self {
+        assert!(percent <= 100, "probability is a percentage");
+        self.arms.push(Arm {
+            point: point.to_string(),
+            trigger: Trigger::Prob { percent, seed },
+        });
+        self
+    }
+
+    /// Parse `"gstream.write:3,vgpu.launch:1"`. A probabilistic arm is
+    /// `point:p<percent>` or `point:p<percent>@<seed>` (seed defaults
+    /// to 0), e.g. `"qnet.conn.drop:p5@7"`.
     pub fn parse(spec: &str) -> std::result::Result<FaultPlan, String> {
         let mut plan = FaultPlan::new();
         for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
-            let (point, nth) = part
+            let (point, trigger) = part
                 .trim()
                 .split_once(':')
-                .ok_or_else(|| format!("bad fault spec {part:?}, want point:nth"))?;
-            let nth: u64 = nth
-                .parse()
-                .map_err(|_| format!("bad occurrence in {part:?}"))?;
-            if nth == 0 {
-                return Err(format!("occurrence in {part:?} is 1-based"));
+                .ok_or_else(|| format!("bad fault spec {part:?}, want point:nth or point:pN"))?;
+            if let Some(prob) = trigger.strip_prefix('p') {
+                let (percent, seed) = match prob.split_once('@') {
+                    Some((p, s)) => (
+                        p.parse::<u8>()
+                            .map_err(|_| format!("bad probability in {part:?}"))?,
+                        s.parse::<u64>()
+                            .map_err(|_| format!("bad seed in {part:?}"))?,
+                    ),
+                    None => (
+                        prob.parse::<u8>()
+                            .map_err(|_| format!("bad probability in {part:?}"))?,
+                        0,
+                    ),
+                };
+                if percent > 100 {
+                    return Err(format!("probability in {part:?} exceeds 100"));
+                }
+                plan = plan.fail_prob(point, percent, seed);
+            } else {
+                let nth: u64 = trigger
+                    .parse()
+                    .map_err(|_| format!("bad occurrence in {part:?}"))?;
+                if nth == 0 {
+                    return Err(format!("occurrence in {part:?} is 1-based"));
+                }
+                plan = plan.fail_at(point, nth);
             }
-            plan = plan.fail_at(point, nth);
         }
         Ok(plan)
     }
@@ -212,12 +305,19 @@ impl Faults {
             let count = state.hits.entry(point.to_string()).or_insert(0);
             *count += 1;
             let occurrence = *count;
-            let armed = state
-                .arms
-                .iter()
-                .position(|a| a.point == point && a.nth == occurrence);
+            let armed = state.arms.iter().position(|a| {
+                a.point == point
+                    && match a.trigger {
+                        Trigger::Nth(nth) => nth == occurrence,
+                        Trigger::Prob { percent, seed } => prob_fires(seed, occurrence, percent),
+                    }
+            });
             armed.map(|idx| {
-                state.arms.remove(idx);
+                // Fixed-occurrence arms fire once; probabilistic arms
+                // model an ongoing flake and stay armed.
+                if matches!(state.arms[idx].trigger, Trigger::Nth(_)) {
+                    state.arms.remove(idx);
+                }
                 let err = FaultError {
                     point: point.to_string(),
                     occurrence,
@@ -340,6 +440,61 @@ mod tests {
         assert!(FaultPlan::parse("nope").is_err());
         assert!(FaultPlan::parse("x:0").is_err());
         assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn probabilistic_arm_is_deterministic_and_stays_armed() {
+        let plan = FaultPlan::new().fail_prob(QNET_CONN_DROP, 50, 42);
+        let fired: Vec<Vec<u64>> = (0..2)
+            .map(|_| {
+                let f = Faults::from_plan(&plan);
+                (1..=200)
+                    .filter(|_| f.hit(QNET_CONN_DROP).is_err())
+                    .collect()
+            })
+            .collect();
+        // Same plan, same draw: both registries fire on exactly the same
+        // occurrences, and a 50 % arm lands well inside (0, 200).
+        assert_eq!(fired[0], fired[1]);
+        assert!(
+            fired[0].len() > 50 && fired[0].len() < 150,
+            "{}",
+            fired[0].len()
+        );
+        // The arm never disarms: fresh hits can still fire.
+        let f = Faults::from_plan(&plan);
+        for _ in 0..200 {
+            let _ = f.hit(QNET_CONN_DROP);
+        }
+        assert_eq!(f.injected().len(), fired[0].len());
+    }
+
+    #[test]
+    fn probability_extremes_never_and_always_fire() {
+        let never = Faults::from_plan(&FaultPlan::new().fail_prob(QNET_ACCEPT, 0, 1));
+        let always = Faults::from_plan(&FaultPlan::new().fail_prob(QNET_ACCEPT, 100, 1));
+        for _ in 0..50 {
+            assert!(never.hit(QNET_ACCEPT).is_ok());
+            assert!(always.hit(QNET_ACCEPT).is_err());
+        }
+    }
+
+    #[test]
+    fn probabilistic_specs_parse_and_serialize() {
+        let plan =
+            FaultPlan::parse("qnet.conn.drop:p5@7, qnet.accept:p3, gstream.write:2").unwrap();
+        assert_eq!(
+            plan,
+            FaultPlan::new()
+                .fail_prob(QNET_CONN_DROP, 5, 7)
+                .fail_prob(QNET_ACCEPT, 3, 0)
+                .fail_at(SPILL_WRITE, 2)
+        );
+        let json = serde_json::to_string(&plan).unwrap();
+        assert_eq!(serde_json::from_str::<FaultPlan>(&json).unwrap(), plan);
+        assert!(FaultPlan::parse("x:p101").is_err());
+        assert!(FaultPlan::parse("x:p5@").is_err());
+        assert!(FaultPlan::parse("x:pnope").is_err());
     }
 
     #[test]

@@ -17,9 +17,12 @@
 //!   streams with window equalization by upper-bound and device merges;
 //! * [`extsort`] — the **hybrid-memory external sort** (Section III-B):
 //!   host-sized runs built from device-sorted chunks, then log-many external
-//!   merge passes. Disk passes = `1 + ceil(log2(n / m_h))`.
+//!   merge passes. Disk passes = `1 + ceil(log2(n / m_h))`;
+//! * [`frame`] — length-prefixed, FNV-checksummed message framing, the wire
+//!   format of the `qnet` serving front-end.
 
 pub mod extsort;
+pub mod frame;
 pub mod hostmem;
 pub mod iostats;
 pub mod merge;
@@ -29,6 +32,7 @@ pub mod spill;
 pub mod writer;
 
 pub use extsort::{ExternalSorter, SortConfig, SortReport};
+pub use frame::{read_frame, write_frame, FRAME_HEADER_BYTES, MAX_FRAME_BYTES};
 pub use hostmem::{HostAlloc, HostMem, HostMemError};
 pub use iostats::{DiskModel, IoStats};
 pub use merge::{kway_merge, windowed_merge, PairSink, PairSource, SliceSource, VecSink};

@@ -408,12 +408,31 @@ impl Pipeline {
             // Export the assembly to the serving layer's on-disk store.
             // `lasagna-cli index` / `query` and the qserve crate read it
             // back; write_blob gives it the same atomic-rename durability
-            // as every spill artifact.
-            qserve::ContigStore::write(
-                &self.spill.root().join(qserve::STORE_FILE),
-                &contigs,
-                self.spill.io(),
-            )?;
+            // as every spill artifact. ENOSPC (real, or injected via the
+            // `qserve.store.write` failpoint) is recoverable exactly once,
+            // like the sorter's run commits: the failed export wrote
+            // nothing (the failpoint fires before the first byte; a torn
+            // blob commit sheds its temp file), so the retry starts clean.
+            // A second ENOSPC means the disk is genuinely full and
+            // propagates as Io/StorageFull — CLI exit code 5 — never a
+            // half-written store that passes footer validation.
+            let store_path = self.spill.root().join(qserve::STORE_FILE);
+            let mut retried = false;
+            loop {
+                match qserve::ContigStore::write(&store_path, &contigs, self.spill.io()) {
+                    Ok(()) => break,
+                    Err(gstream::StreamError::Io(e))
+                        if e.kind() == std::io::ErrorKind::StorageFull && !retried =>
+                    {
+                        self.spill
+                            .io()
+                            .faults()
+                            .record_retry(faultsim::QSERVE_STORE_WRITE);
+                        retried = true;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
             Ok((paths, contigs, stats))
         })?;
 

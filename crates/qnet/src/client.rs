@@ -1,0 +1,496 @@
+//! The retrying query client.
+//!
+//! [`QueryClient`] wraps one TCP connection and the retry discipline
+//! around it: capped jittered exponential backoff (the shape of
+//! `dnet`'s recovery backoff — `base · 2^(round-1)`, exponent capped),
+//! automatic reconnect after any wire error, and honoring the server's
+//! `retry_after_ms` hint when a batch is shed. Retries are safe because
+//! queries are read-only; the request-id echo check means a response
+//! from a previous life of the connection can never be returned for the
+//! current request — any mismatch is
+//! [`QnetError::Corrupt`](crate::QnetError::Corrupt) and a reconnect.
+//!
+//! A client never hangs: connects, reads, and writes all carry
+//! timeouts, and the retry loop is bounded by
+//! [`ClientConfig::max_retries`], after which the caller gets
+//! [`QnetError::RetriesExhausted`](crate::QnetError::RetriesExhausted)
+//! wrapping the last failure.
+
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::proto::{Request, Response};
+use crate::QnetError;
+use genome::PackedSeq;
+use obs::Recorder;
+use qserve::Hit;
+
+/// Tuning for [`QueryClient`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Server address, `host:port`.
+    pub addr: String,
+    /// Stable identity for fair admission and trace attribution.
+    pub client_id: String,
+    /// Deadline budget granted to each attempt, in milliseconds.
+    pub deadline_ms: u32,
+    /// Retries after the first attempt; total attempts are
+    /// `max_retries + 1`.
+    pub max_retries: u32,
+    /// First-retry backoff in milliseconds; doubles per retry.
+    pub backoff_base_ms: u64,
+    /// Exponent cap: backoff stops growing after this many doublings
+    /// (the same cap `dnet` applies to recovery rounds).
+    pub backoff_cap_rounds: u32,
+    /// Socket read timeout per attempt.
+    pub read_timeout: Duration,
+    /// Socket write timeout per attempt.
+    pub write_timeout: Duration,
+    /// Seed for deterministic backoff jitter.
+    pub jitter_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            addr: "127.0.0.1:0".to_string(),
+            client_id: "client".to_string(),
+            deadline_ms: 10_000,
+            max_retries: 4,
+            backoff_base_ms: 100,
+            backoff_cap_rounds: 4,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            jitter_seed: 0x5EED,
+        }
+    }
+}
+
+struct Conn {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+    peer: String,
+}
+
+/// A connection-owning client for the qnet wire protocol.
+pub struct QueryClient {
+    cfg: ClientConfig,
+    rec: Recorder,
+    conn: Option<Conn>,
+    next_request_id: u64,
+    retries_total: u64,
+}
+
+impl QueryClient {
+    /// Create a client; the connection is established lazily on first
+    /// use and re-established after any wire error.
+    pub fn new(cfg: ClientConfig, rec: &Recorder) -> QueryClient {
+        QueryClient {
+            cfg,
+            rec: rec.clone(),
+            conn: None,
+            next_request_id: 1,
+            retries_total: 0,
+        }
+    }
+
+    /// Total retries performed over this client's lifetime.
+    pub fn retries_total(&self) -> u64 {
+        self.retries_total
+    }
+
+    /// Query a batch of reads, retrying retryable failures with capped
+    /// jittered exponential backoff. Returns per-read placements
+    /// aligned with `reads`.
+    pub fn query_batch(&mut self, reads: &[PackedSeq]) -> crate::Result<Vec<Option<Hit>>> {
+        let mut attempt: u32 = 0;
+        loop {
+            attempt += 1;
+            let err = match self.query_once(reads) {
+                Ok(hits) => return Ok(hits),
+                Err(e) => e,
+            };
+            if !err.is_retryable() {
+                return Err(err);
+            }
+            if attempt > self.cfg.max_retries {
+                return Err(QnetError::RetriesExhausted {
+                    attempts: attempt,
+                    last: err.to_string(),
+                });
+            }
+            // Any failed attempt abandons the connection: after a torn
+            // frame or timeout the stream position is unknowable, and a
+            // fresh connection is the only way to guarantee the next
+            // response pairs with the next request.
+            self.conn = None;
+            self.retries_total += 1;
+            self.rec.counter("qnet.retries", 1);
+            let hint_ms = match &err {
+                QnetError::Overloaded { retry_after_ms, .. } => u64::from(*retry_after_ms),
+                _ => 0,
+            };
+            let wait = self.backoff_ms(attempt).max(hint_ms);
+            std::thread::sleep(Duration::from_millis(wait));
+        }
+    }
+
+    /// Probe the server. Returns `(ready, draining)`. Single attempt —
+    /// callers polling for readiness supply their own loop.
+    pub fn ping(&mut self) -> crate::Result<(bool, bool)> {
+        match self.round_trip(&Request::Ping)? {
+            Response::Pong { ready, draining } => Ok((ready, draining)),
+            other => Err(self.unexpected(&other)),
+        }
+    }
+
+    /// Ask the server to begin a graceful drain.
+    pub fn request_shutdown(&mut self) -> crate::Result<()> {
+        match self.round_trip(&Request::Shutdown)? {
+            Response::ShutdownAck => Ok(()),
+            other => Err(self.unexpected(&other)),
+        }
+    }
+
+    /// Backoff before retry number `round` (1-based), in milliseconds:
+    /// `base · 2^(round-1)` with the exponent capped, scaled by a
+    /// deterministic jitter factor in [0.5, 1.0) keyed on the seed and
+    /// the round.
+    fn backoff_ms(&self, round: u32) -> u64 {
+        let exp = round.saturating_sub(1).min(self.cfg.backoff_cap_rounds);
+        let full = self.cfg.backoff_base_ms.saturating_mul(1u64 << exp);
+        let h =
+            splitmix64(self.cfg.jitter_seed ^ u64::from(round).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let jitter_millis = 512 + (h % 512); // in units of 1/1024
+        full * jitter_millis / 1024
+    }
+
+    fn query_once(&mut self, reads: &[PackedSeq]) -> crate::Result<Vec<Option<Hit>>> {
+        let request_id = self.next_request_id;
+        self.next_request_id += 1;
+        let req = Request::Query {
+            request_id,
+            deadline_ms: self.cfg.deadline_ms,
+            client_id: self.cfg.client_id.clone(),
+            reads: reads.to_vec(),
+        };
+        let (resp, peer) = self.round_trip_raw(&req)?;
+        match resp {
+            Response::Hits {
+                request_id: rid,
+                hits,
+            } => {
+                if rid != request_id {
+                    self.conn = None;
+                    return Err(QnetError::Corrupt {
+                        peer,
+                        detail: format!("response id {rid} does not match request id {request_id}"),
+                    });
+                }
+                if hits.len() != reads.len() {
+                    self.conn = None;
+                    return Err(QnetError::Corrupt {
+                        peer,
+                        detail: format!("{} hits answered for {} reads", hits.len(), reads.len()),
+                    });
+                }
+                Ok(hits)
+            }
+            Response::Overloaded {
+                request_id: rid,
+                scope,
+                queued,
+                limit,
+                retry_after_ms,
+            } => {
+                self.check_id(rid, request_id, &peer)?;
+                Err(QnetError::Overloaded {
+                    scope,
+                    queued,
+                    limit,
+                    retry_after_ms,
+                })
+            }
+            Response::Draining { request_id: rid } => {
+                self.check_id(rid, request_id, &peer)?;
+                Err(QnetError::Draining)
+            }
+            Response::DeadlineExceeded { request_id: rid } => {
+                self.check_id(rid, request_id, &peer)?;
+                Err(QnetError::DeadlineExceeded {
+                    budget_ms: self.cfg.deadline_ms,
+                })
+            }
+            Response::Error {
+                request_id: rid,
+                message,
+            } => {
+                self.check_id(rid, request_id, &peer)?;
+                Err(QnetError::Remote(message))
+            }
+            other => Err(self.unexpected(&other)),
+        }
+    }
+
+    fn check_id(&mut self, got: u64, want: u64, peer: &str) -> crate::Result<()> {
+        if got != want {
+            self.conn = None;
+            return Err(QnetError::Corrupt {
+                peer: peer.to_string(),
+                detail: format!("response id {got} does not match request id {want}"),
+            });
+        }
+        Ok(())
+    }
+
+    /// A response whose type makes no sense for the request we sent —
+    /// the stream is desynchronized.
+    fn unexpected(&mut self, resp: &Response) -> QnetError {
+        let peer = self
+            .conn
+            .as_ref()
+            .map(|c| c.peer.clone())
+            .unwrap_or_else(|| self.cfg.addr.clone());
+        self.conn = None;
+        QnetError::Corrupt {
+            peer,
+            detail: format!("unexpected response type {resp:?}"),
+        }
+    }
+
+    fn round_trip(&mut self, req: &Request) -> crate::Result<Response> {
+        Ok(self.round_trip_raw(req)?.0)
+    }
+
+    /// Send one request and read one response on the current (or a
+    /// fresh) connection. Any failure drops the connection.
+    fn round_trip_raw(&mut self, req: &Request) -> crate::Result<(Response, String)> {
+        let result = self.round_trip_inner(req);
+        if result.is_err() {
+            self.conn = None;
+        }
+        result
+    }
+
+    fn round_trip_inner(&mut self, req: &Request) -> crate::Result<(Response, String)> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(&self.cfg.addr)?;
+            stream.set_read_timeout(Some(self.cfg.read_timeout))?;
+            stream.set_write_timeout(Some(self.cfg.write_timeout))?;
+            stream.set_nodelay(true).ok();
+            let peer = stream
+                .peer_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| self.cfg.addr.clone());
+            let reader = BufReader::new(stream.try_clone()?);
+            self.conn = Some(Conn {
+                stream,
+                reader,
+                peer,
+            });
+        }
+        let conn = self.conn.as_mut().expect("connection just established");
+        let peer = conn.peer.clone();
+
+        let body = req.encode();
+        let mut frame = Vec::with_capacity(gstream::FRAME_HEADER_BYTES + body.len());
+        gstream::write_frame(&mut frame, &body).map_err(|e| crate::from_stream(e, &peer))?;
+        conn.stream.write_all(&frame)?;
+
+        let payload = match gstream::read_frame(&mut conn.reader, &peer) {
+            Ok(Some(p)) => p,
+            Ok(None) => {
+                // The server closed cleanly between our request and its
+                // response (drain force-close, accept-drop chaos, …).
+                return Err(QnetError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    format!("{peer} closed the connection before responding"),
+                )));
+            }
+            Err(e) => return Err(crate::from_stream(e, &peer)),
+        };
+        let resp = Response::decode(&payload, &peer)?;
+        Ok((resp, peer))
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+    use std::net::TcpListener;
+
+    fn fast_cfg(addr: String) -> ClientConfig {
+        ClientConfig {
+            addr,
+            client_id: "t".to_string(),
+            max_retries: 2,
+            backoff_base_ms: 1,
+            read_timeout: Duration::from_millis(500),
+            write_timeout: Duration::from_millis(500),
+            ..ClientConfig::default()
+        }
+    }
+
+    /// Read one frame off `sock` and decode the request in it.
+    fn read_request(sock: &mut TcpStream) -> Request {
+        let mut reader = BufReader::new(sock.try_clone().unwrap());
+        let payload = gstream::read_frame(&mut reader, "client")
+            .unwrap()
+            .expect("a frame");
+        Request::decode(&payload, "client").unwrap()
+    }
+
+    fn send_response(sock: &mut TcpStream, resp: &Response) {
+        let body = resp.encode();
+        let mut frame = Vec::new();
+        gstream::write_frame(&mut frame, &body).unwrap();
+        sock.write_all(&frame).unwrap();
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_jittered() {
+        let cfg = ClientConfig {
+            backoff_base_ms: 100,
+            backoff_cap_rounds: 4,
+            jitter_seed: 7,
+            ..ClientConfig::default()
+        };
+        let rec = Recorder::disabled();
+        let a = QueryClient::new(cfg.clone(), &rec);
+        let b = QueryClient::new(cfg, &rec);
+        for round in 1..=8 {
+            // Same seed, same round: identical backoff.
+            assert_eq!(a.backoff_ms(round), b.backoff_ms(round));
+            // Jitter stays in [50%, 100%) of the uncapped-or-capped full value.
+            let exp = (round - 1).min(4);
+            let full = 100u64 << exp;
+            let got = a.backoff_ms(round);
+            assert!(
+                got >= full / 2 && got < full,
+                "round {round}: {got} vs {full}"
+            );
+        }
+        // Past the cap the full value stops growing.
+        let capped_full = 100u64 << 4;
+        for round in 5..=8 {
+            assert!(a.backoff_ms(round) < capped_full);
+        }
+    }
+
+    #[test]
+    fn client_reconnects_and_retries_after_a_torn_frame() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            // First life: answer with a torn frame, then hang up.
+            let (mut s, _) = listener.accept().unwrap();
+            let req = read_request(&mut s);
+            let Request::Query { request_id, .. } = req else {
+                panic!("expected a query")
+            };
+            let body = Response::Hits {
+                request_id,
+                hits: vec![None],
+            }
+            .encode();
+            let mut frame = Vec::new();
+            gstream::write_frame(&mut frame, &body).unwrap();
+            frame.truncate(gstream::FRAME_HEADER_BYTES + body.len() / 2);
+            s.write_all(&frame).unwrap();
+            drop(s);
+            // Second life: answer properly.
+            let (mut s, _) = listener.accept().unwrap();
+            let req = read_request(&mut s);
+            let Request::Query { request_id, .. } = req else {
+                panic!("expected a query")
+            };
+            send_response(
+                &mut s,
+                &Response::Hits {
+                    request_id,
+                    hits: vec![None],
+                },
+            );
+            // Hold the socket open until the client has read the frame.
+            let mut buf = [0u8; 1];
+            let _ = s.read(&mut buf);
+        });
+        let rec = Recorder::disabled();
+        let mut client = QueryClient::new(fast_cfg(addr), &rec);
+        let reads = vec!["ACGT".parse::<PackedSeq>().unwrap()];
+        let hits = client.query_batch(&reads).expect("retry succeeds");
+        assert_eq!(hits, vec![None]);
+        assert_eq!(client.retries_total(), 1);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn mismatched_response_id_is_corrupt_and_bounded_by_retry_budget() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            // Three lives (1 attempt + 2 retries), each answering with
+            // a wrong request id.
+            for _ in 0..3 {
+                let (mut s, _) = listener.accept().unwrap();
+                let _ = read_request(&mut s);
+                send_response(
+                    &mut s,
+                    &Response::Hits {
+                        request_id: 0xBAD,
+                        hits: vec![None],
+                    },
+                );
+                let mut buf = [0u8; 1];
+                let _ = s.read(&mut buf);
+            }
+        });
+        let rec = Recorder::disabled();
+        let mut client = QueryClient::new(fast_cfg(addr), &rec);
+        let reads = vec!["ACGT".parse::<PackedSeq>().unwrap()];
+        let err = client
+            .query_batch(&reads)
+            .expect_err("never a wrong answer");
+        match err {
+            QnetError::RetriesExhausted { attempts, last } => {
+                assert_eq!(attempts, 3);
+                assert!(last.contains("does not match"), "last: {last}");
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn non_retryable_responses_surface_immediately() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let Request::Query { request_id, .. } = read_request(&mut s) else {
+                panic!("expected a query")
+            };
+            send_response(&mut s, &Response::DeadlineExceeded { request_id });
+            let mut buf = [0u8; 1];
+            let _ = s.read(&mut buf);
+        });
+        let rec = Recorder::disabled();
+        let mut client = QueryClient::new(fast_cfg(addr), &rec);
+        let reads = vec!["ACGT".parse::<PackedSeq>().unwrap()];
+        let err = client
+            .query_batch(&reads)
+            .expect_err("deadline is terminal");
+        assert!(matches!(err, QnetError::DeadlineExceeded { .. }));
+        assert_eq!(client.retries_total(), 0, "no retry on a terminal error");
+        server.join().unwrap();
+    }
+}

@@ -1,0 +1,594 @@
+//! Wire protocol for the query service: tagged binary messages inside
+//! checksummed [`gstream::frame`]s.
+//!
+//! Every numeric field is little-endian. Reads travel 2-bit packed
+//! (four bases per byte, the same packing the contig store uses on
+//! disk), so a 10k-read batch of 100-mers is ~250 KiB on the wire, not
+//! a megabyte. Each request carries a `request_id` that the response
+//! must echo; the client rejects any response whose id does not match
+//! the request it just sent, so a desynchronized or replayed stream can
+//! never produce a misattributed answer — it produces
+//! [`QnetError::Corrupt`](crate::QnetError::Corrupt) and a reconnect.
+//!
+//! Decoding is strict: unknown tags, truncated fields, over-long
+//! strings, and trailing bytes are all `Corrupt` naming the peer. The
+//! framing layer has already checksummed the payload, so a decode
+//! failure here means a protocol bug or a hostile peer, not line noise.
+
+use crate::QnetError;
+use genome::PackedSeq;
+use qserve::Hit;
+
+/// Which admission gate shed a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedScope {
+    /// The shared worker queue was full ([`qserve::QserveError::Overloaded`]).
+    Queue,
+    /// The per-client token bucket was empty ([`qserve::FairShed`]).
+    Fairness,
+}
+
+impl std::fmt::Display for ShedScope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShedScope::Queue => write!(f, "queue"),
+            ShedScope::Fairness => write!(f, "per-client fairness"),
+        }
+    }
+}
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Look up a batch of reads against the contig index.
+    Query {
+        /// Client-chosen id echoed verbatim in the response.
+        request_id: u64,
+        /// Remaining deadline budget in milliseconds; `0` means the
+        /// budget is already spent and the batch must be shed.
+        deadline_ms: u32,
+        /// Stable client identity used for fair admission and
+        /// per-client trace attribution.
+        client_id: String,
+        /// The reads to place.
+        reads: Vec<PackedSeq>,
+    },
+    /// Health/readiness probe; always answered, even mid-drain.
+    Ping,
+    /// Ask the server to begin a graceful drain.
+    Shutdown,
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Per-read placements, aligned with the request's `reads`.
+    Hits {
+        /// Echo of the request's id.
+        request_id: u64,
+        /// `None` for reads that placed nowhere.
+        hits: Vec<Option<Hit>>,
+    },
+    /// Probe answer.
+    Pong {
+        /// True when the server is accepting queries.
+        ready: bool,
+        /// True when a graceful drain is underway.
+        draining: bool,
+    },
+    /// The batch was shed at an admission gate; nothing was processed.
+    Overloaded {
+        /// Echo of the request's id.
+        request_id: u64,
+        /// Which gate shed the batch.
+        scope: ShedScope,
+        /// Load observed at the gate.
+        queued: u64,
+        /// The gate's limit.
+        limit: u64,
+        /// When the same batch would likely be admitted.
+        retry_after_ms: u32,
+    },
+    /// The server is draining and admits no new queries.
+    Draining {
+        /// Echo of the request's id.
+        request_id: u64,
+    },
+    /// The request's deadline budget was spent before a worker saw it.
+    DeadlineExceeded {
+        /// Echo of the request's id.
+        request_id: u64,
+    },
+    /// The server failed to process the batch.
+    Error {
+        /// Echo of the request's id.
+        request_id: u64,
+        /// Display of the server-side error.
+        message: String,
+    },
+    /// Acknowledgement that a graceful drain has begun.
+    ShutdownAck,
+}
+
+const TAG_QUERY: u8 = 1;
+const TAG_PING: u8 = 2;
+const TAG_SHUTDOWN: u8 = 3;
+
+const TAG_HITS: u8 = 1;
+const TAG_PONG: u8 = 2;
+const TAG_OVERLOADED: u8 = 3;
+const TAG_DRAINING: u8 = 4;
+const TAG_DEADLINE: u8 = 5;
+const TAG_ERROR: u8 = 6;
+const TAG_SHUTDOWN_ACK: u8 = 7;
+
+/// Longest client id / error message accepted on the wire.
+const MAX_STRING_BYTES: usize = 4096;
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Append `seq` 2-bit packed: base count, then `ceil(len/4)` bytes with
+/// the earliest base in the low bits.
+fn put_seq(out: &mut Vec<u8>, seq: &PackedSeq) {
+    let codes = seq.to_codes();
+    put_u32(out, codes.len() as u32);
+    let mut byte = 0u8;
+    for (i, code) in codes.iter().enumerate() {
+        byte |= (code & 3) << (2 * (i % 4));
+        if i % 4 == 3 {
+            out.push(byte);
+            byte = 0;
+        }
+    }
+    if !codes.is_empty() && codes.len() % 4 != 0 {
+        out.push(byte);
+    }
+}
+
+/// Bounds-checked reader over a decoded frame payload; every overrun is
+/// a `Corrupt` error naming the peer.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    peer: &'a str,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8], peer: &'a str) -> Self {
+        Cursor { buf, pos: 0, peer }
+    }
+
+    fn corrupt(&self, detail: impl Into<String>) -> QnetError {
+        QnetError::Corrupt {
+            peer: self.peer.to_string(),
+            detail: detail.into(),
+        }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> crate::Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let s = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(self.corrupt(format!(
+                "message truncated reading {what}: wanted {n} bytes at offset {} of {}",
+                self.pos,
+                self.buf.len()
+            ))),
+        }
+    }
+
+    fn u8(&mut self, what: &str) -> crate::Result<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> crate::Result<u32> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &str) -> crate::Result<u64> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn string(&mut self, what: &str) -> crate::Result<String> {
+        let len = self.u32(what)? as usize;
+        if len > MAX_STRING_BYTES {
+            return Err(self.corrupt(format!("{what} length {len} exceeds {MAX_STRING_BYTES}")));
+        }
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| self.corrupt(format!("{what} is not valid UTF-8")))
+    }
+
+    fn seq(&mut self) -> crate::Result<PackedSeq> {
+        let n_bases = self.u32("read length")? as usize;
+        let n_bytes = n_bases.div_ceil(4);
+        let packed = self.take(n_bytes, "read bases")?;
+        let mut codes = Vec::with_capacity(n_bases);
+        for i in 0..n_bases {
+            codes.push((packed[i / 4] >> (2 * (i % 4))) & 3);
+        }
+        Ok(PackedSeq::from_codes(&codes))
+    }
+
+    fn finish(&self) -> crate::Result<()> {
+        if self.pos != self.buf.len() {
+            return Err(self.corrupt(format!(
+                "{} trailing bytes after message end",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Request {
+    /// Serialize into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Query {
+                request_id,
+                deadline_ms,
+                client_id,
+                reads,
+            } => {
+                out.push(TAG_QUERY);
+                put_u64(&mut out, *request_id);
+                put_u32(&mut out, *deadline_ms);
+                put_str(&mut out, client_id);
+                put_u32(&mut out, reads.len() as u32);
+                for r in reads {
+                    put_seq(&mut out, r);
+                }
+            }
+            Request::Ping => out.push(TAG_PING),
+            Request::Shutdown => out.push(TAG_SHUTDOWN),
+        }
+        out
+    }
+
+    /// Parse a frame payload received from `peer`.
+    pub fn decode(buf: &[u8], peer: &str) -> crate::Result<Request> {
+        let mut c = Cursor::new(buf, peer);
+        let req = match c.u8("request tag")? {
+            TAG_QUERY => {
+                let request_id = c.u64("request id")?;
+                let deadline_ms = c.u32("deadline")?;
+                let client_id = c.string("client id")?;
+                let n = c.u32("read count")? as usize;
+                let mut reads = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    reads.push(c.seq()?);
+                }
+                Request::Query {
+                    request_id,
+                    deadline_ms,
+                    client_id,
+                    reads,
+                }
+            }
+            TAG_PING => Request::Ping,
+            TAG_SHUTDOWN => Request::Shutdown,
+            t => return Err(c.corrupt(format!("unknown request tag {t}"))),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+fn put_scope(out: &mut Vec<u8>, scope: ShedScope) {
+    out.push(match scope {
+        ShedScope::Queue => 0,
+        ShedScope::Fairness => 1,
+    });
+}
+
+impl Response {
+    /// Serialize into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Hits { request_id, hits } => {
+                out.push(TAG_HITS);
+                put_u64(&mut out, *request_id);
+                put_u32(&mut out, hits.len() as u32);
+                for h in hits {
+                    match h {
+                        None => out.push(0),
+                        Some(h) => {
+                            out.push(1);
+                            put_u32(&mut out, h.contig);
+                            put_u32(&mut out, h.offset);
+                            out.push(h.reverse as u8);
+                            put_u32(&mut out, h.mismatches);
+                            put_u32(&mut out, h.votes);
+                        }
+                    }
+                }
+            }
+            Response::Pong { ready, draining } => {
+                out.push(TAG_PONG);
+                out.push(*ready as u8);
+                out.push(*draining as u8);
+            }
+            Response::Overloaded {
+                request_id,
+                scope,
+                queued,
+                limit,
+                retry_after_ms,
+            } => {
+                out.push(TAG_OVERLOADED);
+                put_u64(&mut out, *request_id);
+                put_scope(&mut out, *scope);
+                put_u64(&mut out, *queued);
+                put_u64(&mut out, *limit);
+                put_u32(&mut out, *retry_after_ms);
+            }
+            Response::Draining { request_id } => {
+                out.push(TAG_DRAINING);
+                put_u64(&mut out, *request_id);
+            }
+            Response::DeadlineExceeded { request_id } => {
+                out.push(TAG_DEADLINE);
+                put_u64(&mut out, *request_id);
+            }
+            Response::Error {
+                request_id,
+                message,
+            } => {
+                out.push(TAG_ERROR);
+                put_u64(&mut out, *request_id);
+                put_str(&mut out, message);
+            }
+            Response::ShutdownAck => out.push(TAG_SHUTDOWN_ACK),
+        }
+        out
+    }
+
+    /// Parse a frame payload received from `peer`.
+    pub fn decode(buf: &[u8], peer: &str) -> crate::Result<Response> {
+        let mut c = Cursor::new(buf, peer);
+        let resp = match c.u8("response tag")? {
+            TAG_HITS => {
+                let request_id = c.u64("request id")?;
+                let n = c.u32("hit count")? as usize;
+                let mut hits = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    match c.u8("hit presence")? {
+                        0 => hits.push(None),
+                        1 => {
+                            let contig = c.u32("hit contig")?;
+                            let offset = c.u32("hit offset")?;
+                            let reverse = match c.u8("hit strand")? {
+                                0 => false,
+                                1 => true,
+                                b => return Err(c.corrupt(format!("bad strand byte {b}"))),
+                            };
+                            let mismatches = c.u32("hit mismatches")?;
+                            let votes = c.u32("hit votes")?;
+                            hits.push(Some(Hit {
+                                contig,
+                                offset,
+                                reverse,
+                                mismatches,
+                                votes,
+                            }));
+                        }
+                        b => return Err(c.corrupt(format!("bad hit presence byte {b}"))),
+                    }
+                }
+                Response::Hits { request_id, hits }
+            }
+            TAG_PONG => {
+                let ready = c.u8("ready flag")? != 0;
+                let draining = c.u8("draining flag")? != 0;
+                Response::Pong { ready, draining }
+            }
+            TAG_OVERLOADED => {
+                let request_id = c.u64("request id")?;
+                let scope = match c.u8("shed scope")? {
+                    0 => ShedScope::Queue,
+                    1 => ShedScope::Fairness,
+                    b => return Err(c.corrupt(format!("bad shed scope {b}"))),
+                };
+                let queued = c.u64("queued")?;
+                let limit = c.u64("limit")?;
+                let retry_after_ms = c.u32("retry_after_ms")?;
+                Response::Overloaded {
+                    request_id,
+                    scope,
+                    queued,
+                    limit,
+                    retry_after_ms,
+                }
+            }
+            TAG_DRAINING => Response::Draining {
+                request_id: c.u64("request id")?,
+            },
+            TAG_DEADLINE => Response::DeadlineExceeded {
+                request_id: c.u64("request id")?,
+            },
+            TAG_ERROR => {
+                let request_id = c.u64("request id")?;
+                let message = c.string("error message")?;
+                Response::Error {
+                    request_id,
+                    message,
+                }
+            }
+            TAG_SHUTDOWN_ACK => Response::ShutdownAck,
+            t => return Err(c.corrupt(format!("unknown response tag {t}"))),
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(bases: &str) -> PackedSeq {
+        bases.parse().expect("valid bases")
+    }
+
+    fn roundtrip_req(req: &Request) -> Request {
+        Request::decode(&req.encode(), "test-peer").expect("decodes")
+    }
+
+    fn roundtrip_resp(resp: &Response) -> Response {
+        Response::decode(&resp.encode(), "test-peer").expect("decodes")
+    }
+
+    #[test]
+    fn requests_roundtrip_including_unaligned_read_lengths() {
+        // Lengths 1..=9 cross every packing remainder (len % 4).
+        let reads: Vec<PackedSeq> = [
+            "A",
+            "AC",
+            "ACG",
+            "ACGT",
+            "ACGTA",
+            "ACGTAC",
+            "ACGTACG",
+            "ACGTACGT",
+            "ACGTACGTA",
+        ]
+        .iter()
+        .map(|s| seq(s))
+        .collect();
+        let req = Request::Query {
+            request_id: 0xDEAD_BEEF_0123,
+            deadline_ms: 1500,
+            client_id: "assembler-7".to_string(),
+            reads: reads.clone(),
+        };
+        assert_eq!(roundtrip_req(&req), req);
+        assert_eq!(roundtrip_req(&Request::Ping), Request::Ping);
+        assert_eq!(roundtrip_req(&Request::Shutdown), Request::Shutdown);
+
+        // Empty batch is legal on the wire (the server sheds it cheaply).
+        let empty = Request::Query {
+            request_id: 1,
+            deadline_ms: 0,
+            client_id: String::new(),
+            reads: Vec::new(),
+        };
+        assert_eq!(roundtrip_req(&empty), empty);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let hits = Response::Hits {
+            request_id: 42,
+            hits: vec![
+                None,
+                Some(Hit {
+                    contig: 7,
+                    offset: 1234,
+                    reverse: true,
+                    mismatches: 2,
+                    votes: 91,
+                }),
+                Some(Hit {
+                    contig: 0,
+                    offset: 0,
+                    reverse: false,
+                    mismatches: 0,
+                    votes: 1,
+                }),
+            ],
+        };
+        assert_eq!(roundtrip_resp(&hits), hits);
+        for resp in [
+            Response::Pong {
+                ready: true,
+                draining: false,
+            },
+            Response::Overloaded {
+                request_id: 9,
+                scope: ShedScope::Fairness,
+                queued: 120_000,
+                limit: 20_000,
+                retry_after_ms: 450,
+            },
+            Response::Draining { request_id: 3 },
+            Response::DeadlineExceeded { request_id: 4 },
+            Response::Error {
+                request_id: 5,
+                message: "index corrupt: bad magic".to_string(),
+            },
+            Response::ShutdownAck,
+        ] {
+            assert_eq!(roundtrip_resp(&resp), resp);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage_with_errors_naming_the_peer() {
+        let cases: Vec<(Vec<u8>, &str)> = vec![
+            (vec![], "empty payload"),
+            (vec![99], "unknown request tag"),
+            (vec![TAG_QUERY, 1, 2], "truncated query"),
+        ];
+        for (buf, what) in cases {
+            let err = Request::decode(&buf, "10.0.0.9:5000").expect_err(what);
+            match err {
+                QnetError::Corrupt { peer, .. } => assert_eq!(peer, "10.0.0.9:5000"),
+                other => panic!("expected Corrupt for {what}, got {other:?}"),
+            }
+        }
+
+        // Trailing bytes after a well-formed message are corruption too.
+        let mut buf = Request::Ping.encode();
+        buf.push(0);
+        let err = Request::decode(&buf, "p").expect_err("trailing byte");
+        assert!(matches!(err, QnetError::Corrupt { .. }));
+
+        // A read-count that promises more data than the payload holds
+        // must fail cleanly rather than allocate or panic.
+        let mut buf = Vec::new();
+        buf.push(TAG_QUERY);
+        put_u64(&mut buf, 1);
+        put_u32(&mut buf, 100);
+        put_str(&mut buf, "c");
+        put_u32(&mut buf, u32::MAX);
+        let err = Request::decode(&buf, "p").expect_err("absurd read count");
+        assert!(matches!(err, QnetError::Corrupt { .. }));
+    }
+
+    #[test]
+    fn oversized_client_id_is_rejected() {
+        let req = Request::Query {
+            request_id: 1,
+            deadline_ms: 10,
+            client_id: "x".repeat(MAX_STRING_BYTES + 1),
+            reads: Vec::new(),
+        };
+        let err = Request::decode(&req.encode(), "p").expect_err("oversized id");
+        match err {
+            QnetError::Corrupt { detail, .. } => {
+                assert!(detail.contains("client id"), "detail: {detail}")
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+}

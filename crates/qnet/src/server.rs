@@ -1,0 +1,702 @@
+//! The TCP server: accept loop, per-connection handlers, admission
+//! gates, chaos failpoints, and graceful drain.
+//!
+//! One OS thread per connection keeps the control flow obvious and the
+//! blocking story honest: every blocking point is a socket read/write
+//! with an explicit timeout, or a [`qserve::BatchHandle::wait`] whose
+//! duration is bounded by the worker pool actually finishing the chunk.
+//! The serving tier is expected to hold tens of connections (assembler
+//! nodes), not tens of thousands, so threads are the right cost point.
+//!
+//! A query passes four gates, in order, before it reaches a worker:
+//!
+//! 1. **drain** — a draining server admits nothing new
+//!    ([`proto::Response::Draining`](crate::proto::Response::Draining));
+//! 2. **deadline** — a spent budget is shed (`qnet.deadline_shed`)
+//!    without debiting the client's fairness bucket, since no work was
+//!    done on its behalf;
+//! 3. **fairness** — the per-client token bucket
+//!    ([`qserve::FairAdmission`]), charged one token per read;
+//! 4. **queue depth** — [`qserve::QueryService::submit`]'s shared gate.
+//!
+//! Gates 3 and 4 both answer `Overloaded` with a `retry_after_ms` hint:
+//! fairness hints from the bucket's own refill math, queue hints from a
+//! live EWMA of the worker pool's drain rate ([`DrainRate`]).
+
+use std::collections::HashMap;
+use std::io::{BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::proto::{Request, Response, ShedScope};
+use obs::{Recorder, SpanGuard};
+use qserve::{FairAdmission, FairShed, QserveError, QueryService};
+
+/// Tuning for [`Server`]. The defaults suit an interactive serving tier;
+/// tests shrink the timeouts to keep chaos runs fast.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port `0` picks a free port (see [`Server::local_addr`]).
+    pub addr: String,
+    /// Per-connection socket read timeout; an idle or stalled peer is
+    /// evicted after this long without a complete frame.
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+    /// How long [`Server::shutdown`] waits for in-flight requests to
+    /// finish before force-closing their connections.
+    pub drain_deadline: Duration,
+    /// Per-client fair-admission tuning (tokens are reads).
+    pub admission: qserve::AdmissionConfig,
+    /// How long the `qnet.frame.stall` failpoint holds a response
+    /// before dropping the connection.
+    pub stall_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            drain_deadline: Duration::from_secs(5),
+            admission: qserve::AdmissionConfig::default(),
+            stall_ms: 50,
+        }
+    }
+}
+
+/// What [`Server::shutdown`] observed while draining.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Requests that were in flight when the drain began.
+    pub inflight_at_start: u64,
+    /// True when every in-flight request finished (and wrote its
+    /// response) inside the drain deadline; false when stragglers were
+    /// force-closed.
+    pub completed: bool,
+}
+
+/// Live estimate of the worker pool's throughput, fed by the odometer
+/// [`QueryService::drained_reads`] at each batch completion. Powers the
+/// `retry_after_ms` hint on queue-depth sheds: a client told "the queue
+/// is full" is also told roughly when the backlog will have drained.
+struct DrainRate {
+    last_total: u64,
+    last_s: f64,
+    ewma_reads_per_s: f64,
+    primed: bool,
+}
+
+impl DrainRate {
+    fn new() -> Self {
+        DrainRate {
+            last_total: 0,
+            last_s: 0.0,
+            ewma_reads_per_s: 0.0,
+            primed: false,
+        }
+    }
+
+    fn observe(&mut self, now_s: f64, total_reads: u64) {
+        if !self.primed {
+            self.primed = true;
+            self.last_total = total_reads;
+            self.last_s = now_s;
+            return;
+        }
+        let dt = now_s - self.last_s;
+        // Sub-millisecond gaps produce wild instantaneous rates; fold
+        // them into the next observation instead.
+        if dt < 1e-3 {
+            return;
+        }
+        let inst = total_reads.saturating_sub(self.last_total) as f64 / dt;
+        self.ewma_reads_per_s = if self.ewma_reads_per_s == 0.0 {
+            inst
+        } else {
+            0.3 * inst + 0.7 * self.ewma_reads_per_s
+        };
+        self.last_total = total_reads;
+        self.last_s = now_s;
+    }
+
+    /// Milliseconds until `backlog_reads` drain at the estimated rate,
+    /// clamped to [10, 5000]. Before any estimate exists, a flat 100 ms.
+    fn retry_hint_ms(&self, backlog_reads: u64) -> u32 {
+        if self.ewma_reads_per_s < 1.0 {
+            return 100;
+        }
+        let ms = (backlog_reads as f64 / self.ewma_reads_per_s * 1000.0).ceil();
+        ms.clamp(10.0, 5000.0) as u32
+    }
+}
+
+struct Inner {
+    service: QueryService,
+    admission: FairAdmission,
+    rec: Recorder,
+    faults: faultsim::Faults,
+    cfg: ServerConfig,
+    server_span: u64,
+    /// Monotonic epoch for admission/drain-rate clocks.
+    epoch: Instant,
+    /// Set once a drain begins; gates both accept and query admission.
+    draining: AtomicBool,
+    /// Admitted requests whose response has not yet been written.
+    inflight: AtomicU64,
+    /// Socket clones for force-closing stragglers at drain end.
+    conns: Mutex<Vec<TcpStream>>,
+    handlers: Mutex<Vec<JoinHandle<()>>>,
+    conn_seq: AtomicU64,
+    /// Signalled when a peer sends [`Request::Shutdown`].
+    shutdown_requested: Mutex<bool>,
+    shutdown_cv: Condvar,
+    drain_rate: Mutex<DrainRate>,
+}
+
+impl Inner {
+    fn now_s(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+}
+
+/// Decrements the in-flight count when dropped, so every exit path from
+/// an admitted request — response written, write failed, chaos drop —
+/// releases its drain obligation exactly once.
+struct InflightGuard {
+    inner: Arc<Inner>,
+}
+
+impl InflightGuard {
+    fn new(inner: &Arc<Inner>) -> InflightGuard {
+        inner.inflight.fetch_add(1, Ordering::SeqCst);
+        InflightGuard {
+            inner: Arc::clone(inner),
+        }
+    }
+}
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        self.inner.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// A running query server bound to a TCP port.
+///
+/// Owns the [`QueryService`] worker pool for its lifetime. Dropping the
+/// server performs a full graceful drain (bounded by
+/// [`ServerConfig::drain_deadline`]); call [`Server::shutdown`] directly
+/// to observe the [`DrainReport`].
+pub struct Server {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    /// Keeps the `qnet.server` span open until shutdown.
+    span: Option<SpanGuard>,
+    report: Option<DrainReport>,
+}
+
+impl Server {
+    /// Bind `cfg.addr` and start serving `service`. Accepted
+    /// connections are handled on dedicated threads; traces land under
+    /// a `qnet.server` span parented on `rec`'s current span.
+    pub fn start(
+        service: QueryService,
+        cfg: ServerConfig,
+        rec: &Recorder,
+        faults: faultsim::Faults,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let span = rec.child_span(
+            match rec.current() {
+                0 => None,
+                id => Some(id),
+            },
+            "qnet.server",
+        );
+        let inner = Arc::new(Inner {
+            admission: FairAdmission::new(cfg.admission),
+            service,
+            rec: rec.clone(),
+            faults,
+            cfg,
+            server_span: span.id(),
+            epoch: Instant::now(),
+            draining: AtomicBool::new(false),
+            inflight: AtomicU64::new(0),
+            conns: Mutex::new(Vec::new()),
+            handlers: Mutex::new(Vec::new()),
+            conn_seq: AtomicU64::new(0),
+            shutdown_requested: Mutex::new(false),
+            shutdown_cv: Condvar::new(),
+            drain_rate: Mutex::new(DrainRate::new()),
+        });
+        let accept_inner = Arc::clone(&inner);
+        let accept = std::thread::spawn(move || accept_loop(accept_inner, listener));
+        Ok(Server {
+            inner,
+            addr,
+            accept: Some(accept),
+            span: Some(span),
+            report: None,
+        })
+    }
+
+    /// The address the server actually bound (resolves port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The fair-admission gate, for weight configuration
+    /// ([`FairAdmission::set_weight`]).
+    pub fn admission(&self) -> &FairAdmission {
+        &self.inner.admission
+    }
+
+    /// The underlying query service.
+    pub fn service(&self) -> &QueryService {
+        &self.inner.service
+    }
+
+    /// True once a drain has begun.
+    pub fn is_draining(&self) -> bool {
+        self.inner.is_draining()
+    }
+
+    /// Block until a peer asks for shutdown over the wire
+    /// ([`Request::Shutdown`]) or `timeout` elapses. Returns true when
+    /// shutdown was requested. The caller still decides whether to
+    /// [`Server::shutdown`].
+    pub fn wait_shutdown_requested(&self, timeout: Option<Duration>) -> bool {
+        let guard = self
+            .inner
+            .shutdown_requested
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        match timeout {
+            None => {
+                let mut g = guard;
+                while !*g {
+                    g = self
+                        .inner
+                        .shutdown_cv
+                        .wait(g)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+                true
+            }
+            Some(t) => {
+                let deadline = Instant::now() + t;
+                let mut g = guard;
+                while !*g {
+                    let left = deadline.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        return false;
+                    }
+                    let (g2, _) = self
+                        .inner
+                        .shutdown_cv
+                        .wait_timeout(g, left)
+                        .unwrap_or_else(|e| e.into_inner());
+                    g = g2;
+                }
+                true
+            }
+        }
+    }
+
+    /// Gracefully drain and stop: stop accepting, answer new queries
+    /// with `Draining`, wait for in-flight requests (bounded by
+    /// [`ServerConfig::drain_deadline`]), then force-close whatever is
+    /// left. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) -> DrainReport {
+        if let Some(r) = self.report {
+            return r;
+        }
+        self.inner.draining.store(true, Ordering::SeqCst);
+        let inflight_at_start = self.inner.inflight.load(Ordering::SeqCst);
+        self.inner.rec.gauge_on(
+            self.inner.server_span,
+            "qnet.drain.inflight",
+            inflight_at_start,
+        );
+
+        // Unblock the accept loop with a throwaway connection; it sees
+        // the draining flag and exits, dropping the listener.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+
+        let deadline = Instant::now() + self.inner.cfg.drain_deadline;
+        let mut completed = true;
+        while self.inner.inflight.load(Ordering::SeqCst) > 0 {
+            if Instant::now() >= deadline {
+                completed = false;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        if !completed {
+            self.inner
+                .rec
+                .counter_on(self.inner.server_span, "qnet.drain.forced", 1);
+        }
+
+        // Force-close every connection: idle handlers parked in
+        // `read_frame` wake with an error immediately instead of
+        // waiting out their read timeout, and post-deadline stragglers
+        // lose their socket (their worker-side computation still
+        // completes; only the response write fails).
+        for sock in self
+            .inner
+            .conns
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+        {
+            let _ = sock.shutdown(Shutdown::Both);
+        }
+        let handlers = std::mem::take(
+            &mut *self
+                .inner
+                .handlers
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()),
+        );
+        for h in handlers {
+            let _ = h.join();
+        }
+
+        drop(self.span.take());
+        let report = DrainReport {
+            inflight_at_start,
+            completed,
+        };
+        self.report = Some(report);
+        report
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(inner: Arc<Inner>, listener: TcpListener) {
+    loop {
+        let (sock, peer) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => {
+                if inner.is_draining() {
+                    break;
+                }
+                continue;
+            }
+        };
+        if inner.is_draining() {
+            break;
+        }
+        if inner.faults.hit(faultsim::QNET_ACCEPT).is_err() {
+            // Chaos: the connection vanishes before the handshake. The
+            // client sees EOF on its first read and retries.
+            inner
+                .rec
+                .counter_on(inner.server_span, "qnet.accept.dropped", 1);
+            continue;
+        }
+        let _ = sock.set_read_timeout(Some(inner.cfg.read_timeout));
+        let _ = sock.set_write_timeout(Some(inner.cfg.write_timeout));
+        let _ = sock.set_nodelay(true);
+        if let Ok(clone) = sock.try_clone() {
+            inner
+                .conns
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(clone);
+        }
+        let idx = inner.conn_seq.fetch_add(1, Ordering::Relaxed);
+        let conn_inner = Arc::clone(&inner);
+        let handle = std::thread::spawn(move || handle_conn(conn_inner, sock, peer, idx));
+        inner
+            .handlers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(handle);
+    }
+}
+
+fn handle_conn(inner: Arc<Inner>, sock: TcpStream, peer: SocketAddr, idx: u64) {
+    let peer_s = peer.to_string();
+    let conn_span = inner
+        .rec
+        .child_span(Some(inner.server_span), &format!("qnet.conn{idx}"));
+    let conn_id = conn_span.id();
+    // One `client:{id}` child span per client identity seen on this
+    // connection; counters attributed there roll up under the conn span.
+    let mut client_spans: HashMap<String, SpanGuard> = HashMap::new();
+    let Ok(read_half) = sock.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = sock;
+
+    loop {
+        let payload = match gstream::read_frame(&mut reader, &peer_s) {
+            Ok(Some(p)) => p,
+            // Clean close at a frame boundary, or the drain force-close.
+            Ok(None) => break,
+            Err(e) => {
+                // Torn/corrupt frame or socket error: the stream can no
+                // longer be trusted, so the connection dies with a
+                // typed, peer-attributed error on the trace.
+                if matches!(e, gstream::StreamError::Corrupt(_)) {
+                    inner.rec.counter_on(conn_id, "qnet.corrupt", 1);
+                }
+                break;
+            }
+        };
+        let req = match Request::decode(&payload, &peer_s) {
+            Ok(r) => r,
+            Err(_) => {
+                inner.rec.counter_on(conn_id, "qnet.corrupt", 1);
+                break;
+            }
+        };
+        let (resp, _inflight) = match req {
+            Request::Ping => (
+                Response::Pong {
+                    ready: !inner.is_draining(),
+                    draining: inner.is_draining(),
+                },
+                None,
+            ),
+            Request::Shutdown => {
+                let mut g = inner
+                    .shutdown_requested
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
+                *g = true;
+                inner.shutdown_cv.notify_all();
+                drop(g);
+                (Response::ShutdownAck, None)
+            }
+            Request::Query {
+                request_id,
+                deadline_ms,
+                client_id,
+                reads,
+            } => handle_query(
+                &inner,
+                conn_id,
+                &mut client_spans,
+                request_id,
+                deadline_ms,
+                &client_id,
+                reads,
+            ),
+        };
+
+        // Chaos failpoints on the response path. `qnet.conn.drop` models
+        // a connection that dies after the work was done — the worst
+        // case for the client, whose retry must still land on the same
+        // answer. `qnet.frame.stall` holds the response long enough for
+        // the client's read timeout to fire, then drops the connection.
+        // `qnet.frame.write` tears the frame mid-payload so the client
+        // exercises its checksum path.
+        if inner.faults.hit(faultsim::QNET_CONN_DROP).is_err() {
+            inner.rec.counter_on(conn_id, "qnet.conn.dropped", 1);
+            break;
+        }
+        if inner.faults.hit(faultsim::QNET_FRAME_STALL).is_err() {
+            inner.rec.counter_on(conn_id, "qnet.frame.stalled", 1);
+            std::thread::sleep(Duration::from_millis(inner.cfg.stall_ms));
+            break;
+        }
+        let body = resp.encode();
+        if inner.faults.hit(faultsim::QNET_FRAME_WRITE).is_err() {
+            inner.rec.counter_on(conn_id, "qnet.frame.torn", 1);
+            let torn = torn_frame(&body);
+            let _ = writer.write_all(&torn);
+            let _ = writer.flush();
+            break;
+        }
+        let mut frame = Vec::with_capacity(gstream::FRAME_HEADER_BYTES + body.len());
+        if gstream::write_frame(&mut frame, &body).is_err() {
+            break;
+        }
+        if writer.write_all(&frame).is_err() {
+            break;
+        }
+    }
+}
+
+/// A frame cut off halfway through its payload: full header (so the
+/// receiver commits to a length) plus the first half of the body.
+fn torn_frame(body: &[u8]) -> Vec<u8> {
+    let mut full = Vec::with_capacity(gstream::FRAME_HEADER_BYTES + body.len());
+    gstream::write_frame(&mut full, body).expect("in-memory frame write");
+    let keep = gstream::FRAME_HEADER_BYTES + body.len() / 2;
+    full.truncate(keep);
+    full
+}
+
+/// Run one query through the admission gates. Returns the response and,
+/// for admitted batches, the [`InflightGuard`] the caller must hold
+/// until the response write finishes — drain waits on it.
+fn handle_query(
+    inner: &Arc<Inner>,
+    conn_id: u64,
+    client_spans: &mut HashMap<String, SpanGuard>,
+    request_id: u64,
+    deadline_ms: u32,
+    client_id: &str,
+    reads: Vec<genome::PackedSeq>,
+) -> (Response, Option<InflightGuard>) {
+    let received = Instant::now();
+    let n_reads = reads.len() as u64;
+    let client_span = client_spans
+        .entry(client_id.to_string())
+        .or_insert_with(|| {
+            inner
+                .rec
+                .child_span(Some(conn_id), &format!("client:{client_id}"))
+        })
+        .id();
+
+    // Gate 1: drain.
+    if inner.is_draining() {
+        inner.rec.counter_on(client_span, "qnet.rejected", n_reads);
+        return (Response::Draining { request_id }, None);
+    }
+
+    // Gate 2: deadline. A spent budget is shed before admission and
+    // does not debit the fairness bucket — no work happened.
+    let deadline = received + Duration::from_millis(u64::from(deadline_ms));
+    if Instant::now() >= deadline {
+        inner
+            .rec
+            .counter_on(client_span, "qnet.deadline_shed", n_reads);
+        return (Response::DeadlineExceeded { request_id }, None);
+    }
+
+    // Gate 3: per-client fairness, one token per read.
+    if let Err(FairShed { wait_s }) = inner.admission.admit(client_id, n_reads, inner.now_s()) {
+        inner
+            .rec
+            .counter_on(client_span, "qnet.fairness_shed", n_reads);
+        let adm = inner.cfg.admission;
+        let deficit_reads = (wait_s * adm.refill_per_s).ceil() as u64;
+        let retry_after_ms = ((wait_s * 1000.0).ceil()).clamp(10.0, 5000.0) as u32;
+        return (
+            Response::Overloaded {
+                request_id,
+                scope: ShedScope::Fairness,
+                queued: deficit_reads,
+                limit: adm.burst as u64,
+                retry_after_ms,
+            },
+            None,
+        );
+    }
+
+    // Gate 4: shared queue depth.
+    match inner.service.submit(reads) {
+        Err(QserveError::Overloaded {
+            queued, max_queue, ..
+        }) => {
+            inner.rec.counter_on(client_span, "qnet.rejected", n_reads);
+            let backlog_reads = queued as u64 * inner.service.config().batch_chunk.max(1) as u64;
+            let retry_after_ms = inner
+                .drain_rate
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .retry_hint_ms(backlog_reads + n_reads);
+            (
+                Response::Overloaded {
+                    request_id,
+                    scope: ShedScope::Queue,
+                    queued: queued as u64,
+                    limit: max_queue as u64,
+                    retry_after_ms,
+                },
+                None,
+            )
+        }
+        Err(other) => (
+            Response::Error {
+                request_id,
+                message: other.to_string(),
+            },
+            None,
+        ),
+        Ok(handle) => {
+            let guard = InflightGuard::new(inner);
+            let hits = handle.wait();
+            inner
+                .drain_rate
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .observe(inner.now_s(), inner.service.drained_reads());
+            inner.rec.counter_on(client_span, "qnet.accepted", n_reads);
+            (Response::Hits { request_id, hits }, Some(guard))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drain_rate_estimates_and_clamps_retry_hints() {
+        let mut dr = DrainRate::new();
+        // Unprimed: flat default.
+        assert_eq!(dr.retry_hint_ms(1_000_000), 100);
+        dr.observe(0.0, 0);
+        // 10k reads per second, observed over 10 steady seconds.
+        for i in 1..=10u64 {
+            dr.observe(i as f64, i * 10_000);
+        }
+        assert!(
+            (dr.ewma_reads_per_s - 10_000.0).abs() < 1.0,
+            "steady rate converges, got {}",
+            dr.ewma_reads_per_s
+        );
+        // 5k backlog at 10k/s is 500 ms.
+        assert_eq!(dr.retry_hint_ms(5_000), 500);
+        // Clamps: tiny backlog floors at 10 ms, huge caps at 5000 ms.
+        assert_eq!(dr.retry_hint_ms(1), 10);
+        assert_eq!(dr.retry_hint_ms(1_000_000_000), 5000);
+    }
+
+    #[test]
+    fn drain_rate_ignores_sub_millisecond_gaps() {
+        let mut dr = DrainRate::new();
+        dr.observe(1.0, 1000);
+        dr.observe(1.0000001, 2_000_000_000); // would be an absurd rate
+        assert_eq!(dr.ewma_reads_per_s, 0.0);
+        dr.observe(2.0, 11_000);
+        assert!((dr.ewma_reads_per_s - 10_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn torn_frame_keeps_header_and_half_the_body() {
+        let body = vec![7u8; 100];
+        let torn = torn_frame(&body);
+        assert_eq!(torn.len(), gstream::FRAME_HEADER_BYTES + 50);
+        // The length prefix still promises the full 100-byte body.
+        assert_eq!(u32::from_le_bytes(torn[0..4].try_into().unwrap()), 100);
+    }
+}

@@ -1,0 +1,217 @@
+//! Per-client fair admission: weighted token buckets.
+//!
+//! The queue-depth gate in [`QueryService`] protects the *service* — it
+//! sheds whatever batch happens to arrive when the queue is full, which
+//! under a single hot client means everyone sheds. [`FairAdmission`]
+//! protects the *other clients*: each client id owns a token bucket whose
+//! refill rate is `refill_per_s × weight`, so a flooding client exhausts
+//! its own bucket and is shed with a computed wait hint while a quiet
+//! client's bucket stays full. The `qnet` front-end charges one token per
+//! read before the batch ever reaches the queue.
+//!
+//! Time is passed in by the caller as monotonic seconds rather than read
+//! from a clock, for the same reason `faultsim` hashes occurrence numbers:
+//! the fairness tests replay exact schedules, so shed decisions are
+//! deterministic and assertable.
+//!
+//! [`QueryService`]: crate::QueryService
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Token-bucket knobs, denominated in reads for a weight-1.0 client.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Tokens refilled per second (sustained reads/s per unit weight).
+    pub refill_per_s: f64,
+    /// Bucket capacity (largest admissible burst per unit weight).
+    pub burst: f64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            refill_per_s: 50_000.0,
+            burst: 20_000.0,
+        }
+    }
+}
+
+/// A shed decision: the client's bucket cannot cover the batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FairShed {
+    /// Seconds until the bucket will have refilled enough to admit the
+    /// same batch — the basis for `retry_after_ms` on the wire.
+    pub wait_s: f64,
+}
+
+#[derive(Debug)]
+struct Bucket {
+    weight: f64,
+    tokens: f64,
+    last_s: f64,
+}
+
+/// Weighted per-client token buckets. Clone-free and internally locked;
+/// one instance guards one service.
+#[derive(Debug)]
+pub struct FairAdmission {
+    cfg: AdmissionConfig,
+    buckets: Mutex<HashMap<String, Bucket>>,
+}
+
+impl FairAdmission {
+    pub fn new(cfg: AdmissionConfig) -> FairAdmission {
+        FairAdmission {
+            cfg,
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Set `client`'s weight (default 1.0). A weight-2 client refills and
+    /// bursts twice as fast; weight 0 is clamped to a tiny positive value
+    /// so the wait hint stays finite.
+    pub fn set_weight(&self, client: &str, weight: f64) {
+        let mut buckets = self.buckets.lock().unwrap_or_else(|e| e.into_inner());
+        let weight = weight.max(1e-9);
+        match buckets.get_mut(client) {
+            Some(b) => b.weight = weight,
+            None => {
+                buckets.insert(
+                    client.to_string(),
+                    Bucket {
+                        weight,
+                        tokens: self.cfg.burst * weight,
+                        last_s: 0.0,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Charge `cost` reads to `client` at monotonic time `now_s`.
+    ///
+    /// Admits (and debits) if the refilled bucket covers the whole batch;
+    /// otherwise sheds without debiting and reports how long the client
+    /// must wait before the identical batch would fit.
+    pub fn admit(&self, client: &str, cost: u64, now_s: f64) -> Result<(), FairShed> {
+        let mut buckets = self.buckets.lock().unwrap_or_else(|e| e.into_inner());
+        let cfg = self.cfg;
+        let b = buckets.entry(client.to_string()).or_insert(Bucket {
+            weight: 1.0,
+            tokens: cfg.burst,
+            last_s: now_s,
+        });
+        let rate = cfg.refill_per_s * b.weight;
+        let cap = cfg.burst * b.weight;
+        // Clamp against time running backwards across threads.
+        let dt = (now_s - b.last_s).max(0.0);
+        b.tokens = (b.tokens + dt * rate).min(cap);
+        b.last_s = now_s;
+        let cost = cost as f64;
+        if cost <= b.tokens {
+            b.tokens -= cost;
+            Ok(())
+        } else if cost > cap {
+            // A batch larger than the bucket can never be admitted whole;
+            // waiting won't help, so hint one full refill and let the
+            // client split or give up.
+            Err(FairShed {
+                wait_s: cfg.burst / cfg.refill_per_s,
+            })
+        } else {
+            Err(FairShed {
+                wait_s: (cost - b.tokens) / rate,
+            })
+        }
+    }
+
+    /// Tokens currently available to `client` (diagnostics/tests).
+    pub fn tokens(&self, client: &str, now_s: f64) -> f64 {
+        let mut buckets = self.buckets.lock().unwrap_or_else(|e| e.into_inner());
+        match buckets.get_mut(client) {
+            None => self.cfg.burst,
+            Some(b) => {
+                let rate = self.cfg.refill_per_s * b.weight;
+                let cap = self.cfg.burst * b.weight;
+                let dt = (now_s - b.last_s).max(0.0);
+                b.tokens = (b.tokens + dt * rate).min(cap);
+                b.last_s = now_s;
+                b.tokens
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adm() -> FairAdmission {
+        FairAdmission::new(AdmissionConfig {
+            refill_per_s: 100.0,
+            burst: 50.0,
+        })
+    }
+
+    #[test]
+    fn flooder_exhausts_its_own_bucket_only() {
+        let a = adm();
+        // The flooder burns its 50-token burst immediately...
+        assert!(a.admit("flood", 50, 0.0).is_ok());
+        let shed = a.admit("flood", 10, 0.0).unwrap_err();
+        assert!(shed.wait_s > 0.0);
+        // ...while the quiet client, at the same instant, admits fine.
+        assert!(a.admit("quiet", 10, 0.0).is_ok());
+    }
+
+    #[test]
+    fn buckets_refill_at_the_configured_rate() {
+        let a = adm();
+        assert!(a.admit("c", 50, 0.0).is_ok());
+        let shed = a.admit("c", 20, 0.0).unwrap_err();
+        // Empty bucket, 100 tokens/s: 20 tokens arrive in 0.2 s.
+        assert!((shed.wait_s - 0.2).abs() < 1e-9, "{}", shed.wait_s);
+        assert!(a.admit("c", 20, 0.1).is_err(), "too early");
+        assert!(a.admit("c", 20, 0.2).is_ok(), "refilled");
+    }
+
+    #[test]
+    fn weight_scales_rate_and_burst() {
+        let a = adm();
+        a.set_weight("heavy", 2.0);
+        // Twice the burst...
+        assert!(a.admit("heavy", 100, 0.0).is_ok());
+        assert!(a.admit("light", 100, 0.0).is_err());
+        // ...and twice the refill rate: 40 tokens in 0.2 s.
+        assert!(a.admit("heavy", 40, 0.2).is_ok());
+    }
+
+    #[test]
+    fn sheds_do_not_debit() {
+        let a = adm();
+        assert!(a.admit("c", 40, 0.0).is_ok());
+        assert_eq!(a.tokens("c", 0.0), 10.0);
+        assert!(a.admit("c", 20, 0.0).is_err());
+        // The failed admit left the 10 remaining tokens untouched.
+        assert_eq!(a.tokens("c", 0.0), 10.0);
+        assert!(a.admit("c", 10, 0.0).is_ok());
+    }
+
+    #[test]
+    fn batch_larger_than_burst_hints_a_full_refill() {
+        let a = adm();
+        let shed = a.admit("c", 1000, 0.0).unwrap_err();
+        assert!((shed.wait_s - 0.5).abs() < 1e-9, "{}", shed.wait_s);
+    }
+
+    #[test]
+    fn time_going_backwards_is_clamped() {
+        let a = adm();
+        assert!(a.admit("c", 50, 5.0).is_ok());
+        // An earlier timestamp from a racing thread neither refills nor
+        // corrupts the bucket.
+        assert!(a.admit("c", 1, 1.0).is_err());
+        assert!(a.admit("c", 1, 5.01).is_ok());
+    }
+}

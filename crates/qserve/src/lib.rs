@@ -20,7 +20,10 @@
 //!   diagonals, banded verification confirms or rejects them;
 //! * [`service`] — [`QueryService`], a worker pool consuming batched
 //!   requests from a bounded queue; over-depth submissions are shed with
-//!   a typed [`QserveError::Overloaded`] instead of queuing unboundedly.
+//!   a typed [`QserveError::Overloaded`] instead of queuing unboundedly;
+//! * [`admission`] — [`FairAdmission`], weighted per-client token buckets
+//!   layered ahead of the queue by the `qnet` network front-end so one
+//!   hot client cannot starve the rest.
 //!
 //! Formats, query semantics, tuning knobs, and failure modes are
 //! documented in `SERVING.md`. Observability: workers run under
@@ -29,8 +32,11 @@
 //! `qserve.shed` counters (see OBSERVABILITY.md). Corrupt stores and
 //! indexes fail loudly as [`gstream::StreamError::Corrupt`] with the
 //! offending path named; the `qserve.store.read` / `qserve.index.read`
-//! failpoints inject those failures deterministically (ROBUSTNESS.md).
+//! failpoints inject those failures deterministically, and
+//! `qserve.store.write` injects ENOSPC into the pipeline's store export
+//! (ROBUSTNESS.md).
 
+pub mod admission;
 pub mod cache;
 pub mod engine;
 pub mod minimizer;
@@ -38,6 +44,7 @@ pub mod service;
 pub mod store;
 mod wire;
 
+pub use admission::{AdmissionConfig, FairAdmission, FairShed};
 pub use cache::{CacheStats, PostingsCache};
 pub use engine::{Hit, QueryConfig, QueryEngine};
 pub use minimizer::{minimizers, IndexConfig, MinimizerIndex};
@@ -59,6 +66,9 @@ pub enum QserveError {
     Overloaded {
         /// Chunks already queued when the batch arrived.
         queued: usize,
+        /// Chunks the shed batch would have added on top of `queued` —
+        /// together they say how far past the limit admission would land.
+        incoming: usize,
         /// The configured queue-depth limit it would have exceeded.
         max_queue: usize,
     },
@@ -68,9 +78,14 @@ impl std::fmt::Display for QserveError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             QserveError::Stream(e) => write!(f, "{e}"),
-            QserveError::Overloaded { queued, max_queue } => write!(
+            QserveError::Overloaded {
+                queued,
+                incoming,
+                max_queue,
+            } => write!(
                 f,
-                "overloaded: {queued} chunks queued, admission limit {max_queue}"
+                "overloaded: {queued} chunks queued + {incoming} arriving \
+                 exceeds the admission limit of {max_queue}"
             ),
         }
     }

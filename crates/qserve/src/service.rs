@@ -21,6 +21,7 @@ use crate::QserveError;
 use genome::PackedSeq;
 use obs::Recorder;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -102,6 +103,10 @@ struct Shared {
     rec: Recorder,
     /// Span the workers parent themselves under (0 = no parent).
     parent_span: u64,
+    /// Reads fully resolved by workers since start — the service's drain
+    /// odometer, which `qnet` differentiates into a drain *rate* to derive
+    /// `retry_after_ms` hints for shed clients.
+    drained: AtomicU64,
 }
 
 impl Shared {
@@ -132,6 +137,7 @@ impl QueryService {
             engine: Arc::new(engine),
             rec: rec.clone(),
             parent_span: rec.current(),
+            drained: AtomicU64::new(0),
         });
         let workers = (0..cfg.workers.max(1))
             .map(|i| {
@@ -152,6 +158,22 @@ impl QueryService {
     /// The engine the workers resolve against.
     pub fn engine(&self) -> &QueryEngine {
         &self.shared.engine
+    }
+
+    /// The configuration the pool was started with.
+    pub fn config(&self) -> ServiceConfig {
+        self.cfg
+    }
+
+    /// Chunks currently queued (admitted, not yet picked up by a worker).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.lock_queue().chunks.len()
+    }
+
+    /// Total reads fully resolved since the service started. Monotone;
+    /// callers difference two observations to estimate the drain rate.
+    pub fn drained_reads(&self) -> u64 {
+        self.shared.drained.load(Ordering::Relaxed)
     }
 
     /// Submit a batch. Returns a [`BatchHandle`] on admission, or
@@ -175,6 +197,7 @@ impl QueryService {
                 self.shared.rec.counter("qserve.shed", reads.len() as u64);
                 return Err(QserveError::Overloaded {
                     queued: q.chunks.len(),
+                    incoming: n_chunks,
                     max_queue: self.cfg.max_queue,
                 });
             }
@@ -249,6 +272,9 @@ fn worker_loop(shared: &Shared, idx: usize) {
             .iter()
             .map(|read| shared.engine.query_traced(read, &shared.rec, span.id()))
             .collect();
+        shared
+            .drained
+            .fetch_add(answers.len() as u64, Ordering::Relaxed);
         let mut inner = chunk.state.inner.lock().unwrap_or_else(|e| e.into_inner());
         inner.results[chunk.start..chunk.start + answers.len()].clone_from_slice(&answers);
         inner.pending -= 1;
@@ -346,12 +372,22 @@ mod tests {
         // admission limit, so this sheds no matter how fast workers drain.
         let err = svc.submit(reads(100)).err().expect("must shed");
         match err {
-            QserveError::Overloaded { max_queue, .. } => assert_eq!(max_queue, 4),
+            QserveError::Overloaded {
+                queued,
+                incoming,
+                max_queue,
+            } => {
+                assert_eq!(max_queue, 4);
+                assert_eq!(incoming, 100, "the whole shed batch is reported");
+                assert!(queued <= max_queue, "queued depth is the live depth");
+            }
             other => panic!("expected Overloaded, got {other}"),
         }
         // A small batch still goes through afterwards.
         let ok = svc.query_batch(reads(3)).unwrap();
         assert_eq!(ok.len(), 3);
+        assert_eq!(svc.drained_reads(), 3, "only admitted reads drain");
+        assert_eq!(svc.queue_depth(), 0);
         drop(svc);
         rec.flush();
         let rollup = obs::Rollup::from_events(&handle.events());

@@ -34,6 +34,16 @@ pub struct ContigStore {
     checksum: u64,
 }
 
+impl std::fmt::Debug for ContigStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ContigStore")
+            .field("contigs", &self.contigs.len())
+            .field("total_bases", &self.total_bases())
+            .field("checksum", &format_args!("{:#018x}", self.checksum))
+            .finish()
+    }
+}
+
 impl ContigStore {
     /// Serialize `contigs` into a store payload (no footer — that is
     /// [`gstream::write_blob`]'s job).
@@ -63,7 +73,21 @@ impl ContigStore {
     }
 
     /// Durably write `contigs` to `path` (tmp + fsync + atomic rename).
+    ///
+    /// The `qserve.store.write` failpoint models the disk filling up
+    /// during the export: like `disk.full` it surfaces as
+    /// [`StreamError::Io`] with `ErrorKind::StorageFull` — the real
+    /// ENOSPC shape — and it fires *before* any byte is written, so a
+    /// failed export can never leave a store that passes footer
+    /// validation. (A crash mid-write is already covered by the blob
+    /// writer's tmp + fsync + atomic-rename commit.)
     pub fn write(path: &Path, contigs: &[PackedSeq], io: &IoStats) -> gstream::Result<()> {
+        if io.faults().hit(faultsim::QSERVE_STORE_WRITE).is_err() {
+            return Err(StreamError::Io(std::io::Error::new(
+                std::io::ErrorKind::StorageFull,
+                format!("no space left writing {}", path.display()),
+            )));
+        }
         gstream::write_blob(path, &Self::encode(contigs), io)
     }
 
@@ -227,6 +251,47 @@ mod tests {
             ContigStore::open(&path, &io),
             Err(StreamError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn store_write_failpoint_is_enospc_shaped_and_leaves_no_file() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("full.store");
+        let io = IoStats::default();
+        io.set_faults(Faults::from_plan(
+            &FaultPlan::new().fail_at(faultsim::QSERVE_STORE_WRITE, 1),
+        ));
+        let contigs = seqs(&["ACGTACGTACGT"]);
+        match ContigStore::write(&path, &contigs, &io) {
+            Err(StreamError::Io(e)) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::StorageFull);
+                assert!(e.to_string().contains("full.store"), "{e}");
+            }
+            other => panic!("expected StorageFull Io error, got {other:?}"),
+        }
+        // Nothing half-written: the path does not exist at all.
+        assert!(!path.exists());
+        // The failpoint is one-shot; the retry commits a valid store.
+        ContigStore::write(&path, &contigs, &io).unwrap();
+        assert_eq!(
+            ContigStore::open(&path, &io).unwrap().contigs(),
+            &contigs[..]
+        );
+    }
+
+    #[test]
+    fn store_write_failpoint_preserves_an_existing_store() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("kept.store");
+        let io = IoStats::default();
+        let old = seqs(&["AAAACCCCGGGG"]);
+        ContigStore::write(&path, &old, &io).unwrap();
+        io.set_faults(Faults::from_plan(
+            &FaultPlan::new().fail_at(faultsim::QSERVE_STORE_WRITE, 1),
+        ));
+        assert!(ContigStore::write(&path, &seqs(&["TTTT"]), &io).is_err());
+        // The prior store is untouched and still fully valid.
+        assert_eq!(ContigStore::open(&path, &io).unwrap().contigs(), &old[..]);
     }
 
     #[test]

@@ -26,12 +26,28 @@
 //! lasagna-cli query --work /tmp/lasagna-work --reads queries.fastq \
 //!                  [--out hits.tsv] [--batch 1024] [--workers 4] \
 //!                  [--cache-mb 32] [--max-mismatches 2] [--max-queue 64]
+//!
+//! lasagna-cli query --connect HOST:PORT --reads queries.fastq \
+//!                  [--out hits.tsv] [--batch 1024] [--client-id NAME] \
+//!                  [--deadline-ms 10000] [--retries 4]
+//!
+//! lasagna-cli serve --work /tmp/lasagna-work [--addr 127.0.0.1:0] \
+//!                  [--workers 4] [--cache-mb 32] [--max-mismatches 2] \
+//!                  [--max-queue 64] [--refill-per-s 50000] [--burst 20000] \
+//!                  [--read-timeout-ms 30000] [--drain-deadline-ms 5000] \
+//!                  [--faults SPEC] [--trace-out trace.jsonl]
+//!
+//! lasagna-cli shutdown --connect HOST:PORT
 //! ```
 //!
 //! `index` builds the minimizer index over the contig store the assembly
 //! left in `--work` (or over `--contigs`, importing them into a fresh
-//! store first); `query` serves batched read lookups against it. See
-//! SERVING.md for formats, semantics, and tuning.
+//! store first); `query` serves batched read lookups against it, either
+//! in-process (`--work`) or over TCP against a `serve` process
+//! (`--connect`). `serve` binds the hardened network front-end (qnet) on
+//! the indexed store and prints `listening HOST:PORT` once ready;
+//! `shutdown` asks a serve process to drain gracefully. See SERVING.md
+//! for formats, semantics, and tuning.
 
 use lasagna_repro::genome::fastq::{read_fasta, read_fastq, write_fasta, write_fastq};
 use lasagna_repro::genome::sim::is_substring_either_strand;
@@ -55,6 +71,8 @@ fn main() {
         "stats" => stats(&opts),
         "index" => index(&opts),
         "query" => query(&opts),
+        "serve" => serve(&opts),
+        "shutdown" => shutdown(&opts),
         "--help" | "-h" | "help" => usage(),
         other => {
             eprintln!("lasagna: unknown command {other:?}");
@@ -79,12 +97,22 @@ fn usage() -> ! {
          lasagna stats --contigs contigs.fa [--reference ref.fa]\n  \
          lasagna index --work DIR [--contigs contigs.fa] [--k 15] [--w 8] [--threads 0]\n  \
          lasagna query --work DIR --reads queries.fastq [--out hits.tsv] [--batch 1024] \
-         [--workers 4] [--cache-mb 32] [--max-mismatches 2] [--max-queue 64]\n\
+         [--workers 4] [--cache-mb 32] [--max-mismatches 2] [--max-queue 64]\n  \
+         lasagna query --connect HOST:PORT --reads queries.fastq [--out hits.tsv] \
+         [--batch 1024] [--client-id NAME] [--deadline-ms 10000] [--retries 4]\n  \
+         lasagna serve --work DIR [--addr 127.0.0.1:0] [--workers 4] [--cache-mb 32] \
+         [--max-mismatches 2] [--max-queue 64] [--refill-per-s 50000] [--burst 20000] \
+         [--read-timeout-ms 30000] [--drain-deadline-ms 5000] [--faults SPEC] \
+         [--trace-out trace.jsonl]\n  \
+         lasagna shutdown --connect HOST:PORT\n\
          \nassemble resumes from --work's manifest.json when --resume yes; \
          assemble-distributed resumes from --work's superstep.log plus the \
-         per-node manifests (see ROBUSTNESS.md).\nindex/query serve the assembled \
-         contigs back (see SERVING.md).\nexit codes: 0 ok, 1 error, 2 usage, \
-         3 corrupt on-disk state, 4 out of memory, 5 I/O failure, 6 overloaded"
+         per-node manifests (see ROBUSTNESS.md).\nindex/query/serve answer reads \
+         against the assembled contigs (see SERVING.md).\nexit codes: 0 ok, 1 error, \
+         2 usage, 3 corrupt on-disk state, 4 out of memory, 5 I/O failure, \
+         6 overloaded (queued + arriving work exceeds the admission limit, the \
+         per-client fairness bucket is empty, the server is draining, or the \
+         client's retry budget ran out; resubmit later)"
     );
     exit(2);
 }
@@ -663,13 +691,57 @@ fn index(opts: &HashMap<String, String>) {
     );
 }
 
-/// Serve a batch of reads against an indexed assembly, writing one TSV
-/// row per read: `name  contig  offset  strand  mismatches` (`*` columns
-/// for unmapped reads).
+/// Format one TSV row per read: `name  contig  offset  strand
+/// mismatches` (`*` columns for unmapped reads).
+fn hit_rows(
+    window: &[(String, PackedSeq)],
+    hits: Vec<Option<lasagna_repro::qserve::Hit>>,
+    rows: &mut Vec<String>,
+) {
+    for ((name, _), hit) in window.iter().zip(hits) {
+        rows.push(match hit {
+            Some(h) => format!(
+                "{name}\t{}\t{}\t{}\t{}",
+                h.contig,
+                h.offset,
+                if h.reverse { '-' } else { '+' },
+                h.mismatches
+            ),
+            None => format!("{name}\t*\t*\t*\t*"),
+        });
+    }
+}
+
+fn load_query_reads(reads_path: &PathBuf) -> Vec<(String, PackedSeq)> {
+    if reads_path
+        .extension()
+        .is_some_and(|e| e == "fa" || e == "fasta")
+    {
+        read_fasta(reads_path).unwrap_or_else(die)
+    } else {
+        read_fastq(reads_path).unwrap_or_else(die)
+    }
+}
+
+fn write_rows(out: Option<PathBuf>, rows: &[String]) {
+    if let Some(out) = out {
+        let mut tsv = rows.join("\n");
+        tsv.push('\n');
+        std::fs::write(&out, tsv).unwrap_or_else(die);
+        println!("hits written to {}", out.display());
+    }
+}
+
+/// Serve a batch of reads against an indexed assembly — in-process with
+/// `--work`, or over TCP against a `serve` process with `--connect`.
 fn query(opts: &HashMap<String, String>) {
     use lasagna_repro::qserve::{
         QueryConfig, QueryEngine, QueryService, ServiceConfig, INDEX_FILE, STORE_FILE,
     };
+
+    if opts.contains_key("connect") {
+        return query_remote(opts);
+    }
 
     let work = PathBuf::from(require(opts, "work"));
     let reads_path = PathBuf::from(require(opts, "reads"));
@@ -679,14 +751,7 @@ fn query(opts: &HashMap<String, String>) {
     let cache_mb: u64 = get(opts, "cache-mb", 32u64);
     let io = IoStats::default();
 
-    let reads = if reads_path
-        .extension()
-        .is_some_and(|e| e == "fa" || e == "fasta")
-    {
-        read_fasta(&reads_path).unwrap_or_else(die)
-    } else {
-        read_fastq(&reads_path).unwrap_or_else(die)
-    };
+    let reads = load_query_reads(&reads_path);
 
     let qcfg = QueryConfig {
         max_mismatches: get(opts, "max-mismatches", 2u32),
@@ -711,18 +776,7 @@ fn query(opts: &HashMap<String, String>) {
     for window in reads.chunks(batch.max(1)) {
         let seqs: Vec<PackedSeq> = window.iter().map(|(_, s)| s.clone()).collect();
         let hits = svc.query_batch(seqs).unwrap_or_else(die_qserve);
-        for ((name, _), hit) in window.iter().zip(hits) {
-            rows.push(match hit {
-                Some(h) => format!(
-                    "{name}\t{}\t{}\t{}\t{}",
-                    h.contig,
-                    h.offset,
-                    if h.reverse { '-' } else { '+' },
-                    h.mismatches
-                ),
-                None => format!("{name}\t*\t*\t*\t*"),
-            });
-        }
+        hit_rows(window, hits, &mut rows);
     }
     let elapsed = start.elapsed().as_secs_f64();
     let mapped = rows.iter().filter(|r| !r.ends_with("\t*")).count();
@@ -736,12 +790,161 @@ fn query(opts: &HashMap<String, String>) {
         stats.hits,
         stats.misses
     );
-    if let Some(out) = out {
-        let mut tsv = rows.join("\n");
-        tsv.push('\n');
-        std::fs::write(&out, tsv).unwrap_or_else(die);
-        println!("hits written to {}", out.display());
+    write_rows(out, &rows);
+}
+
+/// The `--connect` arm of `query`: batches go over TCP through the
+/// retry/backoff client; sheds, drains, and exhausted retries exit 6.
+fn query_remote(opts: &HashMap<String, String>) {
+    use lasagna_repro::qnet::{ClientConfig, QueryClient};
+
+    let connect = require(opts, "connect");
+    let reads_path = PathBuf::from(require(opts, "reads"));
+    let out = opts.get("out").map(PathBuf::from);
+    let batch: usize = get(opts, "batch", 1024usize);
+    let reads = load_query_reads(&reads_path);
+
+    let rec = obs::Recorder::new();
+    let mut client = QueryClient::new(
+        ClientConfig {
+            addr: connect.clone(),
+            client_id: get(opts, "client-id", "cli".to_string()),
+            deadline_ms: get(opts, "deadline-ms", 10_000u32),
+            max_retries: get(opts, "retries", 4u32),
+            ..ClientConfig::default()
+        },
+        &rec,
+    );
+
+    let start = std::time::Instant::now();
+    let mut rows = Vec::with_capacity(reads.len());
+    for window in reads.chunks(batch.max(1)) {
+        let seqs: Vec<PackedSeq> = window.iter().map(|(_, s)| s.clone()).collect();
+        let hits = client.query_batch(&seqs).unwrap_or_else(die_qnet);
+        hit_rows(window, hits, &mut rows);
     }
+    let elapsed = start.elapsed().as_secs_f64();
+    let mapped = rows.iter().filter(|r| !r.ends_with("\t*")).count();
+    println!(
+        "queried {} reads via {connect} in {elapsed:.3}s ({:.0} reads/s): \
+         {mapped} mapped, {} unmapped; {} retries",
+        rows.len(),
+        rows.len() as f64 / elapsed.max(1e-9),
+        rows.len() - mapped,
+        client.retries_total()
+    );
+    write_rows(out, &rows);
+}
+
+/// Serve an indexed assembly over TCP until a `shutdown` command (or
+/// SIGKILL) arrives, then drain gracefully. Prints `listening HOST:PORT`
+/// once the socket is bound so scripts can discover an `--addr :0` port.
+fn serve(opts: &HashMap<String, String>) {
+    use lasagna_repro::faultsim;
+    use lasagna_repro::qnet::{Server, ServerConfig};
+    use lasagna_repro::qserve::{
+        AdmissionConfig, QueryConfig, QueryEngine, QueryService, ServiceConfig, INDEX_FILE,
+        STORE_FILE,
+    };
+    use std::time::Duration;
+
+    let work = PathBuf::from(require(opts, "work"));
+    let io = IoStats::default();
+    let qcfg = QueryConfig {
+        max_mismatches: get(opts, "max-mismatches", 2u32),
+        cache_bytes: get(opts, "cache-mb", 32u64) << 20,
+        ..QueryConfig::default()
+    };
+    let engine = QueryEngine::open(&work.join(STORE_FILE), &work.join(INDEX_FILE), &io, qcfg)
+        .unwrap_or_else(die_qserve);
+
+    let rec = obs::Recorder::new();
+    let trace_out = opts.get("trace-out").map(PathBuf::from);
+    if let Some(path) = &trace_out {
+        let sink = obs::JsonlSink::create(path).unwrap_or_else(die);
+        rec.add_sink(Box::new(sink));
+    }
+    let faults = match opts.get("faults") {
+        Some(spec) => {
+            let plan = faultsim::FaultPlan::parse(spec).unwrap_or_else(|e| {
+                eprintln!("lasagna: bad --faults: {e}");
+                exit(2)
+            });
+            let f = faultsim::Faults::from_plan(&plan);
+            f.set_recorder(rec.clone());
+            f
+        }
+        None => faultsim::Faults::disabled(),
+    };
+
+    let svc = QueryService::start(
+        engine,
+        ServiceConfig {
+            workers: get(opts, "workers", 4usize),
+            max_queue: get(opts, "max-queue", 64usize),
+            ..ServiceConfig::default()
+        },
+        &rec,
+    );
+    let mut server = Server::start(
+        svc,
+        ServerConfig {
+            addr: get(opts, "addr", "127.0.0.1:0".to_string()),
+            read_timeout: Duration::from_millis(get(opts, "read-timeout-ms", 30_000u64)),
+            write_timeout: Duration::from_millis(get(opts, "write-timeout-ms", 10_000u64)),
+            drain_deadline: Duration::from_millis(get(opts, "drain-deadline-ms", 5_000u64)),
+            admission: AdmissionConfig {
+                refill_per_s: get(opts, "refill-per-s", 50_000.0f64),
+                burst: get(opts, "burst", 20_000.0f64),
+            },
+            ..ServerConfig::default()
+        },
+        &rec,
+        faults,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("lasagna: cannot bind: {e}");
+        exit(EXIT_IO)
+    });
+
+    println!("listening {}", server.local_addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+
+    server.wait_shutdown_requested(None);
+    println!("shutdown requested; draining");
+    let report = server.shutdown();
+    rec.flush();
+    if let Some(path) = &trace_out {
+        println!("trace written to {}", path.display());
+    }
+    println!(
+        "drained: {} in-flight at drain start, {}",
+        report.inflight_at_start,
+        if report.completed {
+            "all completed"
+        } else {
+            "drain deadline forced stragglers closed"
+        }
+    );
+}
+
+/// Ask a `serve` process to drain gracefully and stop.
+fn shutdown(opts: &HashMap<String, String>) {
+    use lasagna_repro::qnet::{ClientConfig, QueryClient};
+
+    let connect = require(opts, "connect");
+    let rec = obs::Recorder::disabled();
+    let mut client = QueryClient::new(
+        ClientConfig {
+            addr: connect.clone(),
+            client_id: "shutdown".to_string(),
+            ..ClientConfig::default()
+        },
+        &rec,
+    );
+    client.request_shutdown().unwrap_or_else(die_qnet);
+    println!("shutdown acknowledged by {connect}; server is draining");
 }
 
 fn die<E: std::fmt::Display, T>(e: E) -> T {
@@ -756,7 +959,11 @@ fn die<E: std::fmt::Display, T>(e: E) -> T {
 const EXIT_CORRUPT: i32 = 3;
 const EXIT_OOM: i32 = 4;
 const EXIT_IO: i32 = 5;
-/// The query service shed the batch (queue at depth); resubmit later.
+/// The query service shed the batch — the queue plus the arriving chunks
+/// exceed the admission limit, the per-client fairness bucket is empty,
+/// the server is draining, or the network client exhausted its retry
+/// budget. Nothing was processed; resubmit later (the server's
+/// `retry_after_ms` hint says when).
 const EXIT_OVERLOADED: i32 = 6;
 
 fn stream_exit_code(e: &lasagna_repro::gstream::StreamError) -> i32 {
@@ -802,6 +1009,19 @@ fn die_qserve<T>(e: lasagna_repro::qserve::QserveError) -> T {
     exit(match &e {
         QserveError::Stream(s) => stream_exit_code(s),
         QserveError::Overloaded { .. } => EXIT_OVERLOADED,
+    })
+}
+
+fn die_qnet<T>(e: lasagna_repro::qnet::QnetError) -> T {
+    use lasagna_repro::qnet::QnetError;
+    eprintln!("lasagna: {e}");
+    exit(match &e {
+        QnetError::Corrupt { .. } => EXIT_CORRUPT,
+        QnetError::Io(_) => EXIT_IO,
+        QnetError::Overloaded { .. } | QnetError::Draining | QnetError::RetriesExhausted { .. } => {
+            EXIT_OVERLOADED
+        }
+        QnetError::DeadlineExceeded { .. } | QnetError::Remote(_) => 1,
     })
 }
 

@@ -27,7 +27,10 @@
 //! * [`ecc`] — k-mer-spectrum error correction, the SGA pipeline stage the
 //!   paper's comparison excludes, for assembling noisy reads;
 //! * [`qserve`] — the contig query service: an indexed on-disk assembly
-//!   store with batched, cached, concurrent read lookups (see SERVING.md).
+//!   store with batched, cached, concurrent read lookups (see SERVING.md);
+//! * [`qnet`] — the hardened TCP front-end over `qserve`: checksummed
+//!   framing, deadline propagation, per-client fair admission, a
+//!   retry/backoff client, and graceful drain (see SERVING.md).
 //!
 //! ## Quickstart
 //!
@@ -57,6 +60,7 @@ pub use genome;
 pub use gstream;
 pub use lasagna;
 pub use obs;
+pub use qnet;
 pub use qserve;
 pub use sga;
 pub use vgpu;
@@ -69,6 +73,7 @@ pub mod prelude {
     pub use genome::{DatasetPreset, GenomeSim, PackedSeq, ReadSet, ShotgunSim};
     pub use gstream::{DiskModel, ExternalSorter, HostMem, IoStats, SortConfig, SpillDir};
     pub use lasagna::{AssemblyConfig, AssemblyReport, Pipeline, StringGraph};
+    pub use qnet::{QueryClient, Server as QueryServer};
     pub use qserve::{QueryEngine, QueryService};
     pub use sga::SgaBaseline;
     pub use vgpu::{Device, GpuProfile};

@@ -494,3 +494,49 @@ fn distributed_kill_of_every_node_resumes_without_redoing_mapped_blocks() {
         "durably mapped blocks must be skipped on resume"
     );
 }
+
+// --- Disk-full during the contig-store export (see SERVING.md) ----------
+
+#[test]
+fn disk_full_during_store_export_is_absorbed_by_one_retry() {
+    use lasagna_repro::qserve::{self, ContigStore};
+    let r = reads(24);
+    let dir = tempfile::tempdir().unwrap();
+    let faults = Faults::from_plan(&FaultPlan::new().fail_at(faultsim::QSERVE_STORE_WRITE, 1));
+    let out = laptop_on(dir.path())
+        .with_faults(faults.clone())
+        .assemble(&r)
+        .unwrap();
+    assert!(!out.contigs.is_empty());
+    assert_eq!(
+        faults.hits(faultsim::QSERVE_STORE_WRITE),
+        2,
+        "one ENOSPC-shaped failure, then the clean retry"
+    );
+    // The retried export is complete and bit-identical: the failed
+    // attempt left nothing behind to confuse the reader.
+    let store =
+        ContigStore::open(&dir.path().join(qserve::STORE_FILE), &IoStats::default()).unwrap();
+    assert_eq!(store.contigs(), &out.contigs[..]);
+}
+
+#[test]
+fn disk_full_twice_during_store_export_propagates_as_storage_full() {
+    let r = reads(24);
+    let dir = tempfile::tempdir().unwrap();
+    let plan = FaultPlan::new()
+        .fail_at(faultsim::QSERVE_STORE_WRITE, 1)
+        .fail_at(faultsim::QSERVE_STORE_WRITE, 2);
+    let err = laptop_on(dir.path())
+        .with_faults(Faults::from_plan(&plan))
+        .assemble(&r)
+        .unwrap_err();
+    assert!(
+        matches!(
+            &err,
+            LasagnaError::Stream(gstream::StreamError::Io(e))
+                if e.kind() == std::io::ErrorKind::StorageFull
+        ),
+        "a genuinely full disk must surface as StorageFull I/O, got {err}"
+    );
+}
