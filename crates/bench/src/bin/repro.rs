@@ -511,12 +511,22 @@ fn run_serve(out: &Path) {
     let rows = experiments::serve(work.path()).expect("serve bench failed");
     println!("\n=== Query service: throughput / latency sweep (SERVING.md) ===");
     println!(
-        "{:>8} {:>9} {:>8} {:>8} {:>12} {:>9} {:>9} {:>10}",
-        "workers", "cache", "reads", "mapped", "reads/s", "p50", "p99", "hit rate"
+        "{:>8} {:>9} {:>8} {:>8} {:>12} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10}",
+        "workers",
+        "cache",
+        "reads",
+        "mapped",
+        "reads/s",
+        "batch p50",
+        "batch p99",
+        "read p50",
+        "read p99",
+        "p99.9",
+        "hit rate"
     );
     for r in &rows {
         println!(
-            "{:>8} {:>8}M {:>8} {:>8} {:>12.0} {:>7.2}ms {:>7.2}ms {:>9.1}%",
+            "{:>8} {:>8}M {:>8} {:>8} {:>12.0} {:>7.2}ms {:>7.2}ms {:>7.2}ms {:>7.2}ms {:>7.2}ms {:>9.1}%",
             r.workers,
             r.cache_mb,
             r.reads,
@@ -524,10 +534,16 @@ fn run_serve(out: &Path) {
             r.reads_per_sec,
             r.p50_ms,
             r.p99_ms,
+            r.hist_p50_ms,
+            r.hist_p99_ms,
+            r.hist_p999_ms,
             r.cache_hit_rate * 100.0
         );
     }
-    println!("(answers verified bit-identical across all configurations)");
+    println!(
+        "(answers verified bit-identical across all configurations; \
+         read percentiles from the qserve.latency.total histogram)"
+    );
     save_json(out, "serve", &rows);
 }
 
@@ -556,6 +572,21 @@ fn run_serve_net(out: &Path) {
             },
             if r.drained_clean { "clean" } else { "FORCED" },
         );
+        println!(
+            "{:<38} read latency p50 {:.2}ms p90 {:.2}ms p99 {:.2}ms p99.9 {:.2}ms",
+            "", r.hist_p50_ms, r.hist_p90_ms, r.hist_p99_ms, r.hist_p999_ms
+        );
+        println!(
+            "{:<38} gates: {} accepted, {} rejected, {} deadline-shed, {} fairness-shed (reads)",
+            "", r.gates.accepted, r.gates.rejected, r.gates.deadline_shed, r.gates.fairness_shed
+        );
+        for (client, g) in &r.per_client {
+            println!(
+                "{:<38}   client {client}: {} accepted, {} rejected, {} deadline-shed, \
+                 {} fairness-shed",
+                "", g.accepted, g.rejected, g.deadline_shed, g.fairness_shed
+            );
+        }
     }
     save_json(out, "serve_net", &rows);
     let broken = rows

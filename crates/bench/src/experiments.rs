@@ -986,8 +986,24 @@ pub struct ServeRow {
     pub p50_ms: f64,
     /// 99th-percentile per-batch latency, milliseconds.
     pub p99_ms: f64,
+    /// Per-read percentiles from the service's `qserve.latency.total`
+    /// histogram (queue wait + execution), milliseconds.
+    pub hist_p50_ms: f64,
+    /// 90th percentile of the same histogram, milliseconds.
+    pub hist_p90_ms: f64,
+    /// 99th percentile of the same histogram, milliseconds.
+    pub hist_p99_ms: f64,
+    /// 99.9th percentile of the same histogram, milliseconds.
+    pub hist_p999_ms: f64,
     /// Postings-cache hit rate over the run (hits / lookups).
     pub cache_hit_rate: f64,
+}
+
+/// Percentiles of a latency histogram recorded in microseconds,
+/// reported in milliseconds: (p50, p90, p99, p99.9).
+fn hist_percentiles_ms(h: &obs::Histogram) -> (f64, f64, f64, f64) {
+    let ms = |q: f64| h.percentile(q) as f64 / 1000.0;
+    (ms(0.50), ms(0.90), ms(0.99), ms(0.999))
 }
 
 /// Query-service benchmark: assemble a small genome, index the contig
@@ -1011,13 +1027,17 @@ pub fn serve(workdir: &Path) -> Result<Vec<ServeRow>, String> {
             },
         )
         .map_err(|e| e.to_string())?;
+        // An enabled recorder so the service's per-read latency
+        // histograms land in the archived row alongside the coarse
+        // per-batch timings.
+        let rec = obs::Recorder::new();
         let svc = qserve::QueryService::start(
             engine,
             qserve::ServiceConfig {
                 workers,
                 ..qserve::ServiceConfig::default()
             },
-            &obs::Recorder::disabled(),
+            &rec,
         );
         let mut answers = Vec::with_capacity(queries.len());
         let mut latencies_ms = Vec::new();
@@ -1043,6 +1063,10 @@ pub fn serve(workdir: &Path) -> Result<Vec<ServeRow>, String> {
         let pct = |p: f64| latencies_ms[((latencies_ms.len() - 1) as f64 * p) as usize];
         let stats = svc.engine().cache_stats();
         let lookups = stats.hits + stats.misses;
+        let hist = obs::Rollup::from_events(&rec.events())
+            .totals()
+            .hist("qserve.latency.total");
+        let (hp50, hp90, hp99, hp999) = hist_percentiles_ms(&hist);
         rows.push(ServeRow {
             workers,
             cache_mb,
@@ -1051,6 +1075,10 @@ pub fn serve(workdir: &Path) -> Result<Vec<ServeRow>, String> {
             reads_per_sec: answers.len() as f64 / elapsed.max(1e-9),
             p50_ms: pct(0.50),
             p99_ms: pct(0.99),
+            hist_p50_ms: hp50,
+            hist_p90_ms: hp90,
+            hist_p99_ms: hp99,
+            hist_p999_ms: hp999,
             cache_hit_rate: stats.hits as f64 / (lookups.max(1)) as f64,
         });
     }
@@ -1112,6 +1140,21 @@ pub struct ServeNetRow {
     pub p50_ms: f64,
     /// 99th-percentile per-batch round-trip latency, milliseconds.
     pub p99_ms: f64,
+    /// Per-read percentiles from the server's `qnet.latency.total`
+    /// histogram (receipt → hits ready), milliseconds.
+    pub hist_p50_ms: f64,
+    /// 90th percentile of the same histogram, milliseconds.
+    pub hist_p90_ms: f64,
+    /// 99th percentile of the same histogram, milliseconds.
+    pub hist_p99_ms: f64,
+    /// 99.9th percentile of the same histogram, milliseconds.
+    pub hist_p999_ms: f64,
+    /// Admission-gate outcomes rolled up from the `qnet.server` trace
+    /// subtree, in reads.
+    pub gates: GateTotals,
+    /// The same outcomes attributed per client id (`client:{id}`
+    /// spans), sorted by client.
+    pub per_client: Vec<(String, GateTotals)>,
     /// Client retries over the whole run.
     pub retries: u64,
     /// True when the network answers matched the in-process answers
@@ -1120,6 +1163,54 @@ pub struct ServeNetRow {
     /// True when the graceful drain finished every in-flight request
     /// inside its deadline.
     pub drained_clean: bool,
+}
+
+/// Reads accepted/shed at each qnet admission gate.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct GateTotals {
+    /// Reads admitted through all four gates and answered.
+    pub accepted: u64,
+    /// Reads shed by the drain or queue-depth gates.
+    pub rejected: u64,
+    /// Reads shed because their deadline budget was already spent.
+    pub deadline_shed: u64,
+    /// Reads shed by the per-client fairness bucket.
+    pub fairness_shed: u64,
+}
+
+fn gate_totals(agg: &obs::SpanAgg) -> GateTotals {
+    GateTotals {
+        accepted: agg.counter("qnet.accepted"),
+        rejected: agg.counter("qnet.rejected"),
+        deadline_shed: agg.counter("qnet.deadline_shed"),
+        fairness_shed: agg.counter("qnet.fairness_shed"),
+    }
+}
+
+/// Walk the `qnet.server` subtree for gate totals and their per-client
+/// attribution (client spans live under per-connection spans, possibly
+/// several per client across reconnects).
+fn qnet_server_rollup(rollup: &obs::Rollup) -> (GateTotals, Vec<(String, GateTotals)>) {
+    let Some(root) = rollup.root_named("qnet.server") else {
+        return (GateTotals::default(), Vec::new());
+    };
+    let totals = gate_totals(&rollup.subtree(root.id));
+    let mut per_client: std::collections::BTreeMap<String, GateTotals> = Default::default();
+    let mut stack = vec![root.id];
+    while let Some(id) = stack.pop() {
+        for child in rollup.children(id) {
+            if let Some(client) = child.name.strip_prefix("client:") {
+                let t = gate_totals(&rollup.subtree(child.id));
+                let row = per_client.entry(client.to_string()).or_default();
+                row.accepted += t.accepted;
+                row.rejected += t.rejected;
+                row.deadline_shed += t.deadline_shed;
+                row.fairness_shed += t.fairness_shed;
+            }
+            stack.push(child.id);
+        }
+    }
+    (totals, per_client.into_iter().collect())
 }
 
 /// Network-serving benchmark: the same 10k-read load as [`serve`], but
@@ -1186,11 +1277,12 @@ pub fn serve_net(workdir: &Path) -> Result<Vec<ServeNetRow>, String> {
 
     let mut rows = Vec::new();
     for (scenario, faults) in scenarios {
-        let svc = qserve::QueryService::start(
-            open_engine()?,
-            qserve::ServiceConfig::default(),
-            &obs::Recorder::disabled(),
-        );
+        // One enabled recorder spans the service and the server, so the
+        // archived row carries the real per-read latency histograms and
+        // the qnet.server admission roll-up.
+        let rec = obs::Recorder::new();
+        let svc =
+            qserve::QueryService::start(open_engine()?, qserve::ServiceConfig::default(), &rec);
         let mut server = qnet::Server::start(
             svc,
             qnet::ServerConfig {
@@ -1199,7 +1291,7 @@ pub fn serve_net(workdir: &Path) -> Result<Vec<ServeNetRow>, String> {
                 drain_deadline: Duration::from_secs(5),
                 ..qnet::ServerConfig::default()
             },
-            &obs::Recorder::disabled(),
+            &rec,
             faults,
         )
         .map_err(|e| e.to_string())?;
@@ -1231,6 +1323,10 @@ pub fn serve_net(workdir: &Path) -> Result<Vec<ServeNetRow>, String> {
         let report = server.shutdown();
         latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
         let pct = |p: f64| latencies_ms[((latencies_ms.len() - 1) as f64 * p) as usize];
+        let rollup = obs::Rollup::from_events(&rec.events());
+        let (hp50, hp90, hp99, hp999) =
+            hist_percentiles_ms(&rollup.totals().hist("qnet.latency.total"));
+        let (gates, per_client) = qnet_server_rollup(&rollup);
         rows.push(ServeNetRow {
             scenario,
             reads: answers.len(),
@@ -1238,6 +1334,12 @@ pub fn serve_net(workdir: &Path) -> Result<Vec<ServeNetRow>, String> {
             reads_per_sec: answers.len() as f64 / elapsed.max(1e-9),
             p50_ms: pct(0.50),
             p99_ms: pct(0.99),
+            hist_p50_ms: hp50,
+            hist_p90_ms: hp90,
+            hist_p99_ms: hp99,
+            hist_p999_ms: hp999,
+            gates,
+            per_client,
             retries: client.retries_total(),
             identical_to_in_process: answers == reference,
             drained_clean: report.completed,

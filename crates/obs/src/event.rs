@@ -1,11 +1,14 @@
 use serde::{Deserialize, Serialize};
 
+use crate::histogram::Histogram;
+
 /// One structured observability event.
 ///
 /// Events serialize to single-line JSON objects tagged by `type`
-/// (`span_start`, `span_end`, `counter`, `metric`, `gauge`), one per
-/// line in a `.jsonl` trace. Span ids are unique within one recorder;
-/// id `0` means "no span" (an unattached measurement).
+/// (`span_start`, `span_end`, `counter`, `metric`, `gauge`,
+/// `histogram`), one per line in a `.jsonl` trace. Span ids are unique
+/// within one recorder; id `0` means "no span" (an unattached
+/// measurement).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(tag = "type", rename_all = "snake_case")]
 pub enum Event {
@@ -24,6 +27,13 @@ pub enum Event {
     Metric { span: u64, name: String, value: f64 },
     /// A high-water mark (e.g. peak bytes). Gauges with the same name **max**.
     Gauge { span: u64, name: String, value: u64 },
+    /// A distribution delta (e.g. latencies from one chunk of work).
+    /// Histograms with the same name **merge** exactly, in any order.
+    Histogram {
+        span: u64,
+        name: String,
+        hist: Histogram,
+    },
 }
 
 impl Event {
@@ -34,7 +44,8 @@ impl Event {
             Event::SpanStart { id, .. } | Event::SpanEnd { id, .. } => *id,
             Event::Counter { span, .. }
             | Event::Metric { span, .. }
-            | Event::Gauge { span, .. } => *span,
+            | Event::Gauge { span, .. }
+            | Event::Histogram { span, .. } => *span,
         }
     }
 }
@@ -66,6 +77,16 @@ mod tests {
                 span: 1,
                 name: "host.peak_bytes".into(),
                 value: 1 << 30,
+            },
+            Event::Histogram {
+                span: 1,
+                name: "qserve.latency.total".into(),
+                hist: {
+                    let mut h = Histogram::new();
+                    h.record(120);
+                    h.record_n(4000, 3);
+                    h
+                },
             },
             Event::SpanEnd {
                 id: 1,

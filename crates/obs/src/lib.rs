@@ -5,13 +5,17 @@
 //! * hierarchical **spans** (`assembly > phase > partition > chunk`)
 //!   carrying wall-clock time, recorded by a [`Recorder`];
 //! * named **counters** (monotonic `u64` increments), **metrics**
-//!   (additive `f64` quantities such as modeled seconds) and **gauges**
-//!   (`u64` high-water marks such as peak bytes), each attached to a span;
-//! * pluggable **sinks** ([`JsonlSink`], [`MemorySink`], [`ProgressSink`])
-//!   that observe every event as it is emitted;
+//!   (additive `f64` quantities such as modeled seconds), **gauges**
+//!   (`u64` high-water marks such as peak bytes) and **histograms**
+//!   ([`Histogram`]: log-bucketed distributions that merge exactly),
+//!   each attached to a span;
+//! * pluggable **sinks** ([`JsonlSink`], [`MemorySink`], [`ProgressSink`],
+//!   and the windowed [`LiveRollup`]) that observe every event as it is
+//!   emitted;
 //! * a [`Rollup`] that rebuilds the span tree from an event stream and
-//!   aggregates counters/metrics/gauges over subtrees, so reports derived
-//!   from a trace can never disagree with the trace itself.
+//!   aggregates counters/metrics/gauges/histograms over subtrees, so
+//!   reports derived from a trace can never disagree with the trace
+//!   itself.
 //!
 //! ```
 //! use obs::{MemorySink, Recorder, Rollup};
@@ -30,11 +34,15 @@
 //! ```
 
 mod event;
+mod histogram;
+mod live;
 mod recorder;
 mod rollup;
 mod sink;
 
 pub use event::Event;
+pub use histogram::Histogram;
+pub use live::LiveRollup;
 pub use recorder::{Recorder, SpanGuard};
 pub use rollup::{Rollup, SpanAgg, SpanNode};
 pub use sink::{JsonlSink, MemoryHandle, MemorySink, ProgressSink, Sink};

@@ -4,6 +4,7 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
 use crate::event::Event;
+use crate::histogram::Histogram;
 use crate::sink::{MemoryHandle, MemorySink, Sink};
 
 /// Records structured events: spans, counters, metrics, gauges.
@@ -26,6 +27,9 @@ pub struct Recorder {
 struct Inner {
     start: Instant,
     next_id: AtomicU64,
+    /// When `false`, events flow to sinks but are not kept in memory
+    /// (the long-running server mode; see [`Recorder::sink_only`]).
+    buffer: bool,
     state: Mutex<State>,
 }
 
@@ -61,6 +65,23 @@ impl Recorder {
             inner: Some(Arc::new(Inner {
                 start: Instant::now(),
                 next_id: AtomicU64::new(1),
+                buffer: true,
+                state: Mutex::new(State::default()),
+            })),
+        }
+    }
+
+    /// A live recorder that forwards every event to its sinks but keeps
+    /// nothing in memory — [`Recorder::events`] stays empty. Use for
+    /// long-running servers, where the in-memory buffer would otherwise
+    /// grow without bound while a [`crate::LiveRollup`] (or a JSONL
+    /// sink) captures the stream.
+    pub fn sink_only() -> Self {
+        Recorder {
+            inner: Some(Arc::new(Inner {
+                start: Instant::now(),
+                next_id: AtomicU64::new(1),
+                buffer: false,
                 state: Mutex::new(State::default()),
             })),
         }
@@ -138,7 +159,9 @@ impl Recorder {
         for sink in st.sinks.iter_mut() {
             sink.record(&event);
         }
-        st.events.push(event);
+        if inner.buffer {
+            st.events.push(event);
+        }
         if push {
             st.stack.push(id);
         }
@@ -207,6 +230,27 @@ impl Recorder {
         });
     }
 
+    /// Merge `hist` into histogram `name` on the current span.
+    pub fn histogram(&self, name: &str, hist: Histogram) {
+        if self.is_enabled() {
+            self.histogram_on(self.current(), name, hist);
+        }
+    }
+
+    /// Merge `hist` into histogram `name` on span `span`. Emit one
+    /// event per chunk of work, not per value: the rollup merges deltas
+    /// exactly, whatever order they arrive in.
+    pub fn histogram_on(&self, span: u64, name: &str, hist: Histogram) {
+        if hist.is_empty() {
+            return;
+        }
+        self.emit(Event::Histogram {
+            span,
+            name: name.to_string(),
+            hist,
+        });
+    }
+
     /// A snapshot of every event recorded so far, in emit order.
     pub fn events(&self) -> Vec<Event> {
         match &self.inner {
@@ -221,7 +265,9 @@ impl Recorder {
             for sink in st.sinks.iter_mut() {
                 sink.record(&event);
             }
-            st.events.push(event);
+            if inner.buffer {
+                st.events.push(event);
+            }
         }
     }
 }
@@ -262,7 +308,9 @@ impl Drop for SpanGuard {
         for sink in st.sinks.iter_mut() {
             sink.record(&event);
         }
-        st.events.push(event);
+        if inner.buffer {
+            st.events.push(event);
+        }
     }
 }
 
@@ -280,6 +328,27 @@ mod tests {
         drop(span);
         assert!(!rec.is_enabled());
         assert!(rec.events().is_empty());
+    }
+
+    #[test]
+    fn sink_only_recorder_feeds_sinks_without_buffering() {
+        let rec = Recorder::sink_only();
+        let handle = rec.add_memory_sink();
+        {
+            let _span = rec.span("phase");
+            rec.counter("n", 2);
+            let mut h = Histogram::new();
+            h.record(5);
+            rec.histogram("lat", h);
+            rec.histogram("empty", Histogram::new()); // dropped
+        }
+        assert!(rec.is_enabled());
+        assert!(rec.events().is_empty(), "sink-only keeps nothing");
+        // start, counter, histogram, end — the empty histogram is elided.
+        assert_eq!(handle.events().len(), 4);
+        let rollup = Rollup::from_events(&handle.events());
+        let root = rollup.root_named("phase").unwrap();
+        assert_eq!(rollup.subtree(root.id).hist("lat").count(), 1);
     }
 
     #[test]

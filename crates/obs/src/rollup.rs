@@ -1,15 +1,19 @@
 use std::collections::BTreeMap;
 
 use crate::event::Event;
+use crate::histogram::Histogram;
 
-/// Aggregated counters/metrics/gauges for one span (or a subtree).
+/// Aggregated counters/metrics/gauges/histograms for one span (or a
+/// subtree).
 ///
-/// Counters and metrics are additive; gauges keep the maximum.
+/// Counters and metrics are additive; gauges keep the maximum;
+/// histograms merge exactly.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SpanAgg {
     pub counters: BTreeMap<String, u64>,
     pub metrics: BTreeMap<String, f64>,
     pub gauges: BTreeMap<String, u64>,
+    pub hists: BTreeMap<String, Histogram>,
 }
 
 impl SpanAgg {
@@ -28,7 +32,13 @@ impl SpanAgg {
         self.gauges.get(name).copied().unwrap_or(0)
     }
 
-    /// Fold another aggregate in: sum counters/metrics, max gauges.
+    /// Merged histogram for `name`, empty when absent.
+    pub fn hist(&self, name: &str) -> Histogram {
+        self.hists.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Fold another aggregate in: sum counters/metrics, max gauges,
+    /// merge histograms.
     pub fn absorb(&mut self, other: &SpanAgg) {
         for (name, value) in &other.counters {
             *self.counters.entry(name.clone()).or_insert(0) += value;
@@ -39,6 +49,9 @@ impl SpanAgg {
         for (name, value) in &other.gauges {
             let slot = self.gauges.entry(name.clone()).or_insert(0);
             *slot = (*slot).max(*value);
+        }
+        for (name, hist) in &other.hists {
+            self.hists.entry(name.clone()).or_default().merge(hist);
         }
     }
 }
@@ -133,6 +146,13 @@ impl Rollup {
                     let slot = agg.gauges.entry(name.clone()).or_insert(0);
                     *slot = (*slot).max(*value);
                 }
+                Event::Histogram { span, name, hist } => {
+                    let agg = match rollup.nodes.get_mut(span) {
+                        Some(node) => &mut node.own,
+                        None => &mut rollup.unattached,
+                    };
+                    agg.hists.entry(name.clone()).or_default().merge(hist);
+                }
             }
         }
         rollup
@@ -200,6 +220,18 @@ impl Rollup {
         agg
     }
 
+    /// Everything in the trace folded into one aggregate: every span's
+    /// own measurements plus the unattached bucket. Span identity is
+    /// erased, which is exactly what whole-run summaries (live `Stats`
+    /// snapshots, percentile tables) want.
+    pub fn totals(&self) -> SpanAgg {
+        let mut agg = self.unattached.clone();
+        for node in self.nodes.values() {
+            agg.absorb(&node.own);
+        }
+        agg
+    }
+
     /// Measurements that named a span the trace never opened (or span 0).
     pub fn unattached(&self) -> &SpanAgg {
         &self.unattached
@@ -244,6 +276,42 @@ mod tests {
         assert_eq!(agg.gauge("peak"), 25);
         // Own measurements exclude children.
         assert_eq!(root.own.counter("n"), 1);
+    }
+
+    #[test]
+    fn histograms_merge_across_spans_and_totals_cover_everything() {
+        let rec = Recorder::new();
+        {
+            let phase = rec.span("phase");
+            let mut h = Histogram::new();
+            h.record_n(100, 10);
+            rec.histogram_on(phase.id(), "lat", h);
+            {
+                let part = rec.span("part");
+                let mut h = Histogram::new();
+                h.record_n(200, 5);
+                rec.histogram_on(part.id(), "lat", h);
+            }
+        }
+        // An orphan histogram lands in the unattached bucket.
+        let mut events = rec.events();
+        let mut orphan = Histogram::new();
+        orphan.record(7);
+        events.push(Event::Histogram {
+            span: 9999,
+            name: "lat".into(),
+            hist: orphan,
+        });
+        let rollup = Rollup::from_events(&events);
+        let root = rollup.root_named("phase").unwrap();
+        assert_eq!(root.own.hist("lat").count(), 10);
+        assert_eq!(rollup.subtree(root.id).hist("lat").count(), 15);
+        assert_eq!(rollup.unattached().hist("lat").count(), 1);
+        let totals = rollup.totals().hist("lat");
+        assert_eq!(totals.count(), 16);
+        assert_eq!(totals.min(), 7);
+        assert_eq!(totals.max(), 200);
+        assert_eq!(rollup.totals().hist("absent"), Histogram::new());
     }
 
     #[test]

@@ -20,7 +20,7 @@ use std::io::{BufReader, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
-use crate::proto::{Request, Response};
+use crate::proto::{PongStatus, Request, Response, StatsSnapshot};
 use crate::QnetError;
 use genome::PackedSeq;
 use obs::Recorder;
@@ -141,6 +141,28 @@ impl QueryClient {
     pub fn ping(&mut self) -> crate::Result<(bool, bool)> {
         match self.round_trip(&Request::Ping)? {
             Response::Pong { ready, draining } => Ok((ready, draining)),
+            other => Err(self.unexpected(&other)),
+        }
+    }
+
+    /// Probe the server with the richer v2 ping. Single attempt, like
+    /// [`Self::ping`]. Servers that predate the `PingV2` tag treat the
+    /// unknown tag as corruption and drop the connection, which
+    /// surfaces here as an error — callers wanting to interoperate with
+    /// old servers should fall back to [`Self::ping`].
+    pub fn ping_v2(&mut self) -> crate::Result<PongStatus> {
+        match self.round_trip(&Request::PingV2)? {
+            Response::PongV2(status) => Ok(status),
+            other => Err(self.unexpected(&other)),
+        }
+    }
+
+    /// Fetch a live telemetry snapshot. Single attempt; `Stats` is
+    /// admission-gate-exempt on the server, so this works mid-drain and
+    /// mid-overload.
+    pub fn stats(&mut self) -> crate::Result<StatsSnapshot> {
+        match self.round_trip(&Request::Stats)? {
+            Response::Stats(snapshot) => Ok(snapshot),
             other => Err(self.unexpected(&other)),
         }
     }

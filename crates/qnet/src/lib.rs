@@ -43,7 +43,10 @@ pub mod proto;
 pub mod server;
 
 pub use client::{ClientConfig, QueryClient};
-pub use proto::{Request, Response, ShedScope};
+pub use proto::{
+    ClientStats, LatencySummary, PongStatus, Request, Response, ShedScope, StatsSnapshot,
+    STATS_VERSION,
+};
 pub use server::{DrainReport, Server, ServerConfig};
 
 /// Errors surfaced by the qnet client and server.

@@ -18,6 +18,7 @@
 use crate::QnetError;
 use genome::PackedSeq;
 use qserve::Hit;
+use serde::{Deserialize, Serialize};
 
 /// Which admission gate shed a batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,10 +58,117 @@ pub enum Request {
     Ping,
     /// Ask the server to begin a graceful drain.
     Shutdown,
+    /// Full telemetry snapshot. Admission-gate-exempt like `Ping`:
+    /// answered even mid-drain, never queued behind query work.
+    Stats,
+    /// Extended probe: like `Ping` but the reply
+    /// ([`Response::PongV2`]) carries queue depth and the drain-rate
+    /// EWMA so a load balancer can steer without a full `Stats` round
+    /// trip. Old peers keep using `Ping`/`Pong`; both stay answered.
+    PingV2,
+}
+
+/// Schema version carried in every [`StatsSnapshot`].
+pub const STATS_VERSION: u32 = 1;
+
+/// A versioned point-in-time telemetry snapshot of a running server.
+///
+/// Counters come from the server's live roll-up of the same events the
+/// JSONL trace records, so a snapshot taken after all in-flight work
+/// drained equals the post-hoc [`obs::Rollup`] of the trace exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Schema version ([`STATS_VERSION`]).
+    pub version: u32,
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// True when a graceful drain is underway.
+    pub draining: bool,
+    /// Queries admitted but not yet answered.
+    pub inflight: u64,
+    /// Chunks queued in the worker pool right now.
+    pub queue_depth: u64,
+    /// Reads fully resolved since start.
+    pub drained_reads: u64,
+    /// Smoothed drain rate (reads/s); `0` until primed.
+    pub drain_ewma_reads_per_s: f64,
+    /// Reads admitted through every gate (`qnet.accepted`).
+    pub accepted: u64,
+    /// Reads shed at the queue-depth gate (`qnet.rejected`).
+    pub rejected: u64,
+    /// Reads shed with their deadline already spent (`qnet.deadline_shed`).
+    pub deadline_shed: u64,
+    /// Reads shed at the per-client fairness gate (`qnet.fairness_shed`).
+    pub fairness_shed: u64,
+    /// Per-client gate totals and fairness state, sorted by client id.
+    pub clients: Vec<ClientStats>,
+    /// Latency distributions (microseconds), sorted by name.
+    pub latency: Vec<LatencySummary>,
+}
+
+/// One client's admission history and current fairness state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClientStats {
+    pub client_id: String,
+    pub accepted: u64,
+    pub rejected: u64,
+    pub deadline_shed: u64,
+    pub fairness_shed: u64,
+    /// Tokens currently in the client's fairness bucket.
+    pub tokens: f64,
+    /// The client's fairness weight.
+    pub weight: f64,
+}
+
+/// One latency histogram summarized: exact count/sum/min/max plus
+/// deterministic percentiles, all in microseconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    pub name: String,
+    pub count: u64,
+    pub sum_us: u64,
+    pub min_us: u64,
+    pub max_us: u64,
+    pub p50_us: u64,
+    pub p90_us: u64,
+    pub p99_us: u64,
+    pub p999_us: u64,
+}
+
+impl LatencySummary {
+    /// Summarize a histogram. Percentiles are [`obs::Histogram::percentile`],
+    /// so a summary of the merged live windows equals a summary of the
+    /// rolled-up trace.
+    pub fn from_hist(name: &str, h: &obs::Histogram) -> LatencySummary {
+        LatencySummary {
+            name: name.to_string(),
+            count: h.count(),
+            sum_us: h.sum(),
+            min_us: h.min(),
+            max_us: h.max(),
+            p50_us: h.percentile(0.50),
+            p90_us: h.percentile(0.90),
+            p99_us: h.percentile(0.99),
+            p999_us: h.percentile(0.999),
+        }
+    }
+}
+
+/// The [`Response::PongV2`] payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PongStatus {
+    /// True when the server is accepting queries.
+    pub ready: bool,
+    /// True when a graceful drain is underway.
+    pub draining: bool,
+    /// Chunks queued in the worker pool right now.
+    pub queue_depth: u64,
+    /// Smoothed drain rate (reads/s); `0` until primed.
+    pub drain_ewma_reads_per_s: f64,
 }
 
 /// A server-to-client message.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// Per-read placements, aligned with the request's `reads`.
     Hits {
@@ -108,11 +216,17 @@ pub enum Response {
     },
     /// Acknowledgement that a graceful drain has begun.
     ShutdownAck,
+    /// Telemetry snapshot ([`Request::Stats`] answer).
+    Stats(StatsSnapshot),
+    /// Extended probe answer ([`Request::PingV2`] answer).
+    PongV2(PongStatus),
 }
 
 const TAG_QUERY: u8 = 1;
 const TAG_PING: u8 = 2;
 const TAG_SHUTDOWN: u8 = 3;
+const TAG_STATS_REQ: u8 = 4;
+const TAG_PING_V2: u8 = 5;
 
 const TAG_HITS: u8 = 1;
 const TAG_PONG: u8 = 2;
@@ -121,6 +235,11 @@ const TAG_DRAINING: u8 = 4;
 const TAG_DEADLINE: u8 = 5;
 const TAG_ERROR: u8 = 6;
 const TAG_SHUTDOWN_ACK: u8 = 7;
+const TAG_STATS: u8 = 8;
+const TAG_PONG_V2: u8 = 9;
+
+/// Largest `clients`/`latency` list length accepted in a snapshot.
+const MAX_STATS_ROWS: usize = 1 << 16;
 
 /// Longest client id / error message accepted on the wire.
 const MAX_STRING_BYTES: usize = 4096;
@@ -260,6 +379,8 @@ impl Request {
             }
             Request::Ping => out.push(TAG_PING),
             Request::Shutdown => out.push(TAG_SHUTDOWN),
+            Request::Stats => out.push(TAG_STATS_REQ),
+            Request::PingV2 => out.push(TAG_PING_V2),
         }
         out
     }
@@ -286,6 +407,8 @@ impl Request {
             }
             TAG_PING => Request::Ping,
             TAG_SHUTDOWN => Request::Shutdown,
+            TAG_STATS_REQ => Request::Stats,
+            TAG_PING_V2 => Request::PingV2,
             t => return Err(c.corrupt(format!("unknown request tag {t}"))),
         };
         c.finish()?;
@@ -359,6 +482,51 @@ impl Response {
                 put_str(&mut out, message);
             }
             Response::ShutdownAck => out.push(TAG_SHUTDOWN_ACK),
+            Response::Stats(s) => {
+                out.push(TAG_STATS);
+                put_u32(&mut out, s.version);
+                put_u64(&mut out, s.uptime_ms);
+                out.push(s.draining as u8);
+                put_u64(&mut out, s.inflight);
+                put_u64(&mut out, s.queue_depth);
+                put_u64(&mut out, s.drained_reads);
+                // f64 travels as raw IEEE bits so the snapshot a client
+                // decodes is bit-identical to what the server measured.
+                put_u64(&mut out, s.drain_ewma_reads_per_s.to_bits());
+                put_u64(&mut out, s.accepted);
+                put_u64(&mut out, s.rejected);
+                put_u64(&mut out, s.deadline_shed);
+                put_u64(&mut out, s.fairness_shed);
+                put_u32(&mut out, s.clients.len() as u32);
+                for cl in &s.clients {
+                    put_str(&mut out, &cl.client_id);
+                    put_u64(&mut out, cl.accepted);
+                    put_u64(&mut out, cl.rejected);
+                    put_u64(&mut out, cl.deadline_shed);
+                    put_u64(&mut out, cl.fairness_shed);
+                    put_u64(&mut out, cl.tokens.to_bits());
+                    put_u64(&mut out, cl.weight.to_bits());
+                }
+                put_u32(&mut out, s.latency.len() as u32);
+                for lat in &s.latency {
+                    put_str(&mut out, &lat.name);
+                    put_u64(&mut out, lat.count);
+                    put_u64(&mut out, lat.sum_us);
+                    put_u64(&mut out, lat.min_us);
+                    put_u64(&mut out, lat.max_us);
+                    put_u64(&mut out, lat.p50_us);
+                    put_u64(&mut out, lat.p90_us);
+                    put_u64(&mut out, lat.p99_us);
+                    put_u64(&mut out, lat.p999_us);
+                }
+            }
+            Response::PongV2(p) => {
+                out.push(TAG_PONG_V2);
+                out.push(p.ready as u8);
+                out.push(p.draining as u8);
+                put_u64(&mut out, p.queue_depth);
+                put_u64(&mut out, p.drain_ewma_reads_per_s.to_bits());
+            }
         }
         out
     }
@@ -435,6 +603,80 @@ impl Response {
                 }
             }
             TAG_SHUTDOWN_ACK => Response::ShutdownAck,
+            TAG_STATS => {
+                let version = c.u32("stats version")?;
+                let uptime_ms = c.u64("uptime")?;
+                let draining = c.u8("draining flag")? != 0;
+                let inflight = c.u64("inflight")?;
+                let queue_depth = c.u64("queue depth")?;
+                let drained_reads = c.u64("drained reads")?;
+                let drain_ewma_reads_per_s = f64::from_bits(c.u64("drain ewma")?);
+                let accepted = c.u64("accepted")?;
+                let rejected = c.u64("rejected")?;
+                let deadline_shed = c.u64("deadline shed")?;
+                let fairness_shed = c.u64("fairness shed")?;
+                let n_clients = c.u32("client count")? as usize;
+                if n_clients > MAX_STATS_ROWS {
+                    return Err(c.corrupt(format!("client count {n_clients} is absurd")));
+                }
+                let mut clients = Vec::with_capacity(n_clients);
+                for _ in 0..n_clients {
+                    clients.push(ClientStats {
+                        client_id: c.string("client id")?,
+                        accepted: c.u64("client accepted")?,
+                        rejected: c.u64("client rejected")?,
+                        deadline_shed: c.u64("client deadline shed")?,
+                        fairness_shed: c.u64("client fairness shed")?,
+                        tokens: f64::from_bits(c.u64("client tokens")?),
+                        weight: f64::from_bits(c.u64("client weight")?),
+                    });
+                }
+                let n_lat = c.u32("latency count")? as usize;
+                if n_lat > MAX_STATS_ROWS {
+                    return Err(c.corrupt(format!("latency count {n_lat} is absurd")));
+                }
+                let mut latency = Vec::with_capacity(n_lat);
+                for _ in 0..n_lat {
+                    latency.push(LatencySummary {
+                        name: c.string("latency name")?,
+                        count: c.u64("latency count")?,
+                        sum_us: c.u64("latency sum")?,
+                        min_us: c.u64("latency min")?,
+                        max_us: c.u64("latency max")?,
+                        p50_us: c.u64("latency p50")?,
+                        p90_us: c.u64("latency p90")?,
+                        p99_us: c.u64("latency p99")?,
+                        p999_us: c.u64("latency p999")?,
+                    });
+                }
+                Response::Stats(StatsSnapshot {
+                    version,
+                    uptime_ms,
+                    draining,
+                    inflight,
+                    queue_depth,
+                    drained_reads,
+                    drain_ewma_reads_per_s,
+                    accepted,
+                    rejected,
+                    deadline_shed,
+                    fairness_shed,
+                    clients,
+                    latency,
+                })
+            }
+            TAG_PONG_V2 => {
+                let ready = c.u8("ready flag")? != 0;
+                let draining = c.u8("draining flag")? != 0;
+                let queue_depth = c.u64("queue depth")?;
+                let drain_ewma_reads_per_s = f64::from_bits(c.u64("drain ewma")?);
+                Response::PongV2(PongStatus {
+                    ready,
+                    draining,
+                    queue_depth,
+                    drain_ewma_reads_per_s,
+                })
+            }
             t => return Err(c.corrupt(format!("unknown response tag {t}"))),
         };
         c.finish()?;
@@ -484,6 +726,8 @@ mod tests {
         assert_eq!(roundtrip_req(&req), req);
         assert_eq!(roundtrip_req(&Request::Ping), Request::Ping);
         assert_eq!(roundtrip_req(&Request::Shutdown), Request::Shutdown);
+        assert_eq!(roundtrip_req(&Request::Stats), Request::Stats);
+        assert_eq!(roundtrip_req(&Request::PingV2), Request::PingV2);
 
         // Empty batch is legal on the wire (the server sheds it cheaply).
         let empty = Request::Query {
@@ -540,6 +784,99 @@ mod tests {
         ] {
             assert_eq!(roundtrip_resp(&resp), resp);
         }
+    }
+
+    #[test]
+    fn stats_and_pong_v2_roundtrip_with_exact_floats() {
+        let snap = StatsSnapshot {
+            version: STATS_VERSION,
+            uptime_ms: 123_456,
+            draining: true,
+            inflight: 3,
+            queue_depth: 17,
+            drained_reads: 1_000_000,
+            drain_ewma_reads_per_s: 0.1 + 0.2, // not representable cleanly
+            accepted: 999_983,
+            rejected: 12,
+            deadline_shed: 4,
+            fairness_shed: 1,
+            clients: vec![
+                ClientStats {
+                    client_id: "alpha".into(),
+                    accepted: 500_000,
+                    rejected: 12,
+                    deadline_shed: 0,
+                    fairness_shed: 1,
+                    tokens: 19_999.875,
+                    weight: 2.0,
+                },
+                ClientStats {
+                    client_id: "beta".into(),
+                    accepted: 499_983,
+                    rejected: 0,
+                    deadline_shed: 4,
+                    fairness_shed: 0,
+                    tokens: 1.0 / 3.0,
+                    weight: 1.0,
+                },
+            ],
+            latency: vec![LatencySummary {
+                name: "qnet.latency.total".into(),
+                count: 999_983,
+                sum_us: 88_123_456,
+                min_us: 12,
+                max_us: 91_011,
+                p50_us: 70,
+                p90_us: 150,
+                p99_us: 4_200,
+                p999_us: 88_064,
+            }],
+        };
+        let resp = Response::Stats(snap.clone());
+        assert_eq!(roundtrip_resp(&resp), resp);
+
+        // An empty snapshot (fresh server) is legal too.
+        let empty = Response::Stats(StatsSnapshot {
+            version: STATS_VERSION,
+            uptime_ms: 0,
+            draining: false,
+            inflight: 0,
+            queue_depth: 0,
+            drained_reads: 0,
+            drain_ewma_reads_per_s: 0.0,
+            accepted: 0,
+            rejected: 0,
+            deadline_shed: 0,
+            fairness_shed: 0,
+            clients: Vec::new(),
+            latency: Vec::new(),
+        });
+        assert_eq!(roundtrip_resp(&empty), empty);
+
+        let pong = Response::PongV2(PongStatus {
+            ready: true,
+            draining: false,
+            queue_depth: 42,
+            drain_ewma_reads_per_s: 10_000.25,
+        });
+        assert_eq!(roundtrip_resp(&pong), pong);
+    }
+
+    #[test]
+    fn latency_summary_matches_the_histogram_it_came_from() {
+        let mut h = obs::Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = LatencySummary::from_hist("lat", &h);
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.min_us, 1);
+        assert_eq!(s.max_us, 1000);
+        assert_eq!(s.p50_us, h.percentile(0.50));
+        assert_eq!(s.p90_us, h.percentile(0.90));
+        assert_eq!(s.p99_us, h.percentile(0.99));
+        assert_eq!(s.p999_us, h.percentile(0.999));
+        assert!(s.p50_us <= s.p90_us && s.p90_us <= s.p99_us && s.p99_us <= s.p999_us);
     }
 
     #[test]

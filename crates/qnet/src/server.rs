@@ -23,7 +23,7 @@
 //! fairness hints from the bucket's own refill math, queue hints from a
 //! live EWMA of the worker pool's drain rate ([`DrainRate`]).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::io::{BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -31,9 +31,17 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crate::proto::{Request, Response, ShedScope};
-use obs::{Recorder, SpanGuard};
+use crate::proto::{
+    ClientStats, LatencySummary, PongStatus, Request, Response, ShedScope, StatsSnapshot,
+    STATS_VERSION,
+};
+use obs::{Histogram, LiveRollup, Recorder, SpanGuard};
 use qserve::{FairAdmission, FairShed, QserveError, QueryService};
+
+/// Window size of the server's live telemetry ring.
+const STATS_WINDOW: Duration = Duration::from_secs(1);
+/// Windows retained — one minute of 1 s windows.
+const STATS_WINDOWS: usize = 60;
 
 /// Tuning for [`Server`]. The defaults suit an interactive serving tier;
 /// tests shrink the timeouts to keep chaos runs fast.
@@ -89,6 +97,11 @@ struct DrainRate {
     last_s: f64,
     ewma_reads_per_s: f64,
     primed: bool,
+    /// True once the EWMA holds a real estimate. Seeding used to key on
+    /// `ewma_reads_per_s == 0.0`, which mistook a genuinely idle window
+    /// (instantaneous rate 0) for "never measured" and let the next
+    /// burst overwrite the average instead of blending into it.
+    seeded: bool,
 }
 
 impl DrainRate {
@@ -98,6 +111,7 @@ impl DrainRate {
             last_s: 0.0,
             ewma_reads_per_s: 0.0,
             primed: false,
+            seeded: false,
         }
     }
 
@@ -115,19 +129,24 @@ impl DrainRate {
             return;
         }
         let inst = total_reads.saturating_sub(self.last_total) as f64 / dt;
-        self.ewma_reads_per_s = if self.ewma_reads_per_s == 0.0 {
-            inst
-        } else {
+        self.ewma_reads_per_s = if self.seeded {
             0.3 * inst + 0.7 * self.ewma_reads_per_s
+        } else {
+            inst
         };
+        self.seeded = true;
         self.last_total = total_reads;
         self.last_s = now_s;
     }
 
     /// Milliseconds until `backlog_reads` drain at the estimated rate,
-    /// clamped to [10, 5000]. Before any estimate exists, a flat 100 ms.
+    /// clamped to [10, 5000]. An empty backlog needs no wait at all and
+    /// returns 0; before any estimate exists, a flat 100 ms.
     fn retry_hint_ms(&self, backlog_reads: u64) -> u32 {
-        if self.ewma_reads_per_s < 1.0 {
+        if backlog_reads == 0 {
+            return 0;
+        }
+        if !self.seeded || self.ewma_reads_per_s < 1.0 {
             return 100;
         }
         let ms = (backlog_reads as f64 / self.ewma_reads_per_s * 1000.0).ceil();
@@ -135,14 +154,29 @@ impl DrainRate {
     }
 }
 
+/// Per-client gate outcomes, counted in reads. Incremented at exactly
+/// the same points as the `qnet.*` trace counters, so a live
+/// [`StatsSnapshot`] agrees with a post-hoc [`obs::Rollup`] of the same
+/// run — and keeps counting even when the recorder is disabled.
+#[derive(Debug, Clone, Copy, Default)]
+struct ClientTotals {
+    accepted: u64,
+    rejected: u64,
+    deadline_shed: u64,
+    fairness_shed: u64,
+}
+
 struct Inner {
     service: QueryService,
     admission: FairAdmission,
     rec: Recorder,
+    /// Windowed telemetry teed off the recorder's sink path; the source
+    /// of the latency percentiles in [`StatsSnapshot`].
+    live: LiveRollup,
     faults: faultsim::Faults,
     cfg: ServerConfig,
     server_span: u64,
-    /// Monotonic epoch for admission/drain-rate clocks.
+    /// Monotonic epoch for admission/drain-rate clocks and uptime.
     epoch: Instant,
     /// Set once a drain begins; gates both accept and query admission.
     draining: AtomicBool,
@@ -156,6 +190,7 @@ struct Inner {
     shutdown_requested: Mutex<bool>,
     shutdown_cv: Condvar,
     drain_rate: Mutex<DrainRate>,
+    client_totals: Mutex<BTreeMap<String, ClientTotals>>,
 }
 
 impl Inner {
@@ -165,6 +200,83 @@ impl Inner {
 
     fn is_draining(&self) -> bool {
         self.draining.load(Ordering::SeqCst)
+    }
+
+    fn charge_client(&self, client_id: &str, apply: impl FnOnce(&mut ClientTotals)) {
+        let mut totals = self.client_totals.lock().unwrap_or_else(|e| e.into_inner());
+        apply(totals.entry(client_id.to_string()).or_default());
+    }
+
+    fn drain_ewma(&self) -> f64 {
+        let dr = self.drain_rate.lock().unwrap_or_else(|e| e.into_inner());
+        if dr.seeded {
+            dr.ewma_reads_per_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Assemble the versioned [`StatsSnapshot`] answered to
+    /// [`Request::Stats`]. Gate counters come from [`ClientTotals`] (so
+    /// they are exact even with a disabled recorder); latency summaries
+    /// come from the live rollup's cumulative histograms.
+    fn stats_snapshot(&self) -> StatsSnapshot {
+        let totals = self.live.totals();
+        let now_s = self.now_s();
+        let fair: BTreeMap<String, (f64, f64)> = self
+            .admission
+            .snapshot(now_s)
+            .into_iter()
+            .map(|(client, tokens, weight)| (client, (tokens, weight)))
+            .collect();
+        let per_client = self
+            .client_totals
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        let mut ids: BTreeSet<String> = per_client.keys().cloned().collect();
+        ids.extend(fair.keys().cloned());
+        let burst = self.cfg.admission.burst;
+        let clients: Vec<ClientStats> = ids
+            .into_iter()
+            .map(|id| {
+                let t = per_client.get(&id).copied().unwrap_or_default();
+                // A client can be shed at the deadline gate without ever
+                // touching fairness; its bucket is then still virgin —
+                // report the full burst it would start with.
+                let (tokens, weight) = fair.get(&id).copied().unwrap_or((burst, 1.0));
+                ClientStats {
+                    client_id: id,
+                    accepted: t.accepted,
+                    rejected: t.rejected,
+                    deadline_shed: t.deadline_shed,
+                    fairness_shed: t.fairness_shed,
+                    tokens,
+                    weight,
+                }
+            })
+            .collect();
+        let sum = |pick: fn(&ClientStats) -> u64| clients.iter().map(pick).sum();
+        let latency: Vec<LatencySummary> = totals
+            .hists
+            .iter()
+            .map(|(name, h)| LatencySummary::from_hist(name, h))
+            .collect();
+        StatsSnapshot {
+            version: STATS_VERSION,
+            uptime_ms: self.epoch.elapsed().as_millis() as u64,
+            draining: self.is_draining(),
+            inflight: self.inflight.load(Ordering::SeqCst),
+            queue_depth: self.service.queue_depth() as u64,
+            drained_reads: self.service.drained_reads(),
+            drain_ewma_reads_per_s: self.drain_ewma(),
+            accepted: sum(|c| c.accepted),
+            rejected: sum(|c| c.rejected),
+            deadline_shed: sum(|c| c.deadline_shed),
+            fairness_shed: sum(|c| c.fairness_shed),
+            clients,
+            latency,
+        }
     }
 }
 
@@ -224,10 +336,16 @@ impl Server {
             },
             "qnet.server",
         );
+        // Tee every event this recorder sees into a windowed live
+        // aggregate; `Stats` percentiles are read from here without
+        // touching the trace buffer.
+        let live = LiveRollup::new(STATS_WINDOW, STATS_WINDOWS);
+        rec.add_sink(Box::new(live.clone()));
         let inner = Arc::new(Inner {
             admission: FairAdmission::new(cfg.admission),
             service,
             rec: rec.clone(),
+            live,
             faults,
             cfg,
             server_span: span.id(),
@@ -240,6 +358,7 @@ impl Server {
             shutdown_requested: Mutex::new(false),
             shutdown_cv: Condvar::new(),
             drain_rate: Mutex::new(DrainRate::new()),
+            client_totals: Mutex::new(BTreeMap::new()),
         });
         let accept_inner = Arc::clone(&inner);
         let accept = std::thread::spawn(move || accept_loop(accept_inner, listener));
@@ -482,6 +601,19 @@ fn handle_conn(inner: Arc<Inner>, sock: TcpStream, peer: SocketAddr, idx: u64) {
                 },
                 None,
             ),
+            // Health and telemetry probes bypass every admission gate,
+            // like `Ping`: a draining or overloaded server must still
+            // answer "how are you doing".
+            Request::PingV2 => (
+                Response::PongV2(PongStatus {
+                    ready: !inner.is_draining(),
+                    draining: inner.is_draining(),
+                    queue_depth: inner.service.queue_depth() as u64,
+                    drain_ewma_reads_per_s: inner.drain_ewma(),
+                }),
+                None,
+            ),
+            Request::Stats => (Response::Stats(inner.stats_snapshot()), None),
             Request::Shutdown => {
                 let mut g = inner
                     .shutdown_requested
@@ -578,6 +710,7 @@ fn handle_query(
     // Gate 1: drain.
     if inner.is_draining() {
         inner.rec.counter_on(client_span, "qnet.rejected", n_reads);
+        inner.charge_client(client_id, |t| t.rejected += n_reads);
         return (Response::Draining { request_id }, None);
     }
 
@@ -588,6 +721,7 @@ fn handle_query(
         inner
             .rec
             .counter_on(client_span, "qnet.deadline_shed", n_reads);
+        inner.charge_client(client_id, |t| t.deadline_shed += n_reads);
         return (Response::DeadlineExceeded { request_id }, None);
     }
 
@@ -596,6 +730,7 @@ fn handle_query(
         inner
             .rec
             .counter_on(client_span, "qnet.fairness_shed", n_reads);
+        inner.charge_client(client_id, |t| t.fairness_shed += n_reads);
         let adm = inner.cfg.admission;
         let deficit_reads = (wait_s * adm.refill_per_s).ceil() as u64;
         let retry_after_ms = ((wait_s * 1000.0).ceil()).clamp(10.0, 5000.0) as u32;
@@ -617,6 +752,7 @@ fn handle_query(
             queued, max_queue, ..
         }) => {
             inner.rec.counter_on(client_span, "qnet.rejected", n_reads);
+            inner.charge_client(client_id, |t| t.rejected += n_reads);
             let backlog_reads = queued as u64 * inner.service.config().batch_chunk.max(1) as u64;
             let retry_after_ms = inner
                 .drain_rate
@@ -643,13 +779,39 @@ fn handle_query(
         ),
         Ok(handle) => {
             let guard = InflightGuard::new(inner);
+            let admitted = Instant::now();
             let hits = handle.wait();
+            let done = Instant::now();
             inner
                 .drain_rate
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .observe(inner.now_s(), inner.service.drained_reads());
             inner.rec.counter_on(client_span, "qnet.accepted", n_reads);
+            inner.charge_client(client_id, |t| t.accepted += n_reads);
+            if inner.rec.is_enabled() {
+                // Front-end latency split, charged per read so the
+                // histograms weight big batches accordingly: queue =
+                // frame receipt → queue admission (the gates), exec =
+                // worker-pool turnaround, total = receipt → hits ready.
+                let queue_us = admitted.saturating_duration_since(received).as_micros() as u64;
+                let exec_us = done.saturating_duration_since(admitted).as_micros() as u64;
+                let total_us = done.saturating_duration_since(received).as_micros() as u64;
+                for (name, us) in [
+                    ("qnet.latency.queue", queue_us),
+                    ("qnet.latency.exec", exec_us),
+                    ("qnet.latency.total", total_us),
+                ] {
+                    let mut h = Histogram::new();
+                    h.record_n(us, n_reads);
+                    inner.rec.histogram_on(client_span, name, h);
+                }
+                inner.rec.gauge_on(
+                    inner.server_span,
+                    "qnet.drain.ewma_reads_per_s",
+                    inner.drain_ewma().round() as u64,
+                );
+            }
             (Response::Hits { request_id, hits }, Some(guard))
         }
     }
@@ -679,6 +841,39 @@ mod tests {
         // Clamps: tiny backlog floors at 10 ms, huge caps at 5000 ms.
         assert_eq!(dr.retry_hint_ms(1), 10);
         assert_eq!(dr.retry_hint_ms(1_000_000_000), 5000);
+    }
+
+    #[test]
+    fn zero_backlog_means_zero_wait() {
+        // Regression: the hint used to floor at 10 ms (or the unprimed
+        // 100 ms) even with nothing queued, telling clients to back off
+        // from an empty server.
+        let mut dr = DrainRate::new();
+        assert_eq!(dr.retry_hint_ms(0), 0, "unprimed, empty backlog");
+        dr.observe(0.0, 0);
+        for i in 1..=10u64 {
+            dr.observe(i as f64, i * 10_000);
+        }
+        assert_eq!(dr.retry_hint_ms(0), 0, "steady rate, empty backlog");
+    }
+
+    #[test]
+    fn idle_first_window_does_not_reset_ewma_seeding() {
+        // Regression: seeding keyed on `ewma == 0.0`, so a first
+        // measured window that was genuinely idle (instantaneous rate
+        // 0) left the estimator "unseeded" and the next burst
+        // overwrote the average instead of blending into it.
+        let mut dr = DrainRate::new();
+        dr.observe(0.0, 0);
+        dr.observe(1.0, 0); // idle second seeds the EWMA at 0/s
+        assert_eq!(dr.ewma_reads_per_s, 0.0);
+        dr.observe(2.0, 100_000); // burst: inst = 100k/s
+        let blended = 0.3 * 100_000.0;
+        assert!(
+            (dr.ewma_reads_per_s - blended).abs() < 1.0,
+            "burst blends instead of re-seeding: {}",
+            dr.ewma_reads_per_s
+        );
     }
 
     #[test]

@@ -126,6 +126,26 @@ impl FairAdmission {
         }
     }
 
+    /// A deterministic snapshot of every known bucket at `now_s`:
+    /// `(client, tokens, weight)`, sorted by client id. Refills each
+    /// bucket to `now_s` first, so the reported tokens are current.
+    pub fn snapshot(&self, now_s: f64) -> Vec<(String, f64, f64)> {
+        let mut buckets = self.buckets.lock().unwrap_or_else(|e| e.into_inner());
+        let mut rows: Vec<(String, f64, f64)> = buckets
+            .iter_mut()
+            .map(|(client, b)| {
+                let rate = self.cfg.refill_per_s * b.weight;
+                let cap = self.cfg.burst * b.weight;
+                let dt = (now_s - b.last_s).max(0.0);
+                b.tokens = (b.tokens + dt * rate).min(cap);
+                b.last_s = now_s;
+                (client.clone(), b.tokens, b.weight)
+            })
+            .collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows
+    }
+
     /// Tokens currently available to `client` (diagnostics/tests).
     pub fn tokens(&self, client: &str, now_s: f64) -> f64 {
         let mut buckets = self.buckets.lock().unwrap_or_else(|e| e.into_inner());
@@ -203,6 +223,20 @@ mod tests {
         let a = adm();
         let shed = a.admit("c", 1000, 0.0).unwrap_err();
         assert!((shed.wait_s - 0.5).abs() < 1e-9, "{}", shed.wait_s);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_refilled() {
+        let a = adm();
+        a.set_weight("zeta", 2.0);
+        assert!(a.admit("alpha", 50, 0.0).is_ok());
+        let snap = a.snapshot(0.1);
+        let names: Vec<&str> = snap.iter().map(|(c, _, _)| c.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+        // alpha drained its burst at t=0 and refilled 10 tokens by t=0.1.
+        assert!((snap[0].1 - 10.0).abs() < 1e-9, "{}", snap[0].1);
+        assert_eq!(snap[0].2, 1.0);
+        assert_eq!(snap[1].2, 2.0);
     }
 
     #[test]

@@ -123,6 +123,12 @@ impl QueryEngine {
         self.cache.stats()
     }
 
+    /// Bytes currently resident in the postings cache — the live
+    /// `qserve.cache.bytes` occupancy gauge.
+    pub fn cache_resident_bytes(&self) -> u64 {
+        self.cache.resident_bytes()
+    }
+
     /// Resolve one read. Returns the best placement within the mismatch
     /// budget, or `None` if nothing verifies.
     pub fn query(&self, read: &genome::PackedSeq) -> Option<Hit> {

@@ -19,11 +19,12 @@
 use crate::engine::{Hit, QueryEngine};
 use crate::QserveError;
 use genome::PackedSeq;
-use obs::Recorder;
+use obs::{Histogram, Recorder};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Worker-pool and queueing knobs.
 #[derive(Debug, Clone, Copy)]
@@ -89,6 +90,9 @@ struct Chunk {
     /// Offset of `reads[0]` within the batch's result vector.
     start: usize,
     reads: Vec<PackedSeq>,
+    /// When the chunk was admitted — the start of its queue-wait, which
+    /// workers fold into the `qserve.latency.queue` histogram.
+    enqueued: Instant,
 }
 
 struct Queue {
@@ -209,6 +213,7 @@ impl QueryService {
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .pending = n_chunks;
+            let enqueued = Instant::now();
             let mut reads = reads;
             let mut start = 0usize;
             while !reads.is_empty() {
@@ -218,10 +223,14 @@ impl QueryService {
                     state: Arc::clone(&state),
                     start,
                     reads,
+                    enqueued,
                 });
                 start += len;
                 reads = rest;
             }
+            self.shared
+                .rec
+                .gauge("qserve.queue.depth", q.chunks.len() as u64);
         }
         self.shared.available.notify_all();
         Ok(BatchHandle { state })
@@ -264,14 +273,52 @@ fn worker_loop(shared: &Shared, idx: usize) {
                 q = shared.available.wait(q).unwrap_or_else(|e| e.into_inner());
             }
         };
-        shared
-            .rec
-            .counter_on(span.id(), "qserve.queries", chunk.reads.len() as u64);
-        let answers: Vec<Option<Hit>> = chunk
-            .reads
-            .iter()
-            .map(|read| shared.engine.query_traced(read, &shared.rec, span.id()))
-            .collect();
+        let n = chunk.reads.len() as u64;
+        shared.rec.counter_on(span.id(), "qserve.queries", n);
+        let answers: Vec<Option<Hit>> = if shared.rec.is_enabled() {
+            // Per-read latency, split queue-wait / execute / total, in
+            // microseconds. One histogram event per chunk keeps the
+            // trace small; the rollup merges chunks exactly.
+            let queue_us = Instant::now()
+                .saturating_duration_since(chunk.enqueued)
+                .as_micros() as u64;
+            let mut queue_h = Histogram::new();
+            queue_h.record_n(queue_us, n);
+            let mut exec_h = Histogram::new();
+            let mut total_h = Histogram::new();
+            let answers = chunk
+                .reads
+                .iter()
+                .map(|read| {
+                    let begun = Instant::now();
+                    let hit = shared.engine.query_traced(read, &shared.rec, span.id());
+                    let exec_us = begun.elapsed().as_micros() as u64;
+                    exec_h.record(exec_us);
+                    total_h.record(queue_us + exec_us);
+                    hit
+                })
+                .collect();
+            let sid = span.id();
+            shared
+                .rec
+                .histogram_on(sid, "qserve.latency.queue", queue_h);
+            shared.rec.histogram_on(sid, "qserve.latency.exec", exec_h);
+            shared
+                .rec
+                .histogram_on(sid, "qserve.latency.total", total_h);
+            shared.rec.gauge_on(
+                sid,
+                "qserve.cache.bytes",
+                shared.engine.cache_resident_bytes(),
+            );
+            answers
+        } else {
+            chunk
+                .reads
+                .iter()
+                .map(|read| shared.engine.query_traced(read, &shared.rec, span.id()))
+                .collect()
+        };
         shared
             .drained
             .fetch_add(answers.len() as u64, Ordering::Relaxed);
@@ -404,6 +451,41 @@ mod tests {
                 .iter()
                 .map(|root| rollup.subtree(root.id).counter(name))
                 .sum::<u64>()
+    }
+
+    #[test]
+    fn latency_histograms_cover_every_admitted_read() {
+        let rec = Recorder::new();
+        let handle = rec.add_memory_sink();
+        let svc = QueryService::start(
+            engine(),
+            ServiceConfig {
+                workers: 2,
+                batch_chunk: 8,
+                max_queue: 1000,
+            },
+            &rec,
+        );
+        svc.query_batch(reads(100)).unwrap();
+        drop(svc);
+        rec.flush();
+        let totals = obs::Rollup::from_events(&handle.events()).totals();
+        for name in [
+            "qserve.latency.queue",
+            "qserve.latency.exec",
+            "qserve.latency.total",
+        ] {
+            assert_eq!(totals.hist(name).count(), 100, "{name}");
+        }
+        let total = totals.hist("qserve.latency.total");
+        assert!(total.percentile(0.5) <= total.percentile(0.99));
+        // total = queue + exec per read, so the sums add up exactly.
+        assert_eq!(
+            total.sum(),
+            totals.hist("qserve.latency.queue").sum() + totals.hist("qserve.latency.exec").sum()
+        );
+        assert!(totals.gauge("qserve.queue.depth") >= 1);
+        assert!(totals.gauges.contains_key("qserve.cache.bytes"));
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //!
 //! lasagna-cli stats --contigs contigs.fa [--reference ref.fa]
 //!
+//! lasagna-cli stats --connect HOST:PORT [--format json|tsv]
+//!
+//! lasagna-cli top --connect HOST:PORT [--interval-ms 1000] [--iterations 0]
+//!
 //! lasagna-cli index --work /tmp/lasagna-work [--contigs contigs.fa] \
 //!                  [--k 15] [--w 8] [--threads 0]
 //!
@@ -69,6 +73,7 @@ fn main() {
         "assemble-distributed" => assemble_distributed(&opts),
         "inspect-trace" => inspect_trace(&opts),
         "stats" => stats(&opts),
+        "top" => top(&opts),
         "index" => index(&opts),
         "query" => query(&opts),
         "serve" => serve(&opts),
@@ -95,6 +100,8 @@ fn usage() -> ! {
          [--resume yes] [--trace-out trace.jsonl] [--metrics-json report.json]\n  \
          lasagna inspect-trace --trace trace.jsonl [--root assembly]\n  \
          lasagna stats --contigs contigs.fa [--reference ref.fa]\n  \
+         lasagna stats --connect HOST:PORT [--format json|tsv]\n  \
+         lasagna top --connect HOST:PORT [--interval-ms 1000] [--iterations 0]\n  \
          lasagna index --work DIR [--contigs contigs.fa] [--k 15] [--w 8] [--threads 0]\n  \
          lasagna query --work DIR --reads queries.fastq [--out hits.tsv] [--batch 1024] \
          [--workers 4] [--cache-mb 32] [--max-mismatches 2] [--max-queue 64]\n  \
@@ -608,9 +615,68 @@ fn inspect_trace(opts: &HashMap<String, String>) {
             );
         }
     }
+
+    // Latency histograms recorded anywhere under the root (serve traces
+    // carry qserve.latency.* and qnet.latency.*, in microseconds).
+    let agg = rollup.subtree(root.id);
+    if !agg.hists.is_empty() {
+        println!(
+            "  {:<24} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "histogram (us)", "count", "p50", "p90", "p99", "p99.9", "max"
+        );
+        for (name, h) in &agg.hists {
+            println!(
+                "  {:<24} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                name,
+                h.count(),
+                h.percentile(0.50),
+                h.percentile(0.90),
+                h.percentile(0.99),
+                h.percentile(0.999),
+                h.max()
+            );
+        }
+    }
+
+    // Admission-gate roll-up with per-client attribution, for qnet
+    // server traces (client:{id} spans, possibly across connections).
+    let shed_total = agg.counter("qnet.accepted")
+        + agg.counter("qnet.rejected")
+        + agg.counter("qnet.deadline_shed")
+        + agg.counter("qnet.fairness_shed");
+    if shed_total > 0 {
+        println!(
+            "  admission: {} accepted, {} rejected, {} deadline-shed, {} fairness-shed (reads)",
+            agg.counter("qnet.accepted"),
+            agg.counter("qnet.rejected"),
+            agg.counter("qnet.deadline_shed"),
+            agg.counter("qnet.fairness_shed")
+        );
+        let mut per_client: std::collections::BTreeMap<String, [u64; 4]> = Default::default();
+        let mut stack = vec![root.id];
+        while let Some(id) = stack.pop() {
+            for child in rollup.children(id) {
+                if let Some(client) = child.name.strip_prefix("client:") {
+                    let c = rollup.subtree(child.id);
+                    let row = per_client.entry(client.to_string()).or_default();
+                    row[0] += c.counter("qnet.accepted");
+                    row[1] += c.counter("qnet.rejected");
+                    row[2] += c.counter("qnet.deadline_shed");
+                    row[3] += c.counter("qnet.fairness_shed");
+                }
+                stack.push(child.id);
+            }
+        }
+        for (client, [acc, rej, dl, fair]) in &per_client {
+            println!("    {client}: {acc} accepted, {rej} rejected, {dl} deadline-shed, {fair} fairness-shed");
+        }
+    }
 }
 
 fn stats(opts: &HashMap<String, String>) {
+    if opts.contains_key("connect") {
+        return stats_remote(opts);
+    }
     let contigs_path = PathBuf::from(require(opts, "contigs"));
     let contigs = read_fasta(&contigs_path).unwrap_or_else(die);
     let lengths: Vec<u64> = contigs.iter().map(|(_, c)| c.len() as u64).collect();
@@ -639,6 +705,151 @@ fn stats(opts: &HashMap<String, String>) {
             contigs.len(),
             ref_path
         );
+    }
+}
+
+fn stats_client(
+    opts: &HashMap<String, String>,
+    client_id: &str,
+) -> lasagna_repro::qnet::QueryClient {
+    use lasagna_repro::qnet::{ClientConfig, QueryClient};
+    let connect = require(opts, "connect");
+    let rec = obs::Recorder::disabled();
+    QueryClient::new(
+        ClientConfig {
+            addr: connect,
+            client_id: client_id.to_string(),
+            ..ClientConfig::default()
+        },
+        &rec,
+    )
+}
+
+/// The `--connect` arm of `stats`: one `Stats` round trip, printed as
+/// pretty JSON (default) or flat TSV for shell pipelines.
+fn stats_remote(opts: &HashMap<String, String>) {
+    let mut client = stats_client(opts, "stats");
+    let snap = client.stats().unwrap_or_else(die_qnet);
+    match get(opts, "format", "json".to_string()).as_str() {
+        "json" => println!(
+            "{}",
+            serde_json::to_string_pretty(&snap).unwrap_or_else(die)
+        ),
+        "tsv" => print!("{}", snapshot_tsv(&snap)),
+        other => {
+            eprintln!("lasagna: unknown --format {other:?} (json|tsv)");
+            exit(2);
+        }
+    }
+}
+
+/// Flatten a snapshot into `key\tvalue` rows; per-client and latency
+/// rows are prefixed with `client` / `latency` and carry their own
+/// columns.
+fn snapshot_tsv(s: &lasagna_repro::qnet::StatsSnapshot) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "version\t{}", s.version);
+    let _ = writeln!(out, "uptime_ms\t{}", s.uptime_ms);
+    let _ = writeln!(out, "draining\t{}", s.draining);
+    let _ = writeln!(out, "inflight\t{}", s.inflight);
+    let _ = writeln!(out, "queue_depth\t{}", s.queue_depth);
+    let _ = writeln!(out, "drained_reads\t{}", s.drained_reads);
+    let _ = writeln!(
+        out,
+        "drain_ewma_reads_per_s\t{:.1}",
+        s.drain_ewma_reads_per_s
+    );
+    let _ = writeln!(out, "accepted\t{}", s.accepted);
+    let _ = writeln!(out, "rejected\t{}", s.rejected);
+    let _ = writeln!(out, "deadline_shed\t{}", s.deadline_shed);
+    let _ = writeln!(out, "fairness_shed\t{}", s.fairness_shed);
+    for c in &s.clients {
+        let _ = writeln!(
+            out,
+            "client\t{}\t{}\t{}\t{}\t{}\t{:.1}\t{}",
+            c.client_id,
+            c.accepted,
+            c.rejected,
+            c.deadline_shed,
+            c.fairness_shed,
+            c.tokens,
+            c.weight
+        );
+    }
+    for l in &s.latency {
+        let _ = writeln!(
+            out,
+            "latency\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            l.name, l.count, l.min_us, l.p50_us, l.p90_us, l.p99_us, l.p999_us, l.max_us
+        );
+    }
+    out
+}
+
+/// A refreshing terminal view over `Stats`: clear the screen, render a
+/// compact dashboard, sleep, repeat. `--iterations 0` runs until the
+/// connection dies or the user interrupts.
+fn top(opts: &HashMap<String, String>) {
+    let mut client = stats_client(opts, "top");
+    let connect = require(opts, "connect");
+    let interval = std::time::Duration::from_millis(get(opts, "interval-ms", 1_000u64));
+    let iterations: u64 = get(opts, "iterations", 0u64);
+    let mut done = 0u64;
+    loop {
+        let snap = client.stats().unwrap_or_else(die_qnet);
+        // Clear screen and home the cursor between refreshes.
+        print!("\x1b[2J\x1b[H");
+        println!(
+            "lasagna top — {connect}   uptime {:.1}s{}",
+            snap.uptime_ms as f64 / 1000.0,
+            if snap.draining { "   DRAINING" } else { "" }
+        );
+        println!(
+            "queue {}   inflight {}   drained {} reads   drain rate {:.0} reads/s",
+            snap.queue_depth, snap.inflight, snap.drained_reads, snap.drain_ewma_reads_per_s
+        );
+        println!(
+            "gates: {} accepted, {} rejected, {} deadline-shed, {} fairness-shed",
+            snap.accepted, snap.rejected, snap.deadline_shed, snap.fairness_shed
+        );
+        if !snap.latency.is_empty() {
+            println!(
+                "{:<24} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                "latency (us)", "count", "p50", "p90", "p99", "p99.9", "max"
+            );
+            for l in &snap.latency {
+                println!(
+                    "{:<24} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                    l.name, l.count, l.p50_us, l.p90_us, l.p99_us, l.p999_us, l.max_us
+                );
+            }
+        }
+        if !snap.clients.is_empty() {
+            println!(
+                "{:<24} {:>10} {:>9} {:>9} {:>9} {:>10} {:>7}",
+                "client", "accepted", "rejected", "deadline", "fairness", "tokens", "weight"
+            );
+            for c in &snap.clients {
+                println!(
+                    "{:<24} {:>10} {:>9} {:>9} {:>9} {:>10.1} {:>7}",
+                    c.client_id,
+                    c.accepted,
+                    c.rejected,
+                    c.deadline_shed,
+                    c.fairness_shed,
+                    c.tokens,
+                    c.weight
+                );
+            }
+        }
+        use std::io::Write as _;
+        std::io::stdout().flush().ok();
+        done += 1;
+        if iterations > 0 && done >= iterations {
+            break;
+        }
+        std::thread::sleep(interval);
     }
 }
 
@@ -858,8 +1069,14 @@ fn serve(opts: &HashMap<String, String>) {
     let engine = QueryEngine::open(&work.join(STORE_FILE), &work.join(INDEX_FILE), &io, qcfg)
         .unwrap_or_else(die_qserve);
 
-    let rec = obs::Recorder::new();
+    // Without a trace file the recorder runs sink-only: events still
+    // feed the server's live telemetry (the `Stats` command) but are
+    // not buffered in memory, so an always-on server stays bounded.
     let trace_out = opts.get("trace-out").map(PathBuf::from);
+    let rec = match &trace_out {
+        Some(_) => obs::Recorder::new(),
+        None => obs::Recorder::sink_only(),
+    };
     if let Some(path) = &trace_out {
         let sink = obs::JsonlSink::create(path).unwrap_or_else(die);
         rec.add_sink(Box::new(sink));

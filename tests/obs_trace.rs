@@ -126,3 +126,103 @@ fn resumed_phases_appear_as_zero_cost_spans() {
     let report_phase = out.report.phase("sort (resumed)").unwrap();
     assert_eq!(report_phase.modeled_seconds, 0.0);
 }
+
+/// Deterministic pseudo-random latency values spread across magnitudes,
+/// the shape a serving run records in microseconds.
+fn latencies(n: u64) -> Vec<u64> {
+    (0..n).map(|i| (i * 104_729 + 13) % 250_000).collect()
+}
+
+/// Roll the same values up from histogram events emitted as `chunks`
+/// per-event shards, in the given order.
+fn rollup_of_shards(chunks: &[&[u64]]) -> obs::Rollup {
+    let rec = obs::Recorder::new();
+    {
+        let span = rec.span("serve");
+        for chunk in chunks {
+            let mut h = obs::Histogram::new();
+            for &v in *chunk {
+                h.record(v);
+            }
+            rec.histogram_on(span.id(), "latency.total", h);
+        }
+    }
+    obs::Rollup::from_events(&rec.events())
+}
+
+#[test]
+fn histogram_rollup_is_merge_order_invariant() {
+    // The same per-chunk latency shards, fed to the rollup in different
+    // orders and groupings (as different worker schedules would emit
+    // them), must aggregate to bit-identical histograms.
+    let values = latencies(512);
+    let (a, rest) = values.split_at(100);
+    let (b, c) = rest.split_at(200);
+
+    let forward = rollup_of_shards(&[a, b, c]);
+    let reverse = rollup_of_shards(&[c, b, a]);
+    let one_shot = rollup_of_shards(&[&values]);
+    let per_value: Vec<&[u64]> = values.chunks(1).collect();
+    let singles = rollup_of_shards(&per_value);
+
+    let base = forward.totals().hist("latency.total");
+    assert_eq!(base.count(), 512);
+    for other in [&reverse, &one_shot, &singles] {
+        let h = other.totals().hist("latency.total");
+        assert_eq!(h, base, "merge order changed the aggregate");
+        assert_eq!(
+            serde_json::to_string(&h).unwrap(),
+            serde_json::to_string(&base).unwrap(),
+            "serialization must be bit-identical across merge orders"
+        );
+    }
+}
+
+#[test]
+fn histogram_events_round_trip_jsonl_bit_identically() {
+    // A trace carrying histogram events must reconstruct the exact same
+    // aggregates from disk as the live rollup saw in memory.
+    let dir = tempfile::tempdir().unwrap();
+    let trace_path = dir.path().join("trace.jsonl");
+
+    let rec = obs::Recorder::new();
+    rec.add_sink(Box::new(obs::JsonlSink::create(&trace_path).unwrap()));
+    {
+        let span = rec.span("serve");
+        for chunk in latencies(300).chunks(64) {
+            let mut queue = obs::Histogram::new();
+            let mut total = obs::Histogram::new();
+            for &v in chunk {
+                queue.record(v / 3);
+                total.record(v);
+            }
+            rec.histogram_on(span.id(), "latency.queue", queue);
+            rec.histogram_on(span.id(), "latency.total", total);
+            rec.counter_on(span.id(), "reads", chunk.len() as u64);
+        }
+    }
+    rec.flush();
+
+    let live = obs::Rollup::from_events(&rec.events()).totals();
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    let disk = obs::Rollup::from_jsonl(&text).unwrap().totals();
+
+    assert_eq!(disk.counter("reads"), 300);
+    for name in ["latency.queue", "latency.total"] {
+        let from_disk = disk.hist(name);
+        let from_live = live.hist(name);
+        assert_eq!(from_disk.count(), 300, "{name}");
+        assert_eq!(from_disk, from_live, "{name} diverged across the disk trip");
+        assert_eq!(
+            serde_json::to_string(&from_disk).unwrap(),
+            serde_json::to_string(&from_live).unwrap(),
+            "{name}: JSONL round trip must be bit-identical"
+        );
+        for (lo, hi) in [(0.5, 0.9), (0.9, 0.99), (0.99, 0.999)] {
+            assert!(
+                from_disk.percentile(lo) <= from_disk.percentile(hi),
+                "{name}"
+            );
+        }
+    }
+}

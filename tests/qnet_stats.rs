@@ -1,0 +1,230 @@
+//! Live `Stats` telemetry goldens (SERVING.md, OBSERVABILITY.md): a
+//! snapshot taken over the wire after the load fully drains must equal
+//! the post-hoc rollup of the same run's JSONL trace — counter for
+//! counter, histogram for histogram — and `PingV2` reports live queue
+//! state next to the legacy `Ping` probe.
+
+use lasagna_repro::faultsim::Faults;
+use lasagna_repro::obs;
+use lasagna_repro::prelude::*;
+use lasagna_repro::qnet::{
+    ClientConfig, LatencySummary, QueryClient, Server, ServerConfig, STATS_VERSION,
+};
+use lasagna_repro::qserve::{
+    self, ContigStore, IndexConfig, MinimizerIndex, QueryConfig, QueryEngine, QueryService,
+    ServiceConfig,
+};
+use std::path::Path;
+use std::time::Duration;
+
+fn reads(seed: u64) -> ReadSet {
+    let genome = GenomeSim::uniform(2_000, seed).generate();
+    ShotgunSim::error_free(60, 8.0, seed + 1).sample(&genome)
+}
+
+/// Assemble an error-free dataset into `dir`, leaving `contigs.store`
+/// behind, and return the contigs the pipeline reported.
+fn assemble_into(dir: &Path, seed: u64) -> Vec<PackedSeq> {
+    Pipeline::laptop(AssemblyConfig::for_dataset(40, 60), dir)
+        .unwrap()
+        .assemble(&reads(seed))
+        .unwrap()
+        .contigs
+}
+
+/// Deterministic query load: `count` windows of `len` bases sliced from
+/// `contigs` (striding offsets, alternating strands).
+fn slice_queries(contigs: &[PackedSeq], count: usize, len: usize) -> Vec<PackedSeq> {
+    let long: Vec<&PackedSeq> = contigs.iter().filter(|c| c.len() >= len).collect();
+    assert!(!long.is_empty(), "no contig long enough to query");
+    (0..count)
+        .map(|i| {
+            let c = long[i % long.len()];
+            let start = (i * 37) % (c.len() - len + 1);
+            let s = c.slice(start, len);
+            if i % 2 == 0 {
+                s
+            } else {
+                s.reverse_complement()
+            }
+        })
+        .collect()
+}
+
+fn start_server(dir: &Path, rec: &obs::Recorder) -> Server {
+    let io = IoStats::default();
+    let store = ContigStore::open(&dir.join(qserve::STORE_FILE), &io).unwrap();
+    let index = MinimizerIndex::build(&store, &IndexConfig::default());
+    let engine = QueryEngine::new(store, index, QueryConfig::default()).unwrap();
+    let svc = QueryService::start(engine, ServiceConfig::default(), rec);
+    let cfg = ServerConfig {
+        read_timeout: Duration::from_secs(2),
+        write_timeout: Duration::from_secs(2),
+        drain_deadline: Duration::from_secs(10),
+        ..ServerConfig::default()
+    };
+    Server::start(svc, cfg, rec, Faults::disabled()).unwrap()
+}
+
+fn client_for(addr: std::net::SocketAddr, id: &str) -> QueryClient {
+    QueryClient::new(
+        ClientConfig {
+            addr: addr.to_string(),
+            client_id: id.to_string(),
+            max_retries: 4,
+            backoff_base_ms: 2,
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+            ..ClientConfig::default()
+        },
+        &obs::Recorder::disabled(),
+    )
+}
+
+#[test]
+fn stats_snapshot_after_drain_matches_the_trace_rollup_exactly() {
+    let dir = tempfile::tempdir().unwrap();
+    let contigs = assemble_into(dir.path(), 60);
+    let queries = slice_queries(&contigs, 2_000, 60);
+
+    let rec = obs::Recorder::new();
+    let mut server = start_server(dir.path(), &rec);
+    let mut client = client_for(server.local_addr(), "golden");
+
+    // A mid-load snapshot must be admitted while queries flow (the
+    // probe bypasses every admission gate) and its counters can only
+    // grow from there.
+    let mut mid = None;
+    for (i, batch) in queries.chunks(256).enumerate() {
+        client.query_batch(batch).unwrap();
+        if i == 2 {
+            mid = Some(client.stats().unwrap());
+        }
+    }
+    // Every batch is answered, so every event the run will ever record
+    // is already in both the live windows and the trace buffer.
+    let snap = client.stats().unwrap();
+    let mid = mid.unwrap();
+
+    server.shutdown();
+    rec.flush();
+    let totals = obs::Rollup::from_events(&rec.events()).totals();
+
+    assert_eq!(snap.version, STATS_VERSION);
+    assert!(!snap.draining);
+    assert_eq!(snap.inflight, 0, "all responses received before the probe");
+    assert_eq!(snap.queue_depth, 0);
+    assert_eq!(snap.drained_reads, 2_000);
+
+    // Gate counters: the live snapshot equals the post-hoc trace.
+    assert_eq!(snap.accepted, totals.counter("qnet.accepted"));
+    assert_eq!(snap.rejected, totals.counter("qnet.rejected"));
+    assert_eq!(snap.deadline_shed, totals.counter("qnet.deadline_shed"));
+    assert_eq!(snap.fairness_shed, totals.counter("qnet.fairness_shed"));
+    assert_eq!(snap.accepted, 2_000, "every read admitted");
+
+    // Latency distributions: the snapshot's rows are exactly what
+    // summarizing the trace's merged histograms yields — same buckets,
+    // same counts, same percentiles, in the same sorted order.
+    let expected: Vec<LatencySummary> = totals
+        .hists
+        .iter()
+        .map(|(name, h)| LatencySummary::from_hist(name, h))
+        .collect();
+    assert_eq!(
+        snap.latency, expected,
+        "live windows must equal the trace rollup"
+    );
+    let names: Vec<&str> = snap.latency.iter().map(|l| l.name.as_str()).collect();
+    for name in [
+        "qnet.latency.exec",
+        "qnet.latency.queue",
+        "qnet.latency.total",
+        "qserve.latency.exec",
+        "qserve.latency.queue",
+        "qserve.latency.total",
+    ] {
+        assert!(names.contains(&name), "missing {name} in {names:?}");
+    }
+    for l in &snap.latency {
+        assert_eq!(l.count, 2_000, "{}: one sample per read", l.name);
+        assert!(
+            l.min_us <= l.p50_us
+                && l.p50_us <= l.p90_us
+                && l.p90_us <= l.p99_us
+                && l.p99_us <= l.p999_us
+                && l.p999_us <= l.max_us,
+            "{}: percentiles must be monotone",
+            l.name
+        );
+    }
+
+    // Per-client attribution survives into the snapshot.
+    let c = snap
+        .clients
+        .iter()
+        .find(|c| c.client_id == "golden")
+        .expect("the only client must be listed");
+    assert_eq!(c.accepted, 2_000);
+    assert_eq!(
+        c.rejected + c.deadline_shed + c.fairness_shed,
+        0,
+        "nothing shed on a clean run"
+    );
+
+    // The mid-load snapshot is a strict prefix of the final one.
+    assert!(mid.accepted <= snap.accepted);
+    assert!(mid.drained_reads <= snap.drained_reads);
+    assert!(mid.uptime_ms <= snap.uptime_ms);
+    assert_eq!(mid.version, STATS_VERSION);
+}
+
+#[test]
+fn ping_v2_reports_queue_state_next_to_the_legacy_probe() {
+    let dir = tempfile::tempdir().unwrap();
+    let contigs = assemble_into(dir.path(), 61);
+    let rec = obs::Recorder::new();
+    let mut server = start_server(dir.path(), &rec);
+    let mut client = client_for(server.local_addr(), "probe");
+
+    // The legacy tag still answers on the same connection.
+    assert_eq!(client.ping().unwrap(), (true, false));
+
+    let pong = client.ping_v2().unwrap();
+    assert!(pong.ready);
+    assert!(!pong.draining);
+    assert_eq!(pong.queue_depth, 0, "idle server has an empty queue");
+    assert!(pong.drain_ewma_reads_per_s >= 0.0);
+
+    // After real work drains, the probe still reports an empty queue
+    // and the drain odometer moved.
+    let queries = slice_queries(&contigs, 256, 60);
+    client.query_batch(&queries).unwrap();
+    let pong = client.ping_v2().unwrap();
+    assert_eq!(pong.queue_depth, 0);
+    assert_eq!(server.service().drained_reads(), 256);
+
+    server.shutdown();
+}
+
+#[test]
+fn stats_on_an_idle_server_is_empty_but_versioned() {
+    let dir = tempfile::tempdir().unwrap();
+    assemble_into(dir.path(), 62);
+    let rec = obs::Recorder::new();
+    let mut server = start_server(dir.path(), &rec);
+    let mut client = client_for(server.local_addr(), "idle");
+
+    let snap = client.stats().unwrap();
+    assert_eq!(snap.version, STATS_VERSION);
+    assert_eq!(snap.accepted, 0);
+    assert_eq!(snap.rejected + snap.deadline_shed + snap.fairness_shed, 0);
+    assert_eq!(snap.drained_reads, 0);
+    assert!(snap.latency.is_empty(), "no reads, no histograms");
+    assert!(
+        snap.clients.is_empty(),
+        "no query yet, so no per-client state"
+    );
+
+    server.shutdown();
+}

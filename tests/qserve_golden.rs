@@ -209,6 +209,63 @@ fn saturated_queue_sheds_with_a_typed_error_and_counter() {
     assert_eq!(counter_total(&rollup, "qserve.batch.size"), 0);
 }
 
+#[test]
+fn latency_histograms_are_deterministic_across_worker_counts() {
+    // Latency *values* are wall-clock and vary run to run, but the
+    // histogram accounting must not: every admitted read is charged
+    // exactly once per stage, and each run's trace must round-trip its
+    // histograms through JSONL bit-identically.
+    let dir = tempfile::tempdir().unwrap();
+    let contigs = assemble_into(dir.path(), 55);
+    let queries: Vec<PackedSeq> = windows(&contigs, 1_000, 40)
+        .into_iter()
+        .map(|(q, _, _, _)| q)
+        .collect();
+    let mut answers = Vec::new();
+    for (run, workers) in [1usize, 4, 8].into_iter().enumerate() {
+        let trace_path = dir.path().join(format!("trace_{workers}w.jsonl"));
+        let rec = obs::Recorder::new();
+        rec.add_sink(Box::new(obs::JsonlSink::create(&trace_path).unwrap()));
+        let svc = QueryService::start(
+            engine_for(dir.path(), 16 << 20),
+            ServiceConfig {
+                workers,
+                batch_chunk: 32,
+                max_queue: 1 << 20,
+            },
+            &rec,
+        );
+        answers.push(svc.query_batch(queries.clone()).unwrap());
+        drop(svc);
+        rec.flush();
+
+        let live = obs::Rollup::from_events(&rec.events()).totals();
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        let disk = obs::Rollup::from_jsonl(&text).unwrap().totals();
+        for name in [
+            "qserve.latency.queue",
+            "qserve.latency.exec",
+            "qserve.latency.total",
+        ] {
+            let from_live = live.hist(name);
+            let from_disk = disk.hist(name);
+            assert_eq!(
+                from_live.count(),
+                1_000,
+                "{name} with {workers} workers must charge each read once"
+            );
+            assert_eq!(from_disk, from_live, "{name} diverged across the disk trip");
+            assert_eq!(
+                serde_json::to_string(&from_disk).unwrap(),
+                serde_json::to_string(&from_live).unwrap(),
+                "{name}: JSONL round trip must be bit-identical"
+            );
+        }
+        assert_eq!(answers[run], answers[0], "{workers} workers vs 1 worker");
+    }
+    assert!(answers[0].iter().all(|h| h.is_some()));
+}
+
 /// Sum a counter across every span and the unattached bucket.
 fn counter_total(rollup: &obs::Rollup, name: &str) -> u64 {
     rollup.unattached().counter(name)
