@@ -17,6 +17,8 @@
 //!   faults   crash/recover matrix                   (ROBUSTNESS.md)
 //!   serve    query-service throughput/latency sweep (SERVING.md)
 //!   serve-net network serving over loopback TCP, clean + chaos (SERVING.md)
+//!   schedcheck deterministic schedule exploration of the serving
+//!             concurrency protocol (ROBUSTNESS.md)
 //!   all      everything above
 //! ```
 //!
@@ -66,7 +68,7 @@ fn parse_args() -> Args {
                     .collect();
             }
             "--help" | "-h" => {
-                println!("repro <table1..table6|fig8|fig9|fig10|fpcheck|faults|serve|serve-net|all> [--scale N] [--out DIR] [--nodes 1,2,4,8]");
+                println!("repro <table1..table6|fig8|fig9|fig10|fpcheck|faults|serve|serve-net|schedcheck|all> [--scale N] [--out DIR] [--nodes 1,2,4,8]");
                 std::process::exit(0);
             }
             other if args.experiment.is_empty() => args.experiment = other.to_string(),
@@ -599,6 +601,136 @@ fn run_serve_net(out: &Path) {
     }
 }
 
+fn run_schedcheck(out: &Path) {
+    use schedcheck::{explore_dfs, explore_pct, AuthMode, DfsConfig, PctConfig, ScenarioConfig};
+
+    #[derive(serde::Serialize)]
+    struct Row {
+        strategy: &'static str,
+        scenario: &'static str,
+        #[serde(flatten)]
+        report: schedcheck::ExploreReport,
+    }
+
+    println!("\n=== Schedule exploration: serving concurrency protocol (ROBUSTNESS.md) ===");
+    println!("(real qnet Server + qserve QueryService under the deterministic scheduler)");
+
+    let mut rows: Vec<Row> = Vec::new();
+
+    // Bounded exhaustive DFS over the shallow prefix of the schedule
+    // tree: 2 clients x 2 workers, drain racing the in-flight batches.
+    rows.push(Row {
+        strategy: "dfs",
+        scenario: "drain+reload",
+        report: explore_dfs(&DfsConfig {
+            scenario: ScenarioConfig::default(),
+            decision_depth: 8,
+            max_schedules: 2_500,
+        }),
+    });
+
+    // Seeded PCT random-priority schedules reach the deep tail the
+    // bounded DFS prefix cannot.
+    rows.push(Row {
+        strategy: "pct",
+        scenario: "drain+reload",
+        report: explore_pct(&PctConfig {
+            scenario: ScenarioConfig::default(),
+            seed0: 0x5eed_0001,
+            schedules: 256,
+            change_points: 3,
+            replay_each: false,
+        }),
+    });
+
+    // Replay determinism: every seed re-run must reproduce its trace
+    // hash bit-for-bit (a mismatch is recorded as a violation).
+    rows.push(Row {
+        strategy: "pct+replay",
+        scenario: "drain+reload",
+        report: explore_pct(&PctConfig {
+            scenario: ScenarioConfig::default(),
+            seed0: 0x5eed_4e91,
+            schedules: 64,
+            change_points: 3,
+            replay_each: true,
+        }),
+    });
+
+    // Wire-auth scenario: one client forges its tag; the I9 invariant
+    // requires it is rejected before any fairness tokens are charged.
+    // A prober polls live Stats mid-run so snapshot-vs-rollup (I4) is
+    // exercised under contention, not just at drain.
+    rows.push(Row {
+        strategy: "pct",
+        scenario: "bad-auth+prober",
+        report: explore_pct(&PctConfig {
+            scenario: ScenarioConfig {
+                auth: AuthMode::OneBadClient,
+                with_prober: true,
+                ..ScenarioConfig::default()
+            },
+            seed0: 0x5eed_00a7,
+            schedules: 128,
+            change_points: 3,
+            replay_each: false,
+        }),
+    });
+
+    println!(
+        "{:<12} {:<18} {:>10} {:>10} {:>9} {:>9} {:>7} {:>9} {:>9} {:>11}",
+        "strategy",
+        "scenario",
+        "schedules",
+        "distinct",
+        "diverged",
+        "maxsteps",
+        "forced",
+        "deadline",
+        "fairness",
+        "violations"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:<18} {:>10} {:>10} {:>9} {:>9} {:>7} {:>9} {:>9} {:>11}",
+            r.strategy,
+            r.scenario,
+            r.report.schedules_explored,
+            r.report.distinct_interleavings,
+            r.report.diverged,
+            r.report.max_steps,
+            r.report.force_closed_runs,
+            r.report.deadline_shed_runs,
+            r.report.fairness_shed_runs,
+            r.report.violations.len(),
+        );
+    }
+    let schedules: u64 = rows.iter().map(|r| r.report.schedules_explored).sum();
+    let distinct: u64 = rows.iter().map(|r| r.report.distinct_interleavings).sum();
+    let diverged: u64 = rows.iter().map(|r| r.report.diverged).sum();
+    let violations: usize = rows.iter().map(|r| r.report.violations.len()).sum();
+    println!(
+        "(total: {schedules} schedules, {distinct} distinct interleavings, \
+         {diverged} diverged, {violations} violations)"
+    );
+    for r in &rows {
+        for v in &r.report.violations {
+            eprintln!(
+                "repro: schedcheck violation [{}] {}: {} ({} grants in trace)",
+                r.strategy,
+                v.strategy,
+                v.detail,
+                v.trace.len()
+            );
+        }
+    }
+    save_json(out, "schedcheck", &rows);
+    if violations > 0 {
+        eprintln!("repro: schedcheck found {violations} violating schedule(s); traces archived");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args = parse_args();
     let run = |name: &str| match name {
@@ -620,6 +752,7 @@ fn main() {
         "faults" => run_faults(&args.out),
         "serve" => run_serve(&args.out),
         "serve-net" => run_serve_net(&args.out),
+        "schedcheck" => run_schedcheck(&args.out),
         other => die(&format!("unknown experiment {other}")),
     };
     if args.experiment == "all" {
@@ -640,6 +773,7 @@ fn main() {
             "fpcheck",
             "serve",
             "serve-net",
+            "schedcheck",
         ] {
             run(name);
         }

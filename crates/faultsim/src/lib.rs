@@ -24,6 +24,8 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+pub mod sched;
+
 /// Failpoint: committing (finishing) a spill file in `RecordWriter::finish`.
 pub const SPILL_WRITE: &str = "gstream.write";
 /// Failpoint: opening a spill file in `RecordReader::open`.
@@ -74,7 +76,10 @@ pub const QNET_FRAME_STALL: &str = "qnet.frame.stall";
 /// ([`FaultPlan::fail_prob`]) as well as at a fixed occurrence.
 pub const QNET_CONN_DROP: &str = "qnet.conn.drop";
 
-/// Every failpoint the codebase registers, in checking order.
+/// Every failpoint the codebase registers, in checking order. Also
+/// exported as [`ALL_POINTS`]; [`FaultPlan::parse`] rejects any name not
+/// on this list, so a typo in a `--faults` spec is loud instead of an arm
+/// that silently never fires.
 pub const ALL_FAILPOINTS: &[&str] = &[
     SPILL_WRITE,
     READER_OPEN,
@@ -92,6 +97,39 @@ pub const ALL_FAILPOINTS: &[&str] = &[
     QNET_FRAME_STALL,
     QNET_CONN_DROP,
 ];
+
+/// Alias for [`ALL_FAILPOINTS`] under the registry-generic name the
+/// schedule-point catalogue (ROBUSTNESS.md) uses.
+pub const ALL_POINTS: &[&str] = ALL_FAILPOINTS;
+
+/// A rejected fault spec: [`FaultPlan::parse`] refuses to arm anything it
+/// cannot fully understand, because a mis-spelled point or a garbled
+/// probability arm would otherwise "pass" every chaos test by injecting
+/// nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultSpecError {
+    /// The point name is not in [`ALL_POINTS`].
+    UnknownPoint { point: String },
+    /// The arm after the `:` (occurrence or probability) is malformed.
+    BadArm { part: String, reason: String },
+}
+
+impl std::fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultSpecError::UnknownPoint { point } => write!(
+                f,
+                "unknown failpoint {point:?}; known points: {}",
+                ALL_POINTS.join(", ")
+            ),
+            FaultSpecError::BadArm { part, reason } => {
+                write!(f, "bad fault spec {part:?}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
 
 /// An injected failure, returned by [`Faults::hit`] at the armed occurrence.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -190,38 +228,49 @@ impl FaultPlan {
 
     /// Parse `"gstream.write:3,vgpu.launch:1"`. A probabilistic arm is
     /// `point:p<percent>` or `point:p<percent>@<seed>` (seed defaults
-    /// to 0), e.g. `"qnet.conn.drop:p5@7"`.
-    pub fn parse(spec: &str) -> std::result::Result<FaultPlan, String> {
+    /// to 0), e.g. `"qnet.conn.drop:p5@7"`. Point names are validated
+    /// against [`ALL_POINTS`] — an unknown name is a typed
+    /// [`FaultSpecError::UnknownPoint`], never a silently inert arm.
+    pub fn parse(spec: &str) -> std::result::Result<FaultPlan, FaultSpecError> {
+        let bad = |part: &str, reason: &str| FaultSpecError::BadArm {
+            part: part.to_string(),
+            reason: reason.to_string(),
+        };
         let mut plan = FaultPlan::new();
         for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let part = part.trim();
             let (point, trigger) = part
-                .trim()
                 .split_once(':')
-                .ok_or_else(|| format!("bad fault spec {part:?}, want point:nth or point:pN"))?;
+                .ok_or_else(|| bad(part, "want point:nth or point:pN[@seed]"))?;
+            if !ALL_POINTS.contains(&point) {
+                return Err(FaultSpecError::UnknownPoint {
+                    point: point.to_string(),
+                });
+            }
             if let Some(prob) = trigger.strip_prefix('p') {
                 let (percent, seed) = match prob.split_once('@') {
                     Some((p, s)) => (
                         p.parse::<u8>()
-                            .map_err(|_| format!("bad probability in {part:?}"))?,
+                            .map_err(|_| bad(part, "probability is not a number"))?,
                         s.parse::<u64>()
-                            .map_err(|_| format!("bad seed in {part:?}"))?,
+                            .map_err(|_| bad(part, "seed is not a number"))?,
                     ),
                     None => (
                         prob.parse::<u8>()
-                            .map_err(|_| format!("bad probability in {part:?}"))?,
+                            .map_err(|_| bad(part, "probability is not a number"))?,
                         0,
                     ),
                 };
                 if percent > 100 {
-                    return Err(format!("probability in {part:?} exceeds 100"));
+                    return Err(bad(part, "probability exceeds 100"));
                 }
                 plan = plan.fail_prob(point, percent, seed);
             } else {
                 let nth: u64 = trigger
                     .parse()
-                    .map_err(|_| format!("bad occurrence in {part:?}"))?;
+                    .map_err(|_| bad(part, "occurrence is not a number"))?;
                 if nth == 0 {
-                    return Err(format!("occurrence in {part:?} is 1-based"));
+                    return Err(bad(part, "occurrences are 1-based"));
                 }
                 plan = plan.fail_at(point, nth);
             }
@@ -438,8 +487,47 @@ mod tests {
         let json = serde_json::to_string(&plan).unwrap();
         assert_eq!(serde_json::from_str::<FaultPlan>(&json).unwrap(), plan);
         assert!(FaultPlan::parse("nope").is_err());
-        assert!(FaultPlan::parse("x:0").is_err());
+        assert!(FaultPlan::parse("gstream.write:0").is_err());
         assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn unknown_points_and_malformed_arms_are_typed_and_name_the_catalogue() {
+        // A typo'd point must not parse into an arm that never fires.
+        let err = FaultPlan::parse("gstream.wrte:3").unwrap_err();
+        assert_eq!(
+            err,
+            FaultSpecError::UnknownPoint {
+                point: "gstream.wrte".into()
+            }
+        );
+        // The message lists every valid point so the fix is one read away.
+        let msg = err.to_string();
+        for point in ALL_POINTS {
+            assert!(msg.contains(point), "{msg:?} missing {point}");
+        }
+        // Unknown names are rejected before the arm shape is inspected.
+        assert!(matches!(
+            FaultPlan::parse("not.a.point:p50@7"),
+            Err(FaultSpecError::UnknownPoint { .. })
+        ));
+        // Malformed arms on valid points are BadArm with the offending part.
+        for spec in [
+            "gstream.write",
+            "gstream.write:",
+            "gstream.write:0",
+            "gstream.write:x",
+            "qnet.conn.drop:p101",
+            "qnet.conn.drop:p5@",
+            "qnet.conn.drop:pnope",
+        ] {
+            match FaultPlan::parse(spec) {
+                Err(FaultSpecError::BadArm { part, .. }) => {
+                    assert_eq!(part, spec, "part should echo the arm")
+                }
+                other => panic!("{spec:?} parsed as {other:?}"),
+            }
+        }
     }
 
     #[test]
@@ -492,9 +580,9 @@ mod tests {
         );
         let json = serde_json::to_string(&plan).unwrap();
         assert_eq!(serde_json::from_str::<FaultPlan>(&json).unwrap(), plan);
-        assert!(FaultPlan::parse("x:p101").is_err());
-        assert!(FaultPlan::parse("x:p5@").is_err());
-        assert!(FaultPlan::parse("x:pnope").is_err());
+        assert!(FaultPlan::parse("qnet.accept:p101").is_err());
+        assert!(FaultPlan::parse("qnet.accept:p5@").is_err());
+        assert!(FaultPlan::parse("qnet.accept:pnope").is_err());
     }
 
     #[test]

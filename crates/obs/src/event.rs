@@ -34,6 +34,17 @@ pub enum Event {
         name: String,
         hist: Histogram,
     },
+    /// One grant in a model-checked schedule (`schedcheck`): at step
+    /// `step` the scheduler let `task` run past schedule point `point`.
+    /// Interleaved with the server's own events in a failing schedule's
+    /// trace, these lines show exactly which ordering broke the
+    /// invariant; aggregators ignore them.
+    Sched {
+        step: u64,
+        task: u64,
+        task_name: String,
+        point: String,
+    },
 }
 
 impl Event {
@@ -46,6 +57,7 @@ impl Event {
             | Event::Metric { span, .. }
             | Event::Gauge { span, .. }
             | Event::Histogram { span, .. } => *span,
+            Event::Sched { .. } => 0,
         }
     }
 }
@@ -87,6 +99,12 @@ mod tests {
                     h.record_n(4000, 3);
                     h
                 },
+            },
+            Event::Sched {
+                step: 12,
+                task: 3,
+                task_name: "qserve-worker-1".into(),
+                point: "qserve.worker.exec".into(),
             },
             Event::SpanEnd {
                 id: 1,

@@ -123,8 +123,9 @@ impl LiveRollup {
                 win.hists.entry(name.clone()).or_default().merge(hist);
             }
             // The live view aggregates by name only; span structure
-            // stays the post-hoc Rollup's job.
-            Event::SpanStart { .. } | Event::SpanEnd { .. } => {}
+            // stays the post-hoc Rollup's job, and schedule grants are
+            // narrative rather than measurement.
+            Event::SpanStart { .. } | Event::SpanEnd { .. } | Event::Sched { .. } => {}
         }
     }
 }

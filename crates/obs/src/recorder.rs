@@ -251,6 +251,19 @@ impl Recorder {
         });
     }
 
+    /// Record one grant of a model-checked schedule (`schedcheck`): at
+    /// `step` the scheduler let `task` (named `task_name`) run past
+    /// schedule point `point`. Interleaved with the server's own events,
+    /// these narrate exactly which ordering a failing trace explored.
+    pub fn sched(&self, step: u64, task: u64, task_name: &str, point: &str) {
+        self.emit(Event::Sched {
+            step,
+            task,
+            task_name: task_name.to_string(),
+            point: point.to_string(),
+        });
+    }
+
     /// A snapshot of every event recorded so far, in emit order.
     pub fn events(&self) -> Vec<Event> {
         match &self.inner {

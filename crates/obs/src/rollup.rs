@@ -153,6 +153,8 @@ impl Rollup {
                     };
                     agg.hists.entry(name.clone()).or_default().merge(hist);
                 }
+                // Schedule grants are narrative, not measurement.
+                Event::Sched { .. } => {}
             }
         }
         rollup

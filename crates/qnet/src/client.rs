@@ -49,6 +49,11 @@ pub struct ClientConfig {
     pub write_timeout: Duration,
     /// Seed for deterministic backoff jitter.
     pub jitter_seed: u64,
+    /// Shared secret for query authentication. When set, every query
+    /// carries the keyed tag from [`crate::proto::auth_tag`]; when
+    /// `None` the tag field travels as `0` (servers without a secret
+    /// ignore it).
+    pub auth_secret: Option<String>,
 }
 
 impl Default for ClientConfig {
@@ -63,6 +68,7 @@ impl Default for ClientConfig {
             read_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(10),
             jitter_seed: 0x5EED,
+            auth_secret: None,
         }
     }
 }
@@ -132,7 +138,14 @@ impl QueryClient {
                 _ => 0,
             };
             let wait = self.backoff_ms(attempt).max(hint_ms);
-            std::thread::sleep(Duration::from_millis(wait));
+            // Under the deterministic scheduler a real sleep would stall
+            // the whole schedule on wall time; the virtual clock only
+            // moves at schedule points, so just yield at one instead.
+            if faultsim::sched::active() {
+                faultsim::sched::point("qnet.client.backoff");
+            } else {
+                std::thread::sleep(Duration::from_millis(wait));
+            }
         }
     }
 
@@ -191,11 +204,22 @@ impl QueryClient {
     fn query_once(&mut self, reads: &[PackedSeq]) -> crate::Result<Vec<Option<Hit>>> {
         let request_id = self.next_request_id;
         self.next_request_id += 1;
+        let auth_tag = match &self.cfg.auth_secret {
+            Some(secret) => crate::proto::auth_tag(
+                secret,
+                request_id,
+                self.cfg.deadline_ms,
+                &self.cfg.client_id,
+                reads,
+            ),
+            None => 0,
+        };
         let req = Request::Query {
             request_id,
             deadline_ms: self.cfg.deadline_ms,
             client_id: self.cfg.client_id.clone(),
             reads: reads.to_vec(),
+            auth_tag,
         };
         let (resp, peer) = self.round_trip_raw(&req)?;
         match resp {
@@ -250,6 +274,10 @@ impl QueryClient {
             } => {
                 self.check_id(rid, request_id, &peer)?;
                 Err(QnetError::Remote(message))
+            }
+            Response::AuthFailed { request_id: rid } => {
+                self.check_id(rid, request_id, &peer)?;
+                Err(QnetError::AuthFailed)
             }
             other => Err(self.unexpected(&other)),
         }
@@ -320,6 +348,15 @@ impl QueryClient {
         gstream::write_frame(&mut frame, &body).map_err(|e| crate::from_stream(e, &peer))?;
         conn.stream.write_all(&frame)?;
 
+        // Under the deterministic scheduler, park until the response (or
+        // EOF) is actually observable so the blocking read below cannot
+        // stall the schedule on wall time.
+        if faultsim::sched::active() {
+            let reader = &conn.reader;
+            faultsim::sched::wait_until("qnet.client.read", &mut || {
+                !reader.buffer().is_empty() || sock_readable(reader.get_ref())
+            });
+        }
         let payload = match gstream::read_frame(&mut conn.reader, &peer) {
             Ok(Some(p)) => p,
             Ok(None) => {
@@ -334,6 +371,20 @@ impl QueryClient {
         };
         let resp = Response::decode(&payload, &peer)?;
         Ok((resp, peer))
+    }
+}
+
+/// Non-consuming readiness probe: true when a read on `sock` would not
+/// block (data buffered, EOF, or a hard error — all of which the real
+/// read observes immediately).
+fn sock_readable(sock: &TcpStream) -> bool {
+    let mut probe = [0u8; 1];
+    let _ = sock.set_nonblocking(true);
+    let r = sock.peek(&mut probe);
+    let _ = sock.set_nonblocking(false);
+    match r {
+        Ok(_) => true,
+        Err(e) => e.kind() != std::io::ErrorKind::WouldBlock,
     }
 }
 
@@ -489,6 +540,45 @@ mod tests {
             }
             other => panic!("expected RetriesExhausted, got {other:?}"),
         }
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn auth_rejection_is_terminal_and_the_tag_rides_the_wire() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let Request::Query {
+                request_id,
+                deadline_ms,
+                client_id,
+                reads,
+                auth_tag,
+            } = read_request(&mut s)
+            else {
+                panic!("expected a query")
+            };
+            // The client computed the tag over exactly the fields it sent.
+            assert_eq!(
+                auth_tag,
+                crate::proto::auth_tag("pw", request_id, deadline_ms, &client_id, &reads)
+            );
+            send_response(&mut s, &Response::AuthFailed { request_id });
+            let mut buf = [0u8; 1];
+            let _ = s.read(&mut buf);
+        });
+        let rec = Recorder::disabled();
+        let cfg = ClientConfig {
+            auth_secret: Some("pw".to_string()),
+            ..fast_cfg(addr)
+        };
+        let mut client = QueryClient::new(cfg, &rec);
+        let reads = vec!["ACGT".parse::<PackedSeq>().unwrap()];
+        let err = client.query_batch(&reads).expect_err("auth is terminal");
+        assert!(matches!(err, QnetError::AuthFailed));
+        assert!(!err.is_retryable());
+        assert_eq!(client.retries_total(), 0, "no retry on auth failure");
         server.join().unwrap();
     }
 

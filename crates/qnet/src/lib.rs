@@ -44,7 +44,7 @@ pub mod server;
 
 pub use client::{ClientConfig, QueryClient};
 pub use proto::{
-    ClientStats, LatencySummary, PongStatus, Request, Response, ShedScope, StatsSnapshot,
+    auth_tag, ClientStats, LatencySummary, PongStatus, Request, Response, ShedScope, StatsSnapshot,
     STATS_VERSION,
 };
 pub use server::{DrainReport, Server, ServerConfig};
@@ -81,6 +81,10 @@ pub enum QnetError {
     },
     /// The server is draining for shutdown and admits nothing new.
     Draining,
+    /// The server rejected the query's authentication tag
+    /// ([`proto::auth_tag`]). Terminal: the same credentials can never
+    /// succeed, so retrying would only burn the budget.
+    AuthFailed,
     /// The server failed to process the batch (its own typed error,
     /// stringified for transport).
     Remote(String),
@@ -97,8 +101,9 @@ pub enum QnetError {
 impl QnetError {
     /// True when retrying the same request (with backoff, on a fresh
     /// connection) may succeed: transport errors, torn/corrupt frames,
-    /// sheds, and drains. Deadline exhaustion, remote typed failures,
-    /// and an already-exhausted retry budget are terminal.
+    /// sheds, and drains. Deadline exhaustion, authentication failures,
+    /// remote typed failures, and an already-exhausted retry budget are
+    /// terminal.
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
@@ -131,6 +136,9 @@ impl std::fmt::Display for QnetError {
                 write!(f, "deadline exceeded: the {budget_ms} ms budget ran out")
             }
             QnetError::Draining => write!(f, "server draining: no new work admitted"),
+            QnetError::AuthFailed => {
+                write!(f, "authentication failed: the server rejected the auth tag")
+            }
             QnetError::Remote(m) => write!(f, "remote error: {m}"),
             QnetError::RetriesExhausted { attempts, last } => {
                 write!(f, "retries exhausted after {attempts} attempts: {last}")

@@ -62,6 +62,14 @@ pub struct ServerConfig {
     /// How long the `qnet.frame.stall` failpoint holds a response
     /// before dropping the connection.
     pub stall_ms: u64,
+    /// Shared secret for request authentication. When set, every
+    /// [`Request::Query`] must carry the keyed-FNV tag
+    /// ([`crate::proto::auth_tag`]) binding its `client_id` (and the
+    /// rest of the request) to this secret; mismatches are rejected with
+    /// a typed [`Response::AuthFailed`] *before* any gate charges the
+    /// claimed client's fairness tokens. `None` (the default) accepts
+    /// every tag.
+    pub auth_secret: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +81,7 @@ impl Default for ServerConfig {
             drain_deadline: Duration::from_secs(5),
             admission: qserve::AdmissionConfig::default(),
             stall_ms: 50,
+            auth_secret: None,
         }
     }
 }
@@ -86,6 +95,12 @@ pub struct DrainReport {
     /// response) inside the drain deadline; false when stragglers were
     /// force-closed.
     pub completed: bool,
+    /// Reads belonging to in-flight requests that were still unanswered
+    /// at the drain deadline. Each such straggler got a best-effort
+    /// typed [`Response::Draining`] frame for its `request_id` before
+    /// its socket was cut, and was counted under the
+    /// `qnet.drain.force_closed` trace counter.
+    pub force_closed: u64,
 }
 
 /// Live estimate of the worker pool's throughput, fed by the odometer
@@ -166,6 +181,42 @@ struct ClientTotals {
     fairness_shed: u64,
 }
 
+/// The write side of one accepted connection, shared between its handler
+/// thread and [`Server::shutdown`]. All response frames go through the
+/// mutex, so "the handler delivered the answer" and "the drain
+/// force-closed the straggler with a typed frame" are mutually exclusive
+/// by construction — a client can never receive both (or neither plus a
+/// silent close) for one admitted `request_id`.
+struct ConnShared {
+    write: Mutex<ConnWrite>,
+}
+
+struct ConnWrite {
+    sock: TcpStream,
+    /// The admitted request currently awaiting its response on this
+    /// connection: `(request_id, n_reads)`. Set at admission (gate 4
+    /// passed), cleared by the response write — whichever side performs
+    /// it.
+    inflight: Option<(u64, u64)>,
+    /// Set by the drain force-close; the handler stops writing (and
+    /// reading) once its socket has been cut.
+    closed: bool,
+}
+
+impl ConnShared {
+    /// Write one response frame, unless the connection was force-closed.
+    /// Clears the in-flight marker. Returns false when the connection is
+    /// no longer writable.
+    fn write_response(&self, frame: &[u8]) -> bool {
+        let mut w = self.write.lock().unwrap_or_else(|e| e.into_inner());
+        w.inflight = None;
+        if w.closed {
+            return false;
+        }
+        w.sock.write_all(frame).is_ok() && w.sock.flush().is_ok()
+    }
+}
+
 struct Inner {
     service: QueryService,
     admission: FairAdmission,
@@ -182,9 +233,15 @@ struct Inner {
     draining: AtomicBool,
     /// Admitted requests whose response has not yet been written.
     inflight: AtomicU64,
-    /// Socket clones for force-closing stragglers at drain end.
-    conns: Mutex<Vec<TcpStream>>,
-    handlers: Mutex<Vec<JoinHandle<()>>>,
+    /// Reads force-closed at the drain deadline (see
+    /// [`DrainReport::force_closed`]).
+    force_closed: AtomicU64,
+    /// Write sides of every accepted connection, for the drain's typed
+    /// force-close sweep.
+    conns: Mutex<Vec<Arc<ConnShared>>>,
+    /// Handler threads plus their scheduler task ids (model checking
+    /// only) so a drain under `schedcheck` can park while joining.
+    handlers: Mutex<Vec<(JoinHandle<()>, Option<faultsim::sched::TaskId>)>>,
     conn_seq: AtomicU64,
     /// Signalled when a peer sends [`Request::Shutdown`].
     shutdown_requested: Mutex<bool>,
@@ -195,7 +252,13 @@ struct Inner {
 
 impl Inner {
     fn now_s(&self) -> f64 {
-        self.epoch.elapsed().as_secs_f64()
+        // Under a model-checking scheduler, admission and drain-rate
+        // clocks follow virtual time so token refill is a function of
+        // the explored schedule, not the host.
+        match faultsim::sched::virtual_now_ms() {
+            Some(ms) => ms as f64 / 1000.0,
+            None => self.epoch.elapsed().as_secs_f64(),
+        }
     }
 
     fn is_draining(&self) -> bool {
@@ -274,6 +337,7 @@ impl Inner {
             rejected: sum(|c| c.rejected),
             deadline_shed: sum(|c| c.deadline_shed),
             fairness_shed: sum(|c| c.fairness_shed),
+            force_closed: self.force_closed.load(Ordering::SeqCst),
             clients,
             latency,
         }
@@ -289,6 +353,7 @@ struct InflightGuard {
 
 impl InflightGuard {
     fn new(inner: &Arc<Inner>) -> InflightGuard {
+        faultsim::sched::point("qnet.inflight.enter");
         inner.inflight.fetch_add(1, Ordering::SeqCst);
         InflightGuard {
             inner: Arc::clone(inner),
@@ -298,6 +363,7 @@ impl InflightGuard {
 
 impl Drop for InflightGuard {
     fn drop(&mut self) {
+        faultsim::sched::point("qnet.inflight.exit");
         self.inner.inflight.fetch_sub(1, Ordering::SeqCst);
     }
 }
@@ -312,6 +378,8 @@ pub struct Server {
     inner: Arc<Inner>,
     addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
+    /// Scheduler task id of the accept loop (model checking only).
+    accept_task: Option<faultsim::sched::TaskId>,
     /// Keeps the `qnet.server` span open until shutdown.
     span: Option<SpanGuard>,
     report: Option<DrainReport>,
@@ -352,6 +420,7 @@ impl Server {
             epoch: Instant::now(),
             draining: AtomicBool::new(false),
             inflight: AtomicU64::new(0),
+            force_closed: AtomicU64::new(0),
             conns: Mutex::new(Vec::new()),
             handlers: Mutex::new(Vec::new()),
             conn_seq: AtomicU64::new(0),
@@ -361,11 +430,17 @@ impl Server {
             client_totals: Mutex::new(BTreeMap::new()),
         });
         let accept_inner = Arc::clone(&inner);
-        let accept = std::thread::spawn(move || accept_loop(accept_inner, listener));
+        let token = faultsim::sched::announce("qnet.accept");
+        let accept_task = token.as_ref().map(|t| t.id());
+        let accept = std::thread::spawn(move || {
+            let _task = faultsim::sched::begin(token);
+            accept_loop(accept_inner, listener)
+        });
         Ok(Server {
             inner,
             addr,
             accept: Some(accept),
+            accept_task,
             span: Some(span),
             report: None,
         })
@@ -390,6 +465,15 @@ impl Server {
     /// True once a drain has begun.
     pub fn is_draining(&self) -> bool {
         self.inner.is_draining()
+    }
+
+    /// The same [`StatsSnapshot`] a wire [`Request::Stats`] would
+    /// receive, read in-process. `schedcheck` and tests use this to
+    /// compare the server's own accounting against post-hoc trace
+    /// roll-ups and observed client outcomes after a drain, when no
+    /// connection is left to ask over the wire.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        self.inner.stats_snapshot()
     }
 
     /// Block until a peer asks for shutdown over the wire
@@ -443,6 +527,7 @@ impl Server {
             return r;
         }
         self.inner.draining.store(true, Ordering::SeqCst);
+        faultsim::sched::point("qnet.drain.set");
         let inflight_at_start = self.inner.inflight.load(Ordering::SeqCst);
         self.inner.rec.gauge_on(
             self.inner.server_span,
@@ -454,17 +539,37 @@ impl Server {
         // the draining flag and exits, dropping the listener.
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.accept.take() {
+            if let Some(id) = self.accept_task.take() {
+                faultsim::sched::wait_until("qnet.accept.join", &mut || {
+                    faultsim::sched::task_finished(id)
+                });
+            }
             let _ = h.join();
         }
 
-        let deadline = Instant::now() + self.inner.cfg.drain_deadline;
+        // Wait for in-flight requests, bounded by the drain deadline —
+        // virtual time under a model-checking scheduler (the deadline
+        // "passing" is then an explored schedule choice), wall time
+        // otherwise.
         let mut completed = true;
-        while self.inner.inflight.load(Ordering::SeqCst) > 0 {
-            if Instant::now() >= deadline {
-                completed = false;
-                break;
+        if faultsim::sched::active() {
+            let wake = faultsim::sched::virtual_now_ms().unwrap_or(0)
+                + self.inner.cfg.drain_deadline.as_millis() as u64;
+            let inner = &self.inner;
+            faultsim::sched::wait_until_deadline("qnet.drain.deadline", wake, &mut || {
+                inner.inflight.load(Ordering::SeqCst) == 0
+                    || faultsim::sched::virtual_now_ms().unwrap_or(u64::MAX) >= wake
+            });
+            completed = self.inner.inflight.load(Ordering::SeqCst) == 0;
+        } else {
+            let deadline = Instant::now() + self.inner.cfg.drain_deadline;
+            while self.inner.inflight.load(Ordering::SeqCst) > 0 {
+                if Instant::now() >= deadline {
+                    completed = false;
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(2));
             }
-            std::thread::sleep(Duration::from_millis(2));
         }
         if !completed {
             self.inner
@@ -472,19 +577,45 @@ impl Server {
                 .counter_on(self.inner.server_span, "qnet.drain.forced", 1);
         }
 
-        // Force-close every connection: idle handlers parked in
-        // `read_frame` wake with an error immediately instead of
-        // waiting out their read timeout, and post-deadline stragglers
-        // lose their socket (their worker-side computation still
-        // completes; only the response write fails).
-        for sock in self
+        // Force-close every connection. A straggler (admitted request
+        // still unanswered) first gets a best-effort typed `Draining`
+        // frame for its request_id — never a silent close — and is
+        // counted under `qnet.drain.force_closed`. The write mutex makes
+        // this atomic against the handler delivering the real answer:
+        // exactly one of the two frames reaches the wire. Idle handlers
+        // parked in `read_frame` wake with an error immediately instead
+        // of waiting out their read timeout.
+        faultsim::sched::point("qnet.drain.force_close");
+        let mut force_closed = 0u64;
+        for conn in self
             .inner
             .conns
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .iter()
         {
-            let _ = sock.shutdown(Shutdown::Both);
+            let mut w = conn.write.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some((request_id, n_reads)) = w.inflight.take() {
+                let body = crate::proto::Response::Draining { request_id }.encode();
+                let mut frame = Vec::with_capacity(gstream::FRAME_HEADER_BYTES + body.len());
+                if gstream::write_frame(&mut frame, &body).is_ok() {
+                    let _ = w.sock.write_all(&frame);
+                    let _ = w.sock.flush();
+                }
+                force_closed += n_reads;
+            }
+            w.closed = true;
+            let _ = w.sock.shutdown(Shutdown::Both);
+        }
+        if force_closed > 0 {
+            self.inner
+                .force_closed
+                .fetch_add(force_closed, Ordering::SeqCst);
+            self.inner.rec.counter_on(
+                self.inner.server_span,
+                "qnet.drain.force_closed",
+                force_closed,
+            );
         }
         let handlers = std::mem::take(
             &mut *self
@@ -493,14 +624,23 @@ impl Server {
                 .lock()
                 .unwrap_or_else(|e| e.into_inner()),
         );
-        for h in handlers {
+        for (h, task) in handlers {
+            if let Some(id) = task {
+                faultsim::sched::wait_until("qnet.conn.join", &mut || {
+                    faultsim::sched::task_finished(id)
+                });
+            }
             let _ = h.join();
         }
 
         drop(self.span.take());
         let report = DrainReport {
             inflight_at_start,
-            completed,
+            // A request can slip past the in-flight wait (admitted in
+            // the marker-to-counter window) and still be swept; the
+            // sweep's count is authoritative for "everyone answered".
+            completed: completed && force_closed == 0,
+            force_closed,
         };
         self.report = Some(report);
         report
@@ -514,14 +654,47 @@ impl Drop for Server {
 }
 
 fn accept_loop(inner: Arc<Inner>, listener: TcpListener) {
+    let checked = faultsim::sched::active();
+    if checked {
+        // Model-checked accept: poll a non-blocking listener from a
+        // schedule point instead of blocking in `accept`, so "a
+        // connection arrived" is an explorable step and "drain began"
+        // wakes the loop without a real connection.
+        let _ = listener.set_nonblocking(true);
+    }
     loop {
-        let (sock, peer) = match listener.accept() {
-            Ok(pair) => pair,
-            Err(_) => {
-                if inner.is_draining() {
-                    break;
+        let (sock, peer) = if checked {
+            let mut slot: Option<(TcpStream, SocketAddr)> = None;
+            {
+                let inner = &inner;
+                let listener = &listener;
+                let slot = &mut slot;
+                faultsim::sched::wait_until("qnet.accept.wait", &mut || {
+                    if inner.is_draining() {
+                        return true;
+                    }
+                    match listener.accept() {
+                        Ok(pair) => {
+                            *slot = Some(pair);
+                            true
+                        }
+                        Err(_) => false,
+                    }
+                });
+            }
+            match slot {
+                Some(pair) => pair,
+                None => break, // draining with nothing pending
+            }
+        } else {
+            match listener.accept() {
+                Ok(pair) => pair,
+                Err(_) => {
+                    if inner.is_draining() {
+                        break;
+                    }
+                    continue;
                 }
-                continue;
             }
         };
         if inner.is_draining() {
@@ -535,28 +708,66 @@ fn accept_loop(inner: Arc<Inner>, listener: TcpListener) {
                 .counter_on(inner.server_span, "qnet.accept.dropped", 1);
             continue;
         }
+        if checked {
+            // The accepted socket inherited the listener's non-blocking
+            // flag on some platforms; the handler expects blocking I/O.
+            let _ = sock.set_nonblocking(false);
+        }
         let _ = sock.set_read_timeout(Some(inner.cfg.read_timeout));
         let _ = sock.set_write_timeout(Some(inner.cfg.write_timeout));
         let _ = sock.set_nodelay(true);
-        if let Ok(clone) = sock.try_clone() {
-            inner
-                .conns
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .push(clone);
-        }
+        let Ok(write_half) = sock.try_clone() else {
+            continue;
+        };
+        let conn = Arc::new(ConnShared {
+            write: Mutex::new(ConnWrite {
+                sock: write_half,
+                inflight: None,
+                closed: false,
+            }),
+        });
+        inner
+            .conns
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Arc::clone(&conn));
         let idx = inner.conn_seq.fetch_add(1, Ordering::Relaxed);
         let conn_inner = Arc::clone(&inner);
-        let handle = std::thread::spawn(move || handle_conn(conn_inner, sock, peer, idx));
+        let token = faultsim::sched::announce(&format!("qnet.conn{idx}"));
+        let task = token.as_ref().map(|t| t.id());
+        let handle = std::thread::spawn(move || {
+            let _task = faultsim::sched::begin(token);
+            handle_conn(conn_inner, sock, conn, peer, idx)
+        });
         inner
             .handlers
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .push(handle);
+            .push((handle, task));
     }
 }
 
-fn handle_conn(inner: Arc<Inner>, sock: TcpStream, peer: SocketAddr, idx: u64) {
+/// True when a read on `sock` would not block: buffered bytes, a
+/// pending frame, or EOF/error. Probes with a non-blocking `peek`, which
+/// consumes nothing — safe as a scheduler re-poll predicate.
+fn sock_readable(sock: &TcpStream) -> bool {
+    let mut probe = [0u8; 1];
+    let _ = sock.set_nonblocking(true);
+    let r = sock.peek(&mut probe);
+    let _ = sock.set_nonblocking(false);
+    match r {
+        Ok(_) => true, // data, or Ok(0) = orderly EOF
+        Err(e) => e.kind() != std::io::ErrorKind::WouldBlock,
+    }
+}
+
+fn handle_conn(
+    inner: Arc<Inner>,
+    sock: TcpStream,
+    conn: Arc<ConnShared>,
+    peer: SocketAddr,
+    idx: u64,
+) {
     let peer_s = peer.to_string();
     let conn_span = inner
         .rec
@@ -565,13 +776,23 @@ fn handle_conn(inner: Arc<Inner>, sock: TcpStream, peer: SocketAddr, idx: u64) {
     // One `client:{id}` child span per client identity seen on this
     // connection; counters attributed there roll up under the conn span.
     let mut client_spans: HashMap<String, SpanGuard> = HashMap::new();
-    let Ok(read_half) = sock.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = sock;
+    let mut reader = BufReader::new(sock);
 
     loop {
+        if faultsim::sched::active() {
+            // Model-checked read: park until a frame (or EOF, or the
+            // drain force-close) is observable, so "the request
+            // arrived" is a schedule step instead of a blocking read.
+            {
+                let reader = &reader;
+                faultsim::sched::wait_until("qnet.conn.read", &mut || {
+                    !reader.buffer().is_empty() || sock_readable(reader.get_ref())
+                });
+            }
+            if conn.write.lock().unwrap_or_else(|e| e.into_inner()).closed {
+                break;
+            }
+        }
         let payload = match gstream::read_frame(&mut reader, &peer_s) {
             Ok(Some(p)) => p,
             // Clean close at a frame boundary, or the drain force-close.
@@ -613,7 +834,10 @@ fn handle_conn(inner: Arc<Inner>, sock: TcpStream, peer: SocketAddr, idx: u64) {
                 }),
                 None,
             ),
-            Request::Stats => (Response::Stats(inner.stats_snapshot()), None),
+            Request::Stats => {
+                faultsim::sched::point("qnet.stats.snapshot");
+                (Response::Stats(inner.stats_snapshot()), None)
+            }
             Request::Shutdown => {
                 let mut g = inner
                     .shutdown_requested
@@ -629,14 +853,17 @@ fn handle_conn(inner: Arc<Inner>, sock: TcpStream, peer: SocketAddr, idx: u64) {
                 deadline_ms,
                 client_id,
                 reads,
+                auth_tag,
             } => handle_query(
                 &inner,
+                &conn,
                 conn_id,
                 &mut client_spans,
                 request_id,
                 deadline_ms,
                 &client_id,
                 reads,
+                auth_tag,
             ),
         };
 
@@ -660,18 +887,30 @@ fn handle_conn(inner: Arc<Inner>, sock: TcpStream, peer: SocketAddr, idx: u64) {
         if inner.faults.hit(faultsim::QNET_FRAME_WRITE).is_err() {
             inner.rec.counter_on(conn_id, "qnet.frame.torn", 1);
             let torn = torn_frame(&body);
-            let _ = writer.write_all(&torn);
-            let _ = writer.flush();
+            let mut w = conn.write.lock().unwrap_or_else(|e| e.into_inner());
+            w.inflight = None;
+            if !w.closed {
+                let _ = w.sock.write_all(&torn);
+                let _ = w.sock.flush();
+            }
             break;
         }
         let mut frame = Vec::with_capacity(gstream::FRAME_HEADER_BYTES + body.len());
         if gstream::write_frame(&mut frame, &body).is_err() {
             break;
         }
-        if writer.write_all(&frame).is_err() {
+        if !conn.write_response(&frame) {
             break;
         }
     }
+
+    // The connection is done (clean close, chaos, corrupt stream, or a
+    // failed write): mark it closed so the drain sweep does not
+    // misattribute a dead request as a live straggler.
+    let mut w = conn.write.lock().unwrap_or_else(|e| e.into_inner());
+    w.inflight = None;
+    w.closed = true;
+    let _ = w.sock.shutdown(Shutdown::Both);
 }
 
 /// A frame cut off halfway through its payload: full header (so the
@@ -687,16 +926,20 @@ fn torn_frame(body: &[u8]) -> Vec<u8> {
 /// Run one query through the admission gates. Returns the response and,
 /// for admitted batches, the [`InflightGuard`] the caller must hold
 /// until the response write finishes — drain waits on it.
+#[allow(clippy::too_many_arguments)]
 fn handle_query(
     inner: &Arc<Inner>,
+    conn: &Arc<ConnShared>,
     conn_id: u64,
     client_spans: &mut HashMap<String, SpanGuard>,
     request_id: u64,
     deadline_ms: u32,
     client_id: &str,
     reads: Vec<genome::PackedSeq>,
+    auth_tag: u64,
 ) -> (Response, Option<InflightGuard>) {
     let received = Instant::now();
+    let received_vms = faultsim::sched::virtual_now_ms();
     let n_reads = reads.len() as u64;
     let client_span = client_spans
         .entry(client_id.to_string())
@@ -707,7 +950,22 @@ fn handle_query(
         })
         .id();
 
+    // Gate 0: authentication. A request whose tag does not bind its
+    // claimed `client_id` to the shared secret is rejected before any
+    // gate charges that client's fairness tokens — otherwise a forged
+    // `client_id` could drain a victim's bucket.
+    if let Some(secret) = &inner.cfg.auth_secret {
+        let expect = crate::proto::auth_tag(secret, request_id, deadline_ms, client_id, &reads);
+        if auth_tag != expect {
+            inner
+                .rec
+                .counter_on(client_span, "qnet.auth_failed", n_reads);
+            return (Response::AuthFailed { request_id }, None);
+        }
+    }
+
     // Gate 1: drain.
+    faultsim::sched::point("qnet.gate.drain");
     if inner.is_draining() {
         inner.rec.counter_on(client_span, "qnet.rejected", n_reads);
         inner.charge_client(client_id, |t| t.rejected += n_reads);
@@ -715,9 +973,15 @@ fn handle_query(
     }
 
     // Gate 2: deadline. A spent budget is shed before admission and
-    // does not debit the fairness bucket — no work happened.
-    let deadline = received + Duration::from_millis(u64::from(deadline_ms));
-    if Instant::now() >= deadline {
+    // does not debit the fairness bucket — no work happened. Under a
+    // model-checking scheduler the budget burns in virtual time, so
+    // expiry is a schedule choice rather than a wall-clock accident.
+    faultsim::sched::point("qnet.gate.deadline");
+    let expired = match received_vms {
+        Some(v0) => faultsim::sched::virtual_now_ms().unwrap_or(v0) >= v0 + u64::from(deadline_ms),
+        None => Instant::now() >= received + Duration::from_millis(u64::from(deadline_ms)),
+    };
+    if expired {
         inner
             .rec
             .counter_on(client_span, "qnet.deadline_shed", n_reads);
@@ -726,6 +990,7 @@ fn handle_query(
     }
 
     // Gate 3: per-client fairness, one token per read.
+    faultsim::sched::point("qnet.gate.fairness");
     if let Err(FairShed { wait_s }) = inner.admission.admit(client_id, n_reads, inner.now_s()) {
         inner
             .rec
@@ -747,6 +1012,7 @@ fn handle_query(
     }
 
     // Gate 4: shared queue depth.
+    faultsim::sched::point("qnet.gate.depth");
     match inner.service.submit(reads) {
         Err(QserveError::Overloaded {
             queued, max_queue, ..
@@ -778,6 +1044,31 @@ fn handle_query(
             None,
         ),
         Ok(handle) => {
+            // Mark the admitted request on the connection's write side
+            // *before* anything else can observe it: from here on, a
+            // drain force-close that cuts this socket is obligated (by
+            // the same mutex the response write takes) to first send a
+            // typed `Draining` frame for exactly this request_id.
+            let admitted_live = {
+                let mut w = conn.write.lock().unwrap_or_else(|e| e.into_inner());
+                if w.closed {
+                    false
+                } else {
+                    w.inflight = Some((request_id, n_reads));
+                    true
+                }
+            };
+            if !admitted_live {
+                // The drain swept this connection between the queue-depth
+                // check and the marker: the chunks will still drain in
+                // the worker pool, but the client already saw the socket
+                // close. Count the reads as drain-rejected; the typed
+                // response below is best-effort (the write is skipped on
+                // a closed connection, so the client observes EOF).
+                inner.rec.counter_on(client_span, "qnet.rejected", n_reads);
+                inner.charge_client(client_id, |t| t.rejected += n_reads);
+                return (Response::Draining { request_id }, None);
+            }
             let guard = InflightGuard::new(inner);
             let admitted = Instant::now();
             let hits = handle.wait();

@@ -72,6 +72,20 @@ impl BatchHandle {
     /// Block until the batch completes; results align with the submitted
     /// reads (`results[i]` answers `reads[i]`).
     pub fn wait(self) -> Vec<Option<Hit>> {
+        // Under a model-checking scheduler the condvar wait becomes a
+        // pollable schedule point, so "the submitter saw the batch
+        // finish" is an explicit, explorable step.
+        if faultsim::sched::active() {
+            let state = &self.state;
+            faultsim::sched::wait_until("qserve.batch.wait", &mut || {
+                state
+                    .inner
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .pending
+                    == 0
+            });
+        }
         let mut inner = self.state.inner.lock().unwrap_or_else(|e| e.into_inner());
         while inner.pending > 0 {
             inner = self
@@ -126,6 +140,10 @@ pub struct QueryService {
     shared: Arc<Shared>,
     cfg: ServiceConfig,
     workers: Vec<JoinHandle<()>>,
+    /// Scheduler task ids of the workers (model checking only): joins
+    /// poll [`faultsim::sched::task_finished`] so the joining task parks
+    /// instead of blocking the whole explored schedule.
+    worker_tasks: Vec<faultsim::sched::TaskId>,
 }
 
 impl QueryService {
@@ -143,12 +161,21 @@ impl QueryService {
             parent_span: rec.current(),
             drained: AtomicU64::new(0),
         });
+        let mut worker_tasks = Vec::new();
         let workers = (0..cfg.workers.max(1))
             .map(|i| {
                 let shared = Arc::clone(&shared);
+                // Announce before spawn so a model-checking scheduler
+                // (schedcheck) counts the worker from the instant it is
+                // promised, not the instant the OS runs it.
+                let token = faultsim::sched::announce(&format!("qserve-worker-{i}"));
+                worker_tasks.extend(token.as_ref().map(|t| t.id()));
                 std::thread::Builder::new()
                     .name(format!("qserve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, i))
+                    .spawn(move || {
+                        let _task = faultsim::sched::begin(token);
+                        worker_loop(&shared, i)
+                    })
                     .expect("spawn query worker")
             })
             .collect();
@@ -156,6 +183,7 @@ impl QueryService {
             shared,
             cfg,
             workers,
+            worker_tasks,
         }
     }
 
@@ -246,6 +274,16 @@ impl Drop for QueryService {
     fn drop(&mut self) {
         self.shared.lock_queue().shutdown = true;
         self.shared.available.notify_all();
+        // Model-checked join: park until each worker task marks itself
+        // exited (a pure scheduler-state predicate), so the workers can
+        // still be granted the steps they need to drain and leave.
+        if faultsim::sched::active() {
+            for id in self.worker_tasks.drain(..) {
+                faultsim::sched::wait_until("qserve.worker.join", &mut || {
+                    faultsim::sched::task_finished(id)
+                });
+            }
+        }
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -261,7 +299,25 @@ fn worker_loop(shared: &Shared, idx: usize) {
         .rec
         .child_span(parent, &format!("qserve.worker{idx}"));
     loop {
-        let chunk = {
+        let chunk = if faultsim::sched::active() {
+            // Model-checked dequeue: park at the schedule point until
+            // work (or shutdown) is observable, then take it. Another
+            // worker granted first may have emptied the queue — loop and
+            // park again rather than trust a stale wake.
+            loop {
+                faultsim::sched::wait_until("qserve.worker.dequeue", &mut || {
+                    let q = shared.lock_queue();
+                    !q.chunks.is_empty() || q.shutdown
+                });
+                let mut q = shared.lock_queue();
+                if let Some(chunk) = q.chunks.pop_front() {
+                    break chunk;
+                }
+                if q.shutdown {
+                    return;
+                }
+            }
+        } else {
             let mut q = shared.lock_queue();
             loop {
                 if let Some(chunk) = q.chunks.pop_front() {
@@ -273,6 +329,7 @@ fn worker_loop(shared: &Shared, idx: usize) {
                 q = shared.available.wait(q).unwrap_or_else(|e| e.into_inner());
             }
         };
+        faultsim::sched::point("qserve.worker.exec");
         let n = chunk.reads.len() as u64;
         shared.rec.counter_on(span.id(), "qserve.queries", n);
         let answers: Vec<Option<Hit>> = if shared.rec.is_enabled() {
@@ -319,6 +376,7 @@ fn worker_loop(shared: &Shared, idx: usize) {
                 .map(|read| shared.engine.query_traced(read, &shared.rec, span.id()))
                 .collect()
         };
+        faultsim::sched::point("qserve.worker.respond");
         shared
             .drained
             .fetch_add(answers.len() as u64, Ordering::Relaxed);

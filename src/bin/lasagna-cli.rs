@@ -33,13 +33,13 @@
 //!
 //! lasagna-cli query --connect HOST:PORT --reads queries.fastq \
 //!                  [--out hits.tsv] [--batch 1024] [--client-id NAME] \
-//!                  [--deadline-ms 10000] [--retries 4]
+//!                  [--deadline-ms 10000] [--retries 4] [--auth-secret S]
 //!
 //! lasagna-cli serve --work /tmp/lasagna-work [--addr 127.0.0.1:0] \
 //!                  [--workers 4] [--cache-mb 32] [--max-mismatches 2] \
 //!                  [--max-queue 64] [--refill-per-s 50000] [--burst 20000] \
 //!                  [--read-timeout-ms 30000] [--drain-deadline-ms 5000] \
-//!                  [--faults SPEC] [--trace-out trace.jsonl]
+//!                  [--faults SPEC] [--trace-out trace.jsonl] [--auth-secret S]
 //!
 //! lasagna-cli shutdown --connect HOST:PORT
 //! ```
@@ -106,11 +106,12 @@ fn usage() -> ! {
          lasagna query --work DIR --reads queries.fastq [--out hits.tsv] [--batch 1024] \
          [--workers 4] [--cache-mb 32] [--max-mismatches 2] [--max-queue 64]\n  \
          lasagna query --connect HOST:PORT --reads queries.fastq [--out hits.tsv] \
-         [--batch 1024] [--client-id NAME] [--deadline-ms 10000] [--retries 4]\n  \
+         [--batch 1024] [--client-id NAME] [--deadline-ms 10000] [--retries 4] \
+         [--auth-secret S]\n  \
          lasagna serve --work DIR [--addr 127.0.0.1:0] [--workers 4] [--cache-mb 32] \
          [--max-mismatches 2] [--max-queue 64] [--refill-per-s 50000] [--burst 20000] \
          [--read-timeout-ms 30000] [--drain-deadline-ms 5000] [--faults SPEC] \
-         [--trace-out trace.jsonl]\n  \
+         [--trace-out trace.jsonl] [--auth-secret S]\n  \
          lasagna shutdown --connect HOST:PORT\n\
          \nassemble resumes from --work's manifest.json when --resume yes; \
          assemble-distributed resumes from --work's superstep.log plus the \
@@ -119,7 +120,8 @@ fn usage() -> ! {
          2 usage, 3 corrupt on-disk state, 4 out of memory, 5 I/O failure, \
          6 overloaded (queued + arriving work exceeds the admission limit, the \
          per-client fairness bucket is empty, the server is draining, or the \
-         client's retry budget ran out; resubmit later)"
+         client's retry budget ran out; resubmit later), \
+         7 auth rejected (wrong --auth-secret; terminal, do not retry)"
     );
     exit(2);
 }
@@ -1022,6 +1024,7 @@ fn query_remote(opts: &HashMap<String, String>) {
             client_id: get(opts, "client-id", "cli".to_string()),
             deadline_ms: get(opts, "deadline-ms", 10_000u32),
             max_retries: get(opts, "retries", 4u32),
+            auth_secret: opts.get("auth-secret").cloned(),
             ..ClientConfig::default()
         },
         &rec,
@@ -1114,6 +1117,7 @@ fn serve(opts: &HashMap<String, String>) {
                 refill_per_s: get(opts, "refill-per-s", 50_000.0f64),
                 burst: get(opts, "burst", 20_000.0f64),
             },
+            auth_secret: opts.get("auth-secret").cloned(),
             ..ServerConfig::default()
         },
         &rec,
@@ -1182,6 +1186,9 @@ const EXIT_IO: i32 = 5;
 /// budget. Nothing was processed; resubmit later (the server's
 /// `retry_after_ms` hint says when).
 const EXIT_OVERLOADED: i32 = 6;
+/// The server rejected the request's authentication tag. Terminal for
+/// these credentials: fix `--auth-secret` rather than retrying.
+const EXIT_AUTH: i32 = 7;
 
 fn stream_exit_code(e: &lasagna_repro::gstream::StreamError) -> i32 {
     use lasagna_repro::gstream::StreamError;
@@ -1238,6 +1245,7 @@ fn die_qnet<T>(e: lasagna_repro::qnet::QnetError) -> T {
         QnetError::Overloaded { .. } | QnetError::Draining | QnetError::RetriesExhausted { .. } => {
             EXIT_OVERLOADED
         }
+        QnetError::AuthFailed => EXIT_AUTH,
         QnetError::DeadlineExceeded { .. } | QnetError::Remote(_) => 1,
     })
 }

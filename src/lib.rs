@@ -30,7 +30,11 @@
 //!   store with batched, cached, concurrent read lookups (see SERVING.md);
 //! * [`qnet`] — the hardened TCP front-end over `qserve`: checksummed
 //!   framing, deadline propagation, per-client fair admission, a
-//!   retry/backoff client, and graceful drain (see SERVING.md).
+//!   retry/backoff client, and graceful drain (see SERVING.md);
+//! * [`schedcheck`] — deterministic schedule exploration for the serving
+//!   concurrency protocol: the real server and service under a controlled
+//!   scheduler, bounded-exhaustive + PCT strategies, replayable traces
+//!   (see ROBUSTNESS.md).
 //!
 //! ## Quickstart
 //!
@@ -62,6 +66,7 @@ pub use lasagna;
 pub use obs;
 pub use qnet;
 pub use qserve;
+pub use schedcheck;
 pub use sga;
 pub use vgpu;
 

@@ -52,17 +52,26 @@ fn slice_queries(contigs: &[PackedSeq], count: usize, len: usize) -> Vec<PackedS
 }
 
 fn start_server(dir: &Path, rec: &obs::Recorder) -> Server {
-    let io = IoStats::default();
-    let store = ContigStore::open(&dir.join(qserve::STORE_FILE), &io).unwrap();
-    let index = MinimizerIndex::build(&store, &IndexConfig::default());
-    let engine = QueryEngine::new(store, index, QueryConfig::default()).unwrap();
-    let svc = QueryService::start(engine, ServiceConfig::default(), rec);
     let cfg = ServerConfig {
         read_timeout: Duration::from_secs(2),
         write_timeout: Duration::from_secs(2),
         drain_deadline: Duration::from_secs(10),
         ..ServerConfig::default()
     };
+    start_server_with(dir, rec, cfg, ServiceConfig::default())
+}
+
+fn start_server_with(
+    dir: &Path,
+    rec: &obs::Recorder,
+    cfg: ServerConfig,
+    svc_cfg: ServiceConfig,
+) -> Server {
+    let io = IoStats::default();
+    let store = ContigStore::open(&dir.join(qserve::STORE_FILE), &io).unwrap();
+    let index = MinimizerIndex::build(&store, &IndexConfig::default());
+    let engine = QueryEngine::new(store, index, QueryConfig::default()).unwrap();
+    let svc = QueryService::start(engine, svc_cfg, rec);
     Server::start(svc, cfg, rec, Faults::disabled()).unwrap()
 }
 
@@ -177,6 +186,226 @@ fn stats_snapshot_after_drain_matches_the_trace_rollup_exactly() {
     assert!(mid.drained_reads <= snap.drained_reads);
     assert!(mid.uptime_ms <= snap.uptime_ms);
     assert_eq!(mid.version, STATS_VERSION);
+}
+
+/// How one flooded batch ended, as seen from its client.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    Delivered,
+    Fairness,
+    Queue,
+    Drain,
+    Deadline,
+    Io,
+}
+
+/// Classify a `query_batch` result. `max_retries: 0` means every
+/// retryable error surfaces as `RetriesExhausted` wrapping the typed
+/// message of the single attempt.
+fn classify(r: &Result<Vec<Option<qserve::Hit>>, lasagna_repro::qnet::QnetError>) -> Outcome {
+    use lasagna_repro::qnet::QnetError;
+    match r {
+        Ok(_) => Outcome::Delivered,
+        Err(QnetError::DeadlineExceeded { .. }) => Outcome::Deadline,
+        Err(QnetError::Draining) => Outcome::Drain,
+        Err(QnetError::Io(_)) => Outcome::Io,
+        Err(QnetError::RetriesExhausted { last, .. }) => {
+            if last.contains("per-client fairness") {
+                Outcome::Fairness
+            } else if last.contains("overloaded (queue") {
+                Outcome::Queue
+            } else if last.contains("server draining") {
+                Outcome::Drain
+            } else if last.contains("network I/O") {
+                Outcome::Io
+            } else {
+                panic!("unclassifiable shed: {last}")
+            }
+        }
+        Err(other) => panic!("unexpected flood error: {other}"),
+    }
+}
+
+/// Satellite property (ROBUSTNESS.md "Schedule exploration"): under a
+/// mixed-client flood with a drain toggled mid-flight, every offered
+/// read is conserved across the admission gates — `accepted` balances
+/// exactly against delivered answers plus force-closed stragglers, the
+/// per-gate counters bracket the typed errors the clients saw (socket
+/// EOFs are the only slack), and the live snapshot equals the post-hoc
+/// trace rollup counter for counter.
+#[test]
+fn flood_with_drain_toggle_conserves_every_read_across_the_gates() {
+    const CLIENTS: usize = 3;
+    const BATCH_READS: u64 = 8;
+    const BURST: f64 = 40.0;
+
+    let dir = tempfile::tempdir().unwrap();
+    let contigs = assemble_into(dir.path(), 63);
+    let batch = slice_queries(&contigs, BATCH_READS as usize, 60);
+
+    let rec = obs::Recorder::new();
+    // Zero refill + a small burst force fairness sheds once a client
+    // spends its bucket; a zero drain deadline force-closes anything
+    // still in flight the moment the drain toggles.
+    let cfg = ServerConfig {
+        read_timeout: Duration::from_secs(2),
+        write_timeout: Duration::from_secs(2),
+        drain_deadline: Duration::ZERO,
+        admission: qserve::AdmissionConfig {
+            refill_per_s: 0.0,
+            burst: BURST,
+        },
+        ..ServerConfig::default()
+    };
+    let svc_cfg = ServiceConfig {
+        workers: 2,
+        max_queue: 4,
+        ..ServiceConfig::default()
+    };
+    let mut server = start_server_with(dir.path(), &rec, cfg, svc_cfg);
+    let addr = server.local_addr();
+
+    // Each client floods until the drain (or a closed socket) stops it,
+    // so the toggle always lands mid-flood no matter how fast the
+    // server answers.
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            let batch = batch.clone();
+            std::thread::spawn(move || {
+                let mut client = QueryClient::new(
+                    ClientConfig {
+                        addr: addr.to_string(),
+                        client_id: format!("flood{i}"),
+                        max_retries: 0,
+                        read_timeout: Duration::from_secs(2),
+                        write_timeout: Duration::from_secs(2),
+                        ..ClientConfig::default()
+                    },
+                    &obs::Recorder::disabled(),
+                );
+                let mut outcomes = Vec::new();
+                for _ in 0..5_000 {
+                    let out = classify(&client.query_batch(&batch));
+                    outcomes.push(out);
+                    if matches!(out, Outcome::Drain | Outcome::Io) {
+                        break;
+                    }
+                }
+                outcomes
+            })
+        })
+        .collect();
+
+    // Mid-flood, the live probe must answer (Stats bypasses every
+    // admission gate) and carry the v2 schema.
+    std::thread::sleep(Duration::from_millis(5));
+    let mid = client_for(addr, "probe").stats().unwrap();
+    assert_eq!(mid.version, STATS_VERSION);
+
+    // Toggle the drain while the flood is still running.
+    std::thread::sleep(Duration::from_millis(10));
+    let report = server.shutdown();
+    let outcomes: Vec<Outcome> = handles
+        .into_iter()
+        .flat_map(|h| h.join().unwrap())
+        .collect();
+
+    let snap = server.stats_snapshot();
+    rec.flush();
+    let totals = obs::Rollup::from_events(&rec.events()).totals();
+
+    let reads = |o: Outcome| outcomes.iter().filter(|&&x| x == o).count() as u64 * BATCH_READS;
+    let offered = outcomes.len() as u64 * BATCH_READS;
+    let (delivered, io) = (reads(Outcome::Delivered), reads(Outcome::Io));
+
+    // Shutdown left nothing behind, and the snapshot says so.
+    assert_eq!(snap.version, STATS_VERSION);
+    assert!(snap.draining);
+    assert_eq!(snap.inflight, 0);
+    assert_eq!(snap.queue_depth, 0);
+
+    // Live snapshot == post-hoc trace rollup, counter for counter.
+    assert_eq!(snap.accepted, totals.counter("qnet.accepted"));
+    assert_eq!(snap.rejected, totals.counter("qnet.rejected"));
+    assert_eq!(snap.deadline_shed, totals.counter("qnet.deadline_shed"));
+    assert_eq!(snap.fairness_shed, totals.counter("qnet.fairness_shed"));
+    assert_eq!(snap.force_closed, totals.counter("qnet.drain.force_closed"));
+    assert_eq!(snap.force_closed, report.force_closed);
+
+    // Conservation: every offered read was counted at exactly one gate,
+    // except reads whose connection died before the server saw them.
+    let counted = snap.accepted + snap.rejected + snap.deadline_shed + snap.fairness_shed;
+    assert!(
+        counted <= offered && counted + io >= offered,
+        "counted {counted} reads of {offered} offered ({io} lost to EOF)"
+    );
+
+    // The admitted ledger balances exactly: an admitted read either
+    // delivered its answer or was force-closed — never both, never
+    // neither (the per-connection write lock makes them exclusive).
+    assert_eq!(
+        snap.accepted,
+        delivered + snap.force_closed,
+        "accepted must equal delivered + force-closed"
+    );
+
+    // Each gate's counter brackets the typed errors observed, with the
+    // EOF reads as the only slack.
+    let fairness = reads(Outcome::Fairness);
+    assert!(
+        snap.fairness_shed >= fairness && snap.fairness_shed <= fairness + io,
+        "fairness counter {} outside [{fairness}, {}]",
+        snap.fairness_shed,
+        fairness + io
+    );
+    let drainish = reads(Outcome::Drain) + reads(Outcome::Queue);
+    assert!(
+        snap.rejected + snap.force_closed >= drainish
+            && snap.rejected + snap.force_closed <= drainish + io,
+        "rejected {} + force-closed {} outside [{drainish}, {}]",
+        snap.rejected,
+        snap.force_closed,
+        drainish + io
+    );
+    assert_eq!(snap.deadline_shed, reads(Outcome::Deadline));
+
+    // The flood really exercised the gates: every client spent its
+    // whole bucket, then kept getting typed fairness sheds until the
+    // drain cut it off.
+    assert!(fairness > 0, "flood never hit the fairness gate");
+    assert!(reads(Outcome::Drain) + io > 0, "drain toggle went unseen");
+
+    // Double-entry bookkeeping: per-client totals sum to the globals,
+    // and each spent bucket is an integral number of charges within
+    // [accepted, accepted + rejected].
+    assert_eq!(snap.clients.len(), CLIENTS);
+    assert_eq!(snap.accepted, snap.clients.iter().map(|c| c.accepted).sum());
+    assert_eq!(snap.rejected, snap.clients.iter().map(|c| c.rejected).sum());
+    assert_eq!(
+        snap.fairness_shed,
+        snap.clients.iter().map(|c| c.fairness_shed).sum()
+    );
+    for c in &snap.clients {
+        let spent = BURST - c.tokens;
+        assert!(
+            (spent - spent.round()).abs() < 1e-6,
+            "{}: fractional token spend {spent}",
+            c.client_id
+        );
+        let spent = spent.round() as u64;
+        assert!(
+            spent >= c.accepted && spent <= c.accepted + c.rejected,
+            "{}: spent {spent} outside [{}, {}]",
+            c.client_id,
+            c.accepted,
+            c.accepted + c.rejected
+        );
+    }
+
+    // The mid-flood probe is a prefix of the final books.
+    assert!(mid.accepted <= snap.accepted);
+    assert!(mid.fairness_shed <= snap.fairness_shed);
+    assert!(mid.rejected <= snap.rejected);
 }
 
 #[test]
