@@ -17,6 +17,8 @@
 //!   faults   crash/recover matrix                   (ROBUSTNESS.md)
 //!   serve    query-service throughput/latency sweep (SERVING.md)
 //!   serve-net network serving over loopback TCP, clean + chaos (SERVING.md)
+//!   serve-cluster sharded replicated cluster: shard-count sweep + chaos
+//!             matrix with replicas killed, answers vs single-node (SERVING.md)
 //!   schedcheck deterministic schedule exploration of the serving
 //!             concurrency protocol (ROBUSTNESS.md)
 //!   all      everything above
@@ -68,7 +70,7 @@ fn parse_args() -> Args {
                     .collect();
             }
             "--help" | "-h" => {
-                println!("repro <table1..table6|fig8|fig9|fig10|fpcheck|faults|serve|serve-net|schedcheck|all> [--scale N] [--out DIR] [--nodes 1,2,4,8]");
+                println!("repro <table1..table6|fig8|fig9|fig10|fpcheck|faults|serve|serve-net|serve-cluster|schedcheck|all> [--scale N] [--out DIR] [--nodes 1,2,4,8]");
                 std::process::exit(0);
             }
             other if args.experiment.is_empty() => args.experiment = other.to_string(),
@@ -601,6 +603,65 @@ fn run_serve_net(out: &Path) {
     }
 }
 
+fn run_serve_cluster(out: &Path) {
+    let work = tempfile::tempdir().expect("workdir");
+    let rows = experiments::serve_cluster(work.path()).expect("serve-cluster bench failed");
+    println!("\n=== Cluster serving: sharded + replicated scatter-gather (SERVING.md) ===");
+    println!(
+        "{:<34} {:>6} {:>8} {:>12} {:>9} {:>9} {:>7} {:>7} {:>9} {:>10} {:>9}",
+        "scenario",
+        "shards",
+        "reads",
+        "reads/s",
+        "p50",
+        "p99",
+        "hedges",
+        "won",
+        "failovers",
+        "identical",
+        "conserve"
+    );
+    for r in &rows {
+        println!(
+            "{:<34} {:>6} {:>8} {:>12.0} {:>7.2}ms {:>7.2}ms {:>7} {:>7} {:>9} {:>10} {:>9}",
+            r.scenario,
+            r.n_shards,
+            r.reads,
+            r.reads_per_sec,
+            r.p50_ms,
+            r.p99_ms,
+            r.hedges_fired,
+            r.hedges_won,
+            r.failovers,
+            if r.identical_to_single_node {
+                "yes"
+            } else {
+                "NO"
+            },
+            if r.counters_conserve { "yes" } else { "NO" },
+        );
+        if r.shards_dead > 0 || r.dead_letters > 0 {
+            println!(
+                "{:<34} {} shard batches dead-lettered ({} records)",
+                "", r.shards_dead, r.dead_letters
+            );
+        }
+    }
+    println!(
+        "(answers compared bit-for-bit against one single-node server; \
+         conserve = offered reads == merged + dead-lettered)"
+    );
+    save_json(out, "serve_cluster", &rows);
+    let broken = rows
+        .iter()
+        .filter(|r| !r.identical_to_single_node || !r.counters_conserve)
+        .count();
+    if broken > 0 {
+        eprintln!("repro: {broken} serve-cluster scenario(s) diverged or leaked reads");
+        std::process::exit(1);
+    }
+}
+
 fn run_schedcheck(out: &Path) {
     use schedcheck::{explore_dfs, explore_pct, AuthMode, DfsConfig, PctConfig, ScenarioConfig};
 
@@ -752,6 +813,7 @@ fn main() {
         "faults" => run_faults(&args.out),
         "serve" => run_serve(&args.out),
         "serve-net" => run_serve_net(&args.out),
+        "serve-cluster" => run_serve_cluster(&args.out),
         "schedcheck" => run_schedcheck(&args.out),
         other => die(&format!("unknown experiment {other}")),
     };
@@ -773,6 +835,7 @@ fn main() {
             "fpcheck",
             "serve",
             "serve-net",
+            "serve-cluster",
             "schedcheck",
         ] {
             run(name);

@@ -1348,6 +1348,281 @@ pub fn serve_net(workdir: &Path) -> Result<Vec<ServeNetRow>, String> {
     Ok(rows)
 }
 
+/// One cluster-serving scenario's measured behaviour
+/// (`BENCH_serve_cluster.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeClusterRow {
+    /// What ran: a clean shard-count sweep point, or a chaos scenario.
+    pub scenario: String,
+    /// Shards the postings space was split into.
+    pub n_shards: u32,
+    /// Replicas serving each shard.
+    pub replicas: u32,
+    /// Reads routed through the cluster.
+    pub reads: usize,
+    /// Reads that resolved to a contig position.
+    pub mapped: usize,
+    /// End-to-end throughput, reads per second (includes fail-over).
+    pub reads_per_sec: f64,
+    /// Median per-batch scatter-gather latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile per-batch scatter-gather latency, milliseconds.
+    pub p99_ms: f64,
+    /// `qrouter.hedge.fired`: hedge requests launched.
+    pub hedges_fired: u64,
+    /// `qrouter.hedge.won`: rounds where the hedge answered first.
+    pub hedges_won: u64,
+    /// `qrouter.failover`: rounds that failed and walked the ladder.
+    pub failovers: u64,
+    /// `qrouter.shard.dead`: batches that exhausted every replica.
+    pub shards_dead: u64,
+    /// `qrouter.merge`: reads merged and answered by the router.
+    pub merged_reads: u64,
+    /// Dead-letter records held by the router after the sweep.
+    pub dead_letters: usize,
+    /// True when every routed answer matched the single-node answer
+    /// bit for bit.
+    pub identical_to_single_node: bool,
+    /// True when the counters conserve against the offered load:
+    /// every offered read was either merged or dead-lettered.
+    pub counters_conserve: bool,
+}
+
+/// Start an in-process sharded cluster over the fixture store:
+/// `n_shards` × `replicas` qnet servers, each with the full contig
+/// store and its shard's postings slice. Returns the servers (in
+/// `shard * replicas + replica` order) and the manifest describing them.
+fn start_cluster(
+    store_path: &Path,
+    n_shards: u32,
+    replicas: u32,
+) -> Result<(Vec<qnet::Server>, qrouter::ClusterManifest), String> {
+    use std::time::Duration;
+    let io = IoStats::default();
+    let store = qserve::ContigStore::open(store_path, &io).map_err(|e| e.to_string())?;
+    let mut manifest = qrouter::ClusterManifest::new(n_shards, store.checksum());
+    let mut servers = Vec::new();
+    for shard in 0..n_shards {
+        let index = qserve::MinimizerIndex::build_shard(
+            &store,
+            &qserve::IndexConfig::default(),
+            shard,
+            n_shards,
+        );
+        for _replica in 0..replicas {
+            let replica_store =
+                qserve::ContigStore::open(store_path, &io).map_err(|e| e.to_string())?;
+            let engine = qserve::QueryEngine::new(
+                replica_store,
+                index.clone(),
+                qserve::QueryConfig::default(),
+            )
+            .map_err(|e| e.to_string())?;
+            let svc = qserve::QueryService::start(
+                engine,
+                qserve::ServiceConfig {
+                    workers: 2,
+                    ..qserve::ServiceConfig::default()
+                },
+                &obs::Recorder::disabled(),
+            );
+            let server = qnet::Server::start(
+                svc,
+                qnet::ServerConfig {
+                    read_timeout: Duration::from_secs(5),
+                    write_timeout: Duration::from_secs(5),
+                    drain_deadline: Duration::from_secs(5),
+                    ..qnet::ServerConfig::default()
+                },
+                &obs::Recorder::disabled(),
+                faultsim::Faults::disabled(),
+            )
+            .map_err(|e| e.to_string())?;
+            manifest.add_replica(shard, server.local_addr().to_string());
+            servers.push(server);
+        }
+    }
+    Ok((servers, manifest))
+}
+
+/// Cluster-serving benchmark: the same 10k-read load as [`serve`], but
+/// scatter-gathered across a sharded, replicated cluster through the
+/// `qrouter` front-end. The clean sweep moves only shard count; the
+/// chaos matrix kills replicas (before the sweep and in the middle of
+/// it) and forces hedging with the `qrouter.shard.slow` failpoint.
+/// Every scenario must return answers bit-identical to a single-node
+/// server, and the router's counters must conserve: every offered read
+/// is either merged or dead-lettered, never silently dropped.
+pub fn serve_cluster(workdir: &Path) -> Result<Vec<ServeClusterRow>, String> {
+    let (store_path, index_path, queries) = serve_fixture(workdir)?;
+    let io = IoStats::default();
+
+    // Single-node reference answers: ground truth for every scenario.
+    let reference_svc = qserve::QueryService::start(
+        qserve::QueryEngine::open(
+            &store_path,
+            &index_path,
+            &io,
+            qserve::QueryConfig::default(),
+        )
+        .map_err(|e| e.to_string())?,
+        qserve::ServiceConfig::default(),
+        &obs::Recorder::disabled(),
+    );
+    let mut reference = Vec::with_capacity(queries.len());
+    for batch in queries.chunks(256) {
+        reference.extend(
+            reference_svc
+                .query_batch(batch.to_vec())
+                .map_err(|e| e.to_string())?,
+        );
+    }
+    drop(reference_svc);
+
+    // (scenario, shards, replicas, faults, kill replicas before sweep,
+    // kill one replica at this batch index mid-sweep)
+    struct Scenario {
+        name: &'static str,
+        n_shards: u32,
+        replicas: u32,
+        faults: faultsim::Faults,
+        kill_first_replica_of_each_shard: bool,
+        kill_mid_sweep_at_batch: Option<usize>,
+    }
+    let clean = |name, n_shards| Scenario {
+        name,
+        n_shards,
+        replicas: 2,
+        faults: faultsim::Faults::disabled(),
+        kill_first_replica_of_each_shard: false,
+        kill_mid_sweep_at_batch: None,
+    };
+    let scenarios = vec![
+        clean("clean shards=1", 1),
+        clean("clean shards=2", 2),
+        clean("clean shards=4", 4),
+        Scenario {
+            name: "one replica of every shard dead",
+            faults: faultsim::Faults::disabled(),
+            kill_first_replica_of_each_shard: true,
+            kill_mid_sweep_at_batch: None,
+            n_shards: 2,
+            replicas: 2,
+        },
+        Scenario {
+            name: "hedging forced (shard.slow 30%)",
+            faults: faultsim::Faults::from_plan(&faultsim::FaultPlan::new().fail_prob(
+                faultsim::QROUTER_SHARD_SLOW,
+                30,
+                13,
+            )),
+            kill_first_replica_of_each_shard: false,
+            kill_mid_sweep_at_batch: None,
+            n_shards: 2,
+            replicas: 2,
+        },
+        Scenario {
+            name: "replica killed mid-sweep",
+            faults: faultsim::Faults::disabled(),
+            kill_first_replica_of_each_shard: false,
+            kill_mid_sweep_at_batch: Some(queries.chunks(256).count() / 2),
+            n_shards: 2,
+            replicas: 2,
+        },
+    ];
+
+    let mut rows = Vec::new();
+    for sc in scenarios {
+        let (mut servers, manifest) = start_cluster(&store_path, sc.n_shards, sc.replicas)?;
+        if sc.kill_first_replica_of_each_shard {
+            // Replica 0 of every shard drains away before the sweep:
+            // the router discovers the dead primaries by failing over.
+            for shard in 0..sc.n_shards as usize {
+                servers[shard * sc.replicas as usize].shutdown();
+            }
+        }
+        let rec = obs::Recorder::new();
+        let router = qrouter::Router::new(
+            manifest,
+            qrouter::RouterConfig {
+                client: qnet::ClientConfig {
+                    client_id: "bench-router".into(),
+                    backoff_base_ms: 5,
+                    read_timeout: std::time::Duration::from_secs(5),
+                    write_timeout: std::time::Duration::from_secs(5),
+                    ..qnet::ClientConfig::default()
+                },
+                hedge_min_ms: 1,
+                hedge_max_ms: 20,
+                failover_rounds: 4,
+                ..qrouter::RouterConfig::default()
+            },
+            sc.faults,
+            &rec,
+        )
+        .map_err(|e| e.to_string())?;
+
+        let mut answers = Vec::with_capacity(queries.len());
+        let mut latencies_ms = Vec::new();
+        let mut dead_lettered_reads = 0usize;
+        let run_start = std::time::Instant::now();
+        for (i, batch) in queries.chunks(256).enumerate() {
+            if Some(i) == sc.kill_mid_sweep_at_batch {
+                // Shard 0's first replica dies with the sweep running;
+                // in-flight and later batches must fail over, not hang
+                // and not answer wrongly.
+                servers[0].shutdown();
+            }
+            let t = std::time::Instant::now();
+            match router.route(batch) {
+                Ok(hits) => {
+                    latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
+                    answers.extend(hits);
+                }
+                Err(e) => return Err(format!("{}: {e}", sc.name)),
+            }
+        }
+        let elapsed = run_start.elapsed().as_secs_f64();
+        router.publish_telemetry();
+        for letter in router.dead_letters() {
+            dead_lettered_reads += letter.n_reads;
+        }
+        for server in &mut servers {
+            server.shutdown();
+        }
+
+        latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+        let pct = |p: f64| {
+            if latencies_ms.is_empty() {
+                0.0
+            } else {
+                latencies_ms[((latencies_ms.len() - 1) as f64 * p) as usize]
+            }
+        };
+        let totals = obs::Rollup::from_events(&rec.events()).totals();
+        let merged = totals.counter("qrouter.merge");
+        rows.push(ServeClusterRow {
+            scenario: sc.name.to_string(),
+            n_shards: sc.n_shards,
+            replicas: sc.replicas,
+            reads: answers.len(),
+            mapped: answers.iter().flatten().count(),
+            reads_per_sec: answers.len() as f64 / elapsed.max(1e-9),
+            p50_ms: pct(0.50),
+            p99_ms: pct(0.99),
+            hedges_fired: totals.counter("qrouter.hedge.fired"),
+            hedges_won: totals.counter("qrouter.hedge.won"),
+            failovers: totals.counter("qrouter.failover"),
+            shards_dead: totals.counter("qrouter.shard.dead"),
+            merged_reads: merged,
+            dead_letters: router.dead_letters().len(),
+            identical_to_single_node: answers == reference,
+            counters_conserve: merged as usize + dead_lettered_reads == queries.len(),
+        });
+    }
+    Ok(rows)
+}
+
 /// Slice `count` windows of `len` bases from `contigs`, alternating
 /// forward and reverse-complement orientation.
 fn slice_queries(

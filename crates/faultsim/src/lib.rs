@@ -75,6 +75,18 @@ pub const QNET_FRAME_STALL: &str = "qnet.frame.stall";
 /// any response bytes are written. Meaningful armed probabilistically
 /// ([`FaultPlan::fail_prob`]) as well as at a fixed occurrence.
 pub const QNET_CONN_DROP: &str = "qnet.conn.drop";
+/// Failpoint: the `qrouter` scatter path finding a shard replica
+/// unreachable — the attempt fails before any byte is sent, as if the
+/// replica's listener were gone. Drives the fail-over ladder.
+pub const QROUTER_SHARD_DOWN: &str = "qrouter.shard.down";
+/// Failpoint: a `qrouter` shard attempt stalling before its request is
+/// sent — long enough to blow past the hedge delay, so the hedged second
+/// request races (and should win against) the slow primary.
+pub const QROUTER_SHARD_SLOW: &str = "qrouter.shard.slow";
+/// Failpoint: a `qrouter` replica flapping — the attempt fails with a
+/// retryable transport error and the replica is immediately healthy
+/// again, exercising backoff bookkeeping without a dead replica.
+pub const QROUTER_REPLICA_FLAP: &str = "qrouter.replica.flap";
 
 /// Every failpoint the codebase registers, in checking order. Also
 /// exported as [`ALL_POINTS`]; [`FaultPlan::parse`] rejects any name not
@@ -96,6 +108,9 @@ pub const ALL_FAILPOINTS: &[&str] = &[
     QNET_FRAME_WRITE,
     QNET_FRAME_STALL,
     QNET_CONN_DROP,
+    QROUTER_SHARD_DOWN,
+    QROUTER_SHARD_SLOW,
+    QROUTER_REPLICA_FLAP,
 ];
 
 /// Alias for [`ALL_FAILPOINTS`] under the registry-generic name the

@@ -24,7 +24,7 @@ use crate::proto::{PongStatus, Request, Response, StatsSnapshot};
 use crate::QnetError;
 use genome::PackedSeq;
 use obs::Recorder;
-use qserve::Hit;
+use qserve::{Candidate, Hit};
 
 /// Tuning for [`QueryClient`].
 #[derive(Debug, Clone)]
@@ -49,10 +49,13 @@ pub struct ClientConfig {
     pub write_timeout: Duration,
     /// Seed for deterministic backoff jitter.
     pub jitter_seed: u64,
-    /// Shared secret for query authentication. When set, every query
-    /// carries the keyed tag from [`crate::proto::auth_tag`]; when
-    /// `None` the tag field travels as `0` (servers without a secret
-    /// ignore it).
+    /// Shared secret for query authentication. When set, the client
+    /// opens every connection with a [`Request::AuthHello`] handshake
+    /// and every query carries the keyed tag from
+    /// [`crate::proto::auth_tag`], binding the connection's nonce and a
+    /// strictly-increasing sequence number; when `None` the tag and
+    /// sequence fields travel as `0` (servers without a secret ignore
+    /// them).
     pub auth_secret: Option<String>,
 }
 
@@ -77,6 +80,19 @@ struct Conn {
     stream: TcpStream,
     reader: BufReader<TcpStream>,
     peer: String,
+    /// Server-dealt nonce from the `AuthHello` handshake; `0` until the
+    /// handshake completes (or always, without a secret).
+    nonce: u64,
+    /// Next sequence number to bind into an authed tag on this
+    /// connection. Dies with the connection — a reconnect re-handshakes
+    /// and restarts from 1.
+    next_seq: u64,
+}
+
+/// One attempt's answer, matching the batch shape it was asked in.
+enum BatchAnswer {
+    Hits(Vec<Option<Hit>>),
+    Candidates(Vec<Vec<Candidate>>),
 }
 
 /// A connection-owning client for the qnet wire protocol.
@@ -106,15 +122,56 @@ impl QueryClient {
         self.retries_total
     }
 
+    /// The configuration this client was built with.
+    pub fn config(&self) -> &ClientConfig {
+        &self.cfg
+    }
+
     /// Query a batch of reads, retrying retryable failures with capped
     /// jittered exponential backoff. Returns per-read placements
     /// aligned with `reads`.
     pub fn query_batch(&mut self, reads: &[PackedSeq]) -> crate::Result<Vec<Option<Hit>>> {
+        match self.retrying(|c| c.batch_once(reads, false))? {
+            BatchAnswer::Hits(hits) => Ok(hits),
+            BatchAnswer::Candidates(_) => unreachable!("placement query answers hits"),
+        }
+    }
+
+    /// Query a batch of reads against the server's *shard* of the
+    /// postings space ([`Request::ShardQuery`]), returning every voted
+    /// candidate placement per read. Same retry discipline as
+    /// [`query_batch`](Self::query_batch); the scatter-gather router
+    /// sets `max_retries: 0` and drives its own fail-over instead.
+    pub fn shard_query_batch(&mut self, reads: &[PackedSeq]) -> crate::Result<Vec<Vec<Candidate>>> {
+        match self.retrying(|c| c.batch_once(reads, true))? {
+            BatchAnswer::Candidates(c) => Ok(c),
+            BatchAnswer::Hits(_) => unreachable!("shard query answers candidates"),
+        }
+    }
+
+    /// The peer this client talks to: the connected socket's address
+    /// when a connection is live, the configured address otherwise.
+    /// Routers fold this into their typed error context.
+    pub fn peer(&self) -> String {
+        self.conn
+            .as_ref()
+            .map(|c| c.peer.clone())
+            .unwrap_or_else(|| self.cfg.addr.clone())
+    }
+
+    /// The retry loop shared by every batch shape: retryable failures
+    /// back off (capped jittered exponential, honoring `retry_after_ms`
+    /// hints) and abandon the connection; terminal failures surface
+    /// immediately.
+    fn retrying<T>(
+        &mut self,
+        mut op: impl FnMut(&mut Self) -> crate::Result<T>,
+    ) -> crate::Result<T> {
         let mut attempt: u32 = 0;
         loop {
             attempt += 1;
-            let err = match self.query_once(reads) {
-                Ok(hits) => return Ok(hits),
+            let err = match op(self) {
+                Ok(v) => return Ok(v),
                 Err(e) => e,
             };
             if !err.is_retryable() {
@@ -201,39 +258,67 @@ impl QueryClient {
         full * jitter_millis / 1024
     }
 
-    fn query_once(&mut self, reads: &[PackedSeq]) -> crate::Result<Vec<Option<Hit>>> {
+    /// One attempt at one batch, in placement (`shard == false`) or
+    /// candidate (`shard == true`) shape. Establishes the connection
+    /// (including the auth handshake) first, because an authed tag
+    /// binds the connection's nonce and sequence number.
+    fn batch_once(&mut self, reads: &[PackedSeq], shard: bool) -> crate::Result<BatchAnswer> {
         let request_id = self.next_request_id;
         self.next_request_id += 1;
-        let auth_tag = match &self.cfg.auth_secret {
-            Some(secret) => crate::proto::auth_tag(
-                secret,
-                request_id,
-                self.cfg.deadline_ms,
-                &self.cfg.client_id,
-                reads,
-            ),
-            None => 0,
+        if let Err(e) = self.ensure_conn() {
+            self.conn = None;
+            return Err(e);
+        }
+        let (auth_seq, auth_tag) = match &self.cfg.auth_secret {
+            Some(secret) => {
+                let conn = self.conn.as_mut().expect("connection just ensured");
+                let seq = conn.next_seq;
+                conn.next_seq += 1;
+                let kind = if shard {
+                    crate::proto::AUTH_KIND_SHARD_QUERY
+                } else {
+                    crate::proto::AUTH_KIND_QUERY
+                };
+                let tag = crate::proto::auth_tag(
+                    secret,
+                    kind,
+                    conn.nonce,
+                    seq,
+                    request_id,
+                    self.cfg.deadline_ms,
+                    &self.cfg.client_id,
+                    reads,
+                );
+                (seq, tag)
+            }
+            None => (0, 0),
         };
-        let req = Request::Query {
-            request_id,
-            deadline_ms: self.cfg.deadline_ms,
-            client_id: self.cfg.client_id.clone(),
-            reads: reads.to_vec(),
-            auth_tag,
+        let req = if shard {
+            Request::ShardQuery {
+                request_id,
+                deadline_ms: self.cfg.deadline_ms,
+                client_id: self.cfg.client_id.clone(),
+                reads: reads.to_vec(),
+                auth_seq,
+                auth_tag,
+            }
+        } else {
+            Request::Query {
+                request_id,
+                deadline_ms: self.cfg.deadline_ms,
+                client_id: self.cfg.client_id.clone(),
+                reads: reads.to_vec(),
+                auth_seq,
+                auth_tag,
+            }
         };
         let (resp, peer) = self.round_trip_raw(&req)?;
         match resp {
             Response::Hits {
                 request_id: rid,
                 hits,
-            } => {
-                if rid != request_id {
-                    self.conn = None;
-                    return Err(QnetError::Corrupt {
-                        peer,
-                        detail: format!("response id {rid} does not match request id {request_id}"),
-                    });
-                }
+            } if !shard => {
+                self.check_id(rid, request_id, &peer)?;
                 if hits.len() != reads.len() {
                     self.conn = None;
                     return Err(QnetError::Corrupt {
@@ -241,7 +326,25 @@ impl QueryClient {
                         detail: format!("{} hits answered for {} reads", hits.len(), reads.len()),
                     });
                 }
-                Ok(hits)
+                Ok(BatchAnswer::Hits(hits))
+            }
+            Response::ShardCandidates {
+                request_id: rid,
+                candidates,
+            } if shard => {
+                self.check_id(rid, request_id, &peer)?;
+                if candidates.len() != reads.len() {
+                    self.conn = None;
+                    return Err(QnetError::Corrupt {
+                        peer,
+                        detail: format!(
+                            "{} candidate lists answered for {} reads",
+                            candidates.len(),
+                            reads.len()
+                        ),
+                    });
+                }
+                Ok(BatchAnswer::Candidates(candidates))
             }
             Response::Overloaded {
                 request_id: rid,
@@ -323,24 +426,52 @@ impl QueryClient {
         result
     }
 
-    fn round_trip_inner(&mut self, req: &Request) -> crate::Result<(Response, String)> {
-        if self.conn.is_none() {
-            let stream = TcpStream::connect(&self.cfg.addr)?;
-            stream.set_read_timeout(Some(self.cfg.read_timeout))?;
-            stream.set_write_timeout(Some(self.cfg.write_timeout))?;
-            stream.set_nodelay(true).ok();
-            let peer = stream
-                .peer_addr()
-                .map(|a| a.to_string())
-                .unwrap_or_else(|_| self.cfg.addr.clone());
-            let reader = BufReader::new(stream.try_clone()?);
-            self.conn = Some(Conn {
-                stream,
-                reader,
-                peer,
-            });
+    /// Establish the connection if none is live, including the
+    /// `AuthHello` handshake when a secret is configured. On failure
+    /// the caller must drop `self.conn`.
+    fn ensure_conn(&mut self) -> crate::Result<()> {
+        if self.conn.is_some() {
+            return Ok(());
         }
-        let conn = self.conn.as_mut().expect("connection just established");
+        let stream = TcpStream::connect(&self.cfg.addr)?;
+        stream.set_read_timeout(Some(self.cfg.read_timeout))?;
+        stream.set_write_timeout(Some(self.cfg.write_timeout))?;
+        stream.set_nodelay(true).ok();
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| self.cfg.addr.clone());
+        let reader = BufReader::new(stream.try_clone()?);
+        self.conn = Some(Conn {
+            stream,
+            reader,
+            peer,
+            nonce: 0,
+            next_seq: 1,
+        });
+        if self.cfg.auth_secret.is_some() {
+            let (resp, _peer) = self.exchange(&Request::AuthHello)?;
+            match resp {
+                Response::AuthNonce { nonce } => {
+                    let conn = self.conn.as_mut().expect("connection just established");
+                    conn.nonce = nonce;
+                    conn.next_seq = 1;
+                }
+                other => return Err(self.unexpected(&other)),
+            }
+        }
+        Ok(())
+    }
+
+    fn round_trip_inner(&mut self, req: &Request) -> crate::Result<(Response, String)> {
+        self.ensure_conn()?;
+        self.exchange(req)
+    }
+
+    /// One request/response exchange on the live connection; the caller
+    /// guarantees one exists.
+    fn exchange(&mut self, req: &Request) -> crate::Result<(Response, String)> {
+        let conn = self.conn.as_mut().expect("connection established");
         let peer = conn.peer.clone();
 
         let body = req.encode();
@@ -549,20 +680,37 @@ mod tests {
         let addr = listener.local_addr().unwrap().to_string();
         let server = std::thread::spawn(move || {
             let (mut s, _) = listener.accept().unwrap();
+            // The authed client opens with the nonce handshake.
+            let Request::AuthHello = read_request(&mut s) else {
+                panic!("expected the auth handshake")
+            };
+            send_response(&mut s, &Response::AuthNonce { nonce: 0xA11CE });
             let Request::Query {
                 request_id,
                 deadline_ms,
                 client_id,
                 reads,
+                auth_seq,
                 auth_tag,
             } = read_request(&mut s)
             else {
                 panic!("expected a query")
             };
-            // The client computed the tag over exactly the fields it sent.
+            assert_eq!(auth_seq, 1, "first authed send on this connection");
+            // The client computed the tag over exactly the fields it
+            // sent, bound to the dealt nonce and its sequence number.
             assert_eq!(
                 auth_tag,
-                crate::proto::auth_tag("pw", request_id, deadline_ms, &client_id, &reads)
+                crate::proto::auth_tag(
+                    "pw",
+                    crate::proto::AUTH_KIND_QUERY,
+                    0xA11CE,
+                    auth_seq,
+                    request_id,
+                    deadline_ms,
+                    &client_id,
+                    &reads
+                )
             );
             send_response(&mut s, &Response::AuthFailed { request_id });
             let mut buf = [0u8; 1];
@@ -579,6 +727,47 @@ mod tests {
         assert!(matches!(err, QnetError::AuthFailed));
         assert!(!err.is_retryable());
         assert_eq!(client.retries_total(), 0, "no retry on auth failure");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn shard_queries_round_trip_candidates() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let cands = vec![
+            vec![Candidate {
+                contig: 2,
+                offset: 17,
+                reverse: false,
+                votes: 5,
+                mismatches: Some(1),
+            }],
+            vec![],
+        ];
+        let expect = cands.clone();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let Request::ShardQuery { request_id, .. } = read_request(&mut s) else {
+                panic!("expected a shard query")
+            };
+            send_response(
+                &mut s,
+                &Response::ShardCandidates {
+                    request_id,
+                    candidates: cands,
+                },
+            );
+            let mut buf = [0u8; 1];
+            let _ = s.read(&mut buf);
+        });
+        let rec = Recorder::disabled();
+        let mut client = QueryClient::new(fast_cfg(addr), &rec);
+        let reads = vec![
+            "ACGT".parse::<PackedSeq>().unwrap(),
+            "TTTT".parse::<PackedSeq>().unwrap(),
+        ];
+        let got = client.shard_query_batch(&reads).expect("candidates");
+        assert_eq!(got, expect);
         server.join().unwrap();
     }
 

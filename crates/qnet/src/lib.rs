@@ -39,13 +39,15 @@
 //! contract are documented in SERVING.md; counters in OBSERVABILITY.md.
 
 pub mod client;
+pub mod pool;
 pub mod proto;
 pub mod server;
 
 pub use client::{ClientConfig, QueryClient};
+pub use pool::ClientPool;
 pub use proto::{
     auth_tag, ClientStats, LatencySummary, PongStatus, Request, Response, ShedScope, StatsSnapshot,
-    STATS_VERSION,
+    AUTH_KIND_QUERY, AUTH_KIND_SHARD_QUERY, STATS_VERSION,
 };
 pub use server::{DrainReport, Server, ServerConfig};
 

@@ -17,7 +17,7 @@
 
 use crate::QnetError;
 use genome::PackedSeq;
-use qserve::Hit;
+use qserve::{Candidate, Hit};
 use serde::{Deserialize, Serialize};
 
 /// Which admission gate shed a batch.
@@ -53,9 +53,33 @@ pub enum Request {
         client_id: String,
         /// The reads to place.
         reads: Vec<PackedSeq>,
+        /// Monotonic per-connection sequence number bound into
+        /// [`auth_tag`]; unauthenticated clients send `0`.
+        auth_seq: u64,
         /// Keyed authentication tag over the whole query (see
         /// [`auth_tag`]). Servers without a configured secret ignore
         /// it; clients without one send `0`.
+        auth_tag: u64,
+    },
+    /// Look up a batch of reads against this server's *shard* of the
+    /// postings space, answering with every voted candidate placement
+    /// instead of the selected best hit ([`Response::ShardCandidates`]).
+    /// The scatter-gather router sums candidates across shards and
+    /// replays the single-node selection, so the field layout is
+    /// deliberately identical to [`Request::Query`] — same admission
+    /// gates, same auth, same deadline semantics.
+    ShardQuery {
+        /// Client-chosen id echoed verbatim in the response.
+        request_id: u64,
+        /// Remaining deadline budget in milliseconds.
+        deadline_ms: u32,
+        /// Stable client identity for fair admission and tracing.
+        client_id: String,
+        /// The reads to vote on.
+        reads: Vec<PackedSeq>,
+        /// Monotonic per-connection sequence number (see [`auth_tag`]).
+        auth_seq: u64,
+        /// Keyed authentication tag (see [`auth_tag`]).
         auth_tag: u64,
     },
     /// Health/readiness probe; always answered, even mid-drain.
@@ -70,6 +94,12 @@ pub enum Request {
     /// EWMA so a load balancer can steer without a full `Stats` round
     /// trip. Old peers keep using `Ping`/`Pong`; both stay answered.
     PingV2,
+    /// Begin the authenticated-session handshake: the server answers
+    /// with [`Response::AuthNonce`], a fresh per-connection nonce the
+    /// client must fold into every subsequent [`auth_tag`] on this
+    /// connection. Clients without a secret never send it; servers
+    /// without one answer with nonce `0` (which authed tags ignore).
+    AuthHello,
 }
 
 /// Schema version carried in every [`StatsSnapshot`].
@@ -78,24 +108,44 @@ pub enum Request {
 /// (stragglers cut off at the drain deadline).
 pub const STATS_VERSION: u32 = 2;
 
+/// The `kind` byte [`auth_tag`] binds for a [`Request::Query`].
+pub const AUTH_KIND_QUERY: u8 = TAG_QUERY;
+/// The `kind` byte [`auth_tag`] binds for a [`Request::ShardQuery`].
+pub const AUTH_KIND_SHARD_QUERY: u8 = TAG_SHARD_QUERY;
+
 /// Compute the shared-secret authentication tag for a query.
 ///
 /// The tag is a keyed FNV-1a in the HMAC shape `H(k ‖ H(k ‖ m))`,
-/// where `m` is the canonical encoding of every other `Query` field
+/// where `m` is the canonical encoding of every other query field
 /// (so the tag binds the id, the deadline, the claimed identity, and
 /// the read payload — a peer cannot splice a valid tag onto altered
-/// fields). This is an *integrity/identity* check against misdirected
-/// or casually forged traffic on a trusted network, not a
-/// cryptographic MAC; the threat model is configuration mistakes, not
-/// adversaries with offline compute.
+/// fields), prefixed with the request `kind`
+/// ([`AUTH_KIND_QUERY`]/[`AUTH_KIND_SHARD_QUERY`], so a tag minted for
+/// one message type never validates another), the per-connection server
+/// `nonce` from the [`Request::AuthHello`] handshake, and the client's
+/// monotonic `seq`. The nonce pins the tag to one connection and the
+/// strictly-increasing sequence pins it to one send, so a captured
+/// authed frame replayed byte-exactly — on the same connection or a new
+/// one — fails verification even inside its deadline window. This is an
+/// *integrity/identity* check against misdirected, casually forged, or
+/// replayed traffic on a trusted network, not a cryptographic MAC; the
+/// threat model is configuration mistakes, not adversaries with offline
+/// compute.
+#[allow(clippy::too_many_arguments)]
 pub fn auth_tag(
     secret: &str,
+    kind: u8,
+    nonce: u64,
+    seq: u64,
     request_id: u64,
     deadline_ms: u32,
     client_id: &str,
     reads: &[PackedSeq],
 ) -> u64 {
     let mut msg = Vec::new();
+    msg.push(kind);
+    put_u64(&mut msg, nonce);
+    put_u64(&mut msg, seq);
     put_u64(&mut msg, request_id);
     put_u32(&mut msg, deadline_ms);
     put_str(&mut msg, client_id);
@@ -276,6 +326,21 @@ pub enum Response {
         /// Echo of the request's id.
         request_id: u64,
     },
+    /// Per-read candidate placements, aligned with a
+    /// [`Request::ShardQuery`]'s `reads` — this shard's slice of the
+    /// vote space, unfiltered and untruncated (see
+    /// [`qserve::Candidate`]).
+    ShardCandidates {
+        /// Echo of the request's id.
+        request_id: u64,
+        /// One candidate list per read, in request order.
+        candidates: Vec<Vec<Candidate>>,
+    },
+    /// The per-connection nonce answering [`Request::AuthHello`].
+    AuthNonce {
+        /// Nonce every later [`auth_tag`] on this connection must bind.
+        nonce: u64,
+    },
 }
 
 const TAG_QUERY: u8 = 1;
@@ -283,6 +348,8 @@ const TAG_PING: u8 = 2;
 const TAG_SHUTDOWN: u8 = 3;
 const TAG_STATS_REQ: u8 = 4;
 const TAG_PING_V2: u8 = 5;
+const TAG_SHARD_QUERY: u8 = 6;
+const TAG_AUTH_HELLO: u8 = 7;
 
 const TAG_HITS: u8 = 1;
 const TAG_PONG: u8 = 2;
@@ -294,6 +361,8 @@ const TAG_SHUTDOWN_ACK: u8 = 7;
 const TAG_STATS: u8 = 8;
 const TAG_PONG_V2: u8 = 9;
 const TAG_AUTH_FAILED: u8 = 10;
+const TAG_SHARD_CANDIDATES: u8 = 11;
+const TAG_AUTH_NONCE: u8 = 12;
 
 /// Largest `clients`/`latency` list length accepted in a snapshot.
 const MAX_STATS_ROWS: usize = 1 << 16;
@@ -424,6 +493,7 @@ impl Request {
                 deadline_ms,
                 client_id,
                 reads,
+                auth_seq,
                 auth_tag,
             } => {
                 out.push(TAG_QUERY);
@@ -434,12 +504,33 @@ impl Request {
                 for r in reads {
                     put_seq(&mut out, r);
                 }
+                put_u64(&mut out, *auth_seq);
+                put_u64(&mut out, *auth_tag);
+            }
+            Request::ShardQuery {
+                request_id,
+                deadline_ms,
+                client_id,
+                reads,
+                auth_seq,
+                auth_tag,
+            } => {
+                out.push(TAG_SHARD_QUERY);
+                put_u64(&mut out, *request_id);
+                put_u32(&mut out, *deadline_ms);
+                put_str(&mut out, client_id);
+                put_u32(&mut out, reads.len() as u32);
+                for r in reads {
+                    put_seq(&mut out, r);
+                }
+                put_u64(&mut out, *auth_seq);
                 put_u64(&mut out, *auth_tag);
             }
             Request::Ping => out.push(TAG_PING),
             Request::Shutdown => out.push(TAG_SHUTDOWN),
             Request::Stats => out.push(TAG_STATS_REQ),
             Request::PingV2 => out.push(TAG_PING_V2),
+            Request::AuthHello => out.push(TAG_AUTH_HELLO),
         }
         out
     }
@@ -448,7 +539,7 @@ impl Request {
     pub fn decode(buf: &[u8], peer: &str) -> crate::Result<Request> {
         let mut c = Cursor::new(buf, peer);
         let req = match c.u8("request tag")? {
-            TAG_QUERY => {
+            tag @ (TAG_QUERY | TAG_SHARD_QUERY) => {
                 let request_id = c.u64("request id")?;
                 let deadline_ms = c.u32("deadline")?;
                 let client_id = c.string("client id")?;
@@ -457,19 +548,33 @@ impl Request {
                 for _ in 0..n {
                     reads.push(c.seq()?);
                 }
+                let auth_seq = c.u64("auth seq")?;
                 let auth_tag = c.u64("auth tag")?;
-                Request::Query {
-                    request_id,
-                    deadline_ms,
-                    client_id,
-                    reads,
-                    auth_tag,
+                if tag == TAG_QUERY {
+                    Request::Query {
+                        request_id,
+                        deadline_ms,
+                        client_id,
+                        reads,
+                        auth_seq,
+                        auth_tag,
+                    }
+                } else {
+                    Request::ShardQuery {
+                        request_id,
+                        deadline_ms,
+                        client_id,
+                        reads,
+                        auth_seq,
+                        auth_tag,
+                    }
                 }
             }
             TAG_PING => Request::Ping,
             TAG_SHUTDOWN => Request::Shutdown,
             TAG_STATS_REQ => Request::Stats,
             TAG_PING_V2 => Request::PingV2,
+            TAG_AUTH_HELLO => Request::AuthHello,
             t => return Err(c.corrupt(format!("unknown request tag {t}"))),
         };
         c.finish()?;
@@ -592,6 +697,34 @@ impl Response {
             Response::AuthFailed { request_id } => {
                 out.push(TAG_AUTH_FAILED);
                 put_u64(&mut out, *request_id);
+            }
+            Response::ShardCandidates {
+                request_id,
+                candidates,
+            } => {
+                out.push(TAG_SHARD_CANDIDATES);
+                put_u64(&mut out, *request_id);
+                put_u32(&mut out, candidates.len() as u32);
+                for per_read in candidates {
+                    put_u32(&mut out, per_read.len() as u32);
+                    for cand in per_read {
+                        put_u32(&mut out, cand.contig);
+                        put_u32(&mut out, cand.offset);
+                        out.push(cand.reverse as u8);
+                        put_u32(&mut out, cand.votes);
+                        match cand.mismatches {
+                            None => out.push(0),
+                            Some(mm) => {
+                                out.push(1);
+                                put_u32(&mut out, mm);
+                            }
+                        }
+                    }
+                }
+            }
+            Response::AuthNonce { nonce } => {
+                out.push(TAG_AUTH_NONCE);
+                put_u64(&mut out, *nonce);
             }
         }
         out
@@ -748,6 +881,45 @@ impl Response {
             TAG_AUTH_FAILED => Response::AuthFailed {
                 request_id: c.u64("request id")?,
             },
+            TAG_SHARD_CANDIDATES => {
+                let request_id = c.u64("request id")?;
+                let n = c.u32("candidate list count")? as usize;
+                let mut candidates = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    let m = c.u32("candidate count")? as usize;
+                    let mut per_read = Vec::with_capacity(m.min(1 << 20));
+                    for _ in 0..m {
+                        let contig = c.u32("candidate contig")?;
+                        let offset = c.u32("candidate offset")?;
+                        let reverse = match c.u8("candidate strand")? {
+                            0 => false,
+                            1 => true,
+                            b => return Err(c.corrupt(format!("bad strand byte {b}"))),
+                        };
+                        let votes = c.u32("candidate votes")?;
+                        let mismatches = match c.u8("candidate verdict")? {
+                            0 => None,
+                            1 => Some(c.u32("candidate mismatches")?),
+                            b => return Err(c.corrupt(format!("bad verdict byte {b}"))),
+                        };
+                        per_read.push(Candidate {
+                            contig,
+                            offset,
+                            reverse,
+                            votes,
+                            mismatches,
+                        });
+                    }
+                    candidates.push(per_read);
+                }
+                Response::ShardCandidates {
+                    request_id,
+                    candidates,
+                }
+            }
+            TAG_AUTH_NONCE => Response::AuthNonce {
+                nonce: c.u64("auth nonce")?,
+            },
             t => return Err(c.corrupt(format!("unknown response tag {t}"))),
         };
         c.finish()?;
@@ -793,13 +965,33 @@ mod tests {
             deadline_ms: 1500,
             client_id: "assembler-7".to_string(),
             reads: reads.clone(),
-            auth_tag: auth_tag("hunter2", 0xDEAD_BEEF_0123, 1500, "assembler-7", &reads),
+            auth_seq: 3,
+            auth_tag: auth_tag(
+                "hunter2",
+                AUTH_KIND_QUERY,
+                0x1234,
+                3,
+                0xDEAD_BEEF_0123,
+                1500,
+                "assembler-7",
+                &reads,
+            ),
         };
         assert_eq!(roundtrip_req(&req), req);
+        let shard = Request::ShardQuery {
+            request_id: 0xBEEF,
+            deadline_ms: 900,
+            client_id: "router-0".to_string(),
+            reads: reads.clone(),
+            auth_seq: 0,
+            auth_tag: 0,
+        };
+        assert_eq!(roundtrip_req(&shard), shard);
         assert_eq!(roundtrip_req(&Request::Ping), Request::Ping);
         assert_eq!(roundtrip_req(&Request::Shutdown), Request::Shutdown);
         assert_eq!(roundtrip_req(&Request::Stats), Request::Stats);
         assert_eq!(roundtrip_req(&Request::PingV2), Request::PingV2);
+        assert_eq!(roundtrip_req(&Request::AuthHello), Request::AuthHello);
 
         // Empty batch is legal on the wire (the server sheds it cheaply).
         let empty = Request::Query {
@@ -807,6 +999,7 @@ mod tests {
             deadline_ms: 0,
             client_id: String::new(),
             reads: Vec::new(),
+            auth_seq: 0,
             auth_tag: 0,
         };
         assert_eq!(roundtrip_req(&empty), empty);
@@ -815,17 +1008,72 @@ mod tests {
     #[test]
     fn auth_tag_binds_every_field_and_the_secret() {
         let reads = vec![seq("ACGTACGT")];
-        let base = auth_tag("s3cret", 7, 100, "alpha", &reads);
+        let tag = |secret: &str,
+                   kind: u8,
+                   nonce: u64,
+                   seq_no: u64,
+                   rid: u64,
+                   dl: u32,
+                   cid: &str,
+                   reads: &[PackedSeq]| {
+            auth_tag(secret, kind, nonce, seq_no, rid, dl, cid, reads)
+        };
+        let base = tag("s3cret", AUTH_KIND_QUERY, 11, 2, 7, 100, "alpha", &reads);
         // Same inputs, same tag: replay-from-seed depends on this.
-        assert_eq!(base, auth_tag("s3cret", 7, 100, "alpha", &reads));
+        assert_eq!(
+            base,
+            tag("s3cret", AUTH_KIND_QUERY, 11, 2, 7, 100, "alpha", &reads)
+        );
         // Changing any single input must change the tag.
-        assert_ne!(base, auth_tag("other", 7, 100, "alpha", &reads));
-        assert_ne!(base, auth_tag("s3cret", 8, 100, "alpha", &reads));
-        assert_ne!(base, auth_tag("s3cret", 7, 101, "alpha", &reads));
-        assert_ne!(base, auth_tag("s3cret", 7, 100, "beta", &reads));
         assert_ne!(
             base,
-            auth_tag("s3cret", 7, 100, "alpha", &[seq("ACGTACGA")])
+            tag("other", AUTH_KIND_QUERY, 11, 2, 7, 100, "alpha", &reads)
+        );
+        assert_ne!(
+            base,
+            tag(
+                "s3cret",
+                AUTH_KIND_SHARD_QUERY,
+                11,
+                2,
+                7,
+                100,
+                "alpha",
+                &reads
+            )
+        );
+        assert_ne!(
+            base,
+            tag("s3cret", AUTH_KIND_QUERY, 12, 2, 7, 100, "alpha", &reads)
+        );
+        assert_ne!(
+            base,
+            tag("s3cret", AUTH_KIND_QUERY, 11, 3, 7, 100, "alpha", &reads)
+        );
+        assert_ne!(
+            base,
+            tag("s3cret", AUTH_KIND_QUERY, 11, 2, 8, 100, "alpha", &reads)
+        );
+        assert_ne!(
+            base,
+            tag("s3cret", AUTH_KIND_QUERY, 11, 2, 7, 101, "alpha", &reads)
+        );
+        assert_ne!(
+            base,
+            tag("s3cret", AUTH_KIND_QUERY, 11, 2, 7, 100, "beta", &reads)
+        );
+        assert_ne!(
+            base,
+            tag(
+                "s3cret",
+                AUTH_KIND_QUERY,
+                11,
+                2,
+                7,
+                100,
+                "alpha",
+                &[seq("ACGTACGA")]
+            )
         );
     }
 
@@ -872,9 +1120,38 @@ mod tests {
             },
             Response::ShutdownAck,
             Response::AuthFailed { request_id: 6 },
+            Response::AuthNonce { nonce: 0xA1B2_C3D4 },
         ] {
             assert_eq!(roundtrip_resp(&resp), resp);
         }
+    }
+
+    #[test]
+    fn shard_candidates_roundtrip_including_unverified_placements() {
+        use qserve::Candidate;
+        let resp = Response::ShardCandidates {
+            request_id: 77,
+            candidates: vec![
+                Vec::new(), // a read with no votes on this shard
+                vec![
+                    Candidate {
+                        contig: 3,
+                        offset: 128,
+                        reverse: false,
+                        votes: 5,
+                        mismatches: Some(1),
+                    },
+                    Candidate {
+                        contig: 9,
+                        offset: 0,
+                        reverse: true,
+                        votes: 1,
+                        mismatches: None, // blew the mismatch budget
+                    },
+                ],
+            ],
+        };
+        assert_eq!(roundtrip_resp(&resp), resp);
     }
 
     #[test]
@@ -1013,6 +1290,7 @@ mod tests {
             deadline_ms: 10,
             client_id: "x".repeat(MAX_STRING_BYTES + 1),
             reads: Vec::new(),
+            auth_seq: 0,
             auth_tag: 0,
         };
         let err = Request::decode(&req.encode(), "p").expect_err("oversized id");

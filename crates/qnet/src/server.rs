@@ -63,12 +63,15 @@ pub struct ServerConfig {
     /// before dropping the connection.
     pub stall_ms: u64,
     /// Shared secret for request authentication. When set, every
-    /// [`Request::Query`] must carry the keyed-FNV tag
-    /// ([`crate::proto::auth_tag`]) binding its `client_id` (and the
-    /// rest of the request) to this secret; mismatches are rejected with
-    /// a typed [`Response::AuthFailed`] *before* any gate charges the
-    /// claimed client's fairness tokens. `None` (the default) accepts
-    /// every tag.
+    /// [`Request::Query`]/[`Request::ShardQuery`] must carry the
+    /// keyed-FNV tag ([`crate::proto::auth_tag`]) binding its
+    /// `client_id` (and the rest of the request) to this secret, to the
+    /// per-connection nonce from the [`Request::AuthHello`] handshake,
+    /// and to a strictly-increasing per-connection sequence number —
+    /// so a captured authed frame replayed byte-exactly is rejected.
+    /// Mismatches are rejected with a typed [`Response::AuthFailed`]
+    /// *before* any gate charges the claimed client's fairness tokens.
+    /// `None` (the default) accepts every tag.
     pub auth_secret: Option<String>,
 }
 
@@ -342,6 +345,30 @@ impl Inner {
             latency,
         }
     }
+}
+
+/// Per-connection replay-protection state. The nonce is dealt by the
+/// [`Request::AuthHello`] handshake; `last_seq` is the highest sequence
+/// number a *successfully verified* query carried. Both die with the
+/// connection, so a reconnecting client simply re-handshakes.
+struct ConnAuth {
+    nonce: Option<u64>,
+    last_seq: u64,
+}
+
+/// Which query shape gate 4 admits: a placement query answered with
+/// [`Response::Hits`], or a shard query answered with the full voted
+/// candidate set ([`Response::ShardCandidates`]).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum QueryKind {
+    Hits,
+    Candidates,
+}
+
+/// An admitted batch's ticket, matching its [`QueryKind`].
+enum Admitted {
+    Hits(qserve::BatchHandle),
+    Candidates(qserve::CandidateBatchHandle),
 }
 
 /// Decrements the in-flight count when dropped, so every exit path from
@@ -777,6 +804,10 @@ fn handle_conn(
     // connection; counters attributed there roll up under the conn span.
     let mut client_spans: HashMap<String, SpanGuard> = HashMap::new();
     let mut reader = BufReader::new(sock);
+    let mut auth = ConnAuth {
+        nonce: None,
+        last_seq: 0,
+    };
 
     loop {
         if faultsim::sched::active() {
@@ -848,22 +879,64 @@ fn handle_conn(
                 drop(g);
                 (Response::ShutdownAck, None)
             }
+            Request::AuthHello => {
+                // Deal a fresh nonce for this connection. Servers
+                // without a secret answer `0` (authed verification is
+                // off, so there is nothing to pin) but still reply, so
+                // a client configured with a secret against an open
+                // server completes its handshake and proceeds.
+                let nonce = if inner.cfg.auth_secret.is_some() {
+                    fresh_nonce(idx)
+                } else {
+                    0
+                };
+                if nonce != 0 {
+                    auth.nonce = Some(nonce);
+                    auth.last_seq = 0;
+                }
+                (Response::AuthNonce { nonce }, None)
+            }
             Request::Query {
                 request_id,
                 deadline_ms,
                 client_id,
                 reads,
+                auth_seq,
                 auth_tag,
             } => handle_query(
                 &inner,
                 &conn,
                 conn_id,
                 &mut client_spans,
+                QueryKind::Hits,
                 request_id,
                 deadline_ms,
                 &client_id,
                 reads,
+                auth_seq,
                 auth_tag,
+                &mut auth,
+            ),
+            Request::ShardQuery {
+                request_id,
+                deadline_ms,
+                client_id,
+                reads,
+                auth_seq,
+                auth_tag,
+            } => handle_query(
+                &inner,
+                &conn,
+                conn_id,
+                &mut client_spans,
+                QueryKind::Candidates,
+                request_id,
+                deadline_ms,
+                &client_id,
+                reads,
+                auth_seq,
+                auth_tag,
+                &mut auth,
             ),
         };
 
@@ -913,6 +986,31 @@ fn handle_conn(
     let _ = w.sock.shutdown(Shutdown::Both);
 }
 
+/// A fresh per-connection auth nonce: wall-clock nanoseconds mixed with
+/// the connection index through splitmix64. Never returns 0 (the wire
+/// value meaning "no nonce"). Uniqueness, not unpredictability, is the
+/// requirement — the nonce defeats cross-connection replay, and the
+/// keyed tag it feeds is already only an integrity check.
+fn fresh_nonce(conn_idx: u64) -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x9E37_79B9);
+    let n = splitmix64(nanos ^ conn_idx.rotate_left(32));
+    if n == 0 {
+        1
+    } else {
+        n
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
 /// A frame cut off halfway through its payload: full header (so the
 /// receiver commits to a length) plus the first half of the body.
 fn torn_frame(body: &[u8]) -> Vec<u8> {
@@ -932,11 +1030,14 @@ fn handle_query(
     conn: &Arc<ConnShared>,
     conn_id: u64,
     client_spans: &mut HashMap<String, SpanGuard>,
+    kind: QueryKind,
     request_id: u64,
     deadline_ms: u32,
     client_id: &str,
     reads: Vec<genome::PackedSeq>,
+    auth_seq: u64,
     auth_tag: u64,
+    auth: &mut ConnAuth,
 ) -> (Response, Option<InflightGuard>) {
     let received = Instant::now();
     let received_vms = faultsim::sched::virtual_now_ms();
@@ -953,15 +1054,46 @@ fn handle_query(
     // Gate 0: authentication. A request whose tag does not bind its
     // claimed `client_id` to the shared secret is rejected before any
     // gate charges that client's fairness tokens — otherwise a forged
-    // `client_id` could drain a victim's bucket.
+    // `client_id` could drain a victim's bucket. The tag must also bind
+    // this connection's handshake nonce and a sequence number strictly
+    // above the last verified one: a captured frame replayed
+    // byte-exactly fails on the stale sequence (same connection) or the
+    // missing/different nonce (fresh connection). Sequence gaps are
+    // tolerated — a client whose send died mid-frame just keeps
+    // counting — only going backwards or standing still is a replay.
     if let Some(secret) = &inner.cfg.auth_secret {
-        let expect = crate::proto::auth_tag(secret, request_id, deadline_ms, client_id, &reads);
-        if auth_tag != expect {
+        let reject = |inner: &Arc<Inner>| {
             inner
                 .rec
                 .counter_on(client_span, "qnet.auth_failed", n_reads);
-            return (Response::AuthFailed { request_id }, None);
+            (Response::AuthFailed { request_id }, None)
+        };
+        let Some(nonce) = auth.nonce else {
+            // No handshake on this connection: nothing pins the tag to
+            // this connection, so a replayed capture would verify.
+            return reject(inner);
+        };
+        if auth_seq <= auth.last_seq {
+            return reject(inner);
         }
+        let auth_kind = match kind {
+            QueryKind::Hits => crate::proto::AUTH_KIND_QUERY,
+            QueryKind::Candidates => crate::proto::AUTH_KIND_SHARD_QUERY,
+        };
+        let expect = crate::proto::auth_tag(
+            secret,
+            auth_kind,
+            nonce,
+            auth_seq,
+            request_id,
+            deadline_ms,
+            client_id,
+            &reads,
+        );
+        if auth_tag != expect {
+            return reject(inner);
+        }
+        auth.last_seq = auth_seq;
     }
 
     // Gate 1: drain.
@@ -1011,9 +1143,18 @@ fn handle_query(
         );
     }
 
-    // Gate 4: shared queue depth.
+    // Gate 4: shared queue depth. Both query kinds go through the same
+    // service queue — shard queries obey the same backpressure, drain,
+    // and accounting as placement queries.
     faultsim::sched::point("qnet.gate.depth");
-    match inner.service.submit(reads) {
+    let submitted = match kind {
+        QueryKind::Hits => inner.service.submit(reads).map(Admitted::Hits),
+        QueryKind::Candidates => inner
+            .service
+            .submit_candidates(reads)
+            .map(Admitted::Candidates),
+    };
+    match submitted {
         Err(QserveError::Overloaded {
             queued, max_queue, ..
         }) => {
@@ -1071,7 +1212,16 @@ fn handle_query(
             }
             let guard = InflightGuard::new(inner);
             let admitted = Instant::now();
-            let hits = handle.wait();
+            let resp = match handle {
+                Admitted::Hits(h) => Response::Hits {
+                    request_id,
+                    hits: h.wait(),
+                },
+                Admitted::Candidates(h) => Response::ShardCandidates {
+                    request_id,
+                    candidates: h.wait(),
+                },
+            };
             let done = Instant::now();
             inner
                 .drain_rate
@@ -1103,7 +1253,7 @@ fn handle_query(
                     inner.drain_ewma().round() as u64,
                 );
             }
-            (Response::Hits { request_id, hits }, Some(guard))
+            (resp, Some(guard))
         }
     }
 }

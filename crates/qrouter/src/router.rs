@@ -1,0 +1,738 @@
+//! The scatter-gather router: fan a batch out to every shard, hedge
+//! slow shards, fail over dead replicas, and merge candidates into the
+//! exact answer a single-node server would have produced.
+//!
+//! # Why candidates and not hits
+//!
+//! Each shard holds a *slice of the minimizer postings* over the same
+//! contig store, so a shard's local vote counts are partial: a read's
+//! true placement may collect 3 votes on shard 0 and 2 on shard 1.
+//! Shards therefore return every voted candidate (unfiltered,
+//! untruncated), the router sums votes per placement with
+//! [`qserve::merge_candidates`], and replays single-node selection with
+//! [`qserve::select_hit`] under the caller's [`qserve::QueryConfig`].
+//! Because the postings partition is exact ([`qserve::shard_of_hash`]),
+//! merged votes equal single-node votes and the final tie-break is
+//! byte-identical — the invariant `tests/qrouter_cluster.rs` pins.
+//!
+//! # Hedging
+//!
+//! A slow shard stalls the whole batch, so after a latency-driven delay
+//! (a percentile of the shard's own recent round-trips, clamped to
+//! `[hedge_min_ms, hedge_max_ms]`) the router fires a second request at
+//! the next replica in the ladder and takes the first answer. The
+//! loser's late answer is discarded by construction: each attempt runs
+//! on its own pooled connection with its own `request_id` echo, so a
+//! late frame can neither desynchronize the winner's stream nor be
+//! accepted for the wrong batch. Cancellation is "stop listening", not
+//! "reach into the socket" — safe because nothing is shared.
+//!
+//! # Fail-over ladder
+//!
+//! A failed attempt (transport error, torn frame, shed, drain) walks to
+//! the next replica with a capped jittered backoff
+//! ([`qnet::ClientPool::backoff_ms`], the shape of `dnet`'s recovery
+//! backoff). Terminal errors — [`qnet::QnetError::AuthFailed`], an
+//! expired deadline, a typed remote failure — abort the ladder
+//! immediately and surface as [`RouterError::Net`] naming the shard and
+//! peer. A shard that exhausts every round is recorded as a
+//! [`DeadLetter`] and surfaces as [`RouterError::ShardUnavailable`]
+//! naming the shard, so callers see a typed failure rather than a hang.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use faultsim::{sched, Faults};
+use genome::PackedSeq;
+use obs::{Histogram, Recorder};
+use qnet::{ClientConfig, ClientPool, QnetError};
+use qserve::{merge_candidates, select_hit, Candidate, Hit, QueryConfig};
+
+use crate::manifest::ClusterManifest;
+use crate::RouterError;
+
+/// Round-trip samples a shard must accumulate before its latency
+/// percentile drives the hedge delay; until then the delay is pinned to
+/// `hedge_max_ms` so cold starts don't hedge on noise.
+const HEDGE_WARMUP_SAMPLES: u64 = 8;
+
+/// Tuning for the router. `Default` is sized for the in-process
+/// clusters the bench and tests run; production deployments mostly
+/// tune `client` (deadline, auth) and `hedge_max_ms`.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Template for pooled connections (address is filled per replica).
+    /// Its `max_retries` is forcibly zeroed — the router's ladder, not
+    /// the client, owns retries.
+    pub client: ClientConfig,
+    /// Selection config replayed over merged candidates; must match the
+    /// config a single-node server would use for answers to compare.
+    pub query: QueryConfig,
+    /// Hedge delay floor in milliseconds.
+    pub hedge_min_ms: u64,
+    /// Hedge delay ceiling in milliseconds; also the delay used while a
+    /// shard's latency history is still warming up.
+    pub hedge_max_ms: u64,
+    /// Which latency percentile of the shard's recent round-trips sets
+    /// the hedge delay (e.g. `0.95`: hedge when slower than p95).
+    pub hedge_percentile: f64,
+    /// Fail-over rounds per shard before the batch is dead-lettered.
+    /// Each round is one primary attempt plus at most one hedge.
+    pub failover_rounds: u32,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            client: ClientConfig::default(),
+            query: QueryConfig::default(),
+            hedge_min_ms: 2,
+            hedge_max_ms: 200,
+            hedge_percentile: 0.95,
+            failover_rounds: 3,
+        }
+    }
+}
+
+/// A batch a shard could not answer after exhausting every replica and
+/// every fail-over round — kept so operators can see *which* work was
+/// refused, not just a counter.
+#[derive(Debug, Clone)]
+pub struct DeadLetter {
+    /// The shard that went unreachable.
+    pub shard: u32,
+    /// Reads in the refused batch.
+    pub n_reads: usize,
+    /// Wire attempts made (primaries plus hedges across all rounds).
+    pub attempts: u32,
+    /// Display of the last error seen before giving up.
+    pub last_error: String,
+}
+
+/// One attempt's report into the hedge race.
+struct Outcome {
+    attempt: u32,
+    peer: String,
+    result: Result<Vec<Vec<Candidate>>, QnetError>,
+}
+
+/// Shared state between the shard task and its attempt threads. The
+/// mutex-protected vector is pollable (a pure lock-peek), which is what
+/// lets the cooperative scheduler drive the race deterministically.
+struct Race {
+    outcomes: Mutex<Vec<Outcome>>,
+    cv: Condvar,
+}
+
+impl Race {
+    fn push(&self, o: Outcome) {
+        self.outcomes
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(o);
+        self.cv.notify_all();
+    }
+}
+
+/// Everything attempt threads need, behind one `Arc` so hedge losers
+/// can outlive the round (and the batch) that launched them.
+struct Shared {
+    cfg: RouterConfig,
+    pool: ClientPool,
+    faults: Faults,
+    rec: Recorder,
+}
+
+/// The scatter-gather router over one [`ClusterManifest`].
+pub struct Router {
+    manifest: ClusterManifest,
+    shared: Arc<Shared>,
+    /// Per-shard round-trip history in ms, driving the hedge delay and
+    /// the per-shard latency split published to the live rollup.
+    latency: Vec<Mutex<Histogram>>,
+    dead: Mutex<Vec<DeadLetter>>,
+    /// Replica health from the last [`Router::probe_health`] sweep;
+    /// unknown addresses are assumed healthy.
+    health: Mutex<HashMap<String, bool>>,
+    /// Distinguishes concurrent scatters in sched-mode task names.
+    scatter_seq: AtomicU64,
+}
+
+impl Router {
+    /// Build a router over a validated manifest. `faults` arms the
+    /// `qrouter.*` failpoints (pass [`Faults::disabled`] outside chaos
+    /// runs); counters and latency splits land on `rec`.
+    pub fn new(
+        manifest: ClusterManifest,
+        cfg: RouterConfig,
+        faults: Faults,
+        rec: &Recorder,
+    ) -> Result<Router, RouterError> {
+        manifest.validate()?;
+        let latency = (0..manifest.n_shards)
+            .map(|_| Mutex::new(Histogram::new()))
+            .collect();
+        let pool = ClientPool::new(cfg.client.clone(), rec);
+        Ok(Router {
+            manifest,
+            shared: Arc::new(Shared {
+                cfg,
+                pool,
+                faults,
+                rec: rec.clone(),
+            }),
+            latency,
+            dead: Mutex::new(Vec::new()),
+            health: Mutex::new(HashMap::new()),
+            scatter_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// The manifest this router serves.
+    pub fn manifest(&self) -> &ClusterManifest {
+        &self.manifest
+    }
+
+    /// Batches refused after exhausting every replica of a shard.
+    pub fn dead_letters(&self) -> Vec<DeadLetter> {
+        self.dead.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Answer a batch through the cluster: scatter to every shard,
+    /// merge candidates per read, and select exactly as a single-node
+    /// server would. Returns per-read placements aligned with `reads`.
+    ///
+    /// Fails as a whole if any shard fails: partial answers would be
+    /// silently *wrong* answers (missing votes flip tie-breaks), so a
+    /// shard outage is a typed error, never a degraded result.
+    pub fn route(&self, reads: &[PackedSeq]) -> Result<Vec<Option<Hit>>, RouterError> {
+        if reads.is_empty() {
+            return Ok(Vec::new());
+        }
+        let reads = Arc::new(reads.to_vec());
+        let n_shards = self.manifest.n_shards as usize;
+        let seq = self.scatter_seq.fetch_add(1, Ordering::Relaxed);
+        let slots: Vec<Mutex<Option<Result<Vec<Vec<Candidate>>, RouterError>>>> =
+            (0..n_shards).map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for (shard, slot) in slots.iter().enumerate() {
+                let token = sched::announce(&format!("qrouter.s{shard}.q{seq}"));
+                let reads = Arc::clone(&reads);
+                scope.spawn(move || {
+                    let _guard = sched::begin(token);
+                    let r = self.query_shard(shard as u32, seq, &reads);
+                    *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+                });
+            }
+            if sched::active() {
+                // Scheduler-aware join: park until every shard task has
+                // filled its slot, so the scheduler can interleave the
+                // shard tasks while we wait. The scope's real joins then
+                // return immediately.
+                sched::wait_until("qrouter.scatter.join", &mut || {
+                    slots
+                        .iter()
+                        .all(|s| s.lock().unwrap_or_else(|e| e.into_inner()).is_some())
+                });
+            }
+        });
+
+        let mut per_shard = Vec::with_capacity(n_shards);
+        for slot in slots {
+            match slot.into_inner().unwrap_or_else(|e| e.into_inner()) {
+                Some(Ok(c)) => per_shard.push(c),
+                Some(Err(e)) => return Err(e),
+                None => unreachable!("scatter scope joined with an unfilled slot"),
+            }
+        }
+
+        let mut hits = Vec::with_capacity(reads.len());
+        for i in 0..reads.len() {
+            let merged = merge_candidates(per_shard.iter().map(|s| &s[i]));
+            hits.push(select_hit(&self.shared.cfg.query, &merged));
+        }
+        self.shared.rec.counter("qrouter.merge", reads.len() as u64);
+        Ok(hits)
+    }
+
+    /// One shard's fail-over ladder: up to `failover_rounds` rounds,
+    /// each a primary attempt hedged after the shard's hedge delay.
+    fn query_shard(
+        &self,
+        shard: u32,
+        seq: u64,
+        reads: &Arc<Vec<PackedSeq>>,
+    ) -> Result<Vec<Vec<Candidate>>, RouterError> {
+        let shared = &self.shared;
+        let ladder = self.ladder(shard);
+        let mut attempts = 0u32;
+        let mut last: Option<QnetError> = None;
+        for round in 1..=shared.cfg.failover_rounds {
+            let primary = ladder[(round as usize - 1) % ladder.len()].clone();
+            let hedge_peer = ladder[round as usize % ladder.len()].clone();
+            let started = Instant::now();
+            match self.run_round(
+                shard,
+                seq,
+                round,
+                &primary,
+                &hedge_peer,
+                reads,
+                &mut attempts,
+            ) {
+                Ok((candidates, hedge_won)) => {
+                    let elapsed_ms = if let Some(_now) = sched::virtual_now_ms() {
+                        // Virtual time barely moves inside one round;
+                        // record the wall floor so warmup still fills.
+                        1
+                    } else {
+                        started.elapsed().as_millis() as u64
+                    };
+                    let mut h = self.latency[shard as usize]
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner());
+                    h.record(elapsed_ms);
+                    drop(h);
+                    if hedge_won {
+                        shared.rec.counter("qrouter.hedge.won", 1);
+                    }
+                    return Ok(candidates);
+                }
+                Err(e) => {
+                    if !e.is_retryable() {
+                        // Auth rejections, spent deadlines, and typed
+                        // remote failures won't heal on another replica;
+                        // name the shard and peer and stop burning budget.
+                        return Err(RouterError::Net {
+                            shard,
+                            peer: primary,
+                            source: e,
+                        });
+                    }
+                    shared.rec.counter("qrouter.failover", 1);
+                    last = Some(e);
+                    if round < shared.cfg.failover_rounds {
+                        self.backoff(&primary, round);
+                    }
+                }
+            }
+        }
+        let last = last.map(|e| e.to_string()).unwrap_or_default();
+        shared.rec.counter("qrouter.shard.dead", 1);
+        self.dead
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(DeadLetter {
+                shard,
+                n_reads: reads.len(),
+                attempts,
+                last_error: last.clone(),
+            });
+        Err(RouterError::ShardUnavailable {
+            shard,
+            attempts,
+            last,
+        })
+    }
+
+    /// One round of the race: launch the primary, hedge after the delay
+    /// if it hasn't answered, take the first success. Loser threads are
+    /// left to finish on their own — their connections are theirs alone,
+    /// and their late outcomes land in a `Race` nobody reads again.
+    fn run_round(
+        &self,
+        shard: u32,
+        seq: u64,
+        round: u32,
+        primary: &str,
+        hedge_peer: &str,
+        reads: &Arc<Vec<PackedSeq>>,
+        attempts: &mut u32,
+    ) -> Result<(Vec<Vec<Candidate>>, bool), QnetError> {
+        let shared = &self.shared;
+        let race = Arc::new(Race {
+            outcomes: Mutex::new(Vec::new()),
+            cv: Condvar::new(),
+        });
+        let delay = self.hedge_delay_ms(shard);
+
+        spawn_attempt(shared, &race, shard, seq, round, 0, primary, reads);
+        *attempts += 1;
+        let mut launched = 1u32;
+
+        // Phase 1: give the primary `delay` ms to answer.
+        let primary_answered = self.race_wait(&race, 1, Some(delay), shard, seq, round);
+        if !primary_answered {
+            shared.rec.counter("qrouter.hedge.fired", 1);
+            spawn_attempt(shared, &race, shard, seq, round, 1, hedge_peer, reads);
+            *attempts += 1;
+            launched = 2;
+            // Phase 2: first success wins; otherwise wait for both to fail.
+            self.race_wait(&race, launched, None, shard, seq, round);
+        }
+
+        let mut outcomes = race.outcomes.lock().unwrap_or_else(|e| e.into_inner());
+        // Prefer a success from either attempt; a hedge can win even if
+        // the primary failed first.
+        if let Some(pos) = outcomes.iter().position(|o| o.result.is_ok()) {
+            let won = outcomes.swap_remove(pos);
+            let Ok(candidates) = won.result else {
+                unreachable!()
+            };
+            return Ok((candidates, won.attempt == 1));
+        }
+        debug_assert_eq!(outcomes.len(), launched as usize);
+        let lost = outcomes.pop().expect("a finished race has outcomes");
+        let Err(e) = lost.result else { unreachable!() };
+        Err(e)
+    }
+
+    /// Wait on the race until a success arrives, all `launched`
+    /// attempts have reported, or (when `timeout_ms` is set) the hedge
+    /// delay expires. Returns true when the wait ended because of an
+    /// outcome rather than the timeout.
+    fn race_wait(
+        &self,
+        race: &Arc<Race>,
+        launched: u32,
+        timeout_ms: Option<u64>,
+        shard: u32,
+        seq: u64,
+        round: u32,
+    ) -> bool {
+        let settled = |outcomes: &Vec<Outcome>| {
+            outcomes.iter().any(|o| o.result.is_ok()) || outcomes.len() >= launched as usize
+        };
+        if sched::active() {
+            let name = format!("qrouter.s{shard}.q{seq}.r{round}.wait");
+            let wake = timeout_ms.map(|t| {
+                sched::virtual_now_ms()
+                    .unwrap_or(0)
+                    .saturating_add(t.max(1))
+            });
+            sched::wait_until_deadline(&name, wake.unwrap_or(u64::MAX), &mut || {
+                let outcomes = race.outcomes.lock().unwrap_or_else(|e| e.into_inner());
+                if settled(&outcomes) {
+                    return true;
+                }
+                match wake {
+                    Some(w) => sched::virtual_now_ms().unwrap_or(0) >= w,
+                    None => false,
+                }
+            });
+            let outcomes = race.outcomes.lock().unwrap_or_else(|e| e.into_inner());
+            return settled(&outcomes);
+        }
+        let deadline = timeout_ms.map(|t| Instant::now() + Duration::from_millis(t));
+        let mut outcomes = race.outcomes.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if settled(&outcomes) {
+                return true;
+            }
+            match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return false;
+                    }
+                    let (guard, _) = race
+                        .cv
+                        .wait_timeout(outcomes, d - now)
+                        .unwrap_or_else(|e| e.into_inner());
+                    outcomes = guard;
+                }
+                None => {
+                    outcomes = race.cv.wait(outcomes).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
+    }
+
+    /// The replica order the ladder walks for `shard`: the manifest's
+    /// replica list rotated by the shard id (so shards sharing replica
+    /// processes spread their primary load), then stably re-ordered
+    /// with replicas marked healthy by the last probe sweep first.
+    fn ladder(&self, shard: u32) -> Vec<String> {
+        let replicas = &self.manifest.shards[shard as usize].replicas;
+        let n = replicas.len();
+        let health = self.health.lock().unwrap_or_else(|e| e.into_inner());
+        let mut rotated: Vec<String> = (0..n)
+            .map(|i| replicas[(shard as usize + i) % n].clone())
+            .collect();
+        rotated.sort_by_key(|addr| !health.get(addr).copied().unwrap_or(true));
+        rotated
+    }
+
+    /// The hedge delay for `shard`: the configured percentile of its
+    /// recent round-trips clamped to `[hedge_min_ms, hedge_max_ms]`, or
+    /// the ceiling while the history is still warming up.
+    fn hedge_delay_ms(&self, shard: u32) -> u64 {
+        let cfg = &self.shared.cfg;
+        let h = self.latency[shard as usize]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if h.count() < HEDGE_WARMUP_SAMPLES {
+            return cfg.hedge_max_ms;
+        }
+        h.percentile(cfg.hedge_percentile)
+            .clamp(cfg.hedge_min_ms, cfg.hedge_max_ms)
+    }
+
+    /// Sleep the fail-over backoff for retry `round` against `peer`
+    /// (capped, jittered, de-synchronized across replicas) — on the
+    /// virtual clock under the cooperative scheduler, on the wall
+    /// otherwise.
+    fn backoff(&self, peer: &str, round: u32) {
+        let wait = self.shared.pool.backoff_ms(peer, round).max(1);
+        if sched::active() {
+            let wake = sched::virtual_now_ms().unwrap_or(0).saturating_add(wait);
+            sched::wait_until_deadline("qrouter.backoff", wake, &mut || {
+                sched::virtual_now_ms().unwrap_or(u64::MAX) >= wake
+            });
+        } else {
+            std::thread::sleep(Duration::from_millis(wait));
+        }
+    }
+
+    /// Probe every distinct replica with `PingV2` and refresh the
+    /// health map the ladder consults: healthy means the probe answered
+    /// and the server is ready and not draining. Returns the sweep in
+    /// manifest order for callers that report it.
+    pub fn probe_health(&self) -> Vec<(String, bool)> {
+        let mut sweep = Vec::new();
+        for addr in self.manifest.all_replicas() {
+            let mut client = self.shared.pool.checkout(&addr);
+            let healthy = match client.ping_v2() {
+                Ok(status) => {
+                    self.shared.pool.checkin(&addr, client);
+                    status.ready && !status.draining
+                }
+                Err(_) => false,
+            };
+            self.health
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(addr.clone(), healthy);
+            sweep.push((addr, healthy));
+        }
+        sweep
+    }
+
+    /// Mark one replica's health directly (tests and chaos harnesses
+    /// that know a replica is down without waiting for a probe sweep).
+    pub fn set_replica_health(&self, addr: &str, healthy: bool) {
+        self.health
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(addr.to_string(), healthy);
+    }
+
+    /// Publish each shard's round-trip latency split as a
+    /// `qrouter.latency.shard{N}` histogram on the recorder, feeding
+    /// the live rollup's windowed view. Call after a sweep (or on a
+    /// reporting tick); emitting is cheap but not free.
+    pub fn publish_telemetry(&self) {
+        if !self.shared.rec.is_enabled() {
+            return;
+        }
+        let span = self.shared.rec.current();
+        for (shard, h) in self.latency.iter().enumerate() {
+            let h = h.lock().unwrap_or_else(|e| e.into_inner());
+            if !h.is_empty() {
+                self.shared.rec.histogram_on(
+                    span,
+                    &format!("qrouter.latency.shard{shard}"),
+                    h.clone(),
+                );
+            }
+        }
+    }
+}
+
+/// Launch one wire attempt on its own thread. The thread owns its
+/// pooled connection outright, so a racing sibling can never observe
+/// its bytes; its outcome is pushed into the shared race and the thread
+/// exits — the round may already be over, and that's fine.
+#[allow(clippy::too_many_arguments)]
+fn spawn_attempt(
+    shared: &Arc<Shared>,
+    race: &Arc<Race>,
+    shard: u32,
+    seq: u64,
+    round: u32,
+    attempt: u32,
+    peer: &str,
+    reads: &Arc<Vec<PackedSeq>>,
+) {
+    let shared = Arc::clone(shared);
+    let race = Arc::clone(race);
+    let peer = peer.to_string();
+    let reads = Arc::clone(reads);
+    let token = sched::announce(&format!("qrouter.s{shard}.q{seq}.r{round}.a{attempt}"));
+    std::thread::spawn(move || {
+        let _guard = sched::begin(token);
+        let result = run_attempt(&shared, shard, &peer, &reads);
+        shared.pool.record_outcome(&peer, result.is_ok());
+        race.push(Outcome {
+            attempt,
+            peer,
+            result,
+        });
+    });
+}
+
+/// One wire attempt: walk the chaos failpoints, then check a client out
+/// of the pool and issue the shard query (a single attempt — pooled
+/// clients never retry on their own). The client is returned to the
+/// pool only on success; a failed client's connection state is suspect
+/// and is dropped with it.
+fn run_attempt(
+    shared: &Arc<Shared>,
+    shard: u32,
+    peer: &str,
+    reads: &Arc<Vec<PackedSeq>>,
+) -> Result<Vec<Vec<Candidate>>, QnetError> {
+    use std::io::{Error, ErrorKind};
+    if shared.faults.hit(faultsim::QROUTER_SHARD_DOWN).is_err() {
+        return Err(QnetError::Io(Error::new(
+            ErrorKind::ConnectionRefused,
+            format!("injected qrouter.shard.down at {peer} (shard {shard})"),
+        )));
+    }
+    if shared.faults.hit(faultsim::QROUTER_REPLICA_FLAP).is_err() {
+        return Err(QnetError::Io(Error::new(
+            ErrorKind::ConnectionReset,
+            format!("injected qrouter.replica.flap at {peer} (shard {shard})"),
+        )));
+    }
+    if shared.faults.hit(faultsim::QROUTER_SHARD_SLOW).is_err() {
+        // Stall past any plausible hedge delay so the hedge demonstrably
+        // fires and wins; the attempt still answers afterwards, which is
+        // exactly the late-loser case the race must discard safely.
+        let stall = shared.cfg.hedge_max_ms.saturating_mul(2).saturating_add(50);
+        if sched::active() {
+            let wake = sched::virtual_now_ms().unwrap_or(0).saturating_add(stall);
+            sched::wait_until_deadline("qrouter.shard.slow", wake, &mut || {
+                sched::virtual_now_ms().unwrap_or(u64::MAX) >= wake
+            });
+        } else {
+            std::thread::sleep(Duration::from_millis(stall));
+        }
+    }
+    let mut client = shared.pool.checkout(peer);
+    let result = client.shard_query_batch(reads);
+    if result.is_ok() {
+        shared.pool.checkin(peer, client);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::ClusterManifest;
+
+    fn router_2x2() -> Router {
+        let mut m = ClusterManifest::new(2, 0xFEED);
+        m.add_replica(0, "127.0.0.1:7000");
+        m.add_replica(0, "127.0.0.1:7001");
+        m.add_replica(1, "127.0.0.1:7002");
+        m.add_replica(1, "127.0.0.1:7003");
+        Router::new(
+            m,
+            RouterConfig::default(),
+            Faults::disabled(),
+            &Recorder::disabled(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ladder_rotates_by_shard_and_prefers_healthy_replicas() {
+        let r = router_2x2();
+        assert_eq!(r.ladder(0), vec!["127.0.0.1:7000", "127.0.0.1:7001"]);
+        // Shard 1's list rotates by one so co-hosted shards would not
+        // all hammer the same first replica.
+        assert_eq!(r.ladder(1), vec!["127.0.0.1:7003", "127.0.0.1:7002"]);
+        // A replica marked unhealthy sinks to the back of the ladder.
+        r.set_replica_health("127.0.0.1:7000", false);
+        assert_eq!(r.ladder(0), vec!["127.0.0.1:7001", "127.0.0.1:7000"]);
+        // Health recovers, the rotation order returns.
+        r.set_replica_health("127.0.0.1:7000", true);
+        assert_eq!(r.ladder(0), vec!["127.0.0.1:7000", "127.0.0.1:7001"]);
+    }
+
+    #[test]
+    fn hedge_delay_warms_up_then_tracks_the_percentile_clamped() {
+        let r = router_2x2();
+        // Cold shard: pinned to the ceiling.
+        assert_eq!(r.hedge_delay_ms(0), r.shared.cfg.hedge_max_ms);
+        {
+            let mut h = r.latency[0].lock().unwrap();
+            for _ in 0..(HEDGE_WARMUP_SAMPLES - 1) {
+                h.record(10);
+            }
+        }
+        assert_eq!(r.hedge_delay_ms(0), r.shared.cfg.hedge_max_ms);
+        r.latency[0].lock().unwrap().record(10);
+        // Warm: p95 of a flat-10ms history is ~10ms, inside the clamp.
+        let d = r.hedge_delay_ms(0);
+        assert!(
+            d >= r.shared.cfg.hedge_min_ms && d <= 20,
+            "unexpected hedge delay {d}"
+        );
+        // A history of sub-ms round-trips clamps up to the floor.
+        {
+            let mut h = r.latency[1].lock().unwrap();
+            for _ in 0..100 {
+                h.record(0);
+            }
+        }
+        assert_eq!(r.hedge_delay_ms(1), r.shared.cfg.hedge_min_ms);
+    }
+
+    #[test]
+    fn empty_batches_route_without_touching_the_wire() {
+        let r = router_2x2();
+        assert!(r.route(&[]).unwrap().is_empty());
+        assert!(r.dead_letters().is_empty());
+    }
+
+    #[test]
+    fn unreachable_cluster_dead_letters_with_a_typed_error() {
+        // Nothing listens on these ports; every attempt fails with a
+        // transport error, the ladder exhausts, and the caller gets
+        // ShardUnavailable naming the shard — not a hang.
+        let mut m = ClusterManifest::new(1, 1);
+        m.add_replica(0, "127.0.0.1:1"); // reserved port, connect refused
+        let cfg = RouterConfig {
+            client: ClientConfig {
+                backoff_base_ms: 1,
+                backoff_cap_rounds: 0,
+                ..ClientConfig::default()
+            },
+            hedge_min_ms: 1,
+            hedge_max_ms: 5,
+            failover_rounds: 2,
+            ..RouterConfig::default()
+        };
+        let r = Router::new(m, cfg, Faults::disabled(), &Recorder::disabled()).unwrap();
+        let reads = vec![PackedSeq::from_codes(&[0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3])];
+        match r.route(&reads) {
+            Err(RouterError::ShardUnavailable {
+                shard, attempts, ..
+            }) => {
+                assert_eq!(shard, 0);
+                assert!(attempts >= 2, "expected every round attempted: {attempts}");
+            }
+            other => panic!("expected ShardUnavailable, got {other:?}"),
+        }
+        let dead = r.dead_letters();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].shard, 0);
+        assert_eq!(dead[0].n_reads, 1);
+    }
+}

@@ -67,6 +67,33 @@ pub struct Hit {
     pub votes: u32,
 }
 
+/// One voted placement of a read, before the best-hit selection.
+///
+/// This is the unit the sharded serving tier ships back to the router:
+/// each shard reports **every** placement its slice of the postings space
+/// voted for (no `min_votes` filter, no `max_candidates` truncation —
+/// both depend on *global* vote counts the shard cannot see), together
+/// with its local vote count and the verification verdict. Because the
+/// postings space partitions by minimizer hash, per-shard votes for the
+/// same placement sum to exactly the single-node vote count, and because
+/// every shard binds the full store, every shard's `mismatches` verdict
+/// for a given placement is identical. [`merge_candidates`] +
+/// [`select_hit`] then replay the single-node selection byte-exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// Index of the contig (pipeline order, as stored).
+    pub contig: u32,
+    /// 0-based offset of the read's first base within the contig.
+    pub offset: u32,
+    /// `true` if the placement is for the read's reverse complement.
+    pub reverse: bool,
+    /// Minimizer votes this placement received from the local postings.
+    pub votes: u32,
+    /// Verification verdict: `Some(mismatches)` within budget, `None`
+    /// if the placement blew the mismatch budget.
+    pub mismatches: Option<u32>,
+}
+
 /// The resolution engine: store + index + cache + config.
 ///
 /// Shared read-only across the [`QueryService`] worker pool; all interior
@@ -208,6 +235,51 @@ impl QueryEngine {
         (best, cache_hits, cache_misses)
     }
 
+    /// Every placement this engine's postings vote for, verified, in
+    /// `(reverse, contig, offset)` order — the shard half of the
+    /// scatter-gather protocol (see [`Candidate`]). Unlike
+    /// [`Self::query`], nothing is filtered by `min_votes` or truncated
+    /// to `max_candidates`: those cuts depend on global vote counts, so
+    /// they belong to the merge side ([`select_hit`]).
+    pub fn query_candidates(&self, read: &genome::PackedSeq) -> Vec<Candidate> {
+        let (k, w) = (self.index.k(), self.index.w());
+        if read.len() < k {
+            return Vec::new();
+        }
+        let rev = read.reverse_complement();
+        let mut out: Vec<Candidate> = Vec::new();
+        for (reverse, oriented) in [(false, read), (true, &rev)] {
+            let mut votes: HashMap<(u32, u32), u32> = HashMap::new();
+            for (hash, read_off) in minimizers(oriented, k, w) {
+                let (postings, _) = self
+                    .cache
+                    .get_or_fetch(hash, || self.index.postings(hash).to_vec());
+                for &(contig, contig_off) in postings.iter() {
+                    let Some(start) = contig_off.checked_sub(read_off) else {
+                        continue;
+                    };
+                    let clen = self.store.contig(contig as usize).len();
+                    if start as usize + oriented.len() > clen {
+                        continue;
+                    }
+                    *votes.entry((contig, start)).or_insert(0) += 1;
+                }
+            }
+            let mut voted: Vec<((u32, u32), u32)> = votes.into_iter().collect();
+            voted.sort_unstable();
+            for ((contig, start), v) in voted {
+                out.push(Candidate {
+                    contig,
+                    offset: start,
+                    reverse,
+                    votes: v,
+                    mismatches: self.verify(oriented, contig, start),
+                });
+            }
+        }
+        out
+    }
+
     /// Count mismatches of `read` against `contig` at `start`, or `None`
     /// once the budget is blown.
     fn verify(&self, read: &genome::PackedSeq, contig: u32, start: u32) -> Option<u32> {
@@ -230,6 +302,81 @@ impl QueryEngine {
 /// they depend on seeding luck, not on where the read truly sits.
 fn hit_rank(h: &Hit) -> (u32, bool, u32, u32) {
     (h.mismatches, h.reverse, h.contig, h.offset)
+}
+
+/// Sum per-shard [`Candidate`] lists for one read into the global
+/// candidate set: votes add per `(reverse, contig, offset)` placement
+/// (the postings space partitions by hash, so the sum is exactly the
+/// single-node vote count) and the verification verdict — identical on
+/// every shard — is taken from whichever shard reported it first.
+/// Output is in `(reverse, contig, offset)` order.
+pub fn merge_candidates<I>(parts: I) -> Vec<Candidate>
+where
+    I: IntoIterator,
+    I::Item: AsRef<[Candidate]>,
+{
+    use std::collections::BTreeMap;
+    let mut merged: BTreeMap<(bool, u32, u32), (u32, Option<u32>)> = BTreeMap::new();
+    for part in parts {
+        for c in part.as_ref() {
+            let slot = merged
+                .entry((c.reverse, c.contig, c.offset))
+                .or_insert((0, c.mismatches));
+            slot.0 += c.votes;
+        }
+    }
+    merged
+        .into_iter()
+        .map(
+            |((reverse, contig, offset), (votes, mismatches))| Candidate {
+                contig,
+                offset,
+                reverse,
+                votes,
+                mismatches,
+            },
+        )
+        .collect()
+}
+
+/// Replay the single-node best-hit selection over a globally merged
+/// candidate set: per orientation, drop placements under `min_votes`,
+/// rank by votes (desc) then `(contig, offset)` (asc), truncate to
+/// `max_candidates`, and keep the best *verified* placement under
+/// [`hit_rank`]'s total order. Given candidates merged by
+/// [`merge_candidates`] from a disjoint shard cover, this returns exactly
+/// what [`QueryEngine::query`] returns on the unsharded index — the
+/// byte-identity invariant the cluster goldens pin.
+pub fn select_hit(cfg: &QueryConfig, candidates: &[Candidate]) -> Option<Hit> {
+    let mut best: Option<Hit> = None;
+    for reverse in [false, true] {
+        let mut ranked: Vec<&Candidate> = candidates
+            .iter()
+            .filter(|c| c.reverse == reverse && c.votes >= cfg.min_votes)
+            .collect();
+        ranked.sort_unstable_by(|a, b| {
+            b.votes
+                .cmp(&a.votes)
+                .then_with(|| (a.contig, a.offset).cmp(&(b.contig, b.offset)))
+        });
+        ranked.truncate(cfg.max_candidates);
+        for c in ranked {
+            let Some(mm) = c.mismatches else {
+                continue;
+            };
+            let hit = Hit {
+                contig: c.contig,
+                offset: c.offset,
+                reverse,
+                mismatches: mm,
+                votes: c.votes,
+            };
+            if best.is_none_or(|b| hit_rank(&hit) < hit_rank(&b)) {
+                best = Some(hit);
+            }
+        }
+    }
+    best
 }
 
 #[cfg(test)]
@@ -316,6 +463,64 @@ mod tests {
         assert_eq!(first, second);
         let stats = eng.cache_stats();
         assert!(stats.hits > 0, "second pass must hit the cache: {stats:?}");
+    }
+
+    #[test]
+    fn sharded_candidate_merge_reproduces_single_node_answers() {
+        use crate::minimizer::MinimizerIndex;
+        // Stress the truncation boundary: tiny max_candidates makes the
+        // global top-K differ from any shard's local top-K, which is
+        // exactly the case a best-hit-per-shard merge would get wrong.
+        for cfg in [
+            QueryConfig::default(),
+            QueryConfig {
+                max_candidates: 2,
+                min_votes: 2,
+                ..QueryConfig::default()
+            },
+        ] {
+            let contigs: Vec<PackedSeq> = [REF0, REF1].iter().map(|s| s.parse().unwrap()).collect();
+            let store = ContigStore::from_contigs(contigs);
+            let icfg = IndexConfig {
+                k: 7,
+                w: 4,
+                threads: 1,
+            };
+            let full = QueryEngine::new(
+                ContigStore::from_contigs(
+                    [REF0, REF1].iter().map(|s| s.parse().unwrap()).collect(),
+                ),
+                MinimizerIndex::build(&store, &icfg),
+                cfg,
+            )
+            .unwrap();
+            let n_shards = 3u32;
+            let shards: Vec<QueryEngine> = (0..n_shards)
+                .map(|s| {
+                    QueryEngine::new(
+                        ContigStore::from_contigs(
+                            [REF0, REF1].iter().map(|x| x.parse().unwrap()).collect(),
+                        ),
+                        MinimizerIndex::build_shard(&store, &icfg, s, n_shards),
+                        cfg,
+                    )
+                    .unwrap()
+                })
+                .collect();
+            let mut reads: Vec<PackedSeq> = Vec::new();
+            for start in 0..26 {
+                reads.push(seq(&REF0[start..start + 24]));
+                reads.push(seq(&REF1[start..start + 24]).reverse_complement());
+            }
+            reads.push(seq("GTGTGTGTGTGTGTGTGTGTGTGT")); // foreign
+            for read in &reads {
+                let single = full.query(read);
+                let parts: Vec<Vec<Candidate>> =
+                    shards.iter().map(|e| e.query_candidates(read)).collect();
+                let merged = merge_candidates(&parts);
+                assert_eq!(select_hit(&cfg, &merged), single, "cfg {cfg:?}");
+            }
+        }
     }
 
     #[test]

@@ -46,9 +46,9 @@ mod wire;
 
 pub use admission::{AdmissionConfig, FairAdmission, FairShed};
 pub use cache::{CacheStats, PostingsCache};
-pub use engine::{Hit, QueryConfig, QueryEngine};
-pub use minimizer::{minimizers, IndexConfig, MinimizerIndex};
-pub use service::{BatchHandle, QueryService, ServiceConfig};
+pub use engine::{merge_candidates, select_hit, Candidate, Hit, QueryConfig, QueryEngine};
+pub use minimizer::{minimizers, shard_of_hash, IndexConfig, MinimizerIndex};
+pub use service::{BatchHandle, CandidateBatchHandle, QueryService, ServiceConfig};
 pub use store::ContigStore;
 
 /// File name of the contig store inside an assembly work directory.

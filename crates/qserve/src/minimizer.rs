@@ -102,7 +102,19 @@ pub fn minimizers(seq: &PackedSeq, k: usize, w: usize) -> Vec<(u64, u32)> {
     out
 }
 
+/// Deterministic shard assignment for one minimizer hash among `n_shards`
+/// postings shards. Hashes are already splitmix64-mixed ([`mix64`]), so a
+/// plain modulo spreads the postings space uniformly; the assignment is a
+/// pure function of the hash, so every node (and the cluster manifest)
+/// agrees on it without coordination.
+pub fn shard_of_hash(hash: u64, n_shards: u32) -> u32 {
+    assert!(n_shards >= 1, "a cluster has at least one shard");
+    (hash % n_shards as u64) as u32
+}
+
 /// Minimizer hash → `(contig, offset)` postings for one [`ContigStore`].
+/// Cloneable so replicated servers can share one shard build.
+#[derive(Clone)]
 pub struct MinimizerIndex {
     k: u32,
     w: u32,
@@ -151,6 +163,36 @@ impl MinimizerIndex {
             store_checksum: store.checksum(),
             hashes: entries.iter().map(|&(h, _, _)| h).collect(),
             postings: entries.iter().map(|&(_, c, o)| (c, o)).collect(),
+        }
+    }
+
+    /// Build the `shard`-of-`n_shards` slice of the postings space: exactly
+    /// the entries of [`MinimizerIndex::build`] whose hash satisfies
+    /// [`shard_of_hash`]`(hash, n_shards) == shard`. Sharding partitions
+    /// the postings space, **not** the contigs — the shard indexes are a
+    /// disjoint cover of the full index, and every shard still binds to
+    /// the full store's checksum, so any shard can verify any candidate
+    /// placement against the whole assembly.
+    pub fn build_shard(
+        store: &ContigStore,
+        cfg: &IndexConfig,
+        shard: u32,
+        n_shards: u32,
+    ) -> MinimizerIndex {
+        assert!(shard < n_shards, "shard {shard} out of range 0..{n_shards}");
+        let full = Self::build(store, cfg);
+        let mut hashes = Vec::new();
+        let mut postings = Vec::new();
+        for (&hash, &posting) in full.hashes.iter().zip(&full.postings) {
+            if shard_of_hash(hash, n_shards) == shard {
+                hashes.push(hash);
+                postings.push(posting);
+            }
+        }
+        MinimizerIndex {
+            hashes,
+            postings,
+            ..full
         }
     }
 
@@ -399,6 +441,51 @@ mod tests {
             Err(StreamError::Corrupt(m)) => assert!(m.contains("contigs.mdx"), "{m}"),
             Err(other) => panic!("expected Corrupt, got {other}"),
             Ok(_) => panic!("open must fail on a flipped bit"),
+        }
+    }
+
+    #[test]
+    fn shard_indexes_partition_the_postings_space() {
+        let store = toy_store();
+        let cfg = IndexConfig {
+            k: 7,
+            w: 4,
+            threads: 2,
+        };
+        let full = MinimizerIndex::build(&store, &cfg);
+        for n_shards in [1u32, 2, 3, 5] {
+            let shards: Vec<MinimizerIndex> = (0..n_shards)
+                .map(|s| MinimizerIndex::build_shard(&store, &cfg, s, n_shards))
+                .collect();
+            // Disjoint cover: merging the shard entries back in sorted
+            // order reproduces the full index byte-for-byte.
+            let mut merged: Vec<(u64, u32, u32)> = shards
+                .iter()
+                .flat_map(|idx| {
+                    idx.hashes
+                        .iter()
+                        .zip(&idx.postings)
+                        .map(|(&h, &(c, o))| (h, c, o))
+                })
+                .collect();
+            merged.sort_unstable();
+            let rebuilt = MinimizerIndex {
+                k: full.k,
+                w: full.w,
+                store_checksum: full.store_checksum,
+                hashes: merged.iter().map(|&(h, _, _)| h).collect(),
+                postings: merged.iter().map(|&(_, c, o)| (c, o)).collect(),
+            };
+            assert_eq!(rebuilt.encode(), full.encode(), "n_shards={n_shards}");
+            // Every shard holds only hashes assigned to it, and binds to
+            // the full store.
+            for (s, idx) in shards.iter().enumerate() {
+                assert!(idx
+                    .hashes
+                    .iter()
+                    .all(|&h| shard_of_hash(h, n_shards) == s as u32));
+                idx.verify_store(&store).unwrap();
+            }
         }
     }
 

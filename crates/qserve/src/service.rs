@@ -16,7 +16,7 @@
 //!
 //! [`submit`]: QueryService::submit
 
-use crate::engine::{Hit, QueryEngine};
+use crate::engine::{Candidate, Hit, QueryEngine};
 use crate::QserveError;
 use genome::PackedSeq;
 use obs::{Histogram, Recorder};
@@ -48,6 +48,22 @@ impl Default for ServiceConfig {
     }
 }
 
+/// What a batch's workers compute per read: the selected placement
+/// (single-node serving) or the full voted-candidate set (shard-scoped
+/// serving, where final selection happens at the router after merging
+/// per-shard votes — see `qserve::merge_candidates`).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum BatchMode {
+    Hits,
+    Candidates,
+}
+
+/// Per-batch result storage, matching the batch's [`BatchMode`].
+enum BatchResults {
+    Hits(Vec<Option<Hit>>),
+    Candidates(Vec<Vec<Candidate>>),
+}
+
 /// One batch's shared completion state.
 struct BatchState {
     inner: Mutex<BatchInner>,
@@ -56,7 +72,7 @@ struct BatchState {
 
 struct BatchInner {
     /// One slot per submitted read, in submission order.
-    results: Vec<Option<Hit>>,
+    results: BatchResults,
     /// Chunks not yet fully processed.
     pending: usize,
 }
@@ -72,30 +88,52 @@ impl BatchHandle {
     /// Block until the batch completes; results align with the submitted
     /// reads (`results[i]` answers `reads[i]`).
     pub fn wait(self) -> Vec<Option<Hit>> {
-        // Under a model-checking scheduler the condvar wait becomes a
-        // pollable schedule point, so "the submitter saw the batch
-        // finish" is an explicit, explorable step.
-        if faultsim::sched::active() {
-            let state = &self.state;
-            faultsim::sched::wait_until("qserve.batch.wait", &mut || {
-                state
-                    .inner
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .pending
-                    == 0
-            });
+        match wait_results(&self.state) {
+            BatchResults::Hits(hits) => hits,
+            BatchResults::Candidates(_) => unreachable!("hit batch holds hit results"),
         }
-        let mut inner = self.state.inner.lock().unwrap_or_else(|e| e.into_inner());
-        while inner.pending > 0 {
-            inner = self
-                .state
-                .done
-                .wait(inner)
-                .unwrap_or_else(|e| e.into_inner());
-        }
-        std::mem::take(&mut inner.results)
     }
+}
+
+/// A ticket for a batch submitted in candidate mode via
+/// [`QueryService::submit_candidates`];
+/// [`wait`](CandidateBatchHandle::wait) blocks until every read is
+/// resolved and yields each read's full voted-candidate set.
+pub struct CandidateBatchHandle {
+    state: Arc<BatchState>,
+}
+
+impl CandidateBatchHandle {
+    /// Block until the batch completes; `results[i]` holds every voted
+    /// candidate placement for `reads[i]`.
+    pub fn wait(self) -> Vec<Vec<Candidate>> {
+        match wait_results(&self.state) {
+            BatchResults::Candidates(c) => c,
+            BatchResults::Hits(_) => unreachable!("candidate batch holds candidate results"),
+        }
+    }
+}
+
+/// Block until `state.pending` drops to zero and take the results.
+fn wait_results(state: &BatchState) -> BatchResults {
+    // Under a model-checking scheduler the condvar wait becomes a
+    // pollable schedule point, so "the submitter saw the batch
+    // finish" is an explicit, explorable step.
+    if faultsim::sched::active() {
+        faultsim::sched::wait_until("qserve.batch.wait", &mut || {
+            state
+                .inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pending
+                == 0
+        });
+    }
+    let mut inner = state.inner.lock().unwrap_or_else(|e| e.into_inner());
+    while inner.pending > 0 {
+        inner = state.done.wait(inner).unwrap_or_else(|e| e.into_inner());
+    }
+    std::mem::replace(&mut inner.results, BatchResults::Hits(Vec::new()))
 }
 
 /// A unit of work: a contiguous slice of one batch.
@@ -104,6 +142,9 @@ struct Chunk {
     /// Offset of `reads[0]` within the batch's result vector.
     start: usize,
     reads: Vec<PackedSeq>,
+    /// What the workers compute for this chunk's reads; always matches
+    /// the variant of the batch's result storage.
+    mode: BatchMode,
     /// When the chunk was admitted — the start of its queue-wait, which
     /// workers fold into the `qserve.latency.queue` histogram.
     enqueued: Instant,
@@ -211,15 +252,38 @@ impl QueryService {
     /// Submit a batch. Returns a [`BatchHandle`] on admission, or
     /// [`QserveError::Overloaded`] if the queue cannot absorb it.
     pub fn submit(&self, reads: Vec<PackedSeq>) -> crate::Result<BatchHandle> {
+        let state = self.submit_inner(reads, BatchMode::Hits)?;
+        Ok(BatchHandle { state })
+    }
+
+    /// Submit a batch in candidate mode: workers report every voted
+    /// candidate placement per read instead of selecting one. This is the
+    /// shard-serving path — admission, chunking, and shedding are
+    /// identical to [`submit`](Self::submit), so shard queries obey the
+    /// same backpressure as placement queries.
+    pub fn submit_candidates(&self, reads: Vec<PackedSeq>) -> crate::Result<CandidateBatchHandle> {
+        let state = self.submit_inner(reads, BatchMode::Candidates)?;
+        Ok(CandidateBatchHandle { state })
+    }
+
+    fn submit_inner(
+        &self,
+        reads: Vec<PackedSeq>,
+        mode: BatchMode,
+    ) -> crate::Result<Arc<BatchState>> {
+        let results = match mode {
+            BatchMode::Hits => BatchResults::Hits(vec![None; reads.len()]),
+            BatchMode::Candidates => BatchResults::Candidates(vec![Vec::new(); reads.len()]),
+        };
         let state = Arc::new(BatchState {
             inner: Mutex::new(BatchInner {
-                results: vec![None; reads.len()],
+                results,
                 pending: 0,
             }),
             done: Condvar::new(),
         });
         if reads.is_empty() {
-            return Ok(BatchHandle { state });
+            return Ok(state);
         }
         let chunk_size = self.cfg.batch_chunk.max(1);
         let n_chunks = reads.len().div_ceil(chunk_size);
@@ -251,6 +315,7 @@ impl QueryService {
                     state: Arc::clone(&state),
                     start,
                     reads,
+                    mode,
                     enqueued,
                 });
                 start += len;
@@ -261,12 +326,20 @@ impl QueryService {
                 .gauge("qserve.queue.depth", q.chunks.len() as u64);
         }
         self.shared.available.notify_all();
-        Ok(BatchHandle { state })
+        Ok(state)
     }
 
     /// Submit and wait — the synchronous convenience path.
     pub fn query_batch(&self, reads: Vec<PackedSeq>) -> crate::Result<Vec<Option<Hit>>> {
         Ok(self.submit(reads)?.wait())
+    }
+
+    /// Submit in candidate mode and wait — the synchronous shard path.
+    pub fn query_batch_candidates(
+        &self,
+        reads: Vec<PackedSeq>,
+    ) -> crate::Result<Vec<Vec<Candidate>>> {
+        Ok(self.submit_candidates(reads)?.wait())
     }
 }
 
@@ -332,29 +405,36 @@ fn worker_loop(shared: &Shared, idx: usize) {
         faultsim::sched::point("qserve.worker.exec");
         let n = chunk.reads.len() as u64;
         shared.rec.counter_on(span.id(), "qserve.queries", n);
-        let answers: Vec<Option<Hit>> = if shared.rec.is_enabled() {
-            // Per-read latency, split queue-wait / execute / total, in
-            // microseconds. One histogram event per chunk keeps the
-            // trace small; the rollup merges chunks exactly.
-            let queue_us = Instant::now()
-                .saturating_duration_since(chunk.enqueued)
-                .as_micros() as u64;
+        let traced = shared.rec.is_enabled();
+        // Per-read latency, split queue-wait / execute / total, in
+        // microseconds. One histogram event per chunk keeps the
+        // trace small; the rollup merges chunks exactly.
+        let queue_us = Instant::now()
+            .saturating_duration_since(chunk.enqueued)
+            .as_micros() as u64;
+        let mut exec_h = Histogram::new();
+        let mut total_h = Histogram::new();
+        let mut hit_answers: Vec<Option<Hit>> = Vec::new();
+        let mut cand_answers: Vec<Vec<Candidate>> = Vec::new();
+        for read in &chunk.reads {
+            let begun = Instant::now();
+            match chunk.mode {
+                BatchMode::Hits => {
+                    hit_answers.push(shared.engine.query_traced(read, &shared.rec, span.id()));
+                }
+                BatchMode::Candidates => {
+                    cand_answers.push(shared.engine.query_candidates(read));
+                }
+            }
+            if traced {
+                let exec_us = begun.elapsed().as_micros() as u64;
+                exec_h.record(exec_us);
+                total_h.record(queue_us + exec_us);
+            }
+        }
+        if traced {
             let mut queue_h = Histogram::new();
             queue_h.record_n(queue_us, n);
-            let mut exec_h = Histogram::new();
-            let mut total_h = Histogram::new();
-            let answers = chunk
-                .reads
-                .iter()
-                .map(|read| {
-                    let begun = Instant::now();
-                    let hit = shared.engine.query_traced(read, &shared.rec, span.id());
-                    let exec_us = begun.elapsed().as_micros() as u64;
-                    exec_h.record(exec_us);
-                    total_h.record(queue_us + exec_us);
-                    hit
-                })
-                .collect();
             let sid = span.id();
             shared
                 .rec
@@ -368,20 +448,22 @@ fn worker_loop(shared: &Shared, idx: usize) {
                 "qserve.cache.bytes",
                 shared.engine.cache_resident_bytes(),
             );
-            answers
-        } else {
-            chunk
-                .reads
-                .iter()
-                .map(|read| shared.engine.query_traced(read, &shared.rec, span.id()))
-                .collect()
-        };
+        }
         faultsim::sched::point("qserve.worker.respond");
         shared
             .drained
-            .fetch_add(answers.len() as u64, Ordering::Relaxed);
+            .fetch_add(chunk.reads.len() as u64, Ordering::Relaxed);
         let mut inner = chunk.state.inner.lock().unwrap_or_else(|e| e.into_inner());
-        inner.results[chunk.start..chunk.start + answers.len()].clone_from_slice(&answers);
+        match &mut inner.results {
+            BatchResults::Hits(slots) => {
+                slots[chunk.start..chunk.start + hit_answers.len()].clone_from_slice(&hit_answers);
+            }
+            BatchResults::Candidates(slots) => {
+                for (i, c) in cand_answers.into_iter().enumerate() {
+                    slots[chunk.start + i] = c;
+                }
+            }
+        }
         inner.pending -= 1;
         if inner.pending == 0 {
             chunk.state.done.notify_all();
@@ -544,6 +626,29 @@ mod tests {
         );
         assert!(totals.gauge("qserve.queue.depth") >= 1);
         assert!(totals.gauges.contains_key("qserve.cache.bytes"));
+    }
+
+    #[test]
+    fn candidate_batches_match_the_engine_and_align_with_submission_order() {
+        let rec = Recorder::disabled();
+        let svc = QueryService::start(
+            engine(),
+            ServiceConfig {
+                workers: 4,
+                batch_chunk: 8,
+                ..ServiceConfig::default()
+            },
+            &rec,
+        );
+        let reference = engine();
+        let batch = reads(100);
+        let answers = svc.query_batch_candidates(batch.clone()).unwrap();
+        assert_eq!(answers.len(), batch.len());
+        for (read, cands) in batch.iter().zip(&answers) {
+            assert_eq!(cands, &reference.query_candidates(read));
+            assert!(!cands.is_empty(), "every planted read has candidates");
+        }
+        assert!(svc.query_batch_candidates(Vec::new()).unwrap().is_empty());
     }
 
     #[test]

@@ -30,17 +30,28 @@
 //! (or, for PCT, just the seed) reproduces the identical interleaving,
 //! asserted by comparing [`trace::trace_hash`]es.
 //!
+//! A second scenario ([`router_scenario`]) runs the sharded cluster —
+//! a real [`qrouter::Router`] scatter-gathering over two shard servers
+//! — under the same controller, checking read conservation
+//! (`offered == merged + typed-failed`) and that the hedge race never
+//! double-counts a batch.
+//!
 //! Schedule executions are process-wide exclusive (the scheduler
 //! installs globally), serialized behind [`sched_lock`].
 
 pub mod dfs;
 pub mod invariants;
 pub mod pct;
+pub mod router_scenario;
 pub mod scenario;
 pub mod trace;
 
 pub use dfs::{explore_dfs, DfsConfig};
 pub use pct::{explore_pct, PctConfig};
+pub use router_scenario::{
+    run_router_schedule, RouterBatchOutcome, RouterOutcomeKind, RouterRunResult,
+    RouterScenarioConfig,
+};
 pub use scenario::{
     replay_trace, run_schedule, AuthMode, BatchOutcome, OutcomeKind, RunResult, ScenarioConfig,
 };

@@ -216,7 +216,7 @@ pub struct RunResult {
 
 /// The deterministic reference contig: bases from the repo's splitmix64
 /// mixer, so every run (and every process) builds the same sequence.
-fn contig() -> PackedSeq {
+pub(crate) fn contig() -> PackedSeq {
     let mut codes = Vec::with_capacity(CONTIG_BASES);
     let mut x: u64 = 0x5eed_cafe_f00d_0001;
     while codes.len() < CONTIG_BASES {
@@ -234,7 +234,7 @@ fn contig() -> PackedSeq {
     PackedSeq::from_codes(&codes)
 }
 
-fn build_engine(reference: &PackedSeq) -> QueryEngine {
+pub(crate) fn build_engine(reference: &PackedSeq) -> QueryEngine {
     let store = ContigStore::from_contigs(vec![reference.clone()]);
     let index = MinimizerIndex::build(
         &store,
@@ -249,7 +249,7 @@ fn build_engine(reference: &PackedSeq) -> QueryEngine {
 
 /// Deterministic query script: read `q` is a striding 60-base window of
 /// the contig, alternating strands (the `tests/qnet_stats.rs` idiom).
-fn query(reference: &PackedSeq, q: usize) -> PackedSeq {
+pub(crate) fn query(reference: &PackedSeq, q: usize) -> PackedSeq {
     let start = (q * 37) % (reference.len() - READ_BASES + 1);
     let s = reference.slice(start, READ_BASES);
     if q % 2 == 0 {
@@ -291,6 +291,8 @@ fn run_batch(
     reads: &[PackedSeq],
     expected: &[Option<Hit>],
     secret: Option<&str>,
+    nonce: u64,
+    seq: u64,
 ) -> BatchOutcome {
     let n_reads = reads.len() as u64;
     let client_id = format!("c{client}");
@@ -302,15 +304,28 @@ fn run_batch(
         detail,
         connected: true,
     };
-    let auth_tag = match secret {
-        Some(s) => qnet::auth_tag(s, request_id, deadline_ms, &client_id, reads),
-        None => 0,
+    let (auth_seq, auth_tag) = match secret {
+        Some(s) => (
+            seq,
+            qnet::auth_tag(
+                s,
+                qnet::AUTH_KIND_QUERY,
+                nonce,
+                seq,
+                request_id,
+                deadline_ms,
+                &client_id,
+                reads,
+            ),
+        ),
+        None => (0, 0),
     };
     let body = Request::Query {
         request_id,
         deadline_ms,
         client_id,
         reads: reads.to_vec(),
+        auth_seq,
         auth_tag,
     }
     .encode();
@@ -471,6 +486,27 @@ fn client_task(
     let mut reader = BufReader::new(read_half);
     let deadline_ms = cfg.deadline_ms[idx % cfg.deadline_ms.len().max(1)];
     let secret = cfg.client_secret(idx);
+    // Authed clients open with the nonce handshake; losing the race
+    // with the drain here is an ordinary Io outcome for every batch.
+    let mut nonce = 0u64;
+    if secret.is_some() {
+        match auth_handshake(&sock, &mut reader) {
+            Ok(n) => nonce = n,
+            Err(detail) => {
+                for b in 0..cfg.batches_per_client {
+                    push(BatchOutcome {
+                        client: idx,
+                        batch: b,
+                        n_reads: cfg.reads_per_batch as u64,
+                        kind: OutcomeKind::Io,
+                        detail: detail.clone(),
+                        connected: true,
+                    });
+                }
+                return;
+            }
+        }
+    }
     for b in 0..cfg.batches_per_client {
         let reads: Vec<PackedSeq> = (0..cfg.reads_per_batch)
             .map(|r| {
@@ -491,7 +527,35 @@ fn client_task(
             &reads,
             &expected[b],
             secret.as_deref(),
+            nonce,
+            (b as u64) + 1,
         ));
+    }
+}
+
+/// Run the `AuthHello` handshake on a fresh connection, returning the
+/// dealt nonce. Any transport failure is reported as a string.
+fn auth_handshake(sock: &TcpStream, reader: &mut BufReader<TcpStream>) -> Result<u64, String> {
+    let body = Request::AuthHello.encode();
+    let mut frame = Vec::with_capacity(gstream::FRAME_HEADER_BYTES + body.len());
+    gstream::write_frame(&mut frame, &body).map_err(|e| format!("handshake encode: {e}"))?;
+    sched::point("sc.client.hello");
+    send_all(sock, &frame).map_err(|e| format!("handshake write: {e}"))?;
+    {
+        let reader = &*reader;
+        sched::wait_until("sc.client.read", &mut || {
+            !reader.buffer().is_empty() || sock_readable(reader.get_ref())
+        });
+    }
+    let payload = match gstream::read_frame(reader, "server") {
+        Ok(Some(p)) => p,
+        Ok(None) => return Err("eof during handshake".to_string()),
+        Err(e) => return Err(format!("handshake read: {e}")),
+    };
+    match Response::decode(&payload, "server") {
+        Ok(Response::AuthNonce { nonce }) => Ok(nonce),
+        Ok(other) => Err(format!("handshake answered {other:?}")),
+        Err(e) => Err(format!("handshake decode: {e}")),
     }
 }
 

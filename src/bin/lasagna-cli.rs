@@ -35,11 +35,21 @@
 //!                  [--out hits.tsv] [--batch 1024] [--client-id NAME] \
 //!                  [--deadline-ms 10000] [--retries 4] [--auth-secret S]
 //!
+//! lasagna-cli query --router cluster.json --reads queries.fastq \
+//!                  [--out hits.tsv] [--batch 1024] [--client-id NAME] \
+//!                  [--deadline-ms 10000] [--hedge-max-ms 200] \
+//!                  [--failover-rounds 3] [--auth-secret S]
+//!
 //! lasagna-cli serve --work /tmp/lasagna-work [--addr 127.0.0.1:0] \
 //!                  [--workers 4] [--cache-mb 32] [--max-mismatches 2] \
 //!                  [--max-queue 64] [--refill-per-s 50000] [--burst 20000] \
 //!                  [--read-timeout-ms 30000] [--drain-deadline-ms 5000] \
 //!                  [--faults SPEC] [--trace-out trace.jsonl] [--auth-secret S]
+//!
+//! lasagna-cli serve-cluster --work /tmp/lasagna-work --shards 2 [--replicas 2] \
+//!                  [--manifest cluster.json] [--workers 2] [--cache-mb 32] \
+//!                  [--max-mismatches 2] [--max-queue 64] [--k 15] [--w 8] \
+//!                  [--auth-secret S]
 //!
 //! lasagna-cli shutdown --connect HOST:PORT
 //! ```
@@ -77,6 +87,7 @@ fn main() {
         "index" => index(&opts),
         "query" => query(&opts),
         "serve" => serve(&opts),
+        "serve-cluster" => serve_cluster(&opts),
         "shutdown" => shutdown(&opts),
         "--help" | "-h" | "help" => usage(),
         other => {
@@ -108,10 +119,16 @@ fn usage() -> ! {
          lasagna query --connect HOST:PORT --reads queries.fastq [--out hits.tsv] \
          [--batch 1024] [--client-id NAME] [--deadline-ms 10000] [--retries 4] \
          [--auth-secret S]\n  \
+         lasagna query --router cluster.json --reads queries.fastq [--out hits.tsv] \
+         [--batch 1024] [--client-id NAME] [--deadline-ms 10000] [--hedge-max-ms 200] \
+         [--failover-rounds 3] [--auth-secret S]\n  \
          lasagna serve --work DIR [--addr 127.0.0.1:0] [--workers 4] [--cache-mb 32] \
          [--max-mismatches 2] [--max-queue 64] [--refill-per-s 50000] [--burst 20000] \
          [--read-timeout-ms 30000] [--drain-deadline-ms 5000] [--faults SPEC] \
          [--trace-out trace.jsonl] [--auth-secret S]\n  \
+         lasagna serve-cluster --work DIR --shards N [--replicas R] [--manifest FILE] \
+         [--workers 2] [--cache-mb 32] [--max-mismatches 2] [--max-queue 64] \
+         [--k 15] [--w 8] [--auth-secret S]\n  \
          lasagna shutdown --connect HOST:PORT\n\
          \nassemble resumes from --work's manifest.json when --resume yes; \
          assemble-distributed resumes from --work's superstep.log plus the \
@@ -955,6 +972,9 @@ fn query(opts: &HashMap<String, String>) {
     if opts.contains_key("connect") {
         return query_remote(opts);
     }
+    if opts.contains_key("router") {
+        return query_router(opts);
+    }
 
     let work = PathBuf::from(require(opts, "work"));
     let reads_path = PathBuf::from(require(opts, "reads"));
@@ -1046,6 +1066,74 @@ fn query_remote(opts: &HashMap<String, String>) {
         rows.len() as f64 / elapsed.max(1e-9),
         rows.len() - mapped,
         client.retries_total()
+    );
+    write_rows(out, &rows);
+}
+
+/// The `--router` arm of `query`: batches fan out over a sharded,
+/// replicated cluster through the scatter-gather router, which hedges
+/// slow shards and fails over dead replicas while producing answers
+/// byte-identical to a single-node server's (see SERVING.md, "Cluster
+/// serving"). A shard with no live replica exits 6 (`ShardUnavailable`);
+/// auth rejections exit 7 naming the shard and peer.
+fn query_router(opts: &HashMap<String, String>) {
+    use lasagna_repro::qnet::ClientConfig;
+    use lasagna_repro::qrouter::{ClusterManifest, Router, RouterConfig};
+    use lasagna_repro::qserve::QueryConfig;
+
+    let manifest_path = PathBuf::from(require(opts, "router"));
+    let reads_path = PathBuf::from(require(opts, "reads"));
+    let out = opts.get("out").map(PathBuf::from);
+    let batch: usize = get(opts, "batch", 1024usize);
+    let reads = load_query_reads(&reads_path);
+
+    let manifest = ClusterManifest::load(&manifest_path).unwrap_or_else(die_qrouter);
+    let rec = obs::Recorder::disabled();
+    let router = Router::new(
+        manifest,
+        RouterConfig {
+            client: ClientConfig {
+                client_id: get(opts, "client-id", "cli".to_string()),
+                deadline_ms: get(opts, "deadline-ms", 10_000u32),
+                auth_secret: opts.get("auth-secret").cloned(),
+                ..ClientConfig::default()
+            },
+            query: QueryConfig {
+                max_mismatches: get(opts, "max-mismatches", 2u32),
+                ..QueryConfig::default()
+            },
+            hedge_max_ms: get(opts, "hedge-max-ms", 200u64),
+            failover_rounds: get(opts, "failover-rounds", 3u32),
+            ..RouterConfig::default()
+        },
+        lasagna_repro::faultsim::Faults::disabled(),
+        &rec,
+    )
+    .unwrap_or_else(die_qrouter);
+
+    for (addr, healthy) in router.probe_health() {
+        if !healthy {
+            eprintln!("lasagna: replica {addr} unhealthy; deprioritized in the fail-over ladder");
+        }
+    }
+
+    let start = std::time::Instant::now();
+    let mut rows = Vec::with_capacity(reads.len());
+    for window in reads.chunks(batch.max(1)) {
+        let seqs: Vec<PackedSeq> = window.iter().map(|(_, s)| s.clone()).collect();
+        let hits = router.route(&seqs).unwrap_or_else(die_qrouter);
+        hit_rows(window, hits, &mut rows);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let mapped = rows.iter().filter(|r| !r.ends_with("\t*")).count();
+    println!(
+        "queried {} reads across {} shards via {} in {elapsed:.3}s ({:.0} reads/s): \
+         {mapped} mapped, {} unmapped",
+        rows.len(),
+        router.manifest().n_shards,
+        manifest_path.display(),
+        rows.len() as f64 / elapsed.max(1e-9),
+        rows.len() - mapped,
     );
     write_rows(out, &rows);
 }
@@ -1150,6 +1238,124 @@ fn serve(opts: &HashMap<String, String>) {
     );
 }
 
+/// Serve an indexed assembly as a sharded, replicated in-process
+/// cluster: `--shards` × `--replicas` qnet servers, each holding the
+/// full contig store but only its shard's slice of the minimizer
+/// postings (`MinimizerIndex::build_shard`). Prints one
+/// `listening shard S replica R HOST:PORT` line per server, writes the
+/// cluster manifest (default `--work/cluster.json`) for
+/// `query --router`, and drains the whole cluster when any replica
+/// receives a `shutdown` command.
+fn serve_cluster(opts: &HashMap<String, String>) {
+    use lasagna_repro::qnet::{Server, ServerConfig};
+    use lasagna_repro::qrouter::ClusterManifest;
+    use lasagna_repro::qserve::{
+        ContigStore, IndexConfig, MinimizerIndex, QueryConfig, QueryEngine, QueryService,
+        ServiceConfig, STORE_FILE,
+    };
+    use std::time::Duration;
+
+    let work = PathBuf::from(require(opts, "work"));
+    let n_shards: u32 = get(opts, "shards", 0u32);
+    if n_shards == 0 {
+        eprintln!("lasagna: serve-cluster needs --shards N (N >= 1)");
+        exit(2);
+    }
+    let replicas: u32 = get(opts, "replicas", 2u32).max(1);
+    let manifest_path = PathBuf::from(get(
+        opts,
+        "manifest",
+        work.join("cluster.json").to_string_lossy().into_owned(),
+    ));
+    let io = IoStats::default();
+    let store = ContigStore::open(&work.join(STORE_FILE), &io).unwrap_or_else(die_stream);
+    let icfg = IndexConfig {
+        k: get(opts, "k", 15usize),
+        w: get(opts, "w", 8usize),
+        threads: get(opts, "threads", 0usize),
+    };
+    let qcfg = QueryConfig {
+        max_mismatches: get(opts, "max-mismatches", 2u32),
+        cache_bytes: get(opts, "cache-mb", 32u64) << 20,
+        ..QueryConfig::default()
+    };
+
+    let mut manifest = ClusterManifest::new(n_shards, store.checksum());
+    let mut servers = Vec::new();
+    let rec = obs::Recorder::sink_only();
+    for shard in 0..n_shards {
+        // One shard index build, shared by every replica of the shard.
+        let index = MinimizerIndex::build_shard(&store, &icfg, shard, n_shards);
+        for replica in 0..replicas {
+            let store = ContigStore::open(&work.join(STORE_FILE), &io).unwrap_or_else(die_stream);
+            let engine = QueryEngine::new(store, index.clone(), qcfg).unwrap_or_else(die_qserve);
+            let svc = QueryService::start(
+                engine,
+                ServiceConfig {
+                    workers: get(opts, "workers", 2usize),
+                    max_queue: get(opts, "max-queue", 64usize),
+                    ..ServiceConfig::default()
+                },
+                &rec,
+            );
+            let server = Server::start(
+                svc,
+                ServerConfig {
+                    addr: "127.0.0.1:0".to_string(),
+                    read_timeout: Duration::from_millis(get(opts, "read-timeout-ms", 30_000u64)),
+                    drain_deadline: Duration::from_millis(get(opts, "drain-deadline-ms", 5_000u64)),
+                    auth_secret: opts.get("auth-secret").cloned(),
+                    ..ServerConfig::default()
+                },
+                &rec,
+                lasagna_repro::faultsim::Faults::disabled(),
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("lasagna: cannot bind shard {shard} replica {replica}: {e}");
+                exit(EXIT_IO)
+            });
+            let addr = server.local_addr().to_string();
+            println!("listening shard {shard} replica {replica} {addr}");
+            manifest.add_replica(shard, addr);
+            servers.push(server);
+        }
+    }
+    manifest.save(&manifest_path).unwrap_or_else(die_qrouter);
+    println!(
+        "cluster manifest ({} shards x {} replicas) written to {}",
+        n_shards,
+        replicas,
+        manifest_path.display()
+    );
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+
+    // A `shutdown` sent to any replica drains the whole cluster.
+    'watch: loop {
+        for server in &servers {
+            if server.wait_shutdown_requested(Some(Duration::from_millis(200))) {
+                break 'watch;
+            }
+        }
+    }
+    println!("shutdown requested; draining the cluster");
+    let mut forced = 0usize;
+    for server in &mut servers {
+        if !server.shutdown().completed {
+            forced += 1;
+        }
+    }
+    println!(
+        "cluster drained: {} servers{}",
+        servers.len(),
+        if forced > 0 {
+            format!(" ({forced} hit the drain deadline)")
+        } else {
+            String::new()
+        }
+    );
+}
+
 /// Ask a `serve` process to drain gracefully and stop.
 fn shutdown(opts: &HashMap<String, String>) {
     use lasagna_repro::qnet::{ClientConfig, QueryClient};
@@ -1248,6 +1454,29 @@ fn die_qnet<T>(e: lasagna_repro::qnet::QnetError) -> T {
         QnetError::AuthFailed => EXIT_AUTH,
         QnetError::DeadlineExceeded { .. } | QnetError::Remote(_) => 1,
     })
+}
+
+/// Router failures map onto the same ladder: a dead shard is
+/// "unavailable, resubmit later" (6), a terminal network error keeps its
+/// qnet mapping, and a bad manifest is an input error (1).
+fn die_qrouter<T>(e: lasagna_repro::qrouter::RouterError) -> T {
+    use lasagna_repro::qrouter::RouterError;
+    match e {
+        RouterError::Net { source, .. } => {
+            eprintln!("lasagna: {e}");
+            exit(match &source {
+                lasagna_repro::qnet::QnetError::AuthFailed => EXIT_AUTH,
+                lasagna_repro::qnet::QnetError::Corrupt { .. } => EXIT_CORRUPT,
+                lasagna_repro::qnet::QnetError::Io(_) => EXIT_IO,
+                _ => 1,
+            })
+        }
+        RouterError::ShardUnavailable { .. } => {
+            eprintln!("lasagna: {e}");
+            exit(EXIT_OVERLOADED)
+        }
+        RouterError::Manifest(_) => die(e),
+    }
 }
 
 /// Distributed errors cross thread boundaries as strings (see

@@ -31,6 +31,10 @@
 //! * [`qnet`] — the hardened TCP front-end over `qserve`: checksummed
 //!   framing, deadline propagation, per-client fair admission, a
 //!   retry/backoff client, and graceful drain (see SERVING.md);
+//! * [`qrouter`] — the sharded, replicated serving cluster over `qnet`:
+//!   a versioned cluster manifest, hedged scatter-gather routing that
+//!   reproduces single-node answers byte-for-byte, replica fail-over,
+//!   and dead-letter accounting (see SERVING.md);
 //! * [`schedcheck`] — deterministic schedule exploration for the serving
 //!   concurrency protocol: the real server and service under a controlled
 //!   scheduler, bounded-exhaustive + PCT strategies, replayable traces
@@ -65,6 +69,7 @@ pub use gstream;
 pub use lasagna;
 pub use obs;
 pub use qnet;
+pub use qrouter;
 pub use qserve;
 pub use schedcheck;
 pub use sga;
@@ -79,6 +84,7 @@ pub mod prelude {
     pub use gstream::{DiskModel, ExternalSorter, HostMem, IoStats, SortConfig, SpillDir};
     pub use lasagna::{AssemblyConfig, AssemblyReport, Pipeline, StringGraph};
     pub use qnet::{QueryClient, Server as QueryServer};
+    pub use qrouter::{ClusterManifest, Router, RouterConfig};
     pub use qserve::{QueryEngine, QueryService};
     pub use sga::SgaBaseline;
     pub use vgpu::{Device, GpuProfile};

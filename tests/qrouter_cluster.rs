@@ -1,0 +1,446 @@
+//! Cluster goldens for the sharded, replicated serving tier (see
+//! SERVING.md "Cluster serving"): for every read in a 10k-read sweep
+//! the routed answer must be byte-identical to a single-node server —
+//! with zero faults, with one replica of every shard dead, and with
+//! hedging racing both replicas — and every failure the caller sees
+//! must be typed, name the shard (and peer where there is one), and
+//! arrive bounded in time. The hedge race must never double-count a
+//! batch: `qrouter.merge` equals offered reads exactly, with the
+//! loser's late answer discarded by `request_id` mismatch rather than
+//! accepted.
+
+use lasagna_repro::faultsim::{self, FaultPlan, Faults};
+use lasagna_repro::obs;
+use lasagna_repro::prelude::*;
+use lasagna_repro::qnet::{ClientConfig, QnetError, Server, ServerConfig};
+use lasagna_repro::qrouter::{ClusterManifest, Router, RouterConfig, RouterError};
+use lasagna_repro::qserve::{
+    self, ContigStore, Hit, IndexConfig, MinimizerIndex, QueryConfig, QueryEngine, QueryService,
+    ServiceConfig,
+};
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+fn reads(seed: u64) -> ReadSet {
+    let genome = GenomeSim::uniform(2_000, seed).generate();
+    ShotgunSim::error_free(60, 8.0, seed + 1).sample(&genome)
+}
+
+/// Assemble an error-free dataset into `dir`, leaving `contigs.store`
+/// behind for both the single-node oracle and the cluster replicas.
+fn assemble_into(dir: &Path, seed: u64) -> Vec<PackedSeq> {
+    Pipeline::laptop(AssemblyConfig::for_dataset(40, 60), dir)
+        .unwrap()
+        .assemble(&reads(seed))
+        .unwrap()
+        .contigs
+}
+
+/// Deterministic query load: `count` windows of `len` bases sliced from
+/// `contigs` (striding offsets, alternating strands).
+fn slice_queries(contigs: &[PackedSeq], count: usize, len: usize) -> Vec<PackedSeq> {
+    let long: Vec<&PackedSeq> = contigs.iter().filter(|c| c.len() >= len).collect();
+    assert!(!long.is_empty(), "no contig long enough to query");
+    (0..count)
+        .map(|i| {
+            let c = long[i % long.len()];
+            let start = (i * 37) % (c.len() - len + 1);
+            let s = c.slice(start, len);
+            if i % 2 == 0 {
+                s
+            } else {
+                s.reverse_complement()
+            }
+        })
+        .collect()
+}
+
+/// Ground truth: the same load through one in-process single-node
+/// service over the full (unsharded) index.
+fn single_node_answers(dir: &Path, queries: &[PackedSeq]) -> Vec<Option<Hit>> {
+    let io = IoStats::default();
+    let store = ContigStore::open(&dir.join(qserve::STORE_FILE), &io).unwrap();
+    let index = MinimizerIndex::build(&store, &IndexConfig::default());
+    let engine = QueryEngine::new(store, index, QueryConfig::default()).unwrap();
+    let svc = QueryService::start(engine, ServiceConfig::default(), &obs::Recorder::disabled());
+    let mut out = Vec::with_capacity(queries.len());
+    for batch in queries.chunks(256) {
+        out.extend(svc.query_batch(batch.to_vec()).unwrap());
+    }
+    out
+}
+
+/// Start `n_shards x replicas` servers over the store in `dir`, each
+/// replica of shard `s` holding the `s`-th postings slice of the full
+/// index. Servers land in the returned vec at `shard * replicas +
+/// replica`, so tests can kill a specific replica. `faults_for` arms
+/// per-server failpoints; `secret` turns on wire auth everywhere.
+fn start_cluster(
+    dir: &Path,
+    n_shards: u32,
+    replicas: u32,
+    secret: Option<&str>,
+    faults_for: impl Fn(u32, u32) -> Faults,
+) -> (Vec<Server>, ClusterManifest) {
+    let io = IoStats::default();
+    let store_path = dir.join(qserve::STORE_FILE);
+    let checksum = ContigStore::open(&store_path, &io).unwrap().checksum();
+    let mut manifest = ClusterManifest::new(n_shards, checksum);
+    let mut servers = Vec::new();
+    for shard in 0..n_shards {
+        let index_store = ContigStore::open(&store_path, &io).unwrap();
+        let index =
+            MinimizerIndex::build_shard(&index_store, &IndexConfig::default(), shard, n_shards);
+        for replica in 0..replicas {
+            let store = ContigStore::open(&store_path, &io).unwrap();
+            let engine = QueryEngine::new(store, index.clone(), QueryConfig::default()).unwrap();
+            let svc =
+                QueryService::start(engine, ServiceConfig::default(), &obs::Recorder::disabled());
+            let server = Server::start(
+                svc,
+                ServerConfig {
+                    read_timeout: Duration::from_secs(2),
+                    write_timeout: Duration::from_secs(2),
+                    drain_deadline: Duration::from_secs(10),
+                    stall_ms: 100,
+                    auth_secret: secret.map(str::to_string),
+                    ..ServerConfig::default()
+                },
+                &obs::Recorder::disabled(),
+                faults_for(shard, replica),
+            )
+            .unwrap();
+            manifest.add_replica(shard, server.local_addr().to_string());
+            servers.push(server);
+        }
+    }
+    (servers, manifest)
+}
+
+fn router_for(
+    manifest: ClusterManifest,
+    rec: &obs::Recorder,
+    faults: Faults,
+    tweak: impl FnOnce(&mut RouterConfig),
+) -> Router {
+    let mut cfg = RouterConfig {
+        client: ClientConfig {
+            client_id: "router".to_string(),
+            backoff_base_ms: 2,
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+            ..ClientConfig::default()
+        },
+        ..RouterConfig::default()
+    };
+    tweak(&mut cfg);
+    Router::new(manifest, cfg, faults, rec).unwrap()
+}
+
+fn route_all(router: &Router, queries: &[PackedSeq]) -> Vec<Option<Hit>> {
+    let mut answers = Vec::with_capacity(queries.len());
+    for batch in queries.chunks(256) {
+        answers.extend(router.route(batch).unwrap());
+    }
+    answers
+}
+
+fn counter_total(rec: &obs::Recorder, name: &str) -> u64 {
+    rec.flush();
+    obs::Rollup::from_events(&rec.events())
+        .totals()
+        .counter(name)
+}
+
+#[test]
+fn clean_cluster_is_bit_identical_to_single_node_across_shard_counts() {
+    let dir = tempfile::tempdir().unwrap();
+    let contigs = assemble_into(dir.path(), 70);
+    let queries = slice_queries(&contigs, 10_000, 60);
+    let reference = single_node_answers(dir.path(), &queries);
+    assert!(
+        reference.iter().flatten().count() > 0,
+        "some reads must map"
+    );
+
+    // Shard counts straddling a non-power-of-two: the postings
+    // partition is exact for any count, so the merged votes — and the
+    // final tie-break — must match single-node byte for byte.
+    for n_shards in [1u32, 2, 3] {
+        let (mut servers, manifest) =
+            start_cluster(dir.path(), n_shards, 2, None, |_, _| Faults::disabled());
+        let rec = obs::Recorder::new();
+        let router = router_for(manifest, &rec, Faults::disabled(), |_| {});
+
+        let answers = route_all(&router, &queries);
+        assert_eq!(
+            answers, reference,
+            "{n_shards}-shard answers must be bit-identical to single-node"
+        );
+        assert!(router.dead_letters().is_empty());
+        assert_eq!(
+            counter_total(&rec, "qrouter.merge"),
+            10_000,
+            "{n_shards} shards: every read merged exactly once"
+        );
+        assert_eq!(counter_total(&rec, "qrouter.failover"), 0);
+        assert_eq!(counter_total(&rec, "qrouter.shard.dead"), 0);
+        for server in &mut servers {
+            assert!(server.shutdown().completed, "clean drain left stragglers");
+        }
+    }
+}
+
+#[test]
+fn answers_survive_one_dead_replica_of_every_shard_bit_identically() {
+    let dir = tempfile::tempdir().unwrap();
+    let contigs = assemble_into(dir.path(), 71);
+    let queries = slice_queries(&contigs, 10_000, 60);
+    let reference = single_node_answers(dir.path(), &queries);
+
+    let (mut servers, manifest) = start_cluster(dir.path(), 2, 2, None, |_, _| Faults::disabled());
+    // Kill the first replica of every shard before any traffic.
+    for shard in 0..2 {
+        servers[shard * 2].shutdown();
+    }
+    let rec = obs::Recorder::new();
+    let router = router_for(manifest, &rec, Faults::disabled(), |_| {});
+
+    // First half: no health information. Any batch whose ladder leads
+    // with the corpse pays a fast typed connect failure and fails over
+    // to the live replica — never a wrong answer, never a hang.
+    let start = Instant::now();
+    let mut answers = route_all(&router, &queries[..5_000]);
+    assert!(
+        counter_total(&rec, "qrouter.failover") >= 1,
+        "a dead primary must be observed as a fail-over"
+    );
+
+    // Second half: a probe sweep marks the corpses unhealthy, the
+    // ladder re-orders, and the answers stay identical.
+    let sweep = router.probe_health();
+    assert_eq!(
+        sweep.iter().filter(|(_, healthy)| !healthy).count(),
+        2,
+        "exactly the two killed replicas probe unhealthy: {sweep:?}"
+    );
+    answers.extend(route_all(&router, &queries[5_000..]));
+    assert!(
+        start.elapsed() < Duration::from_secs(60),
+        "fail-over must stay bounded"
+    );
+
+    assert_eq!(
+        answers, reference,
+        "answers with one replica of every shard dead must match single-node"
+    );
+    assert!(router.dead_letters().is_empty(), "live replicas answered");
+    assert_eq!(counter_total(&rec, "qrouter.merge"), 10_000);
+    assert_eq!(counter_total(&rec, "qrouter.shard.dead"), 0);
+    for server in &mut servers {
+        server.shutdown();
+    }
+}
+
+#[test]
+fn hedging_races_both_replicas_and_stays_bit_identical() {
+    let dir = tempfile::tempdir().unwrap();
+    let contigs = assemble_into(dir.path(), 72);
+    let queries = slice_queries(&contigs, 10_000, 60);
+    let reference = single_node_answers(dir.path(), &queries);
+
+    let (mut servers, manifest) = start_cluster(dir.path(), 2, 2, None, |_, _| Faults::disabled());
+    let rec = obs::Recorder::new();
+    // 30% of attempts stall far past the hedge ceiling, so the hedge
+    // demonstrably fires and usually wins; the stalled loser still
+    // answers later, exercising the discard path on every race.
+    let faults =
+        Faults::from_plan(&FaultPlan::new().fail_prob(faultsim::QROUTER_SHARD_SLOW, 30, 7));
+    let router = router_for(manifest, &rec, faults, |cfg| {
+        cfg.hedge_min_ms = 1;
+        cfg.hedge_max_ms = 10;
+    });
+
+    let answers = route_all(&router, &queries);
+    assert_eq!(
+        answers, reference,
+        "hedged answers must be bit-identical to single-node"
+    );
+    let fired = counter_total(&rec, "qrouter.hedge.fired");
+    let won = counter_total(&rec, "qrouter.hedge.won");
+    assert!(fired >= 1, "stalled primaries must trigger hedges");
+    assert!(won >= 1, "a clean second replica must win some races");
+    assert!(won <= fired, "a hedge can only win a race it entered");
+    assert_eq!(
+        counter_total(&rec, "qrouter.merge"),
+        10_000,
+        "hedge races must never double-count a batch"
+    );
+    assert!(router.dead_letters().is_empty());
+    for server in &mut servers {
+        server.shutdown();
+    }
+}
+
+#[test]
+fn hedge_loser_is_discarded_by_request_id_never_double_counted() {
+    let dir = tempfile::tempdir().unwrap();
+    let contigs = assemble_into(dir.path(), 73);
+    let queries = slice_queries(&contigs, 10_000, 60);
+    let reference = single_node_answers(dir.path(), &queries);
+
+    // Only shard 0's first replica stalls response frames (the server
+    // sleeps `stall_ms`, then tears the connection down): the primary
+    // attempt goes quiet on the wire, the hedge fires at the ceiling
+    // and wins on the clean replica, and the primary's eventual typed
+    // failure lands in a race that has already been decided. The
+    // conservation check below is the property: offered == merged,
+    // exactly, so no late loser was ever accepted for a batch.
+    let stall = FaultPlan::new().fail_prob(faultsim::QNET_FRAME_STALL, 20, 11);
+    let (mut servers, manifest) = start_cluster(dir.path(), 1, 2, None, |_, replica| {
+        if replica == 0 {
+            Faults::from_plan(&stall)
+        } else {
+            Faults::disabled()
+        }
+    });
+    let rec = obs::Recorder::new();
+    let router = router_for(manifest, &rec, Faults::disabled(), |cfg| {
+        cfg.hedge_min_ms = 1;
+        cfg.hedge_max_ms = 20;
+        cfg.failover_rounds = 5;
+    });
+
+    let answers = route_all(&router, &queries);
+    assert_eq!(
+        answers, reference,
+        "answers under frame stalls must match single-node"
+    );
+    assert_eq!(
+        counter_total(&rec, "qrouter.merge"),
+        10_000,
+        "offered reads == merged reads: no batch double-counted"
+    );
+    let fired = counter_total(&rec, "qrouter.hedge.fired");
+    let won = counter_total(&rec, "qrouter.hedge.won");
+    assert!(fired >= 1, "stalled frames must trigger hedges");
+    assert!(won <= fired);
+    assert_eq!(
+        counter_total(&rec, "qrouter.shard.dead"),
+        0,
+        "the clean replica keeps the shard alive"
+    );
+    assert!(router.dead_letters().is_empty());
+    for server in &mut servers {
+        server.shutdown();
+    }
+}
+
+#[test]
+fn a_fully_dead_shard_dead_letters_with_a_typed_error_not_a_hang() {
+    let dir = tempfile::tempdir().unwrap();
+    let contigs = assemble_into(dir.path(), 74);
+    let queries = slice_queries(&contigs, 256, 60);
+
+    let (mut servers, manifest) = start_cluster(dir.path(), 2, 1, None, |_, _| Faults::disabled());
+    // Shard 1's only replica dies: that shard is simply gone.
+    servers[1].shutdown();
+    let rec = obs::Recorder::new();
+    let router = router_for(manifest, &rec, Faults::disabled(), |_| {});
+
+    let start = Instant::now();
+    let err = router.route(&queries).unwrap_err();
+    assert!(
+        start.elapsed() < Duration::from_secs(30),
+        "exhausting the ladder must stay bounded"
+    );
+    match &err {
+        RouterError::ShardUnavailable {
+            shard,
+            attempts,
+            last,
+        } => {
+            assert_eq!(*shard, 1, "the error must name the dead shard");
+            assert!(
+                *attempts >= 3,
+                "every fail-over round attempted: {attempts}"
+            );
+            assert!(!last.is_empty(), "the last transport error is preserved");
+        }
+        other => panic!("expected ShardUnavailable, got {other}"),
+    }
+    assert!(
+        err.to_string().contains("shard 1"),
+        "the display names the shard: {err}"
+    );
+    let dead = router.dead_letters();
+    assert_eq!(dead.len(), 1, "the refused batch is dead-lettered");
+    assert_eq!(dead[0].shard, 1);
+    assert_eq!(dead[0].n_reads, 256);
+    assert_eq!(counter_total(&rec, "qrouter.shard.dead"), 1);
+    assert_eq!(
+        counter_total(&rec, "qrouter.merge"),
+        0,
+        "a failed scatter must not merge a partial answer"
+    );
+    servers[0].shutdown();
+}
+
+#[test]
+fn auth_mismatch_fails_fast_naming_shard_and_peer() {
+    let dir = tempfile::tempdir().unwrap();
+    let contigs = assemble_into(dir.path(), 75);
+    let queries = slice_queries(&contigs, 64, 60);
+
+    let (mut servers, manifest) =
+        start_cluster(dir.path(), 1, 1, Some("cluster-secret"), |_, _| {
+            Faults::disabled()
+        });
+    let expected_peer = manifest.shards[0].replicas[0].clone();
+    let router = router_for(
+        manifest,
+        &obs::Recorder::disabled(),
+        Faults::disabled(),
+        |cfg| {
+            cfg.client.auth_secret = Some("wrong-secret".to_string());
+        },
+    );
+
+    // Auth rejection is terminal: no ladder walk, no hedging — one
+    // typed error naming both the shard and the replica that refused.
+    let start = Instant::now();
+    let err = router.route(&queries).unwrap_err();
+    assert!(start.elapsed() < Duration::from_secs(10));
+    match &err {
+        RouterError::Net {
+            shard,
+            peer,
+            source,
+        } => {
+            assert_eq!(*shard, 0);
+            assert_eq!(*peer, expected_peer, "the error names the refusing peer");
+            assert!(
+                matches!(source, QnetError::AuthFailed),
+                "expected AuthFailed, got {source}"
+            );
+        }
+        other => panic!("expected Net {{ AuthFailed }}, got {other}"),
+    }
+    assert!(
+        router.dead_letters().is_empty(),
+        "terminal errors are not dead letters"
+    );
+
+    // The same cluster with the right secret answers normally.
+    let authed = router_for(
+        router.manifest().clone(),
+        &obs::Recorder::disabled(),
+        Faults::disabled(),
+        |cfg| {
+            cfg.client.auth_secret = Some("cluster-secret".to_string());
+        },
+    );
+    let reference = single_node_answers(dir.path(), &queries);
+    assert_eq!(authed.route(&queries).unwrap(), reference);
+    servers[0].shutdown();
+}

@@ -93,3 +93,42 @@ fn pct_seed_replays_bit_identical() {
         report.violations
     );
 }
+
+/// The two-shard cluster scenario: a real router scatter-gathering
+/// over two shard servers under the deterministic scheduler. Every
+/// explored interleaving must conserve reads (offered == merged +
+/// typed-failed) and never charge the hedge or merge token twice.
+#[test]
+fn two_shard_router_schedules_conserve_reads_and_merge_once() {
+    use lasagna_repro::schedcheck::{run_router_schedule, RouterScenarioConfig};
+
+    let cfg = RouterScenarioConfig::default();
+    let baseline = run_router_schedule(&cfg, &mut |_cands, _trace| 0);
+    assert_eq!(
+        baseline.sched_violation, None,
+        "baseline cluster schedule hung"
+    );
+    assert!(
+        baseline.violations.is_empty(),
+        "baseline violations: {:?}",
+        baseline.violations
+    );
+    assert_eq!(baseline.outcomes.len(), cfg.batches);
+
+    // Perturbed grant orders: rotate the pick so the drain, the hedge
+    // race, and the scatter interleave differently; the invariants must
+    // hold on every completed schedule.
+    for stride in [1usize, 2, 3] {
+        let mut i = 0usize;
+        let run = run_router_schedule(&cfg, &mut |cands, _trace| {
+            i += stride;
+            i % cands.len()
+        });
+        assert_eq!(run.sched_violation, None, "stride {stride} schedule hung");
+        assert!(
+            run.violations.is_empty(),
+            "stride {stride} violations: {:?}",
+            run.violations
+        );
+    }
+}
