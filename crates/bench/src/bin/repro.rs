@@ -19,6 +19,8 @@
 //!   serve-net network serving over loopback TCP, clean + chaos (SERVING.md)
 //!   serve-cluster sharded replicated cluster: shard-count sweep + chaos
 //!             matrix with replicas killed, answers vs single-node (SERVING.md)
+//!   serve-reload hot generation reloads under continuous query load:
+//!             zero reads shed, zero reconnects, rollback chaos (SERVING.md)
 //!   schedcheck deterministic schedule exploration of the serving
 //!             concurrency protocol (ROBUSTNESS.md)
 //!   all      everything above
@@ -662,6 +664,69 @@ fn run_serve_cluster(out: &Path) {
     }
 }
 
+fn run_serve_reload(out: &Path) {
+    let work = tempfile::tempdir().expect("workdir");
+    let rows = experiments::serve_reload(work.path()).expect("serve-reload bench failed");
+    println!("\n=== Hot reload under load: zero-downtime generation swap (SERVING.md) ===");
+    println!(
+        "{:<42} {:>8} {:>12} {:>8} {:>4} {:>9} {:>5} {:>10} {:>8} {:>9}",
+        "scenario",
+        "reads",
+        "reads/s",
+        "reloads",
+        "ok",
+        "rollbacks",
+        "shed",
+        "reconnects",
+        "finalgen",
+        "identical"
+    );
+    for r in &rows {
+        println!(
+            "{:<42} {:>8} {:>12.0} {:>8} {:>4} {:>9} {:>5} {:>10} {:>8} {:>9}",
+            r.scenario,
+            r.reads,
+            r.reads_per_sec,
+            r.reloads_requested,
+            r.reloads_ok,
+            r.rollbacks,
+            r.shed,
+            r.reconnects,
+            r.final_generation,
+            if r.identical_to_oracle { "yes" } else { "NO" },
+        );
+        let mix: Vec<String> = r
+            .generations_served
+            .iter()
+            .map(|(g, n)| format!("gen {g}: {n} batches"))
+            .collect();
+        let swaps: Vec<String> = r.reload_ms.iter().map(|ms| format!("{ms:.1}ms")).collect();
+        println!(
+            "{:<42} served {}; swap latency {}",
+            "",
+            mix.join(", "),
+            swaps.join(", ")
+        );
+    }
+    println!(
+        "(a client streams tagged batches over one connection while a control \
+         connection swaps generations; every batch is checked bit-for-bit \
+         against the oracle of the generation that answered it)"
+    );
+    save_json(out, "serve_reload", &rows);
+    let broken = rows
+        .iter()
+        .filter(|r| r.shed > 0 || r.reconnects > 0 || !r.identical_to_oracle)
+        .count();
+    if broken > 0 {
+        eprintln!(
+            "repro: {broken} serve-reload scenario(s) shed reads, dropped \
+             connections, or diverged from the oracle"
+        );
+        std::process::exit(1);
+    }
+}
+
 fn run_schedcheck(out: &Path) {
     use schedcheck::{explore_dfs, explore_pct, AuthMode, DfsConfig, PctConfig, ScenarioConfig};
 
@@ -814,6 +879,7 @@ fn main() {
         "serve" => run_serve(&args.out),
         "serve-net" => run_serve_net(&args.out),
         "serve-cluster" => run_serve_cluster(&args.out),
+        "serve-reload" => run_serve_reload(&args.out),
         "schedcheck" => run_schedcheck(&args.out),
         other => die(&format!("unknown experiment {other}")),
     };
@@ -836,6 +902,7 @@ fn main() {
             "serve",
             "serve-net",
             "serve-cluster",
+            "serve-reload",
             "schedcheck",
         ] {
             run(name);

@@ -1623,6 +1623,304 @@ pub fn serve_cluster(workdir: &Path) -> Result<Vec<ServeClusterRow>, String> {
     Ok(rows)
 }
 
+/// One hot-reload serving scenario's measured behaviour
+/// (`BENCH_serve_reload.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeReloadRow {
+    /// What ran: clean rolling reloads, or a reload-chaos scenario.
+    pub scenario: String,
+    /// Reads answered across the whole run, all generations together.
+    pub reads: usize,
+    /// Wire `Reload` calls issued by the control connection.
+    pub reloads_requested: u64,
+    /// Reloads that landed (`ReloadDone`).
+    pub reloads_ok: u64,
+    /// Reloads rolled back loudly (`qserve.gen.rollbacks`).
+    pub rollbacks: u64,
+    /// Reads shed at any admission gate or force-closed during the
+    /// run. The zero-downtime contract: always 0 — a reload never
+    /// costs a query.
+    pub shed: u64,
+    /// Streaming-client reconnects across every reload. Always 0 — a
+    /// reload never costs a connection.
+    pub reconnects: u64,
+    /// Generation serving when the run ended.
+    pub final_generation: u64,
+    /// `(generation, batches answered by it)`, in generation order —
+    /// the swap is visible as the tag migrating mid-stream.
+    pub generations_served: Vec<(u64, usize)>,
+    /// True when every answered batch matched, bit for bit, the oracle
+    /// of the generation that answered it.
+    pub identical_to_oracle: bool,
+    /// Wall-clock of each `Reload` round trip, in ms — the swap
+    /// latency an operator pays (the stream pays none).
+    pub reload_ms: Vec<f64>,
+    /// End-to-end streaming throughput, reads per second (reloads
+    /// included in the wall clock).
+    pub reads_per_sec: f64,
+}
+
+/// Export `contigs` as generation `id` into `dir` — store, index, and
+/// manifest entry — the layout the wire `Reload` verb consumes.
+fn export_reload_generation(
+    dir: &Path,
+    id: u64,
+    contigs: &[genome::PackedSeq],
+    io: &IoStats,
+) -> Result<(), String> {
+    let store_name = qserve::gen_store_file(id);
+    let index_name = qserve::gen_index_file(id);
+    qserve::ContigStore::write(&dir.join(&store_name), contigs, io).map_err(|e| e.to_string())?;
+    let store = qserve::ContigStore::open(&dir.join(&store_name), io).map_err(|e| e.to_string())?;
+    let index = qserve::MinimizerIndex::build(&store, &qserve::IndexConfig::default());
+    index
+        .write(&dir.join(&index_name), io)
+        .map_err(|e| e.to_string())?;
+    let mut manifest = if qserve::GenManifest::exists(dir) {
+        qserve::GenManifest::load(dir, io).map_err(|e| e.to_string())?
+    } else {
+        qserve::GenManifest {
+            version: qserve::generations::GEN_MANIFEST_VERSION,
+            active: id,
+            generations: Vec::new(),
+        }
+    };
+    manifest.admit(qserve::GenEntry {
+        id,
+        store: store_name,
+        index: index_name,
+        store_checksum: store.checksum(),
+        reads: contigs.len() as u64,
+        read_len: 60,
+        kind: if id == 1 {
+            qserve::GenKind::Full
+        } else {
+            qserve::GenKind::Delta
+        },
+        parent: if id == 1 { None } else { Some(id - 1) },
+    });
+    manifest.store(dir, io).map_err(|e| e.to_string())
+}
+
+/// Hot-reload serving benchmark: a client streams query batches
+/// continuously over one connection while a control connection walks
+/// the server through generation swaps (`BENCH_serve_reload.json`).
+/// Every batch is judged against the oracle of the generation that
+/// answered it, and the zero-downtime contract is measured directly:
+/// zero reads shed, zero reconnects, across clean rolling reloads and
+/// a reload that rolls back under an armed load fault.
+pub fn serve_reload(workdir: &Path) -> Result<Vec<ServeReloadRow>, String> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const GENERATIONS: u64 = 4;
+    let io = IoStats::default();
+    let dir = workdir.join("serve-reload");
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+
+    // Generation k serves contigs 0..k: each swap grows the corpus by
+    // one contig (a delta generation), and the base contig keeps the
+    // same contig id everywhere.
+    let contigs: Vec<genome::PackedSeq> = (0..GENERATIONS)
+        .map(|i| genome::GenomeSim::uniform(5_000, 21 + i).generate())
+        .collect();
+    for id in 1..=GENERATIONS {
+        export_reload_generation(&dir, id, &contigs[..id as usize], &io)?;
+    }
+    let queries = slice_queries(&contigs[..1], 2_048, 60);
+
+    // Per-generation ground truth for the fixed query set, computed on
+    // independent in-process engines before any serving starts.
+    let mut oracles: std::collections::BTreeMap<u64, Vec<Option<qserve::Hit>>> = Default::default();
+    for id in 1..=GENERATIONS {
+        let store = qserve::ContigStore::from_contigs(contigs[..id as usize].to_vec());
+        let index = qserve::MinimizerIndex::build(&store, &qserve::IndexConfig::default());
+        let engine = qserve::QueryEngine::new(store, index, qserve::QueryConfig::default())
+            .map_err(|e| e.to_string())?;
+        oracles.insert(id, queries.iter().map(|q| engine.query(q)).collect());
+    }
+    let oracles = Arc::new(oracles);
+    let queries = Arc::new(queries);
+
+    struct Scenario {
+        name: &'static str,
+        faults: faultsim::Faults,
+        /// `(target generation, this call is expected to roll back)`.
+        reloads: Vec<(u64, bool)>,
+    }
+    let scenarios = vec![
+        Scenario {
+            name: "clean rolling reloads 1->2->3->4",
+            faults: faultsim::Faults::disabled(),
+            reloads: vec![(2, false), (3, false), (4, false)],
+        },
+        Scenario {
+            name: "load fault: reload rolls back, retry lands",
+            faults: faultsim::Faults::from_plan(
+                &faultsim::FaultPlan::new().fail_at(faultsim::QSERVE_GEN_LOAD, 1),
+            ),
+            reloads: vec![(2, true), (2, false)],
+        },
+    ];
+
+    let mut rows = Vec::new();
+    for sc in scenarios {
+        // The server starts on generation 1 with the reload path armed.
+        let store = qserve::ContigStore::open(&dir.join(qserve::gen_store_file(1)), &io)
+            .map_err(|e| e.to_string())?;
+        let index = qserve::MinimizerIndex::open(&dir.join(qserve::gen_index_file(1)), &io)
+            .map_err(|e| e.to_string())?;
+        let engine = qserve::QueryEngine::new(store, index, qserve::QueryConfig::default())
+            .map_err(|e| e.to_string())?;
+        let svc = qserve::QueryService::start_with_generation(
+            engine,
+            1,
+            qserve::ServiceConfig::default(),
+            &obs::Recorder::disabled(),
+        );
+        let mut server = qnet::Server::start(
+            svc,
+            qnet::ServerConfig {
+                read_timeout: Duration::from_secs(5),
+                write_timeout: Duration::from_secs(5),
+                drain_deadline: Duration::from_secs(5),
+                // The rate gate is off: any shed in this run is the
+                // reload's fault, not the token bucket's.
+                admission: qserve::AdmissionConfig {
+                    refill_per_s: 0.0,
+                    burst: 1e9,
+                },
+                reload: Some(qnet::ReloadConfig {
+                    work_dir: dir.clone(),
+                    shard: None,
+                }),
+                ..qnet::ServerConfig::default()
+            },
+            &obs::Recorder::disabled(),
+            sc.faults,
+        )
+        .map_err(|e| e.to_string())?;
+        let addr = server.local_addr();
+
+        // The streaming client: continuous 256-read tagged batches on
+        // one connection, every answer judged against the oracle of
+        // the generation that answered it.
+        let stop = Arc::new(AtomicBool::new(false));
+        let streamer = {
+            let stop = Arc::clone(&stop);
+            let queries = Arc::clone(&queries);
+            let oracles = Arc::clone(&oracles);
+            std::thread::spawn(move || {
+                let mut client = qnet::QueryClient::new(
+                    qnet::ClientConfig {
+                        addr: addr.to_string(),
+                        client_id: "stream".to_string(),
+                        read_timeout: Duration::from_secs(5),
+                        write_timeout: Duration::from_secs(5),
+                        ..qnet::ClientConfig::default()
+                    },
+                    &obs::Recorder::disabled(),
+                );
+                let mut served: std::collections::BTreeMap<u64, usize> = Default::default();
+                let mut reads = 0usize;
+                let mut clean = true;
+                let start = std::time::Instant::now();
+                'stream: while !stop.load(Ordering::Relaxed) {
+                    let mut offset = 0;
+                    for batch in queries.chunks(256) {
+                        match client.query_batch_tagged(batch) {
+                            Ok((tag, answers)) => {
+                                reads += answers.len();
+                                *served.entry(tag).or_default() += 1;
+                                clean &= oracles
+                                    .get(&tag)
+                                    .map(|w| answers[..] == w[offset..offset + batch.len()])
+                                    .unwrap_or(false);
+                            }
+                            Err(_) => clean = false,
+                        }
+                        offset += batch.len();
+                        if stop.load(Ordering::Relaxed) {
+                            break 'stream;
+                        }
+                    }
+                }
+                let elapsed = start.elapsed().as_secs_f64();
+                (served, reads, clean, client.reconnects(), elapsed)
+            })
+        };
+
+        // The reload script walks on its own control connection while
+        // the stream flows.
+        let mut ctl = qnet::QueryClient::new(
+            qnet::ClientConfig {
+                addr: addr.to_string(),
+                client_id: "reload-ctl".to_string(),
+                read_timeout: Duration::from_secs(5),
+                write_timeout: Duration::from_secs(5),
+                ..qnet::ClientConfig::default()
+            },
+            &obs::Recorder::disabled(),
+        );
+        std::thread::sleep(Duration::from_millis(20));
+        let mut reloads_requested = 0u64;
+        let mut reloads_ok = 0u64;
+        let mut reload_ms = Vec::new();
+        let mut script_err: Option<String> = None;
+        for (target, expect_rollback) in &sc.reloads {
+            reloads_requested += 1;
+            let t0 = std::time::Instant::now();
+            let outcome = ctl.reload(*target);
+            reload_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+            match outcome {
+                Ok(id) => {
+                    reloads_ok += 1;
+                    if *expect_rollback {
+                        script_err = Some(format!(
+                            "{}: reload to {target} was expected to roll back, got {id}",
+                            sc.name
+                        ));
+                        break;
+                    }
+                }
+                Err(e) => {
+                    if !*expect_rollback {
+                        script_err = Some(format!("{}: reload to {target} failed: {e}", sc.name));
+                        break;
+                    }
+                }
+            }
+            std::thread::sleep(Duration::from_millis(30));
+        }
+        stop.store(true, Ordering::Relaxed);
+        let (served, reads, clean, reconnects, elapsed) = streamer
+            .join()
+            .map_err(|_| "streaming client panicked".to_string())?;
+        if let Some(e) = script_err {
+            return Err(e);
+        }
+        let snap = ctl.stats().map_err(|e| e.to_string())?;
+        server.shutdown();
+
+        rows.push(ServeReloadRow {
+            scenario: sc.name.to_string(),
+            reads,
+            reloads_requested,
+            reloads_ok,
+            rollbacks: snap.rollbacks,
+            shed: snap.rejected + snap.deadline_shed + snap.fairness_shed + snap.force_closed,
+            reconnects,
+            final_generation: snap.generation,
+            generations_served: served.into_iter().collect(),
+            identical_to_oracle: clean,
+            reload_ms,
+            reads_per_sec: reads as f64 / elapsed.max(1e-9),
+        });
+    }
+    Ok(rows)
+}
+
 /// Slice `count` windows of `len` bases from `contigs`, alternating
 /// forward and reverse-complement orientation.
 fn slice_queries(

@@ -87,6 +87,18 @@ pub const QROUTER_SHARD_SLOW: &str = "qrouter.shard.slow";
 /// retryable transport error and the replica is immediately healthy
 /// again, exercising backoff bookkeeping without a dead replica.
 pub const QROUTER_REPLICA_FLAP: &str = "qrouter.replica.flap";
+/// Failpoint: loading a new generation's store/index during a hot reload
+/// (`QueryService::reload_from`) — the load fails before the generation
+/// is admitted, so the service keeps answering from the old generation.
+pub const QSERVE_GEN_LOAD: &str = "qserve.gen.load";
+/// Failpoint: validating a freshly loaded generation against its manifest
+/// entry — the checksum binding is reported as mismatched, exercising the
+/// typed rollback path (`GenError::ChecksumMismatch`).
+pub const QSERVE_GEN_VALIDATE: &str = "qserve.gen.validate";
+/// Failpoint: the `qnet` server stalling mid-reload — the swap is held
+/// past its deadline and then fails loudly (a typed `ReloadFailed` naming
+/// the generation) while queries keep draining from the old generation.
+pub const QNET_RELOAD_STALL: &str = "qnet.reload.stall";
 
 /// Every failpoint the codebase registers, in checking order. Also
 /// exported as [`ALL_POINTS`]; [`FaultPlan::parse`] rejects any name not
@@ -111,6 +123,9 @@ pub const ALL_FAILPOINTS: &[&str] = &[
     QROUTER_SHARD_DOWN,
     QROUTER_SHARD_SLOW,
     QROUTER_REPLICA_FLAP,
+    QSERVE_GEN_LOAD,
+    QSERVE_GEN_VALIDATE,
+    QNET_RELOAD_STALL,
 ];
 
 /// Alias for [`ALL_FAILPOINTS`] under the registry-generic name the

@@ -35,6 +35,7 @@
 pub mod bsp;
 pub mod config;
 pub mod contig;
+pub mod delta;
 pub mod fullgraph;
 pub mod graph;
 pub mod manifest;
@@ -48,6 +49,7 @@ pub mod verify;
 
 pub use config::AssemblyConfig;
 pub use contig::ContigStats;
+pub use delta::ReadsMeta;
 pub use fullgraph::MultiGraph;
 pub use graph::{Edge, StringGraph};
 pub use manifest::Manifest;

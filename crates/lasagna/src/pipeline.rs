@@ -127,7 +127,7 @@ impl Pipeline {
     /// Run `f` under a phase span, emitting the canonical per-phase
     /// `device.*`/`io.*` deltas plus peak gauges on the span. The report
     /// is later rolled up from exactly these events.
-    fn phase<T>(&self, name: &str, f: impl FnOnce() -> Result<T>) -> Result<T> {
+    pub(crate) fn phase<T>(&self, name: &str, f: impl FnOnce() -> Result<T>) -> Result<T> {
         let rec = &self.recorder;
         let span = rec.span(name);
         let dev0 = self.device.stats();
@@ -167,7 +167,7 @@ impl Pipeline {
         self.assemble_inner(reads, true)
     }
 
-    fn dataset_fingerprint(&self, reads: &ReadSet) -> u64 {
+    pub(crate) fn dataset_fingerprint(&self, reads: &ReadSet) -> u64 {
         // FNV-1a over the knobs that change on-disk artifacts.
         let mut h = 0xcbf29ce484222325u64;
         let mut eat = |v: u64| {
@@ -193,7 +193,7 @@ impl Pipeline {
     /// The suffix/prefix partition pairs the single-node pipeline touches,
     /// in sort order — the iteration shared by sorting, checkpoint
     /// recording, and resume validation.
-    fn partitions(&self) -> impl Iterator<Item = (PartitionKind, String, u32)> + '_ {
+    pub(crate) fn partitions(&self) -> impl Iterator<Item = (PartitionKind, String, u32)> + '_ {
         (self.config.l_min..self.config.l_max).flat_map(|len| {
             [
                 (PartitionKind::Suffix, "sfx"),
@@ -302,6 +302,14 @@ impl Pipeline {
         let staged_path = self.spill.root().join("reads.packed");
         let packed = reads.to_packed_bytes();
         std::fs::write(&staged_path, &packed).map_err(gstream::StreamError::from)?;
+        // The sidecar records what `reads.packed` holds; delta assembly
+        // (`assemble_delta`) needs it to reconstruct the corpus a work
+        // directory was assembled from.
+        crate::delta::ReadsMeta {
+            read_len: reads.read_len() as u32,
+            reads: reads.len() as u64,
+        }
+        .store(self.spill.root())?;
         let reads = self.phase("load", || {
             let bytes = std::fs::read(&staged_path).map_err(gstream::StreamError::from)?;
             self.spill.io().add_read(bytes.len() as u64);

@@ -3,12 +3,24 @@
 //! [`QueryClient`] wraps one TCP connection and the retry discipline
 //! around it: capped jittered exponential backoff (the shape of
 //! `dnet`'s recovery backoff — `base · 2^(round-1)`, exponent capped),
-//! automatic reconnect after any wire error, and honoring the server's
-//! `retry_after_ms` hint when a batch is shed. Retries are safe because
-//! queries are read-only; the request-id echo check means a response
-//! from a previous life of the connection can never be returned for the
+//! automatic reconnect after any *wire* error, and honoring the
+//! server's `retry_after_ms` hint when a batch is shed. Typed protocol
+//! outcomes (sheds, drains, reload failures) keep the connection: the
+//! stream is still in sync, so tearing it down would only churn
+//! sockets — [`QueryClient::reconnects`] counts actual re-dials so
+//! tests can pin this down. Retries are safe because queries are
+//! read-only; the request-id echo check means a response from a
+//! previous life of the connection can never be returned for the
 //! current request — any mismatch is
 //! [`QnetError::Corrupt`](crate::QnetError::Corrupt) and a reconnect.
+//!
+//! [`QueryClient::query_batches_pipelined`] sends many batches down the
+//! connection before reading any response, matching answers to requests
+//! by `request_id` (the server may answer out of order). Every answer
+//! carries the store/index generation that computed it;
+//! [`QueryClient::set_generation_pin`] pins future queries to one
+//! generation, which the scatter-gather router uses to keep a rolling
+//! reload's mixed-generation window coherent.
 //!
 //! A client never hangs: connects, reads, and writes all carry
 //! timeouts, and the retry loop is bounded by
@@ -16,6 +28,7 @@
 //! [`QnetError::RetriesExhausted`](crate::QnetError::RetriesExhausted)
 //! wrapping the last failure.
 
+use std::collections::BTreeMap;
 use std::io::{BufReader, Write};
 use std::net::TcpStream;
 use std::time::Duration;
@@ -90,9 +103,10 @@ struct Conn {
 }
 
 /// One attempt's answer, matching the batch shape it was asked in.
+/// The `u64` is the store/index generation that computed the answer.
 enum BatchAnswer {
-    Hits(Vec<Option<Hit>>),
-    Candidates(Vec<Vec<Candidate>>),
+    Hits(u64, Vec<Option<Hit>>),
+    Candidates(u64, Vec<Vec<Candidate>>),
 }
 
 /// A connection-owning client for the qnet wire protocol.
@@ -102,6 +116,9 @@ pub struct QueryClient {
     conn: Option<Conn>,
     next_request_id: u64,
     retries_total: u64,
+    reconnects: u64,
+    /// Generation pin carried by every query; `0` = server's active.
+    pin: u64,
 }
 
 impl QueryClient {
@@ -114,12 +131,36 @@ impl QueryClient {
             conn: None,
             next_request_id: 1,
             retries_total: 0,
+            reconnects: 0,
+            pin: 0,
         }
     }
 
     /// Total retries performed over this client's lifetime.
     pub fn retries_total(&self) -> u64 {
         self.retries_total
+    }
+
+    /// Connections dialed over this client's lifetime (the first
+    /// connect counts). A typed shed, drain, or reload outcome keeps
+    /// the connection alive — only wire errors (I/O, corrupt frames)
+    /// force a re-dial — so steady-state traffic across a hot reload
+    /// holds this at 1.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Pin every subsequent query to store/index `generation`; `0`
+    /// (the default) follows whatever generation is active on the
+    /// server. Routers pin all shard fan-outs of one request to one id
+    /// so candidate votes always sum over a single postings space.
+    pub fn set_generation_pin(&mut self, generation: u64) {
+        self.pin = generation;
+    }
+
+    /// The current generation pin (`0` = active).
+    pub fn generation_pin(&self) -> u64 {
+        self.pin
     }
 
     /// The configuration this client was built with.
@@ -131,9 +172,18 @@ impl QueryClient {
     /// jittered exponential backoff. Returns per-read placements
     /// aligned with `reads`.
     pub fn query_batch(&mut self, reads: &[PackedSeq]) -> crate::Result<Vec<Option<Hit>>> {
+        Ok(self.query_batch_tagged(reads)?.1)
+    }
+
+    /// [`query_batch`](Self::query_batch), also returning the
+    /// generation that computed the placements.
+    pub fn query_batch_tagged(
+        &mut self,
+        reads: &[PackedSeq],
+    ) -> crate::Result<(u64, Vec<Option<Hit>>)> {
         match self.retrying(|c| c.batch_once(reads, false))? {
-            BatchAnswer::Hits(hits) => Ok(hits),
-            BatchAnswer::Candidates(_) => unreachable!("placement query answers hits"),
+            BatchAnswer::Hits(generation, hits) => Ok((generation, hits)),
+            BatchAnswer::Candidates(..) => unreachable!("placement query answers hits"),
         }
     }
 
@@ -143,9 +193,284 @@ impl QueryClient {
     /// [`query_batch`](Self::query_batch); the scatter-gather router
     /// sets `max_retries: 0` and drives its own fail-over instead.
     pub fn shard_query_batch(&mut self, reads: &[PackedSeq]) -> crate::Result<Vec<Vec<Candidate>>> {
+        Ok(self.shard_query_batch_tagged(reads)?.1)
+    }
+
+    /// [`shard_query_batch`](Self::shard_query_batch), also returning
+    /// the generation that voted the candidates — the router refuses
+    /// to merge candidate sets from mismatched generations.
+    pub fn shard_query_batch_tagged(
+        &mut self,
+        reads: &[PackedSeq],
+    ) -> crate::Result<(u64, Vec<Vec<Candidate>>)> {
         match self.retrying(|c| c.batch_once(reads, true))? {
-            BatchAnswer::Candidates(c) => Ok(c),
-            BatchAnswer::Hits(_) => unreachable!("shard query answers candidates"),
+            BatchAnswer::Candidates(generation, c) => Ok((generation, c)),
+            BatchAnswer::Hits(..) => unreachable!("shard query answers candidates"),
+        }
+    }
+
+    /// Ask the server to hot-swap to store/index `generation` (`0` =
+    /// the manifest's `active` pointer). Returns the generation now
+    /// active. Single attempt: a failed reload is a deliberate,
+    /// server-side rollback ([`QnetError::ReloadFailed`]) — retrying
+    /// it blindly would hide an operational problem.
+    pub fn reload(&mut self, generation: u64) -> crate::Result<u64> {
+        let request_id = self.next_request_id;
+        self.next_request_id += 1;
+        match self.round_trip(&Request::Reload {
+            request_id,
+            generation,
+        })? {
+            Response::ReloadDone {
+                request_id: rid,
+                generation: active,
+            } => {
+                let peer = self.peer();
+                self.check_id(rid, request_id, &peer)?;
+                Ok(active)
+            }
+            Response::ReloadFailed {
+                request_id: rid,
+                generation: target,
+                message,
+            } => {
+                let peer = self.peer();
+                self.check_id(rid, request_id, &peer)?;
+                Err(QnetError::ReloadFailed {
+                    generation: target,
+                    message,
+                })
+            }
+            other => Err(self.unexpected(&other)),
+        }
+    }
+
+    /// Pipeline many batches down one connection: every request is
+    /// written before any response is read, and answers are matched to
+    /// requests by `request_id` — the server executes admitted batches
+    /// concurrently and may answer out of order. Returns per-batch
+    /// outcomes aligned with `batches`: the `(generation, hits)` pair
+    /// that computed each answer, or that batch's terminal typed error
+    /// (deadline, auth, remote). Retryable outcomes are handled
+    /// internally: sheds and drains leave the batch unanswered and the
+    /// whole stream in sync, so the retry loop backs off (honoring
+    /// `retry_after_ms`) and resends *only* the unanswered batches on
+    /// the same connection; wire errors desynchronize the stream, so
+    /// they reconnect first.
+    pub fn query_batches_pipelined(
+        &mut self,
+        batches: &[Vec<PackedSeq>],
+    ) -> crate::Result<Vec<crate::Result<(u64, Vec<Option<Hit>>)>>> {
+        let mut results: Vec<Option<crate::Result<(u64, Vec<Option<Hit>>)>>> =
+            (0..batches.len()).map(|_| None).collect();
+        let mut attempt: u32 = 0;
+        loop {
+            let unanswered: Vec<usize> = (0..batches.len())
+                .filter(|&i| results[i].is_none())
+                .collect();
+            if unanswered.is_empty() {
+                return Ok(results
+                    .into_iter()
+                    .map(|r| r.expect("every batch answered"))
+                    .collect());
+            }
+            attempt += 1;
+            let err = match self.pipeline_once(batches, &unanswered, &mut results) {
+                Ok(()) => continue,
+                Err(e) => e,
+            };
+            if !err.is_retryable() {
+                return Err(err);
+            }
+            if attempt > self.cfg.max_retries {
+                return Err(QnetError::RetriesExhausted {
+                    attempts: attempt,
+                    last: err.to_string(),
+                });
+            }
+            // Same keep-alive discipline as `retrying`: only wire
+            // errors force a reconnect.
+            if matches!(&err, QnetError::Io(_) | QnetError::Corrupt { .. }) {
+                self.conn = None;
+            }
+            self.retries_total += 1;
+            self.rec.counter("qnet.retries", 1);
+            let hint_ms = match &err {
+                QnetError::Overloaded { retry_after_ms, .. } => u64::from(*retry_after_ms),
+                _ => 0,
+            };
+            let wait = self.backoff_ms(attempt).max(hint_ms);
+            if faultsim::sched::active() {
+                faultsim::sched::point("qnet.client.backoff");
+            } else {
+                std::thread::sleep(Duration::from_millis(wait));
+            }
+        }
+    }
+
+    /// One pipelined attempt over the batches at `unanswered` indices:
+    /// write all requests, then drain exactly one response per request.
+    /// Terminal per-batch outcomes are recorded into `results`;
+    /// retryable ones (sheds, drains) are left unrecorded and the first
+    /// is returned as the attempt's error *after* the drain completes,
+    /// so the stream stays in sync and the connection survives.
+    fn pipeline_once(
+        &mut self,
+        batches: &[Vec<PackedSeq>],
+        unanswered: &[usize],
+        results: &mut [Option<crate::Result<(u64, Vec<Option<Hit>>)>>],
+    ) -> crate::Result<()> {
+        if let Err(e) = self.ensure_conn() {
+            self.conn = None;
+            return Err(e);
+        }
+        let deadline_ms = self.cfg.deadline_ms;
+        let client_id = self.cfg.client_id.clone();
+        let secret = self.cfg.auth_secret.clone();
+        let pin = self.pin;
+        let mut ids: Vec<(u64, usize)> = Vec::with_capacity(unanswered.len());
+        for &i in unanswered {
+            let request_id = self.next_request_id;
+            self.next_request_id += 1;
+            ids.push((request_id, i));
+        }
+        let conn = self.conn.as_mut().expect("connection just ensured");
+        let peer = conn.peer.clone();
+
+        // Encode every request into one contiguous write so the whole
+        // burst leaves in as few segments as the kernel allows.
+        let mut wire = Vec::new();
+        let mut pending: BTreeMap<u64, usize> = BTreeMap::new();
+        for &(request_id, i) in &ids {
+            let (auth_seq, auth_tag) = match &secret {
+                Some(secret) => {
+                    let seq = conn.next_seq;
+                    conn.next_seq += 1;
+                    let tag = crate::proto::auth_tag(
+                        secret,
+                        crate::proto::AUTH_KIND_QUERY,
+                        conn.nonce,
+                        seq,
+                        request_id,
+                        deadline_ms,
+                        &client_id,
+                        &batches[i],
+                    );
+                    (seq, tag)
+                }
+                None => (0, 0),
+            };
+            let body = Request::Query {
+                request_id,
+                deadline_ms,
+                client_id: client_id.clone(),
+                reads: batches[i].clone(),
+                auth_seq,
+                auth_tag,
+                generation: pin,
+            }
+            .encode();
+            gstream::write_frame(&mut wire, &body).map_err(|e| crate::from_stream(e, &peer))?;
+            pending.insert(request_id, i);
+        }
+        conn.stream.write_all(&wire)?;
+
+        // Drain one response per outstanding request, in whatever order
+        // the server answers. A retryable typed outcome is deferred
+        // rather than returned mid-drain: bailing out with responses
+        // still in flight would desynchronize the stream.
+        let mut deferred: Option<QnetError> = None;
+        while !pending.is_empty() {
+            if faultsim::sched::active() {
+                let reader = &conn.reader;
+                faultsim::sched::wait_until("qnet.client.read", &mut || {
+                    !reader.buffer().is_empty() || sock_readable(reader.get_ref())
+                });
+            }
+            let payload = match gstream::read_frame(&mut conn.reader, &peer) {
+                Ok(Some(p)) => p,
+                Ok(None) => {
+                    return Err(QnetError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        format!(
+                            "{peer} closed the connection with {} answers outstanding",
+                            pending.len()
+                        ),
+                    )));
+                }
+                Err(e) => return Err(crate::from_stream(e, &peer)),
+            };
+            let resp = Response::decode(&payload, &peer)?;
+            let rid = match &resp {
+                Response::Hits { request_id, .. }
+                | Response::Overloaded { request_id, .. }
+                | Response::Draining { request_id }
+                | Response::DeadlineExceeded { request_id }
+                | Response::AuthFailed { request_id }
+                | Response::Error { request_id, .. } => *request_id,
+                other => {
+                    return Err(QnetError::Corrupt {
+                        peer,
+                        detail: format!("unexpected response type {other:?}"),
+                    });
+                }
+            };
+            let Some(i) = pending.remove(&rid) else {
+                return Err(QnetError::Corrupt {
+                    peer,
+                    detail: format!("response id {rid} matches no outstanding request"),
+                });
+            };
+            match resp {
+                Response::Hits {
+                    generation, hits, ..
+                } => {
+                    if hits.len() != batches[i].len() {
+                        return Err(QnetError::Corrupt {
+                            peer,
+                            detail: format!(
+                                "{} hits answered for {} reads",
+                                hits.len(),
+                                batches[i].len()
+                            ),
+                        });
+                    }
+                    results[i] = Some(Ok((generation, hits)));
+                }
+                Response::Overloaded {
+                    scope,
+                    queued,
+                    limit,
+                    retry_after_ms,
+                    ..
+                } => {
+                    deferred.get_or_insert(QnetError::Overloaded {
+                        scope,
+                        queued,
+                        limit,
+                        retry_after_ms,
+                    });
+                }
+                Response::Draining { .. } => {
+                    deferred.get_or_insert(QnetError::Draining);
+                }
+                Response::DeadlineExceeded { .. } => {
+                    results[i] = Some(Err(QnetError::DeadlineExceeded {
+                        budget_ms: deadline_ms,
+                    }));
+                }
+                Response::AuthFailed { .. } => {
+                    results[i] = Some(Err(QnetError::AuthFailed));
+                }
+                Response::Error { message, .. } => {
+                    results[i] = Some(Err(QnetError::Remote(message)));
+                }
+                _ => unreachable!("request id already matched above"),
+            }
+        }
+        match deferred {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
     }
 
@@ -183,11 +508,17 @@ impl QueryClient {
                     last: err.to_string(),
                 });
             }
-            // Any failed attempt abandons the connection: after a torn
-            // frame or timeout the stream position is unknowable, and a
-            // fresh connection is the only way to guarantee the next
-            // response pairs with the next request.
-            self.conn = None;
+            // Only a *wire* failure abandons the connection: after a
+            // torn frame or timeout the stream position is unknowable,
+            // and a fresh connection is the only way to guarantee the
+            // next response pairs with the next request. Typed
+            // protocol outcomes (sheds, drains) arrive on a stream
+            // that is still in sync — tearing it down would churn a
+            // socket for nothing, so those keep the connection and
+            // just back off.
+            if matches!(&err, QnetError::Io(_) | QnetError::Corrupt { .. }) {
+                self.conn = None;
+            }
             self.retries_total += 1;
             self.rec.counter("qnet.retries", 1);
             let hint_ms = match &err {
@@ -301,6 +632,7 @@ impl QueryClient {
                 reads: reads.to_vec(),
                 auth_seq,
                 auth_tag,
+                generation: self.pin,
             }
         } else {
             Request::Query {
@@ -310,12 +642,14 @@ impl QueryClient {
                 reads: reads.to_vec(),
                 auth_seq,
                 auth_tag,
+                generation: self.pin,
             }
         };
         let (resp, peer) = self.round_trip_raw(&req)?;
         match resp {
             Response::Hits {
                 request_id: rid,
+                generation,
                 hits,
             } if !shard => {
                 self.check_id(rid, request_id, &peer)?;
@@ -326,10 +660,11 @@ impl QueryClient {
                         detail: format!("{} hits answered for {} reads", hits.len(), reads.len()),
                     });
                 }
-                Ok(BatchAnswer::Hits(hits))
+                Ok(BatchAnswer::Hits(generation, hits))
             }
             Response::ShardCandidates {
                 request_id: rid,
+                generation,
                 candidates,
             } if shard => {
                 self.check_id(rid, request_id, &peer)?;
@@ -344,7 +679,7 @@ impl QueryClient {
                         ),
                     });
                 }
-                Ok(BatchAnswer::Candidates(candidates))
+                Ok(BatchAnswer::Candidates(generation, candidates))
             }
             Response::Overloaded {
                 request_id: rid,
@@ -449,6 +784,8 @@ impl QueryClient {
             nonce: 0,
             next_seq: 1,
         });
+        self.reconnects += 1;
+        self.rec.counter("qnet.client.connects", 1);
         if self.cfg.auth_secret.is_some() {
             let (resp, _peer) = self.exchange(&Request::AuthHello)?;
             match resp {
@@ -603,6 +940,7 @@ mod tests {
             };
             let body = Response::Hits {
                 request_id,
+                generation: 0,
                 hits: vec![None],
             }
             .encode();
@@ -621,6 +959,7 @@ mod tests {
                 &mut s,
                 &Response::Hits {
                     request_id,
+                    generation: 0,
                     hits: vec![None],
                 },
             );
@@ -651,6 +990,7 @@ mod tests {
                     &mut s,
                     &Response::Hits {
                         request_id: 0xBAD,
+                        generation: 0,
                         hits: vec![None],
                     },
                 );
@@ -692,10 +1032,12 @@ mod tests {
                 reads,
                 auth_seq,
                 auth_tag,
+                generation,
             } = read_request(&mut s)
             else {
                 panic!("expected a query")
             };
+            assert_eq!(generation, 0, "an unpinned client follows the active");
             assert_eq!(auth_seq, 1, "first authed send on this connection");
             // The client computed the tag over exactly the fields it
             // sent, bound to the dealt nonce and its sequence number.
@@ -754,6 +1096,7 @@ mod tests {
                 &mut s,
                 &Response::ShardCandidates {
                     request_id,
+                    generation: 0,
                     candidates: cands,
                 },
             );
@@ -768,6 +1111,226 @@ mod tests {
         ];
         let got = client.shard_query_batch(&reads).expect("candidates");
         assert_eq!(got, expect);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn typed_sheds_keep_the_connection_alive() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            // ONE connection lifetime: shed the first query, then
+            // answer the retry on the same socket. A second accept
+            // would hang the test — which is the point.
+            let (mut s, _) = listener.accept().unwrap();
+            let Request::Query { request_id, .. } = read_request(&mut s) else {
+                panic!("expected a query")
+            };
+            send_response(
+                &mut s,
+                &Response::Overloaded {
+                    request_id,
+                    scope: crate::proto::ShedScope::Queue,
+                    queued: 8,
+                    limit: 4,
+                    retry_after_ms: 1,
+                },
+            );
+            let Request::Query { request_id, .. } = read_request(&mut s) else {
+                panic!("expected the retried query")
+            };
+            send_response(
+                &mut s,
+                &Response::Hits {
+                    request_id,
+                    generation: 1,
+                    hits: vec![None],
+                },
+            );
+            let mut buf = [0u8; 1];
+            let _ = s.read(&mut buf);
+        });
+        let rec = Recorder::disabled();
+        let mut client = QueryClient::new(fast_cfg(addr), &rec);
+        let reads = vec!["ACGT".parse::<PackedSeq>().unwrap()];
+        let (generation, hits) = client.query_batch_tagged(&reads).expect("retry succeeds");
+        assert_eq!(generation, 1);
+        assert_eq!(hits, vec![None]);
+        assert_eq!(client.retries_total(), 1);
+        assert_eq!(
+            client.reconnects(),
+            1,
+            "a shed is a typed outcome, not a reason to re-dial"
+        );
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn reload_round_trips_and_keeps_the_connection() {
+        // The regression this pins down: queries before and after a
+        // Reload ride the SAME connection — a reload outcome (done or
+        // failed) never tears the stream down, so steady traffic sees
+        // zero reconnects across a hot swap.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let Request::Query { request_id, .. } = read_request(&mut s) else {
+                panic!("expected a query")
+            };
+            send_response(
+                &mut s,
+                &Response::Hits {
+                    request_id,
+                    generation: 1,
+                    hits: vec![None],
+                },
+            );
+            let Request::Reload {
+                request_id,
+                generation,
+            } = read_request(&mut s)
+            else {
+                panic!("expected a reload")
+            };
+            assert_eq!(generation, 2);
+            send_response(
+                &mut s,
+                &Response::ReloadDone {
+                    request_id,
+                    generation: 2,
+                },
+            );
+            let Request::Query { request_id, .. } = read_request(&mut s) else {
+                panic!("expected a post-swap query")
+            };
+            send_response(
+                &mut s,
+                &Response::Hits {
+                    request_id,
+                    generation: 2,
+                    hits: vec![None],
+                },
+            );
+            let mut buf = [0u8; 1];
+            let _ = s.read(&mut buf);
+        });
+        let rec = Recorder::disabled();
+        let mut client = QueryClient::new(fast_cfg(addr), &rec);
+        let reads = vec!["ACGT".parse::<PackedSeq>().unwrap()];
+        let (g1, _) = client.query_batch_tagged(&reads).expect("pre-swap query");
+        assert_eq!(g1, 1);
+        let active = client.reload(2).expect("reload succeeds");
+        assert_eq!(active, 2);
+        let (g2, _) = client.query_batch_tagged(&reads).expect("post-swap query");
+        assert_eq!(g2, 2);
+        assert_eq!(client.reconnects(), 1, "the whole swap rode one connection");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn reload_failure_is_typed_terminal_and_keeps_the_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let Request::Reload { request_id, .. } = read_request(&mut s) else {
+                panic!("expected a reload")
+            };
+            send_response(
+                &mut s,
+                &Response::ReloadFailed {
+                    request_id,
+                    generation: 7,
+                    message: "store checksum mismatch".to_string(),
+                },
+            );
+            // The client should still be on this socket afterwards.
+            let Request::Ping = read_request(&mut s) else {
+                panic!("expected a ping on the surviving connection")
+            };
+            send_response(
+                &mut s,
+                &Response::Pong {
+                    ready: true,
+                    draining: false,
+                },
+            );
+            let mut buf = [0u8; 1];
+            let _ = s.read(&mut buf);
+        });
+        let rec = Recorder::disabled();
+        let mut client = QueryClient::new(fast_cfg(addr), &rec);
+        let err = client.reload(7).expect_err("server rolled back");
+        match &err {
+            QnetError::ReloadFailed {
+                generation,
+                message,
+            } => {
+                assert_eq!(*generation, 7);
+                assert!(message.contains("checksum"), "message: {message}");
+            }
+            other => panic!("expected ReloadFailed, got {other:?}"),
+        }
+        assert!(!err.is_retryable(), "a rollback is a deliberate outcome");
+        let (ready, _) = client.ping().expect("connection survived the failure");
+        assert!(ready);
+        assert_eq!(client.reconnects(), 1);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn pipelined_batches_match_out_of_order_answers() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            // Read all three requests before answering anything —
+            // proving the client really pipelines — then answer in
+            // scrambled order, tagging each answer's generation with
+            // its batch size so the test can check the alignment.
+            let mut got: Vec<(u64, usize)> = Vec::new();
+            for _ in 0..3 {
+                let Request::Query {
+                    request_id, reads, ..
+                } = read_request(&mut s)
+                else {
+                    panic!("expected a query")
+                };
+                got.push((request_id, reads.len()));
+            }
+            for &(request_id, n) in [&got[2], &got[0], &got[1]] {
+                send_response(
+                    &mut s,
+                    &Response::Hits {
+                        request_id,
+                        generation: n as u64,
+                        hits: vec![None; n],
+                    },
+                );
+            }
+            let mut buf = [0u8; 1];
+            let _ = s.read(&mut buf);
+        });
+        let rec = Recorder::disabled();
+        let mut client = QueryClient::new(fast_cfg(addr), &rec);
+        let read = "ACGT".parse::<PackedSeq>().unwrap();
+        let batches = vec![
+            vec![read.clone()],
+            vec![read.clone(), read.clone()],
+            vec![read.clone(), read.clone(), read.clone()],
+        ];
+        let results = client
+            .query_batches_pipelined(&batches)
+            .expect("all batches answered");
+        assert_eq!(results.len(), 3);
+        for (i, r) in results.iter().enumerate() {
+            let (generation, hits) = r.as_ref().expect("per-batch success");
+            assert_eq!(*generation, (i + 1) as u64, "answer matched to batch {i}");
+            assert_eq!(hits.len(), i + 1);
+        }
+        assert_eq!(client.reconnects(), 1);
+        assert_eq!(client.retries_total(), 0);
         server.join().unwrap();
     }
 

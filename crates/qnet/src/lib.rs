@@ -49,7 +49,7 @@ pub use proto::{
     auth_tag, ClientStats, LatencySummary, PongStatus, Request, Response, ShedScope, StatsSnapshot,
     AUTH_KIND_QUERY, AUTH_KIND_SHARD_QUERY, STATS_VERSION,
 };
-pub use server::{DrainReport, Server, ServerConfig};
+pub use server::{DrainReport, ReloadConfig, Server, ServerConfig};
 
 /// Errors surfaced by the qnet client and server.
 #[derive(Debug)]
@@ -87,6 +87,16 @@ pub enum QnetError {
     /// ([`proto::auth_tag`]). Terminal: the same credentials can never
     /// succeed, so retrying would only burn the budget.
     AuthFailed,
+    /// The server failed a hot generation reload and rolled back; the
+    /// previously active generation is still serving, untouched.
+    /// Terminal for this reload attempt — the message names what
+    /// failed (missing generation, checksum mismatch, stalled swap).
+    ReloadFailed {
+        /// The generation the reload targeted (`0` = manifest active).
+        generation: u64,
+        /// Display of the server-side failure.
+        message: String,
+    },
     /// The server failed to process the batch (its own typed error,
     /// stringified for transport).
     Remote(String),
@@ -140,6 +150,15 @@ impl std::fmt::Display for QnetError {
             QnetError::Draining => write!(f, "server draining: no new work admitted"),
             QnetError::AuthFailed => {
                 write!(f, "authentication failed: the server rejected the auth tag")
+            }
+            QnetError::ReloadFailed {
+                generation,
+                message,
+            } => {
+                write!(
+                    f,
+                    "reload of generation {generation} failed and rolled back: {message}"
+                )
             }
             QnetError::Remote(m) => write!(f, "remote error: {m}"),
             QnetError::RetriesExhausted { attempts, last } => {

@@ -60,6 +60,13 @@ pub enum Request {
         /// [`auth_tag`]). Servers without a configured secret ignore
         /// it; clients without one send `0`.
         auth_tag: u64,
+        /// Generation pin: answer from this store/index generation, or
+        /// `0` for whatever is active. Routing metadata, not an
+        /// integrity field, so it stays outside [`auth_tag`]: a
+        /// tampered pin can only select among the server's validated
+        /// resident generations or draw a typed missing-generation
+        /// error — never a forged answer.
+        generation: u64,
     },
     /// Look up a batch of reads against this server's *shard* of the
     /// postings space, answering with every voted candidate placement
@@ -81,6 +88,11 @@ pub enum Request {
         auth_seq: u64,
         /// Keyed authentication tag (see [`auth_tag`]).
         auth_tag: u64,
+        /// Generation pin, `0` for active (see [`Request::Query`]). The
+        /// router pins every shard fan-out to one id so a rolling
+        /// reload's mixed-generation window still sums votes from a
+        /// single coherent postings space.
+        generation: u64,
     },
     /// Health/readiness probe; always answered, even mid-drain.
     Ping,
@@ -100,13 +112,28 @@ pub enum Request {
     /// connection. Clients without a secret never send it; servers
     /// without one answer with nonce `0` (which authed tags ignore).
     AuthHello,
+    /// Hot-swap the serving store/index to another validated
+    /// generation, with zero shed ([`qserve::QueryService`] reload).
+    /// Gate-exempt like `Stats`: answered even mid-overload, never
+    /// queued behind query work — an operator can always roll a
+    /// saturated server forward. Answered with [`Response::ReloadDone`]
+    /// on success or [`Response::ReloadFailed`] (a loud rollback; the
+    /// old generation keeps serving) on any failure.
+    Reload {
+        /// Client-chosen id echoed verbatim in the response.
+        request_id: u64,
+        /// The generation id to load, or `0` to follow the manifest's
+        /// `active` pointer.
+        generation: u64,
+    },
 }
 
 /// Schema version carried in every [`StatsSnapshot`].
 ///
 /// Version history: `1` — initial schema; `2` — added `force_closed`
-/// (stragglers cut off at the drain deadline).
-pub const STATS_VERSION: u32 = 2;
+/// (stragglers cut off at the drain deadline); `3` — added
+/// `generation`, `reloads`, and `rollbacks` (hot generation swaps).
+pub const STATS_VERSION: u32 = 3;
 
 /// The `kind` byte [`auth_tag`] binds for a [`Request::Query`].
 pub const AUTH_KIND_QUERY: u8 = TAG_QUERY;
@@ -199,6 +226,15 @@ pub struct StatsSnapshot {
     /// force-closed at the drain deadline (`qnet.drain.force_closed`).
     /// Since version 2.
     pub force_closed: u64,
+    /// The store/index generation currently answering unpinned
+    /// queries (`qserve.gen.active`). Since version 3.
+    pub generation: u64,
+    /// Successful hot generation swaps since start
+    /// (`qserve.gen.reloads`). Since version 3.
+    pub reloads: u64,
+    /// Failed reloads rolled back loudly, old generation untouched
+    /// (`qserve.gen.rollbacks`). Since version 3.
+    pub rollbacks: u64,
     /// Per-client gate totals and fairness state, sorted by client id.
     pub clients: Vec<ClientStats>,
     /// Latency distributions (microseconds), sorted by name.
@@ -264,6 +300,10 @@ pub struct PongStatus {
     pub queue_depth: u64,
     /// Smoothed drain rate (reads/s); `0` until primed.
     pub drain_ewma_reads_per_s: f64,
+    /// The store/index generation currently answering unpinned
+    /// queries, so a load balancer can watch a rollout converge
+    /// without a full `Stats` round trip.
+    pub generation: u64,
 }
 
 /// A server-to-client message.
@@ -273,6 +313,11 @@ pub enum Response {
     Hits {
         /// Echo of the request's id.
         request_id: u64,
+        /// The store/index generation that computed these placements —
+        /// the request's pin, or whatever was active at admission. A
+        /// batch never straddles a swap: every hit in this answer came
+        /// from this one generation.
+        generation: u64,
         /// `None` for reads that placed nowhere.
         hits: Vec<Option<Hit>>,
     },
@@ -333,6 +378,10 @@ pub enum Response {
     ShardCandidates {
         /// Echo of the request's id.
         request_id: u64,
+        /// The generation that voted these candidates (see
+        /// [`Response::Hits`]); the router refuses to sum candidate
+        /// sets from mismatched generations.
+        generation: u64,
         /// One candidate list per read, in request order.
         candidates: Vec<Vec<Candidate>>,
     },
@@ -340,6 +389,26 @@ pub enum Response {
     AuthNonce {
         /// Nonce every later [`auth_tag`] on this connection must bind.
         nonce: u64,
+    },
+    /// A [`Request::Reload`] succeeded: the named generation is now
+    /// active (or already was — a retried reload is idempotent).
+    ReloadDone {
+        /// Echo of the request's id.
+        request_id: u64,
+        /// The generation id now serving unpinned queries.
+        generation: u64,
+    },
+    /// A [`Request::Reload`] failed and was rolled back: the previously
+    /// active generation is still serving, untouched. Terminal for this
+    /// reload attempt; the message names what failed validation.
+    ReloadFailed {
+        /// Echo of the request's id.
+        request_id: u64,
+        /// The generation id the reload targeted (`0` = manifest
+        /// active).
+        generation: u64,
+        /// Display of the server-side [`qserve::GenError`].
+        message: String,
     },
 }
 
@@ -350,6 +419,7 @@ const TAG_STATS_REQ: u8 = 4;
 const TAG_PING_V2: u8 = 5;
 const TAG_SHARD_QUERY: u8 = 6;
 const TAG_AUTH_HELLO: u8 = 7;
+const TAG_RELOAD: u8 = 8;
 
 const TAG_HITS: u8 = 1;
 const TAG_PONG: u8 = 2;
@@ -363,6 +433,8 @@ const TAG_PONG_V2: u8 = 9;
 const TAG_AUTH_FAILED: u8 = 10;
 const TAG_SHARD_CANDIDATES: u8 = 11;
 const TAG_AUTH_NONCE: u8 = 12;
+const TAG_RELOAD_DONE: u8 = 13;
+const TAG_RELOAD_FAILED: u8 = 14;
 
 /// Largest `clients`/`latency` list length accepted in a snapshot.
 const MAX_STATS_ROWS: usize = 1 << 16;
@@ -495,6 +567,7 @@ impl Request {
                 reads,
                 auth_seq,
                 auth_tag,
+                generation,
             } => {
                 out.push(TAG_QUERY);
                 put_u64(&mut out, *request_id);
@@ -506,6 +579,7 @@ impl Request {
                 }
                 put_u64(&mut out, *auth_seq);
                 put_u64(&mut out, *auth_tag);
+                put_u64(&mut out, *generation);
             }
             Request::ShardQuery {
                 request_id,
@@ -514,6 +588,7 @@ impl Request {
                 reads,
                 auth_seq,
                 auth_tag,
+                generation,
             } => {
                 out.push(TAG_SHARD_QUERY);
                 put_u64(&mut out, *request_id);
@@ -525,12 +600,21 @@ impl Request {
                 }
                 put_u64(&mut out, *auth_seq);
                 put_u64(&mut out, *auth_tag);
+                put_u64(&mut out, *generation);
             }
             Request::Ping => out.push(TAG_PING),
             Request::Shutdown => out.push(TAG_SHUTDOWN),
             Request::Stats => out.push(TAG_STATS_REQ),
             Request::PingV2 => out.push(TAG_PING_V2),
             Request::AuthHello => out.push(TAG_AUTH_HELLO),
+            Request::Reload {
+                request_id,
+                generation,
+            } => {
+                out.push(TAG_RELOAD);
+                put_u64(&mut out, *request_id);
+                put_u64(&mut out, *generation);
+            }
         }
         out
     }
@@ -550,6 +634,7 @@ impl Request {
                 }
                 let auth_seq = c.u64("auth seq")?;
                 let auth_tag = c.u64("auth tag")?;
+                let generation = c.u64("generation pin")?;
                 if tag == TAG_QUERY {
                     Request::Query {
                         request_id,
@@ -558,6 +643,7 @@ impl Request {
                         reads,
                         auth_seq,
                         auth_tag,
+                        generation,
                     }
                 } else {
                     Request::ShardQuery {
@@ -567,6 +653,7 @@ impl Request {
                         reads,
                         auth_seq,
                         auth_tag,
+                        generation,
                     }
                 }
             }
@@ -575,6 +662,10 @@ impl Request {
             TAG_STATS_REQ => Request::Stats,
             TAG_PING_V2 => Request::PingV2,
             TAG_AUTH_HELLO => Request::AuthHello,
+            TAG_RELOAD => Request::Reload {
+                request_id: c.u64("request id")?,
+                generation: c.u64("generation")?,
+            },
             t => return Err(c.corrupt(format!("unknown request tag {t}"))),
         };
         c.finish()?;
@@ -594,9 +685,14 @@ impl Response {
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         match self {
-            Response::Hits { request_id, hits } => {
+            Response::Hits {
+                request_id,
+                generation,
+                hits,
+            } => {
                 out.push(TAG_HITS);
                 put_u64(&mut out, *request_id);
+                put_u64(&mut out, *generation);
                 put_u32(&mut out, hits.len() as u32);
                 for h in hits {
                     match h {
@@ -664,6 +760,9 @@ impl Response {
                 put_u64(&mut out, s.deadline_shed);
                 put_u64(&mut out, s.fairness_shed);
                 put_u64(&mut out, s.force_closed);
+                put_u64(&mut out, s.generation);
+                put_u64(&mut out, s.reloads);
+                put_u64(&mut out, s.rollbacks);
                 put_u32(&mut out, s.clients.len() as u32);
                 for cl in &s.clients {
                     put_str(&mut out, &cl.client_id);
@@ -693,6 +792,7 @@ impl Response {
                 out.push(p.draining as u8);
                 put_u64(&mut out, p.queue_depth);
                 put_u64(&mut out, p.drain_ewma_reads_per_s.to_bits());
+                put_u64(&mut out, p.generation);
             }
             Response::AuthFailed { request_id } => {
                 out.push(TAG_AUTH_FAILED);
@@ -700,10 +800,12 @@ impl Response {
             }
             Response::ShardCandidates {
                 request_id,
+                generation,
                 candidates,
             } => {
                 out.push(TAG_SHARD_CANDIDATES);
                 put_u64(&mut out, *request_id);
+                put_u64(&mut out, *generation);
                 put_u32(&mut out, candidates.len() as u32);
                 for per_read in candidates {
                     put_u32(&mut out, per_read.len() as u32);
@@ -726,6 +828,24 @@ impl Response {
                 out.push(TAG_AUTH_NONCE);
                 put_u64(&mut out, *nonce);
             }
+            Response::ReloadDone {
+                request_id,
+                generation,
+            } => {
+                out.push(TAG_RELOAD_DONE);
+                put_u64(&mut out, *request_id);
+                put_u64(&mut out, *generation);
+            }
+            Response::ReloadFailed {
+                request_id,
+                generation,
+                message,
+            } => {
+                out.push(TAG_RELOAD_FAILED);
+                put_u64(&mut out, *request_id);
+                put_u64(&mut out, *generation);
+                put_str(&mut out, message);
+            }
         }
         out
     }
@@ -736,6 +856,7 @@ impl Response {
         let resp = match c.u8("response tag")? {
             TAG_HITS => {
                 let request_id = c.u64("request id")?;
+                let generation = c.u64("generation")?;
                 let n = c.u32("hit count")? as usize;
                 let mut hits = Vec::with_capacity(n.min(1 << 20));
                 for _ in 0..n {
@@ -762,7 +883,11 @@ impl Response {
                         b => return Err(c.corrupt(format!("bad hit presence byte {b}"))),
                     }
                 }
-                Response::Hits { request_id, hits }
+                Response::Hits {
+                    request_id,
+                    generation,
+                    hits,
+                }
             }
             TAG_PONG => {
                 let ready = c.u8("ready flag")? != 0;
@@ -815,6 +940,9 @@ impl Response {
                 let deadline_shed = c.u64("deadline shed")?;
                 let fairness_shed = c.u64("fairness shed")?;
                 let force_closed = c.u64("force closed")?;
+                let generation = c.u64("generation")?;
+                let reloads = c.u64("reloads")?;
+                let rollbacks = c.u64("rollbacks")?;
                 let n_clients = c.u32("client count")? as usize;
                 if n_clients > MAX_STATS_ROWS {
                     return Err(c.corrupt(format!("client count {n_clients} is absurd")));
@@ -862,6 +990,9 @@ impl Response {
                     deadline_shed,
                     fairness_shed,
                     force_closed,
+                    generation,
+                    reloads,
+                    rollbacks,
                     clients,
                     latency,
                 })
@@ -871,11 +1002,13 @@ impl Response {
                 let draining = c.u8("draining flag")? != 0;
                 let queue_depth = c.u64("queue depth")?;
                 let drain_ewma_reads_per_s = f64::from_bits(c.u64("drain ewma")?);
+                let generation = c.u64("generation")?;
                 Response::PongV2(PongStatus {
                     ready,
                     draining,
                     queue_depth,
                     drain_ewma_reads_per_s,
+                    generation,
                 })
             }
             TAG_AUTH_FAILED => Response::AuthFailed {
@@ -883,6 +1016,7 @@ impl Response {
             },
             TAG_SHARD_CANDIDATES => {
                 let request_id = c.u64("request id")?;
+                let generation = c.u64("generation")?;
                 let n = c.u32("candidate list count")? as usize;
                 let mut candidates = Vec::with_capacity(n.min(1 << 20));
                 for _ in 0..n {
@@ -914,12 +1048,27 @@ impl Response {
                 }
                 Response::ShardCandidates {
                     request_id,
+                    generation,
                     candidates,
                 }
             }
             TAG_AUTH_NONCE => Response::AuthNonce {
                 nonce: c.u64("auth nonce")?,
             },
+            TAG_RELOAD_DONE => Response::ReloadDone {
+                request_id: c.u64("request id")?,
+                generation: c.u64("generation")?,
+            },
+            TAG_RELOAD_FAILED => {
+                let request_id = c.u64("request id")?;
+                let generation = c.u64("generation")?;
+                let message = c.string("reload failure message")?;
+                Response::ReloadFailed {
+                    request_id,
+                    generation,
+                    message,
+                }
+            }
             t => return Err(c.corrupt(format!("unknown response tag {t}"))),
         };
         c.finish()?;
@@ -976,6 +1125,7 @@ mod tests {
                 "assembler-7",
                 &reads,
             ),
+            generation: 3,
         };
         assert_eq!(roundtrip_req(&req), req);
         let shard = Request::ShardQuery {
@@ -985,6 +1135,7 @@ mod tests {
             reads: reads.clone(),
             auth_seq: 0,
             auth_tag: 0,
+            generation: 0,
         };
         assert_eq!(roundtrip_req(&shard), shard);
         assert_eq!(roundtrip_req(&Request::Ping), Request::Ping);
@@ -992,6 +1143,11 @@ mod tests {
         assert_eq!(roundtrip_req(&Request::Stats), Request::Stats);
         assert_eq!(roundtrip_req(&Request::PingV2), Request::PingV2);
         assert_eq!(roundtrip_req(&Request::AuthHello), Request::AuthHello);
+        let reload = Request::Reload {
+            request_id: 19,
+            generation: 4,
+        };
+        assert_eq!(roundtrip_req(&reload), reload);
 
         // Empty batch is legal on the wire (the server sheds it cheaply).
         let empty = Request::Query {
@@ -1001,6 +1157,7 @@ mod tests {
             reads: Vec::new(),
             auth_seq: 0,
             auth_tag: 0,
+            generation: 0,
         };
         assert_eq!(roundtrip_req(&empty), empty);
     }
@@ -1081,6 +1238,7 @@ mod tests {
     fn responses_roundtrip() {
         let hits = Response::Hits {
             request_id: 42,
+            generation: 2,
             hits: vec![
                 None,
                 Some(Hit {
@@ -1121,6 +1279,15 @@ mod tests {
             Response::ShutdownAck,
             Response::AuthFailed { request_id: 6 },
             Response::AuthNonce { nonce: 0xA1B2_C3D4 },
+            Response::ReloadDone {
+                request_id: 7,
+                generation: 3,
+            },
+            Response::ReloadFailed {
+                request_id: 8,
+                generation: 9,
+                message: "generation 9: store checksum mismatch".to_string(),
+            },
         ] {
             assert_eq!(roundtrip_resp(&resp), resp);
         }
@@ -1131,6 +1298,7 @@ mod tests {
         use qserve::Candidate;
         let resp = Response::ShardCandidates {
             request_id: 77,
+            generation: 1,
             candidates: vec![
                 Vec::new(), // a read with no votes on this shard
                 vec![
@@ -1169,6 +1337,9 @@ mod tests {
             deadline_shed: 4,
             fairness_shed: 1,
             force_closed: 2,
+            generation: 5,
+            reloads: 4,
+            rollbacks: 1,
             clients: vec![
                 ClientStats {
                     client_id: "alpha".into(),
@@ -1218,6 +1389,9 @@ mod tests {
             deadline_shed: 0,
             fairness_shed: 0,
             force_closed: 0,
+            generation: 0,
+            reloads: 0,
+            rollbacks: 0,
             clients: Vec::new(),
             latency: Vec::new(),
         });
@@ -1228,6 +1402,7 @@ mod tests {
             draining: false,
             queue_depth: 42,
             drain_ewma_reads_per_s: 10_000.25,
+            generation: 6,
         });
         assert_eq!(roundtrip_resp(&pong), pong);
     }
@@ -1292,6 +1467,7 @@ mod tests {
             reads: Vec::new(),
             auth_seq: 0,
             auth_tag: 0,
+            generation: 0,
         };
         let err = Request::decode(&req.encode(), "p").expect_err("oversized id");
         match err {

@@ -22,6 +22,20 @@
 //! Gates 3 and 4 both answer `Overloaded` with a `retry_after_ms` hint:
 //! fairness hints from the bucket's own refill math, queue hints from a
 //! live EWMA of the worker pool's drain rate ([`DrainRate`]).
+//!
+//! Connections are **pipelined**: the read loop hands each admitted
+//! query to a responder thread and immediately reads the next frame, so
+//! one connection can have many requests in flight, each answered by a
+//! frame matched to its `request_id` (responses may arrive out of
+//! order). Gate-exempt requests (`Ping`, `Stats`, `Reload`, …) are
+//! still answered inline from the read loop — they never queue behind a
+//! slow batch on the same connection.
+//!
+//! [`Request::Reload`] hot-swaps the serving store/index generation via
+//! [`QueryService::reload_from`] with zero shed: admission never
+//! pauses, in-flight batches finish on the generation that admitted
+//! them, and any failure rolls back loudly
+//! ([`Response::ReloadFailed`]) while the old generation keeps serving.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::io::{BufReader, Write};
@@ -73,6 +87,25 @@ pub struct ServerConfig {
     /// *before* any gate charges the claimed client's fairness tokens.
     /// `None` (the default) accepts every tag.
     pub auth_secret: Option<String>,
+    /// Where [`Request::Reload`] loads store/index generations from.
+    /// `None` (the default) answers every reload with a typed
+    /// [`Response::ReloadFailed`].
+    pub reload: Option<ReloadConfig>,
+}
+
+/// Source of truth for [`Request::Reload`]: the work directory whose
+/// `generations.json` names the admissible store/index generations.
+#[derive(Debug, Clone)]
+pub struct ReloadConfig {
+    /// Directory holding `generations.json` and the generation
+    /// store/index files (typically the assembly work dir).
+    pub work_dir: std::path::PathBuf,
+    /// Serve a shard slice instead of the full index: `(shard,
+    /// n_shards, index config)` rebuilds this shard's postings from the
+    /// freshly loaded store — shard replicas have no per-shard index
+    /// file on disk, so a reload rebuilds its slice exactly like the
+    /// initial boot did.
+    pub shard: Option<(u32, u32, qserve::IndexConfig)>,
 }
 
 impl Default for ServerConfig {
@@ -85,6 +118,7 @@ impl Default for ServerConfig {
             admission: qserve::AdmissionConfig::default(),
             stall_ms: 50,
             auth_secret: None,
+            reload: None,
         }
     }
 }
@@ -184,39 +218,86 @@ struct ClientTotals {
     fairness_shed: u64,
 }
 
-/// The write side of one accepted connection, shared between its handler
-/// thread and [`Server::shutdown`]. All response frames go through the
-/// mutex, so "the handler delivered the answer" and "the drain
-/// force-closed the straggler with a typed frame" are mutually exclusive
-/// by construction — a client can never receive both (or neither plus a
+/// The write side of one accepted connection, shared between its read
+/// loop, its responder threads, and [`Server::shutdown`]. All response
+/// frames go through the mutex, so frames never interleave mid-write,
+/// and "the responder delivered the answer" and "the drain force-closed
+/// the straggler with a typed frame" are mutually exclusive by
+/// construction — a client can never receive both (or neither plus a
 /// silent close) for one admitted `request_id`.
 struct ConnShared {
     write: Mutex<ConnWrite>,
+    /// Responder threads spawned for admitted (pipelined) requests on
+    /// this connection, plus their scheduler task ids (model checking
+    /// only); joined when the connection's read loop ends.
+    responders: Mutex<Vec<(JoinHandle<()>, Option<faultsim::sched::TaskId>)>>,
 }
 
 struct ConnWrite {
     sock: TcpStream,
-    /// The admitted request currently awaiting its response on this
-    /// connection: `(request_id, n_reads)`. Set at admission (gate 4
-    /// passed), cleared by the response write — whichever side performs
-    /// it.
-    inflight: Option<(u64, u64)>,
-    /// Set by the drain force-close; the handler stops writing (and
-    /// reading) once its socket has been cut.
+    /// Admitted requests awaiting their responses on this connection,
+    /// `request_id → n_reads`. An entry is inserted at admission (gate 4
+    /// passed) and removed by whichever side answers: the responder's
+    /// write, or the drain's typed force-close. Pipelining means many
+    /// entries can be pending at once.
+    inflight: BTreeMap<u64, u64>,
+    /// Set by the drain force-close (or response-path chaos); the
+    /// handler stops writing (and reading) once its socket has been cut.
     closed: bool,
 }
 
 impl ConnShared {
-    /// Write one response frame, unless the connection was force-closed.
-    /// Clears the in-flight marker. Returns false when the connection is
-    /// no longer writable.
-    fn write_response(&self, frame: &[u8]) -> bool {
+    /// Write one frame that answers no admitted request (probes, sheds,
+    /// reload outcomes): in-flight markers are untouched. Returns false
+    /// when the connection is no longer writable.
+    fn write_frame(&self, frame: &[u8]) -> bool {
         let mut w = self.write.lock().unwrap_or_else(|e| e.into_inner());
-        w.inflight = None;
         if w.closed {
             return false;
         }
         w.sock.write_all(frame).is_ok() && w.sock.flush().is_ok()
+    }
+
+    /// Write the response frame for admitted request `request_id`,
+    /// clearing its in-flight marker. The write is skipped when the
+    /// drain sweep already answered this id with a typed `Draining`
+    /// (the marker is gone) or the socket was cut — exactly one frame
+    /// per admitted request ever reaches the wire.
+    fn write_response_for(&self, request_id: u64, frame: &[u8]) -> bool {
+        let mut w = self.write.lock().unwrap_or_else(|e| e.into_inner());
+        let pending = w.inflight.remove(&request_id).is_some();
+        if w.closed || !pending {
+            return false;
+        }
+        w.sock.write_all(frame).is_ok() && w.sock.flush().is_ok()
+    }
+
+    /// Cut the socket (response-path chaos or a fatal write error). The
+    /// marker for `request_id`, when given, is cleared first: the
+    /// request died with its connection and must not be misattributed
+    /// as a live drain straggler.
+    fn close(&self, request_id: Option<u64>) {
+        let mut w = self.write.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(rid) = request_id {
+            w.inflight.remove(&rid);
+        }
+        w.closed = true;
+        let _ = w.sock.shutdown(Shutdown::Both);
+    }
+
+    /// Join every responder this connection spawned. Called by the read
+    /// loop after it exits, and idempotent (joining drains the list).
+    fn join_responders(&self) {
+        let responders =
+            std::mem::take(&mut *self.responders.lock().unwrap_or_else(|e| e.into_inner()));
+        for (h, task) in responders {
+            if let Some(id) = task {
+                faultsim::sched::wait_until("qnet.resp.join", &mut || {
+                    faultsim::sched::task_finished(id)
+                });
+            }
+            let _ = h.join();
+        }
     }
 }
 
@@ -229,6 +310,8 @@ struct Inner {
     live: LiveRollup,
     faults: faultsim::Faults,
     cfg: ServerConfig,
+    /// Disk accounting for generation reloads ([`Request::Reload`]).
+    reload_io: gstream::IoStats,
     server_span: u64,
     /// Monotonic epoch for admission/drain-rate clocks and uptime.
     epoch: Instant,
@@ -328,6 +411,7 @@ impl Inner {
             .iter()
             .map(|(name, h)| LatencySummary::from_hist(name, h))
             .collect();
+        let gens = self.service.generation_stats();
         StatsSnapshot {
             version: STATS_VERSION,
             uptime_ms: self.epoch.elapsed().as_millis() as u64,
@@ -341,6 +425,9 @@ impl Inner {
             deadline_shed: sum(|c| c.deadline_shed),
             fairness_shed: sum(|c| c.fairness_shed),
             force_closed: self.force_closed.load(Ordering::SeqCst),
+            generation: gens.active,
+            reloads: gens.reloads,
+            rollbacks: gens.rollbacks,
             clients,
             latency,
         }
@@ -443,6 +530,7 @@ impl Server {
             live,
             faults,
             cfg,
+            reload_io: gstream::IoStats::new(gstream::DiskModel::ssd()),
             server_span: span.id(),
             epoch: Instant::now(),
             draining: AtomicBool::new(false),
@@ -604,12 +692,13 @@ impl Server {
                 .counter_on(self.inner.server_span, "qnet.drain.forced", 1);
         }
 
-        // Force-close every connection. A straggler (admitted request
-        // still unanswered) first gets a best-effort typed `Draining`
-        // frame for its request_id — never a silent close — and is
-        // counted under `qnet.drain.force_closed`. The write mutex makes
-        // this atomic against the handler delivering the real answer:
-        // exactly one of the two frames reaches the wire. Idle handlers
+        // Force-close every connection. Each straggler (admitted request
+        // still unanswered — a pipelined connection can hold several)
+        // first gets a best-effort typed `Draining` frame for its
+        // request_id — never a silent close — and is counted under
+        // `qnet.drain.force_closed`. The write mutex makes this atomic
+        // against a responder delivering the real answer: exactly one of
+        // the two frames reaches the wire per request. Idle handlers
         // parked in `read_frame` wake with an error immediately instead
         // of waiting out their read timeout.
         faultsim::sched::point("qnet.drain.force_close");
@@ -622,7 +711,7 @@ impl Server {
             .iter()
         {
             let mut w = conn.write.lock().unwrap_or_else(|e| e.into_inner());
-            if let Some((request_id, n_reads)) = w.inflight.take() {
+            for (request_id, n_reads) in std::mem::take(&mut w.inflight) {
                 let body = crate::proto::Response::Draining { request_id }.encode();
                 let mut frame = Vec::with_capacity(gstream::FRAME_HEADER_BYTES + body.len());
                 if gstream::write_frame(&mut frame, &body).is_ok() {
@@ -749,9 +838,10 @@ fn accept_loop(inner: Arc<Inner>, listener: TcpListener) {
         let conn = Arc::new(ConnShared {
             write: Mutex::new(ConnWrite {
                 sock: write_half,
-                inflight: None,
+                inflight: BTreeMap::new(),
                 closed: false,
             }),
+            responders: Mutex::new(Vec::new()),
         });
         inner
             .conns
@@ -845,29 +935,24 @@ fn handle_conn(
                 break;
             }
         };
-        let (resp, _inflight) = match req {
-            Request::Ping => (
-                Response::Pong {
-                    ready: !inner.is_draining(),
-                    draining: inner.is_draining(),
-                },
-                None,
-            ),
+        let resp = match req {
+            Request::Ping => Some(Response::Pong {
+                ready: !inner.is_draining(),
+                draining: inner.is_draining(),
+            }),
             // Health and telemetry probes bypass every admission gate,
             // like `Ping`: a draining or overloaded server must still
             // answer "how are you doing".
-            Request::PingV2 => (
-                Response::PongV2(PongStatus {
-                    ready: !inner.is_draining(),
-                    draining: inner.is_draining(),
-                    queue_depth: inner.service.queue_depth() as u64,
-                    drain_ewma_reads_per_s: inner.drain_ewma(),
-                }),
-                None,
-            ),
+            Request::PingV2 => Some(Response::PongV2(PongStatus {
+                ready: !inner.is_draining(),
+                draining: inner.is_draining(),
+                queue_depth: inner.service.queue_depth() as u64,
+                drain_ewma_reads_per_s: inner.drain_ewma(),
+                generation: inner.service.active_generation(),
+            })),
             Request::Stats => {
                 faultsim::sched::point("qnet.stats.snapshot");
-                (Response::Stats(inner.stats_snapshot()), None)
+                Some(Response::Stats(inner.stats_snapshot()))
             }
             Request::Shutdown => {
                 let mut g = inner
@@ -877,8 +962,15 @@ fn handle_conn(
                 *g = true;
                 inner.shutdown_cv.notify_all();
                 drop(g);
-                (Response::ShutdownAck, None)
+                Some(Response::ShutdownAck)
             }
+            // Gate-exempt like `Stats`: a saturated or draining server
+            // must still let an operator roll it to a new generation.
+            // Failure is loud and typed — never a hang, never a shed.
+            Request::Reload {
+                request_id,
+                generation,
+            } => Some(handle_reload(&inner, request_id, generation)),
             Request::AuthHello => {
                 // Deal a fresh nonce for this connection. Servers
                 // without a secret answer `0` (authed verification is
@@ -894,7 +986,7 @@ fn handle_conn(
                     auth.nonce = Some(nonce);
                     auth.last_seq = 0;
                 }
-                (Response::AuthNonce { nonce }, None)
+                Some(Response::AuthNonce { nonce })
             }
             Request::Query {
                 request_id,
@@ -903,6 +995,7 @@ fn handle_conn(
                 reads,
                 auth_seq,
                 auth_tag,
+                generation,
             } => handle_query(
                 &inner,
                 &conn,
@@ -915,7 +1008,9 @@ fn handle_conn(
                 reads,
                 auth_seq,
                 auth_tag,
+                generation,
                 &mut auth,
+                idx,
             ),
             Request::ShardQuery {
                 request_id,
@@ -924,6 +1019,7 @@ fn handle_conn(
                 reads,
                 auth_seq,
                 auth_tag,
+                generation,
             } => handle_query(
                 &inner,
                 &conn,
@@ -936,8 +1032,16 @@ fn handle_conn(
                 reads,
                 auth_seq,
                 auth_tag,
+                generation,
                 &mut auth,
+                idx,
             ),
+        };
+        // None: the query was admitted and handed to a responder thread
+        // — read the next frame immediately (pipelining). The responder
+        // answers through the same write mutex, matched by request_id.
+        let Some(resp) = resp else {
+            continue;
         };
 
         // Chaos failpoints on the response path. `qnet.conn.drop` models
@@ -960,11 +1064,11 @@ fn handle_conn(
         if inner.faults.hit(faultsim::QNET_FRAME_WRITE).is_err() {
             inner.rec.counter_on(conn_id, "qnet.frame.torn", 1);
             let torn = torn_frame(&body);
-            let mut w = conn.write.lock().unwrap_or_else(|e| e.into_inner());
-            w.inflight = None;
+            let w = conn.write.lock().unwrap_or_else(|e| e.into_inner());
             if !w.closed {
-                let _ = w.sock.write_all(&torn);
-                let _ = w.sock.flush();
+                let mut sock = &w.sock;
+                let _ = sock.write_all(&torn);
+                let _ = sock.flush();
             }
             break;
         }
@@ -972,18 +1076,91 @@ fn handle_conn(
         if gstream::write_frame(&mut frame, &body).is_err() {
             break;
         }
-        if !conn.write_response(&frame) {
+        if !conn.write_frame(&frame) {
             break;
         }
     }
 
-    // The connection is done (clean close, chaos, corrupt stream, or a
-    // failed write): mark it closed so the drain sweep does not
-    // misattribute a dead request as a live straggler.
+    // The read loop is done (clean close, chaos, corrupt stream, or a
+    // failed write). Join the responders first so every admitted
+    // request still in flight delivers (or skips) its answer through
+    // the live socket, then cut the connection so the drain sweep does
+    // not misattribute a dead request as a live straggler.
+    conn.join_responders();
     let mut w = conn.write.lock().unwrap_or_else(|e| e.into_inner());
-    w.inflight = None;
+    w.inflight.clear();
     w.closed = true;
     let _ = w.sock.shutdown(Shutdown::Both);
+}
+
+/// Answer a gate-exempt [`Request::Reload`]: hot-swap the serving
+/// generation via [`QueryService::reload_from`], with zero shed. Every
+/// failure — no configured work dir, a stalled swap (the
+/// `qnet.reload.stall` failpoint), a missing or checksum-mismatched
+/// generation — is a loud, typed [`Response::ReloadFailed`] naming the
+/// generation, and the previously active generation keeps serving
+/// untouched.
+fn handle_reload(inner: &Arc<Inner>, request_id: u64, generation: u64) -> Response {
+    inner
+        .rec
+        .counter_on(inner.server_span, "qnet.reload.requested", 1);
+    let failed = |inner: &Arc<Inner>, message: String| {
+        inner
+            .rec
+            .counter_on(inner.server_span, "qnet.reload.failed", 1);
+        Response::ReloadFailed {
+            request_id,
+            generation,
+            message,
+        }
+    };
+    let Some(rc) = inner.cfg.reload.clone() else {
+        return failed(
+            inner,
+            "reload is not configured on this server (no work dir)".to_string(),
+        );
+    };
+    // Chaos: the reload stalls mid-swap. The swap is abandoned before it
+    // starts — serving continues on the old generation — and the client
+    // gets a typed failure after the stall, never a hang.
+    if inner.faults.hit(faultsim::QNET_RELOAD_STALL).is_err() {
+        inner
+            .rec
+            .counter_on(inner.server_span, "qnet.reload.stalled", 1);
+        if faultsim::sched::active() {
+            faultsim::sched::point("qnet.reload.stall");
+        } else {
+            std::thread::sleep(Duration::from_millis(inner.cfg.stall_ms));
+        }
+        return failed(
+            inner,
+            format!(
+                "reload of generation {generation} stalled and was abandoned; \
+                 the active generation keeps serving"
+            ),
+        );
+    }
+    let target = if generation == 0 {
+        None
+    } else {
+        Some(generation)
+    };
+    match inner.service.reload_from(
+        &rc.work_dir,
+        target,
+        rc.shard,
+        &inner.reload_io,
+        &inner.faults,
+    ) {
+        Ok(id) => {
+            inner.rec.counter_on(inner.server_span, "qnet.reload.ok", 1);
+            Response::ReloadDone {
+                request_id,
+                generation: id,
+            }
+        }
+        Err(e) => failed(inner, e.to_string()),
+    }
 }
 
 /// A fresh per-connection auth nonce: wall-clock nanoseconds mixed with
@@ -1021,9 +1198,12 @@ fn torn_frame(body: &[u8]) -> Vec<u8> {
     full
 }
 
-/// Run one query through the admission gates. Returns the response and,
-/// for admitted batches, the [`InflightGuard`] the caller must hold
-/// until the response write finishes — drain waits on it.
+/// Run one query through the admission gates. A rejected query returns
+/// its typed response for the read loop to write inline; an admitted
+/// query is handed to a responder thread (pipelining — the read loop
+/// moves straight to the next frame) and returns `None`. The responder
+/// holds the [`InflightGuard`] until its response write finishes —
+/// drain waits on it.
 #[allow(clippy::too_many_arguments)]
 fn handle_query(
     inner: &Arc<Inner>,
@@ -1037,8 +1217,10 @@ fn handle_query(
     reads: Vec<genome::PackedSeq>,
     auth_seq: u64,
     auth_tag: u64,
+    generation: u64,
     auth: &mut ConnAuth,
-) -> (Response, Option<InflightGuard>) {
+    idx: u64,
+) -> Option<Response> {
     let received = Instant::now();
     let received_vms = faultsim::sched::virtual_now_ms();
     let n_reads = reads.len() as u64;
@@ -1066,7 +1248,7 @@ fn handle_query(
             inner
                 .rec
                 .counter_on(client_span, "qnet.auth_failed", n_reads);
-            (Response::AuthFailed { request_id }, None)
+            Some(Response::AuthFailed { request_id })
         };
         let Some(nonce) = auth.nonce else {
             // No handshake on this connection: nothing pins the tag to
@@ -1101,7 +1283,7 @@ fn handle_query(
     if inner.is_draining() {
         inner.rec.counter_on(client_span, "qnet.rejected", n_reads);
         inner.charge_client(client_id, |t| t.rejected += n_reads);
-        return (Response::Draining { request_id }, None);
+        return Some(Response::Draining { request_id });
     }
 
     // Gate 2: deadline. A spent budget is shed before admission and
@@ -1118,7 +1300,7 @@ fn handle_query(
             .rec
             .counter_on(client_span, "qnet.deadline_shed", n_reads);
         inner.charge_client(client_id, |t| t.deadline_shed += n_reads);
-        return (Response::DeadlineExceeded { request_id }, None);
+        return Some(Response::DeadlineExceeded { request_id });
     }
 
     // Gate 3: per-client fairness, one token per read.
@@ -1131,27 +1313,30 @@ fn handle_query(
         let adm = inner.cfg.admission;
         let deficit_reads = (wait_s * adm.refill_per_s).ceil() as u64;
         let retry_after_ms = ((wait_s * 1000.0).ceil()).clamp(10.0, 5000.0) as u32;
-        return (
-            Response::Overloaded {
-                request_id,
-                scope: ShedScope::Fairness,
-                queued: deficit_reads,
-                limit: adm.burst as u64,
-                retry_after_ms,
-            },
-            None,
-        );
+        return Some(Response::Overloaded {
+            request_id,
+            scope: ShedScope::Fairness,
+            queued: deficit_reads,
+            limit: adm.burst as u64,
+            retry_after_ms,
+        });
     }
 
     // Gate 4: shared queue depth. Both query kinds go through the same
     // service queue — shard queries obey the same backpressure, drain,
-    // and accounting as placement queries.
+    // and accounting as placement queries. The generation pin rides
+    // into admission: the batch binds to the pinned (or active)
+    // generation here and answers from it even if a reload swaps the
+    // active pointer while the batch is queued.
     faultsim::sched::point("qnet.gate.depth");
     let submitted = match kind {
-        QueryKind::Hits => inner.service.submit(reads).map(Admitted::Hits),
+        QueryKind::Hits => inner
+            .service
+            .submit_pinned(reads, generation)
+            .map(Admitted::Hits),
         QueryKind::Candidates => inner
             .service
-            .submit_candidates(reads)
+            .submit_candidates_pinned(reads, generation)
             .map(Admitted::Candidates),
     };
     match submitted {
@@ -1166,24 +1351,21 @@ fn handle_query(
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .retry_hint_ms(backlog_reads + n_reads);
-            (
-                Response::Overloaded {
-                    request_id,
-                    scope: ShedScope::Queue,
-                    queued: queued as u64,
-                    limit: max_queue as u64,
-                    retry_after_ms,
-                },
-                None,
-            )
-        }
-        Err(other) => (
-            Response::Error {
+            Some(Response::Overloaded {
                 request_id,
-                message: other.to_string(),
-            },
-            None,
-        ),
+                scope: ShedScope::Queue,
+                queued: queued as u64,
+                limit: max_queue as u64,
+                retry_after_ms,
+            })
+        }
+        // A pin naming a generation that is not resident (or any other
+        // service-side failure) is terminal for this request: the typed
+        // message names the generation, and nothing was queued.
+        Err(other) => Some(Response::Error {
+            request_id,
+            message: other.to_string(),
+        }),
         Ok(handle) => {
             // Mark the admitted request on the connection's write side
             // *before* anything else can observe it: from here on, a
@@ -1195,7 +1377,7 @@ fn handle_query(
                 if w.closed {
                     false
                 } else {
-                    w.inflight = Some((request_id, n_reads));
+                    w.inflight.insert(request_id, n_reads);
                     true
                 }
             };
@@ -1208,54 +1390,142 @@ fn handle_query(
                 // a closed connection, so the client observes EOF).
                 inner.rec.counter_on(client_span, "qnet.rejected", n_reads);
                 inner.charge_client(client_id, |t| t.rejected += n_reads);
-                return (Response::Draining { request_id }, None);
+                return Some(Response::Draining { request_id });
             }
             let guard = InflightGuard::new(inner);
-            let admitted = Instant::now();
-            let resp = match handle {
-                Admitted::Hits(h) => Response::Hits {
-                    request_id,
-                    hits: h.wait(),
-                },
-                Admitted::Candidates(h) => Response::ShardCandidates {
-                    request_id,
-                    candidates: h.wait(),
-                },
-            };
-            let done = Instant::now();
-            inner
-                .drain_rate
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .observe(inner.now_s(), inner.service.drained_reads());
-            inner.rec.counter_on(client_span, "qnet.accepted", n_reads);
-            inner.charge_client(client_id, |t| t.accepted += n_reads);
-            if inner.rec.is_enabled() {
-                // Front-end latency split, charged per read so the
-                // histograms weight big batches accordingly: queue =
-                // frame receipt → queue admission (the gates), exec =
-                // worker-pool turnaround, total = receipt → hits ready.
-                let queue_us = admitted.saturating_duration_since(received).as_micros() as u64;
-                let exec_us = done.saturating_duration_since(admitted).as_micros() as u64;
-                let total_us = done.saturating_duration_since(received).as_micros() as u64;
-                for (name, us) in [
-                    ("qnet.latency.queue", queue_us),
-                    ("qnet.latency.exec", exec_us),
-                    ("qnet.latency.total", total_us),
-                ] {
-                    let mut h = Histogram::new();
-                    h.record_n(us, n_reads);
-                    inner.rec.histogram_on(client_span, name, h);
-                }
-                inner.rec.gauge_on(
-                    inner.server_span,
-                    "qnet.drain.ewma_reads_per_s",
-                    inner.drain_ewma().round() as u64,
-                );
-            }
-            (resp, Some(guard))
+            spawn_responder(
+                inner,
+                conn,
+                conn_id,
+                client_span,
+                client_id.to_string(),
+                request_id,
+                n_reads,
+                received,
+                handle,
+                guard,
+                idx,
+            );
+            None
         }
     }
+}
+
+/// Wait out one admitted batch on a dedicated thread and deliver its
+/// response through the connection's write mutex, matched by
+/// `request_id`. This is what makes a connection pipelined: the read
+/// loop never blocks on a batch, so many can be in flight at once and
+/// answer out of order. The responder owns the [`InflightGuard`] (drain
+/// waits for the response write) and runs the same response-path chaos
+/// failpoints the inline path does.
+#[allow(clippy::too_many_arguments)]
+fn spawn_responder(
+    inner: &Arc<Inner>,
+    conn: &Arc<ConnShared>,
+    conn_id: u64,
+    client_span: u64,
+    client_id: String,
+    request_id: u64,
+    n_reads: u64,
+    received: Instant,
+    handle: Admitted,
+    guard: InflightGuard,
+    idx: u64,
+) {
+    let inner = Arc::clone(inner);
+    let conn2 = Arc::clone(conn);
+    let token = faultsim::sched::announce(&format!("qnet.conn{idx}.resp{request_id}"));
+    let task = token.as_ref().map(|t| t.id());
+    let thread = std::thread::spawn(move || {
+        let _task = faultsim::sched::begin(token);
+        let _guard = guard; // released when the response write finishes
+        let admitted = Instant::now();
+        let resp = match handle {
+            Admitted::Hits(h) => Response::Hits {
+                request_id,
+                generation: h.generation(),
+                hits: h.wait(),
+            },
+            Admitted::Candidates(h) => Response::ShardCandidates {
+                request_id,
+                generation: h.generation(),
+                candidates: h.wait(),
+            },
+        };
+        let done = Instant::now();
+        inner
+            .drain_rate
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .observe(inner.now_s(), inner.service.drained_reads());
+        inner.rec.counter_on(client_span, "qnet.accepted", n_reads);
+        inner.charge_client(&client_id, |t| t.accepted += n_reads);
+        if inner.rec.is_enabled() {
+            // Front-end latency split, charged per read so the
+            // histograms weight big batches accordingly: queue =
+            // frame receipt → queue admission (the gates), exec =
+            // worker-pool turnaround, total = receipt → hits ready.
+            let queue_us = admitted.saturating_duration_since(received).as_micros() as u64;
+            let exec_us = done.saturating_duration_since(admitted).as_micros() as u64;
+            let total_us = done.saturating_duration_since(received).as_micros() as u64;
+            for (name, us) in [
+                ("qnet.latency.queue", queue_us),
+                ("qnet.latency.exec", exec_us),
+                ("qnet.latency.total", total_us),
+            ] {
+                let mut h = Histogram::new();
+                h.record_n(us, n_reads);
+                inner.rec.histogram_on(client_span, name, h);
+            }
+            inner.rec.gauge_on(
+                inner.server_span,
+                "qnet.drain.ewma_reads_per_s",
+                inner.drain_ewma().round() as u64,
+            );
+        }
+        // Response-path chaos, mirroring the inline path: a dropped or
+        // stalled connection dies loudly and the client's retry lands
+        // on the same (read-only) answer.
+        if inner.faults.hit(faultsim::QNET_CONN_DROP).is_err() {
+            inner.rec.counter_on(conn_id, "qnet.conn.dropped", 1);
+            conn2.close(Some(request_id));
+            return;
+        }
+        if inner.faults.hit(faultsim::QNET_FRAME_STALL).is_err() {
+            inner.rec.counter_on(conn_id, "qnet.frame.stalled", 1);
+            std::thread::sleep(Duration::from_millis(inner.cfg.stall_ms));
+            conn2.close(Some(request_id));
+            return;
+        }
+        let body = resp.encode();
+        if inner.faults.hit(faultsim::QNET_FRAME_WRITE).is_err() {
+            inner.rec.counter_on(conn_id, "qnet.frame.torn", 1);
+            let torn = torn_frame(&body);
+            let mut w = conn2.write.lock().unwrap_or_else(|e| e.into_inner());
+            w.inflight.remove(&request_id);
+            if !w.closed {
+                let mut sock = &w.sock;
+                let _ = sock.write_all(&torn);
+                let _ = sock.flush();
+            }
+            w.closed = true;
+            let _ = w.sock.shutdown(Shutdown::Both);
+            return;
+        }
+        let mut frame = Vec::with_capacity(gstream::FRAME_HEADER_BYTES + body.len());
+        if gstream::write_frame(&mut frame, &body).is_err() {
+            conn2.close(Some(request_id));
+            return;
+        }
+        // A false return means the drain already answered this id with
+        // a typed `Draining`, or the connection died — either way the
+        // exactly-one-frame contract held.
+        let _ = conn2.write_response_for(request_id, &frame);
+    });
+    conn.responders
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push((thread, task));
 }
 
 #[cfg(test)]

@@ -30,6 +30,14 @@
 //!   exhausts every replica is dead-lettered ([`Router::dead_letters`],
 //!   `qrouter.shard.dead`) and surfaces as
 //!   [`RouterError::ShardUnavailable`] — typed, never a hang.
+//! * **Generations** — the router pins every fan-out to one store/index
+//!   generation (seeded from [`ClusterManifest::generation`], advanced
+//!   by [`Router::rollout`]'s replica-by-replica hot reload), and
+//!   refuses to merge candidates answered for different generations
+//!   ([`RouterError::GenerationSkew`]) — summed votes are only
+//!   meaningful over one postings build. A failed rollout rolls back
+//!   loudly ([`RouterError::RolloutFailed`]) with the pin untouched, so
+//!   the mixed-generation window never serves a blended answer.
 //!
 //! Chaos coverage lives behind the `qrouter.shard.down`,
 //! `qrouter.shard.slow`, and `qrouter.replica.flap` failpoints;
@@ -72,6 +80,32 @@ pub enum RouterError {
         /// The underlying typed error.
         source: qnet::QnetError,
     },
+    /// Two shards answered the same batch for different store/index
+    /// generations. Merging their candidates would sum votes over
+    /// different postings partitions — silently wrong answers — so the
+    /// batch fails loudly instead. Seen only in the unpinned
+    /// (`generation = 0`) mixed-rollout window; pinned batches are held
+    /// to one generation by every replica.
+    GenerationSkew {
+        /// The generation shard 0 answered for.
+        expected: u64,
+        /// The first shard that disagreed.
+        shard: u32,
+        /// The generation that shard answered for.
+        answered: u64,
+    },
+    /// A rolling reload ([`Router::rollout`]) could not land the target
+    /// generation on every replica. The router's generation pin is left
+    /// untouched — every replica (including the failures, which rolled
+    /// back) still serves the pinned generation, so queries keep
+    /// answering while the operator retries.
+    RolloutFailed {
+        /// The generation the rollout targeted (`0` = manifest active).
+        target: u64,
+        /// `(replica address, failure display)` for every replica that
+        /// refused or disagreed.
+        failed: Vec<(String, String)>,
+    },
 }
 
 impl std::fmt::Display for RouterError {
@@ -91,6 +125,26 @@ impl std::fmt::Display for RouterError {
                 peer,
                 source,
             } => write!(f, "shard {shard} at {peer}: {source}"),
+            RouterError::GenerationSkew {
+                expected,
+                shard,
+                answered,
+            } => write!(
+                f,
+                "generation skew: shard {shard} answered for generation {answered} while \
+                 shard 0 answered for {expected}; mixed-generation candidates are never merged"
+            ),
+            RouterError::RolloutFailed { target, failed } => {
+                write!(
+                    f,
+                    "rollout to generation {target} failed on {} replica(s), pin unchanged:",
+                    failed.len()
+                )?;
+                for (peer, detail) in failed {
+                    write!(f, " [{peer}: {detail}]")?;
+                }
+                Ok(())
+            }
         }
     }
 }

@@ -38,6 +38,20 @@
 //! peer. A shard that exhausts every round is recorded as a
 //! [`DeadLetter`] and surfaces as [`RouterError::ShardUnavailable`]
 //! naming the shard, so callers see a typed failure rather than a hang.
+//!
+//! # Generations
+//!
+//! Merged votes are only meaningful when every shard answered over the
+//! same postings build, so the router pins every attempt to one
+//! store/index generation ([`qnet::client::QueryClient::set_generation_pin`],
+//! seeded from [`ClusterManifest::generation`]) and checks the
+//! generation echoed with each shard's candidates. A cross-shard
+//! disagreement — possible only unpinned, mid-rollout — is
+//! [`RouterError::GenerationSkew`], never a blended merge.
+//! [`Router::rollout`] advances the cluster: replica-by-replica hot
+//! `Reload`, pin flipped only after every replica acked, old generation
+//! still resident everywhere until [`qserve`] retires it — so the swap
+//! serves zero errors and sheds nothing.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -111,11 +125,12 @@ pub struct DeadLetter {
     pub last_error: String,
 }
 
-/// One attempt's report into the hedge race.
+/// One attempt's report into the hedge race: the generation the shard
+/// answered for, tagged so the merge can refuse mixed-generation votes.
 struct Outcome {
     attempt: u32,
     peer: String,
-    result: Result<Vec<Vec<Candidate>>, QnetError>,
+    result: Result<(u64, Vec<Vec<Candidate>>), QnetError>,
 }
 
 /// Shared state between the shard task and its attempt threads. The
@@ -158,6 +173,11 @@ pub struct Router {
     health: Mutex<HashMap<String, bool>>,
     /// Distinguishes concurrent scatters in sched-mode task names.
     scatter_seq: AtomicU64,
+    /// The generation every fan-out is pinned to (`0` = each replica's
+    /// active). Seeded from the manifest; advanced by [`Router::rollout`]
+    /// only after every replica acked the new generation, so in-flight
+    /// scatters never straddle the flip.
+    pinned_gen: AtomicU64,
 }
 
 impl Router {
@@ -175,6 +195,7 @@ impl Router {
             .map(|_| Mutex::new(Histogram::new()))
             .collect();
         let pool = ClientPool::new(cfg.client.clone(), rec);
+        let pinned = manifest.generation;
         Ok(Router {
             manifest,
             shared: Arc::new(Shared {
@@ -187,12 +208,27 @@ impl Router {
             dead: Mutex::new(Vec::new()),
             health: Mutex::new(HashMap::new()),
             scatter_seq: AtomicU64::new(0),
+            pinned_gen: AtomicU64::new(pinned),
         })
     }
 
     /// The manifest this router serves.
     pub fn manifest(&self) -> &ClusterManifest {
         &self.manifest
+    }
+
+    /// The generation every fan-out is currently pinned to (`0` = each
+    /// replica's active generation).
+    pub fn pinned_generation(&self) -> u64 {
+        self.pinned_gen.load(Ordering::Relaxed)
+    }
+
+    /// Re-pin future fan-outs to `generation` directly, without a
+    /// rollout — for operators replaying a manifest flip, and for tests.
+    /// Scatters already in flight keep the pin they captured at launch.
+    pub fn pin_generation(&self, generation: u64) {
+        self.pinned_gen.store(generation, Ordering::Relaxed);
+        self.shared.rec.counter("qrouter.gen.pinned", 1);
     }
 
     /// Batches refused after exhausting every replica of a shard.
@@ -208,14 +244,26 @@ impl Router {
     /// silently *wrong* answers (missing votes flip tie-breaks), so a
     /// shard outage is a typed error, never a degraded result.
     pub fn route(&self, reads: &[PackedSeq]) -> Result<Vec<Option<Hit>>, RouterError> {
+        self.route_tagged(reads).map(|(_, hits)| hits)
+    }
+
+    /// [`route`](Self::route), also returning the generation every
+    /// shard answered for. During a rollout window this is how callers
+    /// observe which build served them; the router has already refused
+    /// to merge if any two shards disagreed.
+    pub fn route_tagged(
+        &self,
+        reads: &[PackedSeq],
+    ) -> Result<(u64, Vec<Option<Hit>>), RouterError> {
+        let pin = self.pinned_generation();
         if reads.is_empty() {
-            return Ok(Vec::new());
+            return Ok((pin, Vec::new()));
         }
         let reads = Arc::new(reads.to_vec());
         let n_shards = self.manifest.n_shards as usize;
         let seq = self.scatter_seq.fetch_add(1, Ordering::Relaxed);
-        let slots: Vec<Mutex<Option<Result<Vec<Vec<Candidate>>, RouterError>>>> =
-            (0..n_shards).map(|_| Mutex::new(None)).collect();
+        type ShardSlot = Mutex<Option<Result<(u64, Vec<Vec<Candidate>>), RouterError>>>;
+        let slots: Vec<ShardSlot> = (0..n_shards).map(|_| Mutex::new(None)).collect();
 
         std::thread::scope(|scope| {
             for (shard, slot) in slots.iter().enumerate() {
@@ -223,7 +271,7 @@ impl Router {
                 let reads = Arc::clone(&reads);
                 scope.spawn(move || {
                     let _guard = sched::begin(token);
-                    let r = self.query_shard(shard as u32, seq, &reads);
+                    let r = self.query_shard(shard as u32, seq, pin, &reads);
                     *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
                 });
             }
@@ -243,19 +291,36 @@ impl Router {
         let mut per_shard = Vec::with_capacity(n_shards);
         for slot in slots {
             match slot.into_inner().unwrap_or_else(|e| e.into_inner()) {
-                Some(Ok(c)) => per_shard.push(c),
+                Some(Ok(tagged)) => per_shard.push(tagged),
                 Some(Err(e)) => return Err(e),
                 None => unreachable!("scatter scope joined with an unfilled slot"),
             }
         }
 
+        // Refuse to merge across generations: summed votes are only
+        // meaningful over one postings build. Pinned fan-outs can't get
+        // here (every replica answers the pin or fails typed); unpinned
+        // fan-outs can, mid-rollout, when shards flip at different
+        // moments — and that window must fail loudly, not blend.
+        let expected = per_shard[0].0;
+        for (shard, (answered, _)) in per_shard.iter().enumerate() {
+            if *answered != expected {
+                self.shared.rec.counter("qrouter.gen.skew", 1);
+                return Err(RouterError::GenerationSkew {
+                    expected,
+                    shard: shard as u32,
+                    answered: *answered,
+                });
+            }
+        }
+
         let mut hits = Vec::with_capacity(reads.len());
         for i in 0..reads.len() {
-            let merged = merge_candidates(per_shard.iter().map(|s| &s[i]));
+            let merged = merge_candidates(per_shard.iter().map(|(_, s)| &s[i]));
             hits.push(select_hit(&self.shared.cfg.query, &merged));
         }
         self.shared.rec.counter("qrouter.merge", reads.len() as u64);
-        Ok(hits)
+        Ok((expected, hits))
     }
 
     /// One shard's fail-over ladder: up to `failover_rounds` rounds,
@@ -264,8 +329,9 @@ impl Router {
         &self,
         shard: u32,
         seq: u64,
+        pin: u64,
         reads: &Arc<Vec<PackedSeq>>,
-    ) -> Result<Vec<Vec<Candidate>>, RouterError> {
+    ) -> Result<(u64, Vec<Vec<Candidate>>), RouterError> {
         let shared = &self.shared;
         let ladder = self.ladder(shard);
         let mut attempts = 0u32;
@@ -278,12 +344,13 @@ impl Router {
                 shard,
                 seq,
                 round,
+                pin,
                 &primary,
                 &hedge_peer,
                 reads,
                 &mut attempts,
             ) {
-                Ok((candidates, hedge_won)) => {
+                Ok((answered, candidates, hedge_won)) => {
                     let elapsed_ms = if let Some(_now) = sched::virtual_now_ms() {
                         // Virtual time barely moves inside one round;
                         // record the wall floor so warmup still fills.
@@ -299,7 +366,7 @@ impl Router {
                     if hedge_won {
                         shared.rec.counter("qrouter.hedge.won", 1);
                     }
-                    return Ok(candidates);
+                    return Ok((answered, candidates));
                 }
                 Err(e) => {
                     if !e.is_retryable() {
@@ -342,16 +409,18 @@ impl Router {
     /// if it hasn't answered, take the first success. Loser threads are
     /// left to finish on their own — their connections are theirs alone,
     /// and their late outcomes land in a `Race` nobody reads again.
+    #[allow(clippy::too_many_arguments)]
     fn run_round(
         &self,
         shard: u32,
         seq: u64,
         round: u32,
+        pin: u64,
         primary: &str,
         hedge_peer: &str,
         reads: &Arc<Vec<PackedSeq>>,
         attempts: &mut u32,
-    ) -> Result<(Vec<Vec<Candidate>>, bool), QnetError> {
+    ) -> Result<(u64, Vec<Vec<Candidate>>, bool), QnetError> {
         let shared = &self.shared;
         let race = Arc::new(Race {
             outcomes: Mutex::new(Vec::new()),
@@ -359,7 +428,7 @@ impl Router {
         });
         let delay = self.hedge_delay_ms(shard);
 
-        spawn_attempt(shared, &race, shard, seq, round, 0, primary, reads);
+        spawn_attempt(shared, &race, shard, seq, round, 0, pin, primary, reads);
         *attempts += 1;
         let mut launched = 1u32;
 
@@ -367,7 +436,7 @@ impl Router {
         let primary_answered = self.race_wait(&race, 1, Some(delay), shard, seq, round);
         if !primary_answered {
             shared.rec.counter("qrouter.hedge.fired", 1);
-            spawn_attempt(shared, &race, shard, seq, round, 1, hedge_peer, reads);
+            spawn_attempt(shared, &race, shard, seq, round, 1, pin, hedge_peer, reads);
             *attempts += 1;
             launched = 2;
             // Phase 2: first success wins; otherwise wait for both to fail.
@@ -379,10 +448,10 @@ impl Router {
         // the primary failed first.
         if let Some(pos) = outcomes.iter().position(|o| o.result.is_ok()) {
             let won = outcomes.swap_remove(pos);
-            let Ok(candidates) = won.result else {
+            let Ok((answered, candidates)) = won.result else {
                 unreachable!()
             };
-            return Ok((candidates, won.attempt == 1));
+            return Ok((answered, candidates, won.attempt == 1));
         }
         debug_assert_eq!(outcomes.len(), launched as usize);
         let lost = outcomes.pop().expect("a finished race has outcomes");
@@ -530,6 +599,71 @@ impl Router {
             .insert(addr.to_string(), healthy);
     }
 
+    /// Roll the whole cluster to generation `target` (`0` = each work
+    /// dir's manifest-active) with zero downtime: walk every distinct
+    /// replica in manifest order, issue the `Reload` wire verb, and
+    /// flip the router's generation pin only after **every** replica
+    /// acked the same new generation. Until the flip, fan-outs stay
+    /// pinned to the old generation — which every replica still holds
+    /// resident as `previous` after its swap — so queries keep serving
+    /// bit-identical answers through the entire window.
+    ///
+    /// A replica that refuses (load failure, checksum mismatch, stalled
+    /// swap) has rolled back server-side and still serves the old
+    /// generation; it is marked unhealthy so ladders deprioritize it,
+    /// the walk continues (replicas already swapped stay swapped —
+    /// harmless, the pin hasn't moved), and the whole rollout returns
+    /// [`RouterError::RolloutFailed`] naming every refusing replica.
+    /// Retrying after the operator fixes the work dir is safe: `Reload`
+    /// is idempotent on replicas already serving the target.
+    pub fn rollout(&self, target: u64) -> Result<u64, RouterError> {
+        let shared = &self.shared;
+        shared.rec.counter("qrouter.rollout.started", 1);
+        let mut acked: Option<u64> = None;
+        let mut failed: Vec<(String, String)> = Vec::new();
+        for addr in self.manifest.all_replicas() {
+            let mut client = shared.pool.checkout(&addr);
+            match client.reload(target) {
+                Ok(active) => {
+                    shared.pool.checkin(&addr, client);
+                    shared.pool.record_outcome(&addr, true);
+                    shared.rec.counter("qrouter.rollout.replica.ok", 1);
+                    match acked {
+                        None => acked = Some(active),
+                        Some(first) if first == active => {}
+                        Some(first) => {
+                            // Same target, different resulting actives:
+                            // the work dirs disagree about what `target`
+                            // means. Flipping the pin to either id would
+                            // make some replica unable to serve it.
+                            failed.push((
+                                addr.clone(),
+                                format!(
+                                    "acked generation {active} while earlier replicas \
+                                     acked {first}: work dirs disagree"
+                                ),
+                            ));
+                        }
+                    }
+                }
+                Err(e) => {
+                    shared.pool.record_outcome(&addr, false);
+                    self.set_replica_health(&addr, false);
+                    shared.rec.counter("qrouter.rollout.replica.failed", 1);
+                    failed.push((addr, e.to_string()));
+                }
+            }
+        }
+        if !failed.is_empty() {
+            shared.rec.counter("qrouter.rollout.failed", 1);
+            return Err(RouterError::RolloutFailed { target, failed });
+        }
+        let active = acked.expect("a validated manifest has at least one replica");
+        self.pinned_gen.store(active, Ordering::Relaxed);
+        shared.rec.counter("qrouter.rollout.ok", 1);
+        Ok(active)
+    }
+
     /// Publish each shard's round-trip latency split as a
     /// `qrouter.latency.shard{N}` histogram on the recorder, feeding
     /// the live rollup's windowed view. Call after a sweep (or on a
@@ -564,6 +698,7 @@ fn spawn_attempt(
     seq: u64,
     round: u32,
     attempt: u32,
+    pin: u64,
     peer: &str,
     reads: &Arc<Vec<PackedSeq>>,
 ) {
@@ -574,7 +709,7 @@ fn spawn_attempt(
     let token = sched::announce(&format!("qrouter.s{shard}.q{seq}.r{round}.a{attempt}"));
     std::thread::spawn(move || {
         let _guard = sched::begin(token);
-        let result = run_attempt(&shared, shard, &peer, &reads);
+        let result = run_attempt(&shared, shard, pin, &peer, &reads);
         shared.pool.record_outcome(&peer, result.is_ok());
         race.push(Outcome {
             attempt,
@@ -592,9 +727,10 @@ fn spawn_attempt(
 fn run_attempt(
     shared: &Arc<Shared>,
     shard: u32,
+    pin: u64,
     peer: &str,
     reads: &Arc<Vec<PackedSeq>>,
-) -> Result<Vec<Vec<Candidate>>, QnetError> {
+) -> Result<(u64, Vec<Vec<Candidate>>), QnetError> {
     use std::io::{Error, ErrorKind};
     if shared.faults.hit(faultsim::QROUTER_SHARD_DOWN).is_err() {
         return Err(QnetError::Io(Error::new(
@@ -623,11 +759,21 @@ fn run_attempt(
         }
     }
     let mut client = shared.pool.checkout(peer);
-    let result = client.shard_query_batch(reads);
-    if result.is_ok() {
-        shared.pool.checkin(peer, client);
+    client.set_generation_pin(pin);
+    let (answered, candidates) = client.shard_query_batch_tagged(reads)?;
+    if pin != 0 && answered != pin {
+        // The wire contract says a pinned query is answered by that
+        // exact generation or refused typed; a different echo means the
+        // stream is lying about what served it — treat it like any
+        // other corrupt frame (the suspect connection drops with the
+        // client) and let the ladder try the next replica.
+        return Err(QnetError::Corrupt {
+            peer: peer.to_string(),
+            detail: format!("answered generation {answered} for a batch pinned to {pin}"),
+        });
     }
-    result
+    shared.pool.checkin(peer, client);
+    Ok((answered, candidates))
 }
 
 #[cfg(test)]
@@ -734,5 +880,61 @@ mod tests {
         assert_eq!(dead.len(), 1);
         assert_eq!(dead[0].shard, 0);
         assert_eq!(dead[0].n_reads, 1);
+    }
+
+    #[test]
+    fn generation_pin_seeds_from_the_manifest() {
+        let mut m = ClusterManifest::new(1, 1);
+        m.add_replica(0, "h:1");
+        m.generation = 3;
+        let r = Router::new(
+            m,
+            RouterConfig::default(),
+            Faults::disabled(),
+            &Recorder::disabled(),
+        )
+        .unwrap();
+        assert_eq!(r.pinned_generation(), 3);
+        r.pin_generation(5);
+        assert_eq!(r.pinned_generation(), 5);
+    }
+
+    #[test]
+    fn failed_rollout_leaves_the_pin_and_marks_replicas_unhealthy() {
+        // Nothing listens on these ports, so every Reload fails at
+        // connect. The rollout must fail typed, naming every replica,
+        // without moving the pin — queries keep going to the old
+        // generation exactly as before the attempt.
+        let mut m = ClusterManifest::new(1, 1);
+        m.add_replica(0, "127.0.0.1:1");
+        m.generation = 2;
+        let cfg = RouterConfig {
+            client: ClientConfig {
+                backoff_base_ms: 1,
+                backoff_cap_rounds: 0,
+                ..ClientConfig::default()
+            },
+            ..RouterConfig::default()
+        };
+        let r = Router::new(m, cfg, Faults::disabled(), &Recorder::disabled()).unwrap();
+        match r.rollout(9) {
+            Err(RouterError::RolloutFailed { target, failed }) => {
+                assert_eq!(target, 9);
+                assert_eq!(failed.len(), 1);
+                assert_eq!(failed[0].0, "127.0.0.1:1");
+            }
+            other => panic!("expected RolloutFailed, got {:?}", other.map(|_| ())),
+        }
+        assert_eq!(
+            r.pinned_generation(),
+            2,
+            "a failed rollout must not move the pin"
+        );
+        let health = r.health.lock().unwrap();
+        assert_eq!(
+            health.get("127.0.0.1:1"),
+            Some(&false),
+            "a refusing replica sinks in the ladder"
+        );
     }
 }

@@ -145,6 +145,13 @@ impl QueryEngine {
         &self.index
     }
 
+    /// The query knobs the engine resolves with. A hot reload builds the
+    /// replacement engine with these, so a generation swap never
+    /// silently changes ranking behaviour.
+    pub fn query_config(&self) -> QueryConfig {
+        self.cfg
+    }
+
     /// Cache hit/miss totals since the engine was built.
     pub fn cache_stats(&self) -> crate::CacheStats {
         self.cache.stats()

@@ -39,6 +39,7 @@
 pub mod admission;
 pub mod cache;
 pub mod engine;
+pub mod generations;
 pub mod minimizer;
 pub mod service;
 pub mod store;
@@ -47,8 +48,13 @@ mod wire;
 pub use admission::{AdmissionConfig, FairAdmission, FairShed};
 pub use cache::{CacheStats, PostingsCache};
 pub use engine::{merge_candidates, select_hit, Candidate, Hit, QueryConfig, QueryEngine};
+pub use generations::{
+    gen_index_file, gen_store_file, GenEntry, GenError, GenKind, GenManifest, GEN_MANIFEST_FILE,
+};
 pub use minimizer::{minimizers, shard_of_hash, IndexConfig, MinimizerIndex};
-pub use service::{BatchHandle, CandidateBatchHandle, QueryService, ServiceConfig};
+pub use service::{
+    BatchHandle, CandidateBatchHandle, GenerationStats, QueryService, ServiceConfig,
+};
 pub use store::ContigStore;
 
 /// File name of the contig store inside an assembly work directory.
@@ -72,6 +78,11 @@ pub enum QserveError {
         /// The configured queue-depth limit it would have exceeded.
         max_queue: usize,
     },
+    /// A generation operation failed: missing generation, checksum
+    /// binding mismatch, or a reload that could not load its files.
+    /// Reloads that fail this way roll back — the previously active
+    /// generation keeps serving.
+    Generation(generations::GenError),
 }
 
 impl std::fmt::Display for QserveError {
@@ -87,6 +98,7 @@ impl std::fmt::Display for QserveError {
                 "overloaded: {queued} chunks queued + {incoming} arriving \
                  exceeds the admission limit of {max_queue}"
             ),
+            QserveError::Generation(e) => write!(f, "{e}"),
         }
     }
 }

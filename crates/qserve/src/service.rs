@@ -14,13 +14,34 @@
 //! workers raced over the chunks — the determinism property the golden
 //! test pins with `--workers 1` vs `--workers 8`.
 //!
+//! ## Generations and hot reload
+//!
+//! The service holds its engines behind a generation handle rather than a
+//! single fixed engine. Every batch is bound at *admission* to one
+//! resident [`Generation`]; the chunks carry that binding, so a reload
+//! that lands mid-batch cannot change what the batch answers from — the
+//! results are bit-identical to a service that never reloaded.
+//! [`reload_from`](QueryService::reload_from) loads and validates a new
+//! generation from a work directory's `generations.json` and swaps it in
+//! with **zero shed**: admission never pauses, in-flight chunks drain
+//! against the generation they were admitted under, and a superseded
+//! generation retires only once its in-flight count reaches zero. A
+//! reload that fails to load or validate rolls back loudly (typed
+//! [`GenError`] naming the generation) and the previously active
+//! generation keeps serving. See SERVING.md, "Generations & hot reload".
+//!
 //! [`submit`]: QueryService::submit
 
 use crate::engine::{Candidate, Hit, QueryEngine};
+use crate::generations::{self, GenError, GenManifest};
+use crate::minimizer::{IndexConfig, MinimizerIndex};
+use crate::store::ContigStore;
 use crate::QserveError;
 use genome::PackedSeq;
+use gstream::IoStats;
 use obs::{Histogram, Recorder};
 use std::collections::VecDeque;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -46,6 +67,57 @@ impl Default for ServiceConfig {
             max_queue: 64,
         }
     }
+}
+
+/// One resident generation: an engine plus the number of admitted chunks
+/// not yet answered from it. The in-flight count is what gates
+/// retirement — a superseded generation leaves memory only when it
+/// reaches zero, never while a query could still touch it.
+struct Generation {
+    id: u64,
+    engine: Arc<QueryEngine>,
+    inflight: AtomicU64,
+}
+
+/// The resident generations and the bookkeeping a reload mutates.
+///
+/// `active` answers unpinned batches. `previous` is the generation
+/// `active` displaced; it stays queryable because a cluster mid-rollout
+/// has routers pinning requests to it (the mixed-generation window).
+/// A second reload pushes the old `previous` onto `draining`, where it
+/// only waits for its in-flight chunks before retiring — pinned
+/// admissions to a draining generation are refused with
+/// [`GenError::MissingGeneration`].
+struct GenState {
+    active: Arc<Generation>,
+    previous: Option<Arc<Generation>>,
+    draining: Vec<Arc<Generation>>,
+    /// Ids retired so far, oldest first (observability + test probes).
+    retired: Vec<u64>,
+    /// Successful reloads since start.
+    reloads: u64,
+    /// Reloads that failed and rolled back since start.
+    rollbacks: u64,
+}
+
+/// A point-in-time view of the generation state, for stats snapshots
+/// and the model-checked reload scenario's invariant probes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenerationStats {
+    /// Generation unpinned batches are admitted under right now.
+    pub active: u64,
+    /// The displaced-but-still-queryable generation, if any.
+    pub previous: Option<u64>,
+    /// `(generation id, chunks in flight)` for every resident
+    /// generation — active, previous, and draining.
+    pub inflight: Vec<(u64, u64)>,
+    /// Successful reloads since the service started.
+    pub reloads: u64,
+    /// Failed-and-rolled-back reloads since the service started.
+    pub rollbacks: u64,
+    /// Generations fully retired (their in-flight count reached zero
+    /// after being superseded twice), oldest first.
+    pub retired: Vec<u64>,
 }
 
 /// What a batch's workers compute per read: the selected placement
@@ -82,6 +154,7 @@ struct BatchInner {
 /// order.
 pub struct BatchHandle {
     state: Arc<BatchState>,
+    gen_id: u64,
 }
 
 impl BatchHandle {
@@ -93,6 +166,13 @@ impl BatchHandle {
             BatchResults::Candidates(_) => unreachable!("hit batch holds hit results"),
         }
     }
+
+    /// The generation this batch was admitted under — every read in the
+    /// batch answers from it, even if a reload lands before the batch
+    /// drains.
+    pub fn generation(&self) -> u64 {
+        self.gen_id
+    }
 }
 
 /// A ticket for a batch submitted in candidate mode via
@@ -101,6 +181,7 @@ impl BatchHandle {
 /// resolved and yields each read's full voted-candidate set.
 pub struct CandidateBatchHandle {
     state: Arc<BatchState>,
+    gen_id: u64,
 }
 
 impl CandidateBatchHandle {
@@ -111,6 +192,11 @@ impl CandidateBatchHandle {
             BatchResults::Candidates(c) => c,
             BatchResults::Hits(_) => unreachable!("candidate batch holds candidate results"),
         }
+    }
+
+    /// The generation this batch was admitted under.
+    pub fn generation(&self) -> u64 {
+        self.gen_id
     }
 }
 
@@ -145,6 +231,9 @@ struct Chunk {
     /// What the workers compute for this chunk's reads; always matches
     /// the variant of the batch's result storage.
     mode: BatchMode,
+    /// The generation the chunk was admitted under; the worker resolves
+    /// against *this* engine, never "whatever is active now".
+    gen: Arc<Generation>,
     /// When the chunk was admitted — the start of its queue-wait, which
     /// workers fold into the `qserve.latency.queue` histogram.
     enqueued: Instant,
@@ -158,7 +247,7 @@ struct Queue {
 struct Shared {
     queue: Mutex<Queue>,
     available: Condvar,
-    engine: Arc<QueryEngine>,
+    gens: Mutex<GenState>,
     rec: Recorder,
     /// Span the workers parent themselves under (0 = no parent).
     parent_span: u64,
@@ -171,6 +260,31 @@ struct Shared {
 impl Shared {
     fn lock_queue(&self) -> std::sync::MutexGuard<'_, Queue> {
         self.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Lock order: `gens` before `queue` (submission takes both); never
+    /// the reverse.
+    fn lock_gens(&self) -> std::sync::MutexGuard<'_, GenState> {
+        self.gens.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Retire every draining generation whose in-flight count reached
+    /// zero. Called after each chunk completes and after each swap; the
+    /// `inflight == 0` check *is* the retire gate, so the invariant the
+    /// reload scenario model-checks — no generation retires with work
+    /// outstanding — holds by construction.
+    fn scavenge(&self) {
+        let mut gens = self.lock_gens();
+        let mut i = 0;
+        while i < gens.draining.len() {
+            if gens.draining[i].inflight.load(Ordering::SeqCst) == 0 {
+                let gone = gens.draining.remove(i);
+                gens.retired.push(gone.id);
+                self.rec.counter("qserve.gen.retired", 1);
+            } else {
+                i += 1;
+            }
+        }
     }
 }
 
@@ -190,14 +304,43 @@ pub struct QueryService {
 impl QueryService {
     /// Spawn the worker pool. Workers trace under `qserve.worker{i}`
     /// child spans of the recorder's current span at start time.
+    ///
+    /// The engine becomes generation 0 — the "ungenerationed" id a
+    /// service carries until its first successful
+    /// [`reload_from`](Self::reload_from). Services loaded from a
+    /// generation manifest should use
+    /// [`start_with_generation`](Self::start_with_generation) so stats
+    /// and wire responses report the real id.
     pub fn start(engine: QueryEngine, cfg: ServiceConfig, rec: &Recorder) -> QueryService {
+        Self::start_with_generation(engine, 0, cfg, rec)
+    }
+
+    /// [`start`](Self::start), with the engine registered as generation
+    /// `gen_id` (its id in the work directory's `generations.json`).
+    pub fn start_with_generation(
+        engine: QueryEngine,
+        gen_id: u64,
+        cfg: ServiceConfig,
+        rec: &Recorder,
+    ) -> QueryService {
         let shared = Arc::new(Shared {
             queue: Mutex::new(Queue {
                 chunks: VecDeque::new(),
                 shutdown: false,
             }),
             available: Condvar::new(),
-            engine: Arc::new(engine),
+            gens: Mutex::new(GenState {
+                active: Arc::new(Generation {
+                    id: gen_id,
+                    engine: Arc::new(engine),
+                    inflight: AtomicU64::new(0),
+                }),
+                previous: None,
+                draining: Vec::new(),
+                retired: Vec::new(),
+                reloads: 0,
+                rollbacks: 0,
+            }),
             rec: rec.clone(),
             parent_span: rec.current(),
             drained: AtomicU64::new(0),
@@ -228,9 +371,36 @@ impl QueryService {
         }
     }
 
-    /// The engine the workers resolve against.
-    pub fn engine(&self) -> &QueryEngine {
-        &self.shared.engine
+    /// The engine unpinned submissions currently resolve against (the
+    /// active generation's).
+    pub fn engine(&self) -> Arc<QueryEngine> {
+        Arc::clone(&self.shared.lock_gens().active.engine)
+    }
+
+    /// The active generation's id.
+    pub fn active_generation(&self) -> u64 {
+        self.shared.lock_gens().active.id
+    }
+
+    /// Snapshot the generation state: resident generations with their
+    /// in-flight chunk counts, plus the reload/rollback/retire tallies.
+    pub fn generation_stats(&self) -> GenerationStats {
+        let gens = self.shared.lock_gens();
+        let mut inflight = vec![(gens.active.id, gens.active.inflight.load(Ordering::SeqCst))];
+        if let Some(prev) = &gens.previous {
+            inflight.push((prev.id, prev.inflight.load(Ordering::SeqCst)));
+        }
+        for g in &gens.draining {
+            inflight.push((g.id, g.inflight.load(Ordering::SeqCst)));
+        }
+        GenerationStats {
+            active: gens.active.id,
+            previous: gens.previous.as_ref().map(|g| g.id),
+            inflight,
+            reloads: gens.reloads,
+            rollbacks: gens.rollbacks,
+            retired: gens.retired.clone(),
+        }
     }
 
     /// The configuration the pool was started with.
@@ -250,10 +420,20 @@ impl QueryService {
     }
 
     /// Submit a batch. Returns a [`BatchHandle`] on admission, or
-    /// [`QserveError::Overloaded`] if the queue cannot absorb it.
+    /// [`QserveError::Overloaded`] if the queue cannot absorb it. The
+    /// batch binds to the active generation at admission.
     pub fn submit(&self, reads: Vec<PackedSeq>) -> crate::Result<BatchHandle> {
-        let state = self.submit_inner(reads, BatchMode::Hits)?;
-        Ok(BatchHandle { state })
+        self.submit_pinned(reads, 0)
+    }
+
+    /// [`submit`](Self::submit), pinned: `pin == 0` means "the active
+    /// generation, whatever it is"; any other value demands that exact
+    /// generation and fails with [`GenError::MissingGeneration`] if it
+    /// is not resident and queryable (active or previous). Routers use
+    /// the pin to keep a mixed-generation rollout window coherent.
+    pub fn submit_pinned(&self, reads: Vec<PackedSeq>, pin: u64) -> crate::Result<BatchHandle> {
+        let (state, gen_id) = self.submit_inner(reads, BatchMode::Hits, pin)?;
+        Ok(BatchHandle { state, gen_id })
     }
 
     /// Submit a batch in candidate mode: workers report every voted
@@ -262,15 +442,40 @@ impl QueryService {
     /// identical to [`submit`](Self::submit), so shard queries obey the
     /// same backpressure as placement queries.
     pub fn submit_candidates(&self, reads: Vec<PackedSeq>) -> crate::Result<CandidateBatchHandle> {
-        let state = self.submit_inner(reads, BatchMode::Candidates)?;
-        Ok(CandidateBatchHandle { state })
+        self.submit_candidates_pinned(reads, 0)
+    }
+
+    /// [`submit_candidates`](Self::submit_candidates) with a generation
+    /// pin (same semantics as [`submit_pinned`](Self::submit_pinned)).
+    pub fn submit_candidates_pinned(
+        &self,
+        reads: Vec<PackedSeq>,
+        pin: u64,
+    ) -> crate::Result<CandidateBatchHandle> {
+        let (state, gen_id) = self.submit_inner(reads, BatchMode::Candidates, pin)?;
+        Ok(CandidateBatchHandle { state, gen_id })
+    }
+
+    /// Resolve `pin` to a queryable resident generation. Draining and
+    /// retired generations are not queryable: a pin outlives its
+    /// generation only if the operator rolled forward twice without the
+    /// client re-pinning, and that deserves a loud typed error.
+    fn resolve_pin(gens: &GenState, pin: u64) -> crate::Result<Arc<Generation>> {
+        if pin == 0 || pin == gens.active.id {
+            return Ok(Arc::clone(&gens.active));
+        }
+        match &gens.previous {
+            Some(prev) if prev.id == pin => Ok(Arc::clone(prev)),
+            _ => Err(GenError::MissingGeneration { requested: pin }.into()),
+        }
     }
 
     fn submit_inner(
         &self,
         reads: Vec<PackedSeq>,
         mode: BatchMode,
-    ) -> crate::Result<Arc<BatchState>> {
+        pin: u64,
+    ) -> crate::Result<(Arc<BatchState>, u64)> {
         let results = match mode {
             BatchMode::Hits => BatchResults::Hits(vec![None; reads.len()]),
             BatchMode::Candidates => BatchResults::Candidates(vec![Vec::new(); reads.len()]),
@@ -282,8 +487,13 @@ impl QueryService {
             }),
             done: Condvar::new(),
         });
+        // Resolve the pin under the gens lock, then admit under the
+        // queue lock (gens-before-queue is the crate's lock order). The
+        // in-flight bump happens only after admission succeeds, so a
+        // shed batch leaves no generation accounting behind.
+        let gen = Self::resolve_pin(&self.shared.lock_gens(), pin)?;
         if reads.is_empty() {
-            return Ok(state);
+            return Ok((state, gen.id));
         }
         let chunk_size = self.cfg.batch_chunk.max(1);
         let n_chunks = reads.len().div_ceil(chunk_size);
@@ -305,6 +515,7 @@ impl QueryService {
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .pending = n_chunks;
+            gen.inflight.fetch_add(n_chunks as u64, Ordering::SeqCst);
             let enqueued = Instant::now();
             let mut reads = reads;
             let mut start = 0usize;
@@ -316,6 +527,7 @@ impl QueryService {
                     start,
                     reads,
                     mode,
+                    gen: Arc::clone(&gen),
                     enqueued,
                 });
                 start += len;
@@ -326,7 +538,7 @@ impl QueryService {
                 .gauge("qserve.queue.depth", q.chunks.len() as u64);
         }
         self.shared.available.notify_all();
-        Ok(state)
+        Ok((state, gen.id))
     }
 
     /// Submit and wait — the synchronous convenience path.
@@ -340,6 +552,125 @@ impl QueryService {
         reads: Vec<PackedSeq>,
     ) -> crate::Result<Vec<Vec<Candidate>>> {
         Ok(self.submit_candidates(reads)?.wait())
+    }
+
+    /// Hot-reload a generation from `dir`'s `generations.json` and swap
+    /// it in with zero shed: admission never pauses, in-flight batches
+    /// keep answering from the generation they were admitted under, and
+    /// the displaced generation stays queryable (pinned) until a later
+    /// reload pushes it into draining.
+    ///
+    /// `target` selects a generation id; `None` follows the manifest's
+    /// `active` pointer. `shard` rebuilds the shard slice of the index
+    /// from the loaded store (`(shard, n_shards, index config)`) instead
+    /// of opening the full on-disk index — the shard-replica path, which
+    /// has no per-shard index file.
+    ///
+    /// On any failure the swap does not happen: the typed [`GenError`]
+    /// names the generation, `qserve.gen.rollbacks` ticks, and the
+    /// previously active generation keeps serving untouched. Returns the
+    /// admitted generation id on success (a no-op if it already is
+    /// active). Failpoints: `qserve.gen.load` fails the load,
+    /// `qserve.gen.validate` fails the checksum binding.
+    pub fn reload_from(
+        &self,
+        dir: &Path,
+        target: Option<u64>,
+        shard: Option<(u32, u32, IndexConfig)>,
+        io: &IoStats,
+        faults: &faultsim::Faults,
+    ) -> std::result::Result<u64, GenError> {
+        let outcome = self.reload_inner(dir, target, shard, io, faults);
+        let mut gens = self.shared.lock_gens();
+        match &outcome {
+            Ok(id) => {
+                self.shared.rec.gauge("qserve.gen.active", *id);
+            }
+            Err(_) => {
+                gens.rollbacks += 1;
+                self.shared.rec.counter("qserve.gen.rollbacks", 1);
+            }
+        }
+        drop(gens);
+        outcome
+    }
+
+    fn reload_inner(
+        &self,
+        dir: &Path,
+        target: Option<u64>,
+        shard: Option<(u32, u32, IndexConfig)>,
+        io: &IoStats,
+        faults: &faultsim::Faults,
+    ) -> std::result::Result<u64, GenError> {
+        let manifest = GenManifest::load(dir, io)?;
+        let id = target.unwrap_or(manifest.active);
+        let entry = manifest
+            .entry(id)
+            .ok_or(GenError::MissingGeneration { requested: id })?
+            .clone();
+        if self.shared.lock_gens().active.id == id {
+            return Ok(id); // Already serving it; a retried Reload is idempotent.
+        }
+        faultsim::sched::point("qserve.gen.load");
+        if let Err(e) = faults.hit(faultsim::QSERVE_GEN_LOAD) {
+            return Err(GenError::Load {
+                generation: id,
+                detail: e.to_string(),
+            });
+        }
+        let (store_path, index_path) = generations::resolve_files(dir, &entry);
+        let load_err = |e: gstream::StreamError| GenError::Load {
+            generation: id,
+            detail: e.to_string(),
+        };
+        let store = ContigStore::open(&store_path, io).map_err(load_err)?;
+        let index = match shard {
+            Some((s, n_shards, icfg)) => MinimizerIndex::build_shard(&store, &icfg, s, n_shards),
+            None => MinimizerIndex::open(&index_path, io).map_err(load_err)?,
+        };
+        generations::validate_binding(&entry, &store, &index, faults)?;
+        // The engine's own constructor re-verifies the store/index
+        // binding; reuse the active engine's query knobs so a reload
+        // never silently changes ranking behaviour.
+        let query_cfg = self.engine().query_config();
+        let engine = QueryEngine::new(store, index, query_cfg).map_err(|e| GenError::Load {
+            generation: id,
+            detail: e.to_string(),
+        })?;
+        faultsim::sched::point("qserve.gen.swap");
+        {
+            let mut gens = self.shared.lock_gens();
+            let displaced = std::mem::replace(
+                &mut gens.active,
+                Arc::new(Generation {
+                    id,
+                    engine: Arc::new(engine),
+                    inflight: AtomicU64::new(0),
+                }),
+            );
+            if let Some(old_prev) = gens.previous.replace(displaced) {
+                gens.draining.push(old_prev);
+            }
+            gens.reloads += 1;
+            self.shared.rec.counter("qserve.gen.reloads", 1);
+        }
+        self.shared.scavenge();
+        Ok(id)
+    }
+
+    /// Force the previous generation into draining (it stops being
+    /// queryable) and retire everything idle. Operators call this once a
+    /// rollout has converged and no router still pins the old id; tests
+    /// use it to assert the retire gate.
+    pub fn retire_previous(&self) {
+        {
+            let mut gens = self.shared.lock_gens();
+            if let Some(prev) = gens.previous.take() {
+                gens.draining.push(prev);
+            }
+        }
+        self.shared.scavenge();
     }
 }
 
@@ -420,10 +751,10 @@ fn worker_loop(shared: &Shared, idx: usize) {
             let begun = Instant::now();
             match chunk.mode {
                 BatchMode::Hits => {
-                    hit_answers.push(shared.engine.query_traced(read, &shared.rec, span.id()));
+                    hit_answers.push(chunk.gen.engine.query_traced(read, &shared.rec, span.id()));
                 }
                 BatchMode::Candidates => {
-                    cand_answers.push(shared.engine.query_candidates(read));
+                    cand_answers.push(chunk.gen.engine.query_candidates(read));
                 }
             }
             if traced {
@@ -446,13 +777,20 @@ fn worker_loop(shared: &Shared, idx: usize) {
             shared.rec.gauge_on(
                 sid,
                 "qserve.cache.bytes",
-                shared.engine.cache_resident_bytes(),
+                chunk.gen.engine.cache_resident_bytes(),
             );
         }
         faultsim::sched::point("qserve.worker.respond");
         shared
             .drained
             .fetch_add(chunk.reads.len() as u64, Ordering::Relaxed);
+        // Un-count the chunk from its generation *before* the batch is
+        // marked done, so once a waiter observes completion the
+        // generation's in-flight count already reflects it; retire (via
+        // scavenge) can only fire at zero.
+        if chunk.gen.inflight.fetch_sub(1, Ordering::SeqCst) == 1 {
+            shared.scavenge();
+        }
         let mut inner = chunk.state.inner.lock().unwrap_or_else(|e| e.into_inner());
         match &mut inner.results {
             BatchResults::Hits(slots) => {
@@ -656,6 +994,240 @@ mod tests {
         let rec = Recorder::disabled();
         let svc = QueryService::start(engine(), ServiceConfig::default(), &rec);
         assert!(svc.query_batch(Vec::new()).unwrap().is_empty());
+    }
+
+    /// Export `contigs` as generation `id` into `dir`, appending to (or
+    /// creating) the generation manifest and activating the new entry.
+    fn export_generation(dir: &Path, id: u64, contigs: &[&str]) -> u64 {
+        let io = IoStats::new(gstream::DiskModel::ssd());
+        let seqs: Vec<PackedSeq> = contigs.iter().map(|c| c.parse().unwrap()).collect();
+        let store_name = generations::gen_store_file(id);
+        let index_name = generations::gen_index_file(id);
+        ContigStore::write(&dir.join(&store_name), &seqs, &io).unwrap();
+        let store = ContigStore::open(&dir.join(&store_name), &io).unwrap();
+        let index = MinimizerIndex::build(
+            &store,
+            &IndexConfig {
+                k: 9,
+                w: 5,
+                threads: 1,
+            },
+        );
+        index.write(&dir.join(&index_name), &io).unwrap();
+        let mut manifest = if GenManifest::exists(dir) {
+            GenManifest::load(dir, &io).unwrap()
+        } else {
+            GenManifest {
+                version: crate::generations::GEN_MANIFEST_VERSION,
+                active: id,
+                generations: Vec::new(),
+            }
+        };
+        let checksum = store.checksum();
+        manifest.admit(crate::GenEntry {
+            id,
+            store: store_name,
+            index: index_name,
+            store_checksum: checksum,
+            reads: seqs.len() as u64,
+            read_len: 30,
+            kind: if id == 1 {
+                crate::GenKind::Full
+            } else {
+                crate::GenKind::Delta
+            },
+            parent: if id == 1 { None } else { Some(id - 1) },
+        });
+        manifest.store(dir, &io).unwrap();
+        checksum
+    }
+
+    const REF2: &str = "TTGACCATGGACCAGTTACACGGTTAACCGGTTAACCATGCAGGACTTCAGATCCATTGG\
+                        ACGTACGGTTCAGATTACAGGCATCGGATGCATTCAGGACCTTAGGACCATTGACCATGG";
+
+    #[test]
+    fn reload_swaps_generations_and_batches_answer_from_their_admitted_generation() {
+        let dir = tempfile::tempdir().unwrap();
+        let io = IoStats::new(gstream::DiskModel::ssd());
+        export_generation(dir.path(), 1, &[REF]);
+        let svc = QueryService::start_with_generation(
+            engine(),
+            1,
+            ServiceConfig::default(),
+            &rec_disabled(),
+        );
+        assert_eq!(svc.active_generation(), 1);
+
+        let queries = reads(50);
+        let before = svc.query_batch(queries.clone()).unwrap();
+
+        export_generation(dir.path(), 2, &[REF2]);
+        let admitted = svc
+            .reload_from(dir.path(), None, None, &io, &faultsim::Faults::disabled())
+            .unwrap();
+        assert_eq!(admitted, 2);
+        assert_eq!(svc.active_generation(), 2);
+
+        // Unpinned batches now answer from generation 2; batches pinned
+        // to 1 answer bit-identically to the pre-reload service.
+        let unpinned = svc.submit(queries.clone()).unwrap();
+        assert_eq!(unpinned.generation(), 2);
+        let pinned = svc.submit_pinned(queries.clone(), 1).unwrap();
+        assert_eq!(pinned.generation(), 1);
+        assert_eq!(pinned.wait(), before);
+
+        // A pin to a generation that is not resident is a typed error.
+        match svc.submit_pinned(queries.clone(), 7) {
+            Err(QserveError::Generation(GenError::MissingGeneration { requested: 7 })) => {}
+            other => panic!("expected MissingGeneration, got {:?}", other.map(|_| ())),
+        }
+
+        let stats = svc.generation_stats();
+        assert_eq!(stats.active, 2);
+        assert_eq!(stats.previous, Some(1));
+        assert_eq!(stats.reloads, 1);
+        assert_eq!(stats.rollbacks, 0);
+
+        // Reloading to the already-active generation is an idempotent
+        // no-op, not a swap.
+        let again = svc
+            .reload_from(
+                dir.path(),
+                Some(2),
+                None,
+                &io,
+                &faultsim::Faults::disabled(),
+            )
+            .unwrap();
+        assert_eq!(again, 2);
+        assert_eq!(svc.generation_stats().reloads, 1);
+        unpinned.wait();
+    }
+
+    #[test]
+    fn failed_reload_rolls_back_loudly_and_names_the_generation() {
+        let dir = tempfile::tempdir().unwrap();
+        let io = IoStats::new(gstream::DiskModel::ssd());
+        export_generation(dir.path(), 1, &[REF]);
+        export_generation(dir.path(), 2, &[REF2]);
+        let svc = QueryService::start_with_generation(
+            engine(),
+            1,
+            ServiceConfig::default(),
+            &rec_disabled(),
+        );
+
+        // Injected load failure: typed, names the generation, no swap.
+        let faults = faultsim::Faults::from_plan(
+            &faultsim::FaultPlan::new().fail_at(faultsim::QSERVE_GEN_LOAD, 1),
+        );
+        let err = svc
+            .reload_from(dir.path(), Some(2), None, &io, &faults)
+            .unwrap_err();
+        match &err {
+            GenError::Load { generation: 2, .. } => {}
+            other => panic!("expected Load for generation 2, got {other:?}"),
+        }
+        assert!(err.to_string().contains("generation 2"));
+        assert_eq!(
+            svc.active_generation(),
+            1,
+            "rollback keeps the old generation"
+        );
+
+        // Injected validate failure: checksum mismatch, still no swap.
+        let faults = faultsim::Faults::from_plan(
+            &faultsim::FaultPlan::new().fail_at(faultsim::QSERVE_GEN_VALIDATE, 1),
+        );
+        let err = svc
+            .reload_from(dir.path(), Some(2), None, &io, &faults)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            GenError::ChecksumMismatch {
+                generation: 2,
+                artifact: "store",
+                ..
+            }
+        ));
+        assert_eq!(svc.active_generation(), 1);
+        let stats = svc.generation_stats();
+        assert_eq!(stats.rollbacks, 2);
+        assert_eq!(stats.reloads, 0);
+
+        // The service still answers, from the untouched generation.
+        assert_eq!(svc.query_batch(reads(10)).unwrap().len(), 10);
+
+        // And once the faults clear, the same reload goes through.
+        let id = svc
+            .reload_from(
+                dir.path(),
+                Some(2),
+                None,
+                &io,
+                &faultsim::Faults::disabled(),
+            )
+            .unwrap();
+        assert_eq!(id, 2);
+    }
+
+    #[test]
+    fn superseded_generations_retire_only_when_idle() {
+        let dir = tempfile::tempdir().unwrap();
+        let io = IoStats::new(gstream::DiskModel::ssd());
+        export_generation(dir.path(), 1, &[REF]);
+        let svc = QueryService::start_with_generation(
+            engine(),
+            1,
+            ServiceConfig::default(),
+            &rec_disabled(),
+        );
+        svc.query_batch(reads(10)).unwrap();
+
+        export_generation(dir.path(), 2, &[REF2]);
+        svc.reload_from(
+            dir.path(),
+            Some(2),
+            None,
+            &io,
+            &faultsim::Faults::disabled(),
+        )
+        .unwrap();
+        export_generation(dir.path(), 3, &[REF]);
+        svc.reload_from(
+            dir.path(),
+            Some(3),
+            None,
+            &io,
+            &faultsim::Faults::disabled(),
+        )
+        .unwrap();
+
+        // Generation 1 was superseded twice with nothing in flight, so
+        // the second swap's scavenge retired it at inflight == 0.
+        let stats = svc.generation_stats();
+        assert_eq!(stats.active, 3);
+        assert_eq!(stats.previous, Some(2));
+        assert_eq!(stats.retired, vec![1]);
+        assert!(stats.inflight.iter().all(|&(_, n)| n == 0));
+
+        // Pinning to the retired generation is refused.
+        assert!(matches!(
+            svc.submit_pinned(reads(1), 1),
+            Err(QserveError::Generation(GenError::MissingGeneration {
+                requested: 1
+            }))
+        ));
+
+        // retire_previous drains the mixed-generation window explicitly.
+        svc.retire_previous();
+        let stats = svc.generation_stats();
+        assert_eq!(stats.previous, None);
+        assert_eq!(stats.retired, vec![1, 2]);
+    }
+
+    fn rec_disabled() -> Recorder {
+        Recorder::disabled()
     }
 
     #[test]

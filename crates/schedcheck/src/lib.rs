@@ -36,18 +36,30 @@
 //! (`offered == merged + typed-failed`) and that the hedge race never
 //! double-counts a batch.
 //!
+//! A third scenario ([`reload_scenario`]) races a live generation hot
+//! reload (the wire `Reload` verb swapping a real on-disk generation
+//! store) against in-flight query batches, checking the zero-downtime
+//! contract: no batch is ever shed or corrupted by the swap, every
+//! answer byte-matches exactly the generation it is tagged with, and
+//! per client the answering generation never regresses.
+//!
 //! Schedule executions are process-wide exclusive (the scheduler
 //! installs globally), serialized behind [`sched_lock`].
 
 pub mod dfs;
 pub mod invariants;
 pub mod pct;
+pub mod reload_scenario;
 pub mod router_scenario;
 pub mod scenario;
 pub mod trace;
 
 pub use dfs::{explore_dfs, DfsConfig};
 pub use pct::{explore_pct, PctConfig};
+pub use reload_scenario::{
+    run_reload_schedule, ReloadBatchOutcome, ReloadCallOutcome, ReloadOutcomeKind, ReloadRunResult,
+    ReloadScenarioConfig,
+};
 pub use router_scenario::{
     run_router_schedule, RouterBatchOutcome, RouterOutcomeKind, RouterRunResult,
     RouterScenarioConfig,

@@ -176,6 +176,7 @@ fn start_shard_server(
             },
             stall_ms: 0,
             auth_secret: None,
+            reload: None,
         },
         rec,
         faultsim::Faults::disabled(),

@@ -327,6 +327,7 @@ fn run_batch(
         reads: reads.to_vec(),
         auth_seq,
         auth_tag,
+        generation: 0,
     }
     .encode();
     let mut frame = Vec::with_capacity(gstream::FRAME_HEADER_BYTES + body.len());
@@ -358,6 +359,7 @@ fn run_batch(
     match resp {
         Response::Hits {
             request_id: rid,
+            generation: _,
             hits,
         } => {
             if !check_id(rid) {
@@ -621,6 +623,7 @@ pub fn run_schedule(
             },
             stall_ms: 0,
             auth_secret: cfg.server_secret(),
+            reload: None,
         },
         &rec,
         faultsim::Faults::disabled(),

@@ -60,8 +60,10 @@
 //! in-process (`--work`) or over TCP against a `serve` process
 //! (`--connect`). `serve` binds the hardened network front-end (qnet) on
 //! the indexed store and prints `listening HOST:PORT` once ready;
-//! `shutdown` asks a serve process to drain gracefully. See SERVING.md
-//! for formats, semantics, and tuning.
+//! `generations` lists a work dir's store/index generations, `reload`
+//! hot-swaps a live serve process to one without dropping a connection
+//! or a query, and `shutdown` asks a serve process to drain gracefully.
+//! See SERVING.md for formats, semantics, and tuning.
 
 use lasagna_repro::genome::fastq::{read_fasta, read_fastq, write_fasta, write_fastq};
 use lasagna_repro::genome::sim::is_substring_either_strand;
@@ -88,6 +90,8 @@ fn main() {
         "query" => query(&opts),
         "serve" => serve(&opts),
         "serve-cluster" => serve_cluster(&opts),
+        "generations" => generations(&opts),
+        "reload" => reload(&opts),
         "shutdown" => shutdown(&opts),
         "--help" | "-h" | "help" => usage(),
         other => {
@@ -129,6 +133,8 @@ fn usage() -> ! {
          lasagna serve-cluster --work DIR --shards N [--replicas R] [--manifest FILE] \
          [--workers 2] [--cache-mb 32] [--max-mismatches 2] [--max-queue 64] \
          [--k 15] [--w 8] [--auth-secret S]\n  \
+         lasagna generations --work DIR\n  \
+         lasagna reload --connect HOST:PORT [--generation N]\n  \
          lasagna shutdown --connect HOST:PORT\n\
          \nassemble resumes from --work's manifest.json when --resume yes; \
          assemble-distributed resumes from --work's superstep.log plus the \
@@ -783,6 +789,10 @@ fn snapshot_tsv(s: &lasagna_repro::qnet::StatsSnapshot) -> String {
     let _ = writeln!(out, "rejected\t{}", s.rejected);
     let _ = writeln!(out, "deadline_shed\t{}", s.deadline_shed);
     let _ = writeln!(out, "fairness_shed\t{}", s.fairness_shed);
+    let _ = writeln!(out, "force_closed\t{}", s.force_closed);
+    let _ = writeln!(out, "generation\t{}", s.generation);
+    let _ = writeln!(out, "reloads\t{}", s.reloads);
+    let _ = writeln!(out, "rollbacks\t{}", s.rollbacks);
     for c in &s.clients {
         let _ = writeln!(
             out,
@@ -831,6 +841,10 @@ fn top(opts: &HashMap<String, String>) {
         println!(
             "gates: {} accepted, {} rejected, {} deadline-shed, {} fairness-shed",
             snap.accepted, snap.rejected, snap.deadline_shed, snap.fairness_shed
+        );
+        println!(
+            "generation {}   reloads {}   rollbacks {}",
+            snap.generation, snap.reloads, snap.rollbacks
         );
         if !snap.latency.is_empty() {
             println!(
@@ -1356,6 +1370,72 @@ fn serve_cluster(opts: &HashMap<String, String>) {
     );
 }
 
+/// List a work directory's store/index generations: id, kind
+/// (full/delta), parent, size, checksum, and which one is active. The
+/// active generation is what `serve` boots (and what `reload
+/// --generation 0` targets).
+fn generations(opts: &HashMap<String, String>) {
+    use lasagna_repro::qserve::{GenKind, GenManifest, GEN_MANIFEST_FILE, STORE_FILE};
+
+    let work = PathBuf::from(require(opts, "work"));
+    let io = IoStats::default();
+    if !GenManifest::exists(&work) {
+        if work.join(STORE_FILE).exists() {
+            println!(
+                "{}: legacy single-generation layout ({STORE_FILE} present, \
+                 no {GEN_MANIFEST_FILE})",
+                work.display()
+            );
+            return;
+        }
+        eprintln!(
+            "lasagna: no {GEN_MANIFEST_FILE} or {STORE_FILE} under {}",
+            work.display()
+        );
+        exit(1);
+    }
+    let manifest = GenManifest::load(&work, &io).unwrap_or_else(|e| {
+        eprintln!("lasagna: {e}");
+        exit(EXIT_CORRUPT)
+    });
+    println!(
+        "{:<8} {:>6} {:>7} {:>9} {:>8} {:>17}  {}",
+        "gen", "kind", "parent", "reads", "readlen", "checksum", "files"
+    );
+    for g in &manifest.generations {
+        println!(
+            "{:<8} {:>6} {:>7} {:>9} {:>8} {:>17}  {} + {}",
+            format!("{}{}", g.id, if g.id == manifest.active { "*" } else { "" }),
+            match g.kind {
+                GenKind::Full => "full",
+                GenKind::Delta => "delta",
+            },
+            g.parent
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "-".to_string()),
+            g.reads,
+            g.read_len,
+            format!("{:016x}", g.store_checksum),
+            g.store,
+            g.index,
+        );
+    }
+    println!("active: generation {} (*)", manifest.active);
+}
+
+/// Ask a live `serve` process to hot-swap its store/index generation
+/// without dropping a connection or a query. `--generation 0` (the
+/// default) targets whatever the work dir's manifest marks active; any
+/// other value targets that generation explicitly. The server answers
+/// only after the swap is complete — on failure it rolls back loudly
+/// and the old generation keeps serving.
+fn reload(opts: &HashMap<String, String>) {
+    let generation: u64 = get(opts, "generation", 0u64);
+    let mut client = stats_client(opts, "reload");
+    let active = client.reload(generation).unwrap_or_else(die_qnet);
+    println!("reload complete; now serving generation {active}");
+}
+
 /// Ask a `serve` process to drain gracefully and stop.
 fn shutdown(opts: &HashMap<String, String>) {
     use lasagna_repro::qnet::{ClientConfig, QueryClient};
@@ -1434,11 +1514,19 @@ fn die_stream<T>(e: lasagna_repro::gstream::StreamError) -> T {
 }
 
 fn die_qserve<T>(e: lasagna_repro::qserve::QserveError) -> T {
-    use lasagna_repro::qserve::QserveError;
+    use lasagna_repro::qserve::{GenError, QserveError};
     eprintln!("lasagna: {e}");
     exit(match &e {
         QserveError::Stream(s) => stream_exit_code(s),
         QserveError::Overloaded { .. } => EXIT_OVERLOADED,
+        // Generation failures roll back server-side; the exit code says
+        // why the target would not land: corrupt binding, unreadable
+        // files, or an id the manifest never listed (operator error).
+        QserveError::Generation(g) => match g {
+            GenError::ChecksumMismatch { .. } => EXIT_CORRUPT,
+            GenError::Load { .. } | GenError::Manifest(_) => EXIT_IO,
+            GenError::MissingGeneration { .. } => 1,
+        },
     })
 }
 
@@ -1452,6 +1540,9 @@ fn die_qnet<T>(e: lasagna_repro::qnet::QnetError) -> T {
             EXIT_OVERLOADED
         }
         QnetError::AuthFailed => EXIT_AUTH,
+        // A failed reload rolled back server-side; the old generation
+        // is still serving, so this is an operator retry, not an outage.
+        QnetError::ReloadFailed { .. } => 1,
         QnetError::DeadlineExceeded { .. } | QnetError::Remote(_) => 1,
     })
 }
@@ -1472,6 +1563,13 @@ fn die_qrouter<T>(e: lasagna_repro::qrouter::RouterError) -> T {
             })
         }
         RouterError::ShardUnavailable { .. } => {
+            eprintln!("lasagna: {e}");
+            exit(EXIT_OVERLOADED)
+        }
+        // Skew means the merge was refused to protect the answer; a
+        // failed rollout left the pin (and service) on the old
+        // generation. Both are resubmit/retry conditions.
+        RouterError::GenerationSkew { .. } | RouterError::RolloutFailed { .. } => {
             eprintln!("lasagna: {e}");
             exit(EXIT_OVERLOADED)
         }

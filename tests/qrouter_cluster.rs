@@ -12,11 +12,11 @@
 use lasagna_repro::faultsim::{self, FaultPlan, Faults};
 use lasagna_repro::obs;
 use lasagna_repro::prelude::*;
-use lasagna_repro::qnet::{ClientConfig, QnetError, Server, ServerConfig};
+use lasagna_repro::qnet::{ClientConfig, QnetError, ReloadConfig, Server, ServerConfig};
 use lasagna_repro::qrouter::{ClusterManifest, Router, RouterConfig, RouterError};
 use lasagna_repro::qserve::{
-    self, ContigStore, Hit, IndexConfig, MinimizerIndex, QueryConfig, QueryEngine, QueryService,
-    ServiceConfig,
+    self, ContigStore, GenEntry, GenKind, GenManifest, Hit, IndexConfig, MinimizerIndex,
+    QueryConfig, QueryEngine, QueryService, ServiceConfig,
 };
 use std::path::Path;
 use std::time::{Duration, Instant};
@@ -443,4 +443,225 @@ fn auth_mismatch_fails_fast_naming_shard_and_peer() {
     let reference = single_node_answers(dir.path(), &queries);
     assert_eq!(authed.route(&queries).unwrap(), reference);
     servers[0].shutdown();
+}
+
+/// Export `contigs` as generation `id` into the work dir — store,
+/// index, and manifest entry — the layout each replica's `Reload`
+/// consumes (the replica rebuilds its own shard slice from the store).
+fn export_generation(dir: &Path, id: u64, contigs: &[PackedSeq], io: &IoStats) {
+    let store_name = qserve::gen_store_file(id);
+    let index_name = qserve::gen_index_file(id);
+    ContigStore::write(&dir.join(&store_name), contigs, io).unwrap();
+    let store = ContigStore::open(&dir.join(&store_name), io).unwrap();
+    let index = MinimizerIndex::build(&store, &IndexConfig::default());
+    index.write(&dir.join(&index_name), io).unwrap();
+    let mut manifest = if GenManifest::exists(dir) {
+        GenManifest::load(dir, io).unwrap()
+    } else {
+        GenManifest {
+            version: qserve::generations::GEN_MANIFEST_VERSION,
+            active: id,
+            generations: Vec::new(),
+        }
+    };
+    manifest.admit(GenEntry {
+        id,
+        store: store_name,
+        index: index_name,
+        store_checksum: store.checksum(),
+        reads: contigs.len() as u64,
+        read_len: 60,
+        kind: if id == 1 {
+            GenKind::Full
+        } else {
+            GenKind::Delta
+        },
+        parent: if id == 1 { None } else { Some(id - 1) },
+    });
+    manifest.store(dir, io).unwrap();
+}
+
+/// Ground truth for one generation: a full (unsharded) in-process
+/// engine over the generation's contigs.
+fn generation_answers(contigs: &[PackedSeq], queries: &[PackedSeq]) -> Vec<Option<Hit>> {
+    let store = ContigStore::from_contigs(contigs.to_vec());
+    let index = MinimizerIndex::build(&store, &IndexConfig::default());
+    let engine = QueryEngine::new(store, index, QueryConfig::default()).unwrap();
+    queries.iter().map(|q| engine.query(q)).collect()
+}
+
+/// Start `n_shards x replicas` servers on generation 1 of the shared
+/// work dir, reload armed with each replica's own shard geometry, and
+/// a manifest pinning the cluster to generation 1.
+fn start_gen_cluster(
+    work: &Path,
+    n_shards: u32,
+    replicas: u32,
+    faults_for: impl Fn(u32, u32) -> Faults,
+) -> (Vec<Server>, ClusterManifest) {
+    let io = IoStats::default();
+    let store_path = work.join(qserve::gen_store_file(1));
+    let checksum = ContigStore::open(&store_path, &io).unwrap().checksum();
+    let mut manifest = ClusterManifest::new(n_shards, checksum);
+    manifest.generation = 1;
+    let mut servers = Vec::new();
+    for shard in 0..n_shards {
+        let index_store = ContigStore::open(&store_path, &io).unwrap();
+        let index =
+            MinimizerIndex::build_shard(&index_store, &IndexConfig::default(), shard, n_shards);
+        for replica in 0..replicas {
+            let store = ContigStore::open(&store_path, &io).unwrap();
+            let engine = QueryEngine::new(store, index.clone(), QueryConfig::default()).unwrap();
+            let svc = QueryService::start_with_generation(
+                engine,
+                1,
+                ServiceConfig::default(),
+                &obs::Recorder::disabled(),
+            );
+            let server = Server::start(
+                svc,
+                ServerConfig {
+                    read_timeout: Duration::from_secs(2),
+                    write_timeout: Duration::from_secs(2),
+                    drain_deadline: Duration::from_secs(10),
+                    stall_ms: 100,
+                    reload: Some(ReloadConfig {
+                        work_dir: work.to_path_buf(),
+                        shard: Some((shard, n_shards, IndexConfig::default())),
+                    }),
+                    ..ServerConfig::default()
+                },
+                &obs::Recorder::disabled(),
+                faults_for(shard, replica),
+            )
+            .unwrap();
+            manifest.add_replica(shard, server.local_addr().to_string());
+            servers.push(server);
+        }
+    }
+    (servers, manifest)
+}
+
+#[test]
+fn rolling_reload_swaps_the_whole_cluster_and_stays_bit_identical() {
+    let scratch_a = tempfile::tempdir().unwrap();
+    let scratch_b = tempfile::tempdir().unwrap();
+    let contigs_a = assemble_into(scratch_a.path(), 76);
+    let contigs_b = assemble_into(scratch_b.path(), 86);
+    let mut gen2 = contigs_a.clone();
+    gen2.extend(contigs_b.iter().cloned());
+
+    let mut queries = slice_queries(&contigs_a, 2_000, 60);
+    queries.extend(slice_queries(&contigs_b, 512, 60));
+    let expected1 = generation_answers(&contigs_a, &queries);
+    let expected2 = generation_answers(&gen2, &queries);
+    assert_ne!(
+        expected1, expected2,
+        "the B windows tell the generations apart"
+    );
+
+    let work = tempfile::tempdir().unwrap();
+    let io = IoStats::default();
+    export_generation(work.path(), 1, &contigs_a, &io);
+    export_generation(work.path(), 2, &gen2, &io);
+
+    let (mut servers, manifest) = start_gen_cluster(work.path(), 2, 2, |_, _| Faults::disabled());
+    let rec = obs::Recorder::new();
+    let router = router_for(manifest, &rec, Faults::disabled(), |_| {});
+    assert_eq!(
+        router.pinned_generation(),
+        1,
+        "the pin seeds from the manifest"
+    );
+
+    // Before the rollout: every batch pinned to (and answered by)
+    // generation 1, bit-identical to the single-node gen-1 oracle.
+    assert_eq!(route_all(&router, &queries), expected1);
+
+    // The rolling reload swaps every replica, then flips the pin.
+    assert_eq!(router.rollout(2).unwrap(), 2);
+    assert_eq!(router.pinned_generation(), 2);
+
+    // After: generation 2's answers, same router, same connections.
+    assert_eq!(route_all(&router, &queries), expected2);
+    assert!(router.dead_letters().is_empty());
+    assert_eq!(counter_total(&rec, "qrouter.rollout.started"), 1);
+    assert_eq!(counter_total(&rec, "qrouter.rollout.ok"), 1);
+    assert_eq!(counter_total(&rec, "qrouter.rollout.replica.ok"), 4);
+    assert_eq!(counter_total(&rec, "qrouter.rollout.replica.failed"), 0);
+    assert_eq!(counter_total(&rec, "qrouter.gen.skew"), 0);
+    for server in &mut servers {
+        assert!(server.shutdown().completed, "drain left stragglers");
+    }
+}
+
+#[test]
+fn failed_rollout_keeps_the_pin_and_the_old_generation_serving() {
+    let scratch_a = tempfile::tempdir().unwrap();
+    let scratch_b = tempfile::tempdir().unwrap();
+    let contigs_a = assemble_into(scratch_a.path(), 77);
+    let contigs_b = assemble_into(scratch_b.path(), 87);
+    let mut gen2 = contigs_a.clone();
+    gen2.extend(contigs_b.iter().cloned());
+
+    let mut queries = slice_queries(&contigs_a, 1_000, 60);
+    queries.extend(slice_queries(&contigs_b, 256, 60));
+    let expected1 = generation_answers(&contigs_a, &queries);
+    let expected2 = generation_answers(&gen2, &queries);
+
+    let work = tempfile::tempdir().unwrap();
+    let io = IoStats::default();
+    export_generation(work.path(), 1, &contigs_a, &io);
+    export_generation(work.path(), 2, &gen2, &io);
+
+    // Shard 1's second replica refuses its reload once; every other
+    // replica swaps cleanly — the worst mixed-generation window.
+    let bad = FaultPlan::new().fail_at(faultsim::QSERVE_GEN_LOAD, 1);
+    let (mut servers, manifest) = start_gen_cluster(work.path(), 2, 2, |shard, replica| {
+        if shard == 1 && replica == 1 {
+            Faults::from_plan(&bad)
+        } else {
+            Faults::disabled()
+        }
+    });
+    let rec = obs::Recorder::new();
+    let router = router_for(manifest, &rec, Faults::disabled(), |_| {});
+
+    // The rollout fails loudly, naming exactly the refusing replica,
+    // and the pin stays on generation 1.
+    let err = router.rollout(2).unwrap_err();
+    match &err {
+        RouterError::RolloutFailed { target, failed } => {
+            assert_eq!(*target, 2);
+            assert_eq!(failed.len(), 1, "exactly one replica refused: {failed:?}");
+        }
+        other => panic!("expected RolloutFailed, got {other}"),
+    }
+    assert_eq!(
+        router.pinned_generation(),
+        1,
+        "a failed rollout must not move the pin"
+    );
+    assert_eq!(counter_total(&rec, "qrouter.rollout.failed"), 1);
+    assert_eq!(counter_total(&rec, "qrouter.rollout.replica.failed"), 1);
+    assert_eq!(counter_total(&rec, "qrouter.rollout.replica.ok"), 3);
+
+    // Zero downtime through the mixed window: replicas that swapped
+    // still hold generation 1 resident as `previous`, the refusing
+    // replica still has it active, so pinned batches keep answering
+    // bit-identically.
+    assert_eq!(
+        route_all(&router, &queries),
+        expected1,
+        "the old generation must keep serving through a failed rollout"
+    );
+
+    // The failpoint is spent: the retry swaps every replica (reload is
+    // idempotent on the ones that already hold generation 2).
+    assert_eq!(router.rollout(2).unwrap(), 2);
+    assert_eq!(router.pinned_generation(), 2);
+    assert_eq!(route_all(&router, &queries), expected2);
+    for server in &mut servers {
+        server.shutdown();
+    }
 }
